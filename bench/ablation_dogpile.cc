@@ -1,0 +1,64 @@
+// Ablation — dog-pile protection vs Proteus' smooth transitions.
+//
+// The paper's introduction cites Facebook's "break up the memcache dog
+// pile" strategy (ref. [12]). Coalescing concurrent database fetches for
+// one key attacks the SAME symptom as Proteus (database stampedes after a
+// mapping change) by a different, orthogonal mechanism. This ablation runs
+// the Naive scenario with and without coalescing, and Proteus without it:
+// coalescing softens the Naive spike (the storm's duplicate fetches
+// collapse) but cannot remove it (the storm's DISTINCT keys still all
+// miss); Proteus removes the spike at its source.
+#include <cstdio>
+#include <vector>
+
+#include "cluster/scenario.h"
+
+namespace {
+
+proteus::cluster::ScenarioResult run(proteus::cluster::ScenarioKind kind,
+                                     bool coalesce) {
+  auto cfg = proteus::cluster::default_experiment_config(kind);
+  cfg.web.coalesce_db_fetches = coalesce;
+  return proteus::cluster::run_scenario(cfg);
+}
+
+double post_warmup_peak(const proteus::cluster::ScenarioResult& r) {
+  double peak = 0;
+  for (std::size_t s = 4; s < r.slots.size(); ++s) {
+    peak = std::max(peak, r.slots[s].p999_ms);
+  }
+  return peak;
+}
+
+}  // namespace
+
+int main() {
+  using namespace proteus::cluster;
+
+  std::fprintf(stderr, "running Naive...\n");
+  const ScenarioResult naive = run(ScenarioKind::kNaive, false);
+  std::fprintf(stderr, "running Naive + dog-pile coalescing...\n");
+  const ScenarioResult naive_dp = run(ScenarioKind::kNaive, true);
+  std::fprintf(stderr, "running Proteus...\n");
+  const ScenarioResult prot = run(ScenarioKind::kProteus, false);
+
+  std::printf("# Ablation — dog-pile coalescing vs smooth transitions\n");
+  std::printf("%-22s %-14s %-14s %-14s %-14s\n", "configuration",
+              "max_p999_ms", "db_queries_k", "coalesced_k", "hit_ratio");
+  const auto row = [](const char* name, const ScenarioResult& r) {
+    std::printf("%-22s %-14.2f %-14.1f %-14.1f %-14.3f\n", name,
+                post_warmup_peak(r), static_cast<double>(r.db_queries) / 1e3,
+                static_cast<double>(r.coalesced_fetches) / 1e3,
+                r.overall_hit_ratio);
+  };
+  row("Naive", naive);
+  row("Naive+coalescing", naive_dp);
+  row("Proteus", prot);
+  std::printf("# expected: coalescing barely dents the Naive spike — the\n");
+  std::printf("# storm is DISTINCT-key dominated (each user re-missing their\n");
+  std::printf("# own 50-page set), so collapsing duplicates cannot fix it.\n");
+  std::printf("# That is precisely why the paper needed placement + digest\n");
+  std::printf("# machinery instead of client-side stampede tricks; the two\n");
+  std::printf("# mechanisms remain composable for true same-key hotspots.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation — plain vs segmented LRU under mixed Zipf + scan traffic.
+//
+// The paper assumes plain LRU-style eviction (§II makes no assumption on
+// the policy; stock memcached of 2012 was plain per-slab LRU). Memcached
+// 1.5 later split the LRU into segments for scan resistance. This bench
+// quantifies what that buys a Proteus cache node: a Zipf working set
+// polluted by periodic one-touch scans (crawlers, backfills) keeps its hit
+// ratio under segmented LRU and bleeds under plain LRU; pure Zipf traffic
+// is unaffected — so the upgrade is free for the paper's workloads.
+#include <cstdio>
+#include <string>
+
+#include "cache/cache_server.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace proteus;
+
+struct Result {
+  double hit_ratio;
+  std::uint64_t evictions;
+};
+
+Result run(bool segmented, double scan_fraction, std::uint64_t seed) {
+  cache::CacheConfig cfg;
+  cfg.memory_budget_bytes = 4u << 20;
+  cfg.segmented_lru = segmented;
+  cache::CacheServer cache(cfg);
+
+  Rng rng(seed);
+  ZipfSampler zipf(50'000, 0.9);
+  std::uint64_t scan_counter = 0;
+  std::uint64_t zipf_requests = 0, zipf_hits = 0;
+  for (int i = 0; i < 600'000; ++i) {
+    const SimTime now = i * kMillisecond;
+    if (rng.next_double() < scan_fraction) {
+      // One-touch scan key: never requested again.
+      const std::string key = "scan:" + std::to_string(scan_counter++);
+      if (!cache.get(key, now).has_value()) cache.set(key, "v", now, 1024);
+      continue;
+    }
+    const std::string key = "page:" + std::to_string(zipf(rng));
+    ++zipf_requests;
+    if (cache.get(key, now).has_value()) {
+      ++zipf_hits;
+    } else {
+      cache.set(key, "v", now, 1024);
+    }
+  }
+  return Result{static_cast<double>(zipf_hits) /
+                    static_cast<double>(zipf_requests),
+                cache.stats().evictions};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation — plain vs segmented LRU (hit ratio of the Zipf\n");
+  std::printf("# traffic only; scans are pollution, 4 MB node, 1 KB objects)\n");
+  std::printf("%-14s %-14s %-14s %-12s\n", "scan_traffic", "plain_lru",
+              "segmented", "delta");
+  for (double scan : {0.0, 0.1, 0.3, 0.5}) {
+    const Result plain = run(false, scan, 7);
+    const Result seg = run(true, scan, 7);
+    std::printf("%-14.0f%% %-14.4f %-14.4f %+.4f\n", 100 * scan,
+                plain.hit_ratio, seg.hit_ratio,
+                seg.hit_ratio - plain.hit_ratio);
+  }
+  std::printf("# expected: segmented wins even at 0%% scans (the Zipf tail\n");
+  std::printf("# is itself one-touch pollution) and the gap widens with scan\n");
+  std::printf("# traffic — the protected segment shields the hot set\n");
+  return 0;
+}

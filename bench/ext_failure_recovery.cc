@@ -1,0 +1,124 @@
+// Extension experiment — server crash with and without §III-E replication.
+//
+// The paper treats fault tolerance analytically (Eq. 3) and notes a crash
+// loses the in-memory cache regardless of placement scheme. This extension
+// quantifies the recovery: replay a steady workload, crash one warm cache
+// server mid-run, and track the backend (database) fetch rate per time
+// window. Without replication the crashed server's working set must be
+// re-fetched (a storm proportional to 1/n of the hot set); with r=2 the
+// surviving replicas absorb the crash almost entirely.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/proteus.h"
+#include "core/replicated_proteus.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace proteus;
+
+std::vector<double> backend_rate_per_window(
+    const std::vector<workload::TraceEvent>& trace, SimTime window,
+    SimTime crash_at, int replicas) {
+  std::uint64_t backend = 0;
+  const auto miss_path = [&backend](std::string_view key) {
+    ++backend;
+    return "v:" + std::string(key);
+  };
+
+  std::vector<double> rates;
+  std::uint64_t window_start_count = 0;
+  std::size_t current_window = 0;
+  bool crashed = false;
+
+  const auto flush_windows = [&](std::size_t upto) {
+    while (current_window < upto) {
+      rates.push_back(static_cast<double>(backend - window_start_count) /
+                      to_seconds(window));
+      window_start_count = backend;
+      ++current_window;
+    }
+  };
+
+  if (replicas <= 1) {
+    ProteusOptions opt;
+    opt.max_servers = 10;
+    opt.per_server.memory_budget_bytes = 64 << 20;
+    Proteus cluster(opt, miss_path);
+    for (const auto& ev : trace) {
+      flush_windows(static_cast<std::size_t>(ev.time / window));
+      if (!crashed && ev.time >= crash_at) {
+        // No replication: emulate the crash by flushing the server (the
+        // single-ring facade has no failover; routing is unchanged, the
+        // data is simply gone — §III-A).
+        const_cast<cache::CacheServer&>(cluster.server(4)).flush();
+        crashed = true;
+      }
+      cluster.get(ev.key, ev.time);
+    }
+  } else {
+    ReplicatedOptions opt;
+    opt.max_servers = 10;
+    opt.replicas = replicas;
+    opt.per_server.memory_budget_bytes = 64 << 20;
+    ReplicatedProteus cluster(opt, miss_path);
+    for (const auto& ev : trace) {
+      flush_windows(static_cast<std::size_t>(ev.time / window));
+      if (!crashed && ev.time >= crash_at) {
+        cluster.fail_server(4);
+        crashed = true;
+      }
+      cluster.get(ev.key, ev.time);
+    }
+  }
+  flush_windows(static_cast<std::size_t>(trace.back().time / window) + 1);
+  return rates;
+}
+
+}  // namespace
+
+int main() {
+  workload::TraceConfig tc;
+  tc.duration = 8 * kMinute;
+  tc.num_pages = 20'000;
+  tc.diurnal.mean_rate = 600;
+  tc.diurnal.amplitude = 0;
+  tc.diurnal.jitter = 0;
+  const auto trace = workload::generate_trace(tc);
+  const SimTime window = 30 * kSecond;
+  const SimTime crash_at = 4 * kMinute;
+
+  const auto r1 = backend_rate_per_window(trace, window, crash_at, 1);
+  const auto r2 = backend_rate_per_window(trace, window, crash_at, 2);
+
+  std::printf("# Extension — backend fetch rate around a cache-server crash\n");
+  std::printf("# (crash of server 4 at t=240 s, 10 servers, ~600 req/s)\n");
+  std::printf("%-10s %-16s %-16s\n", "window_s", "r=1 [fetch/s]",
+              "r=2 [fetch/s]");
+  for (std::size_t w = 0; w < r1.size() && w < r2.size(); ++w) {
+    std::printf("%-10.0f %-16.1f %-16.1f%s\n", to_seconds(window) * w, r1[w],
+                r2[w],
+                static_cast<SimTime>(w) * window == crash_at ? "  <- crash"
+                                                             : "");
+  }
+
+  // Summarize the storm as EXCESS over the still-decaying cold-fill
+  // baseline: peak post-crash rate minus the rate in the window just
+  // before the crash.
+  const auto crash_window = static_cast<std::size_t>(crash_at / window);
+  const auto excess = [&](const std::vector<double>& rates) {
+    double peak = 0;
+    for (std::size_t w = crash_window; w < rates.size(); ++w) {
+      peak = std::max(peak, rates[w]);
+    }
+    return std::max(0.0, peak - rates[crash_window - 1]);
+  };
+  std::printf("# crash-induced excess fetch rate: r=1 +%.1f/s vs r=2 +%.1f/s\n",
+              excess(r1), excess(r2));
+  std::printf("# expected: r=1 re-fetches the crashed server's working set;\n");
+  std::printf("# r=2 absorbs the crash (only the ~1%% Eq.(3) conflict residue\n");
+  std::printf("# where both replicas shared the crashed server)\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 7 — "False Positive vs Bloom Filter Size": measured false-positive
+// ratio of the broadcast digest as a function of its memory footprint, one
+// curve per resident-key count (the paper's legend tracks cache fill).
+//
+// Paper result to match in shape: FP decays rapidly with size; with 512 KB
+// the rate is negligible for ~1 GB of 4 KB pages (≈256 K keys per server).
+#include <cstdio>
+#include <string>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/config.h"
+
+int main() {
+  using namespace proteus;
+
+  constexpr unsigned kHashes = 4;  // the evaluation's 4 non-crypto hashes
+  const std::size_t key_counts[] = {64'000, 128'000, 256'000, 512'000};
+  const std::size_t sizes_kb[] = {64, 128, 256, 512, 1024, 2048};
+
+  std::printf("# Fig. 7 — digest false-positive ratio vs filter size (h=4)\n");
+  std::printf("%-10s", "size_KB");
+  for (std::size_t kappa : key_counts) std::printf(" keys=%-12zu", kappa);
+  std::printf("\n");
+
+  for (std::size_t kb : sizes_kb) {
+    std::printf("%-10zu", kb);
+    for (std::size_t kappa : key_counts) {
+      bloom::BloomFilter bf(kb * 1024 * 8, kHashes);
+      for (std::size_t i = 0; i < kappa; ++i) {
+        bf.insert("page:" + std::to_string(i));
+      }
+      std::size_t fp = 0;
+      constexpr std::size_t kProbes = 200'000;
+      for (std::size_t i = 0; i < kProbes; ++i) {
+        fp += bf.maybe_contains("absent:" + std::to_string(i));
+      }
+      const double measured = static_cast<double>(fp) / kProbes;
+      const double analytic =
+          bloom::false_positive_rate(kappa, kHashes, kb * 1024 * 8);
+      std::printf(" %.4f/%.4f  ", measured, analytic);
+    }
+    std::printf("\n");
+  }
+  std::printf("# cells: measured/analytic (Eq. 4)\n");
+  std::printf("# expected shape: monotone decay; negligible at 512KB for the\n");
+  std::printf("# evaluation's working set, matching the paper's chosen config\n");
+  return 0;
+}

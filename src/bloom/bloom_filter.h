@@ -1,0 +1,109 @@
+// Plain Bloom filter (bit array, h hash functions).
+//
+// In Proteus this is the broadcast form of a cache server's digest: at the
+// start of a provisioning transition each affected server snapshots its
+// counting Bloom filter down to a plain bit array ("a few KB each", §IV-A)
+// and ships it to every web server.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace proteus::bloom {
+
+class BloomFilter {
+ public:
+  // `num_bits` is the logical modulus for probe positions (storage rounds
+  // up to whole words). It must match the counter count of any counting
+  // filter this is a snapshot of, or probe positions diverge. `num_hashes`
+  // is the h of the paper (Table I); the evaluation uses 4 non-crypto
+  // hashes.
+  BloomFilter(std::size_t num_bits, unsigned num_hashes,
+              std::uint64_t seed = 0)
+      : bits_((num_bits + 63) / 64, 0),
+        num_bits_(num_bits),
+        num_hashes_(num_hashes),
+        seed_(seed) {
+    PROTEUS_CHECK(num_bits > 0);
+    PROTEUS_CHECK(num_hashes > 0);
+  }
+
+  void insert(std::string_view key) noexcept {
+    DoubleHasher dh(key, seed_);
+    for (unsigned i = 0; i < num_hashes_; ++i) set_bit(dh(i) % num_bits_);
+  }
+
+  void insert(std::uint64_t key) noexcept {
+    DoubleHasher dh(key, seed_);
+    for (unsigned i = 0; i < num_hashes_; ++i) set_bit(dh(i) % num_bits_);
+  }
+
+  bool maybe_contains(std::string_view key) const noexcept {
+    DoubleHasher dh(key, seed_);
+    for (unsigned i = 0; i < num_hashes_; ++i) {
+      if (!test_bit(dh(i) % num_bits_)) return false;
+    }
+    return true;
+  }
+
+  bool maybe_contains(std::uint64_t key) const noexcept {
+    DoubleHasher dh(key, seed_);
+    for (unsigned i = 0; i < num_hashes_; ++i) {
+      if (!test_bit(dh(i) % num_bits_)) return false;
+    }
+    return true;
+  }
+
+  void clear() noexcept { std::fill(bits_.begin(), bits_.end(), 0); }
+
+  std::size_t num_bits() const noexcept { return num_bits_; }
+  unsigned num_hashes() const noexcept { return num_hashes_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::size_t memory_bytes() const noexcept { return bits_.size() * 8; }
+
+  std::size_t popcount() const noexcept {
+    std::size_t n = 0;
+    for (std::uint64_t w : bits_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  double fill_ratio() const noexcept {
+    return static_cast<double>(popcount()) / static_cast<double>(num_bits_);
+  }
+
+  // Wire format used when "broadcasting" digests to web servers: the raw
+  // word array. Header fields (bits/hashes/seed) travel alongside.
+  const std::vector<std::uint64_t>& words() const noexcept { return bits_; }
+
+  static BloomFilter from_words(std::vector<std::uint64_t> words,
+                                std::size_t num_bits, unsigned num_hashes,
+                                std::uint64_t seed) {
+    PROTEUS_CHECK(!words.empty());
+    PROTEUS_CHECK(words.size() == (num_bits + 63) / 64);
+    BloomFilter f(num_bits, num_hashes, seed);
+    f.bits_ = std::move(words);
+    return f;
+  }
+
+  bool operator==(const BloomFilter& other) const noexcept {
+    return num_bits_ == other.num_bits_ && num_hashes_ == other.num_hashes_ &&
+           seed_ == other.seed_ && bits_ == other.bits_;
+  }
+
+ private:
+  void set_bit(std::uint64_t i) noexcept { bits_[i >> 6] |= 1ULL << (i & 63); }
+  bool test_bit(std::uint64_t i) const noexcept {
+    return (bits_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  std::vector<std::uint64_t> bits_;
+  std::size_t num_bits_;
+  unsigned num_hashes_;
+  std::uint64_t seed_;
+};
+
+}  // namespace proteus::bloom

@@ -1,0 +1,90 @@
+#include "bloom/config.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace proteus::bloom {
+
+double lambert_w0(double x) noexcept {
+  if (x < -0.36787944117144233) return -1.0;  // below -1/e: clamp to branch point
+  // Initial guess: w = ln(1+x) is good on [-1/e, inf) for the W0 branch.
+  double w = std::log1p(x);
+  for (int i = 0; i < 24; ++i) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    const double denom = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+    if (denom == 0.0) break;
+    const double step = f / denom;
+    w -= step;
+    if (std::abs(step) < 1e-14 * (1.0 + std::abs(w))) break;
+  }
+  return w;
+}
+
+double false_positive_rate(std::size_t kappa, unsigned h, std::size_t l) noexcept {
+  if (l == 0) return 1.0;
+  const double exponent = -static_cast<double>(kappa) * h / static_cast<double>(l);
+  return std::pow(1.0 - std::exp(exponent), static_cast<double>(h));
+}
+
+double false_negative_bound(std::size_t kappa, unsigned h, std::size_t l,
+                            unsigned b) noexcept {
+  if (l == 0) return 1.0;
+  const double two_b = std::ldexp(1.0, static_cast<int>(b));  // 2^b
+  const double base = std::exp(1.0) * static_cast<double>(kappa) * h /
+                      (two_b * static_cast<double>(l));
+  return static_cast<double>(l) * std::pow(base, two_b);
+}
+
+std::size_t min_counters_for_fp(std::size_t kappa, unsigned h, double pp) noexcept {
+  // Gp(l) <= pp  <=>  l >= -kappa*h / ln(1 - pp^{1/h}).
+  const double root = std::pow(pp, 1.0 / h);
+  const double denom = std::log(1.0 - root);
+  PROTEUS_CHECK(denom < 0.0);
+  const double l = -static_cast<double>(kappa) * h / denom;
+  return static_cast<std::size_t>(std::ceil(l));
+}
+
+double closed_form_counter_bits(std::size_t kappa, unsigned h, std::size_t l,
+                                double pn) noexcept {
+  // Solve Gn(l, b) = l * (e*kappa*h / (2^b l))^{2^b} = pn for real b.
+  // With beta = e*kappa*h/l and gamma = pn/l, setting y = 2^b gives
+  //   (beta / y)^y = gamma  =>  y (ln beta - ln y) = ln gamma.
+  // Substituting y = beta / u:  (beta/u) ln u = -ln gamma, i.e.
+  //   u ... solved via Lambert W:  y = -ln(gamma) / W(-ln(gamma)/beta) up to
+  // branch choice; we take the W0 branch which selects the smaller feasible
+  // y (minimal b). Finally b = log2(y).
+  const double beta = std::exp(1.0) * static_cast<double>(kappa) * h /
+                      static_cast<double>(l);
+  const double gamma = pn / static_cast<double>(l);
+  const double a = -std::log(gamma);  // > 0 for pn < l
+  const double w = lambert_w0(a / beta);
+  const double y = a / w;
+  return std::log2(y);
+}
+
+BloomParams optimize(std::size_t kappa, unsigned h, double pp, double pn) {
+  PROTEUS_CHECK(kappa > 0);
+  PROTEUS_CHECK(h > 0);
+  PROTEUS_CHECK(pp > 0.0 && pp < 1.0);
+  PROTEUS_CHECK(pn > 0.0 && pn < 1.0);
+
+  BloomParams params;
+  params.num_hashes = h;
+  params.expected_keys = kappa;
+  params.num_counters = min_counters_for_fp(kappa, h, pp);
+
+  // Smallest integer width meeting the false-negative bound. b is tiny in
+  // practice (the paper's example lands on 3); cap the search at 32.
+  for (unsigned b = 1; b <= 32; ++b) {
+    if (false_negative_bound(kappa, h, params.num_counters, b) <= pn) {
+      params.counter_bits = b;
+      return params;
+    }
+  }
+  PROTEUS_CHECK_MSG(false, "no counter width <= 32 satisfies the FN bound");
+  return params;
+}
+
+}  // namespace proteus::bloom

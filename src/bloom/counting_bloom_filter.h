@@ -1,0 +1,176 @@
+// Counting Bloom filter — the in-cache data digest of §IV.
+//
+// Each Memcached-like server maintains one of these over its resident keys:
+// insert on item link, remove on item unlink. Counters are b bits wide
+// (Table I) and packed; b is chosen by the optimizer in config.h.
+//
+// Overflow policy: the paper's false-negative analysis (Eq. 5) assumes naive
+// counters that wrap on overflow — a wrapped counter later underflows and
+// produces false negatives. Production deployments instead saturate (stick
+// at max), trading false negatives for a few extra false positives. Both
+// policies are implemented; `Wrap` reproduces Fig. 8 and `Saturate` is the
+// default for the live digest.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace proteus::bloom {
+
+enum class OverflowPolicy {
+  kSaturate,  // counter sticks at 2^b - 1; never decremented below realness
+  kWrap,      // counter wraps modulo 2^b (the behaviour Eq. (5) bounds)
+};
+
+class CountingBloomFilter {
+ public:
+  CountingBloomFilter(std::size_t num_counters, unsigned counter_bits,
+                      unsigned num_hashes, std::uint64_t seed = 0,
+                      OverflowPolicy policy = OverflowPolicy::kSaturate)
+      : counters_((num_counters * counter_bits + 63) / 64, 0),
+        num_counters_(num_counters),
+        counter_bits_(counter_bits),
+        max_value_((1ULL << counter_bits) - 1),
+        num_hashes_(num_hashes),
+        seed_(seed),
+        policy_(policy) {
+    PROTEUS_CHECK(num_counters > 0);
+    PROTEUS_CHECK(counter_bits >= 1 && counter_bits <= 32);
+    PROTEUS_CHECK(num_hashes > 0);
+  }
+
+  void insert(std::string_view key) noexcept { insert_hashed(DoubleHasher(key, seed_)); }
+  void insert(std::uint64_t key) noexcept { insert_hashed(DoubleHasher(key, seed_)); }
+  void remove(std::string_view key) noexcept { remove_hashed(DoubleHasher(key, seed_)); }
+  void remove(std::uint64_t key) noexcept { remove_hashed(DoubleHasher(key, seed_)); }
+
+  bool maybe_contains(std::string_view key) const noexcept {
+    return contains_hashed(DoubleHasher(key, seed_));
+  }
+  bool maybe_contains(std::uint64_t key) const noexcept {
+    return contains_hashed(DoubleHasher(key, seed_));
+  }
+
+  // Snapshot to the compact broadcast form: one bit per counter. This is the
+  // "SET_BLOOM_FILTER" operation of §V-3.
+  BloomFilter snapshot() const {
+    std::vector<std::uint64_t> words((num_counters_ + 63) / 64, 0);
+    for (std::size_t i = 0; i < num_counters_; ++i) {
+      if (get_counter(i) != 0) words[i >> 6] |= 1ULL << (i & 63);
+    }
+    return BloomFilter::from_words(std::move(words), num_counters_,
+                                   num_hashes_, seed_);
+  }
+
+  void clear() noexcept {
+    std::fill(counters_.begin(), counters_.end(), 0);
+    overflow_events_ = 0;
+    underflow_events_ = 0;
+  }
+
+  std::uint64_t counter_at(std::size_t i) const noexcept { return get_counter(i); }
+  std::size_t num_counters() const noexcept { return num_counters_; }
+  unsigned counter_bits() const noexcept { return counter_bits_; }
+  unsigned num_hashes() const noexcept { return num_hashes_; }
+  OverflowPolicy policy() const noexcept { return policy_; }
+  std::size_t memory_bytes() const noexcept { return counters_.size() * 8; }
+  std::uint64_t overflow_events() const noexcept { return overflow_events_; }
+  std::uint64_t underflow_events() const noexcept { return underflow_events_; }
+
+  std::size_t nonzero_counters() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < num_counters_; ++i) n += get_counter(i) != 0;
+    return n;
+  }
+
+ private:
+  void insert_hashed(const DoubleHasher& dh) noexcept {
+    for (unsigned i = 0; i < num_hashes_; ++i) increment(dh(i) % num_counters_);
+  }
+
+  void remove_hashed(const DoubleHasher& dh) noexcept {
+    for (unsigned i = 0; i < num_hashes_; ++i) decrement(dh(i) % num_counters_);
+  }
+
+  bool contains_hashed(const DoubleHasher& dh) const noexcept {
+    for (unsigned i = 0; i < num_hashes_; ++i) {
+      if (get_counter(dh(i) % num_counters_) == 0) return false;
+    }
+    return true;
+  }
+
+  void increment(std::size_t idx) noexcept {
+    const std::uint64_t v = get_counter(idx);
+    if (v == max_value_) {
+      ++overflow_events_;
+      if (policy_ == OverflowPolicy::kSaturate) return;  // stick at max
+      set_counter(idx, 0);                               // wrap
+      return;
+    }
+    set_counter(idx, v + 1);
+  }
+
+  void decrement(std::size_t idx) noexcept {
+    const std::uint64_t v = get_counter(idx);
+    if (v == 0) {
+      // Only reachable after a wrap (kWrap) or a saturated stick (kSaturate
+      // never decrements a stuck counter because it also never wrapped to 0
+      // — reaching 0 here means a prior wrap lost a count).
+      ++underflow_events_;
+      if (policy_ == OverflowPolicy::kWrap) set_counter(idx, max_value_);
+      return;
+    }
+    if (policy_ == OverflowPolicy::kSaturate && v == max_value_ &&
+        overflow_events_ > 0) {
+      // Once any overflow has happened, a counter sitting at max may be
+      // under-counted; keep it stuck so membership never turns falsely
+      // negative. Before the first overflow every value is exact and a
+      // max-valued counter may decrement normally.
+      return;
+    }
+    set_counter(idx, v - 1);
+  }
+
+  // Counters are bit-packed and may straddle a 64-bit word boundary.
+  std::uint64_t get_counter(std::size_t idx) const noexcept {
+    const std::size_t bit = idx * counter_bits_;
+    const std::size_t word = bit >> 6;
+    const unsigned off = bit & 63;
+    std::uint64_t v = counters_[word] >> off;
+    if (off + counter_bits_ > 64) {
+      v |= counters_[word + 1] << (64 - off);
+    }
+    return v & max_value_;
+  }
+
+  void set_counter(std::size_t idx, std::uint64_t value) noexcept {
+    const std::size_t bit = idx * counter_bits_;
+    const std::size_t word = bit >> 6;
+    const unsigned off = bit & 63;
+    counters_[word] &= ~(max_value_ << off);
+    counters_[word] |= value << off;
+    if (off + counter_bits_ > 64) {
+      const unsigned hi_bits = off + counter_bits_ - 64;
+      const std::uint64_t hi_mask = (1ULL << hi_bits) - 1;
+      counters_[word + 1] &= ~hi_mask;
+      counters_[word + 1] |= value >> (64 - off);
+    }
+  }
+
+  std::vector<std::uint64_t> counters_;
+  std::size_t num_counters_;
+  unsigned counter_bits_;
+  std::uint64_t max_value_;
+  unsigned num_hashes_;
+  std::uint64_t seed_;
+  OverflowPolicy policy_;
+  std::uint64_t overflow_events_ = 0;
+  std::uint64_t underflow_events_ = 0;
+};
+
+}  // namespace proteus::bloom

@@ -1,0 +1,284 @@
+#include "cache/binary_protocol.h"
+
+#include <charconv>
+
+#include "common/check.h"
+
+namespace proteus::cache {
+
+namespace binary {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out += static_cast<char>(v >> 8);
+  out += static_cast<char>(v & 0xff);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffff));
+}
+
+std::uint16_t get_u16(std::string_view bytes, std::size_t offset) {
+  PROTEUS_CHECK(offset + 2 <= bytes.size());
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint8_t>(bytes[offset]) << 8) |
+      static_cast<std::uint8_t>(bytes[offset + 1]));
+}
+
+std::uint32_t get_u32(std::string_view bytes, std::size_t offset) {
+  return (static_cast<std::uint32_t>(get_u16(bytes, offset)) << 16) |
+         get_u16(bytes, offset + 2);
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t offset) {
+  return (static_cast<std::uint64_t>(get_u32(bytes, offset)) << 32) |
+         get_u32(bytes, offset + 4);
+}
+
+std::string encode_frame(const Frame& frame, std::uint8_t magic) {
+  std::string out;
+  const std::size_t body =
+      frame.extras.size() + frame.key.size() + frame.value.size();
+  out.reserve(kHeaderSize + body);
+  out += static_cast<char>(magic);
+  out += static_cast<char>(frame.opcode);
+  put_u16(out, static_cast<std::uint16_t>(frame.key.size()));
+  out += static_cast<char>(frame.extras.size());
+  out += '\0';  // data type: raw bytes
+  put_u16(out, frame.status_or_vbucket);
+  put_u32(out, static_cast<std::uint32_t>(body));
+  put_u32(out, frame.opaque);
+  put_u64(out, frame.cas);
+  out += frame.extras;
+  out += frame.key;
+  out += frame.value;
+  return out;
+}
+
+std::optional<Frame> decode_frame(std::string_view bytes,
+                                  std::size_t& consumed) {
+  if (bytes.size() < kHeaderSize) return std::nullopt;
+  const std::uint16_t key_len = get_u16(bytes, 2);
+  const auto extras_len = static_cast<std::uint8_t>(bytes[4]);
+  const std::uint32_t total_body = get_u32(bytes, 8);
+  if (total_body < static_cast<std::uint32_t>(key_len) + extras_len) {
+    // Malformed lengths: signal by consuming the header and returning a
+    // frame the session will reject (body sizes inconsistent).
+    consumed = kHeaderSize;
+    Frame bad;
+    bad.magic = static_cast<std::uint8_t>(bytes[0]);
+    bad.opcode = static_cast<Opcode>(0xff);
+    return bad;
+  }
+  if (bytes.size() < kHeaderSize + total_body) return std::nullopt;
+
+  Frame frame;
+  frame.magic = static_cast<std::uint8_t>(bytes[0]);
+  frame.opcode = static_cast<Opcode>(bytes[1]);
+  frame.status_or_vbucket = get_u16(bytes, 6);
+  frame.opaque = get_u32(bytes, 12);
+  frame.cas = get_u64(bytes, 16);
+  std::size_t off = kHeaderSize;
+  frame.extras.assign(bytes.substr(off, extras_len));
+  off += extras_len;
+  frame.key.assign(bytes.substr(off, key_len));
+  off += key_len;
+  frame.value.assign(bytes.substr(off, total_body - key_len - extras_len));
+  consumed = kHeaderSize + total_body;
+  return frame;
+}
+
+}  // namespace binary
+
+using binary::Frame;
+using binary::Opcode;
+using binary::Status;
+
+std::string BinaryProtocolSession::respond(const Frame& request,
+                                           Status status, std::string extras,
+                                           std::string key, std::string value,
+                                           std::uint64_t cas) const {
+  Frame reply;
+  reply.opcode = request.opcode;
+  reply.status_or_vbucket = static_cast<std::uint16_t>(status);
+  reply.opaque = request.opaque;  // echoed for client correlation
+  reply.cas = cas;
+  reply.extras = std::move(extras);
+  reply.key = std::move(key);
+  reply.value = std::move(value);
+  return encode_frame(reply, binary::kResponseMagic);
+}
+
+std::string BinaryProtocolSession::feed(std::string_view bytes, SimTime now) {
+  if (closed_) return {};
+  buffer_.append(bytes);
+  std::string out;
+  for (;;) {
+    std::size_t consumed = 0;
+    auto frame = binary::decode_frame(buffer_, consumed);
+    if (!frame.has_value()) break;
+    buffer_.erase(0, consumed);
+    out += handle(*frame, now);
+    if (closed_) break;
+  }
+  return out;
+}
+
+std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
+  if (request.magic != binary::kRequestMagic) {
+    return respond(request, Status::kInvalidArguments);
+  }
+
+  switch (request.opcode) {
+    case Opcode::kGet:
+    case Opcode::kGetK:
+    case Opcode::kGetQ:
+    case Opcode::kGetKQ: {
+      const bool quiet = request.opcode == Opcode::kGetQ ||
+                         request.opcode == Opcode::kGetKQ;
+      const bool with_key = request.opcode == Opcode::kGetK ||
+                            request.opcode == Opcode::kGetKQ;
+      if (request.key.empty()) {
+        return respond(request, Status::kInvalidArguments);
+      }
+      auto value = server_.get(request.key, now);
+      if (!value.has_value()) {
+        return quiet ? std::string{}  // quiet gets suppress misses
+                     : respond(request, Status::kKeyNotFound);
+      }
+      std::string extras;
+      binary::put_u32(extras,
+                      server_.flags_of(request.key, now).value_or(0));
+      return respond(request, Status::kOk, std::move(extras),
+                     with_key ? request.key : std::string{},
+                     std::move(*value), server_.cas_of(request.key, now));
+    }
+
+    case Opcode::kSet:
+    case Opcode::kAdd:
+    case Opcode::kReplace: {
+      // Extras: flags(4) expiry(4).
+      if (request.extras.size() != 8 || request.key.empty()) {
+        return respond(request, Status::kInvalidArguments);
+      }
+      if (request.key == kSetBloomFilterKey ||
+          request.key == kGetBloomFilterKey) {
+        return respond(request, Status::kNotStored);  // digest is read-only
+      }
+      const std::uint32_t flags = binary::get_u32(request.extras, 0);
+      const bool exists = server_.contains(request.key, now);
+      if (request.opcode == Opcode::kAdd && exists) {
+        return respond(request, Status::kKeyExists);
+      }
+      if (request.opcode == Opcode::kReplace && !exists) {
+        return respond(request, Status::kKeyNotFound);
+      }
+      if (request.cas != 0) {
+        // CAS-conditional store.
+        switch (server_.compare_and_swap(request.key, request.value, now,
+                                         request.cas, 0, flags)) {
+          case CacheServer::CasResult::kNotFound:
+            return respond(request, Status::kKeyNotFound);
+          case CacheServer::CasResult::kExists:
+            return respond(request, Status::kKeyExists);
+          case CacheServer::CasResult::kStored:
+            break;
+        }
+      } else {
+        server_.set(request.key, request.value, now, 0, flags);
+      }
+      return respond(request, Status::kOk, {}, {}, {},
+                     server_.cas_of(request.key, now));
+    }
+
+    case Opcode::kDelete: {
+      if (request.key.empty()) {
+        return respond(request, Status::kInvalidArguments);
+      }
+      return respond(request, server_.erase(request.key)
+                                  ? Status::kOk
+                                  : Status::kKeyNotFound);
+    }
+
+    case Opcode::kIncrement:
+    case Opcode::kDecrement: {
+      // Extras: delta(8) initial(8) expiry(4).
+      if (request.extras.size() != 20 || request.key.empty()) {
+        return respond(request, Status::kInvalidArguments);
+      }
+      const std::uint64_t delta = binary::get_u64(request.extras, 0);
+      const std::uint64_t initial = binary::get_u64(request.extras, 8);
+      const std::uint32_t expiry = binary::get_u32(request.extras, 16);
+      auto value = server_.get(request.key, now);
+      std::uint64_t next;
+      if (!value.has_value()) {
+        // 0xffffffff expiry means "do not create" per the protocol.
+        if (expiry == 0xffffffffu) {
+          return respond(request, Status::kKeyNotFound);
+        }
+        next = initial;
+      } else {
+        std::uint64_t current = 0;
+        const char* end = value->data() + value->size();
+        const auto [ptr, ec] = std::from_chars(value->data(), end, current);
+        if (ec != std::errc() || ptr != end) {
+          return respond(request, Status::kDeltaBadValue);
+        }
+        if (request.opcode == Opcode::kIncrement) {
+          next = current + delta;
+        } else {
+          next = current > delta ? current - delta : 0;
+        }
+      }
+      server_.set(request.key, std::to_string(next), now);
+      std::string payload;
+      binary::put_u64(payload, next);
+      return respond(request, Status::kOk, {}, {}, std::move(payload),
+                     server_.cas_of(request.key, now));
+    }
+
+    case Opcode::kFlush:
+      server_.flush();
+      return respond(request, Status::kOk);
+
+    case Opcode::kNoop:
+      return respond(request, Status::kOk);
+
+    case Opcode::kVersion:
+      return respond(request, Status::kOk, {}, {}, "proteus-1.0");
+
+    case Opcode::kQuit:
+      closed_ = true;
+      return respond(request, Status::kOk);
+
+    case Opcode::kStat: {
+      // Minimal STAT: one (name, value) response per statistic, terminated
+      // by an empty-key frame, per the protocol.
+      const CacheStats& s = server_.stats();
+      std::string out;
+      const auto stat = [&](std::string_view name, std::uint64_t v) {
+        out += respond(request, Status::kOk, {}, std::string(name),
+                       std::to_string(v));
+      };
+      stat("cmd_get", s.gets);
+      stat("get_hits", s.hits);
+      stat("get_misses", s.misses);
+      stat("cmd_set", s.sets);
+      stat("evictions", s.evictions);
+      stat("curr_items", server_.item_count());
+      stat("bytes", server_.bytes_used());
+      out += respond(request, Status::kOk);  // terminator
+      return out;
+    }
+
+    default:
+      return respond(request, Status::kUnknownCommand);
+  }
+}
+
+}  // namespace proteus::cache

@@ -1,0 +1,291 @@
+#include "cache/cache_server.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace proteus::cache {
+
+namespace {
+
+// Digest auto-sizing assumes the paper's 4 KB fixed object size (§II, §VI-B)
+// to estimate the resident key count kappa from the memory budget, then
+// applies the §IV-B optimizer with the evaluation's h = 4 and the worked
+// example's 1e-4 false positive/negative bounds.
+bloom::BloomParams default_digest_for(std::size_t budget_bytes) {
+  const std::size_t kappa = std::max<std::size_t>(1024, budget_bytes / 4096);
+  return bloom::optimize(kappa, /*h=*/4, /*pp=*/1e-4, /*pn=*/1e-4);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+std::uint64_t read_u64(std::string_view bytes, std::size_t offset) {
+  std::uint64_t v;
+  PROTEUS_CHECK(offset + 8 <= bytes.size());
+  std::memcpy(&v, bytes.data() + offset, 8);
+  return v;
+}
+
+}  // namespace
+
+std::string encode_digest(const bloom::BloomFilter& filter) {
+  std::string out;
+  out.reserve(24 + filter.words().size() * 8);
+  append_u64(out, filter.num_bits());
+  append_u64(out, filter.num_hashes());
+  append_u64(out, filter.seed());
+  for (std::uint64_t w : filter.words()) append_u64(out, w);
+  return out;
+}
+
+bloom::BloomFilter decode_digest(std::string_view bytes) {
+  PROTEUS_CHECK(bytes.size() >= 24 && bytes.size() % 8 == 0);
+  const std::uint64_t num_bits = read_u64(bytes, 0);
+  const auto num_hashes = static_cast<unsigned>(read_u64(bytes, 8));
+  const std::uint64_t seed = read_u64(bytes, 16);
+  std::vector<std::uint64_t> words;
+  words.reserve((bytes.size() - 24) / 8);
+  for (std::size_t off = 24; off < bytes.size(); off += 8) {
+    words.push_back(read_u64(bytes, off));
+  }
+  return bloom::BloomFilter::from_words(std::move(words), num_bits,
+                                        num_hashes, seed);
+}
+
+CacheServer::CacheServer(CacheConfig config)
+    : config_(std::move(config)),
+      slab_sizer_(config_.slab_accounting
+                      ? std::optional<SlabSizer>(SlabSizer(config_.slab))
+                      : std::nullopt),
+      digest_(
+          [&]() -> bloom::CountingBloomFilter {
+            if (config_.auto_size_digest || config_.digest.num_counters == 0) {
+              config_.digest = default_digest_for(config_.memory_budget_bytes);
+            }
+            return bloom::CountingBloomFilter(
+                config_.digest.num_counters, config_.digest.counter_bits,
+                config_.digest.num_hashes, config_.digest_seed);
+          }()) {
+  PROTEUS_CHECK(config_.memory_budget_bytes > 0);
+}
+
+bool CacheServer::expired(const Item& item, SimTime now) const noexcept {
+  return config_.item_ttl > 0 && now - item.last_access > config_.item_ttl;
+}
+
+std::optional<std::string> CacheServer::get(std::string_view key, SimTime now) {
+  PROTEUS_CHECK_MSG(power_state_ != PowerState::kOff,
+                    "get() on a powered-off cache server");
+
+  // Reserved digest protocol keys travel through the normal get path so any
+  // memcached client library can drive them (§V-3).
+  if (key == kSetBloomFilterKey) {
+    pending_snapshot_ = serialize_snapshot();
+    return std::string("OK");
+  }
+  if (key == kGetBloomFilterKey) {
+    if (pending_snapshot_.empty()) pending_snapshot_ = serialize_snapshot();
+    return pending_snapshot_;
+  }
+
+  ++stats_.gets;
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (expired(*it->second, now)) {
+    ++stats_.expirations;
+    ++stats_.misses;
+    unlink(it->second);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  it->second->last_access = now;
+  touch_lru(it->second);
+  return it->second->value;
+}
+
+void CacheServer::set(std::string_view key, std::string value, SimTime now,
+                      std::size_t charge, std::uint32_t flags) {
+  PROTEUS_CHECK_MSG(power_state_ != PowerState::kOff,
+                    "set() on a powered-off cache server");
+  PROTEUS_CHECK_MSG(key != kSetBloomFilterKey && key != kGetBloomFilterKey,
+                    "reserved protocol key");
+  ++stats_.sets;
+
+  // Build the replacement first: `key` may alias the stored key of the item
+  // about to be unlinked (e.g. a view obtained from this cache).
+  Item item;
+  item.key.assign(key);
+  item.charge = key.size() + (charge ? charge : value.size()) +
+                config_.per_item_overhead;
+  if (slab_sizer_.has_value()) {
+    item.charge = slab_sizer_->chunk_size_for(item.charge);
+    if (item.charge == 0) return;  // exceeds the largest slab class
+  }
+  item.value = std::move(value);
+  item.last_access = now;
+  item.flags = flags;
+  item.cas = next_cas_++;
+
+  if (auto it = index_.find(item.key); it != index_.end()) unlink(it->second);
+
+  if (item.charge > config_.memory_budget_bytes) return;  // never fits
+  evict_to_fit(item.charge);
+  link(std::move(item));
+}
+
+bool CacheServer::erase(std::string_view key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  ++stats_.deletes;
+  unlink(it->second);
+  return true;
+}
+
+void CacheServer::flush() {
+  lru_.clear();
+  protected_.clear();
+  protected_bytes_ = 0;
+  index_.clear();
+  bytes_used_ = 0;
+  digest_.clear();
+  pending_snapshot_.clear();
+}
+
+bool CacheServer::contains(std::string_view key, SimTime now) const {
+  auto it = index_.find(key);
+  return it != index_.end() && !expired(*it->second, now);
+}
+
+std::optional<std::uint32_t> CacheServer::flags_of(std::string_view key,
+                                                   SimTime now) const {
+  auto it = index_.find(key);
+  if (it == index_.end() || expired(*it->second, now)) return std::nullopt;
+  return it->second->flags;
+}
+
+std::uint64_t CacheServer::cas_of(std::string_view key, SimTime now) const {
+  auto it = index_.find(key);
+  if (it == index_.end() || expired(*it->second, now)) return 0;
+  return it->second->cas;
+}
+
+CacheServer::CasResult CacheServer::compare_and_swap(
+    std::string_view key, std::string value, SimTime now,
+    std::uint64_t expected_cas, std::size_t charge, std::uint32_t flags) {
+  auto it = index_.find(key);
+  if (it == index_.end() || expired(*it->second, now)) {
+    return CasResult::kNotFound;
+  }
+  if (it->second->cas != expected_cas) return CasResult::kExists;
+  set(key, std::move(value), now, charge, flags);
+  return CasResult::kStored;
+}
+
+void CacheServer::power_off() {
+  flush();
+  power_state_ = PowerState::kOff;
+}
+
+void CacheServer::power_on() {
+  PROTEUS_CHECK(power_state_ == PowerState::kOff);
+  power_state_ = PowerState::kActive;
+}
+
+std::size_t CacheServer::hot_item_count(SimTime now, SimTime ttl) const {
+  std::size_t n = 0;
+  for (const Item& item : lru_) n += (now - item.last_access) <= ttl;
+  for (const Item& item : protected_) n += (now - item.last_access) <= ttl;
+  return n;
+}
+
+std::size_t CacheServer::expire_idle(SimTime now, SimTime idle_limit) {
+  std::size_t evicted = 0;
+  // Each list's tail holds its oldest last_access: sweep both tails until
+  // every remaining item is inside the idle limit.
+  const auto sweep = [&](LruList& list) {
+    while (!list.empty() && now - list.back().last_access > idle_limit) {
+      ++stats_.expirations;
+      unlink(std::prev(list.end()));
+      ++evicted;
+    }
+  };
+  sweep(lru_);
+  sweep(protected_);
+  return evicted;
+}
+
+void CacheServer::link(Item item) {
+  digest_.insert(item.key);  // do_item_link hook
+  bytes_used_ += item.charge;
+  item.protected_seg = false;  // new items enter the probationary segment
+  lru_.push_front(std::move(item));
+  index_.emplace(std::string_view(lru_.front().key), lru_.begin());
+}
+
+void CacheServer::unlink(LruList::iterator it) {
+  digest_.remove(it->key);  // do_item_unlink hook
+  bytes_used_ -= it->charge;
+  index_.erase(std::string_view(it->key));
+  if (it->protected_seg) {
+    protected_bytes_ -= it->charge;
+    protected_.erase(it);
+  } else {
+    lru_.erase(it);
+  }
+}
+
+void CacheServer::touch_lru(LruList::iterator it) {
+  if (!config_.segmented_lru) {
+    lru_.splice(lru_.begin(), lru_, it);  // move to MRU
+    return;
+  }
+  if (it->protected_seg) {
+    protected_.splice(protected_.begin(), protected_, it);
+    return;
+  }
+  // Promote: a probationary hit earns protected residency.
+  it->protected_seg = true;
+  protected_bytes_ += it->charge;
+  protected_.splice(protected_.begin(), lru_, it);
+  shrink_protected();
+}
+
+void CacheServer::shrink_protected() {
+  const auto cap = static_cast<std::size_t>(
+      config_.protected_ratio *
+      static_cast<double>(config_.memory_budget_bytes));
+  while (protected_bytes_ > cap && !protected_.empty()) {
+    // Demote the protected tail back to the probationary MRU position: it
+    // gets one more chance before eviction (memcached's COLD re-entry).
+    auto tail = std::prev(protected_.end());
+    tail->protected_seg = false;
+    protected_bytes_ -= tail->charge;
+    lru_.splice(lru_.begin(), protected_, tail);
+  }
+}
+
+void CacheServer::evict_to_fit(std::size_t incoming_charge) {
+  while (bytes_used_ + incoming_charge > config_.memory_budget_bytes &&
+         (!lru_.empty() || !protected_.empty())) {
+    ++stats_.evictions;
+    if (!lru_.empty()) {
+      unlink(std::prev(lru_.end()));  // probationary tail first
+    } else {
+      unlink(std::prev(protected_.end()));
+    }
+  }
+}
+
+std::string CacheServer::serialize_snapshot() const {
+  return encode_digest(digest_.snapshot());
+}
+
+}  // namespace proteus::cache

@@ -1,0 +1,192 @@
+// Memcached-like in-memory cache server with a built-in counting Bloom
+// filter digest — the modified Memcached of paper §V-3.
+//
+// Differences from stock memcached that matter to Proteus are reproduced:
+//   * every item link/unlink (do_item_link / do_item_unlink in the paper)
+//     also inserts/removes the key in the server's counting Bloom filter, so
+//     the digest is consistent with cache content by construction;
+//   * the reserved keys "SET_BLOOM_FILTER" and "BLOOM_FILTER" snapshot and
+//     retrieve the digest through the ordinary get path, staying wire
+//     compatible with unmodified memcached clients (§V-3);
+//   * a server has a power state so the cluster layer can model
+//     active / draining (transition, §IV) / off.
+//
+// Eviction is LRU under a byte budget, like memcached's slab LRU collapsed
+// to a single class (the paper assumes fixed-size objects, §II). Time is
+// injected (SimTime) so the whole server is deterministic under simulation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/config.h"
+#include "bloom/counting_bloom_filter.h"
+#include "cache/slab_sizer.h"
+#include "common/time.h"
+
+namespace proteus::cache {
+
+// Reserved protocol keys (§V-3).
+inline constexpr std::string_view kSetBloomFilterKey = "SET_BLOOM_FILTER";
+inline constexpr std::string_view kGetBloomFilterKey = "BLOOM_FILTER";
+
+enum class PowerState {
+  kActive,    // serving requests
+  kDraining,  // provisioning transition: still answering gets for TTL secs
+  kOff,       // powered down; all state lost
+};
+
+struct CacheStats {
+  std::uint64_t gets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expirations = 0;
+
+  double hit_ratio() const noexcept {
+    return gets ? static_cast<double>(hits) / static_cast<double>(gets) : 0.0;
+  }
+};
+
+struct CacheConfig {
+  std::size_t memory_budget_bytes = 64 << 20;
+  // Items untouched for longer than this are no longer "hot" (§II); they
+  // lazily expire on access and during transitions. 0 disables expiry.
+  SimTime item_ttl = 0;
+  // Digest configuration; defaults are re-derived from the budget if
+  // `auto_size_digest` is set (see CacheServer ctor).
+  bloom::BloomParams digest;
+  bool auto_size_digest = true;
+  std::uint64_t digest_seed = 0;
+  // Per-item bookkeeping overhead charged against the budget, mirroring
+  // memcached's ~48-56 byte item header.
+  std::size_t per_item_overhead = 56;
+  // Charge items the chunk size of their slab class instead of their exact
+  // size (memcached's real accounting, including internal fragmentation).
+  bool slab_accounting = false;
+  SlabSizer::Options slab;
+  // Segmented LRU (memcached 1.5's LRU rework, simplified to two segments):
+  // new items enter a probationary segment; a hit promotes to a protected
+  // segment capped at `protected_ratio` of the budget; eviction drains the
+  // probationary tail first. Makes the cache scan-resistant — a one-pass
+  // sweep of cold keys cannot flush the hot set.
+  bool segmented_lru = false;
+  double protected_ratio = 0.8;
+};
+
+class CacheServer {
+ public:
+  explicit CacheServer(CacheConfig config);
+
+  // --- data plane ---------------------------------------------------------
+  // Returns the value and refreshes LRU/last-access, or nullopt on miss.
+  // Intercepts the reserved digest keys per the memcached protocol.
+  std::optional<std::string> get(std::string_view key, SimTime now);
+
+  // Stores (key, value); `charge` overrides the accounted value size so a
+  // simulation can model 4 KB pages without materialising 4 KB payloads.
+  // `flags` are opaque client metadata round-tripped by the memcached
+  // protocol (text_protocol.h).
+  void set(std::string_view key, std::string value, SimTime now,
+           std::size_t charge = 0, std::uint32_t flags = 0);
+
+  // Client flags stored with the item, or nullopt if absent/expired.
+  std::optional<std::uint32_t> flags_of(std::string_view key, SimTime now) const;
+
+  // CAS (check-and-set) version of the item: a server-unique, monotonically
+  // increasing value assigned on every store, as in memcached. 0 = absent.
+  std::uint64_t cas_of(std::string_view key, SimTime now) const;
+
+  enum class CasResult { kStored, kExists, kNotFound };
+  // Stores only if the resident item's CAS equals `expected_cas`
+  // (memcached "cas" command semantics): kNotFound if the key is absent,
+  // kExists on version mismatch.
+  CasResult compare_and_swap(std::string_view key, std::string value,
+                             SimTime now, std::uint64_t expected_cas,
+                             std::size_t charge = 0, std::uint32_t flags = 0);
+
+  bool erase(std::string_view key);
+  void flush();
+
+  // Peek without LRU side effects (used by tests and the transfer engine).
+  bool contains(std::string_view key, SimTime now) const;
+
+  // --- digest --------------------------------------------------------------
+  const bloom::CountingBloomFilter& digest() const noexcept { return digest_; }
+  // The §IV-A broadcast operation: CBF -> plain bloom snapshot.
+  bloom::BloomFilter snapshot_digest() const { return digest_.snapshot(); }
+
+  // --- power ---------------------------------------------------------------
+  PowerState power_state() const noexcept { return power_state_; }
+  void begin_draining() noexcept { power_state_ = PowerState::kDraining; }
+  void reactivate() noexcept { power_state_ = PowerState::kActive; }
+  // Powering off drops all items and the digest (cache contents are lost).
+  void power_off();
+  void power_on();
+
+  // --- introspection --------------------------------------------------------
+  const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+  std::size_t item_count() const noexcept { return index_.size(); }
+  std::size_t bytes_used() const noexcept { return bytes_used_; }
+  std::size_t memory_budget() const noexcept { return config_.memory_budget_bytes; }
+  const CacheConfig& config() const noexcept { return config_; }
+
+  // Number of items whose last access is within `ttl` of `now` — the
+  // paper's "hot" set. Linear scan; intended for tests/benches.
+  std::size_t hot_item_count(SimTime now, SimTime ttl) const;
+
+  // Proactively evicts every item idle for longer than `idle_limit`
+  // (scanning from the LRU tail, so it stops at the first live item).
+  // Returns the number evicted. Used when draining: cold data may be
+  // discarded before the TTL deadline to release memory early.
+  std::size_t expire_idle(SimTime now, SimTime idle_limit);
+
+ private:
+  struct Item {
+    std::string key;
+    std::string value;
+    std::size_t charge;       // accounted bytes (key + value-or-override + overhead)
+    SimTime last_access;
+    std::uint32_t flags;      // opaque client metadata (memcached semantics)
+    std::uint64_t cas;        // store version (memcached CAS)
+    bool protected_seg;       // segmented LRU: lives in the protected list
+  };
+  using LruList = std::list<Item>;
+
+  void link(Item item);                 // insert + digest update
+  void unlink(LruList::iterator it);    // remove + digest update
+  void touch_lru(LruList::iterator it); // hit: reorder / promote
+  void evict_to_fit(std::size_t incoming_charge);
+  void shrink_protected();              // enforce the protected-ratio cap
+  bool expired(const Item& item, SimTime now) const noexcept;
+  std::string serialize_snapshot() const;
+
+  CacheConfig config_;
+  std::optional<SlabSizer> slab_sizer_;
+  bloom::CountingBloomFilter digest_;
+  // Single-LRU mode uses only lru_; segmented mode treats lru_ as the
+  // probationary segment and protected_ as the hit-promoted segment.
+  LruList lru_;        // front = most recently used (probationary segment)
+  LruList protected_;  // segmented mode only
+  std::size_t protected_bytes_ = 0;
+  std::unordered_map<std::string_view, LruList::iterator> index_;
+  std::size_t bytes_used_ = 0;
+  std::uint64_t next_cas_ = 1;
+  CacheStats stats_;
+  PowerState power_state_ = PowerState::kActive;
+  std::string pending_snapshot_;  // staged by SET_BLOOM_FILTER
+};
+
+// Wire codec for broadcast digests: header + raw words, little-endian.
+std::string encode_digest(const bloom::BloomFilter& filter);
+bloom::BloomFilter decode_digest(std::string_view bytes);
+
+}  // namespace proteus::cache

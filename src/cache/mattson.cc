@@ -1,0 +1,88 @@
+#include "cache/mattson.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace proteus::cache {
+
+void StackDistanceAnalyzer::bit_add(std::size_t pos, int delta) {
+  for (std::size_t i = pos + 1; i <= tree_.size(); i += i & (~i + 1)) {
+    tree_[i - 1] += static_cast<std::uint64_t>(delta);
+  }
+}
+
+std::uint64_t StackDistanceAnalyzer::bit_sum(std::size_t pos) const {
+  std::uint64_t sum = 0;
+  for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) {
+    sum += tree_[i - 1];
+  }
+  return sum;
+}
+
+void StackDistanceAnalyzer::record(std::string_view key) {
+  const std::size_t t = static_cast<std::size_t>(time_);
+  if (t >= tree_.size()) {
+    // A Fenwick tree cannot simply be extended: new high-order nodes must
+    // aggregate existing positions. Rebuild from the current marks (one
+    // per distinct key) — amortized O(K log K) per doubling.
+    tree_.assign(std::max<std::size_t>(64, tree_.size() * 2), 0);
+    for (const auto& [k, when] : last_seen_) {
+      bit_add(static_cast<std::size_t>(when), +1);
+    }
+  }
+
+  auto it = last_seen_.find(std::string(key));
+  if (it == last_seen_.end()) {
+    ++cold_misses_;
+    last_seen_.emplace(std::string(key), time_);
+  } else {
+    const auto prev = static_cast<std::size_t>(it->second);
+    // Distinct keys referenced strictly after `prev`: suffix sum of marks.
+    const std::uint64_t after = bit_sum(t > 0 ? t - 1 : 0) -
+                                (prev > 0 ? bit_sum(prev - 1) : 0) -
+                                1;  // exclude the key's own mark at prev
+    const std::uint64_t distance = after + 1;  // the key itself occupies a slot
+    if (distance >= distance_histogram_.size()) {
+      distance_histogram_.resize(static_cast<std::size_t>(distance) + 1, 0);
+    }
+    ++distance_histogram_[static_cast<std::size_t>(distance)];
+    bit_add(prev, -1);  // the old mark moves to the new timestamp
+    it->second = time_;
+  }
+  bit_add(t, +1);
+  ++time_;
+}
+
+std::uint64_t StackDistanceAnalyzer::hits_at(std::size_t capacity_items) const {
+  std::uint64_t hits = 0;
+  const std::size_t upto =
+      std::min(capacity_items, distance_histogram_.empty()
+                                   ? std::size_t{0}
+                                   : distance_histogram_.size() - 1);
+  for (std::size_t d = 1; d <= upto; ++d) hits += distance_histogram_[d];
+  return hits;
+}
+
+std::vector<double> StackDistanceAnalyzer::hit_ratio_curve(
+    const std::vector<std::size_t>& capacities) const {
+  std::vector<double> out;
+  out.reserve(capacities.size());
+  for (std::size_t c : capacities) out.push_back(hit_ratio_at(c));
+  return out;
+}
+
+std::size_t StackDistanceAnalyzer::capacity_for_hit_ratio(double target) const {
+  PROTEUS_CHECK(target >= 0.0 && target <= 1.0);
+  if (time_ == 0) return 0;
+  const auto needed =
+      static_cast<std::uint64_t>(target * static_cast<double>(time_));
+  std::uint64_t hits = 0;
+  for (std::size_t d = 1; d < distance_histogram_.size(); ++d) {
+    hits += distance_histogram_[d];
+    if (hits >= needed) return d;
+  }
+  return 0;  // unreachable even with infinite capacity
+}
+
+}  // namespace proteus::cache

@@ -1,0 +1,66 @@
+// Mattson stack-distance analysis: the exact LRU hit-ratio-vs-capacity
+// curve from ONE pass over a request stream.
+//
+// LRU has the inclusion property (Mattson et al., 1970): a reference hits
+// in a cache of capacity C iff its reuse (stack) distance — the number of
+// DISTINCT keys touched since its previous reference — is <= C. Recording
+// the histogram of stack distances therefore yields the hit ratio at every
+// capacity simultaneously, replacing the paper's Fig. 6 sweep of separate
+// cache runs with a single O(M log M) pass (M = trace length), using a
+// Fenwick tree over reference timestamps.
+//
+// Capacities are in ITEMS, matching the paper's fixed-size-object model
+// (§II); multiply by the object size for bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace proteus::cache {
+
+class StackDistanceAnalyzer {
+ public:
+  StackDistanceAnalyzer() = default;
+
+  // Feed the next reference in stream order.
+  void record(std::string_view key);
+
+  std::uint64_t references() const noexcept { return time_; }
+  std::uint64_t distinct_keys() const noexcept { return last_seen_.size(); }
+  std::uint64_t cold_misses() const noexcept { return cold_misses_; }
+
+  // Exact LRU hit count for a cache holding `capacity_items` objects.
+  std::uint64_t hits_at(std::size_t capacity_items) const;
+
+  double hit_ratio_at(std::size_t capacity_items) const {
+    return time_ ? static_cast<double>(hits_at(capacity_items)) /
+                       static_cast<double>(time_)
+                 : 0.0;
+  }
+
+  // The full curve at the given capacities (ascending preferred; any order
+  // accepted).
+  std::vector<double> hit_ratio_curve(
+      const std::vector<std::size_t>& capacities) const;
+
+  // Smallest capacity achieving at least `target` hit ratio, or 0 if even
+  // an infinite cache falls short (compulsory misses dominate).
+  std::size_t capacity_for_hit_ratio(double target) const;
+
+ private:
+  // Fenwick tree over reference timestamps; a 1 marks the MOST RECENT
+  // reference of some key.
+  void bit_add(std::size_t pos, int delta);
+  std::uint64_t bit_sum(std::size_t pos) const;  // prefix sum [0, pos]
+
+  std::vector<std::uint64_t> tree_;
+  std::unordered_map<std::string, std::uint64_t> last_seen_;
+  std::vector<std::uint64_t> distance_histogram_;  // index = stack distance
+  std::uint64_t time_ = 0;
+  std::uint64_t cold_misses_ = 0;
+};
+
+}  // namespace proteus::cache

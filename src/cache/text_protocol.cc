@@ -1,0 +1,302 @@
+#include "cache/text_protocol.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace proteus::cache {
+
+namespace {
+
+// Splits on single spaces, memcached style (no tabs, no repeated spaces).
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t space = line.find(' ', pos);
+    if (space == std::string_view::npos) {
+      tokens.push_back(line.substr(pos));
+      break;
+    }
+    tokens.push_back(line.substr(pos, space - pos));
+    pos = space + 1;
+  }
+  return tokens;
+}
+
+template <typename T>
+bool parse_number(std::string_view token, T& out) {
+  const char* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(token.data(), end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool valid_key(std::string_view key) {
+  // Memcached: keys are <= 250 bytes, no whitespace or control characters.
+  if (key.empty() || key.size() > 250) return false;
+  return std::none_of(key.begin(), key.end(), [](unsigned char c) {
+    return c <= ' ' || c == 127;
+  });
+}
+
+bool consume_noreply(std::vector<std::string_view>& tokens,
+                     std::size_t expected_args) {
+  if (tokens.size() == expected_args + 1 && tokens.back() == "noreply") {
+    tokens.pop_back();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TextCommand parse_command_line(std::string_view line) {
+  TextCommand cmd;
+  auto tokens = tokenize(line);
+  if (tokens.empty()) return cmd;
+  const std::string_view verb = tokens[0];
+
+  if (verb == "get" || verb == "gets") {
+    if (tokens.size() < 2) return cmd;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (!valid_key(tokens[i])) return cmd;
+      cmd.keys.emplace_back(tokens[i]);
+    }
+    cmd.op = TextCommand::Op::kGet;
+    return cmd;
+  }
+
+  if (verb == "set" || verb == "add" || verb == "replace") {
+    cmd.noreply = consume_noreply(tokens, 5);
+    if (tokens.size() != 5 || !valid_key(tokens[1])) return cmd;
+    if (!parse_number(tokens[2], cmd.flags) ||
+        !parse_number(tokens[3], cmd.exptime) ||
+        !parse_number(tokens[4], cmd.bytes)) {
+      return cmd;
+    }
+    cmd.keys.emplace_back(tokens[1]);
+    cmd.op = verb == "set"   ? TextCommand::Op::kSet
+             : verb == "add" ? TextCommand::Op::kAdd
+                             : TextCommand::Op::kReplace;
+    return cmd;
+  }
+
+  if (verb == "delete") {
+    cmd.noreply = consume_noreply(tokens, 2);
+    if (tokens.size() != 2 || !valid_key(tokens[1])) return cmd;
+    cmd.keys.emplace_back(tokens[1]);
+    cmd.op = TextCommand::Op::kDelete;
+    return cmd;
+  }
+
+  if (verb == "incr" || verb == "decr") {
+    cmd.noreply = consume_noreply(tokens, 3);
+    if (tokens.size() != 3 || !valid_key(tokens[1])) return cmd;
+    if (!parse_number(tokens[2], cmd.delta)) return cmd;
+    cmd.keys.emplace_back(tokens[1]);
+    cmd.op = verb == "incr" ? TextCommand::Op::kIncr : TextCommand::Op::kDecr;
+    return cmd;
+  }
+
+  if (verb == "touch") {
+    cmd.noreply = consume_noreply(tokens, 3);
+    if (tokens.size() != 3 || !valid_key(tokens[1])) return cmd;
+    if (!parse_number(tokens[2], cmd.exptime)) return cmd;
+    cmd.keys.emplace_back(tokens[1]);
+    cmd.op = TextCommand::Op::kTouch;
+    return cmd;
+  }
+
+  if (verb == "flush_all") {
+    cmd.noreply = consume_noreply(tokens, 1);
+    if (tokens.size() != 1) return cmd;
+    cmd.op = TextCommand::Op::kFlushAll;
+    return cmd;
+  }
+
+  if (verb == "stats" && tokens.size() == 1) {
+    cmd.op = TextCommand::Op::kStats;
+    return cmd;
+  }
+  if (verb == "version" && tokens.size() == 1) {
+    cmd.op = TextCommand::Op::kVersion;
+    return cmd;
+  }
+  if (verb == "quit" && tokens.size() == 1) {
+    cmd.op = TextCommand::Op::kQuit;
+    return cmd;
+  }
+  return cmd;
+}
+
+std::string TextProtocolSession::feed(std::string_view bytes, SimTime now) {
+  if (closed_) return {};
+  buffer_.append(bytes);
+  std::string out;
+
+  for (;;) {
+    if (resync_) {
+      // A bad data chunk desynchronized the stream; drop bytes until the
+      // next CRLF and resume command parsing there (memcached behaviour).
+      const std::size_t eol = buffer_.find("\r\n");
+      if (eol == std::string::npos) {
+        buffer_.clear();
+        break;
+      }
+      buffer_.erase(0, eol + 2);
+      resync_ = false;
+      continue;
+    }
+
+    if (pending_.has_value()) {
+      // Waiting for <bytes> of payload plus the trailing CRLF.
+      const std::size_t want = pending_->bytes + 2;
+      if (buffer_.size() < want) break;
+      std::string payload = buffer_.substr(0, pending_->bytes);
+      const bool terminated =
+          buffer_[pending_->bytes] == '\r' && buffer_[pending_->bytes + 1] == '\n';
+      TextCommand cmd = *pending_;
+      pending_.reset();
+      if (!terminated) {
+        buffer_.erase(0, cmd.bytes);
+        resync_ = true;
+        if (!cmd.noreply) out += "CLIENT_ERROR bad data chunk\r\n";
+        continue;
+      }
+      buffer_.erase(0, want);
+      const std::string reply = handle_storage(cmd, std::move(payload), now);
+      if (!cmd.noreply) out += reply;
+      continue;
+    }
+
+    const std::size_t eol = buffer_.find("\r\n");
+    if (eol == std::string::npos) break;
+    const std::string line = buffer_.substr(0, eol);
+    buffer_.erase(0, eol + 2);
+    out += handle_line(line, now);
+    if (closed_) break;
+  }
+  return out;
+}
+
+std::string TextProtocolSession::handle_line(std::string_view line,
+                                             SimTime now) {
+  TextCommand cmd = parse_command_line(line);
+  switch (cmd.op) {
+    case TextCommand::Op::kInvalid:
+      return "ERROR\r\n";
+    case TextCommand::Op::kGet:
+      return handle_get(cmd, now);
+    case TextCommand::Op::kSet:
+    case TextCommand::Op::kAdd:
+    case TextCommand::Op::kReplace:
+      pending_ = std::move(cmd);
+      return {};  // reply deferred until the data block arrives
+    case TextCommand::Op::kDelete: {
+      const bool deleted = server_.erase(cmd.keys[0]);
+      if (cmd.noreply) return {};
+      return deleted ? "DELETED\r\n" : "NOT_FOUND\r\n";
+    }
+    case TextCommand::Op::kIncr:
+    case TextCommand::Op::kDecr:
+      return handle_counter(cmd, now);
+    case TextCommand::Op::kTouch: {
+      // CacheServer's TTL is access-based; a touch is a read.
+      const bool found = server_.get(cmd.keys[0], now).has_value();
+      if (cmd.noreply) return {};
+      return found ? "TOUCHED\r\n" : "NOT_FOUND\r\n";
+    }
+    case TextCommand::Op::kFlushAll:
+      server_.flush();
+      return cmd.noreply ? std::string{} : "OK\r\n";
+    case TextCommand::Op::kStats:
+      return handle_stats();
+    case TextCommand::Op::kVersion:
+      return "VERSION proteus-1.0\r\n";
+    case TextCommand::Op::kQuit:
+      closed_ = true;
+      return {};
+  }
+  return "ERROR\r\n";
+}
+
+std::string TextProtocolSession::handle_storage(const TextCommand& cmd,
+                                                std::string payload,
+                                                SimTime now) {
+  const std::string& key = cmd.keys[0];
+  if (key == kSetBloomFilterKey || key == kGetBloomFilterKey) {
+    return "CLIENT_ERROR reserved key\r\n";  // digest keys are read-only
+  }
+  const bool exists = server_.contains(key, now);
+  if (cmd.op == TextCommand::Op::kAdd && exists) return "NOT_STORED\r\n";
+  if (cmd.op == TextCommand::Op::kReplace && !exists) return "NOT_STORED\r\n";
+
+  server_.set(key, std::move(payload), now, /*charge=*/0, cmd.flags);
+  return "STORED\r\n";
+}
+
+std::string TextProtocolSession::handle_get(const TextCommand& cmd,
+                                            SimTime now) {
+  std::string out;
+  for (const std::string& key : cmd.keys) {
+    auto value = server_.get(key, now);
+    if (!value.has_value()) continue;  // missing keys are silently skipped
+    const auto flags = server_.flags_of(key, now);
+    out += "VALUE " + key + ' ' + std::to_string(flags.value_or(0)) + ' ' +
+           std::to_string(value->size()) + "\r\n";
+    out += *value;
+    out += "\r\n";
+  }
+  out += "END\r\n";
+  return out;
+}
+
+std::string TextProtocolSession::handle_counter(const TextCommand& cmd,
+                                                SimTime now) {
+  const std::string& key = cmd.keys[0];
+  auto value = server_.get(key, now);
+  if (!value.has_value()) {
+    return cmd.noreply ? std::string{} : "NOT_FOUND\r\n";
+  }
+  std::uint64_t current = 0;
+  if (!parse_number(*value, current)) {
+    return cmd.noreply
+               ? std::string{}
+               : "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n";
+  }
+  std::uint64_t next;
+  if (cmd.op == TextCommand::Op::kIncr) {
+    next = current + cmd.delta;  // memcached wraps on 64-bit overflow
+  } else {
+    next = current > cmd.delta ? current - cmd.delta : 0;  // clamps at 0
+  }
+  server_.set(key, std::to_string(next), now);
+  return cmd.noreply ? std::string{} : std::to_string(next) + "\r\n";
+}
+
+std::string TextProtocolSession::handle_stats() const {
+  const CacheStats& s = server_.stats();
+  std::string out;
+  const auto stat = [&out](std::string_view name, std::uint64_t v) {
+    out += "STAT ";
+    out += name;
+    out += ' ';
+    out += std::to_string(v);
+    out += "\r\n";
+  };
+  stat("cmd_get", s.gets);
+  stat("get_hits", s.hits);
+  stat("get_misses", s.misses);
+  stat("cmd_set", s.sets);
+  stat("delete_hits", s.deletes);
+  stat("evictions", s.evictions);
+  stat("expired_unfetched", s.expirations);
+  stat("curr_items", server_.item_count());
+  stat("bytes", server_.bytes_used());
+  stat("limit_maxbytes", server_.memory_budget());
+  stat("digest_counters", server_.digest().num_counters());
+  stat("digest_bytes", server_.digest().memory_bytes());
+  out += "END\r\n";
+  return out;
+}
+
+}  // namespace proteus::cache

@@ -1,0 +1,92 @@
+// Memcached text protocol front end for CacheServer.
+//
+// The paper modified stock memcached and kept wire compatibility: "It
+// exactly follows Memcached protocol, and should be compatible with all
+// Memcached client packages" (§V-3), validated against spymemcached and
+// python-memcached. This module implements the subset of the memcached
+// text protocol those clients use against this repo's CacheServer, so the
+// digest operations (SET_BLOOM_FILTER / BLOOM_FILTER) are reachable through
+// an unmodified client exactly as in the paper:
+//
+//   get <key>[ <key>...]\r\n
+//   set|add|replace <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//   delete <key> [noreply]\r\n
+//   incr|decr <key> <value> [noreply]\r\n
+//   touch <key> <exptime> [noreply]\r\n
+//   flush_all [noreply]\r\n
+//   stats\r\n            version\r\n            quit\r\n
+//
+// The session is push-parsed: feed() accepts arbitrary byte chunks (TCP
+// segmentation agnostic) and emits complete protocol responses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/cache_server.h"
+#include "common/time.h"
+
+namespace proteus::cache {
+
+// A parsed request line (exposed for tests and for servers that want to
+// route commands themselves).
+struct TextCommand {
+  enum class Op {
+    kGet,
+    kSet,
+    kAdd,
+    kReplace,
+    kDelete,
+    kIncr,
+    kDecr,
+    kTouch,
+    kFlushAll,
+    kStats,
+    kVersion,
+    kQuit,
+    kInvalid,
+  };
+  Op op = Op::kInvalid;
+  std::vector<std::string> keys;  // get: all keys; others: keys[0]
+  std::uint32_t flags = 0;
+  std::int64_t exptime = 0;
+  std::size_t bytes = 0;        // storage commands: payload length
+  std::uint64_t delta = 0;      // incr/decr
+  bool noreply = false;
+};
+
+// Parses one command line (no trailing CRLF). Returns Op::kInvalid with no
+// side effects on malformed input.
+TextCommand parse_command_line(std::string_view line);
+
+// One client connection worth of protocol state bound to a CacheServer.
+class TextProtocolSession {
+ public:
+  explicit TextProtocolSession(CacheServer& server) : server_(server) {}
+
+  // Feeds raw bytes; appends any complete responses to the return value.
+  // A "quit" command sets closed() and further input is ignored.
+  std::string feed(std::string_view bytes, SimTime now);
+
+  bool closed() const noexcept { return closed_; }
+
+ private:
+  std::string handle_line(std::string_view line, SimTime now);
+  std::string handle_storage(const TextCommand& cmd, std::string payload,
+                             SimTime now);
+  std::string handle_get(const TextCommand& cmd, SimTime now);
+  std::string handle_counter(const TextCommand& cmd, SimTime now);
+  std::string handle_stats() const;
+
+  CacheServer& server_;
+  std::string buffer_;
+  bool closed_ = false;
+  bool resync_ = false;  // discarding to the next CRLF after a bad chunk
+  // Pending storage command waiting for its data block.
+  std::optional<TextCommand> pending_;
+};
+
+}  // namespace proteus::cache

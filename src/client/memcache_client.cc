@@ -1,0 +1,245 @@
+#include "client/memcache_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "cache/cache_server.h"
+#include "common/check.h"
+
+namespace proteus::client {
+
+MemcacheConnection::MemcacheConnection(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close_now();
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+MemcacheConnection::MemcacheConnection(MemcacheConnection&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+MemcacheConnection::~MemcacheConnection() { close_now(); }
+
+void MemcacheConnection::close_now() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool MemcacheConnection::send_all(std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close_now();
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> MemcacheConnection::read_line() {
+  for (;;) {
+    const std::size_t eol = buffer_.find("\r\n");
+    if (eol != std::string::npos) {
+      std::string line = buffer_.substr(0, eol);
+      buffer_.erase(0, eol + 2);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      close_now();
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool MemcacheConnection::read_exact(std::size_t n, std::string& out) {
+  while (buffer_.size() < n) {
+    char chunk[4096];
+    const ssize_t r = ::read(fd_, chunk, sizeof(chunk));
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      close_now();
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(r));
+  }
+  out = buffer_.substr(0, n);
+  buffer_.erase(0, n);
+  return true;
+}
+
+std::optional<std::string> MemcacheConnection::get(std::string_view key) {
+  if (!ok()) return std::nullopt;
+  std::string cmd = "get ";
+  cmd.append(key);
+  cmd += "\r\n";
+  if (!send_all(cmd)) return std::nullopt;
+
+  auto header = read_line();
+  if (!header.has_value()) return std::nullopt;
+  if (*header == "END") return std::nullopt;  // miss
+  // "VALUE <key> <flags> <bytes>"
+  const std::size_t last_space = header->rfind(' ');
+  if (header->rfind("VALUE ", 0) != 0 || last_space == std::string::npos) {
+    return std::nullopt;
+  }
+  const std::size_t bytes =
+      static_cast<std::size_t>(std::strtoull(
+          header->c_str() + last_space + 1, nullptr, 10));
+  std::string value;
+  if (!read_exact(bytes + 2, value)) return std::nullopt;  // payload + CRLF
+  value.resize(bytes);
+  const auto end = read_line();  // "END"
+  if (!end.has_value() || *end != "END") return std::nullopt;
+  return value;
+}
+
+bool MemcacheConnection::set(std::string_view key, std::string_view value,
+                             std::uint32_t flags) {
+  if (!ok()) return false;
+  std::string cmd = "set ";
+  cmd.append(key);
+  cmd += ' ';
+  cmd += std::to_string(flags);
+  cmd += " 0 ";
+  cmd += std::to_string(value.size());
+  cmd += "\r\n";
+  cmd.append(value);
+  cmd += "\r\n";
+  if (!send_all(cmd)) return false;
+  const auto reply = read_line();
+  return reply.has_value() && *reply == "STORED";
+}
+
+bool MemcacheConnection::erase(std::string_view key) {
+  if (!ok()) return false;
+  std::string cmd = "delete ";
+  cmd.append(key);
+  cmd += "\r\n";
+  if (!send_all(cmd)) return false;
+  const auto reply = read_line();
+  return reply.has_value() && *reply == "DELETED";
+}
+
+std::string MemcacheConnection::version() {
+  if (!ok() || !send_all("version\r\n")) return {};
+  const auto reply = read_line();
+  return reply.value_or(std::string{});
+}
+
+std::optional<bloom::BloomFilter> MemcacheConnection::fetch_digest() {
+  // Stage a fresh snapshot, then pull the blob; both via plain gets (§V-3).
+  if (!get(cache::kSetBloomFilterKey).has_value()) return std::nullopt;
+  auto blob = get(cache::kGetBloomFilterKey);
+  if (!blob.has_value() || blob->size() < 24) return std::nullopt;
+  return cache::decode_digest(*blob);
+}
+
+// --- ProteusClient -----------------------------------------------------------
+
+ProteusClient::ProteusClient(Options options, Backend backend)
+    : options_(std::move(options)),
+      backend_(std::move(backend)),
+      placement_(std::make_shared<ring::ProteusPlacement>(
+          static_cast<int>(options_.endpoints.size()))),
+      router_(placement_, options_.initial_active > 0
+                              ? options_.initial_active
+                              : static_cast<int>(options_.endpoints.size())) {
+  PROTEUS_CHECK(backend_ != nullptr);
+  PROTEUS_CHECK(!options_.endpoints.empty());
+  connections_.reserve(options_.endpoints.size());
+  for (std::uint16_t port : options_.endpoints) {
+    connections_.push_back(std::make_unique<MemcacheConnection>(port));
+  }
+}
+
+void ProteusClient::tick(SimTime now) {
+  if (router_.in_transition() && now >= router_.transition_end()) {
+    // Real deployments would power the drained daemons off here; that is
+    // an operator action outside this client's authority.
+    router_.finalize_transition();
+  }
+}
+
+std::string ProteusClient::get(std::string_view key, SimTime now) {
+  tick(now);
+  ++stats_.gets;
+  const cluster::Router::Decision d = router_.decide(key);
+
+  if (auto value = conn(d.primary).get(key)) {
+    ++stats_.new_server_hits;
+    return *value;
+  }
+  if (d.fallback >= 0) {
+    if (auto value = conn(d.fallback).get(key)) {
+      ++stats_.old_server_hits;
+      conn(d.primary).set(key, *value);  // Algorithm 2 line 12
+      return *value;
+    }
+  }
+  ++stats_.backend_fetches;
+  std::string value = backend_(key);
+  conn(d.primary).set(key, value);
+  return value;
+}
+
+void ProteusClient::put(std::string_view key, std::string_view value,
+                        SimTime now) {
+  tick(now);
+  const cluster::Router::Decision d = router_.decide(key);
+  conn(d.primary).set(key, value);
+  // Invalidate the transition's old location so the fallback path cannot
+  // resurrect the stale value. (Unlike the in-process facade, a network
+  // round trip per server makes global invalidation unreasonable here;
+  // bound staleness instead with the daemon's --ttl-s item expiry.)
+  if (router_.in_transition()) {
+    const int old_server = placement_->server_for(hash_bytes(key),
+                                                  router_.old_active());
+    if (old_server != d.primary) conn(old_server).erase(key);
+  }
+}
+
+bool ProteusClient::resize(int n_active, SimTime now) {
+  tick(now);
+  PROTEUS_CHECK(n_active >= 1 &&
+                n_active <= static_cast<int>(options_.endpoints.size()));
+  const int n_old = router_.active();
+  if (n_active == n_old) return true;
+  if (router_.in_transition()) router_.finalize_transition();
+
+  std::vector<std::optional<bloom::BloomFilter>> digests(
+      options_.endpoints.size());
+  bool all_ok = true;
+  for (int i = 0; i < n_old; ++i) {
+    digests[static_cast<std::size_t>(i)] = conn(i).fetch_digest();
+    all_ok &= digests[static_cast<std::size_t>(i)].has_value();
+  }
+  router_.begin_transition(n_active, now + options_.ttl, std::move(digests));
+  return all_ok;
+}
+
+}  // namespace proteus::client

@@ -1,0 +1,115 @@
+// Client side of the wire: a blocking memcached text-protocol connection
+// plus ProteusClient — the paper's web-server role speaking to REAL cache
+// daemons over TCP.
+//
+// The simulation path (src/cluster) models the web tier; this module IS
+// the web tier for live deployments: it routes through the Algorithm 1
+// placement, fetches digests from the daemons via the reserved keys
+// (§V-3), and executes Algorithm 2 against remote servers during
+// provisioning transitions. Together with tools/proteus-cached this makes
+// the repo runnable end-to-end on real sockets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "cluster/router.h"
+#include "common/time.h"
+#include "hashring/proteus_placement.h"
+
+namespace proteus::client {
+
+// One blocking TCP connection speaking the memcached text protocol.
+class MemcacheConnection {
+ public:
+  // Connects to 127.0.0.1:port (the daemon binds loopback).
+  explicit MemcacheConnection(std::uint16_t port);
+  ~MemcacheConnection();
+
+  MemcacheConnection(const MemcacheConnection&) = delete;
+  MemcacheConnection& operator=(const MemcacheConnection&) = delete;
+  MemcacheConnection(MemcacheConnection&& other) noexcept;
+  MemcacheConnection& operator=(MemcacheConnection&&) = delete;
+
+  bool ok() const noexcept { return fd_ >= 0; }
+
+  std::optional<std::string> get(std::string_view key);
+  bool set(std::string_view key, std::string_view value,
+           std::uint32_t flags = 0);
+  bool erase(std::string_view key);
+  std::string version();
+
+  // The §IV digest handshake: get SET_BLOOM_FILTER then get BLOOM_FILTER,
+  // decoded into the broadcastable filter.
+  std::optional<bloom::BloomFilter> fetch_digest();
+
+ private:
+  bool send_all(std::string_view bytes);
+  // Reads until buffer_ contains a full line; returns it without CRLF.
+  std::optional<std::string> read_line();
+  bool read_exact(std::size_t n, std::string& out);
+  void close_now();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// The web-server role: Algorithm 2 routing across a fleet of real daemons.
+class ProteusClient {
+ public:
+  // The authoritative miss path (your database).
+  using Backend = std::function<std::string(std::string_view)>;
+
+  struct Options {
+    // Daemon ports in the FIXED PROVISIONING ORDER (§III-A). Index 0 turns
+    // on first / off last.
+    std::vector<std::uint16_t> endpoints;
+    int initial_active = 0;  // 0 -> all endpoints
+    // Transition drain window. The client finalizes lazily on the next
+    // operation past the deadline (like Proteus::tick).
+    SimTime ttl = 60 * kSecond;
+  };
+
+  ProteusClient(Options options, Backend backend);
+
+  // Algorithm 2 over the wire. `now` is any monotonic microsecond clock.
+  std::string get(std::string_view key, SimTime now);
+  void put(std::string_view key, std::string_view value, SimTime now);
+
+  // Smooth provisioning transition: fetches the digests of every server
+  // active under the old mapping THROUGH the protocol, then switches the
+  // mapping. Returns false if any digest fetch failed.
+  bool resize(int n_active, SimTime now);
+  void tick(SimTime now);
+
+  int active_servers() const noexcept { return router_.active(); }
+  bool in_transition() const noexcept { return router_.in_transition(); }
+
+  struct Stats {
+    std::uint64_t gets = 0;
+    std::uint64_t new_server_hits = 0;
+    std::uint64_t old_server_hits = 0;
+    std::uint64_t backend_fetches = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  MemcacheConnection& conn(int server) {
+    return *connections_[static_cast<std::size_t>(server)];
+  }
+
+  Options options_;
+  Backend backend_;
+  std::shared_ptr<const ring::ProteusPlacement> placement_;
+  cluster::Router router_;
+  std::vector<std::unique_ptr<MemcacheConnection>> connections_;
+  Stats stats_;
+};
+
+}  // namespace proteus::client

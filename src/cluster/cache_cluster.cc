@@ -1,0 +1,97 @@
+#include "cluster/cache_cluster.h"
+
+namespace proteus::cluster {
+
+void CacheCluster::resize(int n_new) {
+  PROTEUS_CHECK(n_new >= 1 && n_new <= tier_.num_servers());
+  const int n_old = routers_.front()->active();
+  if (n_new == n_old) return;
+
+  finalize_pending();
+
+  if (!config_.smooth_transitions) {
+    // Brutal actuation: power states and mapping flip at once.
+    for (int i = n_old; i < n_new; ++i) {
+      if (!failed_[static_cast<std::size_t>(i)]) tier_.server(i).power_on();
+    }
+    for (int i = n_new; i < n_old; ++i) {
+      if (!failed_[static_cast<std::size_t>(i)]) tier_.server(i).power_off();
+    }
+    for (auto& router : routers_) router->set_active(n_new);
+    return;
+  }
+
+  // Smooth actuation (§IV). Snapshot every old-mapping server's digest;
+  // the routers (shared by all web servers) are the broadcast destination.
+  std::vector<std::optional<bloom::BloomFilter>> digests(
+      static_cast<std::size_t>(tier_.num_servers()));
+  for (int i = 0; i < n_old; ++i) {
+    if (failed_[static_cast<std::size_t>(i)]) continue;  // nothing to digest
+    digests[static_cast<std::size_t>(i)] = tier_.server(i).snapshot_digest();
+    digest_broadcast_bytes_ +=
+        digests[static_cast<std::size_t>(i)]->memory_bytes();
+  }
+  ++transitions_started_;
+
+  for (int i = n_old; i < n_new; ++i) {
+    if (!failed_[static_cast<std::size_t>(i)]) tier_.server(i).power_on();
+  }
+  for (int i = n_new; i < n_old; ++i) {
+    if (failed_[static_cast<std::size_t>(i)]) continue;
+    tier_.server(i).begin_draining();
+    draining_.push_back(i);
+  }
+
+  const SimTime end = sim_.now() + config_.ttl;
+  for (auto& router : routers_) {
+    router->begin_transition(n_new, end, digests);
+  }
+
+  const std::uint64_t epoch = ++transition_epoch_;
+  sim_.schedule_at(end, [this, epoch] {
+    if (epoch == transition_epoch_) finalize_pending();
+  });
+}
+
+void CacheCluster::mark_failed(int server) {
+  PROTEUS_CHECK(server >= 0 && server < tier_.num_servers());
+  if (failed_[static_cast<std::size_t>(server)]) return;
+  failed_[static_cast<std::size_t>(server)] = true;
+  if (tier_.server(server).power_state() != cache::PowerState::kOff) {
+    tier_.server(server).power_off();  // the crash loses the cache (§III-A)
+  }
+}
+
+void CacheCluster::mark_recovered(int server) {
+  PROTEUS_CHECK(server >= 0 && server < tier_.num_servers());
+  if (!failed_[static_cast<std::size_t>(server)]) return;
+  failed_[static_cast<std::size_t>(server)] = false;
+  // Rejoin cold if inside the active set.
+  if (server < routers_.front()->active()) {
+    tier_.server(server).power_on();
+  }
+}
+
+void CacheCluster::finalize_pending() {
+  for (int i : draining_) {
+    // After TTL seconds every datum touched during the window has already
+    // been copied to its new server (Algorithm 2 property 2); whatever
+    // remains is cold and may be discarded.
+    if (!failed_[static_cast<std::size_t>(i)]) tier_.server(i).power_off();
+  }
+  draining_.clear();
+  for (auto& router : routers_) {
+    if (router->in_transition()) router->finalize_transition();
+  }
+  ++transition_epoch_;  // cancel any outstanding finalize timer
+}
+
+int CacheCluster::powered_servers() const {
+  int n = 0;
+  for (int i = 0; i < tier_.num_servers(); ++i) {
+    n += tier_.server(i).power_state() != cache::PowerState::kOff;
+  }
+  return n;
+}
+
+}  // namespace proteus::cluster

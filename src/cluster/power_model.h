@@ -1,0 +1,74 @@
+// Analytic server power model and energy metering — substitutes the Avocent
+// PM3000 PDU of §V-A (see DESIGN.md).
+//
+// Each server draws off_watts when powered down (PSU/BMC standby), and a
+// linear interpolation between idle and peak watts when on — the standard
+// first-order model for commodity servers, calibrated to a Dell R210-class
+// 1U box. Energy is integrated from 15-second samples like the paper's PDU.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace proteus::cluster {
+
+struct ServerPowerProfile {
+  double off_watts = 5.0;
+  double idle_watts = 55.0;
+  double peak_watts = 110.0;
+
+  double watts(bool powered_on, double utilization) const noexcept {
+    if (!powered_on) return off_watts;
+    if (utilization < 0) utilization = 0;
+    if (utilization > 1) utilization = 1;
+    return idle_watts + (peak_watts - idle_watts) * utilization;
+  }
+};
+
+// Accumulates energy (joules) from periodic power samples and retains the
+// sample series for the Fig. 10 time plots.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(SimTime sample_interval = 15 * kSecond)
+      : interval_(sample_interval) {
+    PROTEUS_CHECK(interval_ > 0);
+  }
+
+  void record_sample(SimTime at, double watts) {
+    samples_.push_back(Sample{at, watts});
+    energy_joules_ += watts * to_seconds(interval_);
+  }
+
+  double total_energy_joules() const noexcept { return energy_joules_; }
+  double total_energy_kwh() const noexcept { return energy_joules_ / 3.6e6; }
+  SimTime sample_interval() const noexcept { return interval_; }
+
+  struct Sample {
+    SimTime at;
+    double watts;
+  };
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+
+  // Mean watts over samples whose timestamp lies in [from, to).
+  double mean_watts(SimTime from, SimTime to) const noexcept {
+    double sum = 0;
+    std::uint64_t n = 0;
+    for (const Sample& s : samples_) {
+      if (s.at >= from && s.at < to) {
+        sum += s.watts;
+        ++n;
+      }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  SimTime interval_;
+  std::vector<Sample> samples_;
+  double energy_joules_ = 0;
+};
+
+}  // namespace proteus::cluster

@@ -1,0 +1,22 @@
+#include "cluster/provisioning.h"
+
+namespace proteus::cluster {
+
+std::vector<int> rate_proportional_schedule(
+    const workload::DiurnalModel& model, SimTime duration, SimTime slot_length,
+    const RateProportionalPolicy& policy) {
+  PROTEUS_CHECK(duration > 0);
+  PROTEUS_CHECK(slot_length > 0);
+  std::vector<int> schedule;
+  const auto slots = static_cast<std::size_t>(
+      (duration + slot_length - 1) / slot_length);
+  schedule.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    const SimTime midpoint =
+        static_cast<SimTime>(s) * slot_length + slot_length / 2;
+    schedule.push_back(policy.decide(model.rate_at(midpoint)));
+  }
+  return schedule;
+}
+
+}  // namespace proteus::cluster

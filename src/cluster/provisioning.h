@@ -1,0 +1,139 @@
+// Server-provisioning policies.
+//
+// The paper is explicit that the provisioning *policy* is not its
+// contribution (§II, §VI): it runs one delay-feedback loop (reference 0.4 s,
+// bound 0.5 s, 30-minute updates) to obtain a schedule n(t), then applies
+// the SAME schedule to all four scenarios so that only the load-balancing
+// and transition behaviour differ. Two policies are provided:
+//
+//   * RateProportionalPolicy — n(t) = ceil(rate / per-server capacity),
+//     used to derive the shared schedule from the workload model (the Fig. 4
+//     circles curve).
+//   * DelayFeedbackPolicy — the paper's feedback loop: grow when the p99.9
+//     delay crosses the bound, shrink when it sits safely under the
+//     reference. Used by the facade and available for closed-loop runs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+#include "workload/diurnal_model.h"
+
+namespace proteus::cluster {
+
+struct RateProportionalPolicy {
+  double per_server_capacity_rps = 100.0;
+  int min_servers = 1;
+  int max_servers = 10;
+
+  int decide(double offered_rate_rps) const {
+    PROTEUS_CHECK(per_server_capacity_rps > 0);
+    const int n = static_cast<int>(
+        std::ceil(offered_rate_rps / per_server_capacity_rps));
+    return std::clamp(n, min_servers, max_servers);
+  }
+};
+
+// Precomputes the shared schedule: one decision per slot, evaluated at the
+// slot midpoint of the diurnal model (matches how the paper derives one
+// schedule and reuses it everywhere).
+std::vector<int> rate_proportional_schedule(
+    const workload::DiurnalModel& model, SimTime duration, SimTime slot_length,
+    const RateProportionalPolicy& policy);
+
+// Proportional-integral variant of the delay-feedback loop, in velocity
+// form:  Δu_k = kp·(e_k − e_{k−1}) + ki·e_k,  u clamped to the fleet
+// bounds. The simple policy above moves at most one server per slot and
+// lags a fast load ramp by many slots; the PI form scales its step with
+// the normalized delay error and, because the integral action lives in the
+// increment, saturating at the bounds cannot wind it up.
+class PiDelayFeedbackPolicy {
+ public:
+  struct Config {
+    SimTime reference = from_seconds(0.4);  // delay setpoint
+    double kp = 1.5;  // servers per unit change of normalized error
+    double ki = 1.2;  // servers per slot per unit of normalized error
+    // Normalized error is clamped to this band so one catastrophic slot
+    // (database meltdown, p99.9 = 100x reference) cannot slam the fleet.
+    double error_clip = 1.0;
+    int min_servers = 1;
+    int max_servers = 10;
+  };
+
+  PiDelayFeedbackPolicy(Config config, int initial)
+      : config_(config), level_(static_cast<double>(initial)), current_(initial) {
+    PROTEUS_CHECK(config_.reference > 0);
+    PROTEUS_CHECK(config_.min_servers >= 1);
+    PROTEUS_CHECK(config_.max_servers >= config_.min_servers);
+    PROTEUS_CHECK(initial >= config_.min_servers &&
+                  initial <= config_.max_servers);
+  }
+
+  // One decision per provisioning slot from the slot's observed p99.9.
+  int update(SimTime observed_p999) {
+    // Normalized error: +1 means the delay sits at 2x the setpoint.
+    const double raw =
+        (static_cast<double>(observed_p999) -
+         static_cast<double>(config_.reference)) /
+        static_cast<double>(config_.reference);
+    const double error = std::clamp(raw, -config_.error_clip, config_.error_clip);
+    const double delta =
+        config_.kp * (error - prev_error_) + config_.ki * error;
+    prev_error_ = error;
+    level_ = std::clamp(level_ + delta,
+                        static_cast<double>(config_.min_servers),
+                        static_cast<double>(config_.max_servers));
+    current_ = std::clamp(static_cast<int>(std::lround(level_)),
+                          config_.min_servers, config_.max_servers);
+    return current_;
+  }
+
+  int current() const noexcept { return current_; }
+  double level() const noexcept { return level_; }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  double level_;
+  double prev_error_ = 0;
+  int current_;
+};
+
+class DelayFeedbackPolicy {
+ public:
+  struct Config {
+    SimTime reference = from_seconds(0.4);  // setpoint, tolerates overshoot
+    SimTime bound = from_seconds(0.5);      // hard delay bound
+    int min_servers = 1;
+    int max_servers = 10;
+  };
+
+  explicit DelayFeedbackPolicy(Config config, int initial)
+      : config_(config), current_(initial) {
+    PROTEUS_CHECK(initial >= config.min_servers && initial <= config.max_servers);
+  }
+
+  // Called once per provisioning slot with the slot's p99.9 delay.
+  int update(SimTime observed_p999) {
+    if (observed_p999 > config_.bound) {
+      current_ = std::min(current_ + 1, config_.max_servers);
+    } else if (observed_p999 < config_.reference / 2) {
+      // Comfortably below the setpoint: release one server and let the next
+      // slot's observation veto the shrink if it was premature.
+      current_ = std::max(current_ - 1, config_.min_servers);
+    }
+    return current_;
+  }
+
+  int current() const noexcept { return current_; }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  int current_;
+};
+
+}  // namespace proteus::cluster

@@ -1,0 +1,134 @@
+#include "cluster/report.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace proteus::cluster {
+
+namespace {
+
+// Minimal JSON string escaping (names here are ASCII identifiers, but be
+// safe about quotes/backslashes/control bytes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double post_warmup_peak_p999(const ScenarioResult& r,
+                             std::size_t warmup_slots = 4) {
+  double peak = 0;
+  for (std::size_t s = warmup_slots; s < r.slots.size(); ++s) {
+    peak = std::max(peak, r.slots[s].p999_ms);
+  }
+  return peak;
+}
+
+}  // namespace
+
+void write_slots_csv(std::ostream& out, const ScenarioResult& result) {
+  out << "slot,start_s,n_active,requests,mean_ms,p99_ms,p999_ms,max_ms,"
+         "hit_ratio,db_qps,min_max_load,cluster_watts,cache_watts\n";
+  for (std::size_t s = 0; s < result.slots.size(); ++s) {
+    const SlotMetrics& m = result.slots[s];
+    out << s << ',' << to_seconds(m.start) << ',' << m.n_active << ','
+        << m.requests << ',' << m.mean_ms << ',' << m.p99_ms << ','
+        << m.p999_ms << ',' << m.max_ms << ',' << m.hit_ratio << ','
+        << m.db_qps << ',' << m.min_max_load_ratio << ',' << m.cluster_watts
+        << ',' << m.cache_watts << '\n';
+  }
+}
+
+void write_result_json(std::ostream& out, const ScenarioResult& result) {
+  out << "{\n";
+  out << "  \"scenario\": \"" << json_escape(result.name) << "\",\n";
+  out << "  \"total_requests\": " << result.total_requests << ",\n";
+  out << "  \"overall_hit_ratio\": " << result.overall_hit_ratio << ",\n";
+  out << "  \"overall_p999_ms\": " << result.overall_p999_ms << ",\n";
+  out << "  \"db_queries\": " << result.db_queries << ",\n";
+  out << "  \"old_server_hits\": " << result.old_server_hits << ",\n";
+  out << "  \"digest_false_positives\": " << result.digest_false_positives
+      << ",\n";
+  out << "  \"energy_kwh\": {\"total\": " << result.total_energy_kwh
+      << ", \"web\": " << result.web_energy_kwh
+      << ", \"cache\": " << result.cache_energy_kwh
+      << ", \"db\": " << result.db_energy_kwh << "},\n";
+  out << "  \"applied_schedule\": [";
+  for (std::size_t i = 0; i < result.applied_schedule.size(); ++i) {
+    out << (i ? ", " : "") << result.applied_schedule[i];
+  }
+  out << "],\n";
+  out << "  \"slots\": [\n";
+  for (std::size_t s = 0; s < result.slots.size(); ++s) {
+    const SlotMetrics& m = result.slots[s];
+    out << "    {\"slot\": " << s << ", \"n\": " << m.n_active
+        << ", \"requests\": " << m.requests << ", \"p99_ms\": " << m.p99_ms
+        << ", \"p999_ms\": " << m.p999_ms
+        << ", \"hit_ratio\": " << m.hit_ratio
+        << ", \"cluster_watts\": " << m.cluster_watts
+        << ", \"cache_watts\": " << m.cache_watts << "}"
+        << (s + 1 < result.slots.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+void write_comparison_markdown(std::ostream& out,
+                               const std::vector<ScenarioResult>& results) {
+  out << "| scenario | energy kWh | saving | cache kWh | cache saving | "
+         "p99.9 ms | worst slot p99.9 ms | hit ratio |\n";
+  out << "|---|---|---|---|---|---|---|---|\n";
+  const double base_total =
+      results.empty() ? 1.0 : results.front().total_energy_kwh;
+  const double base_cache =
+      results.empty() ? 1.0 : results.front().cache_energy_kwh;
+  for (const ScenarioResult& r : results) {
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "| %s | %.4f | %.1f%% | %.4f | %.1f%% | %.2f | %.2f | %.3f |\n",
+                  r.name.c_str(), r.total_energy_kwh,
+                  100.0 * (1.0 - r.total_energy_kwh / base_total),
+                  r.cache_energy_kwh,
+                  100.0 * (1.0 - r.cache_energy_kwh / base_cache),
+                  r.overall_p999_ms, post_warmup_peak_p999(r),
+                  r.overall_hit_ratio);
+    out << line;
+  }
+}
+
+std::string slots_csv(const ScenarioResult& result) {
+  std::ostringstream out;
+  write_slots_csv(out, result);
+  return out.str();
+}
+
+std::string result_json(const ScenarioResult& result) {
+  std::ostringstream out;
+  write_result_json(out, result);
+  return out.str();
+}
+
+std::string comparison_markdown(const std::vector<ScenarioResult>& results) {
+  std::ostringstream out;
+  write_comparison_markdown(out, results);
+  return out.str();
+}
+
+}  // namespace proteus::cluster

@@ -1,0 +1,33 @@
+// Result reporting: serialize ScenarioResult into CSV (for plotting), JSON
+// (for dashboards/CI diffing) and a human-readable comparison table (the
+// Fig. 11-style summary). Used by the CLI tools and available to library
+// users who embed the experiment driver.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cluster/scenario.h"
+
+namespace proteus::cluster {
+
+// One row per metric slot, stable column order (documented in the header
+// row the function writes first).
+void write_slots_csv(std::ostream& out, const ScenarioResult& result);
+
+// The whole result as a single JSON object (slots as an array). No external
+// dependency: emitted with a minimal escaping writer.
+void write_result_json(std::ostream& out, const ScenarioResult& result);
+
+// Side-by-side scenario comparison like the paper's Fig. 11 discussion:
+// energy, savings vs the first entry, tail latency, hit ratio. Markdown.
+void write_comparison_markdown(std::ostream& out,
+                               const std::vector<ScenarioResult>& results);
+
+// Convenience: render to strings.
+std::string slots_csv(const ScenarioResult& result);
+std::string result_json(const ScenarioResult& result);
+std::string comparison_markdown(const std::vector<ScenarioResult>& results);
+
+}  // namespace proteus::cluster

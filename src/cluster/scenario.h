@@ -1,0 +1,149 @@
+// End-to-end experiment driver: wires RBE -> web tier -> cache tier /
+// database into one simulation and runs a full evaluation scenario.
+//
+// The four scenarios are exactly Table II:
+//   Static     — all servers on, hash+modulo
+//   Naive      — dynamic provisioning, hash+modulo, brutal switch
+//   Consistent — dynamic provisioning, random-virtual-node ring, brutal
+//   Proteus    — dynamic provisioning, Algorithm 1 placement, Algorithm 2
+//                smooth transition
+//
+// All four run against the SAME provisioning schedule, workload seed and
+// tier parameters (§VI: "the only differences ... are the load balancing
+// algorithm and their behavior in face of provisioning transition").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cache_tier.h"
+#include "cluster/power_model.h"
+#include "cluster/provisioning.h"
+#include "cluster/web_tier.h"
+#include "common/histogram.h"
+#include "common/time.h"
+#include "db/database.h"
+#include "workload/diurnal_model.h"
+#include "workload/rbe.h"
+
+namespace proteus::cluster {
+
+enum class ScenarioKind { kStatic, kNaive, kConsistent, kProteus };
+
+std::string_view scenario_name(ScenarioKind kind);
+
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kProteus;
+
+  // Shared provisioning schedule, one entry per slot_length. For kStatic
+  // the schedule is ignored and all servers stay on.
+  std::vector<int> schedule;
+  SimTime slot_length = 30 * kMinute;
+
+  // Closed-loop mode: ignore the schedule entries after the first and let
+  // the paper's delay-feedback controller (§VI: reference 0.4 s, bound
+  // 0.5 s, one update per slot) pick n(t) from the measured p99.9 of the
+  // previous slot. The applied decisions are reported in
+  // ScenarioResult::applied_schedule.
+  bool use_delay_feedback = false;
+  DelayFeedbackPolicy::Config feedback;
+  // Controller flavour for the closed loop: the paper-style one-step
+  // policy, or the PI variant (provisioning.h) for fast ramps.
+  enum class FeedbackKind { kStep, kPi };
+  FeedbackKind feedback_kind = FeedbackKind::kStep;
+  PiDelayFeedbackPolicy::Config pi_feedback;
+
+  // Metrics granularity (latency percentiles, load ratios, power means).
+  // 0 -> slot_length / 4.
+  SimTime metric_slot = 0;
+
+  workload::DiurnalConfig diurnal;
+  workload::RbeConfig rbe;
+  CacheTierConfig cache;
+  WebTierConfig web;
+  db::DbConfig db;
+
+  SimTime ttl = 60 * kSecond;                // smooth-transition drain window
+  int consistent_vnodes_per_server = 5;      // n^2/2 total for N = 10
+  std::uint64_t consistent_seed = 0;         // the shared Java-Random-seed analogue
+
+  // §III-E replication: number of hash rings (1 = the paper's base design).
+  int replicas = 1;
+
+  // Crash injection: at `at`, `server` loses its memory and stays down for
+  // the rest of the run (resizes skip it). With replicas == 1 its keys
+  // become permanent misses; with replicas >= 2 the surviving rings absorb
+  // the crash.
+  struct CrashEvent {
+    SimTime at = 0;
+    int server = 0;
+  };
+  std::vector<CrashEvent> crashes;
+
+  ServerPowerProfile power;
+  // Optional per-cache-server profiles (heterogeneous fleet). Index i is
+  // the server at provisioning-order position i, so the ORDER encodes the
+  // §III-A observation that turning servers on in decreasing efficiency
+  // order saves the most energy. Empty -> uniform `power`.
+  std::vector<ServerPowerProfile> cache_power_profiles;
+  SimTime power_sample_interval = 15 * kSecond;
+};
+
+struct SlotMetrics {
+  SimTime start = 0;
+  int n_active = 0;           // at slot start (new mapping)
+  std::uint64_t requests = 0;
+  double mean_ms = 0;
+  double p99_ms = 0;
+  double p999_ms = 0;
+  double max_ms = 0;
+  // Fraction of requests over the §VI delay bound (0.5 s scaled; the
+  // ScenarioConfig::feedback.bound value).
+  double bound_violation_frac = 0;
+  double min_max_load_ratio = 1.0;  // Fig. 5 metric over active servers
+  double hit_ratio = 0;             // slot-local cache hit ratio
+  double db_qps = 0;                // database queries/s during the slot
+  double cluster_watts = 0;         // mean over the slot (web+cache+db)
+  double cache_watts = 0;
+};
+
+struct ScenarioResult {
+  ScenarioKind kind{};
+  std::string name;
+  std::vector<SlotMetrics> slots;
+
+  double total_energy_kwh = 0;   // web + cache + db (the paper's "entire cluster")
+  double cache_energy_kwh = 0;
+  double web_energy_kwh = 0;
+  double db_energy_kwh = 0;
+
+  std::uint64_t total_requests = 0;
+  double overall_hit_ratio = 0;
+  double overall_p999_ms = 0;
+  std::uint64_t db_queries = 0;
+  std::uint64_t old_server_hits = 0;          // on-demand migrations
+  std::uint64_t replica_hits = 0;             // ring >= 1 failover hits
+  std::uint64_t coalesced_fetches = 0;        // dog-pile piggybacks
+  std::uint64_t digest_false_positives = 0;
+  std::uint64_t transitions = 0;              // smooth transitions started
+  std::uint64_t digest_broadcast_bytes = 0;   // per web-server copy, total
+
+  // 15 s power samples for the Fig. 10 time series.
+  std::vector<EnergyMeter::Sample> cluster_power;
+  std::vector<EnergyMeter::Sample> cache_power;
+
+  // The n(t) actually actuated per provisioning slot (equals the input
+  // schedule unless use_delay_feedback was set).
+  std::vector<int> applied_schedule;
+};
+
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+// Convenience: the paper's default small-cluster experiment configuration,
+// time-compressed so a full 4-scenario sweep runs in seconds (see
+// EXPERIMENTS.md for the mapping to the paper's 33 h run).
+ScenarioConfig default_experiment_config(ScenarioKind kind);
+
+}  // namespace proteus::cluster

@@ -1,0 +1,166 @@
+#include "cluster/web_tier.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace proteus::cluster {
+
+WebTier::WebTier(sim::Simulation& sim, WebTierConfig config,
+                 std::vector<std::shared_ptr<Router>> routers,
+                 CacheTier& cache, db::Database& db)
+    : sim_(sim),
+      config_(config),
+      routers_(std::move(routers)),
+      cache_(cache),
+      db_(db) {
+  PROTEUS_CHECK(!routers_.empty());
+  for (const auto& router : routers_) PROTEUS_CHECK(router != nullptr);
+  PROTEUS_CHECK(config_.num_servers >= 1);
+  queues_.reserve(static_cast<std::size_t>(config_.num_servers));
+  for (int i = 0; i < config_.num_servers; ++i) {
+    queues_.push_back(std::make_unique<sim::QueueingServer>(
+        sim_, "web-" + std::to_string(i), config_.concurrency));
+  }
+}
+
+bool WebTier::server_alive(int server) const {
+  return cache_.server(server).power_state() != cache::PowerState::kOff;
+}
+
+void WebTier::handle(const std::string& key, std::function<void()> done) {
+  ++stats_.requests;
+  const std::size_t web = next_server_++ % queues_.size();
+  // RBE -> web hop, then servlet service, then the retrieval procedure.
+  sim_.schedule_after(config_.rbe_hop_latency, [this, web, key,
+                                                done = std::move(done)]() mutable {
+    queues_[web]->submit(config_.service_time,
+                         [this, key, done = std::move(done)]() mutable {
+                           fetch_data(key, std::move(done));
+                         });
+  });
+}
+
+void WebTier::respond_after_hop(std::function<void()> done) {
+  sim_.schedule_after(config_.rbe_hop_latency, std::move(done));
+}
+
+// Algorithm 2: FETCH_DATA(key_d), generalized over the replica rings.
+void WebTier::fetch_data(const std::string& key, std::function<void()> done) {
+  try_ring(0, std::make_shared<std::vector<int>>(), key, std::move(done));
+}
+
+void WebTier::repair_and_respond(
+    const std::shared_ptr<std::vector<int>>& repair, const std::string& key,
+    const std::string& value, std::function<void()> done) {
+  // Line 12 generalized: re-populate every live replica location that
+  // missed on the way here (fire-and-forget).
+  for (int server : *repair) {
+    if (server_alive(server)) {
+      cache_.async_set(server, key, value, db_.object_size());
+    }
+  }
+  respond_after_hop(std::move(done));
+}
+
+void WebTier::fetch_from_db(std::shared_ptr<std::vector<int>> repair,
+                            const std::string& key,
+                            std::function<void()> done) {
+  // Dog-pile coalescing: if a query for this key is already in flight,
+  // piggyback on it — the first fetch populates the caches, so this
+  // request's response is complete the moment that query returns.
+  if (config_.coalesce_db_fetches) {
+    auto it = inflight_db_.find(key);
+    if (it != inflight_db_.end()) {
+      ++stats_.coalesced_fetches;
+      it->second.push_back([this, done = std::move(done)]() mutable {
+        respond_after_hop(std::move(done));
+      });
+      return;
+    }
+    inflight_db_.emplace(key, std::vector<std::function<void()>>{});
+  }
+
+  // Line 10: false positive or "cold" data — reach the database tier. The
+  // database never notices the transition (§IV-A).
+  ++stats_.db_fetches;
+  db_.async_get(key, [this, repair = std::move(repair), key,
+                      done = std::move(done)](std::string db_value) mutable {
+    // Populate the replica chain's primaries with the fetched value.
+    for (const auto& router : routers_) {
+      const int primary = router->decide(key).primary;
+      if (std::find(repair->begin(), repair->end(), primary) ==
+          repair->end()) {
+        repair->push_back(primary);
+      }
+    }
+    repair_and_respond(repair, key, db_value, std::move(done));
+    if (config_.coalesce_db_fetches) {
+      // Release the piggybacked requests.
+      auto it = inflight_db_.find(key);
+      if (it != inflight_db_.end()) {
+        auto waiters = std::move(it->second);
+        inflight_db_.erase(it);
+        for (auto& waiter : waiters) waiter();
+      }
+    }
+  });
+}
+
+void WebTier::try_ring(std::size_t ring,
+                       std::shared_ptr<std::vector<int>> repair,
+                       const std::string& key, std::function<void()> done) {
+  if (ring >= routers_.size()) {
+    fetch_from_db(std::move(repair), key, std::move(done));
+    return;
+  }
+  const Router::Decision d = routers_[ring]->decide(key);
+  if (!server_alive(d.primary)) {
+    // Crashed/powered-off ring: fail over to the next replica (§III-E).
+    ++stats_.failed_server_skips;
+    try_ring(ring + 1, std::move(repair), key, std::move(done));
+    return;
+  }
+
+  // Line 2: data <- s_{m_{t+1}}.get(key) on this ring.
+  cache_.async_get(d.primary, key, [this, ring, d, repair = std::move(repair),
+                                    key, done = std::move(done)](
+                                       std::optional<std::string> value) mutable {
+    if (value.has_value()) {
+      if (ring == 0) {
+        ++stats_.new_server_hits;  // line 4: found in new server
+      } else {
+        ++stats_.replica_hits;     // served by a surviving replica
+      }
+      repair_and_respond(repair, key, *value, std::move(done));
+      return;
+    }
+
+    if (d.fallback < 0 || !server_alive(d.fallback)) {
+      repair->push_back(d.primary);
+      try_ring(ring + 1, std::move(repair), key, std::move(done));
+      return;
+    }
+
+    // Lines 6-8: the digest said the data is "hot" on this ring's old
+    // location.
+    cache_.async_get(
+        d.fallback, key,
+        [this, ring, d, repair = std::move(repair), key,
+         done = std::move(done)](std::optional<std::string> old_value) mutable {
+          if (old_value.has_value()) {
+            ++stats_.old_server_hits;
+            // Line 12: migrate on demand (the primary is in the repair
+            // set); only the FIRST request pays this hop (§IV-A prop. 1).
+            repair->push_back(d.primary);
+            repair_and_respond(repair, key, *old_value, std::move(done));
+            return;
+          }
+          ++stats_.digest_false_positives;  // line 9: Bloom false positive
+          repair->push_back(d.primary);
+          try_ring(ring + 1, std::move(repair), key, std::move(done));
+        });
+  });
+}
+
+}  // namespace proteus::cluster

@@ -1,0 +1,114 @@
+// The web-server tier: executes Algorithm 2 (Data Retrieval) for every
+// request, asynchronously over the simulation.
+//
+// Per paper §V-2 most logic lives here: hash the data key to a cache server
+// via the shared Router (consistent across all web servers), fall back to
+// the old location when the digest marks the data hot, reach the database
+// only when both attempts miss, and repopulate the new cache server with
+// whatever was fetched (Algorithm 2 line 12).
+//
+// With §III-E replication enabled the tier holds one Router per hash ring
+// and walks them in order: a ring whose server is powered off (crashed) is
+// skipped, the first resident replica answers, and whatever was fetched
+// repairs the replica locations that missed. One ring degenerates exactly
+// to the paper's base design.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cache_tier.h"
+#include "cluster/router.h"
+#include "common/time.h"
+#include "db/database.h"
+#include "sim/queueing_server.h"
+#include "sim/simulation.h"
+
+namespace proteus::cluster {
+
+struct WebTierConfig {
+  int num_servers = 10;
+  int concurrency = 64;                        // servlet thread pool
+  SimTime service_time = 300 * kMicrosecond;   // request-handling CPU cost
+  SimTime rbe_hop_latency = 250 * kMicrosecond;
+  // Dog-pile protection (the "memcache dog pile" strategy the paper cites
+  // as ref. [12]): coalesce concurrent database fetches for the same key
+  // into one query. Off by default — the paper's testbed did not use it —
+  // and explored by bench/ablation_dogpile.
+  bool coalesce_db_fetches = false;
+};
+
+struct WebTierStats {
+  std::uint64_t requests = 0;
+  std::uint64_t new_server_hits = 0;   // Algorithm 2 line 3: hit in s_{m_{t+1}}
+  std::uint64_t old_server_hits = 0;   // line 7 succeeded: hot-data migration
+  std::uint64_t replica_hits = 0;      // served by a ring >= 1 (failover)
+  std::uint64_t failed_server_skips = 0;  // ring skipped: server powered off
+  std::uint64_t db_fetches = 0;        // line 10 (queries actually issued)
+  std::uint64_t coalesced_fetches = 0; // requests that piggybacked on one
+  std::uint64_t digest_false_positives = 0;  // line 6 said yes, line 7 missed
+
+  double cache_hit_ratio() const noexcept {
+    return requests ? static_cast<double>(new_server_hits + old_server_hits +
+                                          replica_hits) /
+                          static_cast<double>(requests)
+                    : 0.0;
+  }
+};
+
+class WebTier {
+ public:
+  // Replicated form: one router per §III-E hash ring, walked in order.
+  WebTier(sim::Simulation& sim, WebTierConfig config,
+          std::vector<std::shared_ptr<Router>> routers, CacheTier& cache,
+          db::Database& db);
+
+  // Single-ring convenience (the paper's base design).
+  WebTier(sim::Simulation& sim, WebTierConfig config,
+          std::shared_ptr<Router> router, CacheTier& cache, db::Database& db)
+      : WebTier(sim, config,
+                std::vector<std::shared_ptr<Router>>{std::move(router)}, cache,
+                db) {}
+
+  // One user request: RBE hop -> web service -> Algorithm 2 -> reply hop.
+  // `done` fires when the response reaches the client.
+  void handle(const std::string& key, std::function<void()> done);
+
+  const WebTierStats& stats() const noexcept { return stats_; }
+  const sim::QueueingServer& server_queue(int i) const {
+    return *queues_.at(static_cast<std::size_t>(i));
+  }
+  int num_servers() const noexcept { return config_.num_servers; }
+  int replicas() const noexcept { return static_cast<int>(routers_.size()); }
+
+ private:
+  bool server_alive(int server) const;
+  void fetch_data(const std::string& key, std::function<void()> respond);
+  void try_ring(std::size_t ring, std::shared_ptr<std::vector<int>> repair,
+                const std::string& key, std::function<void()> done);
+  void fetch_from_db(std::shared_ptr<std::vector<int>> repair,
+                     const std::string& key, std::function<void()> done);
+  void repair_and_respond(const std::shared_ptr<std::vector<int>>& repair,
+                          const std::string& key, const std::string& value,
+                          std::function<void()> done);
+  void respond_after_hop(std::function<void()> done);
+
+  sim::Simulation& sim_;
+  WebTierConfig config_;
+  std::vector<std::shared_ptr<Router>> routers_;
+  CacheTier& cache_;
+  db::Database& db_;
+  std::vector<std::unique_ptr<sim::QueueingServer>> queues_;
+  std::size_t next_server_ = 0;  // user requests are spread uniformly (§VI-C)
+  // In-flight database fetches by key (dog-pile coalescing): completion
+  // callbacks of piggybacked requests.
+  std::unordered_map<std::string, std::vector<std::function<void()>>>
+      inflight_db_;
+  WebTierStats stats_;
+};
+
+}  // namespace proteus::cluster

@@ -1,0 +1,26 @@
+// Invariant checking that stays on in release builds.
+//
+// Simulation bugs silently corrupt results, so precondition violations abort
+// with a message rather than relying on NDEBUG-sensitive assert().
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PROTEUS_CHECK(cond)                                                   \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "PROTEUS_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define PROTEUS_CHECK_MSG(cond, msg)                                          \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "PROTEUS_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                                  \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,41 @@
+#include "common/hash.h"
+
+namespace proteus {
+
+namespace {
+
+inline std::uint64_t load_u64(const char* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t rotl(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+}  // namespace
+
+std::uint64_t hash_bytes(std::string_view bytes, std::uint64_t seed) noexcept {
+  constexpr std::uint64_t kPrime1 = 0x9e3779b185ebca87ULL;
+  constexpr std::uint64_t kPrime2 = 0xc2b2ae3d27d4eb4fULL;
+  constexpr std::uint64_t kPrime3 = 0x165667b19e3779f9ULL;
+
+  std::uint64_t h = seed ^ (bytes.size() * kPrime1);
+  const char* p = bytes.data();
+  std::size_t n = bytes.size();
+  while (n >= 8) {
+    h ^= rotl(load_u64(p) * kPrime2, 31) * kPrime1;
+    h = rotl(h, 27) * kPrime1 + kPrime3;
+    p += 8;
+    n -= 8;
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    tail = (tail << 8) | static_cast<unsigned char>(p[i]);
+  }
+  h ^= splitmix64(tail + n);
+  return splitmix64(h);
+}
+
+}  // namespace proteus

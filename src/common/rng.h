@@ -1,0 +1,133 @@
+// Deterministic random number generation and the samplers used by the
+// workload generator: Zipf page popularity, exponential session lengths and
+// think times, Poisson arrivals.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace proteus {
+
+// xoshiro256**-class generator seeded via SplitMix64. Deterministic across
+// platforms (unlike std::mt19937_64 + std::uniform distributions, whose
+// library implementations may differ).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = splitmix64(s);
+      word = s;
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    assert(bound > 0);
+    // Lemire's multiply-shift rejection-free variant is overkill here; a
+    // 128-bit multiply keeps bias below 2^-64 which is fine for simulation.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  bool next_bool(double p_true) noexcept { return next_double() < p_true; }
+
+  double next_exponential(double mean) noexcept {
+    assert(mean > 0);
+    double u = next_double();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log1p(-u);
+  }
+
+  // Fork a statistically independent stream, e.g. one per simulated user.
+  Rng fork(std::uint64_t stream_id) noexcept {
+    return Rng(hash_combine(next_u64(), stream_id));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+// Zipf(α) sampler over {0, 1, ..., n-1} where rank 0 is the most popular.
+// Uses rejection-inversion (Hörmann's method) so construction is O(1) and
+// sampling is O(1) expected, which matters for multi-million-page corpora.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha)
+      : n_(n), alpha_(alpha) {
+    assert(n >= 1);
+    assert(alpha > 0.0);
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    s_ = 2.0 - h_inv(h(2.5) - std::pow(2.0, -alpha_));
+  }
+
+  std::size_t operator()(Rng& rng) const noexcept {
+    // Hörmann rejection-inversion; expected < 1.1 iterations.
+    for (;;) {
+      const double u = h_n_ + rng.next_double() * (h_x1_ - h_n_);
+      const double x = h_inv(u);
+      double k = std::floor(x + 0.5);
+      if (k < 1.0) k = 1.0;
+      if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+      if (k - x <= s_ || u >= h(k + 0.5) - std::pow(k, -alpha_)) {
+        return static_cast<std::size_t>(k) - 1;
+      }
+    }
+  }
+
+  std::size_t n() const noexcept { return n_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  // H(x) = integral of x^-alpha; handles alpha == 1 via the log branch.
+  double h(double x) const noexcept {
+    if (std::abs(alpha_ - 1.0) < 1e-12) return std::log(x);
+    return (std::pow(x, 1.0 - alpha_) - 1.0) / (1.0 - alpha_);
+  }
+
+  double h_inv(double u) const noexcept {
+    if (std::abs(alpha_ - 1.0) < 1e-12) return std::exp(u);
+    return std::pow(1.0 + u * (1.0 - alpha_), 1.0 / (1.0 - alpha_));
+  }
+
+  std::size_t n_;
+  double alpha_;
+  double h_x1_{};
+  double h_n_{};
+  double s_{};
+};
+
+}  // namespace proteus

@@ -1,0 +1,27 @@
+// Simulated-time representation.
+//
+// All simulation time is carried as integer microseconds to keep event
+// ordering exact (no floating-point tie ambiguity in the event queue).
+#pragma once
+
+#include <cstdint>
+
+namespace proteus {
+
+using SimTime = std::int64_t;  // microseconds since simulation start
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1'000;
+constexpr SimTime kSecond = 1'000'000;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+constexpr double to_seconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+constexpr SimTime from_seconds(double s) noexcept {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+
+}  // namespace proteus

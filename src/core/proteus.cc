@@ -1,0 +1,146 @@
+#include "core/proteus.h"
+
+#include "common/check.h"
+
+namespace proteus {
+
+Proteus::Proteus(ProteusOptions options, Backend backend)
+    : options_(options),
+      backend_(std::move(backend)),
+      placement_(std::make_shared<ring::ProteusPlacement>(options.max_servers)),
+      router_(placement_, options.initial_servers > 0 ? options.initial_servers
+                                                      : options.max_servers) {
+  PROTEUS_CHECK(backend_ != nullptr);
+  PROTEUS_CHECK(options_.max_servers >= 1);
+  servers_.reserve(static_cast<std::size_t>(options_.max_servers));
+  for (int i = 0; i < options_.max_servers; ++i) {
+    servers_.push_back(
+        std::make_unique<cache::CacheServer>(options_.per_server));
+    if (i >= router_.active()) servers_.back()->power_off();
+  }
+}
+
+void Proteus::tick(SimTime now) {
+  if (router_.in_transition() && now >= router_.transition_end()) {
+    finalize_transition();
+  }
+}
+
+void Proteus::finalize_transition() {
+  for (int i : draining_) mutable_server(i).power_off();
+  draining_.clear();
+  router_.finalize_transition();
+}
+
+std::string Proteus::get(std::string_view key, SimTime now) {
+  tick(now);
+  ++stats_.gets;
+  const cluster::Router::Decision d = router_.decide(key);
+  const std::string k(key);
+
+  // Algorithm 2 line 2: try the new (current) location.
+  if (auto value = mutable_server(d.primary).get(k, now)) {
+    ++stats_.new_server_hits;
+    return *value;
+  }
+
+  // Lines 6-8: the digest marked the data hot on its old location.
+  if (d.fallback >= 0) {
+    if (auto value = mutable_server(d.fallback).get(k, now)) {
+      ++stats_.old_server_hits;
+      // Line 12: on-demand migration; subsequent requests hit the primary.
+      mutable_server(d.primary).set(k, *value, now, charge_for(*value));
+      return *value;
+    }
+    ++stats_.digest_false_positives;
+  }
+
+  // Line 10: false positive or cold data — the backend is authoritative.
+  ++stats_.backend_fetches;
+  std::string value = backend_(key);
+  mutable_server(d.primary).set(k, value, now, charge_for(value));
+  return value;
+}
+
+void Proteus::put(std::string_view key, std::string value, SimTime now) {
+  tick(now);
+  ++stats_.puts;
+  const cluster::Router::Decision d = router_.decide(key);
+  const std::string k(key);
+  const std::size_t charge = charge_for(value);
+  // Invalidate every other powered location first. Besides the in-flight
+  // transition's old location, copies abandoned by EARLIER mapping epochs
+  // may still sit on servers that stayed powered (a scale-up moves keys off
+  // a server without deleting them); if the mapping later returns there,
+  // such a copy would resurrect a stale value. Write-through with global
+  // invalidation keeps reads exactly as fresh as the backend.
+  for (int i = 0; i < options_.max_servers; ++i) {
+    if (i != d.primary &&
+        servers_[static_cast<std::size_t>(i)]->power_state() !=
+            cache::PowerState::kOff) {
+      mutable_server(i).erase(k);
+    }
+  }
+  mutable_server(d.primary).set(k, std::move(value), now, charge);
+}
+
+void Proteus::erase(std::string_view key, SimTime now) {
+  tick(now);
+  const std::string k(key);
+  for (int i = 0; i < options_.max_servers; ++i) {
+    if (servers_[static_cast<std::size_t>(i)]->power_state() !=
+        cache::PowerState::kOff) {
+      mutable_server(i).erase(k);
+    }
+  }
+}
+
+void Proteus::resize(int n_active, SimTime now) {
+  tick(now);
+  PROTEUS_CHECK(n_active >= 1 && n_active <= options_.max_servers);
+  const int n_old = router_.active();
+  if (n_active == n_old) return;
+  ++stats_.resizes;
+
+  // Overlapping transitions: finalize the pending one first (§IV assumes
+  // the provisioning period is much longer than TTL).
+  if (router_.in_transition()) finalize_transition();
+
+  // Broadcast digests of every old-mapping server (§IV-A).
+  std::vector<std::optional<bloom::BloomFilter>> digests(
+      static_cast<std::size_t>(options_.max_servers));
+  for (int i = 0; i < n_old; ++i) {
+    digests[static_cast<std::size_t>(i)] = servers_[static_cast<std::size_t>(i)]->snapshot_digest();
+  }
+
+  for (int i = n_old; i < n_active; ++i) mutable_server(i).power_on();
+  for (int i = n_active; i < n_old; ++i) {
+    mutable_server(i).begin_draining();
+    draining_.push_back(i);
+  }
+
+  router_.begin_transition(n_active, now + options_.ttl, std::move(digests));
+}
+
+int Proteus::powered_servers() const noexcept {
+  int n = 0;
+  for (const auto& s : servers_) {
+    n += s->power_state() != cache::PowerState::kOff;
+  }
+  return n;
+}
+
+ring::TransitionPlan Proteus::plan_resize(int n_active) const {
+  return ring::plan_transition(*placement_, router_.active(), n_active,
+                               bytes_cached());
+}
+
+std::size_t Proteus::bytes_cached() const noexcept {
+  std::size_t total = 0;
+  for (const auto& s : servers_) {
+    if (s->power_state() != cache::PowerState::kOff) total += s->bytes_used();
+  }
+  return total;
+}
+
+}  // namespace proteus

@@ -1,0 +1,129 @@
+// Proteus — the public library facade.
+//
+// An embeddable, power-proportional cache cluster front end: N in-process
+// memcached-like servers behind the paper's two mechanisms —
+//
+//   * Algorithm 1 deterministic virtual-node placement (exact load balance
+//     at every active size, minimal migration per resize), and
+//   * Algorithm 2 smooth transitions (counting-Bloom digests + on-demand
+//     hot-data migration; shrunk servers drain for TTL, then power off).
+//
+// Typical use (see examples/quickstart.cc):
+//
+//   proteus::ProteusOptions opt;
+//   opt.max_servers = 10;
+//   proteus::Proteus cluster(opt, [&](std::string_view key) {
+//     return database.get(key);            // your miss path
+//   });
+//   std::string v = cluster.get("page:42", now);
+//   cluster.resize(4, now);                // shed 6 servers, no miss storm
+//
+// Time is explicit (SimTime, microseconds) so the facade is deterministic
+// and unit-testable; wall-clock callers pass a monotonic clock reading.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/cache_server.h"
+#include "cluster/router.h"
+#include "common/time.h"
+#include "hashring/migration_plan.h"
+#include "hashring/proteus_placement.h"
+
+namespace proteus {
+
+struct ProteusOptions {
+  int max_servers = 10;
+  int initial_servers = 0;  // 0 -> max_servers
+  cache::CacheConfig per_server;
+  SimTime ttl = 60 * kSecond;  // hotness window / drain duration
+  // Accounting charge for values written through the miss path; 0 charges
+  // the actual value size.
+  std::size_t object_charge = 0;
+};
+
+struct ProteusStats {
+  std::uint64_t gets = 0;
+  std::uint64_t new_server_hits = 0;
+  std::uint64_t old_server_hits = 0;   // on-demand migrations (Algorithm 2)
+  std::uint64_t backend_fetches = 0;
+  std::uint64_t digest_false_positives = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t resizes = 0;
+
+  double hit_ratio() const noexcept {
+    return gets ? static_cast<double>(new_server_hits + old_server_hits) /
+                      static_cast<double>(gets)
+                : 0.0;
+  }
+};
+
+class Proteus {
+ public:
+  // `backend` is the authoritative store consulted on a miss (the database
+  // tier of Fig. 1). It must return the value for any key.
+  using Backend = std::function<std::string(std::string_view)>;
+
+  Proteus(ProteusOptions options, Backend backend);
+
+  // Algorithm 2 data retrieval. Never returns stale data; reaches the
+  // backend only when the key is neither on its new nor old cache server.
+  std::string get(std::string_view key, SimTime now);
+
+  // Explicit write: stores on the key's current primary and, during a
+  // transition, invalidates the old location so readers cannot see the
+  // overwritten value there.
+  void put(std::string_view key, std::string value, SimTime now);
+
+  // Remove a key from wherever it may live.
+  void erase(std::string_view key, SimTime now);
+
+  // Provisioning actuation with a smooth transition. Growing powers servers
+  // on immediately; shrinking drains the leaving servers until now + ttl.
+  void resize(int n_active, SimTime now);
+
+  // Advance internal time: finalizes transitions whose drain window ended.
+  // get/put/resize call this implicitly with their `now`.
+  void tick(SimTime now);
+
+  int active_servers() const noexcept { return router_.active(); }
+  int powered_servers() const noexcept;
+  int max_servers() const noexcept { return options_.max_servers; }
+  bool in_transition() const noexcept { return router_.in_transition(); }
+
+  const ProteusStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = ProteusStats{}; }
+  const cache::CacheServer& server(int i) const { return *servers_.at(static_cast<std::size_t>(i)); }
+  const ring::ProteusPlacement& placement() const noexcept { return *placement_; }
+
+  // Total bytes resident across powered servers (capacity introspection).
+  std::size_t bytes_cached() const noexcept;
+
+  // What WOULD a resize move? The exact per-(from,to) flows and byte
+  // estimates for the current resident data — for operator dashboards and
+  // capacity planning before actuating (hashring/migration_plan.h).
+  ring::TransitionPlan plan_resize(int n_active) const;
+
+ private:
+  cache::CacheServer& mutable_server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
+  void finalize_transition();
+  std::size_t charge_for(const std::string& value) const noexcept {
+    return options_.object_charge ? options_.object_charge : value.size();
+  }
+
+  ProteusOptions options_;
+  Backend backend_;
+  std::shared_ptr<const ring::ProteusPlacement> placement_;
+  cluster::Router router_;
+  std::vector<std::unique_ptr<cache::CacheServer>> servers_;
+  std::vector<int> draining_;
+  ProteusStats stats_;
+};
+
+}  // namespace proteus

@@ -1,0 +1,214 @@
+#include "core/replicated_proteus.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace proteus {
+
+ReplicatedProteus::ReplicatedProteus(ReplicatedOptions options,
+                                     Backend backend)
+    : options_(options),
+      backend_(std::move(backend)),
+      placement_(std::make_shared<ring::ProteusPlacement>(options.max_servers)) {
+  PROTEUS_CHECK(backend_ != nullptr);
+  PROTEUS_CHECK(options_.max_servers >= 1);
+  PROTEUS_CHECK(options_.replicas >= 1);
+
+  const int initial = options_.initial_servers > 0 ? options_.initial_servers
+                                                   : options_.max_servers;
+  routers_.reserve(static_cast<std::size_t>(options_.replicas));
+  for (int r = 0; r < options_.replicas; ++r) {
+    routers_.push_back(
+        std::make_unique<cluster::Router>(placement_, initial, r));
+  }
+  servers_.reserve(static_cast<std::size_t>(options_.max_servers));
+  failed_.assign(static_cast<std::size_t>(options_.max_servers), false);
+  for (int i = 0; i < options_.max_servers; ++i) {
+    servers_.push_back(
+        std::make_unique<cache::CacheServer>(options_.per_server));
+    if (i >= initial) servers_.back()->power_off();
+  }
+}
+
+void ReplicatedProteus::tick(SimTime now) {
+  if (routers_.front()->in_transition() &&
+      now >= routers_.front()->transition_end()) {
+    finalize_transition();
+  }
+}
+
+void ReplicatedProteus::finalize_transition() {
+  for (int i : draining_) {
+    if (!failed_[static_cast<std::size_t>(i)]) mutable_server(i).power_off();
+  }
+  draining_.clear();
+  for (auto& router : routers_) router->finalize_transition();
+}
+
+std::vector<int> ReplicatedProteus::replica_servers(
+    std::string_view key) const {
+  std::vector<int> out;
+  out.reserve(routers_.size());
+  for (const auto& router : routers_) {
+    out.push_back(router->decide(key).primary);
+  }
+  return out;
+}
+
+std::string ReplicatedProteus::get(std::string_view key, SimTime now) {
+  tick(now);
+  ++stats_.gets;
+  const std::string k(key);
+
+  // Walk the replica chain: ring 0 first (cheapest, balanced), failing over
+  // to the other rings' locations. Remember live locations that missed so
+  // the fetched value can repair them.
+  std::vector<int> repair;
+  std::string value;
+  bool found = false;
+
+  for (std::size_t ring = 0; ring < routers_.size() && !found; ++ring) {
+    const cluster::Router::Decision d = routers_[ring]->decide(k);
+    if (!usable(d.primary)) {
+      ++stats_.failed_server_skips;
+      continue;
+    }
+    if (auto v = mutable_server(d.primary).get(k, now)) {
+      value = std::move(*v);
+      found = true;
+      if (ring == 0) {
+        ++stats_.primary_ring_hits;
+      } else {
+        ++stats_.replica_ring_hits;
+      }
+      break;
+    }
+    // Algorithm 2 lines 6-8 on this ring: the digest may place the data on
+    // the ring's OLD location during a transition.
+    if (d.fallback >= 0 && usable(d.fallback)) {
+      if (auto v = mutable_server(d.fallback).get(k, now)) {
+        value = std::move(*v);
+        found = true;
+        ++stats_.old_server_hits;
+        repair.push_back(d.primary);  // migrate to the ring's new location
+        break;
+      }
+    }
+    repair.push_back(d.primary);
+  }
+
+  if (!found) {
+    ++stats_.backend_fetches;
+    value = backend_(key);
+    // Populate every live replica location (write-all on the miss path).
+    for (const auto& router : routers_) {
+      const int server = router->decide(k).primary;
+      if (usable(server)) repair.push_back(server);
+    }
+  }
+
+  std::sort(repair.begin(), repair.end());
+  repair.erase(std::unique(repair.begin(), repair.end()), repair.end());
+  for (int server : repair) {
+    if (usable(server) && !mutable_server(server).contains(k, now)) {
+      mutable_server(server).set(k, value, now, charge_for(value));
+    }
+  }
+  return value;
+}
+
+void ReplicatedProteus::put(std::string_view key, std::string value,
+                            SimTime now) {
+  tick(now);
+  ++stats_.puts;
+  const std::string k(key);
+  const std::size_t charge = charge_for(value);
+
+  // Write-all to the current replica locations, after invalidating every
+  // OTHER powered server: copies abandoned by earlier mapping epochs (or
+  // the in-flight transition's old locations) must not resurrect a stale
+  // value when the mapping later returns to them.
+  std::vector<int> write_set;
+  write_set.reserve(routers_.size());
+  for (const auto& router : routers_) {
+    write_set.push_back(router->decide(k).primary);
+  }
+  for (int i = 0; i < options_.max_servers; ++i) {
+    if (std::find(write_set.begin(), write_set.end(), i) == write_set.end() &&
+        servers_[static_cast<std::size_t>(i)]->power_state() !=
+            cache::PowerState::kOff) {
+      mutable_server(i).erase(k);
+    }
+  }
+  for (int server : write_set) {
+    if (usable(server)) mutable_server(server).set(k, value, now, charge);
+  }
+}
+
+void ReplicatedProteus::erase(std::string_view key, SimTime now) {
+  tick(now);
+  const std::string k(key);
+  for (int i = 0; i < options_.max_servers; ++i) {
+    if (servers_[static_cast<std::size_t>(i)]->power_state() !=
+        cache::PowerState::kOff) {
+      mutable_server(i).erase(k);
+    }
+  }
+}
+
+void ReplicatedProteus::resize(int n_active, SimTime now) {
+  tick(now);
+  PROTEUS_CHECK(n_active >= 1 && n_active <= options_.max_servers);
+  const int n_old = routers_.front()->active();
+  if (n_active == n_old) return;
+
+  if (routers_.front()->in_transition()) finalize_transition();
+
+  for (int i = n_old; i < n_active; ++i) {
+    if (!failed_[static_cast<std::size_t>(i)]) mutable_server(i).power_on();
+  }
+  for (int i = n_active; i < n_old; ++i) {
+    if (!failed_[static_cast<std::size_t>(i)]) {
+      mutable_server(i).begin_draining();
+      draining_.push_back(i);
+    }
+  }
+
+  // One digest snapshot per old-active server, shared by all rings (the
+  // digest covers the server's whole content regardless of which ring put
+  // each key there).
+  std::vector<std::optional<bloom::BloomFilter>> digests(
+      static_cast<std::size_t>(options_.max_servers));
+  for (int i = 0; i < n_old; ++i) {
+    if (usable(i)) {
+      digests[static_cast<std::size_t>(i)] =
+          servers_[static_cast<std::size_t>(i)]->snapshot_digest();
+    }
+  }
+  for (auto& router : routers_) {
+    router->begin_transition(n_active, now + options_.ttl, digests);
+  }
+}
+
+void ReplicatedProteus::fail_server(int server) {
+  PROTEUS_CHECK(server >= 0 && server < options_.max_servers);
+  if (failed_[static_cast<std::size_t>(server)]) return;
+  failed_[static_cast<std::size_t>(server)] = true;
+  // A crash loses the in-memory cache (§III-A).
+  if (mutable_server(server).power_state() != cache::PowerState::kOff) {
+    mutable_server(server).power_off();
+  }
+}
+
+void ReplicatedProteus::recover_server(int server) {
+  PROTEUS_CHECK(server >= 0 && server < options_.max_servers);
+  if (!failed_[static_cast<std::size_t>(server)]) return;
+  failed_[static_cast<std::size_t>(server)] = false;
+  // Rejoin cold if the server is inside the active set.
+  if (server < routers_.front()->active()) {
+    mutable_server(server).power_on();
+  }
+}
+
+}  // namespace proteus

@@ -1,0 +1,61 @@
+#include "hashring/migration_plan.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace proteus::ring {
+
+double TransitionPlan::inbound_fraction(int server) const {
+  double total = 0;
+  for (const MigrationFlow& f : flows) {
+    if (f.to == server) total += f.key_fraction;
+  }
+  return total;
+}
+
+double TransitionPlan::outbound_fraction(int server) const {
+  double total = 0;
+  for (const MigrationFlow& f : flows) {
+    if (f.from == server) total += f.key_fraction;
+  }
+  return total;
+}
+
+TransitionPlan plan_transition(const ProteusPlacement& placement, int n_from,
+                               int n_to, std::uint64_t total_hot_bytes) {
+  PROTEUS_CHECK(n_from >= 1 && n_from <= placement.max_servers());
+  PROTEUS_CHECK(n_to >= 1 && n_to <= placement.max_servers());
+
+  TransitionPlan plan;
+  plan.n_from = n_from;
+  plan.n_to = n_to;
+
+  std::map<std::pair<int, int>, std::uint64_t> lengths;
+  for (std::size_t i = 0; i < placement.num_host_ranges(); ++i) {
+    const int before = placement.range_owner(i, n_from);
+    const int after = placement.range_owner(i, n_to);
+    if (before != after) {
+      lengths[{before, after}] += placement.range_length(i);
+    }
+  }
+
+  std::uint64_t moved_units = 0;
+  for (const auto& [pair, units] : lengths) {
+    const double fraction =
+        static_cast<double>(units) / static_cast<double>(kRingSpace);
+    plan.flows.push_back(MigrationFlow{
+        pair.first, pair.second, fraction,
+        static_cast<std::uint64_t>(fraction *
+                                   static_cast<double>(total_hot_bytes))});
+    moved_units += units;
+  }
+  plan.total_fraction =
+      static_cast<double>(moved_units) / static_cast<double>(kRingSpace);
+  plan.total_bytes = static_cast<std::uint64_t>(
+      plan.total_fraction * static_cast<double>(total_hot_bytes));
+  return plan;
+}
+
+}  // namespace proteus::ring

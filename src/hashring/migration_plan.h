@@ -1,0 +1,44 @@
+// Transition planning: the exact data flows a provisioning step induces.
+//
+// Proteus migrates on demand (§IV), so no bulk copy ever happens — but
+// operators still need to KNOW what a planned resize will move: how much
+// data each surviving server must absorb, how much each decommissioned
+// server will stream out, and whether the step stays at the §II lower
+// bound. This module computes that from the placement's exact host ranges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hashring/proteus_placement.h"
+
+namespace proteus::ring {
+
+struct MigrationFlow {
+  int from = 0;                 // provisioning-order index losing the range
+  int to = 0;                   // index gaining it
+  double key_fraction = 0.0;    // fraction of the whole key space
+  std::uint64_t estimated_bytes = 0;
+};
+
+struct TransitionPlan {
+  int n_from = 0;
+  int n_to = 0;
+  std::vector<MigrationFlow> flows;  // aggregated per (from, to), sorted
+  double total_fraction = 0.0;       // == |n_to-n_from| / max(...) for Proteus
+  std::uint64_t total_bytes = 0;
+
+  // Sum of flows into `server`.
+  double inbound_fraction(int server) const;
+  // Sum of flows out of `server`.
+  double outbound_fraction(int server) const;
+};
+
+// Plans the n_from -> n_to transition. `total_hot_bytes` is the aggregate
+// hot data resident in the cache tier (e.g. sum of CacheServer::bytes_used
+// over active servers); byte estimates scale key fractions by it under the
+// uniform-hashing assumption.
+TransitionPlan plan_transition(const ProteusPlacement& placement, int n_from,
+                               int n_to, std::uint64_t total_hot_bytes);
+
+}  // namespace proteus::ring

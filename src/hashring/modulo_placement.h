@@ -1,0 +1,32 @@
+// Simple hash + modulo distribution — the "Static" and "Naive" scenarios of
+// Table II. Perfectly balanced at any fixed n, but a change n -> n' remaps
+// an expected 1 - 1/max(n, n') ... in fact nearly all keys (the Reddit
+// incident in §I): exactly the pathology the Fig. 9 spike demonstrates.
+#pragma once
+
+#include <string_view>
+
+#include "common/check.h"
+#include "hashring/placement.h"
+
+namespace proteus::ring {
+
+class ModuloPlacement final : public PlacementStrategy {
+ public:
+  explicit ModuloPlacement(int max_servers) : max_servers_(max_servers) {
+    PROTEUS_CHECK(max_servers >= 1);
+  }
+
+  int server_for(KeyHash key_hash, int n_active) const override {
+    PROTEUS_CHECK(n_active >= 1 && n_active <= max_servers_);
+    return static_cast<int>(key_hash % static_cast<KeyHash>(n_active));
+  }
+
+  int max_servers() const noexcept override { return max_servers_; }
+  std::string_view name() const noexcept override { return "modulo"; }
+
+ private:
+  int max_servers_;
+};
+
+}  // namespace proteus::ring

@@ -1,0 +1,38 @@
+// Load-distribution strategy interface (paper Table II scenarios).
+//
+// A placement maps a hashed data key to a cache-server index, given the
+// number of currently active servers. Servers are identified by their
+// position in the *fixed provisioning order* (§III-A): index 0 is the first
+// server to turn on and the last to turn off; with n active servers exactly
+// indices {0, ..., n-1} are on.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace proteus::ring {
+
+using KeyHash = std::uint64_t;
+
+// The consistent hashing ring key space. 2^62 (instead of 2^64) keeps all
+// host-range arithmetic comfortably inside uint64 with no overflow special
+// cases; hashes are folded into the space by a shift.
+inline constexpr std::uint64_t kRingSpace = 1ULL << 62;
+
+inline constexpr std::uint64_t ring_position(KeyHash h) noexcept {
+  return h >> 2;  // uniform fold of a 64-bit hash into [0, 2^62)
+}
+
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+
+  // Which server serves `key_hash` when servers {0..n_active-1} are on?
+  // Precondition: 1 <= n_active <= max_servers().
+  virtual int server_for(KeyHash key_hash, int n_active) const = 0;
+
+  virtual int max_servers() const noexcept = 0;
+  virtual std::string_view name() const noexcept = 0;
+};
+
+}  // namespace proteus::ring

@@ -1,0 +1,166 @@
+#include "hashring/proteus_placement.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace proteus::ring {
+
+namespace {
+
+// Mutable range record used during construction (Algorithm 1's R[i] sets).
+struct BuildRange {
+  std::uint64_t start;
+  std::uint64_t length;
+  std::vector<std::int32_t> chain;  // strictly decreasing lender chain
+};
+
+}  // namespace
+
+ProteusPlacement::ProteusPlacement(int max_servers)
+    : max_servers_(max_servers) {
+  PROTEUS_CHECK(max_servers >= 1);
+
+  const std::uint64_t k = kRingSpace;
+  const int n = max_servers_;
+
+  // R[i] (1-based): indices into `all` of the ranges currently owned by s_i.
+  std::vector<BuildRange> all;
+  all.reserve(static_cast<std::size_t>(n) * (n - 1) / 2 + 1);
+  std::vector<std::vector<std::size_t>> owned(static_cast<std::size_t>(n) + 1);
+
+  // Line 2-3: s_1's single virtual node covers the entire ring.
+  all.push_back(BuildRange{0, k, {1}});
+  owned[1].push_back(0);
+
+  // Lines 4-16: every s_i borrows K/(i(i-1)) from one feasible virtual node
+  // of each s_j, j < i. Integer floor division loses < i(i-1) units per
+  // step, which is negligible against K = 2^62 (see header).
+  for (int i = 2; i <= n; ++i) {
+    const std::uint64_t needed =
+        k / (static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(i - 1));
+    for (int j = 1; j < i; ++j) {
+      bool placed = false;
+      for (std::size_t idx : owned[static_cast<std::size_t>(j)]) {
+        BuildRange& r = all[idx];
+        // The paper's feasibility proof (Eq. 2) guarantees a range with
+        // length >= needed; accepting equality may leave a zero-length
+        // virtual node, which is harmless (filtered at serialization).
+        if (r.length >= needed) {
+          BuildRange carved;
+          carved.start = r.start;
+          carved.length = needed;
+          carved.chain.reserve(r.chain.size() + 1);
+          carved.chain.push_back(i);
+          carved.chain.insert(carved.chain.end(), r.chain.begin(),
+                              r.chain.end());
+          r.start += needed;
+          r.length -= needed;
+          owned[static_cast<std::size_t>(i)].push_back(all.size());
+          all.push_back(std::move(carved));
+          placed = true;
+          break;
+        }
+      }
+      PROTEUS_CHECK_MSG(placed, "Algorithm 1 feasibility violated");
+    }
+  }
+
+  placed_nodes_ = all.size();
+
+  // Lines 17-23: serialize the non-empty host ranges sorted by start.
+  std::vector<std::size_t> order;
+  order.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].length > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return all[a].start < all[b].start;
+  });
+
+  starts_.reserve(order.size());
+  lengths_.reserve(order.size());
+  chains_.reserve(order.size());
+  for (std::size_t i : order) {
+    starts_.push_back(all[i].start);
+    lengths_.push_back(all[i].length);
+    chains_.push_back(std::move(all[i].chain));
+  }
+
+  // The ranges must tile the ring exactly: contiguous starting at 0.
+  PROTEUS_CHECK(!starts_.empty() && starts_.front() == 0);
+  for (std::size_t i = 1; i < starts_.size(); ++i) {
+    PROTEUS_CHECK(starts_[i] == starts_[i - 1] + lengths_[i - 1]);
+  }
+  PROTEUS_CHECK(starts_.back() + lengths_.back() == k);
+}
+
+std::size_t ProteusPlacement::range_for_position(std::uint64_t pos) const {
+  // Last range whose start <= pos.
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  PROTEUS_CHECK(it != starts_.begin());
+  return static_cast<std::size_t>(std::distance(starts_.begin(), it)) - 1;
+}
+
+int ProteusPlacement::owner_of_range(std::size_t idx, int n_active) const {
+  // Chains are strictly decreasing; the active owner is the first element
+  // <= n_active. std::lower_bound with greater<> finds it in O(log N).
+  const auto& chain = chains_[idx];
+  auto it = std::lower_bound(chain.begin(), chain.end(), n_active,
+                             [](std::int32_t a, std::int32_t b) { return a > b; });
+  PROTEUS_CHECK_MSG(it != chain.end(), "chain must terminate at s_1");
+  return *it - 1;  // 1-based order index -> 0-based server index
+}
+
+int ProteusPlacement::server_for(KeyHash key_hash, int n_active) const {
+  PROTEUS_CHECK(n_active >= 1 && n_active <= max_servers_);
+  return owner_of_range(range_for_position(ring_position(key_hash)), n_active);
+}
+
+double ProteusPlacement::share(int server, int n_active) const {
+  PROTEUS_CHECK(server >= 0 && server < max_servers_);
+  PROTEUS_CHECK(n_active >= 1 && n_active <= max_servers_);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    if (owner_of_range(i, n_active) == server) total += lengths_[i];
+  }
+  return static_cast<double>(total) / static_cast<double>(kRingSpace);
+}
+
+double ProteusPlacement::migration_fraction(int n_from, int n_to) const {
+  PROTEUS_CHECK(n_from >= 1 && n_from <= max_servers_);
+  PROTEUS_CHECK(n_to >= 1 && n_to <= max_servers_);
+  std::uint64_t moved = 0;
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    if (owner_of_range(i, n_from) != owner_of_range(i, n_to)) {
+      moved += lengths_[i];
+    }
+  }
+  return static_cast<double>(moved) / static_cast<double>(kRingSpace);
+}
+
+double ProteusPlacement::inbound_migration_fraction(int server, int n_from,
+                                                    int n_to) const {
+  PROTEUS_CHECK(server >= 0 && server < max_servers_);
+  std::uint64_t moved = 0;
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    if (owner_of_range(i, n_to) == server &&
+        owner_of_range(i, n_from) != server) {
+      moved += lengths_[i];
+    }
+  }
+  return static_cast<double>(moved) / static_cast<double>(kRingSpace);
+}
+
+double ProteusPlacement::replica_no_conflict_probability(int replicas,
+                                                         int n_active) {
+  PROTEUS_CHECK(replicas >= 1);
+  PROTEUS_CHECK(n_active >= 1);
+  double p = 1.0;
+  for (int i = 0; i < replicas; ++i) {
+    p *= static_cast<double>(n_active - i) / static_cast<double>(n_active);
+  }
+  return p < 0.0 ? 0.0 : p;
+}
+
+}  // namespace proteus::ring

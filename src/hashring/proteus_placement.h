@@ -1,0 +1,98 @@
+// Proteus' deterministic virtual-node placement — paper §III, Algorithm 1.
+//
+// Construction follows the fixed provisioning order: server s_1 initially
+// owns the whole ring; each later server s_i carves a host range of length
+// K/(i(i-1)) out of one feasible virtual node of every s_j, j < i, giving
+// s_i exactly i-1 virtual nodes and a total share of K/i while every earlier
+// server's share also shrinks to K/i. The resulting placement:
+//
+//   * uses exactly N(N-1)/2 + 1 virtual nodes — the Theorem 1 lower bound;
+//   * satisfies the Balance Condition: for EVERY active prefix size n, each
+//     of the n active servers owns exactly K/n of the key space (up to
+//     integer rounding of the ring arithmetic, <= N units out of 2^62);
+//   * achieves minimum migration: changing n -> n+1 remaps exactly K/(n+1).
+//
+// Lookup exploits the carve history instead of simulating ring-successor
+// walks: every leaf range carries its "lender chain" — the borrower's server
+// followed by the chain of the range it was carved from. Because a borrower
+// always has a higher provisioning index than its lender, chains are
+// strictly decreasing, and the active owner for prefix size n is simply the
+// first chain element <= n (found by binary search). This is exactly the
+// ring-successor semantics: when s_i turns off, every range it borrowed
+// reverts to its lender (the "final successor" of §III-B), because all
+// servers ordered after s_i are already off.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "hashring/placement.h"
+
+namespace proteus::ring {
+
+class ProteusPlacement final : public PlacementStrategy {
+ public:
+  // Builds the full placement for `max_servers` physical servers in the
+  // fixed provisioning order. O(N^2) ranges, O(N^3) worst-case build time.
+  explicit ProteusPlacement(int max_servers);
+
+  int server_for(KeyHash key_hash, int n_active) const override;
+  int max_servers() const noexcept override { return max_servers_; }
+  std::string_view name() const noexcept override { return "proteus"; }
+
+  // Number of virtual nodes placed by Algorithm 1 — exactly the Theorem 1
+  // lower bound N(N-1)/2 + 1.
+  std::size_t num_virtual_nodes() const noexcept { return placed_nodes_; }
+
+  // Non-empty host ranges after construction. A borrow can consume a
+  // lender's range exactly, leaving a virtual node with an empty host range
+  // that serves no keys; such nodes are dropped from the lookup structure,
+  // so this can be slightly below num_virtual_nodes().
+  std::size_t num_host_ranges() const noexcept { return starts_.size(); }
+
+  // Exact fraction of the ring owned by `server` when n_active are on.
+  double share(int server, int n_active) const;
+
+  // Exact fraction of the ring whose owner differs between prefix sizes
+  // n_from and n_to (the §II re-mapping metric).
+  double migration_fraction(int n_from, int n_to) const;
+
+  // Fraction of the ring owned by `server` at n_to but not at n_from: the
+  // data that must flow INTO `server` during the n_from -> n_to transition.
+  double inbound_migration_fraction(int server, int n_from, int n_to) const;
+
+  // §III-E Eq. (3): probability that r replicas of one key land on r
+  // distinct servers when n are active, assuming uniform hashing.
+  static double replica_no_conflict_probability(int replicas, int n_active);
+
+  // Read-only access to the serialized host ranges (for the migration
+  // planner and diagnostics). Index < num_host_ranges().
+  std::uint64_t range_start(std::size_t idx) const { return starts_.at(idx); }
+  std::uint64_t range_length(std::size_t idx) const { return lengths_.at(idx); }
+  int range_owner(std::size_t idx, int n_active) const {
+    PROTEUS_CHECK(n_active >= 1 && n_active <= max_servers_);
+    return owner_of_range(idx, n_active);
+  }
+
+ private:
+  struct RangeView {
+    std::uint64_t start;
+    std::uint64_t length;
+    const std::vector<std::int32_t>* chain;  // strictly decreasing, 1-based
+  };
+
+  int owner_of_range(std::size_t idx, int n_active) const;
+  std::size_t range_for_position(std::uint64_t pos) const;
+
+  int max_servers_;
+  std::size_t placed_nodes_ = 0;
+  // Parallel arrays sorted by start; chains_ holds 1-based provisioning
+  // indices in strictly decreasing order (borrower first, s_1 last).
+  std::vector<std::uint64_t> starts_;
+  std::vector<std::uint64_t> lengths_;
+  std::vector<std::vector<std::int32_t>> chains_;
+};
+
+}  // namespace proteus::ring

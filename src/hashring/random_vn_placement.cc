@@ -1,0 +1,81 @@
+#include "hashring/random_vn_placement.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace proteus::ring {
+
+RandomVirtualNodePlacement::RandomVirtualNodePlacement(int max_servers,
+                                                       int vnodes_per_server,
+                                                       std::uint64_t seed)
+    : max_servers_(max_servers), vnodes_per_server_(vnodes_per_server) {
+  PROTEUS_CHECK(max_servers >= 1);
+  PROTEUS_CHECK(vnodes_per_server >= 1);
+
+  points_.reserve(static_cast<std::size_t>(max_servers) * vnodes_per_server);
+  for (int s = 0; s < max_servers; ++s) {
+    for (int rep = 0; rep < vnodes_per_server; ++rep) {
+      // Pack (server, replica) into one distinct word before mixing; the
+      // raw values are tiny integers, which boost-style combining would
+      // collide across servers.
+      const std::uint64_t packed =
+          (static_cast<std::uint64_t>(s) << 32) |
+          static_cast<std::uint64_t>(rep);
+      points_.push_back(Point{ring_position(hash_u64(packed, seed)), s});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return a.server < b.server;  // deterministic tie order
+            });
+}
+
+int RandomVirtualNodePlacement::server_for(KeyHash key_hash,
+                                           int n_active) const {
+  PROTEUS_CHECK(n_active >= 1 && n_active <= max_servers_);
+  const std::uint64_t pos = ring_position(key_hash);
+  // First point with position >= pos (clockwise successor), skipping
+  // inactive servers' points; wraps around the ring.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), pos,
+      [](const Point& p, std::uint64_t v) { return p.position < v; });
+  const std::size_t start =
+      static_cast<std::size_t>(std::distance(points_.begin(), it));
+  const std::size_t n = points_.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const Point& p = points_[(start + step) % n];
+    if (p.server < n_active) return p.server;
+  }
+  PROTEUS_CHECK_MSG(false, "no active virtual node on the ring");
+  return 0;
+}
+
+double RandomVirtualNodePlacement::estimate_share(
+    int server, int n_active, std::size_t samples,
+    std::uint64_t sample_seed) const {
+  PROTEUS_CHECK(samples > 0);
+  Rng rng(sample_seed);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    if (server_for(rng.next_u64(), n_active) == server) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+double RandomVirtualNodePlacement::estimate_migration_fraction(
+    int n_from, int n_to, std::size_t samples, std::uint64_t sample_seed) const {
+  PROTEUS_CHECK(samples > 0);
+  Rng rng(sample_seed);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    if (server_for(h, n_from) != server_for(h, n_to)) ++moved;
+  }
+  return static_cast<double>(moved) / static_cast<double>(samples);
+}
+
+}  // namespace proteus::ring

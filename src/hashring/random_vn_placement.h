@@ -1,0 +1,54 @@
+// Classic consistent hashing with randomly placed virtual nodes — the
+// "Consistent" baseline of Table II / Fig. 5 / Fig. 9.
+//
+// Every server contributes `vnodes_per_server` points hashed onto the ring;
+// a key is served by the first active point clockwise from the key's
+// position. The paper evaluates two flavours: O(log n) virtual nodes per
+// server and n^2/2 total (n/2 per server); both are obtained by choosing
+// `vnodes_per_server`. Random placement balances only in expectation — the
+// variance is what Fig. 5 shows losing to Proteus' deterministic layout.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "hashring/placement.h"
+
+namespace proteus::ring {
+
+class RandomVirtualNodePlacement final : public PlacementStrategy {
+ public:
+  // `seed` plays the role of the shared Java Random seed of §VI-C: all web
+  // servers construct the identical ring from the same seed.
+  RandomVirtualNodePlacement(int max_servers, int vnodes_per_server,
+                             std::uint64_t seed = 0);
+
+  int server_for(KeyHash key_hash, int n_active) const override;
+  int max_servers() const noexcept override { return max_servers_; }
+  std::string_view name() const noexcept override { return "consistent"; }
+
+  std::size_t num_virtual_nodes() const noexcept { return points_.size(); }
+  int vnodes_per_server() const noexcept { return vnodes_per_server_; }
+
+  // Monte-Carlo estimate of the ring share owned by `server` at n_active
+  // (random placement has no closed-form share).
+  double estimate_share(int server, int n_active, std::size_t samples,
+                        std::uint64_t sample_seed = 1) const;
+
+  // Monte-Carlo estimate of the re-mapped key fraction between two sizes.
+  double estimate_migration_fraction(int n_from, int n_to, std::size_t samples,
+                                     std::uint64_t sample_seed = 1) const;
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::int32_t server;  // 0-based provisioning index
+  };
+
+  int max_servers_;
+  int vnodes_per_server_;
+  std::vector<Point> points_;  // sorted by position
+};
+
+}  // namespace proteus::ring

@@ -1,0 +1,44 @@
+#include "hashring/routing_table.h"
+
+#include "common/check.h"
+
+namespace proteus::ring {
+
+RoutingTable::RoutingTable(const ProteusPlacement& placement, int n_active,
+                           unsigned bucket_bits)
+    : n_active_(n_active) {
+  PROTEUS_CHECK(n_active >= 1 && n_active <= placement.max_servers());
+  PROTEUS_CHECK(bucket_bits >= 1 && bucket_bits <= 28);
+
+  // kRingSpace = 2^62; position >> shift yields the bucket index.
+  shift_ = 62 - bucket_bits;
+  const std::size_t num_buckets = std::size_t{1} << bucket_bits;
+
+  // Resolve every host range's owner at n_active and merge runs of equal
+  // owners (turning a server off merges its ranges back into neighbours,
+  // so compiled tables for small n are much smaller than the raw range
+  // list).
+  const std::size_t ranges = placement.num_host_ranges();
+  starts_.reserve(ranges);
+  owners_.reserve(ranges);
+  for (std::size_t i = 0; i < ranges; ++i) {
+    const int owner = placement.range_owner(i, n_active);
+    if (!owners_.empty() && owners_.back() == owner) continue;
+    starts_.push_back(placement.range_start(i));
+    owners_.push_back(owner);
+  }
+  PROTEUS_CHECK(!starts_.empty() && starts_.front() == 0);
+
+  bucket_first_range_.assign(num_buckets, 0);
+  std::size_t range_idx = 0;
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    const std::uint64_t bucket_start = static_cast<std::uint64_t>(b) << shift_;
+    while (range_idx + 1 < starts_.size() &&
+           starts_[range_idx + 1] <= bucket_start) {
+      ++range_idx;
+    }
+    bucket_first_range_[b] = static_cast<std::uint32_t>(range_idx);
+  }
+}
+
+}  // namespace proteus::ring

@@ -1,0 +1,207 @@
+#include "hashring/weighted_placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace proteus::ring {
+
+namespace {
+
+struct BuildRange {
+  std::uint64_t start;
+  std::uint64_t length;
+  std::vector<std::int32_t> chain;
+};
+
+}  // namespace
+
+WeightedProteusPlacement::WeightedProteusPlacement(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  PROTEUS_CHECK(!weights_.empty());
+  for (double w : weights_) PROTEUS_CHECK(w > 0);
+
+  const int n = max_servers();
+  prefix_weight_.assign(static_cast<std::size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    prefix_weight_[static_cast<std::size_t>(i) + 1] =
+        prefix_weight_[static_cast<std::size_t>(i)] +
+        weights_[static_cast<std::size_t>(i)];
+  }
+
+  // When all weights are integral (the common "GB of RAM" case), compute
+  // borrow amounts with exact 128-bit arithmetic; uniform weights then
+  // reduce bit-for-bit to the paper's Algorithm 1. Fractional weights fall
+  // back to long-double floor.
+  bool integral = true;
+  std::vector<std::uint64_t> int_weights;
+  int_weights.reserve(weights_.size());
+  for (double w : weights_) {
+    if (w != std::floor(w) || w > 1e9) {
+      integral = false;
+      break;
+    }
+    int_weights.push_back(static_cast<std::uint64_t>(w));
+  }
+  std::vector<std::uint64_t> int_prefix(static_cast<std::size_t>(n) + 1, 0);
+  if (integral) {
+    for (int i = 0; i < n; ++i) {
+      int_prefix[static_cast<std::size_t>(i) + 1] =
+          int_prefix[static_cast<std::size_t>(i)] +
+          int_weights[static_cast<std::size_t>(i)];
+    }
+  }
+
+  const long double k = static_cast<long double>(kRingSpace);
+  std::vector<BuildRange> all;
+  std::vector<std::vector<std::size_t>> owned(static_cast<std::size_t>(n) + 1);
+  all.push_back(BuildRange{0, kRingSpace, {1}});
+  owned[1].push_back(0);
+
+  for (int i = 2; i <= n; ++i) {
+    const long double wi = weights_[static_cast<std::size_t>(i - 1)];
+    const long double w_prev = prefix_weight_[static_cast<std::size_t>(i - 1)];
+    const long double w_now = prefix_weight_[static_cast<std::size_t>(i)];
+    for (int j = 1; j < i; ++j) {
+      const long double wj = weights_[static_cast<std::size_t>(j - 1)];
+      // d(i,j) = w_i w_j K / (W_{i-1} W_i), floored to ring units.
+      std::uint64_t needed;
+      if (integral) {
+        const unsigned __int128 numerator =
+            static_cast<unsigned __int128>(
+                int_weights[static_cast<std::size_t>(i - 1)] *
+                int_weights[static_cast<std::size_t>(j - 1)]) *
+            kRingSpace;
+        const unsigned __int128 denominator =
+            static_cast<unsigned __int128>(
+                int_prefix[static_cast<std::size_t>(i - 1)]) *
+            int_prefix[static_cast<std::size_t>(i)];
+        needed = static_cast<std::uint64_t>(numerator / denominator);
+      } else {
+        needed = static_cast<std::uint64_t>(
+            std::floor(wi * wj * k / (w_prev * w_now)));
+      }
+      if (needed == 0) continue;  // negligible slice at this resolution
+      bool placed = false;
+      for (std::size_t idx : owned[static_cast<std::size_t>(j)]) {
+        BuildRange& r = all[idx];
+        if (r.length >= needed) {
+          BuildRange carved;
+          carved.start = r.start;
+          carved.length = needed;
+          carved.chain.reserve(r.chain.size() + 1);
+          carved.chain.push_back(i);
+          carved.chain.insert(carved.chain.end(), r.chain.begin(),
+                              r.chain.end());
+          r.start += needed;
+          r.length -= needed;
+          owned[static_cast<std::size_t>(i)].push_back(all.size());
+          all.push_back(std::move(carved));
+          placed = true;
+          break;
+        }
+      }
+      // The weighted feasibility argument mirrors the uniform proof; if
+      // rounding ever strands us, split the demand across s_j's ranges.
+      if (!placed) {
+        std::uint64_t remaining = needed;
+        for (std::size_t idx : owned[static_cast<std::size_t>(j)]) {
+          if (remaining == 0) break;
+          BuildRange& r = all[idx];
+          const std::uint64_t take = std::min(r.length, remaining);
+          if (take == 0) continue;
+          BuildRange carved;
+          carved.start = r.start;
+          carved.length = take;
+          carved.chain.reserve(r.chain.size() + 1);
+          carved.chain.push_back(i);
+          carved.chain.insert(carved.chain.end(), r.chain.begin(),
+                              r.chain.end());
+          r.start += take;
+          r.length -= take;
+          owned[static_cast<std::size_t>(i)].push_back(all.size());
+          all.push_back(std::move(carved));
+          remaining -= take;
+        }
+        PROTEUS_CHECK_MSG(remaining == 0,
+                          "weighted placement could not allocate a share");
+      }
+    }
+  }
+
+  placed_nodes_ = all.size();
+
+  std::vector<std::size_t> order;
+  order.reserve(all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (all[i].length > 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return all[a].start < all[b].start;
+  });
+  starts_.reserve(order.size());
+  lengths_.reserve(order.size());
+  chains_.reserve(order.size());
+  for (std::size_t i : order) {
+    starts_.push_back(all[i].start);
+    lengths_.push_back(all[i].length);
+    chains_.push_back(std::move(all[i].chain));
+  }
+  PROTEUS_CHECK(!starts_.empty() && starts_.front() == 0);
+  for (std::size_t i = 1; i < starts_.size(); ++i) {
+    PROTEUS_CHECK(starts_[i] == starts_[i - 1] + lengths_[i - 1]);
+  }
+  PROTEUS_CHECK(starts_.back() + lengths_.back() == kRingSpace);
+}
+
+int WeightedProteusPlacement::owner_of_range(std::size_t idx,
+                                             int n_active) const {
+  const auto& chain = chains_[idx];
+  auto it = std::lower_bound(
+      chain.begin(), chain.end(), n_active,
+      [](std::int32_t a, std::int32_t b) { return a > b; });
+  PROTEUS_CHECK(it != chain.end());
+  return *it - 1;
+}
+
+int WeightedProteusPlacement::server_for(KeyHash key_hash,
+                                         int n_active) const {
+  PROTEUS_CHECK(n_active >= 1 && n_active <= max_servers());
+  const std::uint64_t pos = ring_position(key_hash);
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  const auto idx =
+      static_cast<std::size_t>(std::distance(starts_.begin(), it)) - 1;
+  return owner_of_range(idx, n_active);
+}
+
+double WeightedProteusPlacement::target_share(int server, int n_active) const {
+  PROTEUS_CHECK(server >= 0 && server < max_servers());
+  PROTEUS_CHECK(n_active >= 1 && n_active <= max_servers());
+  if (server >= n_active) return 0.0;
+  return weights_[static_cast<std::size_t>(server)] /
+         prefix_weight_[static_cast<std::size_t>(n_active)];
+}
+
+double WeightedProteusPlacement::share(int server, int n_active) const {
+  PROTEUS_CHECK(server >= 0 && server < max_servers());
+  PROTEUS_CHECK(n_active >= 1 && n_active <= max_servers());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    if (owner_of_range(i, n_active) == server) total += lengths_[i];
+  }
+  return static_cast<double>(total) / static_cast<double>(kRingSpace);
+}
+
+double WeightedProteusPlacement::migration_fraction(int n_from,
+                                                    int n_to) const {
+  PROTEUS_CHECK(n_from >= 1 && n_from <= max_servers());
+  PROTEUS_CHECK(n_to >= 1 && n_to <= max_servers());
+  std::uint64_t moved = 0;
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    if (owner_of_range(i, n_from) != owner_of_range(i, n_to)) {
+      moved += lengths_[i];
+    }
+  }
+  return static_cast<double>(moved) / static_cast<double>(kRingSpace);
+}
+
+}  // namespace proteus::ring

@@ -1,0 +1,69 @@
+// Weighted generalization of Algorithm 1 (an extension beyond the paper).
+//
+// The paper assumes interchangeable cache servers: at any active prefix
+// size n every server owns K/n of the key space. Real fleets mix memory
+// sizes; a 64 GB box should cache twice as much as a 32 GB one. This
+// placement generalizes the §III construction to weights w_1..w_N:
+//
+//   * with servers {1..n} active, server j owns exactly  w_j * K / W_n
+//     of the ring, where W_n = w_1 + ... + w_n (weighted Balance
+//     Condition);
+//   * turning s_{n+1} on moves exactly w_{n+1} * K / W_{n+1} of the keys
+//     — again the minimum possible for the target distribution.
+//
+// Construction: s_i borrows from every earlier s_j the amount
+//
+//     d(i,j) = w_i * w_j * K / (W_{i-1} * W_i)
+//
+// which shrinks s_j's share from w_j K / W_{i-1} to w_j K / W_i while
+// giving s_i its sum  w_i K W_{i-1} / (W_{i-1} W_i) = w_i K / W_i. The
+// lender-chain lookup of the uniform algorithm carries over unchanged
+// (borrowers still split prefixes of earlier ranges). Uniform weights
+// reduce to exactly the paper's Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "hashring/placement.h"
+
+namespace proteus::ring {
+
+class WeightedProteusPlacement final : public PlacementStrategy {
+ public:
+  // `weights` are relative capacities in provisioning order; all > 0.
+  explicit WeightedProteusPlacement(std::vector<double> weights);
+
+  int server_for(KeyHash key_hash, int n_active) const override;
+  int max_servers() const noexcept override {
+    return static_cast<int>(weights_.size());
+  }
+  std::string_view name() const noexcept override { return "weighted-proteus"; }
+
+  // Exact ring share of `server` with n active; the weighted BC target is
+  // weight(server) / total_weight(n).
+  double share(int server, int n_active) const;
+  double target_share(int server, int n_active) const;
+
+  // Fraction of the ring whose owner changes between prefix sizes.
+  double migration_fraction(int n_from, int n_to) const;
+
+  double weight(int server) const {
+    return weights_.at(static_cast<std::size_t>(server));
+  }
+  std::size_t num_virtual_nodes() const noexcept { return placed_nodes_; }
+
+ private:
+  int owner_of_range(std::size_t idx, int n_active) const;
+
+  std::vector<double> weights_;
+  std::vector<double> prefix_weight_;  // W_n for n = 0..N
+  std::size_t placed_nodes_ = 0;
+  std::vector<std::uint64_t> starts_;
+  std::vector<std::uint64_t> lengths_;
+  std::vector<std::vector<std::int32_t>> chains_;
+};
+
+}  // namespace proteus::ring

@@ -1,0 +1,103 @@
+#include "net/memcache_daemon.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace proteus::net {
+
+SimTime monotonic_now() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+// Sniffs the first byte to pick the protocol, then delegates. The mutex
+// serializes cache access across the daemon's worker threads; the protocol
+// sessions themselves are connection-local.
+class AutoProtocolHandler final : public ConnectionHandler {
+ public:
+  AutoProtocolHandler(cache::CacheServer& cache, std::mutex& mutex,
+                      const ClockFn& clock)
+      : cache_(cache), mutex_(mutex), clock_(clock) {}
+
+  std::string on_data(std::string_view bytes, bool& close) override {
+    if (!text_ && !binary_) {
+      if (bytes.empty()) return {};
+      if (static_cast<std::uint8_t>(bytes.front()) ==
+          cache::binary::kRequestMagic) {
+        binary_ = std::make_unique<cache::BinaryProtocolSession>(cache_);
+      } else {
+        text_ = std::make_unique<cache::TextProtocolSession>(cache_);
+      }
+    }
+    const SimTime now = clock_();
+    std::string out;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      out = binary_ ? binary_->feed(bytes, now) : text_->feed(bytes, now);
+    }
+    close = binary_ ? binary_->closed() : text_->closed();
+    return out;
+  }
+
+ private:
+  cache::CacheServer& cache_;
+  std::mutex& mutex_;
+  const ClockFn& clock_;
+  std::unique_ptr<cache::TextProtocolSession> text_;
+  std::unique_ptr<cache::BinaryProtocolSession> binary_;
+};
+
+}  // namespace
+
+std::unique_ptr<ConnectionHandler> MemcacheDaemon::make_handler() {
+  return std::make_unique<AutoProtocolHandler>(cache_, cache_mutex_, clock_);
+}
+
+MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
+                               ClockFn clock, int threads)
+    : cache_(std::move(config)), clock_(std::move(clock)) {
+  PROTEUS_CHECK(threads >= 1);
+  const bool reuse_port = threads > 1;
+  servers_.push_back(std::make_unique<TcpServer>(
+      port, [this] { return make_handler(); }, reuse_port));
+  if (!servers_.front()->ok()) return;
+  // Workers bind the (possibly ephemeral) port the first listener got.
+  for (int t = 1; t < threads; ++t) {
+    servers_.push_back(std::make_unique<TcpServer>(
+        servers_.front()->port(), [this] { return make_handler(); },
+        /*reuse_port=*/true));
+  }
+}
+
+bool MemcacheDaemon::ok() const noexcept {
+  for (const auto& s : servers_) {
+    if (!s->ok()) return false;
+  }
+  return true;
+}
+
+void MemcacheDaemon::run() {
+  std::vector<std::thread> workers;
+  workers.reserve(servers_.size() - 1);
+  for (std::size_t t = 1; t < servers_.size(); ++t) {
+    workers.emplace_back([server = servers_[t].get()] { server->run(); });
+  }
+  servers_.front()->run();
+  for (auto& w : workers) w.join();
+}
+
+void MemcacheDaemon::stop() {
+  for (auto& s : servers_) s->stop();
+}
+
+std::uint64_t MemcacheDaemon::connections_accepted() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->connections_accepted();
+  return total;
+}
+
+}  // namespace proteus::net

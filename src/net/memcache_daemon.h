@@ -1,0 +1,64 @@
+// A deployable memcached-compatible daemon around CacheServer.
+//
+// Auto-detects the wire protocol per connection the way memcached does: a
+// first byte of 0x80 selects the binary protocol, anything else the text
+// protocol. All connections share one CacheServer (and therefore one
+// digest), mirroring the paper's one-Memcached-process-per-node setup.
+//
+// Worker threads (memcached's -t): with `threads > 1` the daemon runs one
+// poll loop per thread, all bound to the same port via SO_REUSEPORT so the
+// kernel spreads connections across them; the shared cache is guarded by a
+// single mutex per protocol operation — the same coarse-grained locking
+// discipline classic memcached used for its hash table.
+//
+// Time is wall-clock here (the daemon is the real-deployment path; the
+// evaluation uses the simulator instead).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cache/binary_protocol.h"
+#include "cache/cache_server.h"
+#include "cache/text_protocol.h"
+#include "net/tcp_server.h"
+
+namespace proteus::net {
+
+// Supplies "now" to the cache; defaults to a monotonic wall clock.
+using ClockFn = std::function<SimTime()>;
+SimTime monotonic_now();
+
+class MemcacheDaemon {
+ public:
+  // Binds 127.0.0.1:`port` (0 = ephemeral). The daemon owns the cache.
+  MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
+                 ClockFn clock = monotonic_now, int threads = 1);
+
+  bool ok() const noexcept;
+  std::uint16_t port() const noexcept { return servers_.front()->port(); }
+
+  // Blocking: serves until stop(). Extra worker threads (if configured)
+  // are spawned here and joined before returning.
+  void run();
+  void stop();
+
+  cache::CacheServer& cache() noexcept { return cache_; }
+  const cache::CacheServer& cache() const noexcept { return cache_; }
+  int threads() const noexcept { return static_cast<int>(servers_.size()); }
+  std::uint64_t connections_accepted() const noexcept;
+
+ private:
+  std::unique_ptr<ConnectionHandler> make_handler();
+
+  cache::CacheServer cache_;
+  std::mutex cache_mutex_;  // guards cache_ across worker threads
+  ClockFn clock_;
+  std::vector<std::unique_ptr<TcpServer>> servers_;
+};
+
+}  // namespace proteus::net

@@ -1,0 +1,153 @@
+#include "net/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace proteus::net {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(std::uint16_t port, HandlerFactory factory,
+                     bool reuse_port)
+    : factory_(std::move(factory)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return;
+
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0 || !set_nonblocking(listen_fd_) ||
+      ::pipe(wake_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  set_nonblocking(wake_pipe_[0]);
+
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpServer::~TcpServer() {
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+void TcpServer::stop() {
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void TcpServer::accept_new() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or error: nothing more to accept
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.emplace(fd, Connection{factory_(), {}, false});
+    ++accepted_;
+  }
+}
+
+bool TcpServer::service_read(int fd) {
+  Connection& conn = connections_.at(fd);
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      bool close = false;
+      conn.outbox += conn.handler->on_data(
+          std::string_view(buf, static_cast<std::size_t>(n)), close);
+      if (close) conn.close_after_write = true;
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    return errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+}
+
+bool TcpServer::service_write(int fd) {
+  Connection& conn = connections_.at(fd);
+  while (!conn.outbox.empty()) {
+    const ssize_t n = ::write(fd, conn.outbox.data(), conn.outbox.size());
+    if (n > 0) {
+      conn.outbox.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    return errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+  return !conn.close_after_write;
+}
+
+void TcpServer::drop(int fd) {
+  ::close(fd);
+  connections_.erase(fd);
+}
+
+void TcpServer::run() {
+  if (!ok()) return;
+  std::vector<pollfd> fds;
+  for (;;) {
+    fds.clear();
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    for (const auto& [fd, conn] : connections_) {
+      short events = POLLIN;
+      if (!conn.outbox.empty() || conn.close_after_write) events |= POLLOUT;
+      fds.push_back(pollfd{fd, events, 0});
+    }
+
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents & POLLIN) return;  // stop() requested
+    if (fds[0].revents & POLLIN) accept_new();
+
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      if (connections_.find(fd) == connections_.end()) continue;
+      bool alive = true;
+      if (fds[i].revents & (POLLERR | POLLHUP)) {
+        // Flush what we can, then drop.
+        service_write(fd);
+        alive = false;
+      } else {
+        if (fds[i].revents & POLLIN) alive = service_read(fd);
+        if (alive) alive = service_write(fd);
+      }
+      if (!alive) drop(fd);
+    }
+  }
+}
+
+}  // namespace proteus::net

@@ -1,0 +1,76 @@
+// Minimal poll(2)-based TCP byte server.
+//
+// The evaluation itself runs on the deterministic discrete-event simulator
+// (src/sim), but the cache server is also deployable for real: this server
+// accepts connections and shuttles bytes between sockets and a per-
+// connection protocol handler (text or binary memcached, see
+// memcache_daemon.h). Single-threaded poll loop — the same architecture as
+// memcached's worker threads, collapsed to one for clarity.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace proteus::net {
+
+// Per-connection byte-stream handler. on_data consumes a chunk and returns
+// bytes to write back; set `close` to end the connection after the write.
+class ConnectionHandler {
+ public:
+  virtual ~ConnectionHandler() = default;
+  virtual std::string on_data(std::string_view bytes, bool& close) = 0;
+};
+
+class TcpServer {
+ public:
+  using HandlerFactory = std::function<std::unique_ptr<ConnectionHandler>()>;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral). With `reuse_port`, multiple
+  // TcpServer instances may bind the same port (SO_REUSEPORT) and the
+  // kernel load-balances accepted connections across them — the basis of
+  // the daemon's worker-thread mode. Throws nothing: check ok().
+  TcpServer(std::uint16_t port, HandlerFactory factory,
+            bool reuse_port = false);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  bool ok() const noexcept { return listen_fd_ >= 0; }
+  std::uint16_t port() const noexcept { return port_; }
+
+  // Runs the poll loop until stop() is called (from another thread) or the
+  // listening socket fails.
+  void run();
+
+  // Thread-safe shutdown request; wakes the poll loop via a pipe.
+  void stop();
+
+  std::uint64_t connections_accepted() const noexcept { return accepted_; }
+
+ private:
+  struct Connection {
+    std::unique_ptr<ConnectionHandler> handler;
+    std::string outbox;   // bytes pending write
+    bool close_after_write = false;
+  };
+
+  void accept_new();
+  bool service_read(int fd);   // false -> drop connection
+  bool service_write(int fd);  // false -> drop connection
+  void drop(int fd);
+
+  HandlerFactory factory_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::unordered_map<int, Connection> connections_;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace proteus::net

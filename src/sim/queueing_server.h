@@ -1,0 +1,97 @@
+// A queueing station: `concurrency` parallel service slots plus an unbounded
+// FIFO queue. Models both database shards (few slots, long seek-dominated
+// service times — the component whose overload produces the Fig. 9 delay
+// spikes) and web/cache servers (many slots, short service times).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "sim/simulation.h"
+
+namespace proteus::sim {
+
+class QueueingServer {
+ public:
+  using Callback = std::function<void()>;
+
+  QueueingServer(Simulation& sim, std::string name, int concurrency)
+      : sim_(sim), name_(std::move(name)), concurrency_(concurrency) {
+    PROTEUS_CHECK(concurrency_ > 0);
+  }
+
+  // Enqueue a job needing `service_time`; `done` fires when service ends.
+  void submit(SimTime service_time, Callback done) {
+    PROTEUS_CHECK(service_time >= 0);
+    ++arrivals_;
+    if (in_service_ < concurrency_) {
+      start(service_time, std::move(done));
+    } else {
+      queue_.push_back(Job{service_time, std::move(done), sim_.now()});
+      max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+    }
+  }
+
+  // --- instrumentation ---------------------------------------------------
+  std::size_t queue_depth() const noexcept { return queue_.size(); }
+  std::size_t max_queue_depth() const noexcept { return max_queue_depth_; }
+  int in_service() const noexcept { return in_service_; }
+  std::uint64_t arrivals() const noexcept { return arrivals_; }
+  std::uint64_t completions() const noexcept { return completions_; }
+  SimTime total_busy_time() const noexcept { return busy_time_; }
+  SimTime total_wait_time() const noexcept { return wait_time_; }
+  const std::string& name() const noexcept { return name_; }
+
+  // Utilisation over [0, now]: busy slot-time / (slots * elapsed).
+  double utilization() const noexcept {
+    const SimTime elapsed = sim_.now();
+    if (elapsed <= 0) return 0.0;
+    return static_cast<double>(busy_time_) /
+           (static_cast<double>(concurrency_) * static_cast<double>(elapsed));
+  }
+
+ private:
+  struct Job {
+    SimTime service_time;
+    Callback done;
+    SimTime enqueued_at;
+  };
+
+  void start(SimTime service_time, Callback done) {
+    ++in_service_;
+    busy_time_ += service_time;
+    sim_.schedule_after(service_time,
+                        [this, done = std::move(done)]() mutable {
+                          finish(std::move(done));
+                        });
+  }
+
+  void finish(Callback done) {
+    --in_service_;
+    ++completions_;
+    if (!queue_.empty()) {
+      Job next = std::move(queue_.front());
+      queue_.pop_front();
+      wait_time_ += sim_.now() - next.enqueued_at;
+      start(next.service_time, std::move(next.done));
+    }
+    done();
+  }
+
+  Simulation& sim_;
+  std::string name_;
+  int concurrency_;
+  int in_service_ = 0;
+  std::deque<Job> queue_;
+  std::size_t max_queue_depth_ = 0;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t completions_ = 0;
+  SimTime busy_time_ = 0;
+  SimTime wait_time_ = 0;
+};
+
+}  // namespace proteus::sim

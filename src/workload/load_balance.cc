@@ -1,0 +1,61 @@
+#include "workload/load_balance.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace proteus::workload {
+
+double LoadBalanceSeries::mean() const noexcept {
+  if (min_max_ratio.empty()) return 0.0;
+  double sum = 0;
+  for (double r : min_max_ratio) sum += r;
+  return sum / static_cast<double>(min_max_ratio.size());
+}
+
+double LoadBalanceSeries::worst() const noexcept {
+  if (min_max_ratio.empty()) return 0.0;
+  return *std::min_element(min_max_ratio.begin(), min_max_ratio.end());
+}
+
+LoadBalanceSeries replay_load_balance(const ring::PlacementStrategy& placement,
+                                      const std::vector<TraceEvent>& trace,
+                                      const std::vector<int>& schedule,
+                                      SimTime slot_length, bool dynamic) {
+  PROTEUS_CHECK(slot_length > 0);
+  PROTEUS_CHECK(!schedule.empty());
+  const int max_servers = placement.max_servers();
+
+  LoadBalanceSeries series;
+  std::vector<std::uint64_t> loads(static_cast<std::size_t>(max_servers), 0);
+  std::size_t slot = 0;
+
+  const auto flush = [&](std::size_t ending_slot) {
+    const int n = dynamic ? schedule[ending_slot] : max_servers;
+    std::uint64_t lo = UINT64_MAX, hi = 0;
+    for (int s = 0; s < n; ++s) {
+      lo = std::min(lo, loads[static_cast<std::size_t>(s)]);
+      hi = std::max(hi, loads[static_cast<std::size_t>(s)]);
+    }
+    series.min_max_ratio.push_back(
+        hi ? static_cast<double>(lo) / static_cast<double>(hi) : 1.0);
+    std::fill(loads.begin(), loads.end(), 0);
+  };
+
+  for (const TraceEvent& ev : trace) {
+    const auto ev_slot = static_cast<std::size_t>(ev.time / slot_length);
+    while (slot < ev_slot && slot < schedule.size()) {
+      flush(slot);
+      ++slot;
+    }
+    if (slot >= schedule.size()) break;
+    const int n = dynamic ? schedule[slot] : max_servers;
+    ++loads[static_cast<std::size_t>(
+        placement.server_for(hash_bytes(ev.key), n))];
+  }
+  if (slot < schedule.size()) flush(slot);
+  return series;
+}
+
+}  // namespace proteus::workload

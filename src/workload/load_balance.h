@@ -1,0 +1,32 @@
+// Load-balance analysis: replay a request trace against a placement under a
+// provisioning schedule and measure per-slot load dispersion — the Fig. 5
+// methodology as a reusable library (the paper computes the same thing
+// offline from the real trace).
+#pragma once
+
+#include <vector>
+
+#include "common/time.h"
+#include "hashring/placement.h"
+#include "workload/trace.h"
+
+namespace proteus::workload {
+
+struct LoadBalanceSeries {
+  // min/max per-server request-count ratio per slot; 1.0 = perfect balance.
+  std::vector<double> min_max_ratio;
+
+  double mean() const noexcept;
+  double worst() const noexcept;  // minimum over slots
+};
+
+// Replays `trace` through `placement`. In each slot of length `slot_length`
+// the active server count is schedule[slot] when `dynamic`, else
+// placement.max_servers() (the Static scenario). Slots beyond the schedule
+// are dropped.
+LoadBalanceSeries replay_load_balance(const ring::PlacementStrategy& placement,
+                                      const std::vector<TraceEvent>& trace,
+                                      const std::vector<int>& schedule,
+                                      SimTime slot_length, bool dynamic);
+
+}  // namespace proteus::workload

@@ -1,0 +1,86 @@
+#include "workload/popularity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace proteus::workload {
+
+PopularityStats analyze_popularity(const std::vector<TraceEvent>& trace) {
+  PopularityStats stats;
+  stats.requests = trace.size();
+  if (trace.empty()) return stats;
+
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const TraceEvent& ev : trace) ++counts[ev.key];
+  stats.distinct_keys = counts.size();
+
+  std::vector<std::uint64_t> freq;
+  freq.reserve(counts.size());
+  for (const auto& [key, c] : counts) freq.push_back(c);
+  std::sort(freq.begin(), freq.end(), std::greater<>());
+
+  // Zipf exponent: least squares on (log rank, log freq) over the head of
+  // the curve (ranks 1..min(1000, distinct/2)); the tail is dominated by
+  // singletons and would bias the slope.
+  const std::size_t fit_n =
+      std::max<std::size_t>(2, std::min<std::size_t>(1000, freq.size() / 2));
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t r = 0; r < fit_n; ++r) {
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(static_cast<double>(freq[r]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = static_cast<double>(fit_n);
+  const double denom = n * sxx - sx * sx;
+  stats.zipf_alpha = denom != 0 ? -(n * sxy - sx * sy) / denom : 0.0;
+
+  const auto share_of_top = [&](std::size_t top) {
+    std::uint64_t sum = 0;
+    for (std::size_t r = 0; r < top && r < freq.size(); ++r) sum += freq[r];
+    return static_cast<double>(sum) / static_cast<double>(stats.requests);
+  };
+  stats.top_1pct_share =
+      share_of_top(std::max<std::size_t>(1, freq.size() / 100));
+  stats.top_10pct_share =
+      share_of_top(std::max<std::size_t>(1, freq.size() / 10));
+
+  const auto needed =
+      static_cast<std::uint64_t>(0.8 * static_cast<double>(stats.requests));
+  std::uint64_t covered = 0;
+  for (std::size_t r = 0; r < freq.size(); ++r) {
+    covered += freq[r];
+    if (covered >= needed) {
+      stats.hot_set_80 = r + 1;
+      break;
+    }
+  }
+  return stats;
+}
+
+std::vector<std::uint64_t> working_set_sizes(
+    const std::vector<TraceEvent>& trace, SimTime window) {
+  PROTEUS_CHECK(window > 0);
+  std::vector<std::uint64_t> sizes;
+  std::unordered_set<std::string> current;
+  std::size_t slot = 0;
+  for (const TraceEvent& ev : trace) {
+    const auto ev_slot = static_cast<std::size_t>(ev.time / window);
+    while (slot < ev_slot) {
+      sizes.push_back(current.size());
+      current.clear();
+      ++slot;
+    }
+    current.insert(ev.key);
+  }
+  sizes.push_back(current.size());
+  return sizes;
+}
+
+}  // namespace proteus::workload

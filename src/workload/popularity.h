@@ -1,0 +1,40 @@
+// Popularity analysis of a request trace: rank-frequency statistics, Zipf
+// exponent estimation, and hot-set concentration. The paper's workload
+// characterization (§V-A, the Urdaneta et al. trace study) boiled down to
+// exactly these quantities; this module recovers them from any trace so a
+// synthetic workload can be calibrated against a real one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace proteus::workload {
+
+struct PopularityStats {
+  std::uint64_t requests = 0;
+  std::uint64_t distinct_keys = 0;
+
+  // Least-squares slope of log(frequency) vs log(rank) over the head of
+  // the rank-frequency curve — the Zipf exponent estimate (positive value;
+  // a pure Zipf(alpha) trace yields ~alpha).
+  double zipf_alpha = 0;
+
+  // Fraction of all requests absorbed by the top 1% / 10% of keys.
+  double top_1pct_share = 0;
+  double top_10pct_share = 0;
+
+  // Smallest number of distinct keys covering 80% of requests ("hot set").
+  std::uint64_t hot_set_80 = 0;
+};
+
+PopularityStats analyze_popularity(const std::vector<TraceEvent>& trace);
+
+// Distinct keys per sliding window — the working-set trajectory (Denning).
+// Returns one sample per `window` of trace time.
+std::vector<std::uint64_t> working_set_sizes(
+    const std::vector<TraceEvent>& trace, SimTime window);
+
+}  // namespace proteus::workload

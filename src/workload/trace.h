@@ -1,0 +1,49 @@
+// Request traces: the (timestamp, key) stream the evaluation replays.
+//
+// A generator produces synthetic Wikipedia-like traces (diurnal rate, Zipf
+// page popularity); a reader/writer round-trips the simple text format
+// "<microseconds> <key>\n" so a real trace (e.g. the Urdaneta et al.
+// Wikipedia trace, timestamp + URL distilled to page titles) can be plugged
+// in unchanged.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "workload/diurnal_model.h"
+
+namespace proteus::workload {
+
+struct TraceEvent {
+  SimTime time = 0;
+  std::string key;
+};
+
+struct TraceConfig {
+  SimTime duration = 33 * kHour;  // the paper's ~33 one-hour slots
+  std::size_t num_pages = 200'000;
+  double zipf_alpha = 0.9;        // Wikipedia popularity skew
+  DiurnalConfig diurnal;
+  std::uint64_t seed = 1234;
+};
+
+// Page keys look like wiki titles: "page:<id>".
+std::string page_key(std::size_t page_id);
+
+// Generates a full trace: Poisson arrivals thinned by the diurnal rate,
+// Zipf-sampled keys. Deterministic for a given config.
+std::vector<TraceEvent> generate_trace(const TraceConfig& config);
+
+// Text round-trip ("<usec> <key>\n" per line).
+void write_trace(std::ostream& out, const std::vector<TraceEvent>& trace);
+std::vector<TraceEvent> read_trace(std::istream& in);
+
+// Requests per fixed window — the Fig. 4 "requests per 1-hour slot" series.
+std::vector<std::uint64_t> requests_per_window(
+    const std::vector<TraceEvent>& trace, SimTime window);
+
+}  // namespace proteus::workload

@@ -1,0 +1,126 @@
+#include "workload/wiki_trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+
+namespace proteus::workload {
+
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool consume_prefix(std::string_view& text, std::string_view prefix) {
+  if (text.substr(0, prefix.size()) != prefix) return false;
+  text.remove_prefix(prefix.size());
+  return true;
+}
+
+// Namespace prefixes that are not article content (the paper's experiments
+// serve article text from the database dump; media and service pages are
+// "not available").
+constexpr std::string_view kRejectedPrefixes[] = {
+    "Special:",  "File:",     "Image:",    "Media:",     "Talk:",
+    "User:",     "User_talk:", "Wikipedia:", "Template:", "Category:",
+    "Help:",     "Portal:",   "MediaWiki:",
+};
+
+}  // namespace
+
+std::string percent_decode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '%' && i + 2 < text.size()) {
+      const int hi = hex_value(text[i + 1]);
+      const int lo = hex_value(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += text[i];
+  }
+  return out;
+}
+
+std::optional<std::string> wiki_article_title(std::string_view url) {
+  std::string_view rest = url;
+  if (!consume_prefix(rest, "http://") && !consume_prefix(rest, "https://")) {
+    return std::nullopt;
+  }
+  if (!consume_prefix(rest, "en.wikipedia.org")) return std::nullopt;
+  if (!consume_prefix(rest, "/wiki/")) return std::nullopt;
+
+  // Strip query string / fragment: they address the same article.
+  const std::size_t cut = rest.find_first_of("?#");
+  if (cut != std::string_view::npos) rest = rest.substr(0, cut);
+  if (rest.empty()) return std::nullopt;
+
+  std::string title = percent_decode(rest);
+  // Normalize: MediaWiki treats spaces and underscores identically.
+  std::replace(title.begin(), title.end(), ' ', '_');
+  if (title.empty() || title.front() == '_') return std::nullopt;
+
+  for (std::string_view prefix : kRejectedPrefixes) {
+    if (title.size() > prefix.size() &&
+        title.compare(0, prefix.size(), prefix) == 0) {
+      return std::nullopt;
+    }
+  }
+  return title;
+}
+
+std::vector<TraceEvent> read_wikipedia_trace(std::istream& in,
+                                             WikiTraceStats* stats) {
+  WikiTraceStats local;
+  std::vector<TraceEvent> trace;
+  std::string line;
+  bool have_base = false;
+  double base_seconds = 0;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++local.lines;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos || space == 0) {
+      ++local.malformed;
+      continue;
+    }
+    char* end = nullptr;
+    const double seconds = std::strtod(line.c_str(), &end);
+    if (end != line.c_str() + space) {
+      ++local.malformed;
+      continue;
+    }
+    const std::string_view url = std::string_view(line).substr(space + 1);
+    const auto title = wiki_article_title(url);
+    if (!title.has_value()) {
+      ++local.rejected;
+      continue;
+    }
+    if (!have_base) {
+      base_seconds = seconds;
+      have_base = true;
+    }
+    ++local.accepted;
+    trace.push_back(TraceEvent{from_seconds(seconds - base_seconds),
+                               "page:" + *title});
+  }
+  // The traces are time-ordered, but tolerate minor reordering.
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+  if (stats != nullptr) *stats = local;
+  return trace;
+}
+
+}  // namespace proteus::workload

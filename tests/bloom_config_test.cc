@@ -1,0 +1,108 @@
+#include "bloom/config.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace proteus::bloom {
+namespace {
+
+TEST(LambertW, KnownValues) {
+  EXPECT_NEAR(lambert_w0(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(lambert_w0(std::exp(1.0)), 1.0, 1e-10);   // W(e) = 1
+  EXPECT_NEAR(lambert_w0(1.0), 0.5671432904097838, 1e-10);  // omega constant
+  EXPECT_NEAR(lambert_w0(2.0 * std::exp(2.0)), 2.0, 1e-9);
+}
+
+TEST(LambertW, InvertsXExpX) {
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0, 100.0}) {
+    const double w = lambert_w0(x);
+    EXPECT_NEAR(w * std::exp(w), x, x * 1e-9) << x;
+  }
+}
+
+TEST(FalsePositiveRate, MatchesEq4) {
+  // (1 - e^{-kappa h / l})^h with kappa=1e4, h=4, l=4e5: kappa*h/l = 0.1,
+  // (1-e^-0.1)^4 = 0.09516^4 ~ 8.2e-5.
+  EXPECT_NEAR(false_positive_rate(10'000, 4, 400'000), 8.2e-5, 0.2e-5);
+}
+
+TEST(FalsePositiveRate, DecreasesWithMoreCounters) {
+  double prev = 1.0;
+  for (std::size_t l = 10'000; l <= 1'000'000; l *= 10) {
+    const double fp = false_positive_rate(10'000, 4, l);
+    EXPECT_LT(fp, prev);
+    prev = fp;
+  }
+}
+
+TEST(FalseNegativeBound, MatchesEq5WorkedExample) {
+  // l * (e kappa h / (2^b l))^{2^b}: kappa=1e4, h=4, l=4e5, b=3 -> ~7e-7.
+  const double bound = false_negative_bound(10'000, 4, 400'000, 3);
+  EXPECT_LT(bound, 1e-4);   // satisfies pn = 1e-4 (paper: "more than enough")
+  EXPECT_GT(bound, 1e-12);
+  // b=2 fails the same constraint (the paper's minimality of b=3).
+  EXPECT_GT(false_negative_bound(10'000, 4, 400'000, 2), 1e-4);
+}
+
+TEST(FalseNegativeBound, DecreasesWithWiderCounters) {
+  double prev = 1e9;
+  for (unsigned b = 1; b <= 6; ++b) {
+    const double bound = false_negative_bound(10'000, 4, 400'000, b);
+    EXPECT_LT(bound, prev) << "b=" << b;
+    prev = bound;
+  }
+}
+
+TEST(MinCounters, SatisfiesConstraintTightly) {
+  const std::size_t l = min_counters_for_fp(10'000, 4, 1e-4);
+  EXPECT_LE(false_positive_rate(10'000, 4, l), 1e-4);
+  // One fewer counter (well, 1% fewer) violates it: the bound is tight.
+  EXPECT_GT(false_positive_rate(10'000, 4, l - l / 100), 1e-4);
+}
+
+TEST(Optimize, ReproducesPaperWorkedExample) {
+  // Paper §IV-B: (kappa=1e4, h=4, pp=pn=1e-4) -> l ~ 4e5, b = 3,
+  // "about 150KB memory per digest".
+  const BloomParams p = optimize(10'000, 4, 1e-4, 1e-4);
+  EXPECT_NEAR(static_cast<double>(p.num_counters), 4e5, 0.3e5);
+  EXPECT_EQ(p.counter_bits, 3u);
+  EXPECT_NEAR(static_cast<double>(p.memory_bytes()), 150.0 * 1024, 20.0 * 1024);
+  EXPECT_EQ(p.num_hashes, 4u);
+  EXPECT_EQ(p.expected_keys, 10'000u);
+}
+
+TEST(Optimize, SatisfiesBothConstraints) {
+  for (std::size_t kappa : {1'000u, 50'000u, 1'000'000u}) {
+    for (double bound : {1e-3, 1e-5}) {
+      const BloomParams p = optimize(kappa, 4, bound, bound);
+      EXPECT_LE(false_positive_rate(kappa, 4, p.num_counters), bound);
+      EXPECT_LE(false_negative_bound(kappa, 4, p.num_counters, p.counter_bits),
+                bound);
+    }
+  }
+}
+
+TEST(Optimize, TighterBoundsCostMoreMemory) {
+  const BloomParams loose = optimize(100'000, 4, 1e-2, 1e-2);
+  const BloomParams tight = optimize(100'000, 4, 1e-6, 1e-6);
+  EXPECT_GT(tight.memory_bytes(), loose.memory_bytes());
+}
+
+TEST(ClosedFormCounterBits, AgreesWithEnumeration) {
+  // The Lambert-W closed form should land within one integer of the
+  // enumerated optimum (it solves the relaxed real-valued problem).
+  const std::size_t l = min_counters_for_fp(10'000, 4, 1e-4);
+  const double b_real = closed_form_counter_bits(10'000, 4, l, 1e-4);
+  const BloomParams p = optimize(10'000, 4, 1e-4, 1e-4);
+  EXPECT_NEAR(std::ceil(b_real), static_cast<double>(p.counter_bits), 1.0);
+}
+
+TEST(BloomParams, DigestIsMuchSmallerThanCbf) {
+  const BloomParams p = optimize(10'000, 4, 1e-4, 1e-4);
+  EXPECT_EQ(p.digest_bytes(), (p.num_counters + 7) / 8);
+  EXPECT_LT(p.digest_bytes(), p.memory_bytes());
+}
+
+}  // namespace
+}  // namespace proteus::bloom

@@ -1,0 +1,104 @@
+#include "bloom/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bloom/config.h"
+
+namespace proteus::bloom {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf(1 << 16, 4);
+  for (int i = 0; i < 2000; ++i) bf.insert("key:" + std::to_string(i));
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(bf.maybe_contains("key:" + std::to_string(i))) << i;
+  }
+}
+
+TEST(BloomFilter, EmptyFilterContainsNothing) {
+  BloomFilter bf(1024, 4);
+  EXPECT_FALSE(bf.maybe_contains("anything"));
+  EXPECT_EQ(bf.popcount(), 0u);
+}
+
+TEST(BloomFilter, FalsePositiveRateNearAnalytic) {
+  // kappa=5000 keys into l=2^16 bits with h=4: Eq. (4) predicts the FP rate.
+  constexpr std::size_t kBits = 1 << 16;
+  constexpr std::size_t kKeys = 5000;
+  BloomFilter bf(kBits, 4);
+  for (std::size_t i = 0; i < kKeys; ++i) bf.insert("in:" + std::to_string(i));
+
+  const double predicted = false_positive_rate(kKeys, 4, kBits);
+  std::size_t fp = 0;
+  constexpr std::size_t kProbes = 100'000;
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    if (bf.maybe_contains("out:" + std::to_string(i))) ++fp;
+  }
+  const double measured = static_cast<double>(fp) / kProbes;
+  EXPECT_NEAR(measured, predicted, predicted * 0.5 + 1e-4)
+      << "measured=" << measured << " predicted=" << predicted;
+}
+
+TEST(BloomFilter, SeedChangesBitPattern) {
+  BloomFilter a(1024, 4, 1);
+  BloomFilter b(1024, 4, 2);
+  a.insert("k");
+  b.insert("k");
+  EXPECT_NE(a.words(), b.words());
+}
+
+TEST(BloomFilter, IntegerAndStringOverloadsIndependent) {
+  BloomFilter bf(4096, 4);
+  bf.insert(std::uint64_t{42});
+  EXPECT_TRUE(bf.maybe_contains(std::uint64_t{42}));
+  EXPECT_FALSE(bf.maybe_contains(std::uint64_t{43}));
+}
+
+TEST(BloomFilter, KeepsLogicalBitCountRoundsStorageUp) {
+  // The logical modulus is preserved (it must match a counting filter's
+  // counter count); only the backing storage rounds to whole words.
+  BloomFilter bf(65, 2);
+  EXPECT_EQ(bf.num_bits(), 65u);
+  EXPECT_EQ(bf.memory_bytes(), 16u);
+  bf.insert("x");
+  EXPECT_TRUE(bf.maybe_contains("x"));
+}
+
+TEST(BloomFilter, FromWordsRoundTrips) {
+  BloomFilter bf(512, 3, 9);
+  for (int i = 0; i < 40; ++i) bf.insert("k" + std::to_string(i));
+  BloomFilter copy = BloomFilter::from_words(bf.words(), bf.num_bits(),
+                                             bf.num_hashes(), bf.seed());
+  EXPECT_EQ(bf, copy);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(copy.maybe_contains("k" + std::to_string(i)));
+  }
+}
+
+TEST(BloomFilter, ClearEmptiesFilter) {
+  BloomFilter bf(512, 3);
+  bf.insert("x");
+  EXPECT_GT(bf.popcount(), 0u);
+  bf.clear();
+  EXPECT_EQ(bf.popcount(), 0u);
+  EXPECT_FALSE(bf.maybe_contains("x"));
+}
+
+TEST(BloomFilter, FillRatioGrowsWithInsertions) {
+  BloomFilter bf(1 << 14, 4);
+  double prev = bf.fill_ratio();
+  for (int batch = 0; batch < 4; ++batch) {
+    for (int i = 0; i < 500; ++i) {
+      bf.insert("b" + std::to_string(batch) + ":" + std::to_string(i));
+    }
+    const double now = bf.fill_ratio();
+    EXPECT_GT(now, prev);
+    prev = now;
+  }
+  EXPECT_LT(prev, 1.0);
+}
+
+}  // namespace
+}  // namespace proteus::bloom

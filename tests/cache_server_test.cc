@@ -1,0 +1,389 @@
+#include "cache/cache_server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace proteus::cache {
+namespace {
+
+CacheConfig small_config(std::size_t budget = 1 << 20) {
+  CacheConfig cfg;
+  cfg.memory_budget_bytes = budget;
+  cfg.auto_size_digest = false;
+  cfg.digest.num_counters = 1 << 14;
+  cfg.digest.counter_bits = 4;
+  cfg.digest.num_hashes = 4;
+  return cfg;
+}
+
+TEST(CacheServer, SetGetRoundTrip) {
+  CacheServer cache(small_config());
+  cache.set("page:1", "hello", 0);
+  auto v = cache.get("page:1", 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "hello");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(CacheServer, MissOnAbsentKey) {
+  CacheServer cache(small_config());
+  EXPECT_FALSE(cache.get("nope", 0).has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheServer, OverwriteReplacesValue) {
+  CacheServer cache(small_config());
+  cache.set("k", "v1", 0);
+  cache.set("k", "v2", 1);
+  EXPECT_EQ(*cache.get("k", 2), "v2");
+  EXPECT_EQ(cache.item_count(), 1u);
+}
+
+TEST(CacheServer, LruEvictionOrder) {
+  CacheConfig cfg = small_config();
+  cfg.per_item_overhead = 0;
+  // Budget for ~3 items of charge (1-char key + 10-byte charge).
+  cfg.memory_budget_bytes = 3 * 11;
+  CacheServer cache(cfg);
+  cache.set("a", "x", 0, 10);
+  cache.set("b", "x", 1, 10);
+  cache.set("c", "x", 2, 10);
+  // Touch "a" so "b" becomes LRU; inserting "d" must evict "b".
+  EXPECT_TRUE(cache.get("a", 3).has_value());
+  cache.set("d", "x", 4, 10);
+  EXPECT_TRUE(cache.contains("a", 5));
+  EXPECT_FALSE(cache.contains("b", 5));
+  EXPECT_TRUE(cache.contains("c", 5));
+  EXPECT_TRUE(cache.contains("d", 5));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheServer, BudgetIsRespected) {
+  CacheConfig cfg = small_config(1000);
+  cfg.per_item_overhead = 0;
+  CacheServer cache(cfg);
+  for (int i = 0; i < 100; ++i) {
+    cache.set("key:" + std::to_string(i), "", 0, 90);
+  }
+  EXPECT_LE(cache.bytes_used(), 1000u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(CacheServer, OversizedItemIsRejected) {
+  CacheConfig cfg = small_config(100);
+  CacheServer cache(cfg);
+  cache.set("big", "", 0, 1000);
+  EXPECT_EQ(cache.item_count(), 0u);
+  EXPECT_FALSE(cache.contains("big", 0));
+}
+
+TEST(CacheServer, ChargeOverrideAccountsSyntheticSize) {
+  CacheConfig cfg = small_config();
+  cfg.per_item_overhead = 0;
+  CacheServer cache(cfg);
+  cache.set("k", "tiny", 0, 4096);
+  EXPECT_EQ(cache.bytes_used(), 1 + 4096u);
+}
+
+TEST(CacheServer, TtlExpiryOnAccess) {
+  CacheConfig cfg = small_config();
+  cfg.item_ttl = 10 * kSecond;
+  CacheServer cache(cfg);
+  cache.set("k", "v", 0);
+  EXPECT_TRUE(cache.get("k", 5 * kSecond).has_value());   // refreshes
+  EXPECT_TRUE(cache.get("k", 14 * kSecond).has_value());  // within ttl of touch
+  EXPECT_FALSE(cache.get("k", 30 * kSecond).has_value()); // expired
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.item_count(), 0u);
+}
+
+TEST(CacheServer, EraseRemovesItem) {
+  CacheServer cache(small_config());
+  cache.set("k", "v", 0);
+  EXPECT_TRUE(cache.erase("k"));
+  EXPECT_FALSE(cache.erase("k"));
+  EXPECT_FALSE(cache.contains("k", 0));
+  EXPECT_EQ(cache.stats().deletes, 1u);
+}
+
+TEST(CacheServer, FlushClearsEverything) {
+  CacheServer cache(small_config());
+  for (int i = 0; i < 50; ++i) cache.set("k" + std::to_string(i), "v", 0);
+  cache.flush();
+  EXPECT_EQ(cache.item_count(), 0u);
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_EQ(cache.digest().nonzero_counters(), 0u);
+}
+
+// --- digest consistency (the do_item_link/unlink hook, §V-3) ---------------
+
+TEST(CacheServer, DigestTracksResidentKeys) {
+  CacheServer cache(small_config());
+  for (int i = 0; i < 200; ++i) cache.set("k" + std::to_string(i), "v", 0);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(cache.digest().maybe_contains("k" + std::to_string(i))) << i;
+  }
+  for (int i = 0; i < 100; ++i) cache.erase("k" + std::to_string(i));
+  // Removed keys leave the digest (up to residual false positives).
+  int still_positive = 0;
+  for (int i = 0; i < 100; ++i) {
+    still_positive += cache.digest().maybe_contains("k" + std::to_string(i));
+  }
+  EXPECT_LT(still_positive, 5);
+}
+
+TEST(CacheServer, DigestTracksEvictions) {
+  CacheConfig cfg = small_config(500);
+  cfg.per_item_overhead = 0;
+  CacheServer cache(cfg);
+  cache.set("victim", "", 0, 400);
+  cache.set("newer", "", 1, 400);  // evicts "victim"
+  EXPECT_FALSE(cache.contains("victim", 1));
+  EXPECT_FALSE(cache.digest().maybe_contains("victim"));
+  EXPECT_TRUE(cache.digest().maybe_contains("newer"));
+}
+
+TEST(CacheServer, SnapshotDigestMatchesContent) {
+  CacheServer cache(small_config());
+  for (int i = 0; i < 100; ++i) cache.set("k" + std::to_string(i), "v", 0);
+  bloom::BloomFilter snap = cache.snapshot_digest();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(snap.maybe_contains("k" + std::to_string(i)));
+  }
+}
+
+// --- reserved protocol keys (§V-3) ------------------------------------------
+
+TEST(CacheServer, BloomFilterProtocolKeys) {
+  CacheServer cache(small_config());
+  for (int i = 0; i < 64; ++i) cache.set("k" + std::to_string(i), "v", 0);
+
+  auto ok = cache.get(kSetBloomFilterKey, 0);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, "OK");
+
+  auto blob = cache.get(kGetBloomFilterKey, 0);
+  ASSERT_TRUE(blob.has_value());
+  const bloom::BloomFilter decoded = decode_digest(*blob);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(decoded.maybe_contains("k" + std::to_string(i)));
+  }
+}
+
+TEST(CacheServer, SnapshotIsStableUntilRetaken) {
+  CacheServer cache(small_config());
+  cache.set("early", "v", 0);
+  cache.get(kSetBloomFilterKey, 0);  // snapshot now
+  cache.set("late", "v", 1);
+  const bloom::BloomFilter snap = decode_digest(*cache.get(kGetBloomFilterKey, 1));
+  EXPECT_TRUE(snap.maybe_contains("early"));
+  EXPECT_FALSE(snap.maybe_contains("late"));
+  // Re-snapshot picks up the new key.
+  cache.get(kSetBloomFilterKey, 2);
+  const bloom::BloomFilter snap2 = decode_digest(*cache.get(kGetBloomFilterKey, 2));
+  EXPECT_TRUE(snap2.maybe_contains("late"));
+}
+
+TEST(CacheServer, ProtocolKeysDoNotPolluteStats) {
+  CacheServer cache(small_config());
+  cache.get(kSetBloomFilterKey, 0);
+  cache.get(kGetBloomFilterKey, 0);
+  EXPECT_EQ(cache.stats().gets, 0u);
+}
+
+TEST(CacheServer, DigestCodecRoundTrip) {
+  bloom::BloomFilter bf(2048, 4, 77);
+  for (int i = 0; i < 100; ++i) bf.insert("x" + std::to_string(i));
+  const bloom::BloomFilter decoded = decode_digest(encode_digest(bf));
+  EXPECT_EQ(bf, decoded);
+}
+
+// --- power states ------------------------------------------------------------
+
+TEST(CacheServer, PowerCycleDropsData) {
+  CacheServer cache(small_config());
+  cache.set("k", "v", 0);
+  cache.power_off();
+  EXPECT_EQ(cache.power_state(), PowerState::kOff);
+  cache.power_on();
+  EXPECT_EQ(cache.power_state(), PowerState::kActive);
+  EXPECT_FALSE(cache.contains("k", 0));
+  EXPECT_EQ(cache.digest().nonzero_counters(), 0u);
+}
+
+TEST(CacheServer, DrainingServerStillServes) {
+  CacheServer cache(small_config());
+  cache.set("k", "v", 0);
+  cache.begin_draining();
+  EXPECT_EQ(cache.power_state(), PowerState::kDraining);
+  EXPECT_TRUE(cache.get("k", 1).has_value());
+}
+
+TEST(CacheServer, HotItemCount) {
+  CacheServer cache(small_config());
+  cache.set("old", "v", 0);
+  cache.set("new", "v", 100 * kSecond);
+  EXPECT_EQ(cache.hot_item_count(100 * kSecond, 10 * kSecond), 1u);
+  EXPECT_EQ(cache.hot_item_count(100 * kSecond, 200 * kSecond), 2u);
+}
+
+TEST(CacheServer, CasAssignedMonotonically) {
+  CacheServer cache(small_config());
+  cache.set("a", "1", 0);
+  cache.set("b", "1", 0);
+  const auto cas_a = cache.cas_of("a", 0);
+  const auto cas_b = cache.cas_of("b", 0);
+  EXPECT_GT(cas_a, 0u);
+  EXPECT_GT(cas_b, cas_a);
+  cache.set("a", "2", 1);  // overwrite bumps the version
+  EXPECT_GT(cache.cas_of("a", 1), cas_b);
+  EXPECT_EQ(cache.cas_of("absent", 0), 0u);
+}
+
+TEST(CacheServer, CompareAndSwapSemantics) {
+  CacheServer cache(small_config());
+  cache.set("k", "v1", 0);
+  const auto cas = cache.cas_of("k", 0);
+  EXPECT_EQ(cache.compare_and_swap("k", "v2", 1, cas),
+            CacheServer::CasResult::kStored);
+  EXPECT_EQ(*cache.get("k", 2), "v2");
+  // The old version no longer matches.
+  EXPECT_EQ(cache.compare_and_swap("k", "v3", 3, cas),
+            CacheServer::CasResult::kExists);
+  EXPECT_EQ(*cache.get("k", 4), "v2");
+  EXPECT_EQ(cache.compare_and_swap("ghost", "x", 5, 1),
+            CacheServer::CasResult::kNotFound);
+}
+
+TEST(CacheServer, ExpireIdleSweepsColdTail) {
+  CacheServer cache(small_config());
+  cache.set("cold1", "v", 0);
+  cache.set("cold2", "v", kSecond);
+  cache.set("hot", "v", 20 * kSecond);
+  // At t=30s with a 15 s idle limit, only "hot" (idle 10 s) survives.
+  EXPECT_EQ(cache.expire_idle(30 * kSecond, 15 * kSecond), 2u);
+  EXPECT_FALSE(cache.contains("cold1", 30 * kSecond));
+  EXPECT_FALSE(cache.contains("cold2", 30 * kSecond));
+  EXPECT_TRUE(cache.contains("hot", 30 * kSecond));
+  EXPECT_EQ(cache.stats().expirations, 2u);
+  // Idempotent.
+  EXPECT_EQ(cache.expire_idle(30 * kSecond, 15 * kSecond), 0u);
+}
+
+TEST(CacheServer, ExpireIdleRespectsLruRefresh) {
+  CacheServer cache(small_config());
+  cache.set("a", "v", 0);
+  cache.set("b", "v", 0);
+  cache.get("a", 20 * kSecond);  // refresh a
+  EXPECT_EQ(cache.expire_idle(25 * kSecond, 10 * kSecond), 1u);
+  EXPECT_TRUE(cache.contains("a", 25 * kSecond));
+  EXPECT_FALSE(cache.contains("b", 25 * kSecond));
+}
+
+// --- segmented LRU -----------------------------------------------------------
+
+CacheConfig segmented_config(std::size_t budget_items) {
+  CacheConfig cfg = small_config(budget_items * 12);
+  cfg.per_item_overhead = 0;
+  cfg.segmented_lru = true;
+  cfg.protected_ratio = 0.8;
+  return cfg;  // 2-char keys with a 10-byte charge override -> 12 B/item
+}
+
+TEST(CacheServer, SegmentedLruIsScanResistant) {
+  // Hot set of 5 keys, each hit twice (promoted to protected); then a scan
+  // of 100 one-touch keys. Plain LRU flushes the hot set; segmented keeps it.
+  const auto run = [](bool segmented) {
+    CacheConfig cfg = segmented_config(10);
+    cfg.segmented_lru = segmented;
+    CacheServer cache(cfg);
+    for (int i = 0; i < 5; ++i) {
+      cache.set("hot" + std::to_string(i), "", 0, 10);
+    }
+    for (int i = 0; i < 5; ++i) {
+      cache.get("hot" + std::to_string(i), 1);  // promote
+    }
+    for (int i = 0; i < 100; ++i) {
+      cache.set("scan" + std::to_string(i), "", 2, 10);
+    }
+    int hot_survivors = 0;
+    for (int i = 0; i < 5; ++i) {
+      hot_survivors += cache.contains("hot" + std::to_string(i), 3);
+    }
+    return hot_survivors;
+  };
+  EXPECT_EQ(run(false), 0) << "plain LRU should have flushed the hot set";
+  EXPECT_EQ(run(true), 5) << "segmented LRU should protect the hot set";
+}
+
+TEST(CacheServer, ProtectedSegmentIsCapped) {
+  // Budget 100 bytes, protected cap 80: promoting 10 x 10-byte items must
+  // demote the overflow back to probation rather than exceed the cap.
+  CacheServer cache(segmented_config(10));
+  for (int i = 0; i < 10; ++i) cache.set("k" + std::to_string(i), "", 0, 10);
+  for (int i = 0; i < 10; ++i) cache.get("k" + std::to_string(i), 1);
+  // All 10 items still resident (no eviction was needed)...
+  EXPECT_EQ(cache.item_count(), 10u);
+  // ...and a scan can displace at most the unprotected 20%.
+  for (int i = 0; i < 50; ++i) cache.set("s" + std::to_string(i), "", 2, 10);
+  int survivors = 0;
+  for (int i = 0; i < 10; ++i) {
+    survivors += cache.contains("k" + std::to_string(i), 3);
+  }
+  EXPECT_GE(survivors, 8);
+}
+
+TEST(CacheServer, SegmentedEvictionFallsBackToProtected) {
+  // When probation is empty, eviction must drain the protected tail rather
+  // than refuse to store.
+  CacheServer cache(segmented_config(5));
+  for (int i = 0; i < 5; ++i) cache.set("k" + std::to_string(i), "", 0, 10);
+  for (int i = 0; i < 5; ++i) cache.get("k" + std::to_string(i), 1);
+  // Everything is protected (50 <= 0.8*50? no: cap is 40, so one was
+  // demoted). Insert new items; the cache must keep functioning.
+  for (int i = 0; i < 3; ++i) cache.set("n" + std::to_string(i), "", 2, 10);
+  EXPECT_LE(cache.bytes_used(), cache.memory_budget());
+  EXPECT_TRUE(cache.contains("n2", 3));
+}
+
+TEST(CacheServer, SegmentedDigestStaysConsistent) {
+  CacheServer cache(segmented_config(10));
+  for (int i = 0; i < 20; ++i) cache.set("k" + std::to_string(i), "", 0, 10);
+  for (int i = 10; i < 20; ++i) cache.get("k" + std::to_string(i), 1);
+  for (int i = 0; i < 30; ++i) cache.set("x" + std::to_string(i), "", 2, 10);
+  // Digest answers yes for every resident key regardless of segment.
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    if (cache.contains(key, 3)) {
+      EXPECT_TRUE(cache.digest().maybe_contains(key)) << key;
+    }
+  }
+}
+
+TEST(CacheServer, SegmentedExpireIdleSweepsBothSegments) {
+  CacheConfig cfg = segmented_config(10);
+  CacheServer cache(cfg);
+  cache.set("prot", "", 0, 10);
+  cache.get("prot", 1);  // promoted at t=1
+  cache.set("prob", "", 5 * kSecond, 10);
+  // At t=40s with a 20s limit both are idle.
+  EXPECT_EQ(cache.expire_idle(40 * kSecond, 20 * kSecond), 2u);
+  EXPECT_EQ(cache.item_count(), 0u);
+}
+
+TEST(CacheServer, AutoSizedDigestSatisfiesPaperBounds) {
+  CacheConfig cfg;
+  cfg.memory_budget_bytes = 64 << 20;  // ~16k 4KB objects
+  cfg.auto_size_digest = true;
+  CacheServer cache(cfg);
+  const auto& params = cache.config().digest;
+  EXPECT_EQ(params.num_hashes, 4u);
+  EXPECT_LE(bloom::false_positive_rate(params.expected_keys, params.num_hashes,
+                                       params.num_counters),
+            1e-4);
+}
+
+}  // namespace
+}  // namespace proteus::cache

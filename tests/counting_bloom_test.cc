@@ -1,0 +1,119 @@
+#include "bloom/counting_bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace proteus::bloom {
+namespace {
+
+TEST(CountingBloom, InsertThenRemoveRestoresEmptiness) {
+  CountingBloomFilter cbf(1 << 14, 4, 4);
+  for (int i = 0; i < 500; ++i) cbf.insert("k" + std::to_string(i));
+  for (int i = 0; i < 500; ++i) cbf.remove("k" + std::to_string(i));
+  EXPECT_EQ(cbf.nonzero_counters(), 0u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(cbf.maybe_contains("k" + std::to_string(i)));
+  }
+}
+
+TEST(CountingBloom, NoFalseNegativesForResidentKeys) {
+  CountingBloomFilter cbf(1 << 15, 4, 4);
+  for (int i = 0; i < 3000; ++i) cbf.insert("k" + std::to_string(i));
+  // Remove half; the rest must all still answer yes.
+  for (int i = 0; i < 1500; ++i) cbf.remove("k" + std::to_string(i));
+  for (int i = 1500; i < 3000; ++i) {
+    EXPECT_TRUE(cbf.maybe_contains("k" + std::to_string(i))) << i;
+  }
+}
+
+TEST(CountingBloom, CounterPackingAcrossWordBoundaries) {
+  // counter_bits values that do not divide 64 force straddled counters.
+  for (unsigned bits : {3u, 5u, 7u, 11u, 13u}) {
+    CountingBloomFilter cbf(257, bits, 1, /*seed=*/1);
+    // Drive a single counter up and down through its full range.
+    const std::uint64_t max = (1ULL << bits) - 1;
+    for (std::uint64_t v = 0; v < max; ++v) cbf.insert(std::uint64_t{77});
+    EXPECT_TRUE(cbf.maybe_contains(std::uint64_t{77}));
+    for (std::uint64_t v = 0; v < max; ++v) cbf.remove(std::uint64_t{77});
+    EXPECT_FALSE(cbf.maybe_contains(std::uint64_t{77})) << bits;
+    EXPECT_EQ(cbf.nonzero_counters(), 0u) << bits;
+  }
+}
+
+TEST(CountingBloom, SetGetCounterValuesExhaustive) {
+  // Every counter in a small filter must hold independent values.
+  CountingBloomFilter cbf(64, 5, 1, 3);
+  // Direct exercise through inserts: each insert with h=1 touches 1 counter.
+  std::vector<int> expected(64, 0);
+  for (std::uint64_t k = 0; k < 512; ++k) {
+    cbf.insert(k);
+  }
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < 64; ++i) total += cbf.counter_at(i);
+  EXPECT_EQ(total, 512u);  // no counts lost to packing bugs (max 31 per ctr)
+}
+
+TEST(CountingBloom, SaturatePolicyNeverGoesFalselyNegative) {
+  // 1-bit counters saturate instantly; repeated inserts then removes must
+  // not produce a false negative for a still-resident key.
+  CountingBloomFilter cbf(1 << 10, 1, 2, 0, OverflowPolicy::kSaturate);
+  for (int i = 0; i < 200; ++i) cbf.insert("dup");
+  EXPECT_GT(cbf.overflow_events(), 0u);
+  for (int i = 0; i < 199; ++i) cbf.remove("dup");
+  EXPECT_TRUE(cbf.maybe_contains("dup"));  // one copy logically remains
+}
+
+TEST(CountingBloom, WrapPolicyProducesFalseNegativesAfterOverflow) {
+  // With a single 2-bit counter every key collides: the 4th insert wraps
+  // the counter to 0 (overflow), the 5th leaves it at 1, and one removal
+  // underflows it to 0 — every resident key now answers "no". This is the
+  // Eq. (5) failure mode reproduced for Fig. 8.
+  CountingBloomFilter cbf(1, 2, 1, 0, OverflowPolicy::kWrap);
+  for (std::uint64_t k = 0; k < 5; ++k) cbf.insert(k);
+  EXPECT_EQ(cbf.overflow_events(), 1u);
+  EXPECT_EQ(cbf.counter_at(0), 1u);
+  cbf.remove(std::uint64_t{0});
+  for (std::uint64_t k = 1; k < 5; ++k) {
+    EXPECT_FALSE(cbf.maybe_contains(k)) << "resident key " << k;
+  }
+}
+
+TEST(CountingBloom, SnapshotMatchesMembership) {
+  CountingBloomFilter cbf(1 << 12, 4, 4, 17);
+  for (int i = 0; i < 300; ++i) cbf.insert("k" + std::to_string(i));
+  BloomFilter snap = cbf.snapshot();
+  EXPECT_EQ(snap.num_bits(), cbf.num_counters());
+  EXPECT_EQ(snap.num_hashes(), cbf.num_hashes());
+  EXPECT_EQ(snap.seed(), 17u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(snap.maybe_contains("k" + std::to_string(i))) << i;
+  }
+  // A later mutation of the CBF must not affect the snapshot.
+  cbf.remove("k0");
+  EXPECT_TRUE(snap.maybe_contains("k0"));
+}
+
+TEST(CountingBloom, SnapshotBitCountEqualsNonzeroCounters) {
+  CountingBloomFilter cbf(4096, 4, 4);
+  for (int i = 0; i < 100; ++i) cbf.insert("k" + std::to_string(i));
+  EXPECT_EQ(cbf.snapshot().popcount(), cbf.nonzero_counters());
+}
+
+TEST(CountingBloom, ClearResetsEverything) {
+  CountingBloomFilter cbf(1024, 4, 4);
+  cbf.insert("a");
+  cbf.clear();
+  EXPECT_EQ(cbf.nonzero_counters(), 0u);
+  EXPECT_FALSE(cbf.maybe_contains("a"));
+  EXPECT_EQ(cbf.overflow_events(), 0u);
+}
+
+TEST(CountingBloom, MemoryBytesMatchesPacking) {
+  CountingBloomFilter cbf(1000, 3, 4);  // 3000 bits -> 47 words -> 376 bytes
+  EXPECT_EQ(cbf.memory_bytes(), ((1000 * 3 + 63) / 64) * 8u);
+}
+
+}  // namespace
+}  // namespace proteus::bloom

@@ -1,0 +1,131 @@
+// Randomized invariant tests ("fuzz-lite"): deterministic seeds, thousands
+// of random operations, invariants checked after every step.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "cache/text_protocol.h"
+#include "common/rng.h"
+#include "core/proteus.h"
+
+namespace proteus {
+namespace {
+
+// --- protocol: responses must not depend on TCP segmentation ---------------
+
+class ProtocolSegmentation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolSegmentation, ResponseInvariantUnderChunking) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  // Build a random but valid command script.
+  std::string wire;
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "k" + std::to_string(rng.next_below(40));
+    switch (rng.next_below(5)) {
+      case 0: {
+        const auto len = static_cast<std::size_t>(rng.next_below(64));
+        std::string payload;
+        for (std::size_t b = 0; b < len; ++b) {
+          payload += static_cast<char>('a' + rng.next_below(26));
+        }
+        wire += "set " + key + " " + std::to_string(rng.next_below(100)) +
+                " 0 " + std::to_string(len) + "\r\n" + payload + "\r\n";
+        break;
+      }
+      case 1: wire += "get " + key + "\r\n"; break;
+      case 2: wire += "delete " + key + "\r\n"; break;
+      case 3: wire += "get " + key + " other\r\n"; break;
+      case 4: wire += "stats\r\n"; break;
+    }
+  }
+
+  const auto run_chunked = [&](std::size_t max_chunk) {
+    cache::CacheConfig cfg;
+    cfg.memory_budget_bytes = 4 << 20;
+    cache::CacheServer server(cfg);
+    cache::TextProtocolSession session(server);
+    std::string out;
+    Rng chunk_rng(seed ^ max_chunk);
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t n = std::min<std::size_t>(
+          wire.size() - pos, 1 + chunk_rng.next_below(max_chunk));
+      out += session.feed(std::string_view(wire).substr(pos, n), 0);
+      pos += n;
+    }
+    return out;
+  };
+
+  const std::string whole = run_chunked(wire.size());
+  EXPECT_EQ(run_chunked(1), whole);    // byte-at-a-time
+  EXPECT_EQ(run_chunked(7), whole);    // odd small chunks
+  EXPECT_EQ(run_chunked(1024), whole); // mixed large chunks
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolSegmentation,
+                         ::testing::Values(1ull, 17ull, 3333ull, 98765ull));
+
+// --- facade: random op/resize interleavings never serve stale data ----------
+
+class FacadeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FacadeFuzz, NeverServesStaleDataAcrossRandomResizes) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  ProteusOptions opt;
+  opt.max_servers = 8;
+  opt.per_server.memory_budget_bytes = 32 << 20;  // no capacity evictions
+  opt.per_server.auto_size_digest = false;
+  opt.per_server.digest.num_counters = 1 << 14;
+  opt.per_server.digest.counter_bits = 4;
+  opt.per_server.digest.num_hashes = 4;
+  opt.ttl = 2 * kSecond;
+
+  // The model: authoritative key -> latest value. The backend serves the
+  // model's current value (as a database would).
+  std::map<std::string, std::string> model;
+  std::uint64_t version = 0;
+  Proteus cluster(opt, [&](std::string_view key) {
+    auto it = model.find(std::string(key));
+    return it != model.end() ? it->second : "default:" + std::string(key);
+  });
+
+  SimTime now = 0;
+  for (int op = 0; op < 8000; ++op) {
+    now += from_seconds(0.01 + rng.next_double() * 0.05);
+    const std::string key = "k" + std::to_string(rng.next_below(120));
+    const auto action = rng.next_below(100);
+    if (action < 55) {
+      // GET must return the model value (or the default if never put).
+      const std::string got = cluster.get(key, now);
+      const auto it = model.find(key);
+      const std::string expected =
+          it != model.end() ? it->second : "default:" + key;
+      ASSERT_EQ(got, expected) << "stale read of " << key << " at op " << op;
+    } else if (action < 80) {
+      // PUT through the cluster updates cache AND the backing model (write
+      // through), so future reads must observe it.
+      const std::string value = "v" + std::to_string(++version);
+      model[key] = value;
+      cluster.put(key, value, now);
+    } else if (action < 90) {
+      cluster.erase(key, now);
+      // After erase the next read refetches from the model — still fresh.
+    } else {
+      cluster.resize(1 + static_cast<int>(rng.next_below(8)), now);
+    }
+  }
+  // Sanity: the run exercised both mechanisms.
+  EXPECT_GT(cluster.stats().resizes, 100u);
+  EXPECT_GT(cluster.stats().old_server_hits, 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FacadeFuzz,
+                         ::testing::Values(2ull, 42ull, 777ull, 123456ull));
+
+}  // namespace
+}  // namespace proteus

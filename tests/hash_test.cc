@@ -1,0 +1,86 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace proteus {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(12345), splitmix64(12345));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(SplitMix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half of the output bits.
+  const std::uint64_t base = splitmix64(0xDEADBEEF);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t flipped = splitmix64(0xDEADBEEFULL ^ (1ULL << bit));
+    const int differing = __builtin_popcountll(base ^ flipped);
+    EXPECT_GE(differing, 10) << "bit " << bit;
+    EXPECT_LE(differing, 54) << "bit " << bit;
+  }
+}
+
+TEST(Fnv1a, MatchesKnownVectors) {
+  // Reference values for the 64-bit FNV-1a algorithm.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashBytes, DiffersAcrossSeeds) {
+  EXPECT_NE(hash_bytes("page:1", 0), hash_bytes("page:1", 1));
+  EXPECT_NE(hash_bytes("page:1", 0), hash_bytes("page:2", 0));
+  EXPECT_EQ(hash_bytes("page:1", 7), hash_bytes("page:1", 7));
+}
+
+TEST(HashBytes, HandlesAllLengths) {
+  // Exercise the 8-byte block loop and every tail length.
+  std::set<std::uint64_t> seen;
+  std::string s;
+  for (int len = 0; len <= 40; ++len) {
+    seen.insert(hash_bytes(s));
+    s.push_back(static_cast<char>('a' + len % 26));
+  }
+  EXPECT_EQ(seen.size(), 41u) << "collision among trivially distinct inputs";
+}
+
+TEST(HashBytes, DistributesUniformly) {
+  // Chi-squared-ish sanity check: bucket 100k sequential keys into 16 bins.
+  constexpr int kBins = 16;
+  constexpr int kKeys = 100'000;
+  std::vector<int> bins(kBins, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    ++bins[hash_bytes("key:" + std::to_string(i)) % kBins];
+  }
+  const double expected = static_cast<double>(kKeys) / kBins;
+  for (int count : bins) {
+    EXPECT_NEAR(count, expected, expected * 0.05);
+  }
+}
+
+TEST(DoubleHasher, GeneratesDistinctProbes) {
+  DoubleHasher dh(std::string_view("page:42"));
+  std::set<std::uint64_t> probes;
+  for (unsigned i = 0; i < 16; ++i) probes.insert(dh(i) % 100003);
+  EXPECT_GE(probes.size(), 14u);  // near-distinct positions
+}
+
+TEST(DoubleHasher, IsConsistentAcrossConstructions) {
+  DoubleHasher a(std::string_view("k"), 5);
+  DoubleHasher b(std::string_view("k"), 5);
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(a(i), b(i));
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,115 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace proteus {
+namespace {
+
+TEST(LatencyHistogram, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_us(0.5), 0.0);
+  EXPECT_EQ(h.mean_us(), 0.0);
+  EXPECT_EQ(h.max_us(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleValue) {
+  LatencyHistogram h;
+  h.record(1000.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.percentile_us(0.5), 1000.0, 1000.0 * 0.02);
+  EXPECT_NEAR(h.percentile_us(1.0), 1000.0, 1000.0 * 0.02);
+  EXPECT_EQ(h.max_us(), 1000.0);
+  EXPECT_EQ(h.min_us(), 1000.0);
+}
+
+TEST(LatencyHistogram, BoundedRelativeError) {
+  // With 64 sub-buckets per octave the representative value is within ~1.6%
+  // of any recorded value.
+  LatencyHistogram h;
+  for (double v : {3.0, 47.0, 999.0, 12'345.0, 8'000'000.0}) {
+    LatencyHistogram single;
+    single.record(v);
+    EXPECT_NEAR(single.percentile_us(1.0), v, v * 0.02) << v;
+  }
+  (void)h;
+}
+
+TEST(LatencyHistogram, PercentilesMatchExactOnUniformData) {
+  LatencyHistogram h;
+  std::vector<double> values;
+  Rng rng(11);
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = 100.0 + rng.next_double() * 900'000.0;
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = values[static_cast<std::size_t>(q * (values.size() - 1))];
+    EXPECT_NEAR(h.percentile_us(q), exact, exact * 0.05) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  Rng rng(12);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = 1.0 + rng.next_double() * 1e6;
+    (i % 2 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  // Summation order differs between the two paths; allow fp rounding.
+  EXPECT_NEAR(a.mean_us(), combined.mean_us(), combined.mean_us() * 1e-12);
+  for (double q : {0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.percentile_us(q), combined.percentile_us(q));
+  }
+}
+
+TEST(LatencyHistogram, ClampsSubMicrosecondValues) {
+  LatencyHistogram h;
+  h.record(0.0);
+  h.record(0.25);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.percentile_us(1.0), 1.0);
+}
+
+TEST(LatencyHistogram, ClearResets) {
+  LatencyHistogram h;
+  h.record(500.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile_us(0.999), 0.0);
+}
+
+TEST(LatencyHistogram, MeanIsExact) {
+  LatencyHistogram h;
+  h.record(100.0);
+  h.record(300.0);
+  EXPECT_DOUBLE_EQ(h.mean_us(), 200.0);
+}
+
+TEST(LatencyHistogram, CountAtOrAboveThreshold) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(1'000.0);    // 1 ms
+  for (int i = 0; i < 10; ++i) h.record(600'000.0);  // 0.6 s, over the bound
+  EXPECT_EQ(h.count_at_or_above(500'000.0), 10u);
+  EXPECT_NEAR(h.fraction_at_or_above(500'000.0), 0.1, 1e-12);
+  EXPECT_EQ(h.count_at_or_above(0.5), 100u);  // everything
+  EXPECT_EQ(h.count_at_or_above(1e12), 0u);   // nothing
+}
+
+TEST(LatencyHistogram, FractionAboveEmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.fraction_at_or_above(1000.0), 0.0);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,110 @@
+#include "workload/load_balance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hashring/modulo_placement.h"
+#include "hashring/proteus_placement.h"
+#include "hashring/random_vn_placement.h"
+
+namespace proteus::workload {
+namespace {
+
+// Uniform-key trace: every request targets a fresh random key, so the only
+// imbalance left is the placement's own key-space partition.
+std::vector<TraceEvent> uniform_trace(std::size_t n, SimTime duration,
+                                      std::uint64_t seed) {
+  std::vector<TraceEvent> trace;
+  trace.reserve(n);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.push_back(TraceEvent{
+        static_cast<SimTime>(static_cast<double>(i) / n * duration),
+        "u:" + std::to_string(rng.next_u64())});
+  }
+  return trace;
+}
+
+TEST(LoadBalance, PerfectPlacementUniformKeysNearOne) {
+  ring::ProteusPlacement placement(10);
+  const auto trace = uniform_trace(200'000, 4 * kMinute, 1);
+  const std::vector<int> schedule = {10, 10, 10, 10};
+  const auto series =
+      replay_load_balance(placement, trace, schedule, kMinute, true);
+  ASSERT_EQ(series.min_max_ratio.size(), 4u);
+  EXPECT_GT(series.worst(), 0.9);
+  EXPECT_GT(series.mean(), 0.92);
+}
+
+TEST(LoadBalance, DynamicScheduleUsesActiveSetOnly) {
+  ring::ProteusPlacement placement(10);
+  const auto trace = uniform_trace(100'000, 2 * kMinute, 2);
+  const std::vector<int> schedule = {2, 10};
+  const auto series =
+      replay_load_balance(placement, trace, schedule, kMinute, true);
+  ASSERT_EQ(series.min_max_ratio.size(), 2u);
+  // Both slots should be balanced over their respective active sets.
+  EXPECT_GT(series.min_max_ratio[0], 0.9);
+  EXPECT_GT(series.min_max_ratio[1], 0.85);
+}
+
+TEST(LoadBalance, StaticModeIgnoresSchedule) {
+  ring::ModuloPlacement placement(10);
+  const auto trace = uniform_trace(100'000, kMinute, 3);
+  const std::vector<int> schedule = {1};  // would be terrible if applied
+  const auto dynamic =
+      replay_load_balance(placement, trace, schedule, kMinute, true);
+  const auto fixed =
+      replay_load_balance(placement, trace, schedule, kMinute, false);
+  EXPECT_DOUBLE_EQ(dynamic.min_max_ratio[0], 1.0);  // n=1: trivially balanced
+  EXPECT_GT(fixed.min_max_ratio[0], 0.9);           // n=10, all servers loaded
+}
+
+TEST(LoadBalance, SparseRandomRingIsWorseThanProteus) {
+  const auto trace = uniform_trace(200'000, 2 * kMinute, 4);
+  const std::vector<int> schedule = {7, 7};
+  ring::ProteusPlacement proteus_ring(10);
+  ring::RandomVirtualNodePlacement random_ring(10, 3, 5);
+  const auto p =
+      replay_load_balance(proteus_ring, trace, schedule, kMinute, true);
+  const auto r =
+      replay_load_balance(random_ring, trace, schedule, kMinute, true);
+  EXPECT_GT(p.mean(), r.mean() + 0.15);
+}
+
+TEST(LoadBalance, TruncatesTraceBeyondSchedule) {
+  ring::ModuloPlacement placement(4);
+  const auto trace = uniform_trace(10'000, 10 * kMinute, 5);
+  const std::vector<int> schedule = {4, 4};
+  const auto series =
+      replay_load_balance(placement, trace, schedule, kMinute, true);
+  EXPECT_EQ(series.min_max_ratio.size(), 2u);
+}
+
+TEST(LoadBalance, EmptySlotsCountAsBalanced) {
+  ring::ModuloPlacement placement(4);
+  // All events land in slot 2; slots 0-1 are empty.
+  std::vector<TraceEvent> trace;
+  for (int i = 0; i < 1000; ++i) {
+    trace.push_back(TraceEvent{2 * kMinute + i, "k" + std::to_string(i)});
+  }
+  const std::vector<int> schedule = {4, 4, 4};
+  const auto series =
+      replay_load_balance(placement, trace, schedule, kMinute, true);
+  ASSERT_EQ(series.min_max_ratio.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.min_max_ratio[0], 1.0);
+  EXPECT_DOUBLE_EQ(series.min_max_ratio[1], 1.0);
+}
+
+TEST(LoadBalance, SeriesStatistics) {
+  LoadBalanceSeries series;
+  series.min_max_ratio = {0.5, 1.0, 0.75};
+  EXPECT_DOUBLE_EQ(series.mean(), 0.75);
+  EXPECT_DOUBLE_EQ(series.worst(), 0.5);
+  LoadBalanceSeries empty;
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.worst(), 0.0);
+}
+
+}  // namespace
+}  // namespace proteus::workload

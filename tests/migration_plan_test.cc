@@ -1,0 +1,89 @@
+#include "hashring/migration_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace proteus::ring {
+namespace {
+
+TEST(MigrationPlan, ShrinkByOneFlowsOnlyFromRemovedServer) {
+  ProteusPlacement placement(10);
+  const TransitionPlan plan = plan_transition(placement, 10, 9, 1'000'000);
+  EXPECT_EQ(plan.n_from, 10);
+  EXPECT_EQ(plan.n_to, 9);
+  for (const MigrationFlow& f : plan.flows) {
+    EXPECT_EQ(f.from, 9) << "only the turned-off server may lose data";
+    EXPECT_LT(f.to, 9);
+  }
+  EXPECT_NEAR(plan.total_fraction, 1.0 / 10, 1e-9);
+}
+
+TEST(MigrationPlan, ShrinkSpreadsEvenlyOverSurvivors) {
+  // Balance Condition: each survivor absorbs K/(n(n-1)).
+  ProteusPlacement placement(10);
+  const TransitionPlan plan = plan_transition(placement, 10, 9, 0);
+  for (int s = 0; s < 9; ++s) {
+    EXPECT_NEAR(plan.inbound_fraction(s), 1.0 / 90, 1e-9) << s;
+  }
+  EXPECT_NEAR(plan.outbound_fraction(9), 1.0 / 10, 1e-9);
+}
+
+TEST(MigrationPlan, GrowFlowsOnlyIntoNewServers) {
+  ProteusPlacement placement(10);
+  const TransitionPlan plan = plan_transition(placement, 4, 7, 1'000'000);
+  for (const MigrationFlow& f : plan.flows) {
+    EXPECT_LT(f.from, 4);
+    EXPECT_GE(f.to, 4);
+    EXPECT_LT(f.to, 7);
+  }
+  EXPECT_NEAR(plan.total_fraction, 3.0 / 7, 1e-9);  // |7-4|/max(7,4)
+  for (int s = 4; s < 7; ++s) {
+    EXPECT_NEAR(plan.inbound_fraction(s), 1.0 / 7, 1e-9) << s;
+  }
+}
+
+TEST(MigrationPlan, ByteEstimatesScaleWithFractions) {
+  ProteusPlacement placement(8);
+  const std::uint64_t hot = 64ull << 30;  // 64 GB of hot data
+  const TransitionPlan plan = plan_transition(placement, 8, 7, hot);
+  EXPECT_NEAR(static_cast<double>(plan.total_bytes),
+              static_cast<double>(hot) / 8.0, 1e-3 * static_cast<double>(hot));
+  std::uint64_t flow_sum = 0;
+  for (const MigrationFlow& f : plan.flows) flow_sum += f.estimated_bytes;
+  EXPECT_NEAR(static_cast<double>(flow_sum),
+              static_cast<double>(plan.total_bytes),
+              static_cast<double>(plan.flows.size()));  // rounding only
+}
+
+TEST(MigrationPlan, NoopTransitionIsEmpty) {
+  ProteusPlacement placement(6);
+  const TransitionPlan plan = plan_transition(placement, 4, 4, 1000);
+  EXPECT_TRUE(plan.flows.empty());
+  EXPECT_EQ(plan.total_fraction, 0.0);
+  EXPECT_EQ(plan.total_bytes, 0u);
+}
+
+TEST(MigrationPlan, MatchesPlacementMigrationFraction) {
+  ProteusPlacement placement(12);
+  for (int a : {1, 3, 7, 12}) {
+    for (int b : {2, 6, 11}) {
+      const TransitionPlan plan = plan_transition(placement, a, b, 0);
+      EXPECT_NEAR(plan.total_fraction, placement.migration_fraction(a, b),
+                  1e-12)
+          << a << "->" << b;
+    }
+  }
+}
+
+TEST(MigrationPlan, FlowsAreAggregatedPerPair) {
+  ProteusPlacement placement(10);
+  const TransitionPlan plan = plan_transition(placement, 10, 5, 0);
+  for (std::size_t i = 0; i < plan.flows.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.flows.size(); ++j) {
+      EXPECT_FALSE(plan.flows[i].from == plan.flows[j].from &&
+                   plan.flows[i].to == plan.flows[j].to);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proteus::ring

@@ -1,0 +1,246 @@
+// End-to-end socket tests: run the memcached-compatible daemon on an
+// ephemeral loopback port and drive it with raw sockets, exactly as an
+// unmodified client library would.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cache/binary_protocol.h"
+#include "net/memcache_daemon.h"
+
+namespace proteus::net {
+namespace {
+
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void send(std::string_view bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  // Reads until `expected` bytes arrive (blocking socket).
+  std::string recv_exact(std::size_t expected) {
+    std::string out;
+    char buf[4096];
+    while (out.size() < expected) {
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+  // Reads until the buffer ends with `terminator`.
+  std::string recv_until(std::string_view terminator) {
+    std::string out;
+    char buf[4096];
+    while (out.size() < terminator.size() ||
+           out.compare(out.size() - terminator.size(), terminator.size(),
+                       terminator) != 0) {
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+class DaemonFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache::CacheConfig cfg;
+    cfg.memory_budget_bytes = 8 << 20;
+    daemon_ = std::make_unique<MemcacheDaemon>(cfg, 0);
+    ASSERT_TRUE(daemon_->ok());
+    thread_ = std::thread([this] { daemon_->run(); });
+  }
+
+  void TearDown() override {
+    daemon_->stop();
+    thread_.join();
+  }
+
+  std::unique_ptr<MemcacheDaemon> daemon_;
+  std::thread thread_;
+};
+
+TEST_F(DaemonFixture, TextProtocolOverRealSocket) {
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.connected());
+  client.send("set greeting 3 0 5\r\nhello\r\n");
+  EXPECT_EQ(client.recv_until("\r\n"), "STORED\r\n");
+  client.send("get greeting\r\n");
+  EXPECT_EQ(client.recv_until("END\r\n"),
+            "VALUE greeting 3 5\r\nhello\r\nEND\r\n");
+}
+
+TEST_F(DaemonFixture, BinaryProtocolOverRealSocket) {
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.connected());
+
+  cache::binary::Frame set;
+  set.opcode = cache::binary::Opcode::kSet;
+  set.key = "bin";
+  set.value = "payload";
+  cache::binary::put_u32(set.extras, 9);
+  cache::binary::put_u32(set.extras, 0);
+  client.send(cache::binary::encode_frame(set, cache::binary::kRequestMagic));
+  std::string reply = client.recv_exact(cache::binary::kHeaderSize);
+  ASSERT_GE(reply.size(), cache::binary::kHeaderSize);
+  EXPECT_EQ(static_cast<std::uint8_t>(reply[0]), cache::binary::kResponseMagic);
+  EXPECT_EQ(cache::binary::get_u16(reply, 6), 0u);  // status OK
+
+  cache::binary::Frame get;
+  get.opcode = cache::binary::Opcode::kGet;
+  get.key = "bin";
+  client.send(cache::binary::encode_frame(get, cache::binary::kRequestMagic));
+  // Header + flags extras(4) + "payload"(7).
+  const std::string got =
+      client.recv_exact(cache::binary::kHeaderSize + 4 + 7);
+  ASSERT_EQ(got.size(), cache::binary::kHeaderSize + 4 + 7);
+  EXPECT_EQ(cache::binary::get_u32(got, 8), 11u);  // total body
+  EXPECT_EQ(got.substr(cache::binary::kHeaderSize + 4), "payload");
+  EXPECT_EQ(cache::binary::get_u32(got, cache::binary::kHeaderSize), 9u);
+}
+
+TEST_F(DaemonFixture, TextAndBinaryClientsShareOneCache) {
+  Client text(daemon_->port());
+  ASSERT_TRUE(text.connected());
+  text.send("set shared 0 0 4\r\ndata\r\n");
+  EXPECT_EQ(text.recv_until("\r\n"), "STORED\r\n");
+
+  Client binary(daemon_->port());
+  ASSERT_TRUE(binary.connected());
+  cache::binary::Frame get;
+  get.opcode = cache::binary::Opcode::kGet;
+  get.key = "shared";
+  binary.send(cache::binary::encode_frame(get, cache::binary::kRequestMagic));
+  const std::string got =
+      binary.recv_exact(cache::binary::kHeaderSize + 4 + 4);
+  ASSERT_EQ(got.size(), cache::binary::kHeaderSize + 4 + 4);
+  EXPECT_EQ(got.substr(cache::binary::kHeaderSize + 4), "data");
+}
+
+TEST_F(DaemonFixture, DigestSnapshotThroughRealSocket) {
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < 20; ++i) {
+    client.send("set page:" + std::to_string(i) + " 0 0 1\r\nx\r\n");
+    EXPECT_EQ(client.recv_until("\r\n"), "STORED\r\n");
+  }
+  client.send("get SET_BLOOM_FILTER\r\n");
+  client.recv_until("END\r\n");
+  client.send("get BLOOM_FILTER\r\n");
+  const std::string reply = client.recv_until("END\r\n");
+  // Extract the blob after the VALUE header line.
+  const std::size_t header_end = reply.find("\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  const std::size_t size_pos = reply.rfind(' ', header_end);
+  const std::size_t size = std::stoul(reply.substr(size_pos + 1));
+  const std::string blob = reply.substr(header_end + 2, size);
+  const bloom::BloomFilter digest = cache::decode_digest(blob);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(digest.maybe_contains("page:" + std::to_string(i))) << i;
+  }
+}
+
+TEST_F(DaemonFixture, ManySequentialConnections) {
+  for (int c = 0; c < 20; ++c) {
+    Client client(daemon_->port());
+    ASSERT_TRUE(client.connected());
+    client.send("version\r\n");
+    EXPECT_EQ(client.recv_until("\r\n"), "VERSION proteus-1.0\r\n");
+  }
+  // All data persists across connections in the shared cache.
+  EXPECT_GE(daemon_->connections_accepted(), 20u);
+}
+
+TEST(MultiThreadedDaemon, ConcurrentClientsShareOneConsistentCache) {
+  cache::CacheConfig cfg;
+  cfg.memory_budget_bytes = 16 << 20;
+  MemcacheDaemon daemon(cfg, 0, monotonic_now, /*threads=*/4);
+  ASSERT_TRUE(daemon.ok());
+  EXPECT_EQ(daemon.threads(), 4);
+  std::thread server([&] { daemon.run(); });
+
+  // Hammer from several client threads, disjoint key ranges.
+  constexpr int kClients = 8;
+  constexpr int kKeysPerClient = 200;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(daemon.port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kKeysPerClient; ++i) {
+        const std::string key =
+            "c" + std::to_string(c) + ":" + std::to_string(i);
+        client.send("set " + key + " 0 0 " + std::to_string(key.size()) +
+                    "\r\n" + key + "\r\n");
+        if (client.recv_until("\r\n") != "STORED\r\n") ++failures;
+      }
+      for (int i = 0; i < kKeysPerClient; ++i) {
+        const std::string key =
+            "c" + std::to_string(c) + ":" + std::to_string(i);
+        client.send("get " + key + "\r\n");
+        const std::string reply = client.recv_until("END\r\n");
+        if (reply.find(key + "\r\nEND") == std::string::npos) ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  daemon.stop();
+  server.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(daemon.cache().item_count(),
+            static_cast<std::size_t>(kClients) * kKeysPerClient);
+  // The shared digest saw every insertion exactly once.
+  EXPECT_TRUE(daemon.cache().digest().maybe_contains("c0:0"));
+  EXPECT_TRUE(daemon.cache().digest().maybe_contains("c7:199"));
+}
+
+TEST_F(DaemonFixture, QuitClosesConnection) {
+  Client client(daemon_->port());
+  ASSERT_TRUE(client.connected());
+  client.send("quit\r\n");
+  // Server closes: read returns EOF (empty).
+  EXPECT_EQ(client.recv_exact(1), "");
+}
+
+}  // namespace
+}  // namespace proteus::net

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "hashring/modulo_placement.h"
+#include "hashring/random_vn_placement.h"
+
+namespace proteus::ring {
+namespace {
+
+// --- Modulo (Static/Naive) -------------------------------------------------
+
+TEST(ModuloPlacement, PerfectlyBalancedAtFixedSize) {
+  ModuloPlacement p(10);
+  Rng rng(1);
+  for (int n : {1, 4, 10}) {
+    std::vector<int> counts(static_cast<std::size_t>(n), 0);
+    constexpr int kSamples = 100'000;
+    for (int i = 0; i < kSamples; ++i) {
+      ++counts[static_cast<std::size_t>(p.server_for(rng.next_u64(), n))];
+    }
+    for (int c : counts) {
+      EXPECT_NEAR(c, kSamples / n, kSamples / n * 0.05);
+    }
+  }
+}
+
+TEST(ModuloPlacement, ResizeRemapsAlmostEverything) {
+  // The Reddit pathology (§I): growing an n-server modulo layout remaps
+  // n/(n+1) of all keys.
+  ModuloPlacement p(10);
+  Rng rng(2);
+  int moved = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    if (p.server_for(h, 9) != p.server_for(h, 10)) ++moved;
+  }
+  EXPECT_NEAR(static_cast<double>(moved) / kSamples, 9.0 / 10.0, 0.01);
+}
+
+TEST(ModuloPlacement, DeterministicAcrossInstances) {
+  ModuloPlacement a(10), b(10);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    EXPECT_EQ(a.server_for(h, 7), b.server_for(h, 7));
+  }
+}
+
+// --- Random virtual nodes (Consistent) --------------------------------------
+
+TEST(RandomVnPlacement, SameSeedGivesIdenticalRings) {
+  // §VI-C: all web servers share one seed so their views are consistent.
+  RandomVirtualNodePlacement a(10, 5, 42);
+  RandomVirtualNodePlacement b(10, 5, 42);
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    for (int n : {1, 5, 10}) {
+      ASSERT_EQ(a.server_for(h, n), b.server_for(h, n));
+    }
+  }
+}
+
+TEST(RandomVnPlacement, DifferentSeedsGiveDifferentRings) {
+  RandomVirtualNodePlacement a(10, 5, 1);
+  RandomVirtualNodePlacement b(10, 5, 2);
+  Rng rng(5);
+  int differ = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    differ += a.server_for(h, 10) != b.server_for(h, 10);
+  }
+  EXPECT_GT(differ, 500);
+}
+
+TEST(RandomVnPlacement, VirtualNodeCount) {
+  RandomVirtualNodePlacement p(10, 5, 0);
+  EXPECT_EQ(p.num_virtual_nodes(), 50u);  // the paper's n^2/2 for n=10
+  EXPECT_EQ(p.vnodes_per_server(), 5);
+}
+
+TEST(RandomVnPlacement, RemovingLastServerOnlyMovesItsKeys) {
+  // The monotone property of consistent hashing: when server n is turned
+  // off, only keys it served are remapped.
+  RandomVirtualNodePlacement p(10, 8, 7);
+  Rng rng(6);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    for (int n : {4, 7, 9}) {
+      const int at_big = p.server_for(h, n + 1);
+      if (at_big != n) {
+        ASSERT_EQ(at_big, p.server_for(h, n));
+      }
+    }
+  }
+}
+
+TEST(RandomVnPlacement, MigrationNearOneOverN) {
+  // Consistent hashing's expected migration for +-1 server is ~1/n; random
+  // placement fluctuates but must be nowhere near modulo's (n-1)/n.
+  RandomVirtualNodePlacement p(10, 8, 11);
+  const double m = p.estimate_migration_fraction(9, 10, 100'000);
+  EXPECT_LT(m, 0.3);
+  EXPECT_GT(m, 0.01);
+}
+
+TEST(RandomVnPlacement, RandomPlacementIsImbalanced) {
+  // The motivation for Algorithm 1: with few random virtual nodes the
+  // min/max share ratio is far from 1 (Fig. 5's "Consistent" curves).
+  RandomVirtualNodePlacement p(10, 3, 13);  // ~log2(10) vnodes per server
+  double lo = 1.0, hi = 0.0;
+  for (int s = 0; s < 10; ++s) {
+    const double share = p.estimate_share(s, 10, 100'000);
+    lo = std::min(lo, share);
+    hi = std::max(hi, share);
+  }
+  EXPECT_LT(lo / hi, 0.75) << "random placement was suspiciously balanced";
+}
+
+TEST(RandomVnPlacement, MoreVnodesImproveBalance) {
+  const auto imbalance = [](int vnodes) {
+    RandomVirtualNodePlacement p(10, vnodes, 17);
+    double lo = 1.0, hi = 0.0;
+    for (int s = 0; s < 10; ++s) {
+      const double share = p.estimate_share(s, 10, 50'000);
+      lo = std::min(lo, share);
+      hi = std::max(hi, share);
+    }
+    return lo / hi;  // 1.0 = perfect
+  };
+  EXPECT_GT(imbalance(200), imbalance(3));
+}
+
+TEST(RandomVnPlacement, AllServersReachableAtFullSize) {
+  RandomVirtualNodePlacement p(10, 5, 19);
+  std::vector<bool> seen(10, false);
+  Rng rng(8);
+  for (int i = 0; i < 100'000; ++i) {
+    seen[static_cast<std::size_t>(p.server_for(rng.next_u64(), 10))] = true;
+  }
+  for (int s = 0; s < 10; ++s) EXPECT_TRUE(seen[static_cast<std::size_t>(s)]) << s;
+}
+
+}  // namespace
+}  // namespace proteus::ring

@@ -1,0 +1,261 @@
+#include "hashring/proteus_placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace proteus::ring {
+namespace {
+
+TEST(ProteusPlacement, SingleServerOwnsEverything) {
+  ProteusPlacement p(1);
+  EXPECT_EQ(p.num_virtual_nodes(), 1u);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(p.server_for(rng.next_u64(), 1), 0);
+  EXPECT_DOUBLE_EQ(p.share(0, 1), 1.0);
+}
+
+TEST(ProteusPlacement, MeetsTheoremOneVirtualNodeBound) {
+  // Theorem 1: N(N-1)/2 + 1 virtual nodes are necessary; Algorithm 1 uses
+  // exactly that many.
+  for (int n : {1, 2, 3, 5, 8, 10, 16, 32, 64}) {
+    ProteusPlacement p(n);
+    const std::size_t bound =
+        static_cast<std::size_t>(n) * (n - 1) / 2 + 1;
+    EXPECT_EQ(p.num_virtual_nodes(), bound) << "N=" << n;
+    // A handful of nodes may end with empty host ranges (fully consumed by
+    // later borrows); the lookup structure holds the rest.
+    EXPECT_LE(p.num_host_ranges(), bound) << "N=" << n;
+    EXPECT_GE(p.num_host_ranges(), bound - static_cast<std::size_t>(n)) << "N=" << n;
+  }
+}
+
+TEST(ProteusPlacement, BalanceConditionHoldsForEveryPrefix) {
+  // The core §III guarantee: with n active servers each owns exactly K/n.
+  constexpr int kN = 16;
+  ProteusPlacement p(kN);
+  for (int n = 1; n <= kN; ++n) {
+    for (int s = 0; s < n; ++s) {
+      EXPECT_NEAR(p.share(s, n), 1.0 / n, 1e-9)
+          << "server " << s << " of " << n;
+    }
+    // Inactive servers own nothing.
+    for (int s = n; s < kN; ++s) {
+      EXPECT_DOUBLE_EQ(p.share(s, n), 0.0);
+    }
+  }
+}
+
+TEST(ProteusPlacement, MigrationMeetsLowerBoundSingleStep) {
+  // §II objective: growing n -> n+1 remaps exactly 1/(n+1) of the data —
+  // the information-theoretic minimum.
+  ProteusPlacement p(12);
+  for (int n = 1; n < 12; ++n) {
+    EXPECT_NEAR(p.migration_fraction(n, n + 1), 1.0 / (n + 1), 1e-9) << n;
+  }
+}
+
+TEST(ProteusPlacement, MigrationMeetsLowerBoundMultiStep) {
+  // |n' - n| / max(n, n') for arbitrary jumps.
+  ProteusPlacement p(10);
+  for (int a = 1; a <= 10; ++a) {
+    for (int b = 1; b <= 10; ++b) {
+      const double expected =
+          static_cast<double>(std::abs(a - b)) / std::max(a, b);
+      EXPECT_NEAR(p.migration_fraction(a, b), expected, 1e-9)
+          << a << "->" << b;
+    }
+  }
+}
+
+TEST(ProteusPlacement, InboundMigrationGoesOnlyToNewServers) {
+  ProteusPlacement p(8);
+  // Growing 4 -> 6: only servers 4 and 5 gain data, 1/6 each.
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_NEAR(p.inbound_migration_fraction(s, 4, 6), 0.0, 1e-12) << s;
+  }
+  EXPECT_NEAR(p.inbound_migration_fraction(4, 4, 6), 1.0 / 6, 1e-9);
+  EXPECT_NEAR(p.inbound_migration_fraction(5, 4, 6), 1.0 / 6, 1e-9);
+}
+
+TEST(ProteusPlacement, ShrinkSpreadsEvictedLoadEvenly) {
+  // Balance Condition direction 2: when s_n turns off, its K/n of data is
+  // spread so every survivor ends at K/(n-1) — i.e. each survivor receives
+  // K/n(n-1) inbound.
+  ProteusPlacement p(10);
+  for (int n = 10; n >= 2; --n) {
+    for (int s = 0; s < n - 1; ++s) {
+      EXPECT_NEAR(p.inbound_migration_fraction(s, n, n - 1),
+                  1.0 / (static_cast<double>(n) * (n - 1)), 1e-9)
+          << "survivor " << s << " at n=" << n;
+    }
+  }
+}
+
+TEST(ProteusPlacement, LookupAgreesWithEmpiricalShares) {
+  // Hash a large key sample; the per-server hit fraction must match 1/n.
+  ProteusPlacement p(10);
+  Rng rng(77);
+  for (int n : {1, 3, 7, 10}) {
+    std::vector<int> counts(10, 0);
+    constexpr int kSamples = 200'000;
+    for (int i = 0; i < kSamples; ++i) {
+      const int s = p.server_for(rng.next_u64(), n);
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, n);
+      ++counts[static_cast<std::size_t>(s)];
+    }
+    for (int s = 0; s < n; ++s) {
+      EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(s)]) / kSamples,
+                  1.0 / n, 0.01)
+          << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(ProteusPlacement, LookupIsDeterministic) {
+  ProteusPlacement a(10);
+  ProteusPlacement b(10);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    for (int n = 1; n <= 10; ++n) {
+      ASSERT_EQ(a.server_for(h, n), b.server_for(h, n));
+    }
+  }
+}
+
+TEST(ProteusPlacement, RemovedServerRevertsToFinalSuccessor) {
+  // Consistent-hashing property: a key's server changes between n and n+1
+  // only if it maps to the (n+1)-th server at n+1 — turning the newest
+  // server off moves ONLY that server's keys.
+  ProteusPlacement p(10);
+  Rng rng(9);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    for (int n = 1; n < 10; ++n) {
+      const int at_big = p.server_for(h, n + 1);
+      const int at_small = p.server_for(h, n);
+      if (at_big != n) {
+        ASSERT_EQ(at_big, at_small)
+            << "key moved although its server stayed active";
+      } else {
+        ASSERT_LT(at_small, n);
+      }
+    }
+  }
+}
+
+TEST(ProteusPlacement, SharesSumToOne) {
+  ProteusPlacement p(9);
+  for (int n = 1; n <= 9; ++n) {
+    double total = 0;
+    for (int s = 0; s < n; ++s) total += p.share(s, n);
+    EXPECT_NEAR(total, 1.0, 1e-12) << n;
+  }
+}
+
+TEST(ProteusPlacement, ReplicaNoConflictMatchesEq3) {
+  // Eq. (3): Pnc = prod_{i=0}^{r-1} (n-i)/n.
+  EXPECT_DOUBLE_EQ(ProteusPlacement::replica_no_conflict_probability(1, 10), 1.0);
+  EXPECT_DOUBLE_EQ(ProteusPlacement::replica_no_conflict_probability(2, 10), 0.9);
+  EXPECT_NEAR(ProteusPlacement::replica_no_conflict_probability(3, 10),
+              0.9 * 0.8, 1e-12);
+  EXPECT_NEAR(ProteusPlacement::replica_no_conflict_probability(3, 1000),
+              (999.0 / 1000) * (998.0 / 1000), 1e-12);
+  // r > n: conflicts guaranteed.
+  EXPECT_DOUBLE_EQ(ProteusPlacement::replica_no_conflict_probability(3, 2), 0.0);
+}
+
+TEST(ProteusPlacement, ChainLookupMatchesLiteralRingSuccessor) {
+  // Validates the lender-chain shortcut against literal Chord semantics
+  // computed by an INDEPENDENT replica of Algorithm 1 that keeps every
+  // placed virtual node as a ring point — including nodes whose host range
+  // was later consumed entirely (their points stay on the ring and take
+  // over when their borrowers power off). A key at `pos` is served by the
+  // first active node point clockwise; coincident points are ordered by
+  // descending placement sequence (a borrower's point precedes its
+  // lender's).
+  struct Node {
+    std::uint64_t start;
+    std::uint64_t length;
+    int owner;
+    std::size_t seq;  // placement order
+  };
+  for (int n_max : {2, 3, 5, 8, 12, 16}) {
+    // Re-run Algorithm 1 (same arithmetic, independent bookkeeping).
+    std::vector<Node> nodes;
+    std::vector<std::vector<std::size_t>> owned(
+        static_cast<std::size_t>(n_max) + 1);
+    nodes.push_back(Node{0, kRingSpace, 0, 0});
+    owned[1].push_back(0);
+    for (int i = 2; i <= n_max; ++i) {
+      const std::uint64_t needed =
+          kRingSpace /
+          (static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(i - 1));
+      for (int j = 1; j < i; ++j) {
+        for (std::size_t idx : owned[static_cast<std::size_t>(j)]) {
+          if (nodes[idx].length >= needed) {
+            nodes.push_back(
+                Node{nodes[idx].start, needed, i - 1, nodes.size()});
+            nodes[idx].start += needed;
+            nodes[idx].length -= needed;
+            owned[static_cast<std::size_t>(i)].push_back(nodes.size() - 1);
+            break;
+          }
+        }
+      }
+    }
+    // Ring points: every node's point sits at the end of its final range.
+    struct Point {
+      std::uint64_t position;
+      int owner;
+      std::size_t seq;
+    };
+    std::vector<Point> points;
+    for (const Node& node : nodes) {
+      points.push_back(Point{node.start + node.length, node.owner, node.seq});
+    }
+    std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+      if (a.position != b.position) return a.position < b.position;
+      return a.seq > b.seq;  // later-placed point comes first clockwise
+    });
+
+    const auto reference_lookup = [&](std::uint64_t pos, int n) {
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const Point& pt : points) {
+          if (pass == 0 && pt.position <= pos) continue;
+          if (pt.owner < n) return pt.owner;
+        }
+      }
+      ADD_FAILURE() << "no active node found";
+      return -1;
+    };
+
+    ProteusPlacement p(n_max);
+    Rng rng(static_cast<std::uint64_t>(n_max) * 31);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t h = rng.next_u64();
+      const std::uint64_t pos = ring_position(h);
+      for (int n = 1; n <= n_max; ++n) {
+        ASSERT_EQ(p.server_for(h, n), reference_lookup(pos, n))
+            << "N=" << n_max << " n=" << n << " pos=" << pos;
+      }
+    }
+  }
+}
+
+TEST(ProteusPlacement, LargeClusterStillBalanced) {
+  ProteusPlacement p(64);
+  for (int n : {1, 13, 37, 64}) {
+    for (int s = 0; s < n; ++s) {
+      ASSERT_NEAR(p.share(s, n), 1.0 / n, 1e-9) << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proteus::ring

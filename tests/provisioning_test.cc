@@ -1,0 +1,187 @@
+#include "cluster/provisioning.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace proteus::cluster {
+namespace {
+
+TEST(RateProportionalPolicy, CeilsAndClamps) {
+  RateProportionalPolicy policy{100.0, 2, 10};
+  EXPECT_EQ(policy.decide(0.0), 2);      // clamped to min
+  EXPECT_EQ(policy.decide(150.0), 2);
+  EXPECT_EQ(policy.decide(201.0), 3);    // ceil
+  EXPECT_EQ(policy.decide(300.0), 3);
+  EXPECT_EQ(policy.decide(5000.0), 10);  // clamped to max
+}
+
+TEST(RateProportionalSchedule, TracksDiurnalShape) {
+  workload::DiurnalConfig dc;
+  dc.mean_rate = 400;
+  dc.amplitude = 1.0 / 3.0;
+  dc.period = 24 * kHour;
+  dc.phase = 9 * kHour;
+  dc.jitter = 0;
+  workload::DiurnalModel model(dc);
+
+  RateProportionalPolicy policy{57.0, 1, 10};
+  const auto schedule =
+      rate_proportional_schedule(model, 33 * kHour, kHour, policy);
+  ASSERT_EQ(schedule.size(), 33u);
+
+  const int lo = *std::min_element(schedule.begin(), schedule.end());
+  const int hi = *std::max_element(schedule.begin(), schedule.end());
+  EXPECT_LE(hi, 10);
+  EXPECT_GE(lo, 1);
+  EXPECT_GE(hi - lo, 3) << "schedule should swing with the diurnal load";
+
+  // The schedule must actually cover the offered load in every slot.
+  for (std::size_t s = 0; s < schedule.size(); ++s) {
+    const double rate =
+        model.rate_at(static_cast<SimTime>(s) * kHour + kHour / 2);
+    EXPECT_GE(schedule[s] * policy.per_server_capacity_rps, rate);
+  }
+}
+
+TEST(RateProportionalSchedule, RoundsPartialSlotsUp) {
+  workload::DiurnalConfig dc;
+  dc.jitter = 0;
+  workload::DiurnalModel model(dc);
+  const auto schedule = rate_proportional_schedule(
+      model, kHour + kMinute, kHour, RateProportionalPolicy{});
+  EXPECT_EQ(schedule.size(), 2u);
+}
+
+TEST(DelayFeedbackPolicy, GrowsWhenBoundViolated) {
+  DelayFeedbackPolicy policy({}, 5);
+  EXPECT_EQ(policy.update(from_seconds(0.6)), 6);  // > 0.5 s bound
+  EXPECT_EQ(policy.update(from_seconds(2.0)), 7);
+  EXPECT_EQ(policy.current(), 7);
+}
+
+TEST(DelayFeedbackPolicy, ShrinksWhenComfortablyUnderReference) {
+  DelayFeedbackPolicy policy({}, 5);
+  EXPECT_EQ(policy.update(from_seconds(0.05)), 4);  // < reference/2
+  EXPECT_EQ(policy.update(from_seconds(0.01)), 3);
+}
+
+TEST(DelayFeedbackPolicy, HoldsInsideDeadband) {
+  DelayFeedbackPolicy policy({}, 5);
+  EXPECT_EQ(policy.update(from_seconds(0.3)), 5);  // between ref/2 and bound
+  EXPECT_EQ(policy.update(from_seconds(0.45)), 5);
+}
+
+// Synthetic plant for closed-loop tests: delay scales with the per-server
+// load, i.e. p99.9 = reference * servers_needed / n (so n == servers_needed
+// sits exactly at the setpoint — a smooth M/M/n-flavoured abstraction).
+SimTime plant_p999(int n, int servers_needed) {
+  return from_seconds(0.4 * static_cast<double>(servers_needed) /
+                      static_cast<double>(std::max(1, n)));
+}
+
+TEST(PiDelayFeedbackPolicy, ConvergesOnSyntheticPlant) {
+  PiDelayFeedbackPolicy::Config cfg;
+  cfg.max_servers = 10;
+  PiDelayFeedbackPolicy policy(cfg, 2);
+  int n = 2;
+  // Load requires 7 servers; the loop must climb there and settle.
+  for (int slot = 0; slot < 30; ++slot) {
+    n = policy.update(plant_p999(n, 7));
+  }
+  EXPECT_GE(n, 6);
+  EXPECT_LE(n, 8);
+  // Load drops to 3 servers; the loop must release the excess.
+  for (int slot = 0; slot < 40; ++slot) {
+    n = policy.update(plant_p999(n, 3));
+  }
+  EXPECT_GE(n, 2);
+  EXPECT_LE(n, 4);
+}
+
+TEST(PiDelayFeedbackPolicy, ReactsFasterThanStepPolicyOnLargeRamps) {
+  // A big fleet hit by a large ramp (2 -> ~26 servers needed to meet the
+  // 0.5 s bound): the one-server-per-slot policy lags by the deficit; the
+  // PI policy takes multi-server steps while the error is saturated.
+  constexpr int kNeeded = 32;
+  // Gains are per unit of normalized error, so a 40-server fleet warrants
+  // proportionally larger integral action and a wider error band than the
+  // 10-server defaults.
+  PiDelayFeedbackPolicy::Config pi_cfg;
+  pi_cfg.max_servers = 40;
+  pi_cfg.kp = 0.5;
+  pi_cfg.ki = 2.5;
+  pi_cfg.error_clip = 2.0;
+  DelayFeedbackPolicy::Config step_cfg;
+  step_cfg.max_servers = 40;
+  PiDelayFeedbackPolicy pi(pi_cfg, 2);
+  DelayFeedbackPolicy step(step_cfg, 2);
+
+  int pi_slots = 0, step_slots = 0;
+  for (int n = 2; plant_p999(n, kNeeded) > from_seconds(0.5) && pi_slots < 100;
+       ++pi_slots) {
+    n = pi.update(plant_p999(n, kNeeded));
+  }
+  for (int n = 2;
+       plant_p999(n, kNeeded) > from_seconds(0.5) && step_slots < 100;
+       ++step_slots) {
+    n = step.update(plant_p999(n, kNeeded));
+  }
+  EXPECT_LT(pi_slots, step_slots / 2)
+      << "pi=" << pi_slots << " step=" << step_slots;
+  EXPECT_GE(step_slots, 20);  // the step policy adds one server per slot
+}
+
+TEST(PiDelayFeedbackPolicy, ErrorClipBoundsTheStep) {
+  PiDelayFeedbackPolicy::Config cfg;
+  cfg.kp = 3.0;
+  cfg.ki = 1.5;
+  cfg.error_clip = 2.0;
+  PiDelayFeedbackPolicy policy(cfg, 2);
+  // A catastrophic observation (1000x reference) is clipped: the first
+  // step is bounded by kp*clip + ki*clip.
+  const int n = policy.update(from_seconds(400.0));
+  EXPECT_LE(n, 2 + static_cast<int>(std::lround((3.0 + 1.5) * 2.0)));
+  EXPECT_GT(n, 2);
+}
+
+TEST(PiDelayFeedbackPolicy, NoWindupAtSaturation) {
+  PiDelayFeedbackPolicy::Config cfg;
+  cfg.max_servers = 5;
+  PiDelayFeedbackPolicy policy(cfg, 5);
+  // Sustained overload while already at max: stay pinned...
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(policy.update(from_seconds(5.0)), 5);
+  }
+  // ...and release promptly when the load vanishes (no accumulated debt).
+  int n = 5;
+  int slots_to_release = 0;
+  while (n > 1 && slots_to_release < 20) {
+    n = policy.update(from_seconds(0.01));
+    ++slots_to_release;
+  }
+  EXPECT_LE(slots_to_release, 6) << "integrator wound up at saturation";
+}
+
+TEST(PiDelayFeedbackPolicy, SteadyStateAtReferenceHolds) {
+  PiDelayFeedbackPolicy policy({}, 5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(policy.update(from_seconds(0.4)), 5);  // error == 0
+  }
+}
+
+TEST(DelayFeedbackPolicy, RespectsServerLimits) {
+  DelayFeedbackPolicy::Config cfg;
+  cfg.min_servers = 2;
+  cfg.max_servers = 4;
+  DelayFeedbackPolicy policy(cfg, 3);
+  policy.update(from_seconds(1.0));
+  policy.update(from_seconds(1.0));
+  policy.update(from_seconds(1.0));
+  EXPECT_EQ(policy.current(), 4);
+  for (int i = 0; i < 5; ++i) policy.update(from_seconds(0.01));
+  EXPECT_EQ(policy.current(), 2);
+}
+
+}  // namespace
+}  // namespace proteus::cluster

@@ -1,0 +1,96 @@
+#include "hashring/replicated_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/rng.h"
+#include "hashring/proteus_placement.h"
+
+namespace proteus::ring {
+namespace {
+
+TEST(ReplicatedRing, SingleReplicaMatchesBarePlacement) {
+  auto placement = std::make_shared<ProteusPlacement>(10);
+  ReplicatedRing ring(placement, 1);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    for (int n : {1, 5, 10}) {
+      const auto servers = ring.servers_for(h, n);
+      ASSERT_EQ(servers.size(), 1u);
+      ASSERT_EQ(servers[0], placement->server_for(h, n));
+      ASSERT_EQ(ring.primary_for(h, n), servers[0]);
+    }
+  }
+}
+
+TEST(ReplicatedRing, ReturnsRequestedReplicaCount) {
+  auto placement = std::make_shared<ProteusPlacement>(10);
+  ReplicatedRing ring(placement, 3);
+  EXPECT_EQ(ring.replicas(), 3);
+  EXPECT_EQ(ring.servers_for(12345, 10).size(), 3u);
+}
+
+TEST(ReplicatedRing, ReplicaSelectionIsDeterministic) {
+  auto placement = std::make_shared<ProteusPlacement>(10);
+  ReplicatedRing a(placement, 3);
+  ReplicatedRing b(placement, 3);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    EXPECT_EQ(a.servers_for(h, 8), b.servers_for(h, 8));
+  }
+}
+
+TEST(ReplicatedRing, ConflictRateMatchesEq3) {
+  // Measure the fraction of keys whose r replicas land on r distinct
+  // servers; §III-E predicts Pnc = prod (n-i)/n.
+  auto placement = std::make_shared<ProteusPlacement>(10);
+  for (int r : {2, 3}) {
+    ReplicatedRing ring(placement, r);
+    Rng rng(3);
+    int distinct = 0;
+    constexpr int kSamples = 100'000;
+    for (int i = 0; i < kSamples; ++i) {
+      const auto servers = ring.servers_for(rng.next_u64(), 10);
+      const std::set<int> unique(servers.begin(), servers.end());
+      distinct += unique.size() == servers.size();
+    }
+    const double expected =
+        ProteusPlacement::replica_no_conflict_probability(r, 10);
+    EXPECT_NEAR(static_cast<double>(distinct) / kSamples, expected, 0.02)
+        << "r=" << r;
+  }
+}
+
+TEST(ReplicatedRing, EachRingIsIndividuallyBalanced) {
+  auto placement = std::make_shared<ProteusPlacement>(10);
+  ReplicatedRing ring(placement, 2);
+  Rng rng(4);
+  std::vector<int> counts(10, 0);
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) {
+    for (int s : ring.servers_for(rng.next_u64(), 10)) {
+      ++counts[static_cast<std::size_t>(s)];
+    }
+  }
+  const double expected = 2.0 * kSamples / 10;
+  for (int c : counts) EXPECT_NEAR(c, expected, expected * 0.05);
+}
+
+TEST(ReplicatedRing, ReplicasStayWithinActiveSet) {
+  auto placement = std::make_shared<ProteusPlacement>(10);
+  ReplicatedRing ring(placement, 3);
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    for (int s : ring.servers_for(rng.next_u64(), 4)) {
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, 4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proteus::ring

@@ -1,0 +1,122 @@
+// DES-level replication (§III-E) and crash injection: the full simulated
+// cluster with r hash rings and mid-run server failures.
+#include <gtest/gtest.h>
+
+#include "cluster/scenario.h"
+
+namespace proteus::cluster {
+namespace {
+
+ScenarioConfig base_config(int replicas) {
+  ScenarioConfig cfg;
+  cfg.kind = ScenarioKind::kProteus;
+  cfg.schedule = {4, 4, 4, 4};
+  cfg.slot_length = 20 * kSecond;
+  cfg.metric_slot = 5 * kSecond;
+  cfg.ttl = 8 * kSecond;
+  cfg.replicas = replicas;
+
+  cfg.diurnal.mean_rate = 200;
+  cfg.diurnal.amplitude = 0;
+  cfg.diurnal.jitter = 0;
+  cfg.rbe.num_pages = 4000;
+  cfg.rbe.pages_per_user = 20;
+
+  cfg.cache.num_servers = 4;
+  cfg.cache.per_server.memory_budget_bytes = 16 << 20;  // hold everything
+  cfg.web.num_servers = 2;
+  cfg.db.num_shards = 2;
+  cfg.db.per_shard_concurrency = 1;
+  cfg.db.base_service_time = 8 * kMillisecond;
+  cfg.db.service_jitter_mean = 8 * kMillisecond;
+  return cfg;
+}
+
+TEST(ReplicatedScenario, TwoRingsServeWarmFromBothLocations) {
+  const ScenarioResult r = run_scenario(base_config(2));
+  EXPECT_GT(r.total_requests, 10'000u);
+  // Note: the tier-level hit ratio counts the replica chain's probe on a
+  // missing ring-0 location as a miss even when ring 1 then hits, so it
+  // sits slightly below the single-ring figure.
+  EXPECT_GT(r.overall_hit_ratio, 0.8);
+  EXPECT_GT(r.db_queries, 0u);
+}
+
+TEST(ReplicatedScenario, CrashWithoutReplicationDegradesPermanently) {
+  ScenarioConfig cfg = base_config(1);
+  cfg.crashes.push_back({40 * kSecond, 2});
+  const ScenarioResult crashed = run_scenario(cfg);
+  const ScenarioResult clean = run_scenario(base_config(1));
+  // Post-crash, ~1/4 of keys can never be cached again (no replica, no
+  // replacement server): every such request reaches the database, forever.
+  EXPECT_GT(crashed.db_queries, clean.db_queries * 2)
+      << "crashed=" << crashed.db_queries << " clean=" << clean.db_queries;
+  // And the tail latency of the post-crash half reflects it.
+  double crashed_tail = 0, clean_tail = 0;
+  int n = 0;
+  for (std::size_t s = 0; s < crashed.slots.size(); ++s) {
+    if (crashed.slots[s].start >= 50 * kSecond) {
+      crashed_tail += crashed.slots[s].p999_ms;
+      clean_tail += clean.slots[s].p999_ms;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_GT(crashed_tail, clean_tail * 1.5);
+}
+
+TEST(ReplicatedScenario, CrashWithTwoRingsIsAbsorbed) {
+  ScenarioConfig with_crash = base_config(2);
+  with_crash.crashes.push_back({40 * kSecond, 2});
+  const ScenarioResult crashed = run_scenario(with_crash);
+  const ScenarioResult clean = run_scenario(base_config(2));
+
+  // The surviving replicas absorb the crash: db traffic grows only by the
+  // Eq. (3) conflict residue plus the crashed server's share re-warming.
+  EXPECT_GT(crashed.replica_hits, 1000u);
+  EXPECT_LT(crashed.db_queries, clean.db_queries * 2);
+
+  // Tail latency does not blow up after the crash.
+  double post_peak = 0;
+  for (const auto& s : crashed.slots) {
+    if (s.start >= 50 * kSecond) post_peak = std::max(post_peak, s.p999_ms);
+  }
+  double clean_peak = 0;
+  for (const auto& s : clean.slots) {
+    if (s.start >= 50 * kSecond) clean_peak = std::max(clean_peak, s.p999_ms);
+  }
+  EXPECT_LT(post_peak, std::max(3 * clean_peak, 100.0))
+      << "crash=" << post_peak << "ms clean=" << clean_peak << "ms";
+}
+
+TEST(ReplicatedScenario, ResizeComposesWithReplication) {
+  ScenarioConfig cfg = base_config(2);
+  cfg.schedule = {4, 2, 4, 2};
+  const ScenarioResult r = run_scenario(cfg);
+  EXPECT_EQ(r.transitions, 3u);
+  EXPECT_GT(r.old_server_hits, 100u);  // per-ring Algorithm 2 at work
+  EXPECT_GT(r.overall_hit_ratio, 0.8);
+}
+
+TEST(ReplicatedScenario, CrashedServerSkippedByLaterResizes) {
+  ScenarioConfig cfg = base_config(2);
+  cfg.schedule = {4, 2, 4, 4};  // shrink then grow past the crashed server
+  cfg.crashes.push_back({30 * kSecond, 3});
+  const ScenarioResult r = run_scenario(cfg);
+  // Run completes without routing to a dead box; failovers were used.
+  EXPECT_GT(r.total_requests, 10'000u);
+  EXPECT_GT(r.replica_hits, 0u);
+}
+
+TEST(ReplicatedScenario, DeterministicWithReplicasAndCrashes) {
+  ScenarioConfig cfg = base_config(2);
+  cfg.crashes.push_back({40 * kSecond, 1});
+  const ScenarioResult a = run_scenario(cfg);
+  const ScenarioResult b = run_scenario(cfg);
+  EXPECT_EQ(a.total_requests, b.total_requests);
+  EXPECT_EQ(a.db_queries, b.db_queries);
+  EXPECT_EQ(a.replica_hits, b.replica_hits);
+}
+
+}  // namespace
+}  // namespace proteus::cluster

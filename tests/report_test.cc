@@ -1,0 +1,101 @@
+#include "cluster/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace proteus::cluster {
+namespace {
+
+ScenarioResult sample_result(const std::string& name, double energy) {
+  ScenarioResult r;
+  r.kind = ScenarioKind::kProteus;
+  r.name = name;
+  r.total_requests = 1000;
+  r.overall_hit_ratio = 0.9;
+  r.overall_p999_ms = 42.5;
+  r.db_queries = 111;
+  r.old_server_hits = 22;
+  r.total_energy_kwh = energy;
+  r.web_energy_kwh = energy * 0.5;
+  r.cache_energy_kwh = energy * 0.3;
+  r.db_energy_kwh = energy * 0.2;
+  r.applied_schedule = {4, 2, 4};
+  for (int s = 0; s < 3; ++s) {
+    SlotMetrics m;
+    m.start = s * 30 * kSecond;
+    m.n_active = 4 - s;
+    m.requests = 100 + static_cast<std::uint64_t>(s);
+    m.p99_ms = 10.0 + s;
+    m.p999_ms = 20.0 + s;
+    m.hit_ratio = 0.8;
+    m.cluster_watts = 500;
+    m.cache_watts = 100;
+    r.slots.push_back(m);
+  }
+  return r;
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerSlot) {
+  const std::string csv = slots_csv(sample_result("Proteus", 1.0));
+  std::istringstream in(csv);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].rfind("slot,start_s,n_active", 0), 0u);
+  EXPECT_EQ(lines[1].rfind("0,0,4,100,", 0), 0u);
+  EXPECT_EQ(lines[3].rfind("2,60,2,102,", 0), 0u);
+}
+
+TEST(Report, CsvIsNumericallyParseable) {
+  const std::string csv = slots_csv(sample_result("Proteus", 1.0));
+  std::istringstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  std::string row;
+  int rows = 0;
+  while (std::getline(in, row)) {
+    ++rows;
+    // Every row has exactly 12 commas (13 columns).
+    EXPECT_EQ(std::count(row.begin(), row.end(), ','), 12) << row;
+  }
+  EXPECT_EQ(rows, 3);
+}
+
+TEST(Report, JsonContainsCoreFields) {
+  const std::string json = result_json(sample_result("Proteus", 2.0));
+  EXPECT_NE(json.find("\"scenario\": \"Proteus\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_requests\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"applied_schedule\": [4, 2, 4]"), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"slots\": ["), std::string::npos);
+  // Balanced braces/brackets as a cheap well-formedness check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Report, JsonEscapesSpecialCharacters) {
+  ScenarioResult r = sample_result("we\"ird\\name\n", 1.0);
+  const std::string json = result_json(r);
+  EXPECT_NE(json.find("we\\\"ird\\\\name\\n"), std::string::npos);
+}
+
+TEST(Report, MarkdownComparisonComputesSavings) {
+  std::vector<ScenarioResult> results;
+  results.push_back(sample_result("Static", 2.0));
+  results.push_back(sample_result("Proteus", 1.8));
+  const std::string md = comparison_markdown(results);
+  EXPECT_NE(md.find("| Static | 2.0000 | 0.0% |"), std::string::npos);
+  EXPECT_NE(md.find("| Proteus | 1.8000 | 10.0% |"), std::string::npos);
+}
+
+TEST(Report, MarkdownHandlesEmptyInput) {
+  const std::string md = comparison_markdown({});
+  EXPECT_NE(md.find("| scenario |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace proteus::cluster

@@ -1,0 +1,119 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace proteus {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+  }
+  // Different seed diverges immediately with overwhelming probability.
+  Rng a2(42);
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(1);
+  double sum = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100'000, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(2);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70'000; ++i) {
+    const auto v = rng.next_below(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10'000, 500);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.next_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(4);
+  double sum = 0;
+  for (int i = 0; i < 200'000; ++i) sum += rng.next_exponential(0.5);
+  EXPECT_NEAR(sum / 200'000, 0.5, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(5);
+  Rng s1 = parent.fork(1);
+  Rng s2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += s1.next_u64() == s2.next_u64();
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Zipf, Rank0IsMostPopular) {
+  ZipfSampler zipf(1000, 0.9);
+  Rng rng(6);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200'000; ++i) ++counts[zipf(rng)];
+  EXPECT_EQ(std::distance(counts.begin(),
+                          std::max_element(counts.begin(), counts.end())),
+            0);
+  // Popularity decays: decade sums strictly decrease.
+  const auto decade = [&](int lo, int hi) {
+    int s = 0;
+    for (int i = lo; i < hi; ++i) s += counts[i];
+    return s;
+  };
+  EXPECT_GT(decade(0, 10), decade(10, 100) / 5);
+  EXPECT_GT(decade(0, 100), decade(100, 1000) / 3);
+}
+
+TEST(Zipf, SamplesStayInRange) {
+  ZipfSampler zipf(37, 1.0);  // exercises the alpha == 1 log branch
+  Rng rng(7);
+  for (int i = 0; i < 50'000; ++i) ASSERT_LT(zipf(rng), 37u);
+}
+
+TEST(Zipf, FrequencyMatchesPowerLaw) {
+  // For Zipf(alpha), count(rank r) ~ r^-alpha: check the log-log slope
+  // between rank 1 and rank 64 is within 15% of -alpha.
+  const double alpha = 0.8;
+  ZipfSampler zipf(100'000, alpha);
+  Rng rng(8);
+  std::vector<double> counts(100'000, 0);
+  for (int i = 0; i < 2'000'000; ++i) ++counts[zipf(rng)];
+  const double slope = std::log(counts[63] / counts[0]) / std::log(64.0);
+  EXPECT_NEAR(slope, -alpha, 0.12);
+}
+
+TEST(Zipf, SingleElementDomain) {
+  ZipfSampler zipf(1, 0.9);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+}  // namespace
+}  // namespace proteus

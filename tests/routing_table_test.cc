@@ -1,0 +1,83 @@
+#include "hashring/routing_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace proteus::ring {
+namespace {
+
+TEST(RoutingTable, MatchesPlacementExactlyRandomKeys) {
+  ProteusPlacement placement(10);
+  for (int n : {1, 4, 7, 10}) {
+    RoutingTable table(placement, n);
+    Rng rng(static_cast<std::uint64_t>(n));
+    for (int i = 0; i < 100'000; ++i) {
+      const std::uint64_t h = rng.next_u64();
+      ASSERT_EQ(table.server_for(h), placement.server_for(h, n))
+          << "n=" << n << " h=" << h;
+    }
+  }
+}
+
+TEST(RoutingTable, MatchesAtRangeBoundaries) {
+  // Adversarial positions: exactly at, one before, and one after every
+  // host-range boundary.
+  ProteusPlacement placement(12);
+  for (int n : {3, 12}) {
+    RoutingTable table(placement, n);
+    for (std::size_t i = 0; i < placement.num_host_ranges(); ++i) {
+      const std::uint64_t start = placement.range_start(i);
+      for (std::uint64_t pos :
+           {start, start == 0 ? std::uint64_t{0} : start - 1, start + 1}) {
+        if (pos >= kRingSpace) continue;
+        // Reconstruct a hash whose ring_position is `pos`.
+        const std::uint64_t h = pos << 2;
+        ASSERT_EQ(table.server_for(h), placement.server_for(h, n))
+            << "n=" << n << " pos=" << pos;
+      }
+    }
+  }
+}
+
+TEST(RoutingTable, CoarseBucketsStillExact) {
+  ProteusPlacement placement(24);
+  RoutingTable coarse(placement, 24, /*bucket_bits=*/4);  // 16 buckets only
+  Rng rng(9);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    ASSERT_EQ(coarse.server_for(h), placement.server_for(h, 24));
+  }
+}
+
+TEST(RoutingTable, LargeClusterExact) {
+  ProteusPlacement placement(64);
+  RoutingTable table(placement, 40);
+  Rng rng(11);
+  for (int i = 0; i < 50'000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    ASSERT_EQ(table.server_for(h), placement.server_for(h, 40));
+  }
+}
+
+TEST(RoutingTable, MergesRangesAtSmallActiveCounts) {
+  ProteusPlacement placement(32);
+  // At n=1 every range resolves to server 0: the whole table collapses.
+  RoutingTable tiny(placement, 1);
+  RoutingTable full(placement, 32);
+  EXPECT_LT(tiny.memory_bytes(), full.memory_bytes());
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(tiny.server_for(rng.next_u64()), 0);
+  }
+}
+
+TEST(RoutingTable, ReportsConfiguration) {
+  ProteusPlacement placement(8);
+  RoutingTable table(placement, 5);
+  EXPECT_EQ(table.n_active(), 5);
+  EXPECT_GT(table.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace proteus::ring

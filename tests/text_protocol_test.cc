@@ -1,0 +1,276 @@
+#include "cache/text_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace proteus::cache {
+namespace {
+
+CacheConfig proto_config() {
+  CacheConfig cfg;
+  cfg.memory_budget_bytes = 4 << 20;
+  cfg.auto_size_digest = false;
+  cfg.digest.num_counters = 1 << 14;
+  cfg.digest.counter_bits = 4;
+  cfg.digest.num_hashes = 4;
+  return cfg;
+}
+
+struct Rig {
+  CacheServer server{proto_config()};
+  TextProtocolSession session{server};
+  std::string run(std::string_view wire, SimTime now = 0) {
+    return session.feed(wire, now);
+  }
+};
+
+// --- parser ------------------------------------------------------------------
+
+TEST(ParseCommandLine, Get) {
+  const TextCommand cmd = parse_command_line("get foo");
+  EXPECT_EQ(cmd.op, TextCommand::Op::kGet);
+  ASSERT_EQ(cmd.keys.size(), 1u);
+  EXPECT_EQ(cmd.keys[0], "foo");
+}
+
+TEST(ParseCommandLine, MultiGet) {
+  const TextCommand cmd = parse_command_line("get a b c");
+  EXPECT_EQ(cmd.op, TextCommand::Op::kGet);
+  EXPECT_EQ(cmd.keys.size(), 3u);
+}
+
+TEST(ParseCommandLine, GetsAliasesGet) {
+  EXPECT_EQ(parse_command_line("gets foo").op, TextCommand::Op::kGet);
+}
+
+TEST(ParseCommandLine, Set) {
+  const TextCommand cmd = parse_command_line("set foo 13 0 5");
+  EXPECT_EQ(cmd.op, TextCommand::Op::kSet);
+  EXPECT_EQ(cmd.keys[0], "foo");
+  EXPECT_EQ(cmd.flags, 13u);
+  EXPECT_EQ(cmd.bytes, 5u);
+  EXPECT_FALSE(cmd.noreply);
+}
+
+TEST(ParseCommandLine, SetNoreply) {
+  const TextCommand cmd = parse_command_line("set foo 0 0 5 noreply");
+  EXPECT_EQ(cmd.op, TextCommand::Op::kSet);
+  EXPECT_TRUE(cmd.noreply);
+}
+
+TEST(ParseCommandLine, RejectsMalformed) {
+  EXPECT_EQ(parse_command_line("").op, TextCommand::Op::kInvalid);
+  EXPECT_EQ(parse_command_line("bogus foo").op, TextCommand::Op::kInvalid);
+  EXPECT_EQ(parse_command_line("get").op, TextCommand::Op::kInvalid);
+  EXPECT_EQ(parse_command_line("set foo 0 0").op, TextCommand::Op::kInvalid);
+  EXPECT_EQ(parse_command_line("set foo 0 0 abc").op, TextCommand::Op::kInvalid);
+  EXPECT_EQ(parse_command_line("incr foo").op, TextCommand::Op::kInvalid);
+  EXPECT_EQ(parse_command_line("stats extra").op, TextCommand::Op::kInvalid);
+}
+
+TEST(ParseCommandLine, RejectsOversizedAndControlKeys) {
+  const std::string big(251, 'k');
+  EXPECT_EQ(parse_command_line("get " + big).op, TextCommand::Op::kInvalid);
+  EXPECT_EQ(parse_command_line(std::string("get a\tb")).op,
+            TextCommand::Op::kInvalid);
+  // Exactly 250 bytes is fine.
+  const std::string ok(250, 'k');
+  EXPECT_EQ(parse_command_line("get " + ok).op, TextCommand::Op::kGet);
+}
+
+TEST(ParseCommandLine, Delete) {
+  EXPECT_EQ(parse_command_line("delete foo").op, TextCommand::Op::kDelete);
+  EXPECT_TRUE(parse_command_line("delete foo noreply").noreply);
+}
+
+TEST(ParseCommandLine, IncrDecrTouchFlush) {
+  EXPECT_EQ(parse_command_line("incr c 5").op, TextCommand::Op::kIncr);
+  EXPECT_EQ(parse_command_line("incr c 5").delta, 5u);
+  EXPECT_EQ(parse_command_line("decr c 2").op, TextCommand::Op::kDecr);
+  EXPECT_EQ(parse_command_line("touch k 30").op, TextCommand::Op::kTouch);
+  EXPECT_EQ(parse_command_line("flush_all").op, TextCommand::Op::kFlushAll);
+}
+
+// --- session round trips -------------------------------------------------------
+
+TEST(TextProtocol, SetThenGet) {
+  Rig rig;
+  EXPECT_EQ(rig.run("set foo 7 0 5\r\nhello\r\n"), "STORED\r\n");
+  EXPECT_EQ(rig.run("get foo\r\n"), "VALUE foo 7 5\r\nhello\r\nEND\r\n");
+}
+
+TEST(TextProtocol, GetMissReturnsBareEnd) {
+  Rig rig;
+  EXPECT_EQ(rig.run("get nothing\r\n"), "END\r\n");
+}
+
+TEST(TextProtocol, MultiGetSkipsMisses) {
+  Rig rig;
+  rig.run("set a 0 0 1\r\nx\r\n");
+  rig.run("set c 0 0 1\r\ny\r\n");
+  EXPECT_EQ(rig.run("get a b c\r\n"),
+            "VALUE a 0 1\r\nx\r\nVALUE c 0 1\r\ny\r\nEND\r\n");
+}
+
+TEST(TextProtocol, SegmentedInputAcrossFeeds) {
+  // Commands split at arbitrary byte boundaries (TCP segmentation).
+  Rig rig;
+  std::string out;
+  out += rig.run("se");
+  out += rig.run("t foo 0 0 5\r\nhe");
+  out += rig.run("llo\r\nget fo");
+  out += rig.run("o\r\n");
+  EXPECT_EQ(out, "STORED\r\nVALUE foo 0 5\r\nhello\r\nEND\r\n");
+}
+
+TEST(TextProtocol, BinarySafePayload) {
+  Rig rig;
+  std::string payload = "a\r\nb\0c";
+  payload.resize(6);  // include the NUL
+  std::string wire = "set bin 0 0 6\r\n";
+  wire += payload;
+  wire += "\r\n";
+  EXPECT_EQ(rig.run(wire), "STORED\r\n");
+  const std::string reply = rig.run("get bin\r\n");
+  EXPECT_EQ(reply, std::string("VALUE bin 0 6\r\n") + payload + "\r\nEND\r\n");
+}
+
+TEST(TextProtocol, AddAndReplaceSemantics) {
+  Rig rig;
+  EXPECT_EQ(rig.run("replace foo 0 0 1\r\nx\r\n"), "NOT_STORED\r\n");
+  EXPECT_EQ(rig.run("add foo 0 0 1\r\nx\r\n"), "STORED\r\n");
+  EXPECT_EQ(rig.run("add foo 0 0 1\r\ny\r\n"), "NOT_STORED\r\n");
+  EXPECT_EQ(rig.run("replace foo 0 0 1\r\nz\r\n"), "STORED\r\n");
+  EXPECT_EQ(rig.run("get foo\r\n"), "VALUE foo 0 1\r\nz\r\nEND\r\n");
+}
+
+TEST(TextProtocol, DeleteSemantics) {
+  Rig rig;
+  rig.run("set foo 0 0 1\r\nx\r\n");
+  EXPECT_EQ(rig.run("delete foo\r\n"), "DELETED\r\n");
+  EXPECT_EQ(rig.run("delete foo\r\n"), "NOT_FOUND\r\n");
+}
+
+TEST(TextProtocol, NoreplySuppressesResponses) {
+  Rig rig;
+  EXPECT_EQ(rig.run("set foo 0 0 1 noreply\r\nx\r\ndelete foo noreply\r\n"),
+            "");
+  EXPECT_EQ(rig.run("get foo\r\n"), "END\r\n");
+}
+
+TEST(TextProtocol, IncrDecr) {
+  Rig rig;
+  rig.run("set c 0 0 2\r\n10\r\n");
+  EXPECT_EQ(rig.run("incr c 5\r\n"), "15\r\n");
+  EXPECT_EQ(rig.run("decr c 20\r\n"), "0\r\n");  // clamps at zero
+  EXPECT_EQ(rig.run("incr missing 1\r\n"), "NOT_FOUND\r\n");
+  rig.run("set s 0 0 3\r\nabc\r\n");
+  EXPECT_EQ(rig.run("incr s 1\r\n"),
+            "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n");
+}
+
+TEST(TextProtocol, TouchRefreshesHotness) {
+  CacheConfig cfg = proto_config();
+  cfg.item_ttl = 10 * kSecond;
+  CacheServer server(cfg);
+  TextProtocolSession session(server);
+  session.feed("set k 0 0 1\r\nx\r\n", 0);
+  EXPECT_EQ(session.feed("touch k 0\r\n", 8 * kSecond), "TOUCHED\r\n");
+  // Still alive at t=16s only because the touch refreshed it.
+  EXPECT_EQ(session.feed("get k\r\n", 16 * kSecond),
+            "VALUE k 0 1\r\nx\r\nEND\r\n");
+  EXPECT_EQ(session.feed("touch k 0\r\n", 60 * kSecond), "NOT_FOUND\r\n");
+}
+
+TEST(TextProtocol, FlushAll) {
+  Rig rig;
+  rig.run("set a 0 0 1\r\nx\r\n");
+  EXPECT_EQ(rig.run("flush_all\r\n"), "OK\r\n");
+  EXPECT_EQ(rig.run("get a\r\n"), "END\r\n");
+}
+
+TEST(TextProtocol, StatsReportCounters) {
+  Rig rig;
+  rig.run("set a 0 0 1\r\nx\r\n");
+  rig.run("get a\r\nget b\r\n");
+  const std::string stats = rig.run("stats\r\n");
+  EXPECT_NE(stats.find("STAT cmd_get 2\r\n"), std::string::npos);
+  EXPECT_NE(stats.find("STAT get_hits 1\r\n"), std::string::npos);
+  EXPECT_NE(stats.find("STAT get_misses 1\r\n"), std::string::npos);
+  EXPECT_NE(stats.find("STAT curr_items 1\r\n"), std::string::npos);
+  EXPECT_NE(stats.find("END\r\n"), std::string::npos);
+}
+
+TEST(TextProtocol, VersionAndQuit) {
+  Rig rig;
+  EXPECT_EQ(rig.run("version\r\n"), "VERSION proteus-1.0\r\n");
+  EXPECT_EQ(rig.run("quit\r\n"), "");
+  EXPECT_TRUE(rig.session.closed());
+  EXPECT_EQ(rig.run("get foo\r\n"), "");  // input after quit is ignored
+}
+
+TEST(TextProtocol, UnknownCommandYieldsError) {
+  Rig rig;
+  EXPECT_EQ(rig.run("frobnicate\r\n"), "ERROR\r\n");
+}
+
+TEST(TextProtocol, BadDataChunkTerminatorRejected) {
+  Rig rig;
+  // Payload not followed by CRLF.
+  EXPECT_EQ(rig.run("set foo 0 0 2\r\nxyz\r\n"),
+            "CLIENT_ERROR bad data chunk\r\n");
+  EXPECT_EQ(rig.run("get foo\r\n"), "END\r\n");
+}
+
+// --- the paper's digest protocol through an unmodified client path ----------
+
+TEST(TextProtocol, DigestSnapshotViaReservedKeys) {
+  Rig rig;
+  for (int i = 0; i < 50; ++i) {
+    rig.run("set page:" + std::to_string(i) + " 0 0 1\r\nx\r\n");
+  }
+  const std::string ok = rig.run("get SET_BLOOM_FILTER\r\n");
+  EXPECT_NE(ok.find("VALUE SET_BLOOM_FILTER 0 2\r\nOK\r\n"), std::string::npos);
+
+  const std::string reply = rig.run("get BLOOM_FILTER\r\n");
+  // Parse out the announced byte count and extract the blob.
+  const std::string header_prefix = "VALUE BLOOM_FILTER 0 ";
+  ASSERT_EQ(reply.rfind(header_prefix, 0), 0u) << reply.substr(0, 40);
+  const std::size_t eol = reply.find("\r\n");
+  const std::size_t size = std::stoul(reply.substr(header_prefix.size(),
+                                                   eol - header_prefix.size()));
+  const std::string blob = reply.substr(eol + 2, size);
+  ASSERT_EQ(blob.size(), size);
+
+  const bloom::BloomFilter digest = decode_digest(blob);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(digest.maybe_contains("page:" + std::to_string(i))) << i;
+  }
+  EXPECT_FALSE(digest.maybe_contains("page:9999"));
+}
+
+TEST(TextProtocol, ReservedKeysAreReadOnly) {
+  Rig rig;
+  EXPECT_EQ(rig.run("set SET_BLOOM_FILTER 0 0 1\r\nx\r\n"),
+            "CLIENT_ERROR reserved key\r\n");
+  EXPECT_EQ(rig.run("set BLOOM_FILTER 0 0 1\r\nx\r\n"),
+            "CLIENT_ERROR reserved key\r\n");
+}
+
+TEST(TextProtocol, FlagsSurviveEvictionBoundary) {
+  // Flags live in the item, so an evicted key loses them with the item.
+  CacheConfig cfg = proto_config();
+  cfg.memory_budget_bytes = 400;
+  cfg.per_item_overhead = 0;
+  CacheServer server(cfg);
+  TextProtocolSession session(server);
+  session.feed("set a 11 0 300\r\n" + std::string(300, 'x') + "\r\n", 0);
+  session.feed("set b 22 0 300\r\n" + std::string(300, 'y') + "\r\n", 0);
+  EXPECT_EQ(session.feed("get a\r\n", 0), "END\r\n");  // evicted
+  const std::string reply = session.feed("get b\r\n", 0);
+  EXPECT_EQ(reply.rfind("VALUE b 22 300\r\n", 0), 0u);
+}
+
+}  // namespace
+}  // namespace proteus::cache

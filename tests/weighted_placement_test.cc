@@ -1,0 +1,111 @@
+#include "hashring/weighted_placement.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "hashring/proteus_placement.h"
+
+namespace proteus::ring {
+namespace {
+
+TEST(WeightedPlacement, UniformWeightsReduceToAlgorithm1) {
+  WeightedProteusPlacement weighted(std::vector<double>(10, 1.0));
+  ProteusPlacement uniform(10);
+  Rng rng(1);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    for (int n = 1; n <= 10; ++n) {
+      ASSERT_EQ(weighted.server_for(h, n), uniform.server_for(h, n));
+    }
+  }
+  EXPECT_EQ(weighted.num_virtual_nodes(), uniform.num_virtual_nodes());
+}
+
+TEST(WeightedPlacement, WeightedBalanceConditionAtEveryPrefix) {
+  // The generalized BC: share_j(n) == w_j / W_n for every prefix.
+  const std::vector<double> weights = {4, 1, 2, 1, 3, 2, 1, 8};
+  WeightedProteusPlacement p(weights);
+  for (int n = 1; n <= 8; ++n) {
+    for (int s = 0; s < n; ++s) {
+      ASSERT_NEAR(p.share(s, n), p.target_share(s, n), 1e-9)
+          << "n=" << n << " s=" << s;
+    }
+    for (int s = n; s < 8; ++s) {
+      ASSERT_DOUBLE_EQ(p.share(s, n), 0.0);
+    }
+  }
+}
+
+TEST(WeightedPlacement, TargetShareMatchesWeights) {
+  WeightedProteusPlacement p({2, 1, 1});
+  EXPECT_DOUBLE_EQ(p.target_share(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(p.target_share(0, 2), 2.0 / 3);
+  EXPECT_DOUBLE_EQ(p.target_share(1, 2), 1.0 / 3);
+  EXPECT_DOUBLE_EQ(p.target_share(0, 3), 0.5);
+  EXPECT_DOUBLE_EQ(p.target_share(2, 3), 0.25);
+}
+
+TEST(WeightedPlacement, MinimalMigrationForWeightedTargets) {
+  // Turning s_{n+1} on must move exactly its target share w_{n+1}/W_{n+1}
+  // — the minimum for reaching the weighted distribution.
+  const std::vector<double> weights = {1, 3, 2, 5, 1, 2};
+  WeightedProteusPlacement p(weights);
+  for (int n = 1; n < 6; ++n) {
+    ASSERT_NEAR(p.migration_fraction(n, n + 1), p.target_share(n, n + 1),
+                1e-9)
+        << n;
+  }
+}
+
+TEST(WeightedPlacement, MonotoneUnderShrink) {
+  const std::vector<double> weights = {2, 1, 4, 1, 3};
+  WeightedProteusPlacement p(weights);
+  Rng rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t h = rng.next_u64();
+    for (int n = 1; n < 5; ++n) {
+      const int at_big = p.server_for(h, n + 1);
+      if (at_big != n) {
+        ASSERT_EQ(at_big, p.server_for(h, n));
+      } else {
+        ASSERT_LT(p.server_for(h, n), n);
+      }
+    }
+  }
+}
+
+TEST(WeightedPlacement, EmpiricalDistributionMatchesWeights) {
+  const std::vector<double> weights = {1, 2, 4};
+  WeightedProteusPlacement p(weights);
+  Rng rng(4);
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 210'000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[static_cast<std::size_t>(p.server_for(rng.next_u64(), 3))];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 1.0 / 7, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kSamples), 2.0 / 7, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kSamples), 4.0 / 7, 0.01);
+}
+
+TEST(WeightedPlacement, ExtremeWeightRatiosStayExact) {
+  const std::vector<double> weights = {100, 1, 50, 1, 1};
+  WeightedProteusPlacement p(weights);
+  for (int n = 1; n <= 5; ++n) {
+    for (int s = 0; s < n; ++s) {
+      ASSERT_NEAR(p.share(s, n), p.target_share(s, n), 1e-8)
+          << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(WeightedPlacement, SingleServer) {
+  WeightedProteusPlacement p({3.5});
+  EXPECT_EQ(p.server_for(123456789, 1), 0);
+  EXPECT_DOUBLE_EQ(p.share(0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace proteus::ring

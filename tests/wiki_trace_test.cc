@@ -1,0 +1,121 @@
+#include "workload/wiki_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace proteus::workload {
+namespace {
+
+TEST(PercentDecode, BasicEscapes) {
+  EXPECT_EQ(percent_decode("Main%20Page"), "Main Page");
+  EXPECT_EQ(percent_decode("C%2B%2B"), "C++");
+  EXPECT_EQ(percent_decode("no-escapes"), "no-escapes");
+  EXPECT_EQ(percent_decode("%41%42%43"), "ABC");
+}
+
+TEST(PercentDecode, InvalidEscapesKeptLiterally) {
+  EXPECT_EQ(percent_decode("100%"), "100%");
+  EXPECT_EQ(percent_decode("50%ZZoff"), "50%ZZoff");
+  EXPECT_EQ(percent_decode("%4"), "%4");
+}
+
+TEST(WikiArticleTitle, AcceptsEnglishArticles) {
+  EXPECT_EQ(wiki_article_title("http://en.wikipedia.org/wiki/Main_Page"),
+            "Main_Page");
+  EXPECT_EQ(wiki_article_title("https://en.wikipedia.org/wiki/C%2B%2B"),
+            "C++");
+  // Spaces normalize to underscores (MediaWiki canonical form).
+  EXPECT_EQ(wiki_article_title("http://en.wikipedia.org/wiki/Main%20Page"),
+            "Main_Page");
+}
+
+TEST(WikiArticleTitle, StripsQueryAndFragment) {
+  EXPECT_EQ(
+      wiki_article_title("http://en.wikipedia.org/wiki/Physics?action=raw"),
+      "Physics");
+  EXPECT_EQ(wiki_article_title("http://en.wikipedia.org/wiki/Physics#History"),
+            "Physics");
+}
+
+TEST(WikiArticleTitle, RejectsOtherProjectsAndLanguages) {
+  EXPECT_FALSE(wiki_article_title("http://de.wikipedia.org/wiki/Physik"));
+  EXPECT_FALSE(wiki_article_title("http://commons.wikimedia.org/wiki/X"));
+  EXPECT_FALSE(wiki_article_title("http://en.wikipedia.org/w/index.php"));
+  EXPECT_FALSE(wiki_article_title("ftp://en.wikipedia.org/wiki/X"));
+  EXPECT_FALSE(wiki_article_title("garbage"));
+}
+
+TEST(WikiArticleTitle, RejectsNonArticleNamespaces) {
+  EXPECT_FALSE(
+      wiki_article_title("http://en.wikipedia.org/wiki/Special:Random"));
+  EXPECT_FALSE(
+      wiki_article_title("http://en.wikipedia.org/wiki/File:Cat.jpg"));
+  EXPECT_FALSE(
+      wiki_article_title("http://en.wikipedia.org/wiki/Talk:Physics"));
+  EXPECT_FALSE(
+      wiki_article_title("http://en.wikipedia.org/wiki/User:Someone"));
+  EXPECT_FALSE(wiki_article_title("http://en.wikipedia.org/wiki/"));
+}
+
+TEST(ReadWikipediaTrace, DistillsAndRebasesTimestamps) {
+  std::stringstream in;
+  in << "1190146243.324 http://en.wikipedia.org/wiki/Main_Page\n"
+     << "1190146243.824 http://de.wikipedia.org/wiki/Physik\n"
+     << "1190146244.324 http://en.wikipedia.org/wiki/Physics\n"
+     << "1190146244.824 http://en.wikipedia.org/wiki/File:Cat.jpg\n"
+     << "1190146245.324 http://en.wikipedia.org/wiki/Main%20Page\n";
+  WikiTraceStats stats;
+  const auto trace = read_wikipedia_trace(in, &stats);
+
+  EXPECT_EQ(stats.lines, 5u);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.malformed, 0u);
+
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].time, 0);
+  EXPECT_EQ(trace[0].key, "page:Main_Page");
+  EXPECT_EQ(trace[1].time, kSecond);
+  EXPECT_EQ(trace[1].key, "page:Physics");
+  EXPECT_EQ(trace[2].time, 2 * kSecond);
+  EXPECT_EQ(trace[2].key, "page:Main_Page");  // %20 normalized to _
+}
+
+TEST(ReadWikipediaTrace, CountsMalformedLines) {
+  std::stringstream in;
+  in << "notanumber http://en.wikipedia.org/wiki/X\n"
+     << "1190146243.324\n"
+     << "1190146243.5 http://en.wikipedia.org/wiki/Y\n";
+  WikiTraceStats stats;
+  const auto trace = read_wikipedia_trace(in, &stats);
+  EXPECT_EQ(stats.malformed, 2u);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].key, "page:Y");
+}
+
+TEST(ReadWikipediaTrace, ToleratesMinorReordering) {
+  std::stringstream in;
+  in << "100.5 http://en.wikipedia.org/wiki/B\n"
+     << "100.2 http://en.wikipedia.org/wiki/A\n";
+  const auto trace = read_wikipedia_trace(in);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_LE(trace[0].time, trace[1].time);
+}
+
+TEST(ReadWikipediaTrace, OutputFeedsStandardTraceConsumers) {
+  std::stringstream in;
+  for (int i = 0; i < 100; ++i) {
+    in << 1000.0 + i * 0.1 << " http://en.wikipedia.org/wiki/Page_"
+       << (i % 10) << "\n";
+  }
+  const auto trace = read_wikipedia_trace(in);
+  ASSERT_EQ(trace.size(), 100u);
+  const auto windows = requests_per_window(trace, kSecond);
+  std::uint64_t total = 0;
+  for (auto c : windows) total += c;
+  EXPECT_EQ(total, 100u);
+}
+
+}  // namespace
+}  // namespace proteus::workload

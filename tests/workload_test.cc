@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "workload/diurnal_model.h"
+#include "workload/trace.h"
+
+namespace proteus::workload {
+namespace {
+
+DiurnalConfig test_diurnal() {
+  DiurnalConfig cfg;
+  cfg.mean_rate = 100.0;
+  cfg.amplitude = 1.0 / 3.0;
+  cfg.period = 2 * kHour;
+  cfg.phase = 30 * kMinute;
+  cfg.jitter = 0.0;
+  return cfg;
+}
+
+TEST(DiurnalModel, PeakToValleyRatioNearTwo) {
+  // §II assumption: "the gap between the peak and the nadir load is huge"
+  // — the trace shows peak ~ 2x valley; amplitude 1/3 encodes that.
+  DiurnalModel model(test_diurnal());
+  EXPECT_NEAR(model.peak_rate() / model.valley_rate(), 2.0, 0.01);
+}
+
+TEST(DiurnalModel, RateIsPeriodic) {
+  DiurnalModel model(test_diurnal());
+  EXPECT_NEAR(model.rate_at(10 * kMinute),
+              model.rate_at(10 * kMinute + 2 * kHour), 1e-9);
+}
+
+TEST(DiurnalModel, JitterIsDeterministicAndBounded) {
+  DiurnalConfig cfg = test_diurnal();
+  cfg.jitter = 0.05;
+  DiurnalModel a(cfg), b(cfg);
+  for (SimTime t = 0; t < 4 * kHour; t += 7 * kMinute) {
+    EXPECT_DOUBLE_EQ(a.rate_at(t), b.rate_at(t));
+    DiurnalConfig clean = cfg;
+    clean.jitter = 0;
+    DiurnalModel base(clean);
+    EXPECT_NEAR(a.rate_at(t), base.rate_at(t), base.rate_at(t) * 0.051);
+  }
+}
+
+TEST(Trace, GeneratedRateTracksModel) {
+  TraceConfig cfg;
+  cfg.duration = 4 * kHour;
+  cfg.num_pages = 10'000;
+  cfg.diurnal = test_diurnal();
+  const auto trace = generate_trace(cfg);
+  ASSERT_FALSE(trace.empty());
+
+  // Compare per-hour counts against the model's integrated rate.
+  const auto counts = requests_per_window(trace, kHour);
+  DiurnalModel model(cfg.diurnal);
+  for (std::size_t h = 0; h < counts.size(); ++h) {
+    double expected = 0;
+    for (int m = 0; m < 60; ++m) {
+      expected += model.rate_at(static_cast<SimTime>(h) * kHour + m * kMinute) * 60;
+    }
+    EXPECT_NEAR(static_cast<double>(counts[h]), expected, expected * 0.1)
+        << "hour " << h;
+  }
+}
+
+TEST(Trace, EventsAreTimeOrderedAndInRange) {
+  TraceConfig cfg;
+  cfg.duration = kHour;
+  cfg.diurnal = test_diurnal();
+  const auto trace = generate_trace(cfg);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    ASSERT_GE(trace[i].time, trace[i - 1].time);
+  }
+  ASSERT_LT(trace.back().time, kHour);
+  ASSERT_GE(trace.front().time, 0);
+}
+
+TEST(Trace, KeysAreZipfSkewed) {
+  TraceConfig cfg;
+  cfg.duration = 2 * kHour;
+  cfg.num_pages = 50'000;
+  cfg.zipf_alpha = 0.9;
+  cfg.diurnal = test_diurnal();
+  const auto trace = generate_trace(cfg);
+
+  std::map<std::string, int> counts;
+  for (const auto& ev : trace) ++counts[ev.key];
+  // The most popular page must be requested far more often than average.
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  const double avg = static_cast<double>(trace.size()) / counts.size();
+  EXPECT_GT(max_count, 10 * avg);
+  // rank-0 page key is the hottest under our sampler.
+  EXPECT_EQ(counts.count(page_key(0)), 1u);
+}
+
+TEST(Trace, DeterministicForSeed) {
+  TraceConfig cfg;
+  cfg.duration = 30 * kMinute;
+  cfg.diurnal = test_diurnal();
+  const auto a = generate_trace(cfg);
+  const auto b = generate_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].time, b[i].time);
+    ASSERT_EQ(a[i].key, b[i].key);
+  }
+  cfg.seed = 999;
+  const auto c = generate_trace(cfg);
+  // A different seed shifts the arrival process: some early event differs.
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < std::min<std::size_t>(100, c.size()); ++i) {
+    differs = a[i].time != c[i].time || a[i].key != c[i].key;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Trace, FileRoundTrip) {
+  TraceConfig cfg;
+  cfg.duration = 10 * kMinute;
+  cfg.diurnal = test_diurnal();
+  const auto trace = generate_trace(cfg);
+
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const auto loaded = read_trace(ss);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(loaded[i].time, trace[i].time);
+    ASSERT_EQ(loaded[i].key, trace[i].key);
+  }
+}
+
+TEST(Trace, RequestsPerWindowPartitionsTrace) {
+  TraceConfig cfg;
+  cfg.duration = kHour;
+  cfg.diurnal = test_diurnal();
+  const auto trace = generate_trace(cfg);
+  const auto windows = requests_per_window(trace, 10 * kMinute);
+  std::uint64_t total = 0;
+  for (auto c : windows) total += c;
+  EXPECT_EQ(total, trace.size());
+  EXPECT_EQ(windows.size(), 6u);
+}
+
+TEST(Trace, ArrivalsArePoisson) {
+  // For a (locally) homogeneous Poisson process, per-window counts have
+  // variance ~ mean (index of dispersion ~ 1). A jittery or clumped
+  // generator would show dispersion far from 1.
+  TraceConfig cfg;
+  cfg.duration = 2 * kHour;
+  cfg.diurnal = test_diurnal();
+  cfg.diurnal.amplitude = 0;  // homogeneous for this check
+  const auto trace = generate_trace(cfg);
+  const auto counts = requests_per_window(trace, 10 * kSecond);
+  double mean = 0;
+  for (auto c : counts) mean += static_cast<double>(c);
+  mean /= static_cast<double>(counts.size());
+  double var = 0;
+  for (auto c : counts) {
+    const double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(counts.size() - 1);
+  EXPECT_NEAR(var / mean, 1.0, 0.15);
+}
+
+TEST(PageKey, Format) {
+  EXPECT_EQ(page_key(0), "page:0");
+  EXPECT_EQ(page_key(12345), "page:12345");
+}
+
+}  // namespace
+}  // namespace proteus::workload

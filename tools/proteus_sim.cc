@@ -1,0 +1,167 @@
+// proteus_sim — command-line experiment driver.
+//
+// Runs any Table II scenario on the simulated 40-server topology with
+// tunable workload/cluster parameters and prints either a human-readable
+// report or CSV rows for plotting.
+//
+//   proteus_sim --scenario=proteus --slots=33 --rate=300
+//   proteus_sim --scenario=naive --csv > naive.csv
+//   proteus_sim --scenario=proteus --feedback --ttl-s=40
+//
+// Flags (all optional):
+//   --scenario=static|naive|consistent|proteus   (default proteus)
+//   --slots=N            provisioning slots to run        (default 33)
+//   --slot-s=S           slot length, seconds             (default 120)
+//   --rate=R             mean request rate, req/s         (default 300)
+//   --pages=P            corpus size                      (default 200000)
+//   --cache-mb=M         per-server cache budget, MB      (default 4)
+//   --servers=N          cache servers                    (default 10)
+//   --ttl-s=S            transition drain window, seconds (default 40)
+//   --feedback           closed delay-feedback provisioning loop
+//   --csv                machine-readable per-slot output
+//   --json               whole-result JSON (for dashboards / CI diffs)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "cluster/report.h"
+#include "cluster/scenario.h"
+
+namespace {
+
+using namespace proteus;
+
+struct Flags {
+  cluster::ScenarioKind scenario = cluster::ScenarioKind::kProteus;
+  int slots = 33;
+  double slot_s = 120;
+  double rate = 300;
+  std::size_t pages = 200'000;
+  std::size_t cache_mb = 4;
+  int servers = 10;
+  double ttl_s = 40;
+  bool feedback = false;
+  bool csv = false;
+  bool json = false;
+};
+
+bool parse_value(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool parse_flags(int argc, char** argv, Flags& flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_value(argv[i], "--scenario", value)) {
+      if (value == "static") flags.scenario = cluster::ScenarioKind::kStatic;
+      else if (value == "naive") flags.scenario = cluster::ScenarioKind::kNaive;
+      else if (value == "consistent") flags.scenario = cluster::ScenarioKind::kConsistent;
+      else if (value == "proteus") flags.scenario = cluster::ScenarioKind::kProteus;
+      else return false;
+    } else if (parse_value(argv[i], "--slots", value)) {
+      flags.slots = std::atoi(value.c_str());
+    } else if (parse_value(argv[i], "--slot-s", value)) {
+      flags.slot_s = std::atof(value.c_str());
+    } else if (parse_value(argv[i], "--rate", value)) {
+      flags.rate = std::atof(value.c_str());
+    } else if (parse_value(argv[i], "--pages", value)) {
+      flags.pages = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (parse_value(argv[i], "--cache-mb", value)) {
+      flags.cache_mb = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (parse_value(argv[i], "--servers", value)) {
+      flags.servers = std::atoi(value.c_str());
+    } else if (parse_value(argv[i], "--ttl-s", value)) {
+      flags.ttl_s = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--feedback") == 0) {
+      flags.feedback = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      flags.csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      flags.json = true;
+    } else {
+      return false;
+    }
+  }
+  return flags.slots >= 1 && flags.slot_s > 0 && flags.rate > 0 &&
+         flags.pages > 0 && flags.cache_mb > 0 && flags.servers >= 1 &&
+         flags.ttl_s > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!parse_flags(argc, argv, flags)) {
+    std::fprintf(stderr, "usage: see header of tools/proteus_sim.cc\n");
+    return 2;
+  }
+
+  cluster::ScenarioConfig cfg =
+      cluster::default_experiment_config(flags.scenario);
+  cfg.slot_length = from_seconds(flags.slot_s);
+  cfg.metric_slot = cfg.slot_length / 4;
+  cfg.ttl = from_seconds(flags.ttl_s);
+  cfg.diurnal.mean_rate = flags.rate;
+  cfg.diurnal.period = 24 * cfg.slot_length;
+  cfg.diurnal.phase = 9 * cfg.slot_length;
+  cfg.diurnal.jitter_slot = cfg.slot_length;
+  cfg.rbe.num_pages = flags.pages;
+  cfg.cache.num_servers = flags.servers;
+  cfg.cache.per_server.memory_budget_bytes = flags.cache_mb << 20;
+  cfg.use_delay_feedback = flags.feedback;
+  cfg.feedback.max_servers = flags.servers;
+
+  // Re-derive the schedule for the requested workload and fleet.
+  workload::DiurnalModel model(cfg.diurnal);
+  cluster::RateProportionalPolicy policy;
+  policy.per_server_capacity_rps =
+      model.peak_rate() / static_cast<double>(flags.servers) * 1.02;
+  policy.max_servers = flags.servers;
+  cfg.schedule = cluster::rate_proportional_schedule(
+      model, static_cast<SimTime>(flags.slots) * cfg.slot_length,
+      cfg.slot_length, policy);
+
+  if (!flags.csv) {
+    std::fprintf(stderr, "running %s: %d slots x %.0f s, %.0f req/s mean...\n",
+                 cluster::scenario_name(flags.scenario).data(), flags.slots,
+                 flags.slot_s, flags.rate);
+  }
+  const cluster::ScenarioResult r = cluster::run_scenario(cfg);
+
+  if (flags.csv) {
+    cluster::write_slots_csv(std::cout, r);
+    return 0;
+  }
+  if (flags.json) {
+    cluster::write_result_json(std::cout, r);
+    return 0;
+  }
+
+  std::printf("scenario:            %s\n", r.name.c_str());
+  std::printf("requests:            %llu\n",
+              static_cast<unsigned long long>(r.total_requests));
+  std::printf("hit ratio:           %.4f\n", r.overall_hit_ratio);
+  std::printf("p99.9 overall:       %.2f ms\n", r.overall_p999_ms);
+  double peak = 0;
+  for (std::size_t s = 4; s < r.slots.size(); ++s) {
+    peak = std::max(peak, r.slots[s].p999_ms);
+  }
+  std::printf("p99.9 worst slot:    %.2f ms (post warmup)\n", peak);
+  std::printf("database queries:    %llu\n",
+              static_cast<unsigned long long>(r.db_queries));
+  std::printf("on-demand migrations:%llu\n",
+              static_cast<unsigned long long>(r.old_server_hits));
+  std::printf("energy:              %.4f kWh total, %.4f kWh cache tier\n",
+              r.total_energy_kwh, r.cache_energy_kwh);
+  std::printf("applied schedule:   ");
+  for (int n : r.applied_schedule) std::printf(" %d", n);
+  std::printf("\n");
+  return 0;
+}

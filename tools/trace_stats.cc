@@ -1,0 +1,111 @@
+// trace-stats — characterize a request trace before replaying it.
+//
+//   proteus-trace-gen --hours=1 --rate=400 > t.txt && proteus-trace-stats t.txt
+//   proteus-trace-stats wiki.log        # raw Wikipedia format auto-detected
+//
+// Prints the quantities the paper's workload section reports: request
+// rate over time, peak/valley ratio, Zipf exponent, hot-set size, and the
+// exact LRU hit-ratio curve (single-pass stack-distance analysis) — i.e.
+// everything needed to size a Proteus cluster for the trace.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "cache/mattson.h"
+#include "workload/popularity.h"
+#include "workload/trace.h"
+#include "workload/wiki_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace proteus;
+
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: proteus-trace-stats <trace-file>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  std::string first_line;
+  std::getline(in, first_line);
+  in.clear();
+  in.seekg(0);
+
+  std::vector<workload::TraceEvent> trace;
+  if (first_line.find("http") != std::string::npos) {
+    workload::WikiTraceStats wstats;
+    trace = workload::read_wikipedia_trace(in, &wstats);
+    std::printf("wikipedia format: %zu lines, %zu accepted, %zu rejected, "
+                "%zu malformed\n",
+                wstats.lines, wstats.accepted, wstats.rejected,
+                wstats.malformed);
+  } else {
+    trace = workload::read_trace(in);
+  }
+  if (trace.empty()) {
+    std::fprintf(stderr, "empty trace\n");
+    return 1;
+  }
+
+  const SimTime duration = trace.back().time;
+  std::printf("\n== volume ==\n");
+  std::printf("requests:        %zu over %.1f s (%.1f req/s mean)\n",
+              trace.size(), to_seconds(duration),
+              static_cast<double>(trace.size()) /
+                  std::max(1.0, to_seconds(duration)));
+
+  const SimTime window = std::max<SimTime>(kSecond, duration / 24);
+  const auto rates = workload::requests_per_window(trace, window);
+  std::uint64_t peak = 0, valley = UINT64_MAX;
+  for (std::size_t w = 0; w + 1 < rates.size(); ++w) {  // last window partial
+    peak = std::max(peak, rates[w]);
+    valley = std::min(valley, rates[w]);
+  }
+  if (rates.size() >= 2) {
+    std::printf("peak/valley:     %.2f over %zu windows of %.0f s\n",
+                static_cast<double>(peak) /
+                    static_cast<double>(std::max<std::uint64_t>(1, valley)),
+                rates.size() - 1, to_seconds(window));
+  }
+
+  std::printf("\n== popularity ==\n");
+  const auto pop = workload::analyze_popularity(trace);
+  std::printf("distinct keys:   %llu\n",
+              static_cast<unsigned long long>(pop.distinct_keys));
+  std::printf("zipf alpha:      %.3f (head-fit)\n", pop.zipf_alpha);
+  std::printf("top 1%% keys:     %.1f%% of requests\n",
+              100.0 * pop.top_1pct_share);
+  std::printf("top 10%% keys:    %.1f%% of requests\n",
+              100.0 * pop.top_10pct_share);
+  std::printf("hot set (80%%):   %llu keys\n",
+              static_cast<unsigned long long>(pop.hot_set_80));
+
+  std::printf("\n== LRU hit-ratio curve (exact, single pass) ==\n");
+  cache::StackDistanceAnalyzer analyzer;
+  for (const auto& ev : trace) analyzer.record(ev.key);
+  std::printf("%-16s %-10s\n", "capacity_items", "hit_ratio");
+  for (double frac : {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    const auto cap = static_cast<std::size_t>(
+        frac * static_cast<double>(pop.distinct_keys));
+    if (cap == 0) continue;
+    std::printf("%-16zu %-10.4f\n", cap, analyzer.hit_ratio_at(cap));
+  }
+  const std::size_t for80 = analyzer.capacity_for_hit_ratio(0.8);
+  if (for80 > 0) {
+    std::printf("capacity for 80%% hits: %zu items (%.1f MB at 4 KB/object)\n",
+                for80, static_cast<double>(for80) * 4096 / 1048576.0);
+  } else {
+    std::printf("80%% hit ratio unreachable (cold misses dominate)\n");
+  }
+
+  std::printf("\n== working set per window ==\n");
+  const auto ws = workload::working_set_sizes(trace, window);
+  std::uint64_t ws_peak = 0;
+  for (auto s : ws) ws_peak = std::max(ws_peak, s);
+  std::printf("windows: %zu | peak distinct keys per window: %llu\n",
+              ws.size(), static_cast<unsigned long long>(ws_peak));
+  return 0;
+}

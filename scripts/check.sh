@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build the whole tree and run the test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer. Pass `thread` as the first
+# argument to run the ThreadSanitizer configuration instead (useful for the
+# daemon's multi-threaded poll loops), or `all` for both.
+#
+#   scripts/check.sh [address|thread|all] [build-dir-prefix]
+set -euo pipefail
+
+MODE="${1:-address}"
+PREFIX="${2:-build-san}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+run_config() {
+  local name="$1" sanitize="$2"
+  local dir="${PREFIX}-${name}"
+  echo "== configure & build (${sanitize}) =="
+  cmake -B "$dir" -S . -DPROTEUS_SANITIZE="$sanitize" > /dev/null
+  cmake --build "$dir" -j "$(nproc)"
+  echo "== ctest (${sanitize}) =="
+  ctest --test-dir "$dir" --output-on-failure
+}
+
+case "$MODE" in
+  address) run_config asan address,undefined ;;
+  thread)  run_config tsan thread ;;
+  all)     run_config asan address,undefined
+           run_config tsan thread ;;
+  *) echo "usage: scripts/check.sh [address|thread|all] [build-dir-prefix]" >&2
+     exit 2 ;;
+esac
+
+echo "sanitizer check passed (${MODE})"

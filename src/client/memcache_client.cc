@@ -1,12 +1,17 @@
 #include "client/memcache_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "cache/cache_server.h"
@@ -14,23 +19,77 @@
 
 namespace proteus::client {
 
-MemcacheConnection::MemcacheConnection(std::uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return;
+namespace {
+
+// Wall-clock deadlines live on the process monotonic clock, independent of
+// the SimTime `now` the caller feeds ProteusClient (which may be simulated).
+SimTime mono_usec() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// A reply line longer than this is not a memcached reply; treat as desync.
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+// Upper bound on a single value a daemon may announce; anything larger is
+// a desynced length field, not data.
+constexpr std::size_t kMaxValueBytes = 256u << 20;
+
+}  // namespace
+
+MemcacheConnection::MemcacheConnection(std::uint16_t port, Options options)
+    : options_(std::move(options)) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    close_now();
+  const char* host =
+      options_.host == "localhost" ? "127.0.0.1" : options_.host.c_str();
+  if (::inet_pton(AF_INET, host, &addr.sin_addr) != 1) {
+    last_error_ = net::NetError::kRefused;
     return;
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    last_error_ = net::NetError::kRefused;
+    return;
+  }
+  if (!set_nonblocking(fd_)) {
+    fail(net::NetError::kRefused);
+    return;
+  }
+  // Non-blocking connect bounded by connect_timeout: EINPROGRESS, then
+  // poll(POLLOUT) and read the final verdict from SO_ERROR.
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      fail(net::NetError::kRefused);
+      return;
+    }
+    const SimTime deadline = mono_usec() + options_.connect_timeout;
+    if (!await_io(POLLOUT, deadline)) {
+      fail(net::NetError::kTimeout);
+      return;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      fail(net::NetError::kRefused);
+      return;
+    }
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 MemcacheConnection::MemcacheConnection(MemcacheConnection&& other) noexcept
-    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    : fd_(other.fd_),
+      options_(std::move(other.options_)),
+      last_error_(other.last_error_),
+      buffer_(std::move(other.buffer_)) {
   other.fd_ = -1;
 }
 
@@ -43,49 +102,121 @@ void MemcacheConnection::close_now() {
   }
 }
 
-bool MemcacheConnection::send_all(std::string_view bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      close_now();
+void MemcacheConnection::fail(net::NetError error) {
+  last_error_ = error;
+  close_now();
+}
+
+SimTime MemcacheConnection::op_deadline() const noexcept {
+  return mono_usec() + options_.op_timeout;
+}
+
+bool MemcacheConnection::await_io(short events, SimTime deadline) {
+  for (;;) {
+    const SimTime remaining = deadline - mono_usec();
+    if (remaining <= 0) return false;
+    pollfd p{fd_, events, 0};
+    const int timeout_ms = static_cast<int>(
+        std::min<SimTime>((remaining + kMillisecond - 1) / kMillisecond,
+                          60 * 1000));
+    const int r = ::poll(&p, 1, std::max(timeout_ms, 1));
+    if (r < 0) {
+      if (errno == EINTR) continue;
       return false;
     }
-    off += static_cast<std::size_t>(n);
+    // POLLERR/POLLHUP also count as ready: the next send/recv surfaces the
+    // actual error.
+    if (r > 0) return true;
+  }
+}
+
+bool MemcacheConnection::send_all(std::string_view bytes, SimTime deadline) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a daemon that died mid-conversation must produce EPIPE,
+    // not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!await_io(POLLOUT, deadline)) {
+        fail(net::NetError::kTimeout);
+        return false;
+      }
+      continue;
+    }
+    fail(net::NetError::kReset);
+    return false;
   }
   return true;
 }
 
-std::optional<std::string> MemcacheConnection::read_line() {
+std::optional<std::string> MemcacheConnection::read_line(SimTime deadline) {
   for (;;) {
     const std::size_t eol = buffer_.find("\r\n");
     if (eol != std::string::npos) {
+      if (eol > kMaxLineBytes) {
+        fail(net::NetError::kProtocol);
+        return std::nullopt;
+      }
       std::string line = buffer_.substr(0, eol);
       buffer_.erase(0, eol + 2);
       return line;
     }
-    char chunk[4096];
-    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      close_now();
+    if (buffer_.size() > kMaxLineBytes) {
+      fail(net::NetError::kProtocol);
       return std::nullopt;
     }
-    buffer_.append(chunk, static_cast<std::size_t>(n));
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      fail(net::NetError::kReset);
+      return std::nullopt;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!await_io(POLLIN, deadline)) {
+        fail(net::NetError::kTimeout);
+        return std::nullopt;
+      }
+      continue;
+    }
+    fail(net::NetError::kReset);
+    return std::nullopt;
   }
 }
 
-bool MemcacheConnection::read_exact(std::size_t n, std::string& out) {
+bool MemcacheConnection::read_exact(std::size_t n, std::string& out,
+                                    SimTime deadline) {
   while (buffer_.size() < n) {
     char chunk[4096];
-    const ssize_t r = ::read(fd_, chunk, sizeof(chunk));
-    if (r <= 0) {
-      if (r < 0 && errno == EINTR) continue;
-      close_now();
+    const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (r > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(r));
+      continue;
+    }
+    if (r == 0) {
+      fail(net::NetError::kReset);
       return false;
     }
-    buffer_.append(chunk, static_cast<std::size_t>(r));
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!await_io(POLLIN, deadline)) {
+        fail(net::NetError::kTimeout);
+        return false;
+      }
+      continue;
+    }
+    fail(net::NetError::kReset);
+    return false;
   }
   out = buffer_.substr(0, n);
   buffer_.erase(0, n);
@@ -94,33 +225,58 @@ bool MemcacheConnection::read_exact(std::size_t n, std::string& out) {
 
 std::optional<std::string> MemcacheConnection::get(std::string_view key) {
   if (!ok()) return std::nullopt;
+  last_error_ = net::NetError::kNone;
+  const SimTime deadline = op_deadline();
   std::string cmd = "get ";
   cmd.append(key);
   cmd += "\r\n";
-  if (!send_all(cmd)) return std::nullopt;
+  if (!send_all(cmd, deadline)) return std::nullopt;
 
-  auto header = read_line();
+  auto header = read_line(deadline);
   if (!header.has_value()) return std::nullopt;
-  if (*header == "END") return std::nullopt;  // miss
-  // "VALUE <key> <flags> <bytes>"
+  if (*header == "END") return std::nullopt;  // miss (last_error_ == kNone)
+  // "VALUE <key> <flags> <bytes>" — anything else means the stream is
+  // desynced and this connection can never be trusted again.
   const std::size_t last_space = header->rfind(' ');
-  if (header->rfind("VALUE ", 0) != 0 || last_space == std::string::npos) {
+  if (header->rfind("VALUE ", 0) != 0 || last_space == std::string::npos ||
+      last_space + 1 >= header->size()) {
+    fail(net::NetError::kProtocol);
     return std::nullopt;
   }
-  const std::size_t bytes =
-      static_cast<std::size_t>(std::strtoull(
-          header->c_str() + last_space + 1, nullptr, 10));
+  std::size_t bytes = 0;
+  for (std::size_t i = last_space + 1; i < header->size(); ++i) {
+    const char c = (*header)[i];
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      fail(net::NetError::kProtocol);
+      return std::nullopt;
+    }
+    bytes = bytes * 10 + static_cast<std::size_t>(c - '0');
+    if (bytes > kMaxValueBytes) {
+      fail(net::NetError::kProtocol);
+      return std::nullopt;
+    }
+  }
   std::string value;
-  if (!read_exact(bytes + 2, value)) return std::nullopt;  // payload + CRLF
+  if (!read_exact(bytes + 2, value, deadline)) return std::nullopt;
+  if (value.compare(bytes, 2, "\r\n") != 0) {
+    fail(net::NetError::kProtocol);
+    return std::nullopt;
+  }
   value.resize(bytes);
-  const auto end = read_line();  // "END"
-  if (!end.has_value() || *end != "END") return std::nullopt;
+  const auto end = read_line(deadline);
+  if (!end.has_value()) return std::nullopt;
+  if (*end != "END") {
+    fail(net::NetError::kProtocol);
+    return std::nullopt;
+  }
   return value;
 }
 
 bool MemcacheConnection::set(std::string_view key, std::string_view value,
                              std::uint32_t flags) {
   if (!ok()) return false;
+  last_error_ = net::NetError::kNone;
+  const SimTime deadline = op_deadline();
   std::string cmd = "set ";
   cmd.append(key);
   cmd += ' ';
@@ -130,25 +286,48 @@ bool MemcacheConnection::set(std::string_view key, std::string_view value,
   cmd += "\r\n";
   cmd.append(value);
   cmd += "\r\n";
-  if (!send_all(cmd)) return false;
-  const auto reply = read_line();
-  return reply.has_value() && *reply == "STORED";
+  if (!send_all(cmd, deadline)) return false;
+  const auto reply = read_line(deadline);
+  if (!reply.has_value()) return false;
+  if (*reply == "STORED") return true;
+  // Well-formed negative replies keep the connection; garbage kills it.
+  if (*reply == "NOT_STORED" || *reply == "EXISTS" || *reply == "NOT_FOUND" ||
+      *reply == "ERROR" || reply->rfind("SERVER_ERROR", 0) == 0 ||
+      reply->rfind("CLIENT_ERROR", 0) == 0) {
+    return false;
+  }
+  fail(net::NetError::kProtocol);
+  return false;
 }
 
 bool MemcacheConnection::erase(std::string_view key) {
   if (!ok()) return false;
+  last_error_ = net::NetError::kNone;
+  const SimTime deadline = op_deadline();
   std::string cmd = "delete ";
   cmd.append(key);
   cmd += "\r\n";
-  if (!send_all(cmd)) return false;
-  const auto reply = read_line();
-  return reply.has_value() && *reply == "DELETED";
+  if (!send_all(cmd, deadline)) return false;
+  const auto reply = read_line(deadline);
+  if (!reply.has_value()) return false;
+  if (*reply == "DELETED") return true;
+  if (*reply == "NOT_FOUND" || *reply == "ERROR") return false;
+  fail(net::NetError::kProtocol);
+  return false;
 }
 
 std::string MemcacheConnection::version() {
-  if (!ok() || !send_all("version\r\n")) return {};
-  const auto reply = read_line();
-  return reply.value_or(std::string{});
+  if (!ok()) return {};
+  last_error_ = net::NetError::kNone;
+  const SimTime deadline = op_deadline();
+  if (!send_all("version\r\n", deadline)) return {};
+  const auto reply = read_line(deadline);
+  if (!reply.has_value()) return {};
+  if (reply->rfind("VERSION", 0) != 0) {
+    fail(net::NetError::kProtocol);
+    return {};
+  }
+  return *reply;
 }
 
 std::optional<bloom::BloomFilter> MemcacheConnection::fetch_digest() {
@@ -168,13 +347,141 @@ ProteusClient::ProteusClient(Options options, Backend backend)
           static_cast<int>(options_.endpoints.size()))),
       router_(placement_, options_.initial_active > 0
                               ? options_.initial_active
-                              : static_cast<int>(options_.endpoints.size())) {
+                              : static_cast<int>(options_.endpoints.size())),
+      rng_(options_.jitter_seed) {
   PROTEUS_CHECK(backend_ != nullptr);
   PROTEUS_CHECK(!options_.endpoints.empty());
-  connections_.reserve(options_.endpoints.size());
-  for (std::uint16_t port : options_.endpoints) {
-    connections_.push_back(std::make_unique<MemcacheConnection>(port));
+  PROTEUS_CHECK(options_.max_attempts >= 1);
+  PROTEUS_CHECK(options_.replicas >= 1);
+  endpoints_.reserve(options_.endpoints.size());
+  for (std::size_t i = 0; i < options_.endpoints.size(); ++i) {
+    Endpoint ep;
+    ep.host = i < options_.hosts.size() && !options_.hosts[i].empty()
+                  ? options_.hosts[i]
+                  : "127.0.0.1";
+    ep.port = options_.endpoints[i];
+    ep.breaker = core::CircuitBreaker(options_.breaker);
+    endpoints_.push_back(std::move(ep));
   }
+}
+
+MemcacheConnection* ProteusClient::acquire(int server, SimTime now) {
+  Endpoint& ep = endpoints_[static_cast<std::size_t>(server)];
+  if (!ep.breaker.allow(now)) {
+    ++stats_.breaker_open_skips;
+    return nullptr;
+  }
+  if (ep.conn == nullptr || !ep.conn->ok()) {
+    ++stats_.reconnects;
+    MemcacheConnection::Options copt;
+    copt.host = ep.host;
+    copt.connect_timeout = options_.connect_timeout;
+    copt.op_timeout = options_.op_timeout;
+    ep.conn = std::make_unique<MemcacheConnection>(ep.port, std::move(copt));
+    if (!ep.conn->ok()) {
+      record_failure(server, ep.conn->last_error(), now);
+      return nullptr;
+    }
+  }
+  return ep.conn.get();
+}
+
+void ProteusClient::record_failure(int server, net::NetError error,
+                                   SimTime now) {
+  switch (error) {
+    case net::NetError::kTimeout:  ++stats_.timeouts; break;
+    case net::NetError::kReset:    ++stats_.resets; break;
+    case net::NetError::kProtocol: ++stats_.protocol_errors; break;
+    default: break;  // kRefused shows up through reconnects + breaker
+  }
+  endpoints_[static_cast<std::size_t>(server)].breaker.record_failure(now,
+                                                                      rng_);
+}
+
+void ProteusClient::record_success(int server) {
+  endpoints_[static_cast<std::size_t>(server)].breaker.record_success();
+}
+
+ProteusClient::FetchResult ProteusClient::cache_get(int server,
+                                                    std::string_view key,
+                                                    SimTime now) {
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    MemcacheConnection* c = acquire(server, now);
+    if (c == nullptr) break;  // breaker open or reconnect failed
+    auto value = c->get(key);
+    if (value.has_value()) {
+      record_success(server);
+      return {FetchStatus::kHit, std::move(*value)};
+    }
+    if (c->last_error() == net::NetError::kNone) {
+      record_success(server);
+      return {FetchStatus::kMiss, {}};  // clean miss
+    }
+    record_failure(server, c->last_error(), now);
+  }
+  return {FetchStatus::kDown, {}};
+}
+
+bool ProteusClient::cache_set(int server, std::string_view key,
+                              std::string_view value, SimTime now) {
+  MemcacheConnection* c = acquire(server, now);
+  if (c == nullptr) return false;
+  const bool stored = c->set(key, value);
+  if (c->last_error() == net::NetError::kNone) {
+    record_success(server);
+  } else {
+    record_failure(server, c->last_error(), now);
+  }
+  return stored;
+}
+
+void ProteusClient::cache_erase(int server, std::string_view key,
+                                SimTime now) {
+  MemcacheConnection* c = acquire(server, now);
+  if (c == nullptr) return;
+  c->erase(key);
+  if (c->last_error() == net::NetError::kNone) {
+    record_success(server);
+  } else {
+    record_failure(server, c->last_error(), now);
+  }
+}
+
+std::optional<bloom::BloomFilter> ProteusClient::fetch_digest(int server,
+                                                              SimTime now) {
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    MemcacheConnection* c = acquire(server, now);
+    if (c == nullptr) break;
+    auto digest = c->fetch_digest();
+    if (digest.has_value()) {
+      record_success(server);
+      return digest;
+    }
+    if (c->last_error() == net::NetError::kNone) {
+      // The daemon answered but served no digest — nothing to retry.
+      record_success(server);
+      return std::nullopt;
+    }
+    record_failure(server, c->last_error(), now);
+  }
+  return std::nullopt;
+}
+
+std::vector<int> ProteusClient::replica_locations(std::string_view key) const {
+  const std::uint64_t h = hash_bytes(key);
+  const int active = router_.active();
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(options_.replicas));
+  for (int r = 0; r < options_.replicas; ++r) {
+    const int server =
+        placement_->server_for(ring::replica_ring_hash(h, r), active);
+    if (std::find(out.begin(), out.end(), server) == out.end()) {
+      out.push_back(server);
+    }
+  }
+  return out;
 }
 
 void ProteusClient::tick(SimTime now) {
@@ -190,36 +497,66 @@ std::string ProteusClient::get(std::string_view key, SimTime now) {
   ++stats_.gets;
   const cluster::Router::Decision d = router_.decide(key);
 
-  if (auto value = conn(d.primary).get(key)) {
+  const FetchResult primary = cache_get(d.primary, key, now);
+  if (primary.status == FetchStatus::kHit) {
     ++stats_.new_server_hits;
-    return *value;
+    return primary.value;
+  }
+  const bool primary_down = primary.status == FetchStatus::kDown;
+  if (primary_down) {
+    // §III-E failover: the same data lives on the other rings' locations.
+    if (options_.replicas > 1) {
+      for (int server : replica_locations(key)) {
+        if (server == d.primary) continue;
+        const FetchResult r = cache_get(server, key, now);
+        if (r.status == FetchStatus::kHit) {
+          ++stats_.failover_hits;
+          return r.value;
+        }
+      }
+    }
+    // No replica answered: the down server degrades to a plain miss (the
+    // paper's web tier falls back to the database).
+    ++stats_.degraded_misses;
   }
   if (d.fallback >= 0) {
-    if (auto value = conn(d.fallback).get(key)) {
+    const FetchResult old = cache_get(d.fallback, key, now);
+    if (old.status == FetchStatus::kHit) {
       ++stats_.old_server_hits;
-      conn(d.primary).set(key, *value);  // Algorithm 2 line 12
-      return *value;
+      // Algorithm 2 line 12: migrate to the new location(s).
+      for (int server : replica_locations(key)) {
+        cache_set(server, key, old.value, now);
+      }
+      return old.value;
     }
   }
   ++stats_.backend_fetches;
   std::string value = backend_(key);
-  conn(d.primary).set(key, value);
+  for (int server : replica_locations(key)) {
+    cache_set(server, key, value, now);
+  }
   return value;
 }
 
 void ProteusClient::put(std::string_view key, std::string_view value,
                         SimTime now) {
   tick(now);
-  const cluster::Router::Decision d = router_.decide(key);
-  conn(d.primary).set(key, value);
-  // Invalidate the transition's old location so the fallback path cannot
+  const std::vector<int> locations = replica_locations(key);
+  for (int server : locations) cache_set(server, key, value, now);
+  // Invalidate the transition's old location(s) so the fallback path cannot
   // resurrect the stale value. (Unlike the in-process facade, a network
   // round trip per server makes global invalidation unreasonable here;
   // bound staleness instead with the daemon's --ttl-s item expiry.)
   if (router_.in_transition()) {
-    const int old_server = placement_->server_for(hash_bytes(key),
-                                                  router_.old_active());
-    if (old_server != d.primary) conn(old_server).erase(key);
+    const std::uint64_t h = hash_bytes(key);
+    for (int r = 0; r < options_.replicas; ++r) {
+      const int old_server = placement_->server_for(
+          ring::replica_ring_hash(h, r), router_.old_active());
+      if (std::find(locations.begin(), locations.end(), old_server) ==
+          locations.end()) {
+        cache_erase(old_server, key, now);
+      }
+    }
   }
 }
 
@@ -231,12 +568,19 @@ bool ProteusClient::resize(int n_active, SimTime now) {
   if (n_active == n_old) return true;
   if (router_.in_transition()) router_.finalize_transition();
 
+  // Transactional against partial failure: a server whose digest cannot be
+  // fetched is recorded digest-absent — the router then never reports it as
+  // "hot", so its keys refill from the backend — and the transition itself
+  // ALWAYS completes. A single dead daemon must not wedge provisioning.
   std::vector<std::optional<bloom::BloomFilter>> digests(
       options_.endpoints.size());
   bool all_ok = true;
   for (int i = 0; i < n_old; ++i) {
-    digests[static_cast<std::size_t>(i)] = conn(i).fetch_digest();
-    all_ok &= digests[static_cast<std::size_t>(i)].has_value();
+    digests[static_cast<std::size_t>(i)] = fetch_digest(i, now);
+    if (!digests[static_cast<std::size_t>(i)].has_value()) {
+      ++stats_.digest_skips;
+      all_ok = false;
+    }
   }
   router_.begin_transition(n_active, now + options_.ttl, std::move(digests));
   return all_ok;

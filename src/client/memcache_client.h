@@ -1,6 +1,6 @@
-// Client side of the wire: a blocking memcached text-protocol connection
-// plus ProteusClient — the paper's web-server role speaking to REAL cache
-// daemons over TCP.
+// Client side of the wire: a deadline-aware memcached text-protocol
+// connection plus ProteusClient — the paper's web-server role speaking to
+// REAL cache daemons over TCP.
 //
 // The simulation path (src/cluster) models the web tier; this module IS
 // the web tier for live deployments: it routes through the Algorithm 1
@@ -8,6 +8,16 @@
 // (§V-3), and executes Algorithm 2 against remote servers during
 // provisioning transitions. Together with tools/proteus-cached this makes
 // the repo runnable end-to-end on real sockets.
+//
+// Fault model (this is the live analogue of what src/cluster simulates):
+// every wire operation is bounded by a deadline, writes are SIGPIPE-safe,
+// and a server that times out / resets / desyncs is health-gated behind a
+// circuit breaker with capped, jittered reconnect backoff. A down server
+// degrades to a backend fetch (the paper's web tier consults the database)
+// or, when §III-E replication is configured, fails over to the key's
+// replica ring locations. resize() is transactional against failures: a
+// digest that cannot be fetched is recorded as absent — the transition
+// still completes, that server is simply never consulted as "hot".
 #pragma once
 
 #include <cstdint>
@@ -20,16 +30,31 @@
 
 #include "bloom/bloom_filter.h"
 #include "cluster/router.h"
+#include "common/rng.h"
 #include "common/time.h"
+#include "core/endpoint_health.h"
 #include "hashring/proteus_placement.h"
+#include "net/net_error.h"
 
 namespace proteus::client {
 
-// One blocking TCP connection speaking the memcached text protocol.
+// One TCP connection speaking the memcached text protocol, with bounded
+// blocking: connect and every operation complete within their deadline or
+// fail with net::NetError::kTimeout. After any transport or protocol error
+// the connection is dead (ok() == false) — a desynced byte stream must
+// never be read again — and the owner reconnects.
 class MemcacheConnection {
  public:
-  // Connects to 127.0.0.1:port (the daemon binds loopback).
-  explicit MemcacheConnection(std::uint16_t port);
+  struct Options {
+    std::string host = "127.0.0.1";  // numeric IPv4 or "localhost"
+    SimTime connect_timeout = kSecond;
+    SimTime op_timeout = kSecond;
+  };
+
+  MemcacheConnection(std::uint16_t port, Options options);
+  // Connects to 127.0.0.1:port with default deadlines.
+  explicit MemcacheConnection(std::uint16_t port)
+      : MemcacheConnection(port, Options{}) {}
   ~MemcacheConnection();
 
   MemcacheConnection(const MemcacheConnection&) = delete;
@@ -38,6 +63,10 @@ class MemcacheConnection {
   MemcacheConnection& operator=(MemcacheConnection&&) = delete;
 
   bool ok() const noexcept { return fd_ >= 0; }
+  // The error that killed (or last afflicted) this connection. A clean
+  // miss leaves it kNone — callers distinguish "not cached" from "server
+  // unreachable" through this.
+  net::NetError last_error() const noexcept { return last_error_; }
 
   std::optional<std::string> get(std::string_view key);
   bool set(std::string_view key, std::string_view value,
@@ -50,17 +79,25 @@ class MemcacheConnection {
   std::optional<bloom::BloomFilter> fetch_digest();
 
  private:
-  bool send_all(std::string_view bytes);
+  // Deadline plumbing: each public op computes an absolute deadline on the
+  // process monotonic clock; the primitives poll() against it.
+  bool await_io(short events, SimTime deadline);
+  bool send_all(std::string_view bytes, SimTime deadline);
   // Reads until buffer_ contains a full line; returns it without CRLF.
-  std::optional<std::string> read_line();
-  bool read_exact(std::size_t n, std::string& out);
+  std::optional<std::string> read_line(SimTime deadline);
+  bool read_exact(std::size_t n, std::string& out, SimTime deadline);
+  SimTime op_deadline() const noexcept;
+  void fail(net::NetError error);
   void close_now();
 
   int fd_ = -1;
+  Options options_;
+  net::NetError last_error_ = net::NetError::kNone;
   std::string buffer_;
 };
 
-// The web-server role: Algorithm 2 routing across a fleet of real daemons.
+// The web-server role: Algorithm 2 routing across a fleet of real daemons,
+// with per-endpoint health gating and graceful degradation.
 class ProteusClient {
  public:
   // The authoritative miss path (your database).
@@ -70,21 +107,41 @@ class ProteusClient {
     // Daemon ports in the FIXED PROVISIONING ORDER (§III-A). Index 0 turns
     // on first / off last.
     std::vector<std::uint16_t> endpoints;
+    // Optional per-endpoint hosts, parallel to `endpoints`; entries beyond
+    // its size (or an empty vector) default to 127.0.0.1.
+    std::vector<std::string> hosts;
     int initial_active = 0;  // 0 -> all endpoints
     // Transition drain window. The client finalizes lazily on the next
     // operation past the deadline (like Proteus::tick).
     SimTime ttl = 60 * kSecond;
+
+    // --- fault tolerance ---------------------------------------------------
+    SimTime connect_timeout = kSecond;  // wall-clock bound per connect
+    SimTime op_timeout = kSecond;       // wall-clock bound per wire op
+    // Total attempts per wire op (1 = no retry). Retries reconnect first.
+    int max_attempts = 2;
+    // Breaker: consecutive failures before an endpoint is taken out of
+    // rotation, and the (capped, jittered) schedule for re-probing it.
+    core::CircuitBreaker::Policy breaker;
+    std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+    // §III-E replication degree. With r > 1 every fill/put writes all r
+    // ring locations and reads fail over to them when the primary is down.
+    int replicas = 1;
   };
 
   ProteusClient(Options options, Backend backend);
 
-  // Algorithm 2 over the wire. `now` is any monotonic microsecond clock.
+  // Algorithm 2 over the wire. `now` is any monotonic microsecond clock
+  // (it also drives breaker/backoff scheduling). Never blocks longer than
+  // max_attempts * (connect_timeout + op_timeout) per consulted server.
   std::string get(std::string_view key, SimTime now);
   void put(std::string_view key, std::string_view value, SimTime now);
 
   // Smooth provisioning transition: fetches the digests of every server
   // active under the old mapping THROUGH the protocol, then switches the
-  // mapping. Returns false if any digest fetch failed.
+  // mapping. Unreachable servers are skipped — their digest is recorded as
+  // absent, so their keys simply refill from the backend — and the
+  // transition ALWAYS completes. Returns false if any digest was skipped.
   bool resize(int n_active, SimTime now);
   void tick(SimTime now);
 
@@ -96,19 +153,59 @@ class ProteusClient {
     std::uint64_t new_server_hits = 0;
     std::uint64_t old_server_hits = 0;
     std::uint64_t backend_fetches = 0;
+    // Fault-path observability.
+    std::uint64_t timeouts = 0;            // ops that hit their deadline
+    std::uint64_t resets = 0;              // connection reset / EOF mid-op
+    std::uint64_t protocol_errors = 0;     // desynced replies
+    std::uint64_t retries = 0;             // extra attempts after a failure
+    std::uint64_t reconnects = 0;          // fresh connection attempts
+    std::uint64_t breaker_open_skips = 0;  // ops skipped: breaker open
+    std::uint64_t failover_hits = 0;       // served by a §III-E replica
+    std::uint64_t degraded_misses = 0;     // down server treated as miss
+    std::uint64_t digest_skips = 0;        // resize() digests not fetched
   };
   const Stats& stats() const noexcept { return stats_; }
+  core::CircuitBreaker::State breaker_state(int server) const {
+    return endpoints_.at(static_cast<std::size_t>(server)).breaker.state();
+  }
 
  private:
-  MemcacheConnection& conn(int server) {
-    return *connections_[static_cast<std::size_t>(server)];
-  }
+  struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+    std::unique_ptr<MemcacheConnection> conn;  // lazily (re)established
+    core::CircuitBreaker breaker;
+  };
+
+  enum class FetchStatus { kHit, kMiss, kDown };
+  struct FetchResult {
+    FetchStatus status;
+    std::string value;
+  };
+
+  // Health-gated access: returns a live connection or nullptr (breaker
+  // open, or reconnect failed — failure already recorded).
+  MemcacheConnection* acquire(int server, SimTime now);
+  void record_failure(int server, net::NetError error, SimTime now);
+  void record_success(int server);
+
+  // Wire ops with retry + health bookkeeping.
+  FetchResult cache_get(int server, std::string_view key, SimTime now);
+  bool cache_set(int server, std::string_view key, std::string_view value,
+                 SimTime now);
+  void cache_erase(int server, std::string_view key, SimTime now);
+  std::optional<bloom::BloomFilter> fetch_digest(int server, SimTime now);
+
+  // Distinct §III-E replica locations of `key` under the current mapping,
+  // primary (ring 0) first.
+  std::vector<int> replica_locations(std::string_view key) const;
 
   Options options_;
   Backend backend_;
   std::shared_ptr<const ring::ProteusPlacement> placement_;
   cluster::Router router_;
-  std::vector<std::unique_ptr<MemcacheConnection>> connections_;
+  std::vector<Endpoint> endpoints_;
+  Rng rng_;  // deterministic jitter for backoff schedules
   Stats stats_;
 };
 

@@ -1,0 +1,103 @@
+// Per-endpoint health gating: capped exponential backoff with deterministic
+// jitter, and a closed/open/half-open circuit breaker.
+//
+// Deterministic on purpose: time is the caller's SimTime (simulated or a
+// monotonic wall clock) and jitter comes from the seeded common/rng.h
+// generator, so failure-path tests replay exactly. Used by the live
+// ProteusClient (src/client) to decide when a cache server is worth another
+// connection attempt; reusable by anything that talks to flaky peers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace proteus::core {
+
+// Capped exponential backoff: delay doubles per consecutive failure, capped
+// at `max_delay`, with +/-25% deterministic jitter so a fleet of clients
+// seeded differently does not reconnect in lockstep (thundering herd).
+struct BackoffPolicy {
+  SimTime base_delay = 100 * kMillisecond;
+  SimTime max_delay = 5 * kSecond;
+
+  // Delay before attempt `failures` (1 = first retry). Jitter drawn from
+  // `rng`, so identical seeds give identical schedules.
+  SimTime delay(int failures, Rng& rng) const noexcept {
+    const int shift = std::min(failures > 0 ? failures - 1 : 0, 20);
+    SimTime d = base_delay << shift;
+    if (d > max_delay || d <= 0) d = max_delay;
+    // Jitter in [0.75 * d, 1.25 * d].
+    const SimTime quarter = d / 4;
+    const SimTime jitter =
+        quarter > 0
+            ? static_cast<SimTime>(rng.next_below(
+                  static_cast<std::uint64_t>(2 * quarter + 1)))
+            : 0;
+    return d - quarter + jitter;
+  }
+};
+
+// Circuit breaker (closed -> open -> half-open -> closed). Closed passes
+// every attempt through; after `failure_threshold` consecutive failures the
+// circuit opens and attempts are rejected without touching the network
+// until a backoff-scheduled probe time. The first attempt after that probes
+// half-open: success closes the circuit, failure re-opens it with a longer
+// (capped, jittered) delay.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Policy {
+    int failure_threshold = 3;
+    BackoffPolicy backoff{/*base_delay=*/500 * kMillisecond,
+                          /*max_delay=*/10 * kSecond};
+  };
+
+  CircuitBreaker() : CircuitBreaker(Policy{}) {}
+  explicit CircuitBreaker(Policy policy) : policy_(policy) {
+    PROTEUS_CHECK(policy_.failure_threshold >= 1);
+  }
+
+  // May the caller attempt an operation now? Transitions open -> half-open
+  // when the probe time arrives (so at most one caller probes per window).
+  bool allow(SimTime now) noexcept {
+    if (state_ == State::kOpen) {
+      if (now < open_until_) return false;
+      state_ = State::kHalfOpen;
+    }
+    return true;
+  }
+
+  void record_success() noexcept {
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+    open_count_ = 0;
+  }
+
+  void record_failure(SimTime now, Rng& rng) noexcept {
+    ++consecutive_failures_;
+    if (state_ == State::kHalfOpen ||
+        consecutive_failures_ >= policy_.failure_threshold) {
+      ++open_count_;
+      state_ = State::kOpen;
+      open_until_ = now + policy_.backoff.delay(open_count_, rng);
+    }
+  }
+
+  State state() const noexcept { return state_; }
+  SimTime open_until() const noexcept { return open_until_; }
+  int consecutive_failures() const noexcept { return consecutive_failures_; }
+
+ private:
+  Policy policy_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int open_count_ = 0;  // consecutive opens; scales the re-probe delay
+  SimTime open_until_ = 0;
+};
+
+}  // namespace proteus::core

@@ -1,0 +1,62 @@
+#include "net/fault_injector.h"
+
+#include <string>
+#include <utility>
+
+namespace proteus::net {
+
+namespace {
+
+// Bytes that no memcached protocol state machine accepts as a reply: not a
+// text line the client expects, not a binary response magic.
+constexpr char kGarbage[] = "\x07garbage\xff\xfe not a protocol reply\r\n";
+
+}  // namespace
+
+class FaultInjectingHandler final : public ConnectionHandler {
+ public:
+  FaultInjectingHandler(std::unique_ptr<ConnectionHandler> inner,
+                        FaultInjector* injector)
+      : inner_(std::move(inner)), injector_(injector) {}
+
+  std::string on_data(std::string_view bytes, bool& close) override {
+    if (stalled_) return {};  // black hole: once stalled, stay stalled
+    switch (injector_->take()) {
+      case FaultKind::kNone:
+        return inner_->on_data(bytes, close);
+      case FaultKind::kDropConnection:
+        close = true;
+        return {};
+      case FaultKind::kStall:
+        stalled_ = true;
+        return {};
+      case FaultKind::kGarbageReply:
+        // Do not feed the inner session: the garbage stands in for its
+        // reply, exactly as a corrupted stream would.
+        return std::string(kGarbage, sizeof(kGarbage) - 1);
+      case FaultKind::kTruncateReply: {
+        std::string reply = inner_->on_data(bytes, close);
+        close = true;  // die mid-write
+        return reply.substr(0, reply.size() / 2);
+      }
+    }
+    return {};
+  }
+
+ private:
+  std::unique_ptr<ConnectionHandler> inner_;
+  FaultInjector* injector_;
+  bool stalled_ = false;
+};
+
+std::unique_ptr<ConnectionHandler> FaultInjector::wrap(
+    std::unique_ptr<ConnectionHandler> inner) {
+  return std::make_unique<FaultInjectingHandler>(std::move(inner), this);
+}
+
+TcpServer::HandlerFactory FaultInjector::wrap_factory(
+    TcpServer::HandlerFactory inner) {
+  return [this, inner = std::move(inner)] { return wrap(inner()); };
+}
+
+}  // namespace proteus::net

@@ -1,0 +1,90 @@
+// Deterministic fault injection for the live wire path.
+//
+// A FaultInjector sits between the TcpServer byte loop and the real
+// protocol handler (text/binary memcached) as a ConnectionHandler proxy —
+// the network position a flaky switch, dying daemon, or half-broken NAT
+// would occupy. Tests script exactly which of the next requests are
+// sabotaged and how, so every client failure path (timeout, reset,
+// protocol desync, truncated reply) is reproducible without sleeping on
+// real packet loss.
+//
+// Install by giving MemcacheDaemon::set_handler_wrapper a lambda that
+// delegates to wrap(), or wrap_factory() a bare TcpServer's
+// HandlerFactory. All connections of a
+// daemon share one injector; faults are consumed from a single scripted
+// budget in arrival order.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+
+#include "net/tcp_server.h"
+
+namespace proteus::net {
+
+enum class FaultKind {
+  kNone = 0,
+  // Close the connection without replying — the client sees a reset/EOF.
+  kDropConnection,
+  // Swallow the request and everything after it on this connection — the
+  // client blocks until its deadline (kTimeout). The connection stays open.
+  kStall,
+  // Reply with bytes that are not valid protocol — the client must detect
+  // the desync and abandon the connection.
+  kGarbageReply,
+  // Send only a prefix of the real reply, then close — a daemon dying
+  // mid-write (partial write / truncation).
+  kTruncateReply,
+};
+
+class FaultInjector {
+ public:
+  // Sabotage the next `count` data chunks that reach wrapped handlers.
+  // Replaces any previously scheduled faults.
+  void inject(FaultKind kind, int count = 1) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    kind_ = kind;
+    remaining_ = count;
+  }
+  void inject_forever(FaultKind kind) {
+    inject(kind, std::numeric_limits<int>::max());
+  }
+  void reset() { inject(FaultKind::kNone, 0); }
+
+  std::uint64_t requests_seen() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return seen_;
+  }
+  std::uint64_t faults_injected() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return injected_;
+  }
+
+  // Wrap a single handler / a whole factory.
+  std::unique_ptr<ConnectionHandler> wrap(
+      std::unique_ptr<ConnectionHandler> inner);
+  TcpServer::HandlerFactory wrap_factory(TcpServer::HandlerFactory inner);
+
+ private:
+  friend class FaultInjectingHandler;
+
+  // Consume one scheduled fault (called per data chunk).
+  FaultKind take() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++seen_;
+    if (remaining_ <= 0 || kind_ == FaultKind::kNone) return FaultKind::kNone;
+    --remaining_;
+    ++injected_;
+    return kind_;
+  }
+
+  mutable std::mutex mutex_;
+  FaultKind kind_ = FaultKind::kNone;
+  int remaining_ = 0;
+  std::uint64_t seen_ = 0;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace proteus::net

@@ -54,22 +54,26 @@ class AutoProtocolHandler final : public ConnectionHandler {
 }  // namespace
 
 std::unique_ptr<ConnectionHandler> MemcacheDaemon::make_handler() {
-  return std::make_unique<AutoProtocolHandler>(cache_, cache_mutex_, clock_);
+  std::unique_ptr<ConnectionHandler> handler =
+      std::make_unique<AutoProtocolHandler>(cache_, cache_mutex_, clock_);
+  const std::lock_guard<std::mutex> lock(wrapper_mutex_);
+  return wrapper_ ? wrapper_(std::move(handler)) : std::move(handler);
 }
 
 MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
-                               ClockFn clock, int threads)
+                               ClockFn clock, int threads,
+                               TcpServer::Limits limits)
     : cache_(std::move(config)), clock_(std::move(clock)) {
   PROTEUS_CHECK(threads >= 1);
   const bool reuse_port = threads > 1;
   servers_.push_back(std::make_unique<TcpServer>(
-      port, [this] { return make_handler(); }, reuse_port));
+      port, [this] { return make_handler(); }, reuse_port, limits));
   if (!servers_.front()->ok()) return;
   // Workers bind the (possibly ephemeral) port the first listener got.
   for (int t = 1; t < threads; ++t) {
     servers_.push_back(std::make_unique<TcpServer>(
         servers_.front()->port(), [this] { return make_handler(); },
-        /*reuse_port=*/true));
+        /*reuse_port=*/true, limits));
   }
 }
 
@@ -97,6 +101,24 @@ void MemcacheDaemon::stop() {
 std::uint64_t MemcacheDaemon::connections_accepted() const noexcept {
   std::uint64_t total = 0;
   for (const auto& s : servers_) total += s->connections_accepted();
+  return total;
+}
+
+std::uint64_t MemcacheDaemon::connections_rejected() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->connections_rejected();
+  return total;
+}
+
+std::uint64_t MemcacheDaemon::idle_reaped() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->idle_reaped();
+  return total;
+}
+
+std::uint64_t MemcacheDaemon::slow_reader_drops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->slow_reader_drops();
   return total;
 }
 

@@ -36,11 +36,24 @@ SimTime monotonic_now();
 class MemcacheDaemon {
  public:
   // Binds 127.0.0.1:`port` (0 = ephemeral). The daemon owns the cache.
+  // `limits` hardens the byte server against misbehaving peers (connection
+  // cap, slow-reader outbox bound, idle reaping) — see TcpServer::Limits.
   MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
-                 ClockFn clock = monotonic_now, int threads = 1);
+                 ClockFn clock = monotonic_now, int threads = 1,
+                 TcpServer::Limits limits = {});
 
   bool ok() const noexcept;
   std::uint16_t port() const noexcept { return servers_.front()->port(); }
+
+  // Interpose on every future connection's handler (e.g. a FaultInjector
+  // proxy for failure testing). Thread-safe; affects connections accepted
+  // after the call.
+  using HandlerWrapper = std::function<std::unique_ptr<ConnectionHandler>(
+      std::unique_ptr<ConnectionHandler>)>;
+  void set_handler_wrapper(HandlerWrapper wrapper) {
+    const std::lock_guard<std::mutex> lock(wrapper_mutex_);
+    wrapper_ = std::move(wrapper);
+  }
 
   // Blocking: serves until stop(). Extra worker threads (if configured)
   // are spawned here and joined before returning.
@@ -51,12 +64,18 @@ class MemcacheDaemon {
   const cache::CacheServer& cache() const noexcept { return cache_; }
   int threads() const noexcept { return static_cast<int>(servers_.size()); }
   std::uint64_t connections_accepted() const noexcept;
+  // Hardening counters aggregated across worker listeners.
+  std::uint64_t connections_rejected() const noexcept;
+  std::uint64_t idle_reaped() const noexcept;
+  std::uint64_t slow_reader_drops() const noexcept;
 
  private:
   std::unique_ptr<ConnectionHandler> make_handler();
 
   cache::CacheServer cache_;
   std::mutex cache_mutex_;  // guards cache_ across worker threads
+  std::mutex wrapper_mutex_;
+  HandlerWrapper wrapper_;
   ClockFn clock_;
   std::vector<std::unique_ptr<TcpServer>> servers_;
 };

@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace proteus::net {
@@ -20,11 +22,17 @@ bool set_nonblocking(int fd) {
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+SimTime mono_usec() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 TcpServer::TcpServer(std::uint16_t port, HandlerFactory factory,
-                     bool reuse_port)
-    : factory_(std::move(factory)) {
+                     bool reuse_port, Limits limits)
+    : factory_(std::move(factory)), limits_(limits) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return;
 
@@ -70,10 +78,17 @@ void TcpServer::accept_new() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN or error: nothing more to accept
+    if (connections_.size() >= limits_.max_connections) {
+      // Over the cap: shed the connection immediately rather than let one
+      // client exhaust our descriptors.
+      ::close(fd);
+      ++rejected_;
+      continue;
+    }
     set_nonblocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    connections_.emplace(fd, Connection{factory_(), {}, false});
+    connections_.emplace(fd, Connection{factory_(), {}, false, mono_usec()});
     ++accepted_;
   }
 }
@@ -84,10 +99,15 @@ bool TcpServer::service_read(int fd) {
   for (;;) {
     const ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n > 0) {
+      conn.last_activity = mono_usec();
       bool close = false;
       conn.outbox += conn.handler->on_data(
           std::string_view(buf, static_cast<std::size_t>(n)), close);
       if (close) conn.close_after_write = true;
+      if (conn.outbox.size() > limits_.max_outbox_bytes) {
+        ++slow_drops_;
+        return false;  // slow reader: replies piling up without bound
+      }
       continue;
     }
     if (n == 0) return false;  // peer closed
@@ -98,8 +118,12 @@ bool TcpServer::service_read(int fd) {
 bool TcpServer::service_write(int fd) {
   Connection& conn = connections_.at(fd);
   while (!conn.outbox.empty()) {
-    const ssize_t n = ::write(fd, conn.outbox.data(), conn.outbox.size());
+    // MSG_NOSIGNAL: a peer that disconnected mid-reply must surface EPIPE,
+    // not kill the daemon with SIGPIPE.
+    const ssize_t n = ::send(fd, conn.outbox.data(), conn.outbox.size(),
+                             MSG_NOSIGNAL);
     if (n > 0) {
+      conn.last_activity = mono_usec();
       conn.outbox.erase(0, static_cast<std::size_t>(n));
       continue;
     }
@@ -111,6 +135,20 @@ bool TcpServer::service_write(int fd) {
 void TcpServer::drop(int fd) {
   ::close(fd);
   connections_.erase(fd);
+}
+
+void TcpServer::reap_idle() {
+  if (limits_.idle_timeout <= 0) return;
+  const SimTime now = mono_usec();
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (now - it->second.last_activity >= limits_.idle_timeout) {
+      ::close(it->first);
+      it = connections_.erase(it);
+      ++idle_reaped_;
+    } else {
+      ++it;
+    }
+  }
 }
 
 void TcpServer::run() {
@@ -126,7 +164,14 @@ void TcpServer::run() {
       fds.push_back(pollfd{fd, events, 0});
     }
 
-    if (::poll(fds.data(), fds.size(), -1) < 0) {
+    // With idle reaping enabled the loop must wake periodically even when
+    // no socket is ready; poll at most a quarter of the timeout.
+    int poll_timeout_ms = -1;
+    if (limits_.idle_timeout > 0 && !connections_.empty()) {
+      poll_timeout_ms = static_cast<int>(std::clamp<SimTime>(
+          limits_.idle_timeout / kMillisecond / 4, 1, 1000));
+    }
+    if (::poll(fds.data(), fds.size(), poll_timeout_ms) < 0) {
       if (errno == EINTR) continue;
       return;
     }
@@ -147,6 +192,7 @@ void TcpServer::run() {
       }
       if (!alive) drop(fd);
     }
+    reap_idle();
   }
 }
 

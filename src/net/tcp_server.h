@@ -6,6 +6,15 @@
 // connection protocol handler (text or binary memcached, see
 // memcache_daemon.h). Single-threaded poll loop — the same architecture as
 // memcached's worker threads, collapsed to one for clarity.
+//
+// Hardening against misbehaving peers (Limits):
+//   * max_connections — beyond the cap, accepts are immediately closed so
+//     one greedy client cannot exhaust the daemon's descriptors;
+//   * max_outbox_bytes — a slow reader whose replies pile up past this is
+//     dropped instead of growing the outbox without bound;
+//   * idle_timeout — connections silent for this long are reaped.
+// Writes use MSG_NOSIGNAL throughout: a client disconnecting mid-reply
+// yields EPIPE, never a process-killing SIGPIPE.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +24,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/time.h"
 
 namespace proteus::net {
 
@@ -30,12 +41,21 @@ class TcpServer {
  public:
   using HandlerFactory = std::function<std::unique_ptr<ConnectionHandler>()>;
 
+  struct Limits {
+    std::size_t max_connections = 4096;
+    std::size_t max_outbox_bytes = 64u << 20;
+    SimTime idle_timeout = 0;  // 0 = never reap idle connections
+  };
+
   // Binds 127.0.0.1:`port` (0 = ephemeral). With `reuse_port`, multiple
   // TcpServer instances may bind the same port (SO_REUSEPORT) and the
   // kernel load-balances accepted connections across them — the basis of
   // the daemon's worker-thread mode. Throws nothing: check ok().
+  TcpServer(std::uint16_t port, HandlerFactory factory, bool reuse_port,
+            Limits limits);
   TcpServer(std::uint16_t port, HandlerFactory factory,
-            bool reuse_port = false);
+            bool reuse_port = false)
+      : TcpServer(port, std::move(factory), reuse_port, Limits{}) {}
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -52,25 +72,35 @@ class TcpServer {
   void stop();
 
   std::uint64_t connections_accepted() const noexcept { return accepted_; }
+  // Hardening counters (read after run() returns, or racily for display).
+  std::uint64_t connections_rejected() const noexcept { return rejected_; }
+  std::uint64_t idle_reaped() const noexcept { return idle_reaped_; }
+  std::uint64_t slow_reader_drops() const noexcept { return slow_drops_; }
 
  private:
   struct Connection {
     std::unique_ptr<ConnectionHandler> handler;
     std::string outbox;   // bytes pending write
     bool close_after_write = false;
+    SimTime last_activity = 0;  // monotonic usec of last read/write progress
   };
 
   void accept_new();
   bool service_read(int fd);   // false -> drop connection
   bool service_write(int fd);  // false -> drop connection
   void drop(int fd);
+  void reap_idle();
 
   HandlerFactory factory_;
+  Limits limits_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::uint16_t port_ = 0;
   std::unordered_map<int, Connection> connections_;
   std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t idle_reaped_ = 0;
+  std::uint64_t slow_drops_ = 0;
 };
 
 }  // namespace proteus::net

@@ -25,9 +25,10 @@ PopularityStats analyze_popularity(const std::vector<TraceEvent>& trace) {
 
   // Zipf exponent: least squares on (log rank, log freq) over the head of
   // the curve (ranks 1..min(1000, distinct/2)); the tail is dominated by
-  // singletons and would bias the slope.
-  const std::size_t fit_n =
-      std::max<std::size_t>(2, std::min<std::size_t>(1000, freq.size() / 2));
+  // singletons and would bias the slope. A one-key trace has no slope.
+  const std::size_t fit_n = std::min(
+      freq.size(),
+      std::max<std::size_t>(2, std::min<std::size_t>(1000, freq.size() / 2)));
   double sx = 0, sy = 0, sxx = 0, sxy = 0;
   for (std::size_t r = 0; r < fit_n; ++r) {
     const double x = std::log(static_cast<double>(r + 1));

@@ -2,6 +2,7 @@
 // built-in counting-Bloom digest (the paper's modified memcached, §V-3).
 //
 //   proteus-cached --port=11211 --mem-mb=64 --ttl-s=0 --threads=4
+//   proteus-cached --max-conns=4096 --idle-timeout-s=30 --max-outbox-mb=64
 //
 // Speaks the memcached text AND binary protocols (auto-detected per
 // connection); the digest snapshot is reachable through the reserved keys
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   std::size_t mem_mb = 64;
   double ttl_s = 0;
   int threads = 1;
+  net::TcpServer::Limits limits;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -53,9 +55,19 @@ int main(int argc, char** argv) {
       ttl_s = std::atof(value.c_str());
     } else if (parse_value(argv[i], "--threads", value)) {
       threads = std::atoi(value.c_str());
+    } else if (parse_value(argv[i], "--max-conns", value)) {
+      limits.max_connections =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (parse_value(argv[i], "--idle-timeout-s", value)) {
+      limits.idle_timeout = from_seconds(std::atof(value.c_str()));
+    } else if (parse_value(argv[i], "--max-outbox-mb", value)) {
+      limits.max_outbox_bytes =
+          static_cast<std::size_t>(std::atoll(value.c_str())) << 20;
     } else {
-      std::fprintf(stderr, "usage: proteus-cached [--port=P] [--mem-mb=M] "
-                           "[--ttl-s=S] [--threads=N]\n");
+      std::fprintf(stderr,
+                   "usage: proteus-cached [--port=P] [--mem-mb=M] [--ttl-s=S] "
+                   "[--threads=N] [--max-conns=C] [--idle-timeout-s=S] "
+                   "[--max-outbox-mb=M]\n");
       return 2;
     }
   }
@@ -68,7 +80,7 @@ int main(int argc, char** argv) {
   cfg.memory_budget_bytes = mem_mb << 20;
   cfg.item_ttl = from_seconds(ttl_s);
 
-  net::MemcacheDaemon daemon(cfg, port, net::monotonic_now, threads);
+  net::MemcacheDaemon daemon(cfg, port, net::monotonic_now, threads, limits);
   if (!daemon.ok()) {
     std::fprintf(stderr, "failed to bind 127.0.0.1:%u\n", port);
     return 1;
@@ -83,7 +95,12 @@ int main(int argc, char** argv) {
                daemon.port(), mem_mb, daemon.cache().digest().num_counters(),
                daemon.cache().digest().counter_bits());
   daemon.run();
-  std::fprintf(stderr, "shutting down; served %llu connections\n",
-               static_cast<unsigned long long>(daemon.connections_accepted()));
+  std::fprintf(stderr,
+               "shutting down; served %llu connections (rejected %llu, "
+               "idle-reaped %llu, slow-reader drops %llu)\n",
+               static_cast<unsigned long long>(daemon.connections_accepted()),
+               static_cast<unsigned long long>(daemon.connections_rejected()),
+               static_cast<unsigned long long>(daemon.idle_reaped()),
+               static_cast<unsigned long long>(daemon.slow_reader_drops()));
   return 0;
 }

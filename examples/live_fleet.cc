@@ -2,7 +2,14 @@
 // three memcached-compatible daemons (threads), a ProteusClient playing the
 // web-server role, and a smooth provisioning shrink whose digests travel
 // through the actual memcached protocol.
+//
+// Observability demo: a shared obs::TraceRing collects the transition's
+// full lifecycle — digest fetches, per-key on-demand migrations, digest
+// false positives, TTL expiries on the daemons — and the run ends by
+// printing the JSONL timeline plus a `stats proteus` wire sample.
+#include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -10,9 +17,15 @@
 
 #include "client/memcache_client.h"
 #include "net/memcache_daemon.h"
+#include "obs/trace.h"
 
 int main() {
   using namespace proteus;
+
+  // One ring shared by the daemons (TTL expiry events) and the client
+  // (transition lifecycle) — every emitter timestamps with the same
+  // monotonic wall clock, so the timeline is coherent.
+  obs::TraceRing ring(8192);
 
   // -- boot a fleet of three daemons on ephemeral loopback ports ------------
   std::vector<std::unique_ptr<net::MemcacheDaemon>> daemons;
@@ -21,6 +34,9 @@ int main() {
   for (int i = 0; i < 3; ++i) {
     cache::CacheConfig cfg;
     cfg.memory_budget_bytes = 8 << 20;
+    cfg.item_ttl = kSecond;  // short, so the demo can show ttl_expiry
+    cfg.trace = &ring;
+    cfg.trace_server_id = i;
     daemons.push_back(std::make_unique<net::MemcacheDaemon>(cfg, 0));
     if (!daemons.back()->ok()) {
       std::fprintf(stderr, "failed to start daemon %d\n", i);
@@ -31,40 +47,98 @@ int main() {
     std::printf("daemon %d listening on 127.0.0.1:%u\n", i, ports.back());
   }
 
-  // -- the web-server role ----------------------------------------------------
+  // -- the web-server role --------------------------------------------------
   std::uint64_t db_queries = 0;
   client::ProteusClient::Options opt;
   opt.endpoints = ports;
   opt.ttl = 5 * kSecond;
+  opt.trace = &ring;
   client::ProteusClient web(opt, [&](std::string_view key) {
     ++db_queries;
     return "row-for-" + std::string(key);
   });
 
-  SimTime now = 0;
+  const auto now = [] { return net::monotonic_now(); };
   for (int i = 0; i < 300; ++i) {
-    web.get("page:" + std::to_string(i), now);
-    now += kMillisecond;
+    web.get("page:" + std::to_string(i), now());
   }
   std::printf("warmed 300 pages over TCP: %llu database queries\n",
               static_cast<unsigned long long>(db_queries));
   for (int i = 0; i < 3; ++i) {
+    // item_count() takes the daemon's cache mutex — race-free while the
+    // worker threads are serving.
     std::printf("  daemon %d holds %zu items\n", i,
-                daemons[static_cast<std::size_t>(i)]->cache().item_count());
+                daemons[static_cast<std::size_t>(i)]->item_count());
   }
 
-  // -- smooth shrink: digests fetched via get SET_BLOOM_FILTER ----------------
+  // -- smooth shrink: digests fetched via get SET_BLOOM_FILTER --------------
   const auto before = db_queries;
-  web.resize(2, now);
+  web.resize(2, now());
   std::printf("shrunk to 2 servers (digests fetched through the protocol)\n");
   for (int i = 0; i < 300; ++i) {
-    web.get("page:" + std::to_string(i), now);
-    now += kMillisecond;
+    web.get("page:" + std::to_string(i), now());
   }
   std::printf("re-read all 300 pages: +%llu database queries, "
               "%llu migrated on demand over TCP\n",
               static_cast<unsigned long long>(db_queries - before),
               static_cast<unsigned long long>(web.stats().old_server_hits));
+
+  // -- TTL expiry: wait past item_ttl, then touch a few keys ----------------
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  for (int i = 0; i < 10; ++i) {
+    web.get("page:" + std::to_string(i), now());
+  }
+  // Force the drain window shut so the timeline ends with power_off +
+  // resize_end instead of waiting out the full 5 s TTL.
+  web.tick(now() + 6 * kSecond);
+
+  // -- the observed transition timeline -------------------------------------
+  const std::vector<obs::TraceEvent> events = ring.snapshot();
+  std::map<std::string_view, std::uint64_t> by_kind;
+  for (const obs::TraceEvent& e : events) ++by_kind[trace_event_name(e.kind)];
+  std::printf("\ntransition timeline: %llu events",
+              static_cast<unsigned long long>(ring.total_emitted()));
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %.*s=%llu", static_cast<int>(kind.size()), kind.data(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+  // Print the JSONL timeline, capping the per-request kinds at a few lines
+  // each so the lifecycle structure stays readable.
+  std::map<std::string_view, int> shown;
+  std::uint64_t suppressed = 0;
+  for (const obs::TraceEvent& e : events) {
+    const std::string_view kind = trace_event_name(e.kind);
+    const bool per_request = kind == "migration_hit" ||
+                             kind == "digest_false_positive" ||
+                             kind == "digest_false_negative" ||
+                             kind == "ttl_expiry";
+    if (per_request && shown[kind] >= 3) {
+      ++suppressed;
+      continue;
+    }
+    ++shown[kind];
+    std::printf("%s\n", obs::to_json(e).c_str());
+  }
+  if (suppressed > 0) {
+    std::printf("... (%llu more per-request events omitted)\n",
+                static_cast<unsigned long long>(suppressed));
+  }
+
+  // -- the same data over the wire: `stats proteus` -------------------------
+  client::MemcacheConnection probe(ports[0]);
+  if (auto stats = probe.stats("proteus")) {
+    std::printf("\nstats proteus sample from daemon 0 (%zu metrics):\n",
+                stats->size());
+    for (const auto& [name, value] : *stats) {
+      if (name.find("latency") != std::string::npos ||
+          name == "proteus_cache_hit_ratio" ||
+          name == "proteus_cache_cmd_get_total" ||
+          name == "proteus_cache_items") {
+        std::printf("  %s = %s\n", name.c_str(), value.c_str());
+      }
+    }
+  }
 
   for (auto& d : daemons) d->stop();
   for (auto& t : threads) t.join();

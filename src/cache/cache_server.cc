@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace proteus::cache {
 
@@ -69,7 +70,8 @@ CacheServer::CacheServer(CacheConfig config)
             }
             return bloom::CountingBloomFilter(
                 config_.digest.num_counters, config_.digest.counter_bits,
-                config_.digest.num_hashes, config_.digest_seed);
+                config_.digest.num_hashes, config_.digest_seed,
+                config_.digest_policy);
           }()) {
   PROTEUS_CHECK(config_.memory_budget_bytes > 0);
 }
@@ -102,6 +104,8 @@ std::optional<std::string> CacheServer::get(std::string_view key, SimTime now) {
   if (expired(*it->second, now)) {
     ++stats_.expirations;
     ++stats_.misses;
+    obs::emit(config_.trace, now, obs::TraceEventKind::kTtlExpiry,
+              config_.trace_server_id, -1, 1, key);
     unlink(it->second);
     return std::nullopt;
   }
@@ -219,6 +223,10 @@ std::size_t CacheServer::expire_idle(SimTime now, SimTime idle_limit) {
   };
   sweep(lru_);
   sweep(protected_);
+  if (evicted > 0) {
+    obs::emit(config_.trace, now, obs::TraceEventKind::kTtlExpiry,
+              config_.trace_server_id, -1, evicted);
+  }
   return evicted;
 }
 

@@ -29,6 +29,10 @@
 #include "cache/slab_sizer.h"
 #include "common/time.h"
 
+namespace proteus::obs {
+class TraceSink;
+}  // namespace proteus::obs
+
 namespace proteus::cache {
 
 // Reserved protocol keys (§V-3).
@@ -65,6 +69,10 @@ struct CacheConfig {
   bloom::BloomParams digest;
   bool auto_size_digest = true;
   std::uint64_t digest_seed = 0;
+  // Counter overflow policy. Saturate (default) trades false negatives for
+  // extra false positives; Wrap reproduces the paper's Eq. 5 / Fig. 8
+  // false-negative analysis on a live server.
+  bloom::OverflowPolicy digest_policy = bloom::OverflowPolicy::kSaturate;
   // Per-item bookkeeping overhead charged against the budget, mirroring
   // memcached's ~48-56 byte item header.
   std::size_t per_item_overhead = 56;
@@ -79,6 +87,11 @@ struct CacheConfig {
   // sweep of cold keys cannot flush the hot set.
   bool segmented_lru = false;
   double protected_ratio = 0.8;
+  // Observability (src/obs): when set, the server emits ttl_expiry trace
+  // events — per key on lazy access-expiry, aggregated per expire_idle()
+  // sweep — tagged with `trace_server_id`. Null disables tracing.
+  obs::TraceSink* trace = nullptr;
+  int trace_server_id = -1;
 };
 
 class CacheServer {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <charconv>
 
+#include "obs/metrics.h"
+
 namespace proteus::cache {
 
 namespace {
@@ -113,7 +115,8 @@ TextCommand parse_command_line(std::string_view line) {
     return cmd;
   }
 
-  if (verb == "stats" && tokens.size() == 1) {
+  if (verb == "stats" && tokens.size() <= 2) {
+    if (tokens.size() == 2) cmd.stats_arg = tokens[1];
     cmd.op = TextCommand::Op::kStats;
     return cmd;
   }
@@ -209,7 +212,7 @@ std::string TextProtocolSession::handle_line(std::string_view line,
       server_.flush();
       return cmd.noreply ? std::string{} : "OK\r\n";
     case TextCommand::Op::kStats:
-      return handle_stats();
+      return handle_stats(cmd);
     case TextCommand::Op::kVersion:
       return "VERSION proteus-1.0\r\n";
     case TextCommand::Op::kQuit:
@@ -273,7 +276,18 @@ std::string TextProtocolSession::handle_counter(const TextCommand& cmd,
   return cmd.noreply ? std::string{} : std::to_string(next) + "\r\n";
 }
 
-std::string TextProtocolSession::handle_stats() const {
+std::string TextProtocolSession::handle_stats(const TextCommand& cmd) {
+  if (cmd.stats_arg == "reset") {
+    server_.reset_stats();
+    return "RESET\r\n";
+  }
+  if (cmd.stats_arg == "proteus") {
+    // The unified registry (daemon-wide metrics + latency quantiles); a
+    // bare CacheServer session has no registry and reports nothing.
+    return metrics_ != nullptr ? obs::render_stats_text(metrics_->snapshot())
+                               : "END\r\n";
+  }
+  if (!cmd.stats_arg.empty()) return "ERROR\r\n";
   const CacheStats& s = server_.stats();
   std::string out;
   const auto stat = [&out](std::string_view name, std::uint64_t v) {

@@ -14,7 +14,12 @@
 //   incr|decr <key> <value> [noreply]\r\n
 //   touch <key> <exptime> [noreply]\r\n
 //   flush_all [noreply]\r\n
-//   stats\r\n            version\r\n            quit\r\n
+//   stats [reset|proteus]\r\n   version\r\n     quit\r\n
+//
+// `stats reset` zeroes the per-server counters (memcached parity) and
+// `stats proteus` dumps the attached obs::MetricsRegistry — counters,
+// gauges, and latency quantiles — as STAT lines (docs/OPERATIONS.md
+// "Observability" lists the catalog).
 //
 // The session is push-parsed: feed() accepts arbitrary byte chunks (TCP
 // segmentation agnostic) and emits complete protocol responses.
@@ -28,6 +33,10 @@
 
 #include "cache/cache_server.h"
 #include "common/time.h"
+
+namespace proteus::obs {
+class MetricsRegistry;
+}  // namespace proteus::obs
 
 namespace proteus::cache {
 
@@ -56,6 +65,7 @@ struct TextCommand {
   std::size_t bytes = 0;        // storage commands: payload length
   std::uint64_t delta = 0;      // incr/decr
   bool noreply = false;
+  std::string stats_arg;        // stats subcommand ("", "reset", "proteus")
 };
 
 // Parses one command line (no trailing CRLF). Returns Op::kInvalid with no
@@ -65,7 +75,12 @@ TextCommand parse_command_line(std::string_view line);
 // One client connection worth of protocol state bound to a CacheServer.
 class TextProtocolSession {
  public:
-  explicit TextProtocolSession(CacheServer& server) : server_(server) {}
+  // `metrics` (optional) backs the `stats proteus` extension; the registry
+  // must outlive the session. Callback metrics registered there are polled
+  // on the protocol thread — see the contract in obs/metrics.h.
+  explicit TextProtocolSession(CacheServer& server,
+                               const obs::MetricsRegistry* metrics = nullptr)
+      : server_(server), metrics_(metrics) {}
 
   // Feeds raw bytes; appends any complete responses to the return value.
   // A "quit" command sets closed() and further input is ignored.
@@ -79,9 +94,10 @@ class TextProtocolSession {
                              SimTime now);
   std::string handle_get(const TextCommand& cmd, SimTime now);
   std::string handle_counter(const TextCommand& cmd, SimTime now);
-  std::string handle_stats() const;
+  std::string handle_stats(const TextCommand& cmd);
 
   CacheServer& server_;
+  const obs::MetricsRegistry* metrics_ = nullptr;
   std::string buffer_;
   bool closed_ = false;
   bool resync_ = false;  // discarding to the next CRLF after a bad chunk

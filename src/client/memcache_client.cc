@@ -316,6 +316,47 @@ bool MemcacheConnection::erase(std::string_view key) {
   return false;
 }
 
+std::optional<std::vector<std::pair<std::string, std::string>>>
+MemcacheConnection::stats(std::string_view arg) {
+  if (!ok()) return std::nullopt;
+  last_error_ = net::NetError::kNone;
+  const SimTime deadline = op_deadline();
+  std::string cmd = "stats";
+  if (!arg.empty()) {
+    cmd += ' ';
+    cmd.append(arg);
+  }
+  cmd += "\r\n";
+  if (!send_all(cmd, deadline)) return std::nullopt;
+  std::vector<std::pair<std::string, std::string>> out;
+  for (;;) {
+    const auto line = read_line(deadline);
+    if (!line.has_value()) return std::nullopt;
+    if (*line == "END") return out;
+    if (*line == "RESET") return out;  // `stats reset` acknowledgment
+    if (*line == "ERROR" || line->rfind("SERVER_ERROR", 0) == 0 ||
+        line->rfind("CLIENT_ERROR", 0) == 0) {
+      return std::nullopt;  // well-formed rejection keeps the connection
+    }
+    // "STAT <name> <value...>" — anything else is a desynced stream.
+    if (line->rfind("STAT ", 0) != 0) {
+      fail(net::NetError::kProtocol);
+      return std::nullopt;
+    }
+    const std::size_t name_end = line->find(' ', 5);
+    if (name_end == std::string::npos) {
+      fail(net::NetError::kProtocol);
+      return std::nullopt;
+    }
+    out.emplace_back(line->substr(5, name_end - 5),
+                     line->substr(name_end + 1));
+    if (out.size() > 10'000) {  // runaway reply: not a stats dump
+      fail(net::NetError::kProtocol);
+      return std::nullopt;
+    }
+  }
+}
+
 std::string MemcacheConnection::version() {
   if (!ok()) return {};
   last_error_ = net::NetError::kNone;
@@ -489,10 +530,19 @@ void ProteusClient::tick(SimTime now) {
     // Real deployments would power the drained daemons off here; that is
     // an operator action outside this client's authority.
     router_.finalize_transition();
+    obs::emit(options_.trace, now, obs::TraceEventKind::kResizeEnd,
+              router_.active());
   }
 }
 
 std::string ProteusClient::get(std::string_view key, SimTime now) {
+  const SimTime start_us = mono_usec();
+  std::string value = get_inner(key, now);
+  get_latency_us_.record(static_cast<double>(mono_usec() - start_us));
+  return value;
+}
+
+std::string ProteusClient::get_inner(std::string_view key, SimTime now) {
   tick(now);
   ++stats_.gets;
   const cluster::Router::Decision d = router_.decide(key);
@@ -523,11 +573,21 @@ std::string ProteusClient::get(std::string_view key, SimTime now) {
     const FetchResult old = cache_get(d.fallback, key, now);
     if (old.status == FetchStatus::kHit) {
       ++stats_.old_server_hits;
+      obs::emit(options_.trace, now, obs::TraceEventKind::kMigrationHit,
+                d.fallback, d.primary, old.value.size(), key);
       // Algorithm 2 line 12: migrate to the new location(s).
       for (int server : replica_locations(key)) {
         cache_set(server, key, old.value, now);
       }
       return old.value;
+    }
+    if (old.status == FetchStatus::kMiss) {
+      // A clean miss under a digest hit is a §IV-B false positive; a down
+      // server proves nothing about the digest.
+      ++stats_.digest_false_positives;
+      obs::emit(options_.trace, now,
+                obs::TraceEventKind::kDigestFalsePositive, d.fallback,
+                d.primary, 0, key);
     }
   }
   ++stats_.backend_fetches;
@@ -572,18 +632,84 @@ bool ProteusClient::resize(int n_active, SimTime now) {
   // fetched is recorded digest-absent — the router then never reports it as
   // "hot", so its keys refill from the backend — and the transition itself
   // ALWAYS completes. A single dead daemon must not wedge provisioning.
+  obs::emit(options_.trace, now, obs::TraceEventKind::kResizeBegin, n_old,
+            n_active);
   std::vector<std::optional<bloom::BloomFilter>> digests(
       options_.endpoints.size());
   bool all_ok = true;
   for (int i = 0; i < n_old; ++i) {
     digests[static_cast<std::size_t>(i)] = fetch_digest(i, now);
-    if (!digests[static_cast<std::size_t>(i)].has_value()) {
+    if (digests[static_cast<std::size_t>(i)].has_value()) {
+      obs::emit(options_.trace, now, obs::TraceEventKind::kDigestFetch, i, -1,
+                digests[static_cast<std::size_t>(i)]->words().size() *
+                    sizeof(std::uint64_t));
+    } else {
       ++stats_.digest_skips;
       all_ok = false;
+      obs::emit(options_.trace, now, obs::TraceEventKind::kDigestSkip, i);
     }
   }
   router_.begin_transition(n_active, now + options_.ttl, std::move(digests));
   return all_ok;
+}
+
+void ProteusClient::register_metrics(obs::MetricsRegistry& registry) const {
+  const auto stat = [this, &registry](std::string name, std::string help,
+                                      auto getter) {
+    registry.counter_fn(std::move(name), std::move(help),
+                        [this, getter]() -> double {
+                          return static_cast<double>(getter(stats_));
+                        });
+  };
+  stat("proteus_client_gets_total", "Algorithm 2 retrievals over the wire",
+       [](const Stats& s) { return s.gets; });
+  stat("proteus_client_new_server_hits_total", "hits on the current mapping",
+       [](const Stats& s) { return s.new_server_hits; });
+  stat("proteus_client_old_server_hits_total",
+       "on-demand migrations over TCP",
+       [](const Stats& s) { return s.old_server_hits; });
+  stat("proteus_client_backend_fetches_total", "database fetches",
+       [](const Stats& s) { return s.backend_fetches; });
+  stat("proteus_client_digest_false_positives_total",
+       "fallback consulted, clean miss (SS IV-B p_p)",
+       [](const Stats& s) { return s.digest_false_positives; });
+  stat("proteus_client_timeouts_total", "wire ops past their deadline",
+       [](const Stats& s) { return s.timeouts; });
+  stat("proteus_client_resets_total", "connection reset / EOF mid-op",
+       [](const Stats& s) { return s.resets; });
+  stat("proteus_client_protocol_errors_total", "desynced replies",
+       [](const Stats& s) { return s.protocol_errors; });
+  stat("proteus_client_retries_total", "extra attempts after a failure",
+       [](const Stats& s) { return s.retries; });
+  stat("proteus_client_reconnects_total", "fresh connection attempts",
+       [](const Stats& s) { return s.reconnects; });
+  stat("proteus_client_breaker_open_skips_total",
+       "ops skipped with the breaker open",
+       [](const Stats& s) { return s.breaker_open_skips; });
+  stat("proteus_client_failover_hits_total", "served by a SS III-E replica",
+       [](const Stats& s) { return s.failover_hits; });
+  stat("proteus_client_degraded_misses_total", "down server treated as miss",
+       [](const Stats& s) { return s.degraded_misses; });
+  stat("proteus_client_digest_skips_total", "resize() digests not fetched",
+       [](const Stats& s) { return s.digest_skips; });
+  registry.gauge_fn("proteus_client_active_servers",
+                    "endpoints in the current mapping",
+                    [this] { return static_cast<double>(active_servers()); });
+  registry.gauge_fn("proteus_client_in_transition",
+                    "1 while a smooth transition is in flight",
+                    [this] { return in_transition() ? 1.0 : 0.0; });
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    registry.gauge_fn(
+        "proteus_client_endpoint_" + std::to_string(i) + "_breaker_state",
+        "0=closed 1=open 2=half-open",
+        [this, i] {
+          return static_cast<double>(endpoints_[i].breaker.state());
+        });
+  }
+  registry.histogram_fn(
+      "proteus_client_get_latency_us",
+      "end-to-end get() wall latency incl. retries and backend",
+      [this] { return get_latency_us_.snapshot(); });
 }
 
 }  // namespace proteus::client

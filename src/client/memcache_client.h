@@ -26,6 +26,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bloom/bloom_filter.h"
@@ -35,6 +36,8 @@
 #include "core/endpoint_health.h"
 #include "hashring/proteus_placement.h"
 #include "net/net_error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace proteus::client {
 
@@ -73,6 +76,12 @@ class MemcacheConnection {
            std::uint32_t flags = 0);
   bool erase(std::string_view key);
   std::string version();
+
+  // `stats [arg]`: the STAT lines as (name, value) pairs in server order.
+  // arg "proteus" fetches the daemon's unified metrics registry (counters,
+  // gauges, latency quantiles) — the wire source for proteus-top.
+  std::optional<std::vector<std::pair<std::string, std::string>>> stats(
+      std::string_view arg = {});
 
   // The §IV digest handshake: get SET_BLOOM_FILTER then get BLOOM_FILTER,
   // decoded into the broadcastable filter.
@@ -127,6 +136,10 @@ class ProteusClient {
     // §III-E replication degree. With r > 1 every fill/put writes all r
     // ring locations and reads fail over to them when the primary is down.
     int replicas = 1;
+    // Observability (src/obs): transition lifecycle events (resize_begin,
+    // digest_fetch/digest_skip per endpoint, migration_hit,
+    // digest_false_positive, resize_end) are emitted here when set.
+    obs::TraceSink* trace = nullptr;
   };
 
   ProteusClient(Options options, Backend backend);
@@ -163,8 +176,21 @@ class ProteusClient {
     std::uint64_t failover_hits = 0;       // served by a §III-E replica
     std::uint64_t degraded_misses = 0;     // down server treated as miss
     std::uint64_t digest_skips = 0;        // resize() digests not fetched
+    std::uint64_t digest_false_positives = 0;  // fallback consulted, clean miss
   };
   const Stats& stats() const noexcept { return stats_; }
+
+  // End-to-end get() latency (wall clock, includes retries and the backend
+  // on a miss) — the client-side view of the §VI response-time claim.
+  LatencyHistogram get_latency_snapshot() const {
+    return get_latency_us_.snapshot();
+  }
+
+  // Registers every Stats counter, the breaker state per endpoint, and the
+  // get-latency histogram into `registry`. Callbacks read this object;
+  // snapshot from the thread driving the client (it is not thread-safe
+  // anyway), and keep `this` alive past the registry's last snapshot.
+  void register_metrics(obs::MetricsRegistry& registry) const;
   core::CircuitBreaker::State breaker_state(int server) const {
     return endpoints_.at(static_cast<std::size_t>(server)).breaker.state();
   }
@@ -182,6 +208,9 @@ class ProteusClient {
     FetchStatus status;
     std::string value;
   };
+
+  // get() minus the latency-histogram envelope.
+  std::string get_inner(std::string_view key, SimTime now);
 
   // Health-gated access: returns a live connection or nullptr (breaker
   // open, or reconnect failed — failure already recorded).
@@ -207,6 +236,7 @@ class ProteusClient {
   std::vector<Endpoint> endpoints_;
   Rng rng_;  // deterministic jitter for backoff schedules
   Stats stats_;
+  obs::Histogram get_latency_us_;
 };
 
 }  // namespace proteus::client

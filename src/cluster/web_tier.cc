@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace proteus::cluster {
 
@@ -161,6 +162,41 @@ void WebTier::try_ring(std::size_t ring,
           try_ring(ring + 1, std::move(repair), key, std::move(done));
         });
   });
+}
+
+void WebTier::register_metrics(obs::MetricsRegistry& registry) const {
+  const auto stat = [this, &registry](std::string name, std::string help,
+                                      auto getter) {
+    registry.counter_fn(std::move(name), std::move(help),
+                        [this, getter]() -> double {
+                          return static_cast<double>(getter(stats_));
+                        });
+  };
+  stat("proteus_webtier_requests_total", "user requests handled",
+       [](const WebTierStats& s) { return s.requests; });
+  stat("proteus_webtier_new_server_hits_total",
+       "Algorithm 2 line 3 hits on the current mapping",
+       [](const WebTierStats& s) { return s.new_server_hits; });
+  stat("proteus_webtier_old_server_hits_total",
+       "line 7 hot-data migrations",
+       [](const WebTierStats& s) { return s.old_server_hits; });
+  stat("proteus_webtier_replica_hits_total",
+       "served by a SS III-E failover ring",
+       [](const WebTierStats& s) { return s.replica_hits; });
+  stat("proteus_webtier_failed_server_skips_total",
+       "rings skipped because the server was powered off",
+       [](const WebTierStats& s) { return s.failed_server_skips; });
+  stat("proteus_webtier_db_fetches_total", "line 10 database queries issued",
+       [](const WebTierStats& s) { return s.db_fetches; });
+  stat("proteus_webtier_coalesced_fetches_total",
+       "requests piggybacked on an in-flight query (dog-pile)",
+       [](const WebTierStats& s) { return s.coalesced_fetches; });
+  stat("proteus_webtier_digest_false_positives_total",
+       "line 6 said hot, line 7 missed (SS IV-B p_p)",
+       [](const WebTierStats& s) { return s.digest_false_positives; });
+  registry.gauge_fn("proteus_webtier_cache_hit_ratio",
+                    "fraction of requests served from the cache tier",
+                    [this] { return stats_.cache_hit_ratio(); });
 }
 
 }  // namespace proteus::cluster

@@ -28,6 +28,10 @@
 #include "sim/queueing_server.h"
 #include "sim/simulation.h"
 
+namespace proteus::obs {
+class MetricsRegistry;
+}  // namespace proteus::obs
+
 namespace proteus::cluster {
 
 struct WebTierConfig {
@@ -79,6 +83,12 @@ class WebTier {
   void handle(const std::string& key, std::function<void()> done);
 
   const WebTierStats& stats() const noexcept { return stats_; }
+
+  // Registers every WebTierStats counter plus the derived hit ratio into
+  // `registry` (names prefixed proteus_webtier_). The callbacks read this
+  // object; the simulation is single-threaded, so snapshot between sim
+  // steps, and keep `this` alive past the registry's last snapshot.
+  void register_metrics(obs::MetricsRegistry& registry) const;
   const sim::QueueingServer& server_queue(int i) const {
     return *queues_.at(static_cast<std::size_t>(i));
   }

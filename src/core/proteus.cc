@@ -1,6 +1,7 @@
 #include "core/proteus.h"
 
 #include "common/check.h"
+#include "hashring/replicated_ring.h"
 
 namespace proteus {
 
@@ -14,8 +15,10 @@ Proteus::Proteus(ProteusOptions options, Backend backend)
   PROTEUS_CHECK(options_.max_servers >= 1);
   servers_.reserve(static_cast<std::size_t>(options_.max_servers));
   for (int i = 0; i < options_.max_servers; ++i) {
-    servers_.push_back(
-        std::make_unique<cache::CacheServer>(options_.per_server));
+    cache::CacheConfig per_server = options_.per_server;
+    per_server.trace = options_.trace;
+    per_server.trace_server_id = i;
+    servers_.push_back(std::make_unique<cache::CacheServer>(per_server));
     if (i >= router_.active()) servers_.back()->power_off();
   }
 }
@@ -27,9 +30,16 @@ void Proteus::tick(SimTime now) {
 }
 
 void Proteus::finalize_transition() {
-  for (int i : draining_) mutable_server(i).power_off();
+  for (int i : draining_) {
+    obs::emit(options_.trace, router_.transition_end(),
+              obs::TraceEventKind::kPowerOff, i, -1,
+              mutable_server(i).item_count());
+    mutable_server(i).power_off();
+  }
   draining_.clear();
   router_.finalize_transition();
+  obs::emit(options_.trace, router_.transition_end(),
+            obs::TraceEventKind::kResizeEnd, router_.active());
 }
 
 std::string Proteus::get(std::string_view key, SimTime now) {
@@ -48,11 +58,30 @@ std::string Proteus::get(std::string_view key, SimTime now) {
   if (d.fallback >= 0) {
     if (auto value = mutable_server(d.fallback).get(k, now)) {
       ++stats_.old_server_hits;
+      obs::emit(options_.trace, now, obs::TraceEventKind::kMigrationHit,
+                d.fallback, d.primary, value->size(), key);
       // Line 12: on-demand migration; subsequent requests hit the primary.
       mutable_server(d.primary).set(k, *value, now, charge_for(*value));
       return *value;
     }
     ++stats_.digest_false_positives;
+    obs::emit(options_.trace, now, obs::TraceEventKind::kDigestFalsePositive,
+              d.fallback, d.primary, 0, key);
+  } else if (router_.in_transition()) {
+    // §IV-B false-negative check: the digest reported the key cold, but is
+    // it actually resident on its old-mapping server? Cheap in-process
+    // (one hash + index probe), and it makes the paper's FN bound a
+    // measured quantity instead of a modeled one.
+    const int old_server = placement_->server_for(
+        ring::replica_ring_hash(hash_bytes(key), 0), router_.old_active());
+    if (old_server != d.primary &&
+        servers_[static_cast<std::size_t>(old_server)]->power_state() !=
+            cache::PowerState::kOff &&
+        servers_[static_cast<std::size_t>(old_server)]->contains(k, now)) {
+      ++stats_.digest_false_negatives;
+      obs::emit(options_.trace, now, obs::TraceEventKind::kDigestFalseNegative,
+                old_server, d.primary, 0, key);
+    }
   }
 
   // Line 10: false positive or cold data — the backend is authoritative.
@@ -106,17 +135,27 @@ void Proteus::resize(int n_active, SimTime now) {
   // the provisioning period is much longer than TTL).
   if (router_.in_transition()) finalize_transition();
 
+  obs::emit(options_.trace, now, obs::TraceEventKind::kResizeBegin, n_old,
+            n_active);
+
   // Broadcast digests of every old-mapping server (§IV-A).
   std::vector<std::optional<bloom::BloomFilter>> digests(
       static_cast<std::size_t>(options_.max_servers));
   for (int i = 0; i < n_old; ++i) {
-    digests[static_cast<std::size_t>(i)] = servers_[static_cast<std::size_t>(i)]->snapshot_digest();
+    auto snapshot = servers_[static_cast<std::size_t>(i)]->snapshot_digest();
+    obs::emit(options_.trace, now, obs::TraceEventKind::kDigestSnapshot, i,
+              -1, snapshot.words().size() * sizeof(std::uint64_t));
+    digests[static_cast<std::size_t>(i)] = std::move(snapshot);
   }
 
-  for (int i = n_old; i < n_active; ++i) mutable_server(i).power_on();
+  for (int i = n_old; i < n_active; ++i) {
+    mutable_server(i).power_on();
+    obs::emit(options_.trace, now, obs::TraceEventKind::kPowerOn, i);
+  }
   for (int i = n_active; i < n_old; ++i) {
     mutable_server(i).begin_draining();
     draining_.push_back(i);
+    obs::emit(options_.trace, now, obs::TraceEventKind::kDrainBegin, i);
   }
 
   router_.begin_transition(n_active, now + options_.ttl, std::move(digests));
@@ -133,6 +172,62 @@ int Proteus::powered_servers() const noexcept {
 ring::TransitionPlan Proteus::plan_resize(int n_active) const {
   return ring::plan_transition(*placement_, router_.active(), n_active,
                                bytes_cached());
+}
+
+void Proteus::register_metrics(obs::MetricsRegistry& registry) const {
+  const auto stat = [this, &registry](std::string name, std::string help,
+                                      auto getter) {
+    registry.counter_fn(std::move(name), std::move(help),
+                        [this, getter]() -> double {
+                          return static_cast<double>(getter(stats_));
+                        });
+  };
+  stat("proteus_gets_total", "Algorithm 2 retrievals",
+       [](const ProteusStats& s) { return s.gets; });
+  stat("proteus_new_server_hits_total", "hits on the current mapping",
+       [](const ProteusStats& s) { return s.new_server_hits; });
+  stat("proteus_old_server_hits_total",
+       "on-demand migrations (Algorithm 2 line 12)",
+       [](const ProteusStats& s) { return s.old_server_hits; });
+  stat("proteus_backend_fetches_total", "authoritative-store fetches",
+       [](const ProteusStats& s) { return s.backend_fetches; });
+  stat("proteus_digest_false_positives_total",
+       "digest said hot, old server missed (SS IV-B p_p bound)",
+       [](const ProteusStats& s) { return s.digest_false_positives; });
+  stat("proteus_digest_false_negatives_total",
+       "digest said cold, key was resident (SS IV-B p_n bound)",
+       [](const ProteusStats& s) { return s.digest_false_negatives; });
+  stat("proteus_puts_total", "explicit writes",
+       [](const ProteusStats& s) { return s.puts; });
+  stat("proteus_resizes_total", "provisioning transitions begun",
+       [](const ProteusStats& s) { return s.resizes; });
+  registry.gauge_fn("proteus_hit_ratio", "cache-tier hit ratio",
+                    [this] { return stats_.hit_ratio(); });
+  registry.gauge_fn("proteus_active_servers", "servers in the current mapping",
+                    [this] { return static_cast<double>(active_servers()); });
+  registry.gauge_fn("proteus_powered_servers",
+                    "servers not powered off (active + draining)",
+                    [this] { return static_cast<double>(powered_servers()); });
+  registry.gauge_fn("proteus_in_transition",
+                    "1 while a SS IV smooth transition is in flight",
+                    [this] { return in_transition() ? 1.0 : 0.0; });
+  registry.gauge_fn("proteus_bytes_cached", "bytes resident fleet-wide",
+                    [this] { return static_cast<double>(bytes_cached()); });
+  // Per-server load/occupancy: the live check of the SS III K/n guarantee —
+  // every active server's share of gets should track 1/n.
+  for (int i = 0; i < options_.max_servers; ++i) {
+    const std::string prefix = "proteus_server_" + std::to_string(i);
+    registry.counter_fn(prefix + "_gets_total", "gets routed to this server",
+                        [this, i]() -> double {
+                          return static_cast<double>(server(i).stats().gets);
+                        });
+    registry.gauge_fn(prefix + "_hit_ratio", "per-server hit ratio",
+                      [this, i] { return server(i).stats().hit_ratio(); });
+    registry.gauge_fn(prefix + "_power_state", "0=active 1=draining 2=off",
+                      [this, i] {
+                        return static_cast<double>(server(i).power_state());
+                      });
+  }
 }
 
 std::size_t Proteus::bytes_cached() const noexcept {

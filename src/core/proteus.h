@@ -35,6 +35,8 @@
 #include "common/time.h"
 #include "hashring/migration_plan.h"
 #include "hashring/proteus_placement.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace proteus {
 
@@ -46,6 +48,12 @@ struct ProteusOptions {
   // Accounting charge for values written through the miss path; 0 charges
   // the actual value size.
   std::size_t object_charge = 0;
+  // Observability (src/obs): when set, every provisioning transition emits
+  // its full lifecycle — resize_begin, per-server digest_snapshot,
+  // power_on/drain_begin, migration_hit / digest_false_{positive,negative},
+  // ttl_expiry (from the per-server caches), power_off, resize_end — into
+  // this sink. Null disables tracing.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct ProteusStats {
@@ -54,6 +62,10 @@ struct ProteusStats {
   std::uint64_t old_server_hits = 0;   // on-demand migrations (Algorithm 2)
   std::uint64_t backend_fetches = 0;
   std::uint64_t digest_false_positives = 0;
+  // §IV-B false negatives, observed: the digest reported a key cold during
+  // a transition although it was resident on its old server (detected by a
+  // direct check on the backend-fetch path, so the bound is measurable).
+  std::uint64_t digest_false_negatives = 0;
   std::uint64_t puts = 0;
   std::uint64_t resizes = 0;
 
@@ -99,6 +111,13 @@ class Proteus {
 
   const ProteusStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = ProteusStats{}; }
+
+  // Registers the facade's counters, transition gauges, and per-server
+  // load/hit gauges (the live §III K/n balance check) into `registry`.
+  // The callbacks read this object directly, so they are only safe to
+  // snapshot from the thread driving the facade (it is single-threaded by
+  // design). `this` must outlive the registry's last snapshot.
+  void register_metrics(obs::MetricsRegistry& registry) const;
   const cache::CacheServer& server(int i) const { return *servers_.at(static_cast<std::size_t>(i)); }
   const ring::ProteusPlacement& placement() const noexcept { return *placement_; }
 

@@ -20,8 +20,13 @@ namespace {
 class AutoProtocolHandler final : public ConnectionHandler {
  public:
   AutoProtocolHandler(cache::CacheServer& cache, std::mutex& mutex,
-                      const ClockFn& clock)
-      : cache_(cache), mutex_(mutex), clock_(clock) {}
+                      const ClockFn& clock, const obs::MetricsRegistry* metrics,
+                      obs::Histogram* op_latency)
+      : cache_(cache),
+        mutex_(mutex),
+        clock_(clock),
+        metrics_(metrics),
+        op_latency_(op_latency) {}
 
   std::string on_data(std::string_view bytes, bool& close) override {
     if (!text_ && !binary_) {
@@ -30,7 +35,7 @@ class AutoProtocolHandler final : public ConnectionHandler {
           cache::binary::kRequestMagic) {
         binary_ = std::make_unique<cache::BinaryProtocolSession>(cache_);
       } else {
-        text_ = std::make_unique<cache::TextProtocolSession>(cache_);
+        text_ = std::make_unique<cache::TextProtocolSession>(cache_, metrics_);
       }
     }
     const SimTime now = clock_();
@@ -38,6 +43,12 @@ class AutoProtocolHandler final : public ConnectionHandler {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       out = binary_ ? binary_->feed(bytes, now) : text_->feed(bytes, now);
+    }
+    // Recorded after the lock: the histogram has its own mutex, and the
+    // measured interval covers lock wait + protocol work — the server-side
+    // component of what a client sees.
+    if (op_latency_ != nullptr) {
+      op_latency_->record(static_cast<double>(monotonic_now() - now));
     }
     close = binary_ ? binary_->closed() : text_->closed();
     return out;
@@ -47,6 +58,8 @@ class AutoProtocolHandler final : public ConnectionHandler {
   cache::CacheServer& cache_;
   std::mutex& mutex_;
   const ClockFn& clock_;
+  const obs::MetricsRegistry* metrics_;
+  obs::Histogram* op_latency_;
   std::unique_ptr<cache::TextProtocolSession> text_;
   std::unique_ptr<cache::BinaryProtocolSession> binary_;
 };
@@ -55,16 +68,83 @@ class AutoProtocolHandler final : public ConnectionHandler {
 
 std::unique_ptr<ConnectionHandler> MemcacheDaemon::make_handler() {
   std::unique_ptr<ConnectionHandler> handler =
-      std::make_unique<AutoProtocolHandler>(cache_, cache_mutex_, clock_);
+      std::make_unique<AutoProtocolHandler>(cache_, cache_mutex_, clock_,
+                                            &metrics_, op_latency_);
   const std::lock_guard<std::mutex> lock(wrapper_mutex_);
   return wrapper_ ? wrapper_(std::move(handler)) : std::move(handler);
+}
+
+void MemcacheDaemon::register_metrics() {
+  // Cache-reading callbacks deliberately take NO lock: `stats proteus`
+  // snapshots under the protocol mutex already held by the serving thread,
+  // and metrics_text()/stats_snapshot() take it themselves. See the
+  // contract in obs/metrics.h.
+  const auto cache_stat = [this](std::string name, std::string help,
+                                 auto getter) {
+    metrics_.counter_fn(std::move(name), std::move(help),
+                        [this, getter]() -> double {
+                          return static_cast<double>(getter(cache_.stats()));
+                        });
+  };
+  cache_stat("proteus_cache_cmd_get_total", "get operations served",
+             [](const cache::CacheStats& s) { return s.gets; });
+  cache_stat("proteus_cache_get_hits_total", "gets answered from cache",
+             [](const cache::CacheStats& s) { return s.hits; });
+  cache_stat("proteus_cache_get_misses_total", "gets that missed",
+             [](const cache::CacheStats& s) { return s.misses; });
+  cache_stat("proteus_cache_cmd_set_total", "store operations",
+             [](const cache::CacheStats& s) { return s.sets; });
+  cache_stat("proteus_cache_delete_hits_total", "successful deletes",
+             [](const cache::CacheStats& s) { return s.deletes; });
+  cache_stat("proteus_cache_evictions_total", "LRU evictions under the budget",
+             [](const cache::CacheStats& s) { return s.evictions; });
+  cache_stat("proteus_cache_expired_total",
+             "items expired past the idle TTL (SS IV drain visibility)",
+             [](const cache::CacheStats& s) { return s.expirations; });
+  metrics_.gauge_fn("proteus_cache_hit_ratio",
+                    "hits / gets since start or stats reset",
+                    [this] { return cache_.stats().hit_ratio(); });
+  metrics_.gauge_fn("proteus_cache_items", "resident items",
+                    [this] { return static_cast<double>(cache_.item_count()); });
+  metrics_.gauge_fn("proteus_cache_bytes", "accounted bytes resident",
+                    [this] { return static_cast<double>(cache_.bytes_used()); });
+  metrics_.gauge_fn(
+      "proteus_cache_limit_bytes", "memory budget",
+      [this] { return static_cast<double>(cache_.memory_budget()); });
+  metrics_.gauge_fn(
+      "proteus_cache_power_state",
+      "0=active 1=draining (SS IV transition) 2=off",
+      [this] { return static_cast<double>(cache_.power_state()); });
+  metrics_.counter_fn(
+      "proteus_net_connections_accepted_total", "connections accepted",
+      [this] { return static_cast<double>(connections_accepted()); });
+  metrics_.counter_fn(
+      "proteus_net_connections_rejected_total",
+      "accepts shed over the connection cap",
+      [this] { return static_cast<double>(connections_rejected()); });
+  metrics_.counter_fn(
+      "proteus_net_idle_reaped_total", "idle connections reaped",
+      [this] { return static_cast<double>(idle_reaped()); });
+  metrics_.counter_fn(
+      "proteus_net_slow_reader_drops_total",
+      "slow readers dropped over the outbox bound",
+      [this] { return static_cast<double>(slow_reader_drops()); });
+  op_latency_ = metrics_.histogram(
+      "proteus_daemon_op_latency_us",
+      "server-side protocol batch service time (lock wait + cache work)");
 }
 
 MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
                                ClockFn clock, int threads,
                                TcpServer::Limits limits)
-    : cache_(std::move(config)), clock_(std::move(clock)) {
+    : trace_(4096),
+      cache_([&] {
+        if (config.trace == nullptr) config.trace = &trace_;
+        return std::move(config);
+      }()),
+      clock_(std::move(clock)) {
   PROTEUS_CHECK(threads >= 1);
+  register_metrics();
   const bool reuse_port = threads > 1;
   servers_.push_back(std::make_unique<TcpServer>(
       port, [this] { return make_handler(); }, reuse_port, limits));
@@ -96,6 +176,30 @@ void MemcacheDaemon::run() {
 
 void MemcacheDaemon::stop() {
   for (auto& s : servers_) s->stop();
+}
+
+cache::CacheStats MemcacheDaemon::stats_snapshot() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.stats();
+}
+
+std::size_t MemcacheDaemon::item_count() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.item_count();
+}
+
+std::size_t MemcacheDaemon::bytes_used() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.bytes_used();
+}
+
+std::string MemcacheDaemon::metrics_text() const {
+  std::vector<obs::MetricSample> samples;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    samples = metrics_.snapshot();
+  }
+  return obs::render_prometheus(samples);
 }
 
 std::uint64_t MemcacheDaemon::connections_accepted() const noexcept {

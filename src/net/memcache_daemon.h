@@ -11,6 +11,16 @@
 // single mutex per protocol operation — the same coarse-grained locking
 // discipline classic memcached used for its hash table.
 //
+// Observability: the daemon owns an obs::MetricsRegistry holding the cache
+// counters, hardening counters, and a per-operation service-latency
+// histogram. It is exposed three ways — `stats proteus` on the wire,
+// metrics_text() (Prometheus format, served by net/metrics_http.h), and
+// stats_snapshot()/item_count()/bytes_used() for in-process readers. The
+// last three take the cache mutex, so they are race-free against concurrent
+// protocol operations (unlike reading cache() directly, which is only safe
+// after run() returns). A built-in obs::TraceRing collects ttl_expiry
+// events unless the caller supplies its own sink via CacheConfig::trace.
+//
 // Time is wall-clock here (the daemon is the real-deployment path; the
 // evaluation uses the simulator instead).
 #pragma once
@@ -26,6 +36,8 @@
 #include "cache/cache_server.h"
 #include "cache/text_protocol.h"
 #include "net/tcp_server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace proteus::net {
 
@@ -60,8 +72,26 @@ class MemcacheDaemon {
   void run();
   void stop();
 
+  // Direct cache access — only safe while no worker thread is serving
+  // (before run() / after stop()+join). Concurrent readers use the
+  // snapshot accessors below instead.
   cache::CacheServer& cache() noexcept { return cache_; }
   const cache::CacheServer& cache() const noexcept { return cache_; }
+
+  // --- race-free introspection (take the cache mutex) ----------------------
+  cache::CacheStats stats_snapshot() const;
+  std::size_t item_count() const;
+  std::size_t bytes_used() const;
+  // Registry snapshot rendered as Prometheus text (for /metrics). The
+  // registry's cache-reading callbacks require the cache mutex, which this
+  // takes; never call while already holding it.
+  std::string metrics_text() const;
+
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+  // The built-in transition/TTL event ring (or the caller's sink if
+  // CacheConfig::trace was set, in which case this ring stays empty).
+  const obs::TraceRing& trace() const noexcept { return trace_; }
+
   int threads() const noexcept { return static_cast<int>(servers_.size()); }
   std::uint64_t connections_accepted() const noexcept;
   // Hardening counters aggregated across worker listeners.
@@ -71,12 +101,16 @@ class MemcacheDaemon {
 
  private:
   std::unique_ptr<ConnectionHandler> make_handler();
+  void register_metrics();
 
+  obs::TraceRing trace_;  // must precede cache_: CacheConfig may point here
   cache::CacheServer cache_;
-  std::mutex cache_mutex_;  // guards cache_ across worker threads
+  mutable std::mutex cache_mutex_;  // guards cache_ across worker threads
   std::mutex wrapper_mutex_;
   HandlerWrapper wrapper_;
   ClockFn clock_;
+  obs::MetricsRegistry metrics_;
+  obs::Histogram* op_latency_ = nullptr;  // owned by metrics_
   std::vector<std::unique_ptr<TcpServer>> servers_;
 };
 

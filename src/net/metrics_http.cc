@@ -1,0 +1,91 @@
+#include "net/metrics_http.h"
+
+#include <memory>
+#include <string_view>
+#include <utility>
+
+namespace proteus::net {
+
+namespace {
+
+std::string http_response(int code, std::string_view status,
+                          std::string_view content_type, std::string body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + ' ';
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+class HttpHandler final : public ConnectionHandler {
+ public:
+  HttpHandler(const MetricsHttpServer::RenderFn& metrics,
+              const MetricsHttpServer::RenderFn& trace)
+      : metrics_(metrics), trace_(trace) {}
+
+  std::string on_data(std::string_view bytes, bool& close) override {
+    buffer_.append(bytes);
+    if (buffer_.find("\r\n\r\n") == std::string::npos) {
+      // Header not complete yet; bound the buffer against garbage peers.
+      if (buffer_.size() > 8192) {
+        close = true;
+        return http_response(400, "Bad Request", "text/plain",
+                             "request too large\n");
+      }
+      return {};
+    }
+    close = true;
+    const std::size_t eol = buffer_.find("\r\n");
+    const std::string_view line = std::string_view(buffer_).substr(0, eol);
+    if (line.substr(0, 4) != "GET ") {
+      return http_response(405, "Method Not Allowed", "text/plain",
+                           "only GET is supported\n");
+    }
+    const std::size_t path_end = line.find(' ', 4);
+    const std::string_view path =
+        line.substr(4, path_end == std::string_view::npos ? line.size() - 4
+                                                          : path_end - 4);
+    if (path == "/metrics") {
+      return http_response(200, "OK",
+                           "text/plain; version=0.0.4; charset=utf-8",
+                           metrics_ ? metrics_() : std::string{});
+    }
+    if (path == "/trace") {
+      if (!trace_) {
+        return http_response(404, "Not Found", "text/plain",
+                             "trace not enabled\n");
+      }
+      return http_response(200, "OK", "application/x-ndjson", trace_());
+    }
+    if (path == "/" || path.empty()) {
+      return http_response(200, "OK", "text/plain",
+                           "proteus exposition endpoint\n"
+                           "  /metrics  Prometheus text format\n"
+                           "  /trace    transition event timeline (JSONL)\n");
+    }
+    return http_response(404, "Not Found", "text/plain", "unknown path\n");
+  }
+
+ private:
+  const MetricsHttpServer::RenderFn& metrics_;
+  const MetricsHttpServer::RenderFn& trace_;
+  std::string buffer_;
+};
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port, RenderFn metrics,
+                                     RenderFn trace)
+    : metrics_(std::move(metrics)),
+      trace_(std::move(trace)),
+      server_(
+          port,
+          [this] {
+            return std::make_unique<HttpHandler>(metrics_, trace_);
+          },
+          /*reuse_port=*/false) {}
+
+}  // namespace proteus::net

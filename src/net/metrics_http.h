@@ -1,0 +1,47 @@
+// Minimal HTTP/1.0 exposition endpoint on top of TcpServer.
+//
+// Serves exactly what a Prometheus scraper (or curl) needs and nothing
+// more:
+//
+//   GET /metrics  ->  text/plain; version=0.0.4   (render callback)
+//   GET /trace    ->  application/x-ndjson        (optional JSONL callback)
+//   GET /         ->  tiny index linking the two
+//
+// The render callbacks are invoked per request on the endpoint's poll-loop
+// thread; they must be safe to call concurrently with the daemon's workers
+// (MemcacheDaemon::metrics_text() and obs::TraceRing::jsonl() both are).
+// Every response closes the connection — scrape clients reconnect, which
+// keeps the handler stateless and immune to request pipelining concerns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/tcp_server.h"
+
+namespace proteus::net {
+
+class MetricsHttpServer {
+ public:
+  using RenderFn = std::function<std::string()>;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral); check ok(). `metrics` backs
+  // GET /metrics; `trace` (optional) backs GET /trace.
+  MetricsHttpServer(std::uint16_t port, RenderFn metrics,
+                    RenderFn trace = nullptr);
+
+  bool ok() const noexcept { return server_.ok(); }
+  std::uint16_t port() const noexcept { return server_.port(); }
+
+  // Blocking poll loop, same contract as TcpServer::run/stop.
+  void run() { server_.run(); }
+  void stop() { server_.stop(); }
+
+ private:
+  RenderFn metrics_;
+  RenderFn trace_;
+  TcpServer server_;
+};
+
+}  // namespace proteus::net

@@ -17,6 +17,7 @@
 // yields EPIPE, never a process-killing SIGPIPE.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -71,11 +72,21 @@ class TcpServer {
   // Thread-safe shutdown request; wakes the poll loop via a pipe.
   void stop();
 
-  std::uint64_t connections_accepted() const noexcept { return accepted_; }
-  // Hardening counters (read after run() returns, or racily for display).
-  std::uint64_t connections_rejected() const noexcept { return rejected_; }
-  std::uint64_t idle_reaped() const noexcept { return idle_reaped_; }
-  std::uint64_t slow_reader_drops() const noexcept { return slow_drops_; }
+  // Counters are atomics written by the poll-loop thread with relaxed
+  // ordering, so concurrent readers (metrics scrapes, proteus-top) see
+  // coherent values without taking any lock.
+  std::uint64_t connections_accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t idle_reaped() const noexcept {
+    return idle_reaped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t slow_reader_drops() const noexcept {
+    return slow_drops_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Connection {
@@ -97,10 +108,10 @@ class TcpServer {
   int wake_pipe_[2] = {-1, -1};
   std::uint16_t port_ = 0;
   std::unordered_map<int, Connection> connections_;
-  std::uint64_t accepted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t idle_reaped_ = 0;
-  std::uint64_t slow_drops_ = 0;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> idle_reaped_{0};
+  std::atomic<std::uint64_t> slow_drops_{0};
 };
 
 }  // namespace proteus::net

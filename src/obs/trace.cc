@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace proteus::obs {
+
+namespace {
+
+constexpr std::size_t kMaxKeyBytes = 64;
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view trace_event_name(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kResizeBegin: return "resize_begin";
+    case TraceEventKind::kResizeEnd: return "resize_end";
+    case TraceEventKind::kDigestSnapshot: return "digest_snapshot";
+    case TraceEventKind::kDigestFetch: return "digest_fetch";
+    case TraceEventKind::kDigestSkip: return "digest_skip";
+    case TraceEventKind::kPowerOn: return "power_on";
+    case TraceEventKind::kDrainBegin: return "drain_begin";
+    case TraceEventKind::kPowerOff: return "power_off";
+    case TraceEventKind::kMigrationHit: return "migration_hit";
+    case TraceEventKind::kDigestFalsePositive: return "digest_false_positive";
+    case TraceEventKind::kDigestFalseNegative: return "digest_false_negative";
+    case TraceEventKind::kTtlExpiry: return "ttl_expiry";
+  }
+  return "unknown";
+}
+
+std::string to_json(const TraceEvent& event) {
+  std::string out;
+  out.reserve(96 + event.key.size());
+  out += "{\"seq\":" + std::to_string(event.seq);
+  out += ",\"t_us\":" + std::to_string(event.t);
+  out += ",\"event\":\"";
+  out += trace_event_name(event.kind);
+  out += '"';
+  if (event.server >= 0) out += ",\"server\":" + std::to_string(event.server);
+  if (event.peer >= 0) out += ",\"peer\":" + std::to_string(event.peer);
+  if (event.n != 0) out += ",\"n\":" + std::to_string(event.n);
+  if (!event.key.empty()) {
+    out += ",\"key\":\"";
+    append_json_escaped(out, event.key);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void emit(TraceSink* sink, SimTime t, TraceEventKind kind, int server,
+          int peer, std::uint64_t n, std::string_view key) {
+  if (sink == nullptr) return;
+  TraceEvent e;
+  e.t = t;
+  e.kind = kind;
+  e.server = server;
+  e.peer = peer;
+  e.n = n;
+  e.key.assign(key.substr(0, kMaxKeyBytes));
+  sink->emit(std::move(e));
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.resize(capacity_);
+}
+
+void TraceRing::emit(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest retained event sits at head_ when the ring has wrapped.
+  const std::size_t start = (head_ + capacity_ - size_) % capacity_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string TraceRing::jsonl() const {
+  std::string out;
+  for (const TraceEvent& e : snapshot()) {
+    out += to_json(e);
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::total_emitted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - size_;
+}
+
+void TraceRing::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace proteus::obs

@@ -1,0 +1,100 @@
+// Transition tracing — a structured, timestamped timeline of a provisioning
+// step's lifecycle.
+//
+// The paper's §IV claim is that a resize is INVISIBLE to clients: the digest
+// broadcast, per-key on-demand migration, and TTL-bounded drain all hide
+// inside ordinary requests. That is exactly what makes a transition hard to
+// observe post-hoc — so the live components (core/proteus.cc,
+// client/memcache_client.cc, cache/cache_server.cc) emit one TraceEvent per
+// lifecycle step into a TraceSink:
+//
+//   resize_begin -> digest_snapshot / digest_fetch / digest_skip (per server)
+//   -> power_on / drain_begin (per server) -> migration_hit /
+//   digest_false_positive / digest_false_negative (per request, transition
+//   only) -> ttl_expiry (per key or sweep) -> power_off -> resize_end
+//
+// TraceRing is the standard sink: a bounded, thread-safe ring buffer with
+// monotonic sequence numbers (old events are overwritten, never blocked on)
+// and a JSONL renderer — one JSON object per line, ready for jq or a file.
+// Emission is null-safe by convention: every emitting component holds a
+// `TraceSink*` that may be null (tracing disabled, zero overhead beyond the
+// pointer test).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+
+namespace proteus::obs {
+
+enum class TraceEventKind {
+  kResizeBegin,          // server=old active count, peer=new active count
+  kResizeEnd,            // transition finalized; server=active count
+  kDigestSnapshot,       // in-process broadcast (§IV-A); server, n=filter bytes
+  kDigestFetch,          // wire fetch via BLOOM_FILTER keys; server, n=bytes
+  kDigestSkip,           // digest unobtainable; server (transition proceeds)
+  kPowerOn,              // server joined the active set
+  kDrainBegin,           // server left the active set, drains for TTL
+  kPowerOff,             // drained server powered down; n=items lost
+  kMigrationHit,         // Algorithm 2 line 12: server=old location, peer=new
+  kDigestFalsePositive,  // digest said hot, old server missed; server=old
+  kDigestFalseNegative,  // digest said cold but the key was resident; server=old
+  kTtlExpiry,            // item(s) idle past TTL; server, n=items, key if single
+};
+
+std::string_view trace_event_name(TraceEventKind kind) noexcept;
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  // assigned by the sink, strictly increasing
+  SimTime t = 0;          // caller's clock (SimTime or monotonic usec)
+  TraceEventKind kind = TraceEventKind::kResizeBegin;
+  int server = -1;        // subject server index, -1 if not applicable
+  int peer = -1;          // related server / count, kind-specific
+  std::uint64_t n = 0;    // kind-specific magnitude (bytes, items)
+  std::string key;        // involved key, truncated to 64 bytes; often empty
+};
+
+// One event as a single-line JSON object (no trailing newline).
+std::string to_json(const TraceEvent& event);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  // Assigns event.seq; thread-safe.
+  virtual void emit(TraceEvent event) = 0;
+};
+
+// Convenience emitter: no-op on a null sink, truncates the key.
+void emit(TraceSink* sink, SimTime t, TraceEventKind kind, int server = -1,
+          int peer = -1, std::uint64_t n = 0, std::string_view key = {});
+
+class TraceRing final : public TraceSink {
+ public:
+  explicit TraceRing(std::size_t capacity = 4096);
+
+  void emit(TraceEvent event) override;
+
+  // Retained events in emission (sequence) order.
+  std::vector<TraceEvent> snapshot() const;
+  // snapshot() rendered one JSON object per line.
+  std::string jsonl() const;
+
+  std::uint64_t total_emitted() const;
+  // Events overwritten because the ring was full.
+  std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write position
+  std::size_t size_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace proteus::obs

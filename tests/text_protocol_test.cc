@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace proteus::cache {
 namespace {
 
@@ -66,7 +68,15 @@ TEST(ParseCommandLine, RejectsMalformed) {
   EXPECT_EQ(parse_command_line("set foo 0 0").op, TextCommand::Op::kInvalid);
   EXPECT_EQ(parse_command_line("set foo 0 0 abc").op, TextCommand::Op::kInvalid);
   EXPECT_EQ(parse_command_line("incr foo").op, TextCommand::Op::kInvalid);
-  EXPECT_EQ(parse_command_line("stats extra").op, TextCommand::Op::kInvalid);
+  EXPECT_EQ(parse_command_line("stats a b").op, TextCommand::Op::kInvalid);
+}
+
+TEST(ParseCommandLine, StatsTakesOneOptionalArg) {
+  EXPECT_EQ(parse_command_line("stats").op, TextCommand::Op::kStats);
+  EXPECT_TRUE(parse_command_line("stats").stats_arg.empty());
+  const TextCommand cmd = parse_command_line("stats reset");
+  EXPECT_EQ(cmd.op, TextCommand::Op::kStats);
+  EXPECT_EQ(cmd.stats_arg, "reset");
 }
 
 TEST(ParseCommandLine, RejectsOversizedAndControlKeys) {
@@ -200,6 +210,69 @@ TEST(TextProtocol, StatsReportCounters) {
   EXPECT_NE(stats.find("STAT get_misses 1\r\n"), std::string::npos);
   EXPECT_NE(stats.find("STAT curr_items 1\r\n"), std::string::npos);
   EXPECT_NE(stats.find("END\r\n"), std::string::npos);
+}
+
+TEST(TextProtocol, StatsKeySetAndFormat) {
+  // memcached-parity checks of handle_stats(): every key present exactly
+  // once, every line "STAT <name> <decimal>\r\n", END-terminated.
+  Rig rig;
+  rig.run("set a 0 0 1\r\nx\r\n");
+  rig.run("get a\r\n");
+  const std::string stats = rig.run("stats\r\n");
+  for (const char* name :
+       {"cmd_get", "get_hits", "get_misses", "cmd_set", "delete_hits",
+        "evictions", "expired_unfetched", "curr_items", "bytes",
+        "limit_maxbytes", "digest_counters", "digest_bytes"}) {
+    const std::string line = std::string("STAT ") + name + ' ';
+    const std::size_t first = stats.find(line);
+    EXPECT_NE(first, std::string::npos) << name;
+    EXPECT_EQ(stats.find(line, first + 1), std::string::npos) << name;
+  }
+  // Every non-END line is STAT-prefixed and CRLF-terminated.
+  std::size_t pos = 0;
+  while (pos < stats.size()) {
+    const std::size_t eol = stats.find("\r\n", pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = stats.substr(pos, eol - pos);
+    if (line != "END") {
+      EXPECT_EQ(line.rfind("STAT ", 0), 0u) << line;
+      EXPECT_NE(line.find_last_of("0123456789"), std::string::npos) << line;
+    }
+    pos = eol + 2;
+  }
+  EXPECT_EQ(stats.substr(stats.size() - 5), "END\r\n");
+}
+
+TEST(TextProtocol, StatsResetZeroesCounters) {
+  Rig rig;
+  rig.run("set a 0 0 1\r\nx\r\n");
+  rig.run("get a\r\nget b\r\n");
+  EXPECT_EQ(rig.run("stats reset\r\n"), "RESET\r\n");
+  const std::string stats = rig.run("stats\r\n");
+  // Command counters are zeroed; occupancy (curr_items/bytes) is not.
+  EXPECT_NE(stats.find("STAT cmd_get 0\r\n"), std::string::npos);
+  EXPECT_NE(stats.find("STAT get_hits 0\r\n"), std::string::npos);
+  EXPECT_NE(stats.find("STAT cmd_set 0\r\n"), std::string::npos);
+  EXPECT_NE(stats.find("STAT curr_items 1\r\n"), std::string::npos);
+}
+
+TEST(TextProtocol, StatsProteusRendersRegistry) {
+  CacheServer server{proto_config()};
+  obs::MetricsRegistry registry;
+  registry.counter("demo_total", "a counter")->inc(7);
+  TextProtocolSession session(server, &registry);
+  const std::string reply = session.feed("stats proteus\r\n", 0);
+  EXPECT_NE(reply.find("STAT demo_total 7\r\n"), std::string::npos);
+  EXPECT_EQ(reply.substr(reply.size() - 5), "END\r\n");
+
+  // Without a registry the extension degrades to an empty reply.
+  TextProtocolSession bare(server);
+  EXPECT_EQ(bare.feed("stats proteus\r\n", 0), "END\r\n");
+}
+
+TEST(TextProtocol, StatsUnknownArgIsError) {
+  Rig rig;
+  EXPECT_EQ(rig.run("stats bogus\r\n"), "ERROR\r\n");
 }
 
 TEST(TextProtocol, VersionAndQuit) {

@@ -9,13 +9,21 @@
 // SET_BLOOM_FILTER / BLOOM_FILTER with any unmodified memcached client:
 //
 //   $ printf 'set k 0 0 5\r\nhello\r\nget k\r\n' | nc 127.0.0.1 11211
+//
+// With --metrics-port=P a Prometheus text endpoint is served on
+// 127.0.0.1:P (GET /metrics; GET /trace streams the transition/TTL event
+// ring as JSONL). The same registry is reachable in-band via the
+// `stats proteus` protocol extension.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "net/memcache_daemon.h"
+#include "net/metrics_http.h"
 
 namespace {
 
@@ -40,6 +48,8 @@ int main(int argc, char** argv) {
   using namespace proteus;
 
   std::uint16_t port = 11211;
+  std::uint16_t metrics_port = 0;  // 0 = no HTTP exposition
+  bool metrics_enabled = false;
   std::size_t mem_mb = 64;
   double ttl_s = 0;
   int threads = 1;
@@ -49,6 +59,9 @@ int main(int argc, char** argv) {
     std::string value;
     if (parse_value(argv[i], "--port", value)) {
       port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
+    } else if (parse_value(argv[i], "--metrics-port", value)) {
+      metrics_port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
+      metrics_enabled = true;
     } else if (parse_value(argv[i], "--mem-mb", value)) {
       mem_mb = static_cast<std::size_t>(std::atoll(value.c_str()));
     } else if (parse_value(argv[i], "--ttl-s", value)) {
@@ -65,7 +78,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(value.c_str())) << 20;
     } else {
       std::fprintf(stderr,
-                   "usage: proteus-cached [--port=P] [--mem-mb=M] [--ttl-s=S] "
+                   "usage: proteus-cached [--port=P] [--metrics-port=P] "
+                   "[--mem-mb=M] [--ttl-s=S] "
                    "[--threads=N] [--max-conns=C] [--idle-timeout-s=S] "
                    "[--max-outbox-mb=M]\n");
       return 2;
@@ -89,12 +103,34 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
+  // Optional Prometheus exposition, on its own poll-loop thread so a stuck
+  // scraper can never stall the cache protocol.
+  std::unique_ptr<net::MetricsHttpServer> metrics_http;
+  std::thread metrics_thread;
+  if (metrics_enabled) {
+    metrics_http = std::make_unique<net::MetricsHttpServer>(
+        metrics_port, [&daemon] { return daemon.metrics_text(); },
+        [&daemon] { return daemon.trace().jsonl(); });
+    if (!metrics_http->ok()) {
+      std::fprintf(stderr, "failed to bind metrics port 127.0.0.1:%u\n",
+                   metrics_port);
+      return 1;
+    }
+    metrics_thread = std::thread([&metrics_http] { metrics_http->run(); });
+    std::fprintf(stderr, "metrics on http://127.0.0.1:%u/metrics\n",
+                 metrics_http->port());
+  }
+
   std::fprintf(stderr,
                "proteus-cached listening on 127.0.0.1:%u (%zu MB budget, "
                "digest: %zu counters x %u bits)\n",
                daemon.port(), mem_mb, daemon.cache().digest().num_counters(),
                daemon.cache().digest().counter_bits());
   daemon.run();
+  if (metrics_thread.joinable()) {
+    metrics_http->stop();
+    metrics_thread.join();
+  }
   std::fprintf(stderr,
                "shutting down; served %llu connections (rejected %llu, "
                "idle-reaped %llu, slow-reader drops %llu)\n",

@@ -1,0 +1,218 @@
+// proteus-top — a live fleet dashboard over the `stats proteus` wire
+// extension (falling back to plain `stats` for unmodified memcached).
+//
+//   proteus-top --servers=11211,11212,11213 [--host=127.0.0.1]
+//               [--interval-s=2] [--once]
+//
+// Each refresh polls every daemon and renders one row per server: power
+// state (active / draining / off), request rate and its share of fleet
+// load — the live check of the paper's §III K/n balance guarantee — hit
+// ratio, p50/p99 service latency from the daemon's op-latency histogram,
+// and occupancy. The footer aggregates the fleet and reports the observed
+// max/ideal load-share imbalance across active servers.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/memcache_client.h"
+#include "common/time.h"
+
+namespace {
+
+using proteus::client::MemcacheConnection;
+
+bool parse_value(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::uint16_t> parse_ports(const std::string& csv) {
+  std::vector<std::uint16_t> ports;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string tok = csv.substr(pos, comma - pos);
+    if (!tok.empty()) {
+      ports.push_back(static_cast<std::uint16_t>(std::atoi(tok.c_str())));
+    }
+    pos = comma + 1;
+  }
+  return ports;
+}
+
+// One daemon being watched: lazily (re)connected, last counter sample kept
+// for rate computation.
+struct Watched {
+  std::uint16_t port = 0;
+  std::unique_ptr<MemcacheConnection> conn;
+  bool have_prev = false;
+  double prev_gets = 0;
+
+  // This refresh's parsed sample (empty when the server was unreachable).
+  std::map<std::string, double> now;
+  bool up = false;
+};
+
+// Polls one server: `stats proteus` first, plain `stats` as the fallback
+// so the dashboard still shows hit ratio / items against stock memcached.
+void poll(Watched& w, const std::string& host) {
+  w.now.clear();
+  w.up = false;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (w.conn == nullptr || !w.conn->ok()) {
+      MemcacheConnection::Options opt;
+      opt.host = host;
+      w.conn = std::make_unique<MemcacheConnection>(w.port, opt);
+    }
+    auto pairs = w.conn->stats("proteus");
+    if ((!pairs.has_value() || pairs->empty()) && w.conn->ok()) {
+      pairs = w.conn->stats();
+    }
+    if (!pairs.has_value()) continue;  // dead connection: retry once fresh
+    for (const auto& [name, value] : *pairs) {
+      w.now[name] = std::atof(value.c_str());
+    }
+    w.up = true;
+    return;
+  }
+}
+
+double field(const Watched& w, const char* name, double fallback = 0) {
+  const auto it = w.now.find(name);
+  return it == w.now.end() ? fallback : it->second;
+}
+
+// Maps a daemon sample onto the dashboard's canonical fields, accepting
+// either the proteus registry names or stock memcached stat names.
+double gets_of(const Watched& w) {
+  if (w.now.count("proteus_cache_cmd_get_total") != 0U) {
+    return field(w, "proteus_cache_cmd_get_total");
+  }
+  return field(w, "cmd_get");
+}
+
+double hit_ratio_of(const Watched& w) {
+  if (w.now.count("proteus_cache_hit_ratio") != 0U) {
+    return field(w, "proteus_cache_hit_ratio");
+  }
+  const double gets = field(w, "cmd_get");
+  return gets > 0 ? field(w, "get_hits") / gets : 0.0;
+}
+
+const char* state_of(const Watched& w) {
+  if (!w.up) return "down";
+  if (w.now.count("proteus_cache_power_state") == 0U) return "active";
+  switch (static_cast<int>(field(w, "proteus_cache_power_state"))) {
+    case 0:
+      return "active";
+    case 1:
+      return "drain";
+    default:
+      return "off";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string servers_csv;
+  std::string host = "127.0.0.1";
+  double interval_s = 2.0;
+  bool once = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_value(argv[i], "--servers", value)) {
+      servers_csv = value;
+    } else if (parse_value(argv[i], "--host", value)) {
+      host = value;
+    } else if (parse_value(argv[i], "--interval-s", value)) {
+      interval_s = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: proteus-top --servers=p1,p2,... [--host=H] "
+                   "[--interval-s=S] [--once]\n");
+      return 2;
+    }
+  }
+  const std::vector<std::uint16_t> ports = parse_ports(servers_csv);
+  if (ports.empty()) {
+    std::fprintf(stderr, "proteus-top: --servers=p1,p2,... is required\n");
+    return 2;
+  }
+  if (interval_s <= 0) interval_s = 2.0;
+
+  std::vector<Watched> fleet(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) fleet[i].port = ports[i];
+
+  for (;;) {
+    for (Watched& w : fleet) poll(w, host);
+
+    // Per-interval get deltas drive the rate and load-share columns.
+    double total_delta = 0;
+    std::vector<double> deltas(fleet.size(), 0);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      Watched& w = fleet[i];
+      if (!w.up) continue;
+      const double gets = gets_of(w);
+      if (w.have_prev && gets >= w.prev_gets) {
+        deltas[i] = gets - w.prev_gets;
+      }
+      w.prev_gets = gets;
+      w.have_prev = true;
+      total_delta += deltas[i];
+    }
+
+    if (!once) std::printf("\033[2J\033[H");
+    std::printf("%-6s %-7s %10s %7s %6s %9s %9s %9s %8s\n", "SERVER", "STATE",
+                "GETS/S", "SHARE", "HIT%", "P50(us)", "P99(us)", "ITEMS",
+                "MB");
+    int active = 0;
+    double max_share = 0;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      const Watched& w = fleet[i];
+      const char* state = state_of(w);
+      if (std::strcmp(state, "active") == 0) ++active;
+      const double share = total_delta > 0 ? deltas[i] / total_delta : 0;
+      if (std::strcmp(state, "active") == 0 && share > max_share) {
+        max_share = share;
+      }
+      std::printf(":%-5u %-7s %10.1f %6.1f%% %5.1f%% %9.0f %9.0f %9.0f %8.2f\n",
+                  w.port, state, deltas[i] / interval_s, share * 100,
+                  hit_ratio_of(w) * 100,
+                  field(w, "proteus_daemon_op_latency_us_p50"),
+                  field(w, "proteus_daemon_op_latency_us_p99"),
+                  field(w, "proteus_cache_items", field(w, "curr_items")),
+                  field(w, "proteus_cache_bytes", field(w, "bytes")) /
+                      (1024.0 * 1024.0));
+    }
+    // §III check: with perfect K/n balance every active server's share is
+    // 1/n, so imbalance (max observed / ideal) should hover near 1.0.
+    if (active > 0 && total_delta > 0) {
+      std::printf("fleet: %d active, %.1f gets/s, imbalance %.2fx ideal\n",
+                  active, total_delta / interval_s,
+                  max_share * static_cast<double>(active));
+    } else {
+      std::printf("fleet: %d active\n", active);
+    }
+    std::fflush(stdout);
+
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+  return 0;
+}

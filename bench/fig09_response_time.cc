@@ -5,20 +5,93 @@
 // Paper result to match in shape: Naive spikes by orders of magnitude at
 // every provisioning change, Consistent shows smaller but clear degradation,
 // Proteus tracks Static with no visible spikes.
+#include <algorithm>
 #include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/scenario.h"
+#include "obs/span.h"
+
+namespace {
+
+// Tail attribution from the Proteus scenario's span trees: where did
+// in-transition requests spend their time, versus steady state?
+void print_tail_attribution(const proteus::obs::SpanCollector& spans) {
+  using proteus::obs::SpanKind;
+  using proteus::obs::SpanRecord;
+  const std::vector<SpanRecord> all = spans.snapshot();
+
+  std::unordered_set<std::uint64_t> transition_traces;
+  std::vector<double> steady_ms, transition_ms;
+  for (const SpanRecord& s : all) {
+    if (s.kind != SpanKind::kRequest) continue;
+    const double ms = static_cast<double>(s.duration_us) / 1e3;
+    if (s.in_transition) {
+      transition_traces.insert(s.trace_id);
+      transition_ms.push_back(ms);
+    } else {
+      steady_ms.push_back(ms);
+    }
+  }
+  // Per-cause time of in-transition requests, keyed by child span kind.
+  std::map<std::string, double> cause_us;
+  double transition_total_us = 0;
+  for (const SpanRecord& s : all) {
+    if (s.kind == SpanKind::kRequest || s.parent_id == 0) continue;
+    if (transition_traces.count(s.trace_id) == 0) continue;
+    cause_us[std::string(span_kind_name(s.kind))] +=
+        static_cast<double>(s.duration_us);
+    transition_total_us += static_cast<double>(s.duration_us);
+  }
+
+  const auto pctile = [](std::vector<double>& v, double q) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t i = static_cast<std::size_t>(
+        q * static_cast<double>(v.size() - 1));
+    return v[i];
+  };
+  std::printf("\n# span tail attribution (Proteus scenario, sampled traces)\n");
+  std::printf("%-14s %-8s %-10s %-10s\n", "segment", "traces", "mean_ms",
+              "p99_ms");
+  const auto mean = [](const std::vector<double>& v) {
+    double sum = 0;
+    for (double x : v) sum += x;
+    return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+  };
+  std::vector<double> steady = steady_ms, trans = transition_ms;
+  std::printf("%-14s %-8zu %-10.2f %-10.2f\n", "steady", steady_ms.size(),
+              mean(steady_ms), pctile(steady, 0.99));
+  std::printf("%-14s %-8zu %-10.2f %-10.2f\n", "in-transition",
+              transition_ms.size(), mean(transition_ms), pctile(trans, 0.99));
+  if (transition_total_us > 0) {
+    std::printf("# in-transition time by cause:\n");
+    for (const auto& [kind, us] : cause_us) {
+      std::printf("#   %-16s %6.1f%%  (%.1f ms total)\n", kind.c_str(),
+                  100.0 * us / transition_total_us, us / 1e3);
+    }
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace proteus;
   using cluster::ScenarioKind;
 
+  // Sampled tracing on the Proteus scenario only: enough traces to segment
+  // the tail, small enough to leave the simulation's timing untouched.
+  obs::SpanCollector spans(/*capacity=*/1u << 18, /*sample_every=*/8);
   std::vector<cluster::ScenarioResult> results;
   for (ScenarioKind kind : {ScenarioKind::kStatic, ScenarioKind::kNaive,
                             ScenarioKind::kConsistent, ScenarioKind::kProteus}) {
-    results.push_back(
-        cluster::run_scenario(cluster::default_experiment_config(kind)));
+    cluster::ScenarioConfig cfg = cluster::default_experiment_config(kind);
+    if (kind == ScenarioKind::kProteus) cfg.web.spans = &spans;
+    results.push_back(cluster::run_scenario(cfg));
     std::fprintf(stderr, "ran %s: %llu requests\n",
                  results.back().name.c_str(),
                  static_cast<unsigned long long>(results.back().total_requests));
@@ -52,5 +125,6 @@ int main() {
                 static_cast<double>(r.db_queries) / 1e3);
   }
   std::printf("# expected shape: max_p999 Naive >> Consistent > Proteus ~ Static\n");
+  print_tail_attribution(spans);
   return 0;
 }

@@ -1,0 +1,170 @@
+// Microbenchmarks — per-request tracing hot-path overhead (obs/span.h).
+//
+// The acceptance budget for this layer: with sampling DISABLED
+// (sample_every = 0) the per-request cost is one relaxed atomic load plus a
+// compare — <= 5 ns on any modern core. The off-path benchmarks pin that
+// number; the on-path ones price what a sampled request actually pays
+// (id allocation, child emission into the ring, the JSON render a scraper
+// triggers). Results are recorded in EXPERIMENTS.md and exported to
+// BENCH_obs.json by scripts/bench_json.sh.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "obs/span.h"
+
+namespace {
+
+using namespace proteus;
+using namespace proteus::obs;
+
+// --- the off path: sampling disabled ----------------------------------------
+
+// THE acceptance number: should_sample() with collection off. One relaxed
+// load + compare against zero; budget <= 5 ns/op.
+void BM_SpanShouldSampleDisabled(benchmark::State& state) {
+  SpanCollector spans(1024, /*sample_every=*/0);
+  bool sampled = false;
+  for (auto _ : state) {
+    sampled = spans.should_sample();
+    benchmark::DoNotOptimize(sampled);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanShouldSampleDisabled);
+
+// What an instrumented request path pays when unsampled: TraceContext::begin
+// returns an inactive context and every child()/finish() short-circuits on
+// active(). No clock reads, no allocation.
+void BM_TraceContextUnsampled(benchmark::State& state) {
+  SpanCollector spans(1024, /*sample_every=*/0);
+  SimTime t = 0;
+  for (auto _ : state) {
+    TraceContext ctx = TraceContext::begin(&spans, ++t);
+    if (ctx.active()) {
+      ctx.child(t, SpanKind::kCacheGet, 0, SpanCause::kHit, "k");
+    }
+    ctx.finish(t, t, "k");
+    benchmark::DoNotOptimize(ctx.trace_id);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceContextUnsampled);
+
+// 1-in-N sampling with every request missing the sample: the common case
+// on a production path (fetch_add + modulo, no recording).
+void BM_SpanShouldSampleOneInN(benchmark::State& state) {
+  SpanCollector spans(1024, /*sample_every=*/1024);
+  bool sampled = false;
+  for (auto _ : state) {
+    sampled = spans.should_sample();
+    benchmark::DoNotOptimize(sampled);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanShouldSampleOneInN);
+
+// --- the on path: a sampled request -----------------------------------------
+
+void BM_SpanClockNow(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(span_clock_now());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanClockNow);
+
+void BM_SpanRecord(benchmark::State& state) {
+  SpanCollector spans(8192, /*sample_every=*/1);
+  SpanRecord s;
+  s.trace_id = 1;
+  s.span_id = 2;
+  s.parent_id = 1;
+  s.kind = SpanKind::kCacheGet;
+  s.cause = SpanCause::kHit;
+  s.key = "page:12345";
+  SimTime t = 0;
+  for (auto _ : state) {
+    s.start_us = ++t;
+    s.duration_us = 7;
+    spans.record(s);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanRecord);
+
+void BM_SpanRecordContended(benchmark::State& state) {
+  static SpanCollector spans(8192, /*sample_every=*/1);
+  SpanRecord s;
+  s.trace_id = 1;
+  s.span_id = 2;
+  s.parent_id = 1;
+  s.kind = SpanKind::kCacheGet;
+  s.key = "page:12345";
+  for (auto _ : state) {
+    spans.record(s);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpanRecordContended)->Threads(4);
+
+// A full sampled trace as the client emits it: root begin, four tiled
+// children, finish (which adds the closing respond child + root record).
+void BM_TraceFullRequest(benchmark::State& state) {
+  SpanCollector spans(1u << 16, /*sample_every=*/1);
+  SimTime t = 0;
+  for (auto _ : state) {
+    const SimTime start = ++t;
+    TraceContext ctx = TraceContext::begin(&spans, start);
+    ctx.in_transition = true;
+    ctx.child(++t, SpanKind::kRoute);
+    ctx.child(++t, SpanKind::kDigestConsult, 1, SpanCause::kDigestHot, "k");
+    ctx.child(++t, SpanKind::kMigrationFetch, 0, SpanCause::kHit, "page:12");
+    ctx.child(++t, SpanKind::kMigrationStore, 1, SpanCause::kStored,
+              "page:12");
+    ctx.root_cause = SpanCause::kOldHit;
+    ctx.finish(++t, start, "page:12");
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceFullRequest);
+
+// The wire-token codec both protocol ends pay per traced text command.
+void BM_TraceTokenRoundTrip(benchmark::State& state) {
+  std::uint64_t id = 0x00f3a2b1c4d5e6f7ull;
+  for (auto _ : state) {
+    const std::string token = encode_trace_token(id);
+    std::uint64_t back = 0;
+    const bool ok = decode_trace_token(token, back);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceTokenRoundTrip);
+
+// The cold path a `GET /spans` scrape triggers: snapshot + JSONL render of
+// a full ring.
+void BM_SpansJsonlRender(benchmark::State& state) {
+  SpanCollector spans(4096, /*sample_every=*/1);
+  for (int i = 0; i < 4096; ++i) {
+    SpanRecord s;
+    s.trace_id = static_cast<std::uint64_t>(i / 4 + 1);
+    s.span_id = static_cast<std::uint64_t>(i + 1);
+    s.parent_id = i % 4 == 0 ? 0 : static_cast<std::uint64_t>(i / 4 + 1);
+    s.kind = i % 4 == 0 ? SpanKind::kRequest : SpanKind::kCacheGet;
+    s.start_us = i;
+    s.duration_us = 42;
+    s.server = i % 8;
+    s.cause = SpanCause::kHit;
+    s.key = "page:" + std::to_string(i);
+    spans.record(std::move(s));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spans.jsonl());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpansJsonlRender);
+
+}  // namespace

@@ -5,10 +5,18 @@
 //
 // Observability demo: a shared obs::TraceRing collects the transition's
 // full lifecycle — digest fetches, per-key on-demand migrations, digest
-// false positives, TTL expiries on the daemons — and the run ends by
-// printing the JSONL timeline plus a `stats proteus` wire sample.
+// false positives, TTL expiries on the daemons — while an obs::SpanCollector
+// traces every get end to end (trace context rides the wire, so the daemons'
+// server-side spans correlate by id). The run ends by printing the JSONL
+// timeline plus a `stats proteus` wire sample.
+//
+// With --dump-dir=DIR the run also writes its observability surfaces to
+// files (metrics.prom, trace.jsonl, spans.jsonl) — what CI uploads as the
+// smoke job's artifacts, and what `proteus-spans --file=DIR/spans.jsonl`
+// analyzes offline.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -17,15 +25,40 @@
 
 #include "client/memcache_client.h"
 #include "net/memcache_daemon.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
-int main() {
+namespace {
+
+bool write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace proteus;
+
+  std::string dump_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dump-dir=", 11) == 0) {
+      dump_dir = argv[i] + 11;
+    } else {
+      std::fprintf(stderr, "usage: live_fleet [--dump-dir=DIR]\n");
+      return 2;
+    }
+  }
 
   // One ring shared by the daemons (TTL expiry events) and the client
   // (transition lifecycle) — every emitter timestamps with the same
   // monotonic wall clock, so the timeline is coherent.
   obs::TraceRing ring(8192);
+  // Every request traced (the demo is tiny); production would sample.
+  obs::SpanCollector spans(1u << 15, /*sample_every=*/1);
 
   // -- boot a fleet of three daemons on ephemeral loopback ports ------------
   std::vector<std::unique_ptr<net::MemcacheDaemon>> daemons;
@@ -42,6 +75,7 @@ int main() {
       std::fprintf(stderr, "failed to start daemon %d\n", i);
       return 1;
     }
+    daemons.back()->set_server_id(i);
     ports.push_back(daemons.back()->port());
     threads.emplace_back([d = daemons.back().get()] { d->run(); });
     std::printf("daemon %d listening on 127.0.0.1:%u\n", i, ports.back());
@@ -53,6 +87,7 @@ int main() {
   opt.endpoints = ports;
   opt.ttl = 5 * kSecond;
   opt.trace = &ring;
+  opt.spans = &spans;
   client::ProteusClient web(opt, [&](std::string_view key) {
     ++db_queries;
     return "row-for-" + std::string(key);
@@ -140,8 +175,51 @@ int main() {
     }
   }
 
+  // -- per-request span summary ---------------------------------------------
+  std::uint64_t traced = 0, in_transition = 0;
+  std::map<std::string_view, std::uint64_t> span_kinds;
+  for (const obs::SpanRecord& s : spans.snapshot()) {
+    if (s.kind == obs::SpanKind::kRequest) {
+      ++traced;
+      if (s.in_transition) ++in_transition;
+    } else {
+      ++span_kinds[span_kind_name(s.kind)];
+    }
+  }
+  std::printf("\nspans: %llu traced requests (%llu in-transition), children:",
+              static_cast<unsigned long long>(traced),
+              static_cast<unsigned long long>(in_transition));
+  for (const auto& [kind, count] : span_kinds) {
+    std::printf(" %.*s=%llu", static_cast<int>(kind.size()), kind.data(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\n");
+
   for (auto& d : daemons) d->stop();
   for (auto& t : threads) t.join();
   std::printf("fleet shut down cleanly\n");
+
+  // -- artifact dump (CI uploads these) -------------------------------------
+  if (!dump_dir.empty()) {
+    std::string metrics;
+    for (int i = 0; i < 3; ++i) {
+      metrics += "# daemon " + std::to_string(i) + "\n";
+      metrics += daemons[static_cast<std::size_t>(i)]->metrics_text();
+    }
+    // One spans file: the client's trees plus every daemon's server-side
+    // spans — the same trace ids, so proteus-spans correlates them.
+    std::string span_jsonl = spans.jsonl();
+    for (const auto& d : daemons) span_jsonl += d->spans().jsonl();
+    const bool ok = write_file(dump_dir + "/metrics.prom", metrics) &&
+                    write_file(dump_dir + "/trace.jsonl", ring.jsonl()) &&
+                    write_file(dump_dir + "/spans.jsonl", span_jsonl);
+    if (!ok) {
+      std::fprintf(stderr, "failed to write artifacts to %s\n",
+                   dump_dir.c_str());
+      return 1;
+    }
+    std::printf("wrote metrics.prom, trace.jsonl, spans.jsonl to %s\n",
+                dump_dir.c_str());
+  }
   return 0;
 }

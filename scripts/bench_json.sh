@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Observability benchmark export: runs the obs micro-benchmarks
+# (micro_metrics + micro_spans) with Google Benchmark's JSON reporter and
+# merges them into one machine-readable artifact, BENCH_obs.json:
+#
+#   { "micro_metrics": {...}, "micro_spans": {...} }
+#
+# Also checks the span layer's acceptance budget — should_sample() with
+# sampling disabled must cost <= 5 ns/op (BM_SpanShouldSampleDisabled).
+# The check warns by default; pass --enforce to fail the script on a miss
+# (CI uses warn-only: shared runners make single-digit-ns numbers noisy).
+#
+#   scripts/bench_json.sh [--build-dir=build] [--out=BENCH_obs.json] [--enforce]
+set -euo pipefail
+
+BUILD_DIR="build"
+OUT="BENCH_obs.json"
+ENFORCE=0
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#*=}" ;;
+    --out=*)       OUT="${arg#*=}" ;;
+    --enforce)     ENFORCE=1 ;;
+    *) echo "usage: scripts/bench_json.sh [--build-dir=D] [--out=F] [--enforce]" >&2
+       exit 2 ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+for bin in micro_metrics micro_spans; do
+  if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
+    echo "bench_json.sh: $BUILD_DIR/bench/$bin not built" >&2
+    echo "  (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== micro_metrics =="
+"$BUILD_DIR/bench/micro_metrics" \
+  --benchmark_out="$TMP/micro_metrics.json" --benchmark_out_format=json
+echo "== micro_spans =="
+"$BUILD_DIR/bench/micro_spans" \
+  --benchmark_out="$TMP/micro_spans.json" --benchmark_out_format=json
+
+# Merge: each binary's report becomes one top-level key. Both inputs are
+# complete JSON objects, so wrapping them keeps the artifact valid JSON
+# without needing jq in the image.
+{
+  printf '{\n"micro_metrics":\n'
+  cat "$TMP/micro_metrics.json"
+  printf ',\n"micro_spans":\n'
+  cat "$TMP/micro_spans.json"
+  printf '}\n'
+} > "$OUT"
+echo "wrote $OUT"
+
+# Budget gate: BM_SpanShouldSampleDisabled real_time must be <= 5 ns. The
+# reporter emits one object per benchmark; pull the first real_time after
+# the matching name (time_unit for these benchmarks is ns).
+BUDGET_NS=5
+MEASURED="$(awk '
+  /"name": "BM_SpanShouldSampleDisabled"/ { inbench = 1 }
+  inbench && /"real_time":/ {
+    gsub(/[^0-9.eE+-]/, "", $2); print $2; exit
+  }' "$TMP/micro_spans.json")"
+if [[ -z "$MEASURED" ]]; then
+  echo "bench_json.sh: could not extract BM_SpanShouldSampleDisabled" >&2
+  exit 1
+fi
+echo "span off-path cost (sampling disabled): ${MEASURED} ns/op (budget ${BUDGET_NS} ns)"
+OVER="$(awk -v m="$MEASURED" -v b="$BUDGET_NS" 'BEGIN { print (m > b) ? 1 : 0 }')"
+if [[ "$OVER" == "1" ]]; then
+  echo "WARNING: span off-path cost exceeds the ${BUDGET_NS} ns budget" >&2
+  [[ "$ENFORCE" == "1" ]] && exit 1
+fi
+exit 0

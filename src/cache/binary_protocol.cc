@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "common/check.h"
+#include "obs/span.h"
 
 namespace proteus::cache {
 
@@ -119,11 +120,37 @@ std::string BinaryProtocolSession::feed(std::string_view bytes, SimTime now) {
   buffer_.append(bytes);
   std::string out;
   for (;;) {
+    const SimTime parse_start = spans_ != nullptr ? obs::span_clock_now() : 0;
     std::size_t consumed = 0;
     auto frame = binary::decode_frame(buffer_, consumed);
     if (!frame.has_value()) break;
     buffer_.erase(0, consumed);
+    // The opaque field doubles as the (32-bit) wire trace id.
+    const std::uint64_t tid = spans_ != nullptr ? frame->opaque : 0;
+    if (tid != 0) {
+      last_trace_id_ = tid;
+      obs::SpanRecord s;
+      s.trace_id = tid;
+      s.span_id = spans_->next_id();
+      s.kind = obs::SpanKind::kServerParse;
+      s.start_us = parse_start;
+      s.duration_us = obs::span_clock_now() - parse_start;
+      s.server = server_id_;
+      spans_->record(std::move(s));
+    }
+    const SimTime op_start = tid != 0 ? obs::span_clock_now() : 0;
     out += handle(*frame, now);
+    if (tid != 0) {
+      obs::SpanRecord s;
+      s.trace_id = tid;
+      s.span_id = spans_->next_id();
+      s.kind = obs::SpanKind::kServerOp;
+      s.start_us = op_start;
+      s.duration_us = obs::span_clock_now() - op_start;
+      s.server = server_id_;
+      s.key = frame->key;
+      spans_->record(std::move(s));
+    }
     if (closed_) break;
   }
   return out;

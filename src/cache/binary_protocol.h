@@ -18,6 +18,13 @@
 // The reserved digest keys (SET_BLOOM_FILTER / BLOOM_FILTER) work through
 // binary GET exactly as through text GET, so a binary client can drive the
 // §IV digest broadcast unmodified.
+//
+// Trace-context extension (src/obs/span.h): the 4-byte `opaque` header
+// field — which this session already echoes verbatim — doubles as the wire
+// trace id (truncated to 32 bits). A session given a SpanCollector records
+// server-side parse/op spans for frames with a nonzero opaque; stock
+// clients that use opaque for their own correlation are unaffected (the
+// echo contract is unchanged), they merely produce spans they never read.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +34,10 @@
 
 #include "cache/cache_server.h"
 #include "common/time.h"
+
+namespace proteus::obs {
+class SpanCollector;
+}  // namespace proteus::obs
 
 namespace proteus::cache {
 
@@ -96,12 +107,23 @@ std::uint64_t get_u64(std::string_view bytes, std::size_t offset);
 
 class BinaryProtocolSession {
  public:
-  explicit BinaryProtocolSession(CacheServer& server) : server_(server) {}
+  // `spans` (optional) records server-side parse/op spans for frames whose
+  // opaque field carries a trace id; `server_id` tags them with this
+  // daemon's fleet index (-1 = unknown). Both must outlive the session.
+  explicit BinaryProtocolSession(CacheServer& server,
+                                 obs::SpanCollector* spans = nullptr,
+                                 int server_id = -1)
+      : server_(server), spans_(spans), server_id_(server_id) {}
 
   // Feeds raw bytes; returns any complete response frames.
   std::string feed(std::string_view bytes, SimTime now);
 
   bool closed() const noexcept { return closed_; }
+
+  // Trace id (32-bit, from the opaque field) of the most recent frame that
+  // carried one; 0 = none yet. The daemon reads this after feed() to
+  // correlate its lock-wait span.
+  std::uint64_t last_trace_id() const noexcept { return last_trace_id_; }
 
  private:
   std::string handle(const binary::Frame& request, SimTime now);
@@ -110,6 +132,9 @@ class BinaryProtocolSession {
                       std::string value = {}, std::uint64_t cas = 0) const;
 
   CacheServer& server_;
+  obs::SpanCollector* spans_ = nullptr;
+  int server_id_ = -1;
+  std::uint64_t last_trace_id_ = 0;
   std::string buffer_;
   bool closed_ = false;
 };

@@ -4,6 +4,7 @@
 #include <charconv>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace proteus::cache {
 
@@ -49,6 +50,16 @@ bool consume_noreply(std::vector<std::string_view>& tokens,
   return false;
 }
 
+// Strips a trailing O<hex64> trace token (always the last token on the
+// line; instrumented clients append it after noreply). Leaves the token
+// list untouched when the tail is anything else — including keys that
+// merely start with 'O'.
+void consume_trace_token(std::vector<std::string_view>& tokens,
+                         TextCommand& cmd) {
+  if (tokens.size() < 2) return;
+  if (obs::decode_trace_token(tokens.back(), cmd.trace_id)) tokens.pop_back();
+}
+
 }  // namespace
 
 TextCommand parse_command_line(std::string_view line) {
@@ -58,6 +69,7 @@ TextCommand parse_command_line(std::string_view line) {
   const std::string_view verb = tokens[0];
 
   if (verb == "get" || verb == "gets") {
+    consume_trace_token(tokens, cmd);
     if (tokens.size() < 2) return cmd;
     for (std::size_t i = 1; i < tokens.size(); ++i) {
       if (!valid_key(tokens[i])) return cmd;
@@ -68,6 +80,7 @@ TextCommand parse_command_line(std::string_view line) {
   }
 
   if (verb == "set" || verb == "add" || verb == "replace") {
+    consume_trace_token(tokens, cmd);
     cmd.noreply = consume_noreply(tokens, 5);
     if (tokens.size() != 5 || !valid_key(tokens[1])) return cmd;
     if (!parse_number(tokens[2], cmd.flags) ||
@@ -83,6 +96,7 @@ TextCommand parse_command_line(std::string_view line) {
   }
 
   if (verb == "delete") {
+    consume_trace_token(tokens, cmd);
     cmd.noreply = consume_noreply(tokens, 2);
     if (tokens.size() != 2 || !valid_key(tokens[1])) return cmd;
     cmd.keys.emplace_back(tokens[1]);
@@ -183,58 +197,103 @@ std::string TextProtocolSession::feed(std::string_view bytes, SimTime now) {
 
 std::string TextProtocolSession::handle_line(std::string_view line,
                                              SimTime now) {
+  const SimTime parse_start = spans_ != nullptr ? obs::span_clock_now() : 0;
   TextCommand cmd = parse_command_line(line);
+  if (cmd.trace_id != 0) last_trace_id_ = cmd.trace_id;
+  const std::uint64_t tid = spans_ != nullptr ? cmd.trace_id : 0;
+  if (tid != 0) {
+    record_server_span(tid, static_cast<int>(obs::SpanKind::kServerParse),
+                       parse_start);
+  }
+  const SimTime op_start = tid != 0 ? obs::span_clock_now() : 0;
+  std::string reply;
+  bool deferred = false;
   switch (cmd.op) {
     case TextCommand::Op::kInvalid:
-      return "ERROR\r\n";
+      reply = "ERROR\r\n";
+      break;
     case TextCommand::Op::kGet:
-      return handle_get(cmd, now);
+      reply = handle_get(cmd, now);
+      break;
     case TextCommand::Op::kSet:
     case TextCommand::Op::kAdd:
     case TextCommand::Op::kReplace:
       pending_ = std::move(cmd);
-      return {};  // reply deferred until the data block arrives
+      deferred = true;  // reply (and op span) wait for the data block
+      break;
     case TextCommand::Op::kDelete: {
       const bool deleted = server_.erase(cmd.keys[0]);
-      if (cmd.noreply) return {};
-      return deleted ? "DELETED\r\n" : "NOT_FOUND\r\n";
+      if (!cmd.noreply) reply = deleted ? "DELETED\r\n" : "NOT_FOUND\r\n";
+      break;
     }
     case TextCommand::Op::kIncr:
     case TextCommand::Op::kDecr:
-      return handle_counter(cmd, now);
+      reply = handle_counter(cmd, now);
+      break;
     case TextCommand::Op::kTouch: {
       // CacheServer's TTL is access-based; a touch is a read.
       const bool found = server_.get(cmd.keys[0], now).has_value();
-      if (cmd.noreply) return {};
-      return found ? "TOUCHED\r\n" : "NOT_FOUND\r\n";
+      if (!cmd.noreply) reply = found ? "TOUCHED\r\n" : "NOT_FOUND\r\n";
+      break;
     }
     case TextCommand::Op::kFlushAll:
       server_.flush();
-      return cmd.noreply ? std::string{} : "OK\r\n";
+      if (!cmd.noreply) reply = "OK\r\n";
+      break;
     case TextCommand::Op::kStats:
-      return handle_stats(cmd);
+      reply = handle_stats(cmd);
+      break;
     case TextCommand::Op::kVersion:
-      return "VERSION proteus-1.0\r\n";
+      reply = "VERSION proteus-1.0\r\n";
+      break;
     case TextCommand::Op::kQuit:
       closed_ = true;
-      return {};
+      break;
   }
-  return "ERROR\r\n";
+  if (tid != 0 && !deferred) {
+    record_server_span(tid, static_cast<int>(obs::SpanKind::kServerOp),
+                       op_start);
+  }
+  return reply;
 }
 
 std::string TextProtocolSession::handle_storage(const TextCommand& cmd,
                                                 std::string payload,
                                                 SimTime now) {
+  const std::uint64_t tid = spans_ != nullptr ? cmd.trace_id : 0;
+  const SimTime op_start = tid != 0 ? obs::span_clock_now() : 0;
+  std::string reply;
   const std::string& key = cmd.keys[0];
   if (key == kSetBloomFilterKey || key == kGetBloomFilterKey) {
-    return "CLIENT_ERROR reserved key\r\n";  // digest keys are read-only
+    reply = "CLIENT_ERROR reserved key\r\n";  // digest keys are read-only
+  } else if (cmd.op == TextCommand::Op::kAdd && server_.contains(key, now)) {
+    reply = "NOT_STORED\r\n";
+  } else if (cmd.op == TextCommand::Op::kReplace &&
+             !server_.contains(key, now)) {
+    reply = "NOT_STORED\r\n";
+  } else {
+    server_.set(key, std::move(payload), now, /*charge=*/0, cmd.flags);
+    reply = "STORED\r\n";
   }
-  const bool exists = server_.contains(key, now);
-  if (cmd.op == TextCommand::Op::kAdd && exists) return "NOT_STORED\r\n";
-  if (cmd.op == TextCommand::Op::kReplace && !exists) return "NOT_STORED\r\n";
+  if (tid != 0) {
+    record_server_span(tid, static_cast<int>(obs::SpanKind::kServerOp),
+                       op_start);
+  }
+  return reply;
+}
 
-  server_.set(key, std::move(payload), now, /*charge=*/0, cmd.flags);
-  return "STORED\r\n";
+void TextProtocolSession::record_server_span(std::uint64_t trace_id,
+                                             int kind_tag, SimTime start) {
+  if (spans_ == nullptr || trace_id == 0) return;
+  obs::SpanRecord s;
+  s.trace_id = trace_id;
+  s.span_id = spans_->next_id();
+  s.parent_id = 0;  // wire parent unknown; analyzer correlates by trace id
+  s.kind = static_cast<obs::SpanKind>(kind_tag);
+  s.start_us = start;
+  s.duration_us = obs::span_clock_now() - start;
+  s.server = server_id_;
+  spans_->record(std::move(s));
 }
 
 std::string TextProtocolSession::handle_get(const TextCommand& cmd,

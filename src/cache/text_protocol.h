@@ -16,6 +16,15 @@
 //   flush_all [noreply]\r\n
 //   stats [reset|proteus]\r\n   version\r\n     quit\r\n
 //
+// Trace-context extension (src/obs/span.h): get/storage/delete lines may
+// carry a trailing memcached-meta-style opaque token `O<hex64>` (exactly
+// "O" + 16 lowercase hex digits). The parser strips it into
+// TextCommand::trace_id; a stock memcached treats the token as one more
+// (always-missing) key on a get, or rejects the line harmlessly on other
+// verbs — the extension never changes what a compliant client observes.
+// When a session is given a SpanCollector, commands carrying a trace id
+// additionally record server-side parse/op spans correlated by that id.
+//
 // `stats reset` zeroes the per-server counters (memcached parity) and
 // `stats proteus` dumps the attached obs::MetricsRegistry — counters,
 // gauges, and latency quantiles — as STAT lines (docs/OPERATIONS.md
@@ -36,6 +45,7 @@
 
 namespace proteus::obs {
 class MetricsRegistry;
+class SpanCollector;
 }  // namespace proteus::obs
 
 namespace proteus::cache {
@@ -66,6 +76,9 @@ struct TextCommand {
   std::uint64_t delta = 0;      // incr/decr
   bool noreply = false;
   std::string stats_arg;        // stats subcommand ("", "reset", "proteus")
+  // Wire trace context: nonzero when the line carried a trailing O<hex64>
+  // token (stripped before key handling).
+  std::uint64_t trace_id = 0;
 };
 
 // Parses one command line (no trailing CRLF). Returns Op::kInvalid with no
@@ -78,15 +91,27 @@ class TextProtocolSession {
   // `metrics` (optional) backs the `stats proteus` extension; the registry
   // must outlive the session. Callback metrics registered there are polled
   // on the protocol thread — see the contract in obs/metrics.h.
+  // `spans` (optional) records server-side parse/op spans for commands
+  // carrying a trace token; `server_id` tags them with this daemon's fleet
+  // index (-1 = unknown). Both must outlive the session.
   explicit TextProtocolSession(CacheServer& server,
-                               const obs::MetricsRegistry* metrics = nullptr)
-      : server_(server), metrics_(metrics) {}
+                               const obs::MetricsRegistry* metrics = nullptr,
+                               obs::SpanCollector* spans = nullptr,
+                               int server_id = -1)
+      : server_(server),
+        metrics_(metrics),
+        spans_(spans),
+        server_id_(server_id) {}
 
   // Feeds raw bytes; appends any complete responses to the return value.
   // A "quit" command sets closed() and further input is ignored.
   std::string feed(std::string_view bytes, SimTime now);
 
   bool closed() const noexcept { return closed_; }
+
+  // Trace id of the most recent command that carried one (0 = none yet) —
+  // the daemon reads this after feed() to correlate its lock-wait span.
+  std::uint64_t last_trace_id() const noexcept { return last_trace_id_; }
 
  private:
   std::string handle_line(std::string_view line, SimTime now);
@@ -95,9 +120,15 @@ class TextProtocolSession {
   std::string handle_get(const TextCommand& cmd, SimTime now);
   std::string handle_counter(const TextCommand& cmd, SimTime now);
   std::string handle_stats(const TextCommand& cmd);
+  // Records a server-side span when `trace_id` is nonzero and a collector
+  // is attached; [start, span_clock_now()] on the shared steady clock.
+  void record_server_span(std::uint64_t trace_id, int kind_tag, SimTime start);
 
   CacheServer& server_;
   const obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanCollector* spans_ = nullptr;
+  int server_id_ = -1;
+  std::uint64_t last_trace_id_ = 0;
   std::string buffer_;
   bool closed_ = false;
   bool resync_ = false;  // discarding to the next CRLF after a bad chunk

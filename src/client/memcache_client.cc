@@ -40,6 +40,15 @@ constexpr std::size_t kMaxLineBytes = 64 * 1024;
 // a desynced length field, not data.
 constexpr std::size_t kMaxValueBytes = 256u << 20;
 
+obs::SpanCause cause_of(net::NetError error) noexcept {
+  switch (error) {
+    case net::NetError::kTimeout: return obs::SpanCause::kTimeout;
+    case net::NetError::kReset: return obs::SpanCause::kReset;
+    case net::NetError::kProtocol: return obs::SpanCause::kProtocolError;
+    default: return obs::SpanCause::kDown;
+  }
+}
+
 }  // namespace
 
 MemcacheConnection::MemcacheConnection(std::uint16_t port, Options options)
@@ -223,12 +232,17 @@ bool MemcacheConnection::read_exact(std::size_t n, std::string& out,
   return true;
 }
 
-std::optional<std::string> MemcacheConnection::get(std::string_view key) {
+std::optional<std::string> MemcacheConnection::get(std::string_view key,
+                                                   std::uint64_t trace_id) {
   if (!ok()) return std::nullopt;
   last_error_ = net::NetError::kNone;
   const SimTime deadline = op_deadline();
   std::string cmd = "get ";
   cmd.append(key);
+  if (trace_id != 0) {
+    cmd += ' ';
+    cmd += obs::encode_trace_token(trace_id);
+  }
   cmd += "\r\n";
   if (!send_all(cmd, deadline)) return std::nullopt;
 
@@ -273,7 +287,7 @@ std::optional<std::string> MemcacheConnection::get(std::string_view key) {
 }
 
 bool MemcacheConnection::set(std::string_view key, std::string_view value,
-                             std::uint32_t flags) {
+                             std::uint32_t flags, std::uint64_t trace_id) {
   if (!ok()) return false;
   last_error_ = net::NetError::kNone;
   const SimTime deadline = op_deadline();
@@ -283,6 +297,10 @@ bool MemcacheConnection::set(std::string_view key, std::string_view value,
   cmd += std::to_string(flags);
   cmd += " 0 ";
   cmd += std::to_string(value.size());
+  if (trace_id != 0) {
+    cmd += ' ';
+    cmd += obs::encode_trace_token(trace_id);
+  }
   cmd += "\r\n";
   cmd.append(value);
   cmd += "\r\n";
@@ -445,30 +463,53 @@ void ProteusClient::record_success(int server) {
 
 ProteusClient::FetchResult ProteusClient::cache_get(int server,
                                                     std::string_view key,
-                                                    SimTime now) {
+                                                    SimTime now,
+                                                    obs::TraceContext& ctx,
+                                                    obs::SpanKind kind) {
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) ++stats_.retries;
+    const obs::SpanKind child_kind =
+        attempt == 0 ? kind : obs::SpanKind::kRetry;
     MemcacheConnection* c = acquire(server, now);
-    if (c == nullptr) break;  // breaker open or reconnect failed
-    auto value = c->get(key);
+    if (c == nullptr) {  // breaker open or reconnect failed
+      if (ctx.active()) {
+        ctx.child(obs::span_clock_now(), child_kind, server,
+                  obs::SpanCause::kDown, key);
+      }
+      break;
+    }
+    auto value = c->get(key, ctx.trace_id);
     if (value.has_value()) {
       record_success(server);
+      if (ctx.active()) {
+        ctx.child(obs::span_clock_now(), child_kind, server,
+                  obs::SpanCause::kHit, key);
+      }
       return {FetchStatus::kHit, std::move(*value)};
     }
     if (c->last_error() == net::NetError::kNone) {
       record_success(server);
+      if (ctx.active()) {
+        ctx.child(obs::span_clock_now(), child_kind, server,
+                  obs::SpanCause::kMiss, key);
+      }
       return {FetchStatus::kMiss, {}};  // clean miss
     }
     record_failure(server, c->last_error(), now);
+    if (ctx.active()) {
+      ctx.child(obs::span_clock_now(), child_kind, server,
+                cause_of(c->last_error()), key);
+    }
   }
   return {FetchStatus::kDown, {}};
 }
 
 bool ProteusClient::cache_set(int server, std::string_view key,
-                              std::string_view value, SimTime now) {
+                              std::string_view value, SimTime now,
+                              std::uint64_t trace_id) {
   MemcacheConnection* c = acquire(server, now);
   if (c == nullptr) return false;
-  const bool stored = c->set(key, value);
+  const bool stored = c->set(key, value, 0, trace_id);
   if (c->last_error() == net::NetError::kNone) {
     record_success(server);
   } else {
@@ -537,19 +578,38 @@ void ProteusClient::tick(SimTime now) {
 
 std::string ProteusClient::get(std::string_view key, SimTime now) {
   const SimTime start_us = mono_usec();
-  std::string value = get_inner(key, now);
-  get_latency_us_.record(static_cast<double>(mono_usec() - start_us));
+  // span_clock_now() and mono_usec() read the same steady clock, so child
+  // spans tile the exact interval the latency histogram records.
+  obs::TraceContext ctx = obs::TraceContext::begin(options_.spans, start_us);
+  std::string value = get_inner(key, now, ctx);
+  const SimTime end_us = mono_usec();
+  ctx.finish(end_us, start_us, key);
+  get_latency_us_.record(static_cast<double>(end_us - start_us));
   return value;
 }
 
-std::string ProteusClient::get_inner(std::string_view key, SimTime now) {
+std::string ProteusClient::get_inner(std::string_view key, SimTime now,
+                                     obs::TraceContext& ctx) {
   tick(now);
   ++stats_.gets;
+  if (ctx.active()) {
+    ctx.in_transition = router_.in_transition();
+    ctx.child(obs::span_clock_now(), obs::SpanKind::kRoute);
+  }
   const cluster::Router::Decision d = router_.decide(key);
+  if (ctx.active() && ctx.in_transition) {
+    // decide() consulted the old mapping's digest (§IV-A); surface that
+    // step and its verdict as its own child.
+    ctx.child(obs::span_clock_now(), obs::SpanKind::kDigestConsult, d.primary,
+              d.fallback >= 0 ? obs::SpanCause::kDigestHot
+                              : obs::SpanCause::kDigestCold);
+  }
 
-  const FetchResult primary = cache_get(d.primary, key, now);
+  const FetchResult primary =
+      cache_get(d.primary, key, now, ctx, obs::SpanKind::kCacheGet);
   if (primary.status == FetchStatus::kHit) {
     ++stats_.new_server_hits;
+    ctx.root_cause = obs::SpanCause::kHit;
     return primary.value;
   }
   const bool primary_down = primary.status == FetchStatus::kDown;
@@ -558,9 +618,11 @@ std::string ProteusClient::get_inner(std::string_view key, SimTime now) {
     if (options_.replicas > 1) {
       for (int server : replica_locations(key)) {
         if (server == d.primary) continue;
-        const FetchResult r = cache_get(server, key, now);
+        const FetchResult r =
+            cache_get(server, key, now, ctx, obs::SpanKind::kFailover);
         if (r.status == FetchStatus::kHit) {
           ++stats_.failover_hits;
+          ctx.root_cause = obs::SpanCause::kFailoverHit;
           return r.value;
         }
       }
@@ -570,15 +632,21 @@ std::string ProteusClient::get_inner(std::string_view key, SimTime now) {
     ++stats_.degraded_misses;
   }
   if (d.fallback >= 0) {
-    const FetchResult old = cache_get(d.fallback, key, now);
+    const FetchResult old =
+        cache_get(d.fallback, key, now, ctx, obs::SpanKind::kMigrationFetch);
     if (old.status == FetchStatus::kHit) {
       ++stats_.old_server_hits;
       obs::emit(options_.trace, now, obs::TraceEventKind::kMigrationHit,
                 d.fallback, d.primary, old.value.size(), key);
       // Algorithm 2 line 12: migrate to the new location(s).
       for (int server : replica_locations(key)) {
-        cache_set(server, key, old.value, now);
+        cache_set(server, key, old.value, now, ctx.trace_id);
       }
+      if (ctx.active()) {
+        ctx.child(obs::span_clock_now(), obs::SpanKind::kMigrationStore,
+                  d.primary, obs::SpanCause::kStored, key);
+      }
+      ctx.root_cause = obs::SpanCause::kOldHit;
       return old.value;
     }
     if (old.status == FetchStatus::kMiss) {
@@ -592,9 +660,18 @@ std::string ProteusClient::get_inner(std::string_view key, SimTime now) {
   }
   ++stats_.backend_fetches;
   std::string value = backend_(key);
-  for (int server : replica_locations(key)) {
-    cache_set(server, key, value, now);
+  if (ctx.active()) {
+    ctx.child(obs::span_clock_now(), obs::SpanKind::kBackendFetch, -1,
+              obs::SpanCause::kBackendFill, key);
   }
+  for (int server : replica_locations(key)) {
+    cache_set(server, key, value, now, ctx.trace_id);
+  }
+  if (ctx.active()) {
+    ctx.child(obs::span_clock_now(), obs::SpanKind::kFill, d.primary,
+              obs::SpanCause::kStored, key);
+  }
+  ctx.root_cause = obs::SpanCause::kBackendFill;
   return value;
 }
 

@@ -37,6 +37,7 @@
 #include "hashring/proteus_placement.h"
 #include "net/net_error.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace proteus::client {
@@ -71,9 +72,12 @@ class MemcacheConnection {
   // unreachable" through this.
   net::NetError last_error() const noexcept { return last_error_; }
 
-  std::optional<std::string> get(std::string_view key);
+  // A nonzero `trace_id` propagates trace context to the daemon as a
+  // trailing O<hex64> token (see obs/span.h); stock servers ignore it.
+  std::optional<std::string> get(std::string_view key,
+                                 std::uint64_t trace_id = 0);
   bool set(std::string_view key, std::string_view value,
-           std::uint32_t flags = 0);
+           std::uint32_t flags = 0, std::uint64_t trace_id = 0);
   bool erase(std::string_view key);
   std::string version();
 
@@ -140,6 +144,11 @@ class ProteusClient {
     // digest_fetch/digest_skip per endpoint, migration_hit,
     // digest_false_positive, resize_end) are emitted here when set.
     obs::TraceSink* trace = nullptr;
+    // Per-request distributed tracing: sampled get()s become span trees
+    // (root + tiled per-cause children) recorded here, with trace context
+    // propagated to the daemons on the wire. Null disables tracing; the
+    // collector's sample_every controls the head-sampling rate.
+    obs::SpanCollector* spans = nullptr;
   };
 
   ProteusClient(Options options, Backend backend);
@@ -209,8 +218,9 @@ class ProteusClient {
     std::string value;
   };
 
-  // get() minus the latency-histogram envelope.
-  std::string get_inner(std::string_view key, SimTime now);
+  // get() minus the latency-histogram / trace envelope.
+  std::string get_inner(std::string_view key, SimTime now,
+                        obs::TraceContext& ctx);
 
   // Health-gated access: returns a live connection or nullptr (breaker
   // open, or reconnect failed — failure already recorded).
@@ -218,10 +228,13 @@ class ProteusClient {
   void record_failure(int server, net::NetError error, SimTime now);
   void record_success(int server);
 
-  // Wire ops with retry + health bookkeeping.
-  FetchResult cache_get(int server, std::string_view key, SimTime now);
+  // Wire ops with retry + health bookkeeping. `ctx`/`kind`: each attempt
+  // becomes a tiled child span (first attempt = `kind`, retries = kRetry)
+  // and the trace id rides the wire to the daemon.
+  FetchResult cache_get(int server, std::string_view key, SimTime now,
+                        obs::TraceContext& ctx, obs::SpanKind kind);
   bool cache_set(int server, std::string_view key, std::string_view value,
-                 SimTime now);
+                 SimTime now, std::uint64_t trace_id = 0);
   void cache_erase(int server, std::string_view key, SimTime now);
   std::optional<bloom::BloomFilter> fetch_digest(int server, SimTime now);
 

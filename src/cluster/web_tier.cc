@@ -29,15 +29,41 @@ bool WebTier::server_alive(int server) const {
   return cache_.server(server).power_state() != cache::PowerState::kOff;
 }
 
+void WebTier::trace_child(const Trace& trace, obs::SpanKind kind, int server,
+                          obs::SpanCause cause, std::string_view key) {
+  if (trace != nullptr && trace->active()) {
+    trace->child(sim_.now(), kind, server, cause, key);
+  }
+}
+
 void WebTier::handle(const std::string& key, std::function<void()> done) {
   ++stats_.requests;
   const std::size_t web = next_server_++ % queues_.size();
+  Trace trace;
+  if (config_.spans != nullptr) {
+    obs::TraceContext ctx = obs::TraceContext::begin(config_.spans, sim_.now());
+    if (ctx.active()) {
+      ctx.in_transition = routers_.front()->in_transition();
+      trace = std::make_shared<obs::TraceContext>(ctx);
+      // Close the trace when the response reaches the client: the final
+      // reply hop lands in the closing kRespond child.
+      done = [this, trace, start = sim_.now(), key,
+              done = std::move(done)]() mutable {
+        trace->finish(sim_.now(), start, key);
+        done();
+      };
+    }
+  }
   // RBE -> web hop, then servlet service, then the retrieval procedure.
-  sim_.schedule_after(config_.rbe_hop_latency, [this, web, key,
+  sim_.schedule_after(config_.rbe_hop_latency, [this, web, key, trace,
                                                 done = std::move(done)]() mutable {
+    trace_child(trace, obs::SpanKind::kHop, static_cast<int>(web));
     queues_[web]->submit(config_.service_time,
-                         [this, key, done = std::move(done)]() mutable {
-                           fetch_data(key, std::move(done));
+                         [this, web, key, trace = std::move(trace),
+                          done = std::move(done)]() mutable {
+                           trace_child(trace, obs::SpanKind::kWebService,
+                                       static_cast<int>(web));
+                           fetch_data(key, std::move(trace), std::move(done));
                          });
   });
 }
@@ -47,8 +73,10 @@ void WebTier::respond_after_hop(std::function<void()> done) {
 }
 
 // Algorithm 2: FETCH_DATA(key_d), generalized over the replica rings.
-void WebTier::fetch_data(const std::string& key, std::function<void()> done) {
-  try_ring(0, std::make_shared<std::vector<int>>(), key, std::move(done));
+void WebTier::fetch_data(const std::string& key, Trace trace,
+                         std::function<void()> done) {
+  try_ring(0, std::make_shared<std::vector<int>>(), key, std::move(trace),
+           std::move(done));
 }
 
 void WebTier::repair_and_respond(
@@ -65,7 +93,7 @@ void WebTier::repair_and_respond(
 }
 
 void WebTier::fetch_from_db(std::shared_ptr<std::vector<int>> repair,
-                            const std::string& key,
+                            const std::string& key, Trace trace,
                             std::function<void()> done) {
   // Dog-pile coalescing: if a query for this key is already in flight,
   // piggyback on it — the first fetch populates the caches, so this
@@ -74,7 +102,12 @@ void WebTier::fetch_from_db(std::shared_ptr<std::vector<int>> repair,
     auto it = inflight_db_.find(key);
     if (it != inflight_db_.end()) {
       ++stats_.coalesced_fetches;
-      it->second.push_back([this, done = std::move(done)]() mutable {
+      it->second.push_back([this, trace = std::move(trace), key,
+                            done = std::move(done)]() mutable {
+        // The wait on someone else's in-flight query is still db time.
+        trace_child(trace, obs::SpanKind::kBackendFetch, -1,
+                    obs::SpanCause::kBackendFill, key);
+        if (trace != nullptr) trace->root_cause = obs::SpanCause::kBackendFill;
         respond_after_hop(std::move(done));
       });
       return;
@@ -86,7 +119,11 @@ void WebTier::fetch_from_db(std::shared_ptr<std::vector<int>> repair,
   // database never notices the transition (§IV-A).
   ++stats_.db_fetches;
   db_.async_get(key, [this, repair = std::move(repair), key,
+                      trace = std::move(trace),
                       done = std::move(done)](std::string db_value) mutable {
+    trace_child(trace, obs::SpanKind::kBackendFetch, -1,
+                obs::SpanCause::kBackendFill, key);
+    if (trace != nullptr) trace->root_cause = obs::SpanCause::kBackendFill;
     // Populate the replica chain's primaries with the fetched value.
     for (const auto& router : routers_) {
       const int primary = router->decide(key).primary;
@@ -110,24 +147,37 @@ void WebTier::fetch_from_db(std::shared_ptr<std::vector<int>> repair,
 
 void WebTier::try_ring(std::size_t ring,
                        std::shared_ptr<std::vector<int>> repair,
-                       const std::string& key, std::function<void()> done) {
+                       const std::string& key, Trace trace,
+                       std::function<void()> done) {
   if (ring >= routers_.size()) {
-    fetch_from_db(std::move(repair), key, std::move(done));
+    fetch_from_db(std::move(repair), key, std::move(trace), std::move(done));
     return;
   }
   const Router::Decision d = routers_[ring]->decide(key);
+  // Ring 0 is the normal path; rings >= 1 are §III-E failover fetches.
+  const obs::SpanKind fetch_kind =
+      ring == 0 ? obs::SpanKind::kCacheGet : obs::SpanKind::kFailover;
   if (!server_alive(d.primary)) {
     // Crashed/powered-off ring: fail over to the next replica (§III-E).
     ++stats_.failed_server_skips;
-    try_ring(ring + 1, std::move(repair), key, std::move(done));
+    trace_child(trace, fetch_kind, d.primary, obs::SpanCause::kDown, key);
+    try_ring(ring + 1, std::move(repair), key, std::move(trace),
+             std::move(done));
     return;
   }
 
   // Line 2: data <- s_{m_{t+1}}.get(key) on this ring.
-  cache_.async_get(d.primary, key, [this, ring, d, repair = std::move(repair),
-                                    key, done = std::move(done)](
+  cache_.async_get(d.primary, key, [this, ring, d, fetch_kind,
+                                    repair = std::move(repair), key,
+                                    trace = std::move(trace),
+                                    done = std::move(done)](
                                        std::optional<std::string> value) mutable {
     if (value.has_value()) {
+      trace_child(trace, fetch_kind, d.primary, obs::SpanCause::kHit, key);
+      if (trace != nullptr) {
+        trace->root_cause = ring == 0 ? obs::SpanCause::kHit
+                                      : obs::SpanCause::kFailoverHit;
+      }
       if (ring == 0) {
         ++stats_.new_server_hits;  // line 4: found in new server
       } else {
@@ -136,10 +186,12 @@ void WebTier::try_ring(std::size_t ring,
       repair_and_respond(repair, key, *value, std::move(done));
       return;
     }
+    trace_child(trace, fetch_kind, d.primary, obs::SpanCause::kMiss, key);
 
     if (d.fallback < 0 || !server_alive(d.fallback)) {
       repair->push_back(d.primary);
-      try_ring(ring + 1, std::move(repair), key, std::move(done));
+      try_ring(ring + 1, std::move(repair), key, std::move(trace),
+               std::move(done));
       return;
     }
 
@@ -148,9 +200,15 @@ void WebTier::try_ring(std::size_t ring,
     cache_.async_get(
         d.fallback, key,
         [this, ring, d, repair = std::move(repair), key,
+         trace = std::move(trace),
          done = std::move(done)](std::optional<std::string> old_value) mutable {
           if (old_value.has_value()) {
             ++stats_.old_server_hits;
+            trace_child(trace, obs::SpanKind::kMigrationFetch, d.fallback,
+                        obs::SpanCause::kHit, key);
+            if (trace != nullptr) {
+              trace->root_cause = obs::SpanCause::kOldHit;
+            }
             // Line 12: migrate on demand (the primary is in the repair
             // set); only the FIRST request pays this hop (§IV-A prop. 1).
             repair->push_back(d.primary);
@@ -158,8 +216,11 @@ void WebTier::try_ring(std::size_t ring,
             return;
           }
           ++stats_.digest_false_positives;  // line 9: Bloom false positive
+          trace_child(trace, obs::SpanKind::kMigrationFetch, d.fallback,
+                      obs::SpanCause::kMiss, key);
           repair->push_back(d.primary);
-          try_ring(ring + 1, std::move(repair), key, std::move(done));
+          try_ring(ring + 1, std::move(repair), key, std::move(trace),
+                   std::move(done));
         });
   });
 }

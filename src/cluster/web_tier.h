@@ -25,6 +25,7 @@
 #include "cluster/router.h"
 #include "common/time.h"
 #include "db/database.h"
+#include "obs/span.h"
 #include "sim/queueing_server.h"
 #include "sim/simulation.h"
 
@@ -44,6 +45,11 @@ struct WebTierConfig {
   // into one query. Off by default — the paper's testbed did not use it —
   // and explored by bench/ablation_dogpile.
   bool coalesce_db_fetches = false;
+  // Per-request distributed tracing: sampled requests record a span tree on
+  // SIM time (hop, queue+service, per-ring cache fetches, db fetch), so
+  // fig09 can attribute response-time tails to transition mechanisms. Null
+  // disables tracing.
+  obs::SpanCollector* spans = nullptr;
 };
 
 struct WebTierStats {
@@ -96,16 +102,27 @@ class WebTier {
   int replicas() const noexcept { return static_cast<int>(routers_.size()); }
 
  private:
+  // Trace state threaded through the async retrieval chain; null whenever
+  // the request is unsampled (the common case — no allocation then).
+  using Trace = std::shared_ptr<obs::TraceContext>;
+
   bool server_alive(int server) const;
-  void fetch_data(const std::string& key, std::function<void()> respond);
+  void fetch_data(const std::string& key, Trace trace,
+                  std::function<void()> respond);
   void try_ring(std::size_t ring, std::shared_ptr<std::vector<int>> repair,
-                const std::string& key, std::function<void()> done);
+                const std::string& key, Trace trace,
+                std::function<void()> done);
   void fetch_from_db(std::shared_ptr<std::vector<int>> repair,
-                     const std::string& key, std::function<void()> done);
+                     const std::string& key, Trace trace,
+                     std::function<void()> done);
   void repair_and_respond(const std::shared_ptr<std::vector<int>>& repair,
                           const std::string& key, const std::string& value,
                           std::function<void()> done);
   void respond_after_hop(std::function<void()> done);
+  // trace->child(sim_.now(), ...) guarded on a live, sampled trace.
+  void trace_child(const Trace& trace, obs::SpanKind kind, int server = -1,
+                   obs::SpanCause cause = obs::SpanCause::kNone,
+                   std::string_view key = {});
 
   sim::Simulation& sim_;
   WebTierConfig config_;

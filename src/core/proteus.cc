@@ -43,15 +43,45 @@ void Proteus::finalize_transition() {
 }
 
 std::string Proteus::get(std::string_view key, SimTime now) {
+  // Spans use the steady clock (span_clock_now), not the caller's possibly
+  // simulated `now`, so durations are real even under a frozen SimTime.
+  const SimTime start_us =
+      options_.spans != nullptr ? obs::span_clock_now() : 0;
+  obs::TraceContext ctx = obs::TraceContext::begin(options_.spans, start_us);
+  std::string value = get_inner(key, now, ctx);
+  ctx.finish(obs::span_clock_now(), start_us, key);
+  return value;
+}
+
+std::string Proteus::get_inner(std::string_view key, SimTime now,
+                               obs::TraceContext& ctx) {
   tick(now);
   ++stats_.gets;
+  if (ctx.active()) {
+    ctx.in_transition = router_.in_transition();
+    ctx.child(obs::span_clock_now(), obs::SpanKind::kRoute);
+  }
   const cluster::Router::Decision d = router_.decide(key);
+  if (ctx.active() && ctx.in_transition) {
+    ctx.child(obs::span_clock_now(), obs::SpanKind::kDigestConsult, d.primary,
+              d.fallback >= 0 ? obs::SpanCause::kDigestHot
+                              : obs::SpanCause::kDigestCold);
+  }
   const std::string k(key);
 
   // Algorithm 2 line 2: try the new (current) location.
   if (auto value = mutable_server(d.primary).get(k, now)) {
     ++stats_.new_server_hits;
+    if (ctx.active()) {
+      ctx.child(obs::span_clock_now(), obs::SpanKind::kCacheGet, d.primary,
+                obs::SpanCause::kHit, key);
+      ctx.root_cause = obs::SpanCause::kHit;
+    }
     return *value;
+  }
+  if (ctx.active()) {
+    ctx.child(obs::span_clock_now(), obs::SpanKind::kCacheGet, d.primary,
+              obs::SpanCause::kMiss, key);
   }
 
   // Lines 6-8: the digest marked the data hot on its old location.
@@ -60,13 +90,26 @@ std::string Proteus::get(std::string_view key, SimTime now) {
       ++stats_.old_server_hits;
       obs::emit(options_.trace, now, obs::TraceEventKind::kMigrationHit,
                 d.fallback, d.primary, value->size(), key);
+      if (ctx.active()) {
+        ctx.child(obs::span_clock_now(), obs::SpanKind::kMigrationFetch,
+                  d.fallback, obs::SpanCause::kHit, key);
+      }
       // Line 12: on-demand migration; subsequent requests hit the primary.
       mutable_server(d.primary).set(k, *value, now, charge_for(*value));
+      if (ctx.active()) {
+        ctx.child(obs::span_clock_now(), obs::SpanKind::kMigrationStore,
+                  d.primary, obs::SpanCause::kStored, key);
+        ctx.root_cause = obs::SpanCause::kOldHit;
+      }
       return *value;
     }
     ++stats_.digest_false_positives;
     obs::emit(options_.trace, now, obs::TraceEventKind::kDigestFalsePositive,
               d.fallback, d.primary, 0, key);
+    if (ctx.active()) {
+      ctx.child(obs::span_clock_now(), obs::SpanKind::kMigrationFetch,
+                d.fallback, obs::SpanCause::kMiss, key);
+    }
   } else if (router_.in_transition()) {
     // §IV-B false-negative check: the digest reported the key cold, but is
     // it actually resident on its old-mapping server? Cheap in-process
@@ -87,7 +130,16 @@ std::string Proteus::get(std::string_view key, SimTime now) {
   // Line 10: false positive or cold data — the backend is authoritative.
   ++stats_.backend_fetches;
   std::string value = backend_(key);
+  if (ctx.active()) {
+    ctx.child(obs::span_clock_now(), obs::SpanKind::kBackendFetch, -1,
+              obs::SpanCause::kBackendFill, key);
+  }
   mutable_server(d.primary).set(k, value, now, charge_for(value));
+  if (ctx.active()) {
+    ctx.child(obs::span_clock_now(), obs::SpanKind::kFill, d.primary,
+              obs::SpanCause::kStored, key);
+    ctx.root_cause = obs::SpanCause::kBackendFill;
+  }
   return value;
 }
 

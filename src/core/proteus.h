@@ -36,6 +36,7 @@
 #include "hashring/migration_plan.h"
 #include "hashring/proteus_placement.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace proteus {
@@ -54,6 +55,10 @@ struct ProteusOptions {
   // ttl_expiry (from the per-server caches), power_off, resize_end — into
   // this sink. Null disables tracing.
   obs::TraceSink* trace = nullptr;
+  // Per-request distributed tracing: sampled get()s record a span tree
+  // (root + tiled per-cause children on the steady clock) here. Null
+  // disables tracing; sample_every on the collector sets the rate.
+  obs::SpanCollector* spans = nullptr;
 };
 
 struct ProteusStats {
@@ -131,6 +136,9 @@ class Proteus {
 
  private:
   cache::CacheServer& mutable_server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
+  // get() minus the trace envelope.
+  std::string get_inner(std::string_view key, SimTime now,
+                        obs::TraceContext& ctx);
   void finalize_transition();
   std::size_t charge_for(const std::string& value) const noexcept {
     return options_.object_charge ? options_.object_charge : value.size();

@@ -21,28 +21,54 @@ class AutoProtocolHandler final : public ConnectionHandler {
  public:
   AutoProtocolHandler(cache::CacheServer& cache, std::mutex& mutex,
                       const ClockFn& clock, const obs::MetricsRegistry* metrics,
-                      obs::Histogram* op_latency)
+                      obs::Histogram* op_latency, obs::SpanCollector* spans,
+                      int server_id)
       : cache_(cache),
         mutex_(mutex),
         clock_(clock),
         metrics_(metrics),
-        op_latency_(op_latency) {}
+        op_latency_(op_latency),
+        spans_(spans),
+        server_id_(server_id) {}
 
   std::string on_data(std::string_view bytes, bool& close) override {
     if (!text_ && !binary_) {
       if (bytes.empty()) return {};
       if (static_cast<std::uint8_t>(bytes.front()) ==
           cache::binary::kRequestMagic) {
-        binary_ = std::make_unique<cache::BinaryProtocolSession>(cache_);
+        binary_ = std::make_unique<cache::BinaryProtocolSession>(
+            cache_, spans_, server_id_);
       } else {
-        text_ = std::make_unique<cache::TextProtocolSession>(cache_, metrics_);
+        text_ = std::make_unique<cache::TextProtocolSession>(
+            cache_, metrics_, spans_, server_id_);
       }
     }
     const SimTime now = clock_();
+    // The trace id a batch carries is only known once feed() parses it, so
+    // the mutex wait is timed up front and attributed afterwards to the id
+    // the batch turned out to carry (last_trace_id advances only on traced
+    // commands — an untraced batch never re-bills the previous trace).
+    const std::uint64_t tid_before = last_trace_id();
+    const SimTime lock_start = spans_ != nullptr ? obs::span_clock_now() : 0;
     std::string out;
+    SimTime lock_acquired = 0;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (spans_ != nullptr) lock_acquired = obs::span_clock_now();
       out = binary_ ? binary_->feed(bytes, now) : text_->feed(bytes, now);
+    }
+    if (spans_ != nullptr) {
+      const std::uint64_t tid = last_trace_id();
+      if (tid != 0 && tid != tid_before) {
+        obs::SpanRecord s;
+        s.trace_id = tid;
+        s.span_id = spans_->next_id();
+        s.kind = obs::SpanKind::kServerLockWait;
+        s.start_us = lock_start;
+        s.duration_us = lock_acquired - lock_start;
+        s.server = server_id_;
+        spans_->record(std::move(s));
+      }
     }
     // Recorded after the lock: the histogram has its own mutex, and the
     // measured interval covers lock wait + protocol work — the server-side
@@ -55,11 +81,19 @@ class AutoProtocolHandler final : public ConnectionHandler {
   }
 
  private:
+  std::uint64_t last_trace_id() const noexcept {
+    if (binary_) return binary_->last_trace_id();
+    if (text_) return text_->last_trace_id();
+    return 0;
+  }
+
   cache::CacheServer& cache_;
   std::mutex& mutex_;
   const ClockFn& clock_;
   const obs::MetricsRegistry* metrics_;
   obs::Histogram* op_latency_;
+  obs::SpanCollector* spans_;
+  int server_id_;
   std::unique_ptr<cache::TextProtocolSession> text_;
   std::unique_ptr<cache::BinaryProtocolSession> binary_;
 };
@@ -69,7 +103,8 @@ class AutoProtocolHandler final : public ConnectionHandler {
 std::unique_ptr<ConnectionHandler> MemcacheDaemon::make_handler() {
   std::unique_ptr<ConnectionHandler> handler =
       std::make_unique<AutoProtocolHandler>(cache_, cache_mutex_, clock_,
-                                            &metrics_, op_latency_);
+                                            &metrics_, op_latency_, &spans_,
+                                            server_id_);
   const std::lock_guard<std::mutex> lock(wrapper_mutex_);
   return wrapper_ ? wrapper_(std::move(handler)) : std::move(handler);
 }
@@ -129,6 +164,20 @@ void MemcacheDaemon::register_metrics() {
       "proteus_net_slow_reader_drops_total",
       "slow readers dropped over the outbox bound",
       [this] { return static_cast<double>(slow_reader_drops()); });
+  metrics_.counter_fn(
+      "proteus_trace_events_total", "transition trace events emitted",
+      [this] { return static_cast<double>(trace_.total_emitted()); });
+  metrics_.counter_fn(
+      "proteus_trace_dropped_total",
+      "trace events overwritten before a poller fetched them",
+      [this] { return static_cast<double>(trace_.dropped()); });
+  metrics_.counter_fn(
+      "proteus_spans_recorded_total", "server-side spans recorded",
+      [this] { return static_cast<double>(spans_.total_recorded()); });
+  metrics_.counter_fn(
+      "proteus_spans_dropped_total",
+      "spans overwritten because the collector ring was full",
+      [this] { return static_cast<double>(spans_.dropped()); });
   op_latency_ = metrics_.histogram(
       "proteus_daemon_op_latency_us",
       "server-side protocol batch service time (lock wait + cache work)");

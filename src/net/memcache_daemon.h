@@ -37,6 +37,7 @@
 #include "cache/text_protocol.h"
 #include "net/tcp_server.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace proteus::net {
@@ -92,6 +93,16 @@ class MemcacheDaemon {
   // CacheConfig::trace was set, in which case this ring stays empty).
   const obs::TraceRing& trace() const noexcept { return trace_; }
 
+  // Server-side span sink (parse / cache-lock wait / op, per traced
+  // request). The daemon never samples — spans appear whenever a request
+  // carries a trace id on the wire (see obs/span.h). Thread-safe.
+  obs::SpanCollector& spans() noexcept { return spans_; }
+  const obs::SpanCollector& spans() const noexcept { return spans_; }
+
+  // Fleet index stamped on server-side spans (-1 = standalone). Set before
+  // run(); connections accepted later pick it up.
+  void set_server_id(int id) noexcept { server_id_ = id; }
+
   int threads() const noexcept { return static_cast<int>(servers_.size()); }
   std::uint64_t connections_accepted() const noexcept;
   // Hardening counters aggregated across worker listeners.
@@ -104,6 +115,8 @@ class MemcacheDaemon {
   void register_metrics();
 
   obs::TraceRing trace_;  // must precede cache_: CacheConfig may point here
+  obs::SpanCollector spans_{/*capacity=*/16384};
+  int server_id_ = -1;
   cache::CacheServer cache_;
   mutable std::mutex cache_mutex_;  // guards cache_ across worker threads
   std::mutex wrapper_mutex_;

@@ -20,11 +20,35 @@ std::string http_response(int code, std::string_view status,
   return out;
 }
 
+// Parses the decimal value of `?since=N` (or `&since=N`) from a query
+// string; absent or malformed -> 0 (full ring).
+std::uint64_t parse_since(std::string_view query) {
+  constexpr std::string_view kKey = "since=";
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    const std::size_t amp = query.find('&', pos);
+    const std::string_view param = query.substr(
+        pos, amp == std::string_view::npos ? query.size() - pos : amp - pos);
+    if (param.substr(0, kKey.size()) == kKey) {
+      std::uint64_t v = 0;
+      for (char c : param.substr(kKey.size())) {
+        if (c < '0' || c > '9') return 0;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      return v;
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return 0;
+}
+
 class HttpHandler final : public ConnectionHandler {
  public:
   HttpHandler(const MetricsHttpServer::RenderFn& metrics,
-              const MetricsHttpServer::RenderFn& trace)
-      : metrics_(metrics), trace_(trace) {}
+              const MetricsHttpServer::SinceFn& trace,
+              const MetricsHttpServer::RenderFn& spans)
+      : metrics_(metrics), trace_(trace), spans_(spans) {}
 
   std::string on_data(std::string_view bytes, bool& close) override {
     buffer_.append(bytes);
@@ -45,9 +69,15 @@ class HttpHandler final : public ConnectionHandler {
                            "only GET is supported\n");
     }
     const std::size_t path_end = line.find(' ', 4);
-    const std::string_view path =
+    std::string_view path =
         line.substr(4, path_end == std::string_view::npos ? line.size() - 4
                                                           : path_end - 4);
+    std::string_view query;
+    const std::size_t qmark = path.find('?');
+    if (qmark != std::string_view::npos) {
+      query = path.substr(qmark + 1);
+      path = path.substr(0, qmark);
+    }
     if (path == "/metrics") {
       return http_response(200, "OK",
                            "text/plain; version=0.0.4; charset=utf-8",
@@ -58,33 +88,44 @@ class HttpHandler final : public ConnectionHandler {
         return http_response(404, "Not Found", "text/plain",
                              "trace not enabled\n");
       }
-      return http_response(200, "OK", "application/x-ndjson", trace_());
+      return http_response(200, "OK", "application/x-ndjson",
+                           trace_(parse_since(query)));
+    }
+    if (path == "/spans") {
+      if (!spans_) {
+        return http_response(404, "Not Found", "text/plain",
+                             "spans not enabled\n");
+      }
+      return http_response(200, "OK", "application/x-ndjson", spans_());
     }
     if (path == "/" || path.empty()) {
       return http_response(200, "OK", "text/plain",
                            "proteus exposition endpoint\n"
-                           "  /metrics  Prometheus text format\n"
-                           "  /trace    transition event timeline (JSONL)\n");
+                           "  /metrics        Prometheus text format\n"
+                           "  /trace?since=N  transition event timeline (JSONL)\n"
+                           "  /spans          per-request span records (JSONL)\n");
     }
     return http_response(404, "Not Found", "text/plain", "unknown path\n");
   }
 
  private:
   const MetricsHttpServer::RenderFn& metrics_;
-  const MetricsHttpServer::RenderFn& trace_;
+  const MetricsHttpServer::SinceFn& trace_;
+  const MetricsHttpServer::RenderFn& spans_;
   std::string buffer_;
 };
 
 }  // namespace
 
 MetricsHttpServer::MetricsHttpServer(std::uint16_t port, RenderFn metrics,
-                                     RenderFn trace)
+                                     SinceFn trace, RenderFn spans)
     : metrics_(std::move(metrics)),
       trace_(std::move(trace)),
+      spans_(std::move(spans)),
       server_(
           port,
           [this] {
-            return std::make_unique<HttpHandler>(metrics_, trace_);
+            return std::make_unique<HttpHandler>(metrics_, trace_, spans_);
           },
           /*reuse_port=*/false) {}
 

@@ -3,15 +3,22 @@
 // Serves exactly what a Prometheus scraper (or curl) needs and nothing
 // more:
 //
-//   GET /metrics  ->  text/plain; version=0.0.4   (render callback)
-//   GET /trace    ->  application/x-ndjson        (optional JSONL callback)
-//   GET /         ->  tiny index linking the two
+//   GET /metrics          ->  text/plain; version=0.0.4   (render callback)
+//   GET /trace[?since=N]  ->  application/x-ndjson        (optional)
+//   GET /spans            ->  application/x-ndjson        (optional)
+//   GET /                 ->  tiny index linking the three
+//
+// /trace supports incremental fetch: `?since=N` returns only events with
+// seq >= N, so a poller resumes from its last seen seq + 1 instead of
+// re-downloading the ring (and detects silent loss by watching the
+// proteus_trace_dropped_total counter on /metrics).
 //
 // The render callbacks are invoked per request on the endpoint's poll-loop
 // thread; they must be safe to call concurrently with the daemon's workers
-// (MemcacheDaemon::metrics_text() and obs::TraceRing::jsonl() both are).
-// Every response closes the connection — scrape clients reconnect, which
-// keeps the handler stateless and immune to request pipelining concerns.
+// (MemcacheDaemon::metrics_text(), obs::TraceRing::jsonl_since(), and
+// obs::SpanCollector::jsonl() all are). Every response closes the
+// connection — scrape clients reconnect, which keeps the handler stateless
+// and immune to request pipelining concerns.
 #pragma once
 
 #include <cstdint>
@@ -25,11 +32,15 @@ namespace proteus::net {
 class MetricsHttpServer {
  public:
   using RenderFn = std::function<std::string()>;
+  // Incremental renderer: argument is the `since` sequence number (0 when
+  // the query string omits it).
+  using SinceFn = std::function<std::string(std::uint64_t)>;
 
   // Binds 127.0.0.1:`port` (0 = ephemeral); check ok(). `metrics` backs
-  // GET /metrics; `trace` (optional) backs GET /trace.
+  // GET /metrics; `trace` (optional) backs GET /trace[?since=N]; `spans`
+  // (optional) backs GET /spans.
   MetricsHttpServer(std::uint16_t port, RenderFn metrics,
-                    RenderFn trace = nullptr);
+                    SinceFn trace = nullptr, RenderFn spans = nullptr);
 
   bool ok() const noexcept { return server_.ok(); }
   std::uint16_t port() const noexcept { return server_.port(); }
@@ -40,7 +51,8 @@ class MetricsHttpServer {
 
  private:
   RenderFn metrics_;
-  RenderFn trace_;
+  SinceFn trace_;
+  RenderFn spans_;
   TcpServer server_;
 };
 

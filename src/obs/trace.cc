@@ -107,9 +107,22 @@ std::vector<TraceEvent> TraceRing::snapshot() const {
   return out;
 }
 
-std::string TraceRing::jsonl() const {
+std::vector<TraceEvent> TraceRing::snapshot_since(
+    std::uint64_t since_seq) const {
+  std::vector<TraceEvent> out = snapshot();
+  // Events are in seq order; drop the prefix below the requested seq.
+  const auto first = std::find_if(
+      out.begin(), out.end(),
+      [since_seq](const TraceEvent& e) { return e.seq >= since_seq; });
+  out.erase(out.begin(), first);
+  return out;
+}
+
+std::string TraceRing::jsonl() const { return jsonl_since(0); }
+
+std::string TraceRing::jsonl_since(std::uint64_t since_seq) const {
   std::string out;
-  for (const TraceEvent& e : snapshot()) {
+  for (const TraceEvent& e : snapshot_since(since_seq)) {
     out += to_json(e);
     out += '\n';
   }

@@ -80,8 +80,13 @@ class TraceRing final : public TraceSink {
 
   // Retained events in emission (sequence) order.
   std::vector<TraceEvent> snapshot() const;
-  // snapshot() rendered one JSON object per line.
+  // Retained events with seq >= since_seq — the incremental-fetch primitive
+  // behind `GET /trace?since=N` (a poller resumes from last_seq + 1 and
+  // compares against dropped() to detect silent loss).
+  std::vector<TraceEvent> snapshot_since(std::uint64_t since_seq) const;
+  // snapshot()/snapshot_since() rendered one JSON object per line.
   std::string jsonl() const;
+  std::string jsonl_since(std::uint64_t since_seq) const;
 
   std::uint64_t total_emitted() const;
   // Events overwritten because the ring was full.

@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <iterator>
+#include <set>
 #include <string>
 
 #include "cache/text_protocol.h"
 #include "common/rng.h"
 #include "core/proteus.h"
+#include "obs/span.h"
 
 namespace proteus {
 namespace {
@@ -126,6 +129,139 @@ TEST_P(FacadeFuzz, NeverServesStaleDataAcrossRandomResizes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FacadeFuzz,
                          ::testing::Values(2ull, 42ull, 777ull, 123456ull));
+
+// --- trace-token decoder: arbitrary bytes, exact-shape acceptance ------------
+
+TEST(TraceTokenDecodeFuzz, ArbitraryStringsMatchTheShapeCheck) {
+  // The decoder must accept EXACTLY "O" + 16 lowercase hex digits and
+  // nothing else — cross-checked against an independent shape predicate on
+  // 20k random strings drawn from a hostile charset.
+  const std::string charset = "0123456789abcdefABCDEFOXo \t\r\n\\\"{}";
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    std::string s;
+    const std::size_t len = rng.next_below(24);
+    for (std::size_t b = 0; b < len; ++b) {
+      s += charset[rng.next_below(charset.size())];
+    }
+    if (rng.next_below(4) == 0 && !s.empty()) s[0] = 'O';  // bias the prefix
+    bool shape = s.size() == 17 && s[0] == 'O';
+    if (shape) {
+      for (std::size_t b = 1; b < s.size(); ++b) {
+        const char c = s[b];
+        shape &= (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+      }
+    }
+    std::uint64_t out = 0;
+    EXPECT_EQ(obs::decode_trace_token(s, out), shape) << "input: " << s;
+  }
+  // And the codec round-trips random ids.
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = rng.next_u64() | 1;  // nonzero
+    std::uint64_t back = 0;
+    ASSERT_TRUE(obs::decode_trace_token(obs::encode_trace_token(id), back));
+    EXPECT_EQ(back, id);
+  }
+}
+
+// --- text protocol: O-tokens are invisible to the reply stream ---------------
+
+class TraceTokenProtocolFuzz : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(TraceTokenProtocolFuzz, TokenedScriptMatchesUntokenedReplies) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  // Invalid token-like strings: stock keys to our parser (and to stock
+  // memcached), so appending one to a `get` must not change the reply.
+  const std::string invalid[] = {
+      "O123", "Oscar", "O00000000DEADBEEF", "X0000000000000001",
+      "O000000000000000g", "O00000000000000012",
+  };
+
+  // Two scripts built in lockstep: `tokened` carries trace tokens,
+  // `reference` is the protocol-equivalent without valid tokens (invalid
+  // ones stay — they are ordinary never-stored keys). Their reply streams
+  // must be byte-identical, and the tokened session must record server
+  // spans for exactly the valid ids.
+  std::string tokened, reference;
+  std::set<std::uint64_t> expected_ids;
+  for (int i = 0; i < 400; ++i) {
+    const std::string key = "k" + std::to_string(rng.next_below(40));
+    std::string tok;       // appended to the tokened script only
+    std::string keep_tok;  // appended to BOTH (invalid -> plain key)
+    const auto choice = rng.next_below(3);
+    if (choice == 0) {
+      const std::uint64_t id = rng.next_u64() | 1;
+      tok = " " + obs::encode_trace_token(id);
+      expected_ids.insert(id);
+    } else if (choice == 1) {
+      keep_tok = " " + invalid[rng.next_below(std::size(invalid))];
+    }
+    switch (rng.next_below(4)) {
+      case 0: {
+        const auto len = static_cast<std::size_t>(rng.next_below(32));
+        const std::string payload(len, 'x');
+        const std::string head = "set " + key + " 0 0 " +
+                                 std::to_string(len);
+        // Invalid tokens would change `set` arity on a stock parser, so
+        // only valid (strippable) tokens ride storage commands.
+        tokened += head + tok + "\r\n" + payload + "\r\n";
+        reference += head + "\r\n" + payload + "\r\n";
+        break;
+      }
+      case 1:
+        tokened += "get " + key + tok + keep_tok + "\r\n";
+        reference += "get " + key + keep_tok + "\r\n";
+        break;
+      case 2:
+        tokened += "gets " + key + tok + keep_tok + "\r\n";
+        reference += "gets " + key + keep_tok + "\r\n";
+        break;
+      case 3:
+        tokened += "delete " + key + tok + "\r\n";
+        reference += "delete " + key + "\r\n";
+        break;
+    }
+  }
+
+  const auto run = [&](const std::string& wire, obs::SpanCollector* spans,
+                       std::size_t max_chunk) {
+    cache::CacheConfig cfg;
+    cfg.memory_budget_bytes = 4 << 20;
+    cache::CacheServer server(cfg);
+    cache::TextProtocolSession session(server, nullptr, spans, /*server_id=*/3);
+    std::string out;
+    Rng chunk_rng(seed ^ max_chunk);
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t n = std::min<std::size_t>(
+          wire.size() - pos, 1 + chunk_rng.next_below(max_chunk));
+      out += session.feed(std::string_view(wire).substr(pos, n), 0);
+      pos += n;
+    }
+    return out;
+  };
+
+  obs::SpanCollector spans(1u << 14, /*sample_every=*/1);
+  const std::string tokened_out = run(tokened, &spans, tokened.size());
+  EXPECT_EQ(tokened_out, run(reference, nullptr, reference.size()));
+  // Token stripping must survive TCP segmentation too.
+  EXPECT_EQ(run(tokened, nullptr, 1), tokened_out);
+  EXPECT_EQ(run(tokened, nullptr, 7), tokened_out);
+
+  std::set<std::uint64_t> seen_ids;
+  for (const obs::SpanRecord& s : spans.snapshot()) {
+    EXPECT_EQ(s.server, 3);
+    seen_ids.insert(s.trace_id);
+  }
+  EXPECT_EQ(seen_ids, expected_ids)
+      << "server spans must appear for exactly the valid trace tokens";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceTokenProtocolFuzz,
+                         ::testing::Values(5ull, 404ull, 31337ull));
 
 }  // namespace
 }  // namespace proteus

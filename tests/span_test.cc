@@ -1,0 +1,366 @@
+// Per-request distributed tracing (obs/span.h): the token codec, the
+// tiling invariant, the collector ring — and the end-to-end guarantee the
+// layer exists for: on a LIVE fleet, through a provisioning resize, under
+// fault injection, every sampled get() yields a complete span tree whose
+// per-cause child durations sum to the end-to-end latency (±1%), with the
+// trace id propagated to the daemons over the wire.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/memcache_client.h"
+#include "net/fault_injector.h"
+#include "net/memcache_daemon.h"
+#include "obs/span.h"
+
+namespace proteus::obs {
+namespace {
+
+// --- wire token codec --------------------------------------------------------
+
+TEST(TraceToken, RoundTripsEveryShape) {
+  for (std::uint64_t id : {std::uint64_t{1}, std::uint64_t{0xdeadbeefULL},
+                           ~std::uint64_t{0}}) {
+    const std::string token = encode_trace_token(id);
+    ASSERT_EQ(token.size(), 17u);
+    EXPECT_EQ(token.front(), 'O');
+    std::uint64_t back = 0;
+    ASSERT_TRUE(decode_trace_token(token, back)) << token;
+    EXPECT_EQ(back, id);
+  }
+}
+
+TEST(TraceToken, RejectsEverythingThatIsNotAToken) {
+  std::uint64_t out = 7;
+  // Ordinary keys that merely start with 'O'.
+  EXPECT_FALSE(decode_trace_token("Oscar", out));
+  EXPECT_FALSE(decode_trace_token("O", out));
+  // Wrong length.
+  EXPECT_FALSE(decode_trace_token("O123", out));
+  EXPECT_FALSE(decode_trace_token("O00000000000000001", out));
+  // Uppercase hex is a key, not a token (encode emits lowercase only).
+  EXPECT_FALSE(decode_trace_token("O00000000DEADBEEF", out));
+  // Right length, wrong prefix.
+  EXPECT_FALSE(decode_trace_token("X0000000000000001", out));
+  EXPECT_EQ(out, 7u) << "failed decode must not touch the output";
+}
+
+// --- the tiling invariant ----------------------------------------------------
+
+TEST(TraceContext, ChildrenTileTheRootExactly) {
+  SpanCollector spans(64, /*sample_every=*/1);
+  TraceContext ctx = TraceContext::begin(&spans, 1000);
+  ASSERT_TRUE(ctx.active());
+  ctx.in_transition = true;
+  ctx.child(1010, SpanKind::kRoute);
+  ctx.child(1030, SpanKind::kDigestConsult, 2, SpanCause::kDigestHot, "k");
+  ctx.child(1100, SpanKind::kMigrationFetch, 1, SpanCause::kHit, "k");
+  ctx.root_cause = SpanCause::kOldHit;
+  ctx.finish(1120, 1000, "k");
+
+  const std::vector<SpanRecord> all = spans.snapshot();
+  ASSERT_EQ(all.size(), 5u);  // 3 children + closing respond + root
+  const SpanRecord& root = all.back();
+  EXPECT_EQ(root.kind, SpanKind::kRequest);
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_EQ(root.duration_us, 120);
+  EXPECT_EQ(root.cause, SpanCause::kOldHit);
+  EXPECT_TRUE(root.in_transition);
+
+  SimTime child_sum = 0;
+  SimTime cursor = root.start_us;
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+    EXPECT_EQ(all[i].trace_id, root.trace_id);
+    EXPECT_EQ(all[i].parent_id, root.span_id);
+    EXPECT_EQ(all[i].start_us, cursor) << "children must tile, no gaps";
+    cursor = all[i].start_us + all[i].duration_us;
+    child_sum += all[i].duration_us;
+  }
+  EXPECT_EQ(all[3].kind, SpanKind::kRespond);
+  EXPECT_EQ(child_sum, root.duration_us);
+}
+
+TEST(TraceContext, InactiveContextIsInert) {
+  TraceContext none;  // no collector
+  EXPECT_FALSE(none.active());
+  none.child(10, SpanKind::kRoute);
+  none.finish(20, 0, "k");  // must not crash
+
+  SpanCollector off(16, /*sample_every=*/0);
+  TraceContext ctx = TraceContext::begin(&off, 0);
+  EXPECT_FALSE(ctx.active());
+  ctx.child(10, SpanKind::kRoute);
+  ctx.finish(20, 0, "k");
+  EXPECT_EQ(off.total_recorded(), 0u);
+}
+
+// --- the collector -----------------------------------------------------------
+
+TEST(SpanCollector, RingOverwritesOldestAndCountsDrops) {
+  SpanCollector spans(4, /*sample_every=*/1);
+  for (int i = 0; i < 10; ++i) {
+    SpanRecord s;
+    s.trace_id = static_cast<std::uint64_t>(i + 1);
+    s.span_id = static_cast<std::uint64_t>(i + 1);
+    spans.record(std::move(s));
+  }
+  EXPECT_EQ(spans.total_recorded(), 10u);
+  EXPECT_EQ(spans.dropped(), 6u);
+  const auto kept = spans.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().trace_id, 7u);  // oldest retained
+  EXPECT_EQ(kept.back().trace_id, 10u);
+}
+
+TEST(SpanCollector, HeadSamplingRates) {
+  SpanCollector every(16, /*sample_every=*/1);
+  SpanCollector never(16, /*sample_every=*/0);
+  SpanCollector one_in_4(16, /*sample_every=*/4);
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(every.should_sample());
+    EXPECT_FALSE(never.should_sample());
+    if (one_in_4.should_sample()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 25);
+}
+
+TEST(SpanCollector, JsonRendersIdsAsHex16) {
+  SpanRecord s;
+  s.trace_id = 0xabc;
+  s.span_id = 1;
+  s.parent_id = 2;
+  s.kind = SpanKind::kMigrationFetch;
+  s.start_us = 5;
+  s.duration_us = 9;
+  s.server = 3;
+  s.cause = SpanCause::kHit;
+  s.in_transition = true;
+  s.key = "page:1";
+  const std::string json = to_json(s);
+  EXPECT_NE(json.find("\"trace\":\"0000000000000abc\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":\"0000000000000002\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"migration_fetch\""), std::string::npos);
+  EXPECT_NE(json.find("\"cause\":\"hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"transition\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"server\":3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace proteus::obs
+
+// --- live fleet: complete, attributed span trees under faults ----------------
+
+namespace proteus::client {
+namespace {
+
+class SpanLiveFleet : public ::testing::Test {
+ protected:
+  static constexpr int kServers = 3;
+
+  void SetUp() override {
+    daemons_.resize(kServers);
+    threads_.resize(kServers);
+    for (int i = 0; i < kServers; ++i) {
+      cache::CacheConfig cfg;
+      cfg.memory_budget_bytes = 8 << 20;
+      auto& d = daemons_[static_cast<std::size_t>(i)];
+      d = std::make_unique<net::MemcacheDaemon>(cfg, /*port=*/0);
+      ASSERT_TRUE(d->ok());
+      d->set_server_id(i);
+      ports_.push_back(d->port());
+    }
+  }
+
+  void TearDown() override {
+    for (int i = 0; i < kServers; ++i) {
+      auto& d = daemons_[static_cast<std::size_t>(i)];
+      if (!d) continue;
+      d->stop();
+      auto& t = threads_[static_cast<std::size_t>(i)];
+      if (t.joinable()) t.join();
+    }
+  }
+
+  // Daemons start AFTER the test had a chance to install fault wrappers.
+  void run_daemons() {
+    for (int i = 0; i < kServers; ++i) {
+      threads_[static_cast<std::size_t>(i)] = std::thread(
+          [daemon = daemons_[static_cast<std::size_t>(i)].get()] {
+            daemon->run();
+          });
+    }
+  }
+
+  std::vector<std::unique_ptr<net::MemcacheDaemon>> daemons_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<std::thread> threads_;
+};
+
+// The acceptance scenario: a resize under fault injection, with EVERY get
+// traced. Each trace must form a complete tree (one root, >= 1 tiled
+// children) whose child durations sum to the root's end-to-end latency
+// within 1%, and the in-transition traces must name a transition mechanism
+// (digest consult / migration fetch) as the cause.
+TEST_F(SpanLiveFleet, ResizeUnderFaultsYieldsCompleteAttributedTrees) {
+  net::FaultInjector injector;
+  daemons_[1]->set_handler_wrapper(
+      [&](std::unique_ptr<net::ConnectionHandler> inner) {
+        return injector.wrap(std::move(inner));
+      });
+  run_daemons();
+
+  obs::SpanCollector spans(/*capacity=*/1u << 15, /*sample_every=*/1);
+  ProteusClient::Options opt;
+  opt.endpoints = ports_;
+  opt.ttl = 60 * kSecond;
+  opt.connect_timeout = 200 * kMillisecond;
+  opt.op_timeout = 200 * kMillisecond;
+  opt.max_attempts = 2;
+  opt.spans = &spans;
+  std::uint64_t backend = 0;
+  ProteusClient web(opt, [&](std::string_view key) {
+    ++backend;
+    return "db:" + std::string(key);
+  });
+
+  constexpr int kKeys = 60;
+  int gets_issued = 0;
+  const auto get_all = [&](SimTime now) {
+    for (int i = 0; i < kKeys; ++i) {
+      EXPECT_EQ(web.get("page:" + std::to_string(i), now),
+                "db:page:" + std::to_string(i));
+      ++gets_issued;
+    }
+  };
+
+  get_all(0);  // warm: every key fills from the backend
+
+  // Sabotage a few requests mid-stream: affected gets retry/fail over but
+  // must still produce complete, sum-consistent trees.
+  injector.inject(net::FaultKind::kDropConnection, 2);
+  get_all(kSecond);
+  injector.reset();
+
+  // Shrink 3 -> 2 and read everything during the §IV transition window.
+  ASSERT_TRUE(web.resize(2, 2 * kSecond));
+  ASSERT_TRUE(web.in_transition());
+  get_all(3 * kSecond);
+  EXPECT_TRUE(web.in_transition());
+
+  // --- verify the forest -----------------------------------------------------
+  const std::vector<obs::SpanRecord> all = spans.snapshot();
+  ASSERT_EQ(spans.dropped(), 0u) << "ring must hold the whole test";
+
+  struct Tree {
+    const obs::SpanRecord* root = nullptr;
+    std::vector<const obs::SpanRecord*> children;
+  };
+  std::map<std::uint64_t, Tree> forest;
+  for (const obs::SpanRecord& s : all) {
+    Tree& t = forest[s.trace_id];
+    if (s.kind == obs::SpanKind::kRequest) {
+      EXPECT_EQ(t.root, nullptr) << "one root per trace";
+      t.root = &s;
+    } else {
+      ASSERT_NE(s.parent_id, 0u);
+      t.children.push_back(&s);
+    }
+  }
+  EXPECT_EQ(forest.size(), static_cast<std::size_t>(gets_issued))
+      << "every get must yield exactly one trace";
+
+  int transition_traces = 0, mechanism_traces = 0, fault_children = 0;
+  for (const auto& [id, tree] : forest) {
+    ASSERT_NE(tree.root, nullptr) << "trace without a root";
+    ASSERT_FALSE(tree.children.empty()) << "root without children";
+    SimTime child_sum = 0;
+    bool mechanism = false;
+    for (const obs::SpanRecord* c : tree.children) {
+      EXPECT_EQ(c->parent_id, tree.root->span_id);
+      EXPECT_GE(c->duration_us, 0);
+      child_sum += c->duration_us;
+      if (c->kind == obs::SpanKind::kDigestConsult ||
+          c->kind == obs::SpanKind::kMigrationFetch ||
+          c->kind == obs::SpanKind::kMigrationStore) {
+        mechanism = true;
+      }
+      if (c->cause == obs::SpanCause::kReset ||
+          c->cause == obs::SpanCause::kTimeout ||
+          c->cause == obs::SpanCause::kDown ||
+          c->kind == obs::SpanKind::kRetry) {
+        ++fault_children;
+      }
+    }
+    // The attribution contract: per-cause child durations sum to the
+    // end-to-end latency within 1% (clocks are shared, so in practice the
+    // tiling is exact; the slack covers only rounding).
+    const double e2e = static_cast<double>(tree.root->duration_us);
+    const double diff =
+        std::abs(static_cast<double>(child_sum) - e2e);
+    EXPECT_LE(diff, std::max(0.01 * e2e, 1.0))
+        << "trace " << id << ": children sum to " << child_sum
+        << " us but the root took " << e2e << " us";
+    if (tree.root->in_transition) {
+      ++transition_traces;
+      if (mechanism) ++mechanism_traces;
+    }
+  }
+  EXPECT_EQ(transition_traces, kKeys)
+      << "every get of the third round overlapped the transition";
+  EXPECT_GT(mechanism_traces, 0)
+      << "in-transition traces must show digest/migration children";
+  EXPECT_GT(fault_children, 0)
+      << "the injected faults must be visible as retry/reset children";
+
+  // --- wire propagation: daemons saw the SAME trace ids ----------------------
+  std::set<std::uint64_t> client_ids;
+  for (const auto& [id, tree] : forest) client_ids.insert(id);
+  int correlated = 0;
+  bool saw_op = false, saw_parse = false;
+  for (int i = 0; i < kServers; ++i) {
+    for (const obs::SpanRecord& s :
+         daemons_[static_cast<std::size_t>(i)]->spans().snapshot()) {
+      EXPECT_EQ(s.server, i) << "daemon spans must carry their server id";
+      EXPECT_EQ(s.parent_id, 0u);
+      if (client_ids.count(s.trace_id) != 0U) ++correlated;
+      saw_op |= s.kind == obs::SpanKind::kServerOp;
+      saw_parse |= s.kind == obs::SpanKind::kServerParse;
+    }
+  }
+  EXPECT_GT(correlated, gets_issued)
+      << "server-side spans must correlate with client traces by id";
+  EXPECT_TRUE(saw_op);
+  EXPECT_TRUE(saw_parse);
+}
+
+// Sampling is decided once at the root: with tracing disabled on the
+// client, daemons record nothing either (no token ever crosses the wire).
+TEST_F(SpanLiveFleet, NoSamplingMeansNoSpansAnywhere) {
+  run_daemons();
+  obs::SpanCollector spans(64, /*sample_every=*/0);
+  ProteusClient::Options opt;
+  opt.endpoints = ports_;
+  opt.spans = &spans;
+  ProteusClient web(opt, [](std::string_view key) {
+    return "db:" + std::string(key);
+  });
+  for (int i = 0; i < 20; ++i) {
+    web.get("page:" + std::to_string(i), 0);
+  }
+  EXPECT_EQ(spans.total_recorded(), 0u);
+  for (int i = 0; i < kServers; ++i) {
+    EXPECT_EQ(daemons_[static_cast<std::size_t>(i)]->spans().total_recorded(),
+              0u)
+        << "an untraced request must not produce server spans";
+  }
+}
+
+}  // namespace
+}  // namespace proteus::client

@@ -156,15 +156,18 @@ std::string http_get(std::uint16_t port, const std::string& path) {
   return reply;
 }
 
-TEST(MetricsHttp, ServesPrometheusTextAndTrace) {
+TEST(MetricsHttp, ServesPrometheusTextTraceAndSpans) {
   RunningDaemon rig(1);
   client::MemcacheConnection conn(rig.daemon.port());
   ASSERT_TRUE(conn.set("k", "v"));
   (void)conn.get("k");
+  // A traced text-protocol get populates the daemon-side span collector.
+  (void)conn.get("k", /*trace_id=*/0xabcdef12u);
 
   MetricsHttpServer http(
       0, [&] { return rig.daemon.metrics_text(); },
-      [&] { return rig.daemon.trace().jsonl(); });
+      [&](std::uint64_t since) { return rig.daemon.trace().jsonl_since(since); },
+      [&] { return rig.daemon.spans().jsonl(); });
   ASSERT_TRUE(http.ok());
   std::thread http_thread([&http] { http.run(); });
 
@@ -173,16 +176,29 @@ TEST(MetricsHttp, ServesPrometheusTextAndTrace) {
   EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
   EXPECT_NE(metrics.find("# TYPE proteus_cache_cmd_get_total counter"),
             std::string::npos);
-  EXPECT_NE(metrics.find("proteus_cache_get_hits_total 1"), std::string::npos);
+  EXPECT_NE(metrics.find("proteus_cache_get_hits_total 2"), std::string::npos);
   EXPECT_NE(metrics.find("proteus_daemon_op_latency_us{quantile=\"0.99\"}"),
             std::string::npos);
+  EXPECT_NE(metrics.find("proteus_spans_recorded_total"), std::string::npos);
+  EXPECT_NE(metrics.find("proteus_trace_dropped_total"), std::string::npos);
 
   const std::string trace = http_get(http.port(), "/trace");
   EXPECT_NE(trace.find("HTTP/1.0 200 OK"), std::string::npos);
   EXPECT_NE(trace.find("application/x-ndjson"), std::string::npos);
+  // Incremental fetch far past the ring returns an empty 200 body.
+  const std::string tail = http_get(http.port(), "/trace?since=999999999");
+  EXPECT_NE(tail.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(tail.find("Content-Length: 0"), std::string::npos);
+
+  const std::string spans = http_get(http.port(), "/spans");
+  EXPECT_NE(spans.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(spans.find("application/x-ndjson"), std::string::npos);
+  EXPECT_NE(spans.find("\"trace\":\"00000000abcdef12\""), std::string::npos);
+  EXPECT_NE(spans.find("\"kind\":\"server_op\""), std::string::npos);
 
   const std::string index = http_get(http.port(), "/");
   EXPECT_NE(index.find("200 OK"), std::string::npos);
+  EXPECT_NE(index.find("/spans"), std::string::npos);
   EXPECT_NE(http_get(http.port(), "/nope").find("404"), std::string::npos);
 
   http.stop();

@@ -11,9 +11,11 @@
 //   $ printf 'set k 0 0 5\r\nhello\r\nget k\r\n' | nc 127.0.0.1 11211
 //
 // With --metrics-port=P a Prometheus text endpoint is served on
-// 127.0.0.1:P (GET /metrics; GET /trace streams the transition/TTL event
-// ring as JSONL). The same registry is reachable in-band via the
-// `stats proteus` protocol extension.
+// 127.0.0.1:P (GET /metrics; GET /trace?since=N streams the transition/TTL
+// event ring as JSONL incrementally; GET /spans streams the server-side
+// per-request span records — see obs/span.h and tools/proteus-spans). The
+// same registry is reachable in-band via the `stats proteus` protocol
+// extension. --server-id=N stamps that fleet index on every span.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   std::size_t mem_mb = 64;
   double ttl_s = 0;
   int threads = 1;
+  int server_id = -1;
   net::TcpServer::Limits limits;
 
   for (int i = 1; i < argc; ++i) {
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
       ttl_s = std::atof(value.c_str());
     } else if (parse_value(argv[i], "--threads", value)) {
       threads = std::atoi(value.c_str());
+    } else if (parse_value(argv[i], "--server-id", value)) {
+      server_id = std::atoi(value.c_str());
     } else if (parse_value(argv[i], "--max-conns", value)) {
       limits.max_connections =
           static_cast<std::size_t>(std::atoll(value.c_str()));
@@ -80,8 +85,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: proteus-cached [--port=P] [--metrics-port=P] "
                    "[--mem-mb=M] [--ttl-s=S] "
-                   "[--threads=N] [--max-conns=C] [--idle-timeout-s=S] "
-                   "[--max-outbox-mb=M]\n");
+                   "[--threads=N] [--server-id=N] [--max-conns=C] "
+                   "[--idle-timeout-s=S] [--max-outbox-mb=M]\n");
       return 2;
     }
   }
@@ -99,6 +104,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to bind 127.0.0.1:%u\n", port);
     return 1;
   }
+  daemon.set_server_id(server_id);
   g_daemon = &daemon;
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -110,7 +116,10 @@ int main(int argc, char** argv) {
   if (metrics_enabled) {
     metrics_http = std::make_unique<net::MetricsHttpServer>(
         metrics_port, [&daemon] { return daemon.metrics_text(); },
-        [&daemon] { return daemon.trace().jsonl(); });
+        [&daemon](std::uint64_t since) {
+          return daemon.trace().jsonl_since(since);
+        },
+        [&daemon] { return daemon.spans().jsonl(); });
     if (!metrics_http->ok()) {
       std::fprintf(stderr, "failed to bind metrics port 127.0.0.1:%u\n",
                    metrics_port);

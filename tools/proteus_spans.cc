@@ -1,0 +1,377 @@
+// proteus-spans — offline analyzer for the per-request span JSONL that
+// `GET /spans` (or a SpanCollector dump) emits.
+//
+//   curl -s http://127.0.0.1:9090/spans | proteus-spans
+//   proteus-spans --file=spans.jsonl --top=10
+//   proteus-spans --file=spans.jsonl --check        # exit 1 on bad tiling
+//
+// What it does, per trace:
+//   1. reconstructs the span tree (root `request` span + its tiled client
+//      children; server-side spans correlate by trace id and are shown as
+//      annotations, not counted toward the tiling);
+//   2. verifies the tiling invariant — child durations must sum to the
+//      root's end-to-end latency within --slack (spans are written tiled,
+//      so a mismatch means broken instrumentation, not noise);
+//   3. prints latency breakdowns for steady vs in-transition requests,
+//      per-cause time shares, and the top-k slowest requests with each
+//      one's dominant cause.
+//
+// The parser is deliberately tiny: it understands exactly the flat
+// one-object-per-line JSON that obs::to_json writes, nothing more.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace {
+
+using proteus::obs::SpanRecord;
+
+// --- flat JSON field extraction ---------------------------------------------
+
+// Finds `"name":` at top level of a one-line object and returns the raw
+// value text (string values without the quotes, escapes left as-is — keys
+// are the only escaped field and are never interpreted here).
+std::optional<std::string_view> json_field(std::string_view line,
+                                           std::string_view name) {
+  const std::string needle = "\"" + std::string(name) + "\":";
+  std::size_t pos = 0;
+  while ((pos = line.find(needle, pos)) != std::string_view::npos) {
+    // Guard against matching inside a string value: the char before must
+    // be '{' or ',' (true for to_json output).
+    if (pos > 0 && line[pos - 1] != '{' && line[pos - 1] != ',') {
+      ++pos;
+      continue;
+    }
+    std::size_t v = pos + needle.size();
+    if (v >= line.size()) return std::nullopt;
+    if (line[v] == '"') {
+      ++v;
+      std::size_t end = v;
+      while (end < line.size() && line[end] != '"') {
+        if (line[end] == '\\') ++end;  // skip the escaped char
+        ++end;
+      }
+      return line.substr(v, end - v);
+    }
+    std::size_t end = v;
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+    return line.substr(v, end - v);
+  }
+  return std::nullopt;
+}
+
+std::uint64_t parse_hex64(std::string_view s) {
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c >= '0' && c <= '9') {
+      v = (v << 4) | static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = (v << 4) | (static_cast<std::uint64_t>(c - 'a') + 10);
+    } else {
+      return 0;
+    }
+  }
+  return v;
+}
+
+std::int64_t parse_int(std::string_view s) {
+  std::int64_t v = 0;
+  bool neg = false;
+  std::size_t i = 0;
+  if (!s.empty() && s[0] == '-') {
+    neg = true;
+    i = 1;
+  }
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') break;
+    v = v * 10 + (s[i] - '0');
+  }
+  return neg ? -v : v;
+}
+
+// A parsed line. Kind/cause stay as strings: the analyzer groups and
+// prints them, it never needs the enum back.
+struct ParsedSpan {
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;  // 0 = no "parent" field (root or server span)
+  std::string kind;
+  std::string cause;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+  int server = -1;
+  bool transition = false;
+  std::string key;
+};
+
+bool parse_span_line(std::string_view line, ParsedSpan& out) {
+  const auto trace = json_field(line, "trace");
+  const auto span = json_field(line, "span");
+  const auto kind = json_field(line, "kind");
+  const auto dur = json_field(line, "dur_us");
+  if (!trace || !span || !kind || !dur) return false;
+  out.trace = parse_hex64(*trace);
+  out.span = parse_hex64(*span);
+  out.kind.assign(*kind);
+  out.dur_us = parse_int(*dur);
+  if (const auto v = json_field(line, "parent")) out.parent = parse_hex64(*v);
+  if (const auto v = json_field(line, "start_us")) out.start_us = parse_int(*v);
+  if (const auto v = json_field(line, "server")) {
+    out.server = static_cast<int>(parse_int(*v));
+  }
+  if (const auto v = json_field(line, "cause")) out.cause.assign(*v);
+  if (const auto v = json_field(line, "transition")) {
+    out.transition = *v == "1" || *v == "true";
+  }
+  if (const auto v = json_field(line, "key")) out.key.assign(*v);
+  return out.trace != 0 && out.span != 0;
+}
+
+// --- per-trace tree ---------------------------------------------------------
+
+struct TraceTree {
+  std::optional<ParsedSpan> root;
+  std::vector<ParsedSpan> children;      // tiled client-side children
+  std::vector<ParsedSpan> server_spans;  // correlated daemon annotations
+};
+
+struct SumCheck {
+  bool checked = false;  // had both a root and children
+  bool ok = true;
+  std::int64_t child_sum_us = 0;
+};
+
+// The tiling invariant: client children (parent == root span id) must sum
+// to the root duration within `slack` — see obs::TraceContext.
+SumCheck check_tiling(const TraceTree& tree, double slack_frac,
+                      std::int64_t slack_us) {
+  SumCheck out;
+  if (!tree.root || tree.children.empty()) return out;
+  out.checked = true;
+  for (const ParsedSpan& c : tree.children) out.child_sum_us += c.dur_us;
+  const std::int64_t e2e = tree.root->dur_us;
+  const std::int64_t diff = std::llabs(out.child_sum_us - e2e);
+  const auto allowed = static_cast<std::int64_t>(
+      slack_frac * static_cast<double>(e2e > 0 ? e2e : 0));
+  out.ok = diff <= std::max(allowed, slack_us);
+  return out;
+}
+
+// The child kind the trace spent the most time in ("what made it slow").
+std::string dominant_cause(const TraceTree& tree) {
+  std::map<std::string, std::int64_t> by_kind;
+  for (const ParsedSpan& c : tree.children) by_kind[c.kind] += c.dur_us;
+  std::string best = "-";
+  std::int64_t best_us = -1;
+  for (const auto& [kind, us] : by_kind) {
+    if (us > best_us) {
+      best = kind;
+      best_us = us;
+    }
+  }
+  return best;
+}
+
+double pctile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<std::size_t>(q * static_cast<double>(v.size() - 1))];
+}
+
+double mean(const std::vector<double>& v) {
+  double sum = 0;
+  for (double x : v) sum += x;
+  return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+}
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  int top_k = 5;
+  bool strict = false;
+  double slack_frac = 0.01;    // ±1% of end-to-end latency...
+  std::int64_t slack_us = 10;  // ...or 10 µs, whichever is larger
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag(argv[i], "--file", value)) {
+      file = value;
+    } else if (parse_flag(argv[i], "--top", value)) {
+      top_k = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--slack-us", value)) {
+      slack_us = std::atoll(value.c_str());
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      strict = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: proteus-spans [--file=spans.jsonl] [--top=K] "
+                   "[--slack-us=N] [--check]\n"
+                   "reads span JSONL from --file or stdin\n");
+      return 2;
+    }
+  }
+
+  std::FILE* in = stdin;
+  if (!file.empty()) {
+    in = std::fopen(file.c_str(), "r");
+    if (in == nullptr) {
+      std::fprintf(stderr, "proteus-spans: cannot open %s\n", file.c_str());
+      return 2;
+    }
+  }
+
+  std::unordered_map<std::uint64_t, TraceTree> traces;
+  std::size_t lines = 0, bad_lines = 0;
+  {
+    std::string line;
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), in) != nullptr) {
+      line.assign(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (line.empty()) continue;
+      ++lines;
+      ParsedSpan s;
+      if (!parse_span_line(line, s)) {
+        ++bad_lines;
+        continue;
+      }
+      TraceTree& tree = traces[s.trace];
+      if (s.kind == "request") {
+        tree.root = std::move(s);
+      } else if (s.parent != 0) {
+        tree.children.push_back(std::move(s));
+      } else {
+        tree.server_spans.push_back(std::move(s));
+      }
+    }
+  }
+  if (in != stdin) std::fclose(in);
+
+  // --- tiling verification ---------------------------------------------------
+  std::size_t complete = 0, rootless = 0, checked = 0, failed = 0;
+  for (auto& [id, tree] : traces) {
+    if (!tree.root) {
+      ++rootless;  // ring overwrote the root, or the trace is still open
+      continue;
+    }
+    ++complete;
+    const SumCheck c = check_tiling(tree, slack_frac, slack_us);
+    if (!c.checked) continue;
+    ++checked;
+    if (!c.ok) {
+      ++failed;
+      if (failed <= 5) {
+        std::fprintf(stderr,
+                     "TILING MISMATCH trace=%016llx e2e=%lld us "
+                     "child_sum=%lld us\n",
+                     static_cast<unsigned long long>(id),
+                     static_cast<long long>(tree.root->dur_us),
+                     static_cast<long long>(c.child_sum_us));
+      }
+    }
+  }
+
+  std::printf("# proteus-spans: %zu lines (%zu unparsable), %zu traces "
+              "(%zu complete, %zu rootless)\n",
+              lines, bad_lines, traces.size(), complete, rootless);
+  std::printf("# tiling check: %zu traces with children, %zu failed "
+              "(slack max(1%%, %lld us))\n",
+              checked, failed, static_cast<long long>(slack_us));
+
+  // --- steady vs in-transition breakdown -------------------------------------
+  std::vector<double> steady_us, trans_us;
+  std::map<std::string, std::int64_t> steady_kind_us, trans_kind_us;
+  std::map<std::string, std::size_t> trans_root_cause;
+  for (const auto& [id, tree] : traces) {
+    if (!tree.root) continue;
+    const bool t = tree.root->transition;
+    (t ? trans_us : steady_us)
+        .push_back(static_cast<double>(tree.root->dur_us));
+    auto& kind_us = t ? trans_kind_us : steady_kind_us;
+    for (const ParsedSpan& c : tree.children) kind_us[c.kind] += c.dur_us;
+    if (t && !tree.root->cause.empty()) ++trans_root_cause[tree.root->cause];
+  }
+  std::printf("\n%-14s %-8s %-10s %-10s %-10s\n", "segment", "traces",
+              "mean_us", "p99_us", "max_us");
+  const auto print_segment = [](const char* name,
+                                const std::vector<double>& v) {
+    std::printf("%-14s %-8zu %-10.1f %-10.1f %-10.1f\n", name, v.size(),
+                mean(v), pctile(v, 0.99),
+                v.empty() ? 0.0 : *std::max_element(v.begin(), v.end()));
+  };
+  print_segment("steady", steady_us);
+  print_segment("in-transition", trans_us);
+
+  const auto print_causes = [](const char* name,
+                               const std::map<std::string, std::int64_t>& m) {
+    std::int64_t total = 0;
+    for (const auto& [kind, us] : m) total += us;
+    if (total <= 0) return;
+    std::printf("\n# %s time by cause:\n", name);
+    for (const auto& [kind, us] : m) {
+      std::printf("#   %-18s %6.1f%%  (%lld us)\n", kind.c_str(),
+                  100.0 * static_cast<double>(us) /
+                      static_cast<double>(total),
+                  static_cast<long long>(us));
+    }
+  };
+  print_causes("steady", steady_kind_us);
+  print_causes("in-transition", trans_kind_us);
+  if (!trans_root_cause.empty()) {
+    std::printf("\n# in-transition serving paths (root cause):\n");
+    for (const auto& [cause, n] : trans_root_cause) {
+      std::printf("#   %-18s %zu\n", cause.c_str(), n);
+    }
+  }
+
+  // --- top-k slow requests ---------------------------------------------------
+  std::vector<const TraceTree*> by_latency;
+  for (const auto& [id, tree] : traces) {
+    if (tree.root) by_latency.push_back(&tree);
+  }
+  std::sort(by_latency.begin(), by_latency.end(),
+            [](const TraceTree* a, const TraceTree* b) {
+              return a->root->dur_us > b->root->dur_us;
+            });
+  const std::size_t k =
+      std::min(by_latency.size(), static_cast<std::size_t>(
+                                      top_k > 0 ? top_k : 0));
+  if (k > 0) {
+    std::printf("\n# top-%zu slowest requests:\n", k);
+    std::printf("%-18s %-10s %-6s %-16s %-12s %s\n", "trace", "e2e_us",
+                "trans", "dominant", "root_cause", "key");
+    for (std::size_t i = 0; i < k; ++i) {
+      const TraceTree& tree = *by_latency[i];
+      std::printf("%-18llx %-10lld %-6s %-16s %-12s %s\n",
+                  static_cast<unsigned long long>(tree.root->trace),
+                  static_cast<long long>(tree.root->dur_us),
+                  tree.root->transition ? "yes" : "no",
+                  dominant_cause(tree).c_str(),
+                  tree.root->cause.empty() ? "-" : tree.root->cause.c_str(),
+                  tree.root->key.c_str());
+    }
+  }
+
+  if (strict && (failed > 0 || (checked == 0 && complete > 0))) return 1;
+  return 0;
+}

@@ -2,14 +2,18 @@
 // extension (falling back to plain `stats` for unmodified memcached).
 //
 //   proteus-top --servers=11211,11212,11213 [--host=127.0.0.1]
-//               [--interval-s=2] [--once]
+//               [--interval-s=2] [--once] [--peak-ops=50000]
 //
 // Each refresh polls every daemon and renders one row per server: power
 // state (active / draining / off), request rate and its share of fleet
 // load — the live check of the paper's §III K/n balance guarantee — hit
 // ratio, p50/p99 service latency from the daemon's op-latency histogram,
-// and occupancy. The footer aggregates the fleet and reports the observed
-// max/ideal load-share imbalance across active servers.
+// occupancy, and estimated draw from the §V-A analytic power model
+// (ServerPowerProfile; --peak-ops calibrates the gets/s that saturates one
+// server). The footer aggregates the fleet, reports the observed max/ideal
+// load-share imbalance across active servers, and summarizes power
+// proportionality: fleet power fraction over fleet load fraction, which an
+// ideally proportional cluster holds at 1.0 (the paper's Fig. 1 motivation).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +26,7 @@
 #include <vector>
 
 #include "client/memcache_client.h"
+#include "cluster/power_model.h"
 #include "common/time.h"
 
 namespace {
@@ -130,6 +135,7 @@ int main(int argc, char** argv) {
   std::string servers_csv;
   std::string host = "127.0.0.1";
   double interval_s = 2.0;
+  double peak_ops = 50000.0;  // gets/s that saturates one server
   bool once = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -140,15 +146,18 @@ int main(int argc, char** argv) {
       host = value;
     } else if (parse_value(argv[i], "--interval-s", value)) {
       interval_s = std::atof(value.c_str());
+    } else if (parse_value(argv[i], "--peak-ops", value)) {
+      peak_ops = std::atof(value.c_str());
     } else if (std::strcmp(argv[i], "--once") == 0) {
       once = true;
     } else {
       std::fprintf(stderr,
                    "usage: proteus-top --servers=p1,p2,... [--host=H] "
-                   "[--interval-s=S] [--once]\n");
+                   "[--interval-s=S] [--peak-ops=N] [--once]\n");
       return 2;
     }
   }
+  if (peak_ops <= 0) peak_ops = 50000.0;
   const std::vector<std::uint16_t> ports = parse_ports(servers_csv);
   if (ports.empty()) {
     std::fprintf(stderr, "proteus-top: --servers=p1,p2,... is required\n");
@@ -178,11 +187,13 @@ int main(int argc, char** argv) {
     }
 
     if (!once) std::printf("\033[2J\033[H");
-    std::printf("%-6s %-7s %10s %7s %6s %9s %9s %9s %8s\n", "SERVER", "STATE",
-                "GETS/S", "SHARE", "HIT%", "P50(us)", "P99(us)", "ITEMS",
-                "MB");
+    std::printf("%-6s %-7s %10s %7s %6s %9s %9s %9s %8s %7s\n", "SERVER",
+                "STATE", "GETS/S", "SHARE", "HIT%", "P50(us)", "P99(us)",
+                "ITEMS", "MB", "WATTS");
+    const proteus::cluster::ServerPowerProfile power;
     int active = 0;
     double max_share = 0;
+    double fleet_watts = 0;
     for (std::size_t i = 0; i < fleet.size(); ++i) {
       const Watched& w = fleet[i];
       const char* state = state_of(w);
@@ -191,14 +202,22 @@ int main(int argc, char** argv) {
       if (std::strcmp(state, "active") == 0 && share > max_share) {
         max_share = share;
       }
-      std::printf(":%-5u %-7s %10.1f %6.1f%% %5.1f%% %9.0f %9.0f %9.0f %8.2f\n",
-                  w.port, state, deltas[i] / interval_s, share * 100,
-                  hit_ratio_of(w) * 100,
-                  field(w, "proteus_daemon_op_latency_us_p50"),
-                  field(w, "proteus_daemon_op_latency_us_p99"),
-                  field(w, "proteus_cache_items", field(w, "curr_items")),
-                  field(w, "proteus_cache_bytes", field(w, "bytes")) /
-                      (1024.0 * 1024.0));
+      const double rate = deltas[i] / interval_s;
+      // Powered-off and unreachable servers both sit at PSU standby draw;
+      // draining servers still serve reads, so they burn like active ones.
+      const bool powered_on =
+          w.up && std::strcmp(state, "off") != 0;
+      const double watts = power.watts(powered_on, rate / peak_ops);
+      fleet_watts += watts;
+      std::printf(
+          ":%-5u %-7s %10.1f %6.1f%% %5.1f%% %9.0f %9.0f %9.0f %8.2f %7.1f\n",
+          w.port, state, rate, share * 100, hit_ratio_of(w) * 100,
+          field(w, "proteus_daemon_op_latency_us_p50"),
+          field(w, "proteus_daemon_op_latency_us_p99"),
+          field(w, "proteus_cache_items", field(w, "curr_items")),
+          field(w, "proteus_cache_bytes", field(w, "bytes")) /
+              (1024.0 * 1024.0),
+          watts);
     }
     // §III check: with perfect K/n balance every active server's share is
     // 1/n, so imbalance (max observed / ideal) should hover near 1.0.
@@ -208,6 +227,22 @@ int main(int argc, char** argv) {
                   max_share * static_cast<double>(active));
     } else {
       std::printf("fleet: %d active\n", active);
+    }
+    // Power proportionality (Fig. 1): power fraction of the fully-on fleet
+    // divided by load fraction of its aggregate capacity. 1.0 = ideal;
+    // >1 means the cluster burns a larger share of peak power than the
+    // share of peak load it is serving.
+    const double n = static_cast<double>(fleet.size());
+    const double power_frac = fleet_watts / (n * power.peak_watts);
+    const double load_frac = total_delta / interval_s / (n * peak_ops);
+    if (load_frac > 0) {
+      std::printf("power: %.0f W (%.0f%% of peak) for %.0f%% of peak load "
+                  "-> proportionality %.2fx ideal\n",
+                  fleet_watts, power_frac * 100, load_frac * 100,
+                  power_frac / load_frac);
+    } else {
+      std::printf("power: %.0f W (%.0f%% of peak), idle\n", fleet_watts,
+                  power_frac * 100);
     }
     std::fflush(stdout);
 

@@ -1,0 +1,352 @@
+// Extension experiment — goodput and tail latency of the LIVE wire path
+// driven past capacity, with and without the overload-protection layer,
+// through a mid-run provisioning shrink.
+//
+// Four real daemons serve closed-loop worker threads over loopback TCP.
+// The authoritative backend is a single serialized "database" charging a
+// fixed service time per query, so it has a hard capacity in queries/sec;
+// an 80/20 hot/cold key mix over a cold keyspace far larger than the cache
+// keeps a steady miss stream flowing toward it. The workload runs at the
+// worker count that saturates the backend (1x) and at twice that (2x);
+// in the shrink runs each worker halves its cluster view 4 -> 2 midway —
+// the paper's provisioning actuation at the worst possible moment. A
+// steady (no-shrink) protected 2x run provides the peak-goodput reference
+// so the headline number isolates what the transition itself costs.
+//
+//   unprotected  bare daemons, bare clients: every miss queues on the
+//                backend mutex, workers stall behind it, and the §VI
+//                delay mechanism (queue build-up) eats the goodput.
+//   protected    daemons run admission control (in-flight budget, queue
+//                deadline, pipeline cap, bg-priority shedding); clients
+//                share a singleflight group, an AIMD backend limiter, and
+//                a migration throttle, and serve explicit degraded
+//                responses when shed.
+//
+// Goodput counts only correct full-value responses; degraded responses are
+// the protection layer's explicit I-owe-you and are reported separately.
+//
+//   ext_overload [--quick] [--metrics-out=FILE]
+//
+// --metrics-out writes the protected 2x run's Prometheus exposition (all
+// four daemons + one client's registry) for the CI overload smoke step.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/memcache_client.h"
+#include "common/rng.h"
+#include "core/overload.h"
+#include "net/memcache_daemon.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace proteus;
+
+constexpr int kServers = 4;
+constexpr int kShrinkTo = 2;
+constexpr int kHotKeys = 256;
+constexpr int kColdKeys = 100000;
+constexpr int kHotPercent = 80;
+constexpr SimTime kDbServiceTime = 2 * kMillisecond;
+constexpr SimTime kOpTimeout = 250 * kMillisecond;
+// One serialized 2 ms backend serves ~500 queries/s; at ~20% miss mix a
+// closed-loop worker pushes ~100 misses/s, so ~5 workers saturate it.
+constexpr int kBaseWorkers = 5;
+constexpr int kOverloadWorkers = 10;  // 2x capacity
+
+SimTime wall_now() { return net::monotonic_now(); }
+
+// The database tier: one query slot, fixed service time — a hard capacity
+// so overload is a property of the workload, not of scheduler noise.
+struct SerializedBackend {
+  std::mutex mu;
+  std::atomic<std::uint64_t> queries{0};
+
+  std::string fetch(std::string_view key) {
+    const std::lock_guard<std::mutex> lock(mu);
+    queries.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(kDbServiceTime));
+    return "db:" + std::string(key);
+  }
+};
+
+struct Fleet {
+  std::vector<std::unique_ptr<net::MemcacheDaemon>> daemons;
+  std::vector<std::thread> threads;
+
+  explicit Fleet(bool protected_config) {
+    for (int i = 0; i < kServers; ++i) {
+      cache::CacheConfig config;
+      // Small budget: the cold tail churns through eviction and keeps
+      // missing, the hot set stays resident.
+      config.memory_budget_bytes = 1u << 20;
+      net::AdmissionOptions admission;
+      if (protected_config) {
+        admission.max_inflight = 4;
+        admission.queue_deadline_us = 5 * kMillisecond;
+        admission.pipeline_cap = 64;
+        admission.background_fill = 0.5;
+      }
+      daemons.push_back(std::make_unique<net::MemcacheDaemon>(
+          std::move(config), /*port=*/0, net::monotonic_now, /*threads=*/1,
+          net::TcpServer::Limits{}, admission));
+    }
+    for (auto& d : daemons) {
+      threads.emplace_back([daemon = d.get()] { daemon->run(); });
+    }
+  }
+  ~Fleet() {
+    for (auto& d : daemons) d->stop();
+    for (auto& t : threads) t.join();
+  }
+};
+
+struct RunResult {
+  std::vector<SimTime> latencies_us;
+  std::uint64_t good = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t wrong = 0;
+  double seconds = 0;
+  std::uint64_t backend_queries = 0;
+  client::ProteusClient::Stats stats;  // summed over workers
+
+  SimTime percentile(double p) const {
+    if (latencies_us.empty()) return 0;
+    std::vector<SimTime> sorted = latencies_us;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  }
+  double goodput() const { return seconds > 0 ? static_cast<double>(good) / seconds : 0; }
+};
+
+void accumulate(client::ProteusClient::Stats& into,
+                const client::ProteusClient::Stats& s) {
+  into.gets += s.gets;
+  into.backend_fetches += s.backend_fetches;
+  into.timeouts += s.timeouts;
+  into.server_sheds += s.server_sheds;
+  into.load_sheds += s.load_sheds;
+  into.coalesced_fetches += s.coalesced_fetches;
+  into.migrations_deferred += s.migrations_deferred;
+  into.degraded_misses += s.degraded_misses;
+}
+
+RunResult run_config(bool protected_config, int workers, bool shrink,
+                     SimTime duration, const std::string& metrics_out) {
+  Fleet fleet(protected_config);
+  SerializedBackend backend;
+
+  // Shared overload machinery (protected config only) — one instance per
+  // web-server process, shared by its per-thread clients.
+  core::SingleflightGroup singleflight;
+  core::AdaptiveLimiter::Options lopt;
+  lopt.initial_limit = 4.0;
+  lopt.max_limit = 64.0;
+  lopt.latency_target = 5 * kMillisecond;  // 2.5x the unloaded query time
+  core::AdaptiveLimiter limiter(lopt);
+  core::MigrationThrottle::Options topt;
+  topt.rate_per_sec = 200.0;
+  topt.burst = 16.0;
+  core::MigrationThrottle throttle(topt);
+
+  client::ProteusClient::Options base;
+  for (auto& d : fleet.daemons) base.endpoints.push_back(d->port());
+  base.connect_timeout = kOpTimeout;
+  base.op_timeout = kOpTimeout;
+  if (protected_config) {
+    base.singleflight = &singleflight;
+    base.limiter = &limiter;
+    base.migration_throttle = &throttle;
+    base.degraded_response = "DEGRADED";
+  }
+
+  // One client per worker thread (the client is single-threaded by design;
+  // the overload primitives above are what is shared).
+  std::vector<std::unique_ptr<client::ProteusClient>> clients;
+  for (int w = 0; w < workers; ++w) {
+    clients.push_back(std::make_unique<client::ProteusClient>(
+        base, [&backend](std::string_view key) { return backend.fetch(key); }));
+  }
+
+  // Warm the hot set through client 0 so every worker starts on a warm
+  // cluster (the mappings are identical — same Algorithm 1 placement).
+  for (int i = 0; i < kHotKeys; ++i) {
+    clients[0]->get("hot:" + std::to_string(i), wall_now());
+  }
+
+  const SimTime t_start = wall_now();
+  const SimTime t_shrink = shrink ? t_start + duration / 2 : 0;
+  const SimTime t_end = t_start + duration;
+
+  std::vector<RunResult> results(static_cast<std::size_t>(workers));
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([w, &clients, &results, t_shrink, t_end] {
+      client::ProteusClient& web = *clients[static_cast<std::size_t>(w)];
+      RunResult& r = results[static_cast<std::size_t>(w)];
+      Rng rng(0x5eed + static_cast<std::uint64_t>(w));
+      bool resized = false;
+      while (true) {
+        const SimTime now = wall_now();
+        if (now >= t_end) break;
+        if (t_shrink != 0 && !resized && now >= t_shrink) {
+          web.resize(kShrinkTo, now);
+          resized = true;
+        }
+        const bool hot =
+            rng.next_below(100) < static_cast<std::uint64_t>(kHotPercent);
+        const std::string key =
+            hot ? "hot:" + std::to_string(rng.next_below(kHotKeys))
+                : "cold:" + std::to_string(rng.next_below(kColdKeys));
+        const SimTime start = wall_now();
+        const std::string value = web.get(key, start);
+        r.latencies_us.push_back(wall_now() - start);
+        if (value == "db:" + key) {
+          ++r.good;
+        } else if (value == "DEGRADED") {
+          ++r.degraded;
+        } else {
+          ++r.wrong;
+        }
+      }
+      r.stats = web.stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  RunResult total;
+  total.seconds =
+      static_cast<double>(wall_now() - t_start) / static_cast<double>(kSecond);
+  for (const auto& r : results) {
+    total.latencies_us.insert(total.latencies_us.end(), r.latencies_us.begin(),
+                              r.latencies_us.end());
+    total.good += r.good;
+    total.degraded += r.degraded;
+    total.wrong += r.wrong;
+    accumulate(total.stats, r.stats);
+  }
+  total.backend_queries = backend.queries.load();
+
+  if (!metrics_out.empty()) {
+    // The CI artifact: every daemon's exposition (shed counters by reason)
+    // plus one client's registry (load sheds, limiter state).
+    std::ofstream out(metrics_out);
+    for (std::size_t i = 0; i < fleet.daemons.size(); ++i) {
+      out << "# ---- daemon " << i << " ----\n"
+          << fleet.daemons[i]->metrics_text();
+    }
+    obs::MetricsRegistry client_registry;
+    clients[0]->register_metrics(client_registry);
+    out << "# ---- client 0 ----\n"
+        << obs::render_prometheus(client_registry.snapshot());
+  }
+  return total;
+}
+
+void report(const char* label, const RunResult& r) {
+  std::printf(
+      "%-14s %-9.0f %-9.0f %-8lld %-8lld %-9lld %-8llu %-9llu %-7llu %-9llu %-8llu\n",
+      label, r.goodput(),
+      r.seconds > 0 ? static_cast<double>(r.degraded) / r.seconds : 0.0,
+      static_cast<long long>(r.percentile(0.50)),
+      static_cast<long long>(r.percentile(0.99)),
+      static_cast<long long>(r.percentile(0.999)),
+      static_cast<unsigned long long>(r.backend_queries),
+      static_cast<unsigned long long>(r.stats.load_sheds),
+      static_cast<unsigned long long>(r.stats.server_sheds),
+      static_cast<unsigned long long>(r.stats.coalesced_fetches),
+      static_cast<unsigned long long>(r.stats.migrations_deferred));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+    } else {
+      std::fprintf(stderr, "usage: ext_overload [--quick] [--metrics-out=F]\n");
+      return 2;
+    }
+  }
+  const SimTime duration = quick ? 1500 * kMillisecond : 6 * kSecond;
+
+  std::printf("# Extension — goodput under overload through a mid-run shrink\n");
+  std::printf("# %d daemons; serialized %lld ms backend (~%lld q/s capacity);\n",
+              kServers, static_cast<long long>(kDbServiceTime / kMillisecond),
+              static_cast<long long>(kSecond / kDbServiceTime));
+  std::printf("# %d%%/%d%% hot/cold over %d/%d keys; every run shrinks "
+              "%d -> %d at t/2\n",
+              kHotPercent, 100 - kHotPercent, kHotKeys, kColdKeys, kServers,
+              kShrinkTo);
+  std::printf("# goodput = correct full responses/s; latencies in microseconds\n");
+  std::printf("%-14s %-9s %-9s %-8s %-8s %-9s %-8s %-9s %-7s %-9s %-8s\n",
+              "config", "goodput", "degr/s", "p50_us", "p99_us", "p99.9_us",
+              "backend", "loadshed", "srvshed", "coalesce", "migdefer");
+
+  std::fprintf(stderr, "running protected @1x + shrink...\n");
+  const RunResult base = run_config(/*protected_config=*/true, kBaseWorkers,
+                                    /*shrink=*/true, duration, "");
+  report("protected@1x", base);
+
+  std::fprintf(stderr, "running protected @2x steady (peak reference)...\n");
+  const RunResult peak = run_config(/*protected_config=*/true,
+                                    kOverloadWorkers, /*shrink=*/false,
+                                    duration, "");
+  report("prot@2x-stdy", peak);
+
+  std::fprintf(stderr, "running unprotected @2x + shrink...\n");
+  const RunResult naive = run_config(/*protected_config=*/false,
+                                     kOverloadWorkers, /*shrink=*/true,
+                                     duration, "");
+  report("unprotect@2x", naive);
+
+  std::fprintf(stderr, "running protected @2x + shrink...\n");
+  const RunResult guarded =
+      run_config(/*protected_config=*/true, kOverloadWorkers,
+                 /*shrink=*/true, duration, metrics_out);
+  report("protected@2x", guarded);
+
+  if (base.wrong + peak.wrong + naive.wrong + guarded.wrong > 0) {
+    std::fprintf(stderr, "FAIL: %llu wrong responses\n",
+                 static_cast<unsigned long long>(base.wrong + peak.wrong +
+                                                 naive.wrong + guarded.wrong));
+    return 1;
+  }
+
+  // Peak = the protected system at the same offered concurrency without the
+  // shrink; the claim isolates what the transition costs. (The @1x row is
+  // the uncontended reference — on a small host the extra worker threads
+  // themselves contend for CPU, which is not the cache's doing.)
+  const double retained =
+      peak.goodput() > 0 ? guarded.goodput() / peak.goodput() : 0.0;
+  std::printf("\n# protected@2x+shrink retains %.0f%% of steady-state 2x "
+              "peak goodput;\n"
+              "# vs unprotected at the same load: %.1fx the goodput, "
+              "p99.9 %lld us vs %lld us\n",
+              100.0 * retained,
+              naive.goodput() > 0 ? guarded.goodput() / naive.goodput() : 0.0,
+              static_cast<long long>(guarded.percentile(0.999)),
+              static_cast<long long>(naive.percentile(0.999)));
+  std::printf("# expected: the unprotected 2x run convoys on the backend\n");
+  std::printf("# mutex — every miss queues, workers stall, goodput and the\n");
+  std::printf("# tail collapse together; the protected run sheds the excess\n");
+  std::printf("# misses as explicit degraded responses, collapses dogpiles,\n");
+  std::printf("# defers migration stores, and keeps serving its hot set\n");
+  return 0;
+}

@@ -119,6 +119,7 @@ std::string BinaryProtocolSession::feed(std::string_view bytes, SimTime now) {
   if (closed_) return {};
   buffer_.append(bytes);
   std::string out;
+  batch_served_ = 0;  // the pipeline cap is per feed() batch
   for (;;) {
     const SimTime parse_start = spans_ != nullptr ? obs::span_clock_now() : 0;
     std::size_t consumed = 0;
@@ -138,6 +139,22 @@ std::string BinaryProtocolSession::feed(std::string_view bytes, SimTime now) {
       s.server = server_id_;
       spans_->record(std::move(s));
     }
+    // Pipeline cap: cache-touching frames beyond the per-batch budget get
+    // EBUSY (the frame is already consumed, so the stream stays in sync).
+    // Quit/noop/version are exempt — free, and quit must always work.
+    const bool cache_touching = frame->magic == binary::kRequestMagic &&
+                                frame->opcode != Opcode::kQuit &&
+                                frame->opcode != Opcode::kNoop &&
+                                frame->opcode != Opcode::kVersion;
+    if (cache_touching && pipeline_.max_per_batch > 0 &&
+        batch_served_ >= pipeline_.max_per_batch) {
+      if (pipeline_.sheds != nullptr) {
+        pipeline_.sheds->fetch_add(1, std::memory_order_relaxed);
+      }
+      out += respond(*frame, Status::kBusy);
+      continue;
+    }
+    if (cache_touching) ++batch_served_;
     const SimTime op_start = tid != 0 ? obs::span_clock_now() : 0;
     out += handle(*frame, now);
     if (tid != 0) {

@@ -33,6 +33,7 @@
 #include <string_view>
 
 #include "cache/cache_server.h"
+#include "cache/pipeline_policy.h"
 #include "common/time.h"
 
 namespace proteus::obs {
@@ -74,6 +75,7 @@ enum class Status : std::uint16_t {
   kNotStored = 0x0005,
   kDeltaBadValue = 0x0006,
   kUnknownCommand = 0x0081,
+  kBusy = 0x0085,  // EBUSY: request shed by admission control, retry later
 };
 
 struct Frame {
@@ -110,10 +112,16 @@ class BinaryProtocolSession {
   // `spans` (optional) records server-side parse/op spans for frames whose
   // opaque field carries a trace id; `server_id` tags them with this
   // daemon's fleet index (-1 = unknown). Both must outlive the session.
+  // `pipeline` caps cache-touching frames per feed() batch (see
+  // cache/pipeline_policy.h); excess frames are answered with EBUSY.
   explicit BinaryProtocolSession(CacheServer& server,
                                  obs::SpanCollector* spans = nullptr,
-                                 int server_id = -1)
-      : server_(server), spans_(spans), server_id_(server_id) {}
+                                 int server_id = -1,
+                                 PipelinePolicy pipeline = {})
+      : server_(server),
+        spans_(spans),
+        server_id_(server_id),
+        pipeline_(pipeline) {}
 
   // Feeds raw bytes; returns any complete response frames.
   std::string feed(std::string_view bytes, SimTime now);
@@ -134,6 +142,8 @@ class BinaryProtocolSession {
   CacheServer& server_;
   obs::SpanCollector* spans_ = nullptr;
   int server_id_ = -1;
+  PipelinePolicy pipeline_;
+  int batch_served_ = 0;  // cache-touching frames served this feed()
   std::uint64_t last_trace_id_ = 0;
   std::string buffer_;
   bool closed_ = false;

@@ -1,0 +1,29 @@
+// Per-connection pipeline admission shared by both protocol front ends.
+//
+// A client that pipelines an unbounded burst of commands into one TCP
+// segment can monopolize the daemon's cache mutex for the whole batch,
+// starving every other connection (the head-of-line variant of overload).
+// The daemon therefore caps how many cache-touching commands one feed()
+// batch may execute; excess commands are answered with an explicit,
+// well-formed shed reply (`SERVER_ERROR overloaded` / binary EBUSY) so the
+// client can degrade instead of timing out. Crucially the parser still
+// CONSUMES shed storage payloads — shedding must never desync the stream.
+//
+// Cheap commands that do not touch the cache under the mutex (quit,
+// version) and unparseable lines (answered ERROR) are exempt: they cost
+// nothing and quit must always work.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace proteus::cache {
+
+struct PipelinePolicy {
+  // Max cache-touching commands served per feed() batch; 0 = unlimited.
+  int max_per_batch = 0;
+  // Daemon-wide shed counter (exposed on /metrics); may be null.
+  std::atomic<std::uint64_t>* sheds = nullptr;
+};
+
+}  // namespace proteus::cache

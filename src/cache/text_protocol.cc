@@ -60,6 +60,19 @@ void consume_trace_token(std::vector<std::string_view>& tokens,
   if (obs::decode_trace_token(tokens.back(), cmd.trace_id)) tokens.pop_back();
 }
 
+// Strips a trailing literal `bg` priority token. On the wire it is the very
+// last token (after any trace token), so it is consumed first. The marker
+// only counts when at least one real argument precedes it, so a key that is
+// literally named "bg" stays addressable via `get bg`.
+void consume_background_token(std::vector<std::string_view>& tokens,
+                              TextCommand& cmd) {
+  if (tokens.size() < 3) return;  // verb + >=1 real arg + marker
+  if (tokens.back() == "bg") {
+    tokens.pop_back();
+    cmd.background = true;
+  }
+}
+
 }  // namespace
 
 TextCommand parse_command_line(std::string_view line) {
@@ -69,6 +82,7 @@ TextCommand parse_command_line(std::string_view line) {
   const std::string_view verb = tokens[0];
 
   if (verb == "get" || verb == "gets") {
+    consume_background_token(tokens, cmd);
     consume_trace_token(tokens, cmd);
     if (tokens.size() < 2) return cmd;
     for (std::size_t i = 1; i < tokens.size(); ++i) {
@@ -80,6 +94,7 @@ TextCommand parse_command_line(std::string_view line) {
   }
 
   if (verb == "set" || verb == "add" || verb == "replace") {
+    consume_background_token(tokens, cmd);
     consume_trace_token(tokens, cmd);
     cmd.noreply = consume_noreply(tokens, 5);
     if (tokens.size() != 5 || !valid_key(tokens[1])) return cmd;
@@ -96,6 +111,7 @@ TextCommand parse_command_line(std::string_view line) {
   }
 
   if (verb == "delete") {
+    consume_background_token(tokens, cmd);
     consume_trace_token(tokens, cmd);
     cmd.noreply = consume_noreply(tokens, 2);
     if (tokens.size() != 2 || !valid_key(tokens[1])) return cmd;
@@ -149,6 +165,7 @@ std::string TextProtocolSession::feed(std::string_view bytes, SimTime now) {
   if (closed_) return {};
   buffer_.append(bytes);
   std::string out;
+  batch_served_ = 0;  // the pipeline cap is per feed() batch
 
   for (;;) {
     if (resync_) {
@@ -173,6 +190,8 @@ std::string TextProtocolSession::feed(std::string_view bytes, SimTime now) {
           buffer_[pending_->bytes] == '\r' && buffer_[pending_->bytes + 1] == '\n';
       TextCommand cmd = *pending_;
       pending_.reset();
+      const bool shed = pending_shed_;
+      pending_shed_ = false;
       if (!terminated) {
         buffer_.erase(0, cmd.bytes);
         resync_ = true;
@@ -180,6 +199,12 @@ std::string TextProtocolSession::feed(std::string_view bytes, SimTime now) {
         continue;
       }
       buffer_.erase(0, want);
+      if (shed) {
+        // Payload consumed for stream correctness, but the command was over
+        // the pipeline cap: refuse the work.
+        if (!cmd.noreply) out += "SERVER_ERROR overloaded\r\n";
+        continue;
+      }
       const std::string reply = handle_storage(cmd, std::move(payload), now);
       if (!cmd.noreply) out += reply;
       continue;
@@ -205,6 +230,27 @@ std::string TextProtocolSession::handle_line(std::string_view line,
     record_server_span(tid, static_cast<int>(obs::SpanKind::kServerParse),
                        parse_start);
   }
+  // Pipeline cap: cache-touching commands beyond the per-batch budget are
+  // refused with a well-formed shed reply. Exempt: quit/version (free, and
+  // quit must always work) and invalid lines (answered ERROR regardless).
+  const bool cache_touching = cmd.op != TextCommand::Op::kQuit &&
+                              cmd.op != TextCommand::Op::kVersion &&
+                              cmd.op != TextCommand::Op::kInvalid;
+  if (cache_touching && pipeline_.max_per_batch > 0 &&
+      batch_served_ >= pipeline_.max_per_batch) {
+    if (pipeline_.sheds != nullptr) {
+      pipeline_.sheds->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (cmd.op == TextCommand::Op::kSet || cmd.op == TextCommand::Op::kAdd ||
+        cmd.op == TextCommand::Op::kReplace) {
+      // The data block is still in flight; consume it before refusing.
+      pending_ = std::move(cmd);
+      pending_shed_ = true;
+      return {};
+    }
+    return cmd.noreply ? std::string{} : "SERVER_ERROR overloaded\r\n";
+  }
+  if (cache_touching) ++batch_served_;
   const SimTime op_start = tid != 0 ? obs::span_clock_now() : 0;
   std::string reply;
   bool deferred = false;

@@ -25,6 +25,12 @@
 // When a session is given a SpanCollector, commands carrying a trace id
 // additionally record server-side parse/op spans correlated by that id.
 //
+// Priority extension (src/core/overload.h): get/storage/delete lines may
+// additionally end with a literal `bg` token (after the trace token) that
+// marks the request as background/maintenance traffic — the daemon sheds it
+// first under overload. Like the trace token it is invisible to stock
+// memcached semantics.
+//
 // `stats reset` zeroes the per-server counters (memcached parity) and
 // `stats proteus` dumps the attached obs::MetricsRegistry — counters,
 // gauges, and latency quantiles — as STAT lines (docs/OPERATIONS.md
@@ -41,6 +47,7 @@
 #include <vector>
 
 #include "cache/cache_server.h"
+#include "cache/pipeline_policy.h"
 #include "common/time.h"
 
 namespace proteus::obs {
@@ -79,6 +86,12 @@ struct TextCommand {
   // Wire trace context: nonzero when the line carried a trailing O<hex64>
   // token (stripped before key handling).
   std::uint64_t trace_id = 0;
+  // Priority extension: true when the line ended with a literal `bg` token
+  // (after any trace token). Instrumented clients tag
+  // maintenance traffic — migration fetches, digest pulls — so the daemon
+  // can shed it first under overload. A stock memcached sees one more
+  // (always-missing) get key, exactly like the trace token.
+  bool background = false;
 };
 
 // Parses one command line (no trailing CRLF). Returns Op::kInvalid with no
@@ -94,14 +107,19 @@ class TextProtocolSession {
   // `spans` (optional) records server-side parse/op spans for commands
   // carrying a trace token; `server_id` tags them with this daemon's fleet
   // index (-1 = unknown). Both must outlive the session.
+  // `pipeline` caps cache-touching commands per feed() batch (see
+  // cache/pipeline_policy.h); excess commands get `SERVER_ERROR overloaded`
+  // while their storage payloads are still consumed.
   explicit TextProtocolSession(CacheServer& server,
                                const obs::MetricsRegistry* metrics = nullptr,
                                obs::SpanCollector* spans = nullptr,
-                               int server_id = -1)
+                               int server_id = -1,
+                               PipelinePolicy pipeline = {})
       : server_(server),
         metrics_(metrics),
         spans_(spans),
-        server_id_(server_id) {}
+        server_id_(server_id),
+        pipeline_(pipeline) {}
 
   // Feeds raw bytes; appends any complete responses to the return value.
   // A "quit" command sets closed() and further input is ignored.
@@ -128,12 +146,17 @@ class TextProtocolSession {
   const obs::MetricsRegistry* metrics_ = nullptr;
   obs::SpanCollector* spans_ = nullptr;
   int server_id_ = -1;
+  PipelinePolicy pipeline_;
+  int batch_served_ = 0;  // cache-touching commands served this feed()
   std::uint64_t last_trace_id_ = 0;
   std::string buffer_;
   bool closed_ = false;
   bool resync_ = false;  // discarding to the next CRLF after a bad chunk
   // Pending storage command waiting for its data block.
   std::optional<TextCommand> pending_;
+  // The pending storage command was shed by the pipeline cap: consume its
+  // data block for stream correctness but answer overloaded, don't store.
+  bool pending_shed_ = false;
 };
 
 }  // namespace proteus::cache

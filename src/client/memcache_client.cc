@@ -45,9 +45,15 @@ obs::SpanCause cause_of(net::NetError error) noexcept {
     case net::NetError::kTimeout: return obs::SpanCause::kTimeout;
     case net::NetError::kReset: return obs::SpanCause::kReset;
     case net::NetError::kProtocol: return obs::SpanCause::kProtocolError;
+    case net::NetError::kOverloaded: return obs::SpanCause::kShed;
     default: return obs::SpanCause::kDown;
   }
 }
+
+// The daemon's admission-control refusal (src/net/memcache_daemon.cc). It
+// arrives either as the whole reply to a shed batch or as a per-command
+// line under the pipeline cap; both spell exactly this.
+constexpr std::string_view kOverloadedReply = "SERVER_ERROR overloaded";
 
 }  // namespace
 
@@ -233,7 +239,8 @@ bool MemcacheConnection::read_exact(std::size_t n, std::string& out,
 }
 
 std::optional<std::string> MemcacheConnection::get(std::string_view key,
-                                                   std::uint64_t trace_id) {
+                                                   std::uint64_t trace_id,
+                                                   bool background) {
   if (!ok()) return std::nullopt;
   last_error_ = net::NetError::kNone;
   const SimTime deadline = op_deadline();
@@ -243,12 +250,19 @@ std::optional<std::string> MemcacheConnection::get(std::string_view key,
     cmd += ' ';
     cmd += obs::encode_trace_token(trace_id);
   }
+  if (background) cmd += " bg";  // priority token goes last on the line
   cmd += "\r\n";
   if (!send_all(cmd, deadline)) return std::nullopt;
 
   auto header = read_line(deadline);
   if (!header.has_value()) return std::nullopt;
   if (*header == "END") return std::nullopt;  // miss (last_error_ == kNone)
+  if (header->rfind(kOverloadedReply, 0) == 0) {
+    // Admission-control shed: a healthy, well-formed refusal. The stream
+    // stays in sync (the daemon consumed the batch), so keep the socket.
+    last_error_ = net::NetError::kOverloaded;
+    return std::nullopt;
+  }
   // "VALUE <key> <flags> <bytes>" — anything else means the stream is
   // desynced and this connection can never be trusted again.
   const std::size_t last_space = header->rfind(' ');
@@ -287,7 +301,8 @@ std::optional<std::string> MemcacheConnection::get(std::string_view key,
 }
 
 bool MemcacheConnection::set(std::string_view key, std::string_view value,
-                             std::uint32_t flags, std::uint64_t trace_id) {
+                             std::uint32_t flags, std::uint64_t trace_id,
+                             bool background) {
   if (!ok()) return false;
   last_error_ = net::NetError::kNone;
   const SimTime deadline = op_deadline();
@@ -301,6 +316,7 @@ bool MemcacheConnection::set(std::string_view key, std::string_view value,
     cmd += ' ';
     cmd += obs::encode_trace_token(trace_id);
   }
+  if (background) cmd += " bg";  // priority token goes last on the line
   cmd += "\r\n";
   cmd.append(value);
   cmd += "\r\n";
@@ -309,6 +325,10 @@ bool MemcacheConnection::set(std::string_view key, std::string_view value,
   if (!reply.has_value()) return false;
   if (*reply == "STORED") return true;
   // Well-formed negative replies keep the connection; garbage kills it.
+  if (reply->rfind(kOverloadedReply, 0) == 0) {
+    last_error_ = net::NetError::kOverloaded;
+    return false;
+  }
   if (*reply == "NOT_STORED" || *reply == "EXISTS" || *reply == "NOT_FOUND" ||
       *reply == "ERROR" || reply->rfind("SERVER_ERROR", 0) == 0 ||
       reply->rfind("CLIENT_ERROR", 0) == 0) {
@@ -329,6 +349,10 @@ bool MemcacheConnection::erase(std::string_view key) {
   const auto reply = read_line(deadline);
   if (!reply.has_value()) return false;
   if (*reply == "DELETED") return true;
+  if (reply->rfind(kOverloadedReply, 0) == 0) {
+    last_error_ = net::NetError::kOverloaded;
+    return false;
+  }
   if (*reply == "NOT_FOUND" || *reply == "ERROR") return false;
   fail(net::NetError::kProtocol);
   return false;
@@ -390,9 +414,12 @@ std::string MemcacheConnection::version() {
 }
 
 std::optional<bloom::BloomFilter> MemcacheConnection::fetch_digest() {
-  // Stage a fresh snapshot, then pull the blob; both via plain gets (§V-3).
-  if (!get(cache::kSetBloomFilterKey).has_value()) return std::nullopt;
-  auto blob = get(cache::kGetBloomFilterKey);
+  // Stage a fresh snapshot, then pull the blob; both via plain gets (§V-3),
+  // tagged background — a digest pull must never displace foreground gets.
+  if (!get(cache::kSetBloomFilterKey, 0, /*background=*/true).has_value()) {
+    return std::nullopt;
+  }
+  auto blob = get(cache::kGetBloomFilterKey, 0, /*background=*/true);
   if (!blob.has_value() || blob->size() < 24) return std::nullopt;
   return cache::decode_digest(*blob);
 }
@@ -447,6 +474,12 @@ MemcacheConnection* ProteusClient::acquire(int server, SimTime now) {
 
 void ProteusClient::record_failure(int server, net::NetError error,
                                    SimTime now) {
+  if (error == net::NetError::kOverloaded) {
+    // A shed is a healthy server protecting itself — no breaker penalty
+    // (opening the breaker would shift load onto its equally loaded peers).
+    ++stats_.server_sheds;
+    return;
+  }
   switch (error) {
     case net::NetError::kTimeout:  ++stats_.timeouts; break;
     case net::NetError::kReset:    ++stats_.resets; break;
@@ -478,7 +511,10 @@ ProteusClient::FetchResult ProteusClient::cache_get(int server,
       }
       break;
     }
-    auto value = c->get(key, ctx.trace_id);
+    // Migration fetches are maintenance traffic: tag them `bg` so the
+    // daemon's two-priority admission sheds them before foreground gets.
+    const bool background = kind == obs::SpanKind::kMigrationFetch;
+    auto value = c->get(key, ctx.trace_id, background);
     if (value.has_value()) {
       record_success(server);
       if (ctx.active()) {
@@ -500,16 +536,21 @@ ProteusClient::FetchResult ProteusClient::cache_get(int server,
       ctx.child(obs::span_clock_now(), child_kind, server,
                 cause_of(c->last_error()), key);
     }
+    if (c->last_error() == net::NetError::kOverloaded) {
+      // Never retry into an overload — that feeds the very queue being
+      // shed. The caller degrades instead.
+      return {FetchStatus::kShed, {}};
+    }
   }
   return {FetchStatus::kDown, {}};
 }
 
 bool ProteusClient::cache_set(int server, std::string_view key,
                               std::string_view value, SimTime now,
-                              std::uint64_t trace_id) {
+                              std::uint64_t trace_id, bool background) {
   MemcacheConnection* c = acquire(server, now);
   if (c == nullptr) return false;
-  const bool stored = c->set(key, value, 0, trace_id);
+  const bool stored = c->set(key, value, 0, trace_id, background);
   if (c->last_error() == net::NetError::kNone) {
     record_success(server);
   } else {
@@ -547,6 +588,11 @@ std::optional<bloom::BloomFilter> ProteusClient::fetch_digest(int server,
       return std::nullopt;
     }
     record_failure(server, c->last_error(), now);
+    if (c->last_error() == net::NetError::kOverloaded) {
+      // Shed digest pull: retrying would displace the foreground traffic
+      // the daemon is protecting. resize() records the digest as absent.
+      return std::nullopt;
+    }
   }
   return std::nullopt;
 }
@@ -612,6 +658,13 @@ std::string ProteusClient::get_inner(std::string_view key, SimTime now,
     ctx.root_cause = obs::SpanCause::kHit;
     return primary.value;
   }
+  if (primary.status == FetchStatus::kShed) {
+    // The primary refused the work to protect itself. Going to the backend
+    // instead would convert a cache overload into a database overload, so
+    // answer degraded — the explicit, bounded failure mode.
+    ctx.root_cause = obs::SpanCause::kShed;
+    return options_.degraded_response;
+  }
   const bool primary_down = primary.status == FetchStatus::kDown;
   if (primary_down) {
     // §III-E failover: the same data lives on the other rings' locations.
@@ -638,41 +691,109 @@ std::string ProteusClient::get_inner(std::string_view key, SimTime now,
       ++stats_.old_server_hits;
       obs::emit(options_.trace, now, obs::TraceEventKind::kMigrationHit,
                 d.fallback, d.primary, old.value.size(), key);
-      // Algorithm 2 line 12: migrate to the new location(s).
-      for (int server : replica_locations(key)) {
-        cache_set(server, key, old.value, now, ctx.trace_id);
+      // Algorithm 2 line 12: migrate to the new location(s) — unless the
+      // overload throttle says the fleet cannot afford write-backs right
+      // now. Deferring is safe: the key stays resident on its draining old
+      // server, and the next allowed hit migrates it.
+      bool migrate = true;
+      if (options_.migration_throttle != nullptr) {
+        if (options_.limiter != nullptr) {
+          options_.migration_throttle->set_overloaded(
+              options_.limiter->overloaded());
+        }
+        migrate = options_.migration_throttle->allow(now);
       }
-      if (ctx.active()) {
-        ctx.child(obs::span_clock_now(), obs::SpanKind::kMigrationStore,
-                  d.primary, obs::SpanCause::kStored, key);
+      if (migrate) {
+        for (int server : replica_locations(key)) {
+          cache_set(server, key, old.value, now, ctx.trace_id,
+                    /*background=*/true);
+        }
+        if (ctx.active()) {
+          ctx.child(obs::span_clock_now(), obs::SpanKind::kMigrationStore,
+                    d.primary, obs::SpanCause::kStored, key);
+        }
+      } else {
+        ++stats_.migrations_deferred;
+        obs::emit(options_.trace, now,
+                  obs::TraceEventKind::kMigrationDeferred, d.fallback,
+                  d.primary, old.value.size(), key);
+        if (ctx.active()) {
+          ctx.child(obs::span_clock_now(), obs::SpanKind::kMigrationStore,
+                    d.primary, obs::SpanCause::kThrottled, key);
+        }
       }
       ctx.root_cause = obs::SpanCause::kOldHit;
       return old.value;
     }
     if (old.status == FetchStatus::kMiss) {
       // A clean miss under a digest hit is a §IV-B false positive; a down
-      // server proves nothing about the digest.
+      // or shedding server proves nothing about the digest.
       ++stats_.digest_false_positives;
       obs::emit(options_.trace, now,
                 obs::TraceEventKind::kDigestFalsePositive, d.fallback,
                 d.primary, 0, key);
     }
   }
-  ++stats_.backend_fetches;
-  std::string value = backend_(key);
+  bool coalesced = false;
+  std::optional<std::string> fetched = fetch_backend(key, coalesced);
+  if (!fetched.has_value()) {
+    // The AIMD limiter shed this fetch (directly, or via a shed
+    // singleflight leader whose verdict we share): the backend is
+    // saturating, so excess misses become explicit degraded responses
+    // instead of queue build-up.
+    ++stats_.load_sheds;
+    if (ctx.active()) {
+      ctx.child(obs::span_clock_now(), obs::SpanKind::kBackendFetch, -1,
+                obs::SpanCause::kShed, key);
+    }
+    ctx.root_cause = obs::SpanCause::kShed;
+    return options_.degraded_response;
+  }
+  std::string value = std::move(*fetched);
   if (ctx.active()) {
     ctx.child(obs::span_clock_now(), obs::SpanKind::kBackendFetch, -1,
-              obs::SpanCause::kBackendFill, key);
+              coalesced ? obs::SpanCause::kCoalesced
+                        : obs::SpanCause::kBackendFill,
+              key);
   }
-  for (int server : replica_locations(key)) {
-    cache_set(server, key, value, now, ctx.trace_id);
-  }
-  if (ctx.active()) {
-    ctx.child(obs::span_clock_now(), obs::SpanKind::kFill, d.primary,
-              obs::SpanCause::kStored, key);
+  if (!coalesced) {
+    // The singleflight leader fills the cache for everyone; followers
+    // skipping the writes is the point of collapsing the fetch.
+    for (int server : replica_locations(key)) {
+      cache_set(server, key, value, now, ctx.trace_id);
+    }
+    if (ctx.active()) {
+      ctx.child(obs::span_clock_now(), obs::SpanKind::kFill, d.primary,
+                obs::SpanCause::kStored, key);
+    }
   }
   ctx.root_cause = obs::SpanCause::kBackendFill;
   return value;
+}
+
+std::optional<std::string> ProteusClient::fetch_backend(std::string_view key,
+                                                        bool& coalesced) {
+  coalesced = false;
+  const auto guarded_fetch = [this, key]() -> std::optional<std::string> {
+    if (options_.limiter != nullptr && !options_.limiter->try_begin()) {
+      return std::nullopt;  // over the adaptive limit: shed
+    }
+    const SimTime t0 = mono_usec();
+    std::string value = backend_(key);
+    if (options_.limiter != nullptr) {
+      options_.limiter->end(mono_usec() - t0);
+    }
+    ++stats_.backend_fetches;
+    return value;
+  };
+  if (options_.singleflight == nullptr) return guarded_fetch();
+  core::SingleflightGroup::Result r =
+      options_.singleflight->run(std::string(key), guarded_fetch);
+  if (!r.leader && r.value.has_value()) {
+    ++stats_.coalesced_fetches;
+    coalesced = true;
+  }
+  return std::move(r.value);
 }
 
 void ProteusClient::put(std::string_view key, std::string_view value,
@@ -769,6 +890,18 @@ void ProteusClient::register_metrics(obs::MetricsRegistry& registry) const {
        [](const Stats& s) { return s.degraded_misses; });
   stat("proteus_client_digest_skips_total", "resize() digests not fetched",
        [](const Stats& s) { return s.digest_skips; });
+  stat("proteus_client_server_sheds_total",
+       "requests the daemon refused with overloaded/EBUSY",
+       [](const Stats& s) { return s.server_sheds; });
+  stat("proteus_client_load_sheds_total",
+       "backend fetches shed by the adaptive limiter",
+       [](const Stats& s) { return s.load_sheds; });
+  stat("proteus_client_coalesced_fetches_total",
+       "misses that piggybacked on a singleflight leader",
+       [](const Stats& s) { return s.coalesced_fetches; });
+  stat("proteus_client_migrations_deferred_total",
+       "Algorithm 2 write-backs paced off under overload",
+       [](const Stats& s) { return s.migrations_deferred; });
   registry.gauge_fn("proteus_client_active_servers",
                     "endpoints in the current mapping",
                     [this] { return static_cast<double>(active_servers()); });
@@ -781,6 +914,22 @@ void ProteusClient::register_metrics(obs::MetricsRegistry& registry) const {
         "0=closed 1=open 2=half-open",
         [this, i] {
           return static_cast<double>(endpoints_[i].breaker.state());
+        });
+  }
+  if (options_.limiter != nullptr) {
+    registry.gauge_fn("proteus_client_backend_limit",
+                      "AIMD concurrency cap on backend fetches",
+                      [this] { return options_.limiter->limit(); });
+    registry.gauge_fn("proteus_client_overloaded",
+                      "1 while the limiter's overload signal is up",
+                      [this] { return options_.limiter->overloaded() ? 1.0 : 0.0; });
+  }
+  if (options_.migration_throttle != nullptr) {
+    registry.counter_fn(
+        "proteus_client_throttle_deferred_total",
+        "write-backs deferred by the migration throttle (shared object)",
+        [this] {
+          return static_cast<double>(options_.migration_throttle->deferred());
         });
   }
   registry.histogram_fn(

@@ -34,6 +34,7 @@
 #include "common/rng.h"
 #include "common/time.h"
 #include "core/endpoint_health.h"
+#include "core/overload.h"
 #include "hashring/proteus_placement.h"
 #include "net/net_error.h"
 #include "obs/metrics.h"
@@ -74,10 +75,16 @@ class MemcacheConnection {
 
   // A nonzero `trace_id` propagates trace context to the daemon as a
   // trailing O<hex64> token (see obs/span.h); stock servers ignore it.
+  // `background` additionally appends the `bg` priority token (see
+  // cache/text_protocol.h) marking the request as sheddable maintenance
+  // traffic. A daemon shed reply (`SERVER_ERROR overloaded`) surfaces as
+  // last_error() == kOverloaded with the connection still usable.
   std::optional<std::string> get(std::string_view key,
-                                 std::uint64_t trace_id = 0);
+                                 std::uint64_t trace_id = 0,
+                                 bool background = false);
   bool set(std::string_view key, std::string_view value,
-           std::uint32_t flags = 0, std::uint64_t trace_id = 0);
+           std::uint32_t flags = 0, std::uint64_t trace_id = 0,
+           bool background = false);
   bool erase(std::string_view key);
   std::string version();
 
@@ -149,6 +156,22 @@ class ProteusClient {
     // propagated to the daemons on the wire. Null disables tracing; the
     // collector's sample_every controls the head-sampling rate.
     obs::SpanCollector* spans = nullptr;
+
+    // --- overload protection (core/overload.h; all optional) ---------------
+    // Dogpile suppression: concurrent misses on one key collapse into one
+    // backend fetch. SHARE one group across the process's per-thread
+    // clients — the backend it protects is shared.
+    core::SingleflightGroup* singleflight = nullptr;
+    // AIMD concurrency cap on backend fetches; when it sheds, get()
+    // returns `degraded_response` instead of queueing on the backend.
+    // Share across threads like the singleflight group.
+    core::AdaptiveLimiter* limiter = nullptr;
+    // Transition-aware pacing of Algorithm 2 line 12 write-backs. Its
+    // overload signal follows `limiter` automatically when both are set.
+    core::MigrationThrottle* migration_throttle = nullptr;
+    // Served when a fetch is shed (by the daemon or the limiter) — the
+    // explicit degraded answer. Empty mimics a database default.
+    std::string degraded_response;
   };
 
   ProteusClient(Options options, Backend backend);
@@ -186,6 +209,11 @@ class ProteusClient {
     std::uint64_t degraded_misses = 0;     // down server treated as miss
     std::uint64_t digest_skips = 0;        // resize() digests not fetched
     std::uint64_t digest_false_positives = 0;  // fallback consulted, clean miss
+    // Overload-path observability.
+    std::uint64_t server_sheds = 0;        // daemon answered overloaded/EBUSY
+    std::uint64_t load_sheds = 0;          // AdaptiveLimiter refused a fetch
+    std::uint64_t coalesced_fetches = 0;   // singleflight follower piggybacks
+    std::uint64_t migrations_deferred = 0; // write-backs paced off
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -212,7 +240,11 @@ class ProteusClient {
     core::CircuitBreaker breaker;
   };
 
-  enum class FetchStatus { kHit, kMiss, kDown };
+  // kShed: the daemon refused the request (admission control) — the server
+  // is healthy but saturated. Distinct from kMiss so shed fallback fetches
+  // never count as digest false positives, and from kDown so the breaker
+  // takes no penalty and no retry feeds the overload.
+  enum class FetchStatus { kHit, kMiss, kDown, kShed };
   struct FetchResult {
     FetchStatus status;
     std::string value;
@@ -234,7 +266,13 @@ class ProteusClient {
   FetchResult cache_get(int server, std::string_view key, SimTime now,
                         obs::TraceContext& ctx, obs::SpanKind kind);
   bool cache_set(int server, std::string_view key, std::string_view value,
-                 SimTime now, std::uint64_t trace_id = 0);
+                 SimTime now, std::uint64_t trace_id = 0,
+                 bool background = false);
+  // The guarded miss path: backend_ wrapped in the optional singleflight
+  // group and AIMD limiter. nullopt = shed (serve the degraded response);
+  // `coalesced` reports whether this call piggybacked on another fetch.
+  std::optional<std::string> fetch_backend(std::string_view key,
+                                           bool& coalesced);
   void cache_erase(int server, std::string_view key, SimTime now);
   std::optional<bloom::BloomFilter> fetch_digest(int server, SimTime now);
 

@@ -14,7 +14,8 @@ WebTier::WebTier(sim::Simulation& sim, WebTierConfig config,
       config_(config),
       routers_(std::move(routers)),
       cache_(cache),
-      db_(db) {
+      db_(db),
+      migration_throttle_(config.migration_throttle) {
   PROTEUS_CHECK(!routers_.empty());
   for (const auto& router : routers_) PROTEUS_CHECK(router != nullptr);
   PROTEUS_CHECK(config_.num_servers >= 1);
@@ -27,6 +28,17 @@ WebTier::WebTier(sim::Simulation& sim, WebTierConfig config,
 
 bool WebTier::server_alive(int server) const {
   return cache_.server(server).power_state() != cache::PowerState::kOff;
+}
+
+bool WebTier::migration_allowed() {
+  if (config_.overload_db_queue_depth <= 0) return true;
+  std::size_t depth = 0;
+  for (int i = 0; i < db_.num_shards(); ++i) {
+    depth = std::max(depth, db_.shard(i).queue_depth());
+  }
+  migration_throttle_.set_overloaded(
+      depth >= static_cast<std::size_t>(config_.overload_db_queue_depth));
+  return migration_throttle_.allow(sim_.now());
 }
 
 void WebTier::trace_child(const Trace& trace, obs::SpanKind kind, int server,
@@ -211,7 +223,15 @@ void WebTier::try_ring(std::size_t ring,
             }
             // Line 12: migrate on demand (the primary is in the repair
             // set); only the FIRST request pays this hop (§IV-A prop. 1).
-            repair->push_back(d.primary);
+            // Under overload the store is deferred — the value stays on
+            // the draining server, a later allowed hit migrates it.
+            if (migration_allowed()) {
+              repair->push_back(d.primary);
+            } else {
+              ++stats_.migrations_deferred;
+              trace_child(trace, obs::SpanKind::kMigrationStore, d.primary,
+                          obs::SpanCause::kThrottled, key);
+            }
             repair_and_respond(repair, key, *old_value, std::move(done));
             return;
           }
@@ -255,6 +275,9 @@ void WebTier::register_metrics(obs::MetricsRegistry& registry) const {
   stat("proteus_webtier_digest_false_positives_total",
        "line 6 said hot, line 7 missed (SS IV-B p_p)",
        [](const WebTierStats& s) { return s.digest_false_positives; });
+  stat("proteus_webtier_migrations_deferred_total",
+       "line-12 stores deferred by the overload migration throttle",
+       [](const WebTierStats& s) { return s.migrations_deferred; });
   registry.gauge_fn("proteus_webtier_cache_hit_ratio",
                     "fraction of requests served from the cache tier",
                     [this] { return stats_.cache_hit_ratio(); });

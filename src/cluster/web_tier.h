@@ -24,6 +24,7 @@
 #include "cluster/cache_tier.h"
 #include "cluster/router.h"
 #include "common/time.h"
+#include "core/overload.h"
 #include "db/database.h"
 #include "obs/span.h"
 #include "sim/queueing_server.h"
@@ -50,6 +51,15 @@ struct WebTierConfig {
   // fig09 can attribute response-time tails to transition mechanisms. Null
   // disables tracing.
   obs::SpanCollector* spans = nullptr;
+  // Transition-aware migration pacing: when any database shard's live queue
+  // depth reaches this threshold (the overload signal of §VI's miss storms),
+  // Algorithm 2 line-12 write-backs for old-location hits are token-bucket
+  // paced by `migration_throttle` instead of issued unconditionally. The hit
+  // is still served from the old location — only the repair store is
+  // deferred, so correctness is unchanged and the digest simply drains
+  // slower. 0 disables (the paper's unconditional behaviour).
+  int overload_db_queue_depth = 0;
+  core::MigrationThrottle::Options migration_throttle;
 };
 
 struct WebTierStats {
@@ -61,6 +71,7 @@ struct WebTierStats {
   std::uint64_t db_fetches = 0;        // line 10 (queries actually issued)
   std::uint64_t coalesced_fetches = 0; // requests that piggybacked on one
   std::uint64_t digest_false_positives = 0;  // line 6 said yes, line 7 missed
+  std::uint64_t migrations_deferred = 0;  // line-12 stores paced out (overload)
 
   double cache_hit_ratio() const noexcept {
     return requests ? static_cast<double>(new_server_hits + old_server_hits +
@@ -107,6 +118,9 @@ class WebTier {
   using Trace = std::shared_ptr<obs::TraceContext>;
 
   bool server_alive(int server) const;
+  // Overload-gated line-12 pacing: samples the database tier's live queue
+  // depth, feeds the signal into the throttle, and asks for a token.
+  bool migration_allowed();
   void fetch_data(const std::string& key, Trace trace,
                   std::function<void()> respond);
   void try_ring(std::size_t ring, std::shared_ptr<std::vector<int>> repair,
@@ -135,6 +149,7 @@ class WebTier {
   // callbacks of piggybacked requests.
   std::unordered_map<std::string, std::vector<std::function<void()>>>
       inflight_db_;
+  core::MigrationThrottle migration_throttle_;
   WebTierStats stats_;
 };
 

@@ -1,0 +1,372 @@
+// Overload protection primitives — the system-level complement to
+// core/endpoint_health.h's per-endpoint gating.
+//
+// PR 1 made individual requests fault-tolerant; these components make the
+// SYSTEM overload-tolerant. Under heavy load a §IV provisioning transition
+// is exactly when the cluster is most fragile: migration fetches compete
+// with foreground gets, and every digest miss becomes an unbounded database
+// fetch. Four cooperating mechanisms bound the damage:
+//
+//   * AdmissionController — a daemon-side in-flight request budget with
+//     two-priority shedding: when the budget fills past a threshold,
+//     background traffic (migration fetches, digest pulls) is shed first so
+//     foreground gets keep their headroom during a transition.
+//   * AdaptiveLimiter — a client-side AIMD concurrency cap on database
+//     fetches: observed backend latency above the target multiplicatively
+//     shrinks the cap, fast responses additively regrow it. Excess misses
+//     become explicit degraded responses instead of queue build-up (the
+//     Fig. 9 delay mechanism).
+//   * SingleflightGroup — dogpile suppression: concurrent misses on one key
+//     collapse into a single backend fetch whose result all callers share
+//     (the "memcache dog pile" strategy the paper cites as ref. [12],
+//     here for the live path).
+//   * MigrationThrottle — transition-aware pacing of Algorithm 2 line 12
+//     write-backs: while the overload signal is up, on-demand migration is
+//     token-bucket limited, trading slower digest drain for bounded
+//     foreground tail latency.
+//
+// All four are thread-safe: the daemon serves from multiple poll loops and
+// the client-side pieces are designed to be SHARED across the per-thread
+// ProteusClient instances of a web-server process (the database they
+// protect is shared, so the budget must be too). Time is the caller's
+// SimTime (simulated or monotonic wall clock) and every decision is
+// deterministic given the sample sequence, so tests replay exactly.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace proteus::core {
+
+// --- daemon-side admission ---------------------------------------------------
+
+enum class Admission {
+  kAdmit,           // within budget — serve it
+  kShedOverCap,     // in-flight budget exhausted
+  kShedBackground,  // background traffic shed to preserve foreground headroom
+};
+
+inline const char* admission_name(Admission a) noexcept {
+  switch (a) {
+    case Admission::kAdmit:          return "admit";
+    case Admission::kShedOverCap:    return "over_cap";
+    case Admission::kShedBackground: return "background";
+  }
+  return "unknown";
+}
+
+// Bounded in-flight request budget with two-priority shedding. try_admit /
+// release are a relaxed fetch_add pair — cheap enough for every protocol
+// batch on every worker thread.
+class AdmissionController {
+ public:
+  struct Options {
+    // Concurrent in-flight protocol batches across all worker threads;
+    // 0 = unlimited (admission disabled).
+    std::size_t max_inflight = 0;
+    // Background traffic is admitted only while the in-flight count is
+    // below this fraction of max_inflight — the reserve that keeps
+    // foreground gets ahead of migration/drain traffic under pressure.
+    double background_fill = 0.5;
+  };
+
+  AdmissionController() : AdmissionController(Options{}) {}
+  explicit AdmissionController(Options options) : options_(options) {
+    PROTEUS_CHECK(options_.background_fill >= 0.0 &&
+                  options_.background_fill <= 1.0);
+  }
+
+  // Claims one in-flight slot. On any shed verdict the slot is NOT held —
+  // only kAdmit must be paired with release().
+  Admission try_admit(bool background) noexcept {
+    if (options_.max_inflight == 0) return Admission::kAdmit;
+    const std::size_t now_inflight =
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (now_inflight > options_.max_inflight) {
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      return Admission::kShedOverCap;
+    }
+    if (background &&
+        static_cast<double>(now_inflight) >
+            options_.background_fill *
+                static_cast<double>(options_.max_inflight)) {
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      return Admission::kShedBackground;
+    }
+    return Admission::kAdmit;
+  }
+
+  void release() noexcept { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  std::size_t inflight() const noexcept {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept { return options_.max_inflight > 0; }
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+  std::atomic<std::size_t> inflight_{0};
+};
+
+// --- client-side AIMD concurrency limiter ------------------------------------
+
+// Caps concurrent backend (database) fetches, adapting the cap to observed
+// latency: a sample past `latency_target` multiplies the limit by
+// `decrease_factor` (the backend is saturating — back off before the queue
+// diverges), a fast sample grows it additively (probe for headroom). The
+// overload signal (`overloaded()`) latches on any shed or slow sample and
+// clears on a fast one; callers use it to engage secondary throttles
+// (MigrationThrottle) without extra bookkeeping.
+//
+// Mutex-protected throughout: it only sits on the miss path (a few per
+// millisecond at worst), and reconfiguration (`configure`) may race with
+// try_begin/end from other client threads — e.g. during a fleet resize.
+class AdaptiveLimiter {
+ public:
+  struct Options {
+    double initial_limit = 16.0;
+    double min_limit = 1.0;
+    double max_limit = 1024.0;
+    SimTime latency_target = 20 * kMillisecond;
+    double decrease_factor = 0.7;   // multiplicative, on a slow sample
+    double increase_per_ack = 1.0;  // limit += inc/limit, on a fast sample
+  };
+
+  AdaptiveLimiter() : AdaptiveLimiter(Options{}) {}
+  explicit AdaptiveLimiter(Options options) { configure(options); }
+
+  // Live reconfiguration (operator knob turn, capacity resize). Clamps the
+  // current limit into the new [min, max] band.
+  void configure(Options options) {
+    PROTEUS_CHECK(options.min_limit >= 1.0);
+    PROTEUS_CHECK(options.max_limit >= options.min_limit);
+    PROTEUS_CHECK(options.decrease_factor > 0.0 &&
+                  options.decrease_factor < 1.0);
+    const std::lock_guard<std::mutex> lock(mu_);
+    options_ = options;
+    limit_ = std::clamp(limit_ > 0 ? limit_ : options.initial_limit,
+                        options.min_limit, options.max_limit);
+  }
+
+  // Claims a fetch slot; false = over the adaptive limit (shed — serve a
+  // degraded response instead of queueing on the backend).
+  bool try_begin() noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<double>(inflight_ + 1) > limit_) {
+      ++sheds_;
+      overloaded_ = true;
+      return false;
+    }
+    ++inflight_;
+    return true;
+  }
+
+  // Completes a fetch and feeds its latency into the AIMD loop.
+  void end(SimTime observed_latency) noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (inflight_ > 0) --inflight_;
+    if (observed_latency > options_.latency_target) {
+      limit_ = std::max(options_.min_limit, limit_ * options_.decrease_factor);
+      overloaded_ = true;
+    } else {
+      limit_ = std::min(options_.max_limit,
+                        limit_ + options_.increase_per_ack / limit_);
+      overloaded_ = false;
+    }
+  }
+
+  // Completes a fetch without a sample (the fetch failed for a reason that
+  // says nothing about backend latency).
+  void cancel() noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (inflight_ > 0) --inflight_;
+  }
+
+  bool overloaded() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return overloaded_;
+  }
+  double limit() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return limit_;
+  }
+  int inflight() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return inflight_;
+  }
+  std::uint64_t sheds() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return sheds_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Options options_;
+  double limit_ = 0.0;  // configure() seeds it from initial_limit
+  int inflight_ = 0;
+  bool overloaded_ = false;
+  std::uint64_t sheds_ = 0;
+};
+
+// --- singleflight (dogpile suppression) --------------------------------------
+
+// Collapses concurrent fetches of the same key into one: the first caller
+// (the leader) executes `fn`; callers arriving while it runs block until
+// the leader finishes and share its result. nullopt results (e.g. the
+// leader was shed by the AdaptiveLimiter) propagate to every waiter — at
+// overload, everyone degrades together rather than retrying in a herd.
+//
+// `fn` runs WITHOUT any group lock held, so fetches for distinct keys
+// proceed in parallel and the group itself can never deadlock the backend.
+class SingleflightGroup {
+ public:
+  using Fetch = std::function<std::optional<std::string>()>;
+
+  struct Result {
+    std::optional<std::string> value;
+    bool leader = false;  // this caller executed the fetch itself
+  };
+
+  Result run(const std::string& key, const Fetch& fn) {
+    std::shared_ptr<Call> call;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      auto it = calls_.find(key);
+      if (it != calls_.end()) {
+        call = it->second;
+      } else {
+        call = std::make_shared<Call>();
+        calls_.emplace(key, call);
+      }
+    }
+    if (call->leader_claimed.exchange(true)) {
+      // Follower: wait for the leader's verdict.
+      std::unique_lock<std::mutex> lock(call->mu);
+      call->cv.wait(lock, [&call] { return call->done; });
+      collapsed_.fetch_add(1, std::memory_order_relaxed);
+      return {call->value, false};
+    }
+    // Leader: fetch outside all locks, publish, then retire the entry so
+    // later callers start a fresh fetch (the value may already be cached by
+    // the time they arrive; staleness is the cache's business, not ours).
+    std::optional<std::string> value = fn();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      calls_.erase(key);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(call->mu);
+      call->value = value;
+      call->done = true;
+    }
+    call->cv.notify_all();
+    return {std::move(value), true};
+  }
+
+  // Fetches that piggybacked on another caller's in-flight fetch.
+  std::uint64_t collapsed() const noexcept {
+    return collapsed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Call {
+    std::atomic<bool> leader_claimed{false};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<std::string> value;
+  };
+
+  std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Call>> calls_;
+  std::atomic<std::uint64_t> collapsed_{0};
+};
+
+// --- transition-aware migration pacing ---------------------------------------
+
+// Token-bucket pacing for Algorithm 2 line 12 write-backs, engaged only
+// while the overload signal is up: in the steady state every old-location
+// hit migrates immediately (the paper's behaviour); under overload,
+// migration stores are rationed so the digest drains slower but foreground
+// work keeps the capacity. Deferring a write-back is always safe — the key
+// stays resident on its draining old server and the next allowed hit
+// migrates it.
+class MigrationThrottle {
+ public:
+  struct Options {
+    double rate_per_sec = 200.0;  // migration stores allowed per second
+    double burst = 32.0;          // bucket depth
+  };
+
+  MigrationThrottle() : MigrationThrottle(Options{}) {}
+  explicit MigrationThrottle(Options options)
+      : options_(options), tokens_(options.burst) {
+    PROTEUS_CHECK(options_.rate_per_sec >= 0.0);
+    PROTEUS_CHECK(options_.burst >= 1.0);
+  }
+
+  // Raise/clear the overload signal (from AdaptiveLimiter::overloaded(),
+  // a queue-depth check, or an operator switch).
+  void set_overloaded(bool overloaded) noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    overloaded_ = overloaded;
+  }
+  bool overloaded() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return overloaded_;
+  }
+
+  // May this old-location hit migrate its value now? Free whenever the
+  // overload signal is down; token-bucket paced while it is up.
+  bool allow(SimTime now) noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!overloaded_) {
+      last_refill_ = now;
+      return true;
+    }
+    if (options_.rate_per_sec <= 0.0) {  // pacing rate 0: defer everything
+      ++deferred_;
+      return false;
+    }
+    if (now > last_refill_) {
+      const double elapsed_s =
+          static_cast<double>(now - last_refill_) / static_cast<double>(kSecond);
+      tokens_ = std::min(options_.burst,
+                         tokens_ + elapsed_s * options_.rate_per_sec);
+      last_refill_ = now;
+    }
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    ++deferred_;
+    return false;
+  }
+
+  std::uint64_t deferred() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return deferred_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Options options_;
+  double tokens_;
+  SimTime last_refill_ = 0;
+  bool overloaded_ = false;
+  std::uint64_t deferred_ = 0;
+};
+
+}  // namespace proteus::core

@@ -95,6 +95,21 @@ std::string Proteus::get_inner(std::string_view key, SimTime now,
                   d.fallback, obs::SpanCause::kHit, key);
       }
       // Line 12: on-demand migration; subsequent requests hit the primary.
+      // Under overload the throttle defers the write-back — the hit is
+      // still served from the old location, but migration stops competing
+      // with foreground traffic until the pressure clears.
+      if (options_.migration_throttle != nullptr &&
+          !options_.migration_throttle->allow(now)) {
+        ++stats_.migrations_deferred;
+        obs::emit(options_.trace, now, obs::TraceEventKind::kMigrationDeferred,
+                  d.fallback, d.primary, value->size(), key);
+        if (ctx.active()) {
+          ctx.child(obs::span_clock_now(), obs::SpanKind::kMigrationStore,
+                    d.primary, obs::SpanCause::kThrottled, key);
+          ctx.root_cause = obs::SpanCause::kOldHit;
+        }
+        return *value;
+      }
       mutable_server(d.primary).set(k, *value, now, charge_for(*value));
       if (ctx.active()) {
         ctx.child(obs::span_clock_now(), obs::SpanKind::kMigrationStore,
@@ -253,6 +268,9 @@ void Proteus::register_metrics(obs::MetricsRegistry& registry) const {
        [](const ProteusStats& s) { return s.puts; });
   stat("proteus_resizes_total", "provisioning transitions begun",
        [](const ProteusStats& s) { return s.resizes; });
+  stat("proteus_migrations_deferred_total",
+       "line-12 write-backs deferred by the migration throttle",
+       [](const ProteusStats& s) { return s.migrations_deferred; });
   registry.gauge_fn("proteus_hit_ratio", "cache-tier hit ratio",
                     [this] { return stats_.hit_ratio(); });
   registry.gauge_fn("proteus_active_servers", "servers in the current mapping",

@@ -33,6 +33,7 @@
 #include "cache/cache_server.h"
 #include "cluster/router.h"
 #include "common/time.h"
+#include "core/overload.h"
 #include "hashring/migration_plan.h"
 #include "hashring/proteus_placement.h"
 #include "obs/metrics.h"
@@ -59,6 +60,13 @@ struct ProteusOptions {
   // (root + tiled per-cause children on the steady clock) here. Null
   // disables tracing; sample_every on the collector sets the rate.
   obs::SpanCollector* spans = nullptr;
+  // Transition-aware pacing of Algorithm 2 on-demand migration. When set
+  // and the throttle reports overload, old-location hits are still served
+  // but the line-12 write-back to the new primary is deferred (the next
+  // request pays the old-location probe again instead of competing with
+  // foreground traffic for write capacity). Null migrates unconditionally.
+  // Not owned; must outlive this object.
+  core::MigrationThrottle* migration_throttle = nullptr;
 };
 
 struct ProteusStats {
@@ -73,6 +81,9 @@ struct ProteusStats {
   std::uint64_t digest_false_negatives = 0;
   std::uint64_t puts = 0;
   std::uint64_t resizes = 0;
+  // Old-location hits whose write-back to the new primary was deferred by
+  // the migration throttle (served correctly, just not migrated yet).
+  std::uint64_t migrations_deferred = 0;
 
   double hit_ratio() const noexcept {
     return gets ? static_cast<double>(new_server_hits + old_server_hits) /

@@ -1,6 +1,8 @@
 #include "net/fault_injector.h"
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 namespace proteus::net {
@@ -21,7 +23,9 @@ class FaultInjectingHandler final : public ConnectionHandler {
 
   std::string on_data(std::string_view bytes, bool& close) override {
     if (stalled_) return {};  // black hole: once stalled, stay stalled
-    switch (injector_->take()) {
+    if (loris_) return trickle(bytes, close);
+    SimTime ramp_delay = 0;
+    switch (injector_->take(&ramp_delay)) {
       case FaultKind::kNone:
         return inner_->on_data(bytes, close);
       case FaultKind::kDropConnection:
@@ -39,14 +43,35 @@ class FaultInjectingHandler final : public ConnectionHandler {
         close = true;  // die mid-write
         return reply.substr(0, reply.size() / 2);
       }
+      case FaultKind::kSlowLoris:
+        loris_ = true;
+        return trickle(bytes, close);
+      case FaultKind::kLatencyRamp:
+        // Blocking sleep on the serving thread: the whole poll loop slows
+        // down, exactly as a daemon sliding into saturation would.
+        std::this_thread::sleep_for(std::chrono::microseconds(ramp_delay));
+        return inner_->on_data(bytes, close);
     }
     return {};
   }
 
  private:
+  // Slow-loris delivery: buffer whatever arrived and advance the inner
+  // session by a single byte per event. Commands creep toward completion
+  // while the connection stays pinned.
+  std::string trickle(std::string_view bytes, bool& close) {
+    loris_buf_.append(bytes.data(), bytes.size());
+    if (loris_buf_.empty()) return {};
+    const char byte = loris_buf_.front();
+    loris_buf_.erase(0, 1);
+    return inner_->on_data(std::string_view(&byte, 1), close);
+  }
+
   std::unique_ptr<ConnectionHandler> inner_;
   FaultInjector* injector_;
   bool stalled_ = false;
+  bool loris_ = false;
+  std::string loris_buf_;
 };
 
 std::unique_ptr<ConnectionHandler> FaultInjector::wrap(

@@ -37,6 +37,20 @@ enum class FaultKind {
   // Send only a prefix of the real reply, then close — a daemon dying
   // mid-write (partial write / truncation).
   kTruncateReply,
+  // Slow-loris: once triggered on a connection, arriving bytes are trickled
+  // into the protocol session ONE per event instead of as whole chunks.
+  // Commands crawl toward completion while the connection (and any partial
+  // parse state) stays pinned — the resource-exhaustion attack the
+  // connection cap and idle reaper must survive. Sticky per connection,
+  // like kStall.
+  kSlowLoris,
+  // Latency ramp: the n-th faulted chunk is served only after sleeping
+  // n * ramp_step — a daemon sliding into saturation. The sleep happens on
+  // the serving thread, so the whole poll loop slows down exactly as a
+  // saturating daemon's would; clients see steadily growing reply latency
+  // (what deadlines and AIMD limiters key off). Schedule via
+  // inject_latency_ramp().
+  kLatencyRamp,
 };
 
 class FaultInjector {
@@ -50,6 +64,15 @@ class FaultInjector {
   }
   void inject_forever(FaultKind kind) {
     inject(kind, std::numeric_limits<int>::max());
+  }
+  // Sabotage the next `count` chunks with a growing delay: the first
+  // faulted chunk sleeps ramp_step, the second 2 * ramp_step, ...
+  void inject_latency_ramp(SimTime ramp_step, int count) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    kind_ = FaultKind::kLatencyRamp;
+    remaining_ = count;
+    ramp_step_ = ramp_step;
+    ramp_taken_ = 0;
   }
   void reset() { inject(FaultKind::kNone, 0); }
 
@@ -70,19 +93,25 @@ class FaultInjector {
  private:
   friend class FaultInjectingHandler;
 
-  // Consume one scheduled fault (called per data chunk).
-  FaultKind take() {
+  // Consume one scheduled fault (called per data chunk). For kLatencyRamp,
+  // `ramp_delay` receives this fault's sleep duration.
+  FaultKind take(SimTime* ramp_delay) {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++seen_;
     if (remaining_ <= 0 || kind_ == FaultKind::kNone) return FaultKind::kNone;
     --remaining_;
     ++injected_;
+    if (kind_ == FaultKind::kLatencyRamp && ramp_delay != nullptr) {
+      *ramp_delay = ++ramp_taken_ * ramp_step_;
+    }
     return kind_;
   }
 
   mutable std::mutex mutex_;
   FaultKind kind_ = FaultKind::kNone;
   int remaining_ = 0;
+  SimTime ramp_step_ = 0;
+  int ramp_taken_ = 0;
   std::uint64_t seen_ = 0;
   std::uint64_t injected_ = 0;
 };

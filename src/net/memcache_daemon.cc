@@ -14,36 +14,107 @@ SimTime monotonic_now() {
 
 namespace {
 
+// Cheap, allocation-free batch classification for two-priority admission.
+// A batch is background when its first command is tagged with the trailing
+// `bg` token (instrumented clients mark migration fetches that way) or is
+// digest-key traffic — both are §IV maintenance work that must yield to
+// foreground gets under pressure.
+bool text_batch_is_background(std::string_view bytes) {
+  const std::size_t eol = bytes.find("\r\n");
+  const std::string_view line =
+      eol == std::string_view::npos ? bytes : bytes.substr(0, eol);
+  if (line.size() >= 3 && line.substr(line.size() - 3) == " bg") return true;
+  if (line.rfind("get ", 0) != 0) return false;
+  const std::string_view first_key = line.substr(4, line.find(' ', 4) - 4);
+  return first_key == cache::kSetBloomFilterKey ||
+         first_key == cache::kGetBloomFilterKey;
+}
+
+bool binary_batch_is_background(std::string_view bytes) {
+  if (bytes.size() < cache::binary::kHeaderSize) return false;
+  const std::uint16_t key_len = cache::binary::get_u16(bytes, 2);
+  const auto extras_len = static_cast<std::uint8_t>(bytes[4]);
+  const std::size_t key_off = cache::binary::kHeaderSize + extras_len;
+  if (bytes.size() < key_off + key_len) return false;
+  const std::string_view key = bytes.substr(key_off, key_len);
+  return key == cache::kSetBloomFilterKey || key == cache::kGetBloomFilterKey;
+}
+
+// Shed replies never touch the cache. Text gets one SERVER_ERROR line for
+// the whole batch; binary echoes the first frame's opcode/opaque in an
+// EBUSY response so a correlating client attributes the refusal correctly.
+constexpr std::string_view kTextShedReply = "SERVER_ERROR overloaded\r\n";
+
+std::string binary_shed_reply(std::string_view bytes) {
+  cache::binary::Frame f;  // defaults: noop opcode, opaque 0
+  if (bytes.size() >= cache::binary::kHeaderSize) {
+    f.opcode = static_cast<cache::binary::Opcode>(bytes[1]);
+    f.opaque = cache::binary::get_u32(bytes, 12);
+  }
+  f.status_or_vbucket =
+      static_cast<std::uint16_t>(cache::binary::Status::kBusy);
+  return cache::binary::encode_frame(f, cache::binary::kResponseMagic);
+}
+
 // Sniffs the first byte to pick the protocol, then delegates. The mutex
 // serializes cache access across the daemon's worker threads; the protocol
 // sessions themselves are connection-local.
 class AutoProtocolHandler final : public ConnectionHandler {
  public:
-  AutoProtocolHandler(cache::CacheServer& cache, std::mutex& mutex,
+  AutoProtocolHandler(cache::CacheServer& cache, std::timed_mutex& mutex,
                       const ClockFn& clock, const obs::MetricsRegistry* metrics,
                       obs::Histogram* op_latency, obs::SpanCollector* spans,
-                      int server_id)
+                      int server_id, const AdmissionOptions& admission_opts,
+                      core::AdmissionController* admission,
+                      DaemonShedCounters* sheds)
       : cache_(cache),
         mutex_(mutex),
         clock_(clock),
         metrics_(metrics),
         op_latency_(op_latency),
         spans_(spans),
-        server_id_(server_id) {}
+        server_id_(server_id),
+        admission_opts_(admission_opts),
+        admission_(admission),
+        sheds_(sheds) {}
 
   std::string on_data(std::string_view bytes, bool& close) override {
     if (!text_ && !binary_) {
       if (bytes.empty()) return {};
+      const cache::PipelinePolicy pipeline{
+          admission_opts_.pipeline_cap,
+          sheds_ != nullptr ? &sheds_->pipeline : nullptr};
       if (static_cast<std::uint8_t>(bytes.front()) ==
           cache::binary::kRequestMagic) {
         binary_ = std::make_unique<cache::BinaryProtocolSession>(
-            cache_, spans_, server_id_);
+            cache_, spans_, server_id_, pipeline);
       } else {
         text_ = std::make_unique<cache::TextProtocolSession>(
-            cache_, metrics_, spans_, server_id_);
+            cache_, metrics_, spans_, server_id_, pipeline);
       }
     }
     const SimTime now = clock_();
+    // Admission: shed whole batches before any parsing or locking. The
+    // shed reply is well-formed for the sniffed protocol and the connection
+    // stays open — the client degrades instead of reconnecting. (A batch
+    // that splits one command across chunks loses its remnant; the parser
+    // resynchronizes on the next line, answered with a recoverable ERROR.)
+    bool admitted = false;
+    if (admission_ != nullptr && admission_->enabled()) {
+      const bool background = binary_ ? binary_batch_is_background(bytes)
+                                      : text_batch_is_background(bytes);
+      switch (admission_->try_admit(background)) {
+        case core::Admission::kAdmit:
+          admitted = true;
+          break;
+        case core::Admission::kShedOverCap:
+          sheds_->over_cap.fetch_add(1, std::memory_order_relaxed);
+          return shed_reply(bytes);
+        case core::Admission::kShedBackground:
+          sheds_->background.fetch_add(1, std::memory_order_relaxed);
+          return shed_reply(bytes);
+      }
+    }
     // The trace id a batch carries is only known once feed() parses it, so
     // the mutex wait is timed up front and attributed afterwards to the id
     // the batch turned out to carry (last_trace_id advances only on traced
@@ -53,10 +124,25 @@ class AutoProtocolHandler final : public ConnectionHandler {
     std::string out;
     SimTime lock_acquired = 0;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      std::unique_lock<std::timed_mutex> lock(mutex_, std::defer_lock);
+      if (admission_opts_.queue_deadline_us > 0) {
+        // Queue-deadline shedding: a batch that waited this long is stale —
+        // its client has likely timed out, so finishing it is wasted work.
+        if (!lock.try_lock_for(std::chrono::microseconds(
+                admission_opts_.queue_deadline_us))) {
+          if (sheds_ != nullptr) {
+            sheds_->queue_deadline.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (admitted) admission_->release();
+          return shed_reply(bytes);
+        }
+      } else {
+        lock.lock();
+      }
       if (spans_ != nullptr) lock_acquired = obs::span_clock_now();
       out = binary_ ? binary_->feed(bytes, now) : text_->feed(bytes, now);
     }
+    if (admitted) admission_->release();
     if (spans_ != nullptr) {
       const std::uint64_t tid = last_trace_id();
       if (tid != 0 && tid != tid_before) {
@@ -87,13 +173,20 @@ class AutoProtocolHandler final : public ConnectionHandler {
     return 0;
   }
 
+  std::string shed_reply(std::string_view bytes) const {
+    return binary_ ? binary_shed_reply(bytes) : std::string(kTextShedReply);
+  }
+
   cache::CacheServer& cache_;
-  std::mutex& mutex_;
+  std::timed_mutex& mutex_;
   const ClockFn& clock_;
   const obs::MetricsRegistry* metrics_;
   obs::Histogram* op_latency_;
   obs::SpanCollector* spans_;
   int server_id_;
+  const AdmissionOptions& admission_opts_;
+  core::AdmissionController* admission_;
+  DaemonShedCounters* sheds_;
   std::unique_ptr<cache::TextProtocolSession> text_;
   std::unique_ptr<cache::BinaryProtocolSession> binary_;
 };
@@ -104,7 +197,8 @@ std::unique_ptr<ConnectionHandler> MemcacheDaemon::make_handler() {
   std::unique_ptr<ConnectionHandler> handler =
       std::make_unique<AutoProtocolHandler>(cache_, cache_mutex_, clock_,
                                             &metrics_, op_latency_, &spans_,
-                                            server_id_);
+                                            server_id_, admission_opts_,
+                                            &admission_, &sheds_);
   const std::lock_guard<std::mutex> lock(wrapper_mutex_);
   return wrapper_ ? wrapper_(std::move(handler)) : std::move(handler);
 }
@@ -178,6 +272,27 @@ void MemcacheDaemon::register_metrics() {
       "proteus_spans_dropped_total",
       "spans overwritten because the collector ring was full",
       [this] { return static_cast<double>(spans_.dropped()); });
+  // Overload protection: one counter per shed reason plus the live
+  // in-flight gauge (the CI overload smoke greps for these).
+  metrics_.counter_fn(
+      "proteus_daemon_shed_over_cap_total",
+      "batches shed because the in-flight budget was exhausted",
+      [this] { return static_cast<double>(shed_over_cap()); });
+  metrics_.counter_fn(
+      "proteus_daemon_shed_background_total",
+      "background batches shed to preserve foreground headroom",
+      [this] { return static_cast<double>(shed_background()); });
+  metrics_.counter_fn(
+      "proteus_daemon_shed_queue_deadline_total",
+      "batches shed after waiting past the queue deadline",
+      [this] { return static_cast<double>(shed_queue_deadline()); });
+  metrics_.counter_fn(
+      "proteus_daemon_shed_pipeline_total",
+      "pipelined commands shed over the per-batch cap",
+      [this] { return static_cast<double>(shed_pipeline()); });
+  metrics_.gauge_fn(
+      "proteus_daemon_inflight", "protocol batches currently being served",
+      [this] { return static_cast<double>(inflight()); });
   op_latency_ = metrics_.histogram(
       "proteus_daemon_op_latency_us",
       "server-side protocol batch service time (lock wait + cache work)");
@@ -185,12 +300,16 @@ void MemcacheDaemon::register_metrics() {
 
 MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
                                ClockFn clock, int threads,
-                               TcpServer::Limits limits)
+                               TcpServer::Limits limits,
+                               AdmissionOptions admission)
     : trace_(4096),
       cache_([&] {
         if (config.trace == nullptr) config.trace = &trace_;
         return std::move(config);
       }()),
+      admission_opts_(admission),
+      admission_(core::AdmissionController::Options{
+          admission.max_inflight, admission.background_fill}),
       clock_(std::move(clock)) {
   PROTEUS_CHECK(threads >= 1);
   register_metrics();
@@ -228,24 +347,24 @@ void MemcacheDaemon::stop() {
 }
 
 cache::CacheStats MemcacheDaemon::stats_snapshot() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
   return cache_.stats();
 }
 
 std::size_t MemcacheDaemon::item_count() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
   return cache_.item_count();
 }
 
 std::size_t MemcacheDaemon::bytes_used() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
   return cache_.bytes_used();
 }
 
 std::string MemcacheDaemon::metrics_text() const {
   std::vector<obs::MetricSample> samples;
   {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
     samples = metrics_.snapshot();
   }
   return obs::render_prometheus(samples);

@@ -25,6 +25,7 @@
 // evaluation uses the simulator instead).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -35,6 +36,7 @@
 #include "cache/binary_protocol.h"
 #include "cache/cache_server.h"
 #include "cache/text_protocol.h"
+#include "core/overload.h"
 #include "net/tcp_server.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -46,14 +48,45 @@ namespace proteus::net {
 using ClockFn = std::function<SimTime()>;
 SimTime monotonic_now();
 
+// Overload-protection knobs (all off by default — a bare daemon behaves
+// exactly as before). See core/overload.h for the mechanism and
+// docs/OPERATIONS.md §10 for tuning guidance.
+struct AdmissionOptions {
+  // Concurrent protocol batches served across all connections/threads;
+  // excess batches are answered `SERVER_ERROR overloaded` / binary EBUSY.
+  // 0 = unlimited.
+  std::size_t max_inflight = 0;
+  // Longest a batch may wait for the cache mutex before being shed (stale
+  // work is not worth doing — the client has likely timed out). 0 = wait
+  // forever. Microseconds, same unit as the daemon clock.
+  SimTime queue_deadline_us = 0;
+  // Cache-touching commands served per protocol batch; the rest of the
+  // batch is answered with per-command shed replies. 0 = unlimited.
+  int pipeline_cap = 0;
+  // Two-priority scheduling: background batches (trailing `bg` token or
+  // digest-key traffic) are shed once in-flight exceeds this fraction of
+  // max_inflight, reserving headroom for foreground requests.
+  double background_fill = 0.5;
+};
+
+// Daemon-wide shed accounting, one counter per reason (all on /metrics).
+struct DaemonShedCounters {
+  std::atomic<std::uint64_t> over_cap{0};        // in-flight budget exhausted
+  std::atomic<std::uint64_t> background{0};      // bg shed under priority rule
+  std::atomic<std::uint64_t> queue_deadline{0};  // cache-mutex wait too long
+  std::atomic<std::uint64_t> pipeline{0};        // per-batch pipeline cap
+};
+
 class MemcacheDaemon {
  public:
   // Binds 127.0.0.1:`port` (0 = ephemeral). The daemon owns the cache.
   // `limits` hardens the byte server against misbehaving peers (connection
   // cap, slow-reader outbox bound, idle reaping) — see TcpServer::Limits.
+  // `admission` turns on overload protection (off by default).
   MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
                  ClockFn clock = monotonic_now, int threads = 1,
-                 TcpServer::Limits limits = {});
+                 TcpServer::Limits limits = {},
+                 AdmissionOptions admission = {});
 
   bool ok() const noexcept;
   std::uint16_t port() const noexcept { return servers_.front()->port(); }
@@ -110,6 +143,28 @@ class MemcacheDaemon {
   std::uint64_t idle_reaped() const noexcept;
   std::uint64_t slow_reader_drops() const noexcept;
 
+  // --- overload protection introspection -----------------------------------
+  const AdmissionOptions& admission_options() const noexcept {
+    return admission_opts_;
+  }
+  std::size_t inflight() const noexcept { return admission_.inflight(); }
+  std::uint64_t shed_over_cap() const noexcept {
+    return sheds_.over_cap.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_background() const noexcept {
+    return sheds_.background.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_queue_deadline() const noexcept {
+    return sheds_.queue_deadline.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed_pipeline() const noexcept {
+    return sheds_.pipeline.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sheds_total() const noexcept {
+    return shed_over_cap() + shed_background() + shed_queue_deadline() +
+           shed_pipeline();
+  }
+
  private:
   std::unique_ptr<ConnectionHandler> make_handler();
   void register_metrics();
@@ -118,7 +173,11 @@ class MemcacheDaemon {
   obs::SpanCollector spans_{/*capacity=*/16384};
   int server_id_ = -1;
   cache::CacheServer cache_;
-  mutable std::mutex cache_mutex_;  // guards cache_ across worker threads
+  // timed_mutex: queue-deadline shedding bounds how long a batch may wait.
+  mutable std::timed_mutex cache_mutex_;
+  AdmissionOptions admission_opts_;
+  core::AdmissionController admission_;
+  mutable DaemonShedCounters sheds_;
   std::mutex wrapper_mutex_;
   HandlerWrapper wrapper_;
   ClockFn clock_;

@@ -1,30 +1,36 @@
 // Wire-path error taxonomy shared by the live client and the daemon.
 //
-// Every failure on a real socket collapses into one of four actionable
+// Every failure on a real socket collapses into one of five actionable
 // categories: the peer never answered in time (kTimeout), the transport
-// failed (kRefused / kReset), or the bytes that did arrive were not valid
-// protocol (kProtocol). Retry policy keys off this: timeouts and resets are
-// retryable against the same or another replica; protocol desync means the
-// stream position is unknown and the connection must be abandoned.
+// failed (kRefused / kReset), the bytes that did arrive were not valid
+// protocol (kProtocol), or the peer answered but explicitly refused the
+// work (kOverloaded — admission control shed the request). Retry policy
+// keys off this: timeouts and resets are retryable against the same or
+// another replica; protocol desync means the stream position is unknown and
+// the connection must be abandoned; an overload shed is a healthy,
+// well-formed reply — the connection stays usable, but retrying immediately
+// would feed the very overload being shed, so callers degrade instead.
 #pragma once
 
 namespace proteus::net {
 
 enum class NetError {
-  kNone = 0,   // no error (a clean miss is NOT an error)
-  kRefused,    // connect failed (ECONNREFUSED, unreachable, resolve failure)
-  kTimeout,    // per-op deadline expired before the peer answered
-  kReset,      // connection reset / EOF mid-operation / EPIPE
-  kProtocol,   // peer answered with bytes that are not valid protocol
+  kNone = 0,     // no error (a clean miss is NOT an error)
+  kRefused,      // connect failed (ECONNREFUSED, unreachable, resolve failure)
+  kTimeout,      // per-op deadline expired before the peer answered
+  kReset,        // connection reset / EOF mid-operation / EPIPE
+  kProtocol,     // peer answered with bytes that are not valid protocol
+  kOverloaded,   // peer shed the request (SERVER_ERROR overloaded / EBUSY)
 };
 
 inline const char* net_error_name(NetError e) noexcept {
   switch (e) {
-    case NetError::kNone:     return "none";
-    case NetError::kRefused:  return "refused";
-    case NetError::kTimeout:  return "timeout";
-    case NetError::kReset:    return "reset";
-    case NetError::kProtocol: return "protocol";
+    case NetError::kNone:       return "none";
+    case NetError::kRefused:    return "refused";
+    case NetError::kTimeout:    return "timeout";
+    case NetError::kReset:      return "reset";
+    case NetError::kProtocol:   return "protocol";
+    case NetError::kOverloaded: return "overloaded";
   }
   return "unknown";
 }

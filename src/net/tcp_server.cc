@@ -79,8 +79,15 @@ void TcpServer::accept_new() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN or error: nothing more to accept
     if (connections_.size() >= limits_.max_connections) {
-      // Over the cap: shed the connection immediately rather than let one
-      // client exhaust our descriptors.
+      // Over the cap: shed the connection rather than let one client
+      // exhaust our descriptors — but say so first. A silent close looks
+      // like a network fault and triggers client retries/breakers; a
+      // best-effort overload line tells the client to degrade instead.
+      // MSG_DONTWAIT: never block the accept loop for a full send buffer.
+      static constexpr char kOverloadedLine[] = "SERVER_ERROR overloaded\r\n";
+      [[maybe_unused]] const ssize_t sent =
+          ::send(fd, kOverloadedLine, sizeof(kOverloadedLine) - 1,
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
       ::close(fd);
       ++rejected_;
       continue;

@@ -83,6 +83,9 @@ std::string_view span_cause_name(SpanCause cause) noexcept {
     case SpanCause::kFailoverHit: return "failover_hit";
     case SpanCause::kBackendFill: return "backend_fill";
     case SpanCause::kStored: return "stored";
+    case SpanCause::kShed: return "shed";
+    case SpanCause::kCoalesced: return "coalesced";
+    case SpanCause::kThrottled: return "throttled";
   }
   return "unknown";
 }

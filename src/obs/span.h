@@ -82,6 +82,9 @@ enum class SpanCause {
   kFailoverHit,    // served by a §III-E replica
   kBackendFill,    // served by the database
   kStored,         // write-back / fill stored
+  kShed,           // request shed by overload protection (server or limiter)
+  kCoalesced,      // backend fetch piggybacked on a singleflight leader
+  kThrottled,      // migration write-back deferred by the overload throttle
 };
 
 std::string_view span_kind_name(SpanKind kind) noexcept;

@@ -45,6 +45,7 @@ std::string_view trace_event_name(TraceEventKind kind) noexcept {
     case TraceEventKind::kDigestFalsePositive: return "digest_false_positive";
     case TraceEventKind::kDigestFalseNegative: return "digest_false_negative";
     case TraceEventKind::kTtlExpiry: return "ttl_expiry";
+    case TraceEventKind::kMigrationDeferred: return "migration_deferred";
   }
   return "unknown";
 }

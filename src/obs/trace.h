@@ -44,6 +44,8 @@ enum class TraceEventKind {
   kDigestFalsePositive,  // digest said hot, old server missed; server=old
   kDigestFalseNegative,  // digest said cold but the key was resident; server=old
   kTtlExpiry,            // item(s) idle past TTL; server, n=items, key if single
+  kMigrationDeferred,    // line 12 write-back paced off under overload;
+                         // server=old location, peer=new
 };
 
 std::string_view trace_event_name(TraceEventKind kind) noexcept;

@@ -2,6 +2,7 @@
 // of random operations, invariants checked after every step.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <iterator>
 #include <set>
@@ -129,6 +130,71 @@ TEST_P(FacadeFuzz, NeverServesStaleDataAcrossRandomResizes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FacadeFuzz,
                          ::testing::Values(2ull, 42ull, 777ull, 123456ull));
+
+// --- overload: the pipeline shed path must never desync the stream -----------
+
+class ShedPathFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShedPathFuzz, PipelineShedKeepsProtocolSyncUnderChunking) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  // Random valid script, heavy on storage commands: a shed set must still
+  // consume its data block or the payload replays as commands.
+  std::string wire;
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "k" + std::to_string(rng.next_below(40));
+    switch (rng.next_below(4)) {
+      case 0:
+      case 1: {
+        const auto len = static_cast<std::size_t>(rng.next_below(64));
+        std::string payload;
+        for (std::size_t b = 0; b < len; ++b) {
+          payload += static_cast<char>('a' + rng.next_below(26));
+        }
+        wire += "set " + key + " 0 0 " + std::to_string(len) + "\r\n" +
+                payload + "\r\n";
+        break;
+      }
+      case 2: wire += "get " + key + "\r\n"; break;
+      case 3: wire += "delete " + key + " noreply\r\n"; break;
+    }
+  }
+
+  for (const int cap : {1, 2, 5}) {
+    for (const std::size_t max_chunk : {std::size_t{1}, std::size_t{9},
+                                        std::size_t{4096}}) {
+      cache::CacheConfig cfg;
+      cfg.memory_budget_bytes = 4 << 20;
+      cache::CacheServer server(cfg);
+      std::atomic<std::uint64_t> sheds{0};
+      cache::TextProtocolSession session(server, nullptr, nullptr, -1,
+                                         cache::PipelinePolicy{cap, &sheds});
+      Rng chunk_rng(seed ^ max_chunk ^ static_cast<std::uint64_t>(cap));
+      std::size_t pos = 0;
+      while (pos < wire.size()) {
+        const std::size_t n = std::min<std::size_t>(
+            wire.size() - pos, 1 + chunk_rng.next_below(max_chunk));
+        session.feed(std::string_view(wire).substr(pos, n), 0);
+        pos += n;
+      }
+      // However many commands were shed along the way, the session must
+      // still be in perfect protocol sync: a fresh single-command batch
+      // (within any cap >= 1) round-trips exactly.
+      ASSERT_FALSE(session.closed());
+      EXPECT_EQ(session.feed("set canary 0 0 2\r\nok\r\n", 0), "STORED\r\n");
+      EXPECT_EQ(session.feed("get canary\r\n", 0),
+                "VALUE canary 0 2\r\nok\r\nEND\r\n");
+      if (cap == 1 && max_chunk == 4096) {
+        EXPECT_GT(sheds.load(), 0u)
+            << "big batches under cap 1 must actually exercise the shed path";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShedPathFuzz,
+                         ::testing::Values(5ull, 21ull, 909ull, 424242ull));
 
 // --- trace-token decoder: arbitrary bytes, exact-shape acceptance ------------
 

@@ -3,6 +3,8 @@
 //
 //   proteus-cached --port=11211 --mem-mb=64 --ttl-s=0 --threads=4
 //   proteus-cached --max-conns=4096 --idle-timeout-s=30 --max-outbox-mb=64
+//   proteus-cached --max-inflight=256 --queue-deadline-ms=20 \
+//                  --pipeline-cap=64 --migration-priority=0.5
 //
 // Speaks the memcached text AND binary protocols (auto-detected per
 // connection); the digest snapshot is reachable through the reserved keys
@@ -44,6 +46,41 @@ bool parse_value(const char* arg, const char* name, std::string& out) {
   return false;
 }
 
+void print_help(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: proteus-cached [flags]\n"
+      "\n"
+      "  --port=P             listen port (default 11211; 0 = ephemeral)\n"
+      "  --metrics-port=P     Prometheus /metrics + /trace + /spans HTTP port\n"
+      "  --mem-mb=M           cache memory budget in MB (default 64)\n"
+      "  --ttl-s=S            item TTL in seconds (0 = no expiry)\n"
+      "  --threads=N          SO_REUSEPORT worker poll loops (default 1)\n"
+      "  --server-id=N        fleet index stamped on server-side spans\n"
+      "  --max-conns=C        connection cap; excess accepts are told\n"
+      "                       'SERVER_ERROR overloaded' and closed\n"
+      "  --idle-timeout-s=S   reap connections idle this long\n"
+      "  --max-outbox-mb=M    slow-reader reply backlog bound\n"
+      "\n"
+      "overload protection (all off by default — see docs/OPERATIONS.md "
+      "section 10):\n"
+      "  --max-inflight=N     concurrent protocol batches across all\n"
+      "                       connections; excess batches get 'SERVER_ERROR\n"
+      "                       overloaded' (text) / status 0x85 EBUSY (binary)\n"
+      "                       instead of queueing. 0 = unlimited.\n"
+      "  --queue-deadline-ms=D  longest a batch may wait for the cache lock\n"
+      "                       before being shed (the client has likely timed\n"
+      "                       out; stale work is wasted work). 0 = forever.\n"
+      "  --pipeline-cap=N     cache-touching commands served per batch; the\n"
+      "                       rest are shed per-command. 0 = unlimited.\n"
+      "  --migration-priority=F  fraction of --max-inflight available to\n"
+      "                       background traffic (migration fetches / digest\n"
+      "                       pulls, marked by a trailing 'bg' token or the\n"
+      "                       digest keys). Below 1.0 foreground requests\n"
+      "                       keep headroom during a transition. Default "
+      "0.5.\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -57,10 +94,15 @@ int main(int argc, char** argv) {
   int threads = 1;
   int server_id = -1;
   net::TcpServer::Limits limits;
+  net::AdmissionOptions admission;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
-    if (parse_value(argv[i], "--port", value)) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      print_help(stdout);
+      return 0;
+    } else if (parse_value(argv[i], "--port", value)) {
       port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
     } else if (parse_value(argv[i], "--metrics-port", value)) {
       metrics_port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
@@ -81,12 +123,18 @@ int main(int argc, char** argv) {
     } else if (parse_value(argv[i], "--max-outbox-mb", value)) {
       limits.max_outbox_bytes =
           static_cast<std::size_t>(std::atoll(value.c_str())) << 20;
+    } else if (parse_value(argv[i], "--max-inflight", value)) {
+      admission.max_inflight =
+          static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (parse_value(argv[i], "--queue-deadline-ms", value)) {
+      admission.queue_deadline_us =
+          static_cast<proteus::SimTime>(std::atof(value.c_str()) * 1000.0);
+    } else if (parse_value(argv[i], "--pipeline-cap", value)) {
+      admission.pipeline_cap = std::atoi(value.c_str());
+    } else if (parse_value(argv[i], "--migration-priority", value)) {
+      admission.background_fill = std::atof(value.c_str());
     } else {
-      std::fprintf(stderr,
-                   "usage: proteus-cached [--port=P] [--metrics-port=P] "
-                   "[--mem-mb=M] [--ttl-s=S] "
-                   "[--threads=N] [--server-id=N] [--max-conns=C] "
-                   "[--idle-timeout-s=S] [--max-outbox-mb=M]\n");
+      print_help(stderr);
       return 2;
     }
   }
@@ -94,12 +142,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--threads must be >= 1\n");
     return 2;
   }
+  if (admission.background_fill < 0.0 || admission.background_fill > 1.0) {
+    std::fprintf(stderr, "--migration-priority must be in [0, 1]\n");
+    return 2;
+  }
 
   cache::CacheConfig cfg;
   cfg.memory_budget_bytes = mem_mb << 20;
   cfg.item_ttl = from_seconds(ttl_s);
 
-  net::MemcacheDaemon daemon(cfg, port, net::monotonic_now, threads, limits);
+  net::MemcacheDaemon daemon(cfg, port, net::monotonic_now, threads, limits,
+                             admission);
   if (!daemon.ok()) {
     std::fprintf(stderr, "failed to bind 127.0.0.1:%u\n", port);
     return 1;
@@ -147,5 +200,15 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(daemon.connections_rejected()),
                static_cast<unsigned long long>(daemon.idle_reaped()),
                static_cast<unsigned long long>(daemon.slow_reader_drops()));
+  if (daemon.sheds_total() > 0) {
+    std::fprintf(
+        stderr,
+        "overload sheds: %llu over-cap, %llu background, %llu "
+        "queue-deadline, %llu pipeline\n",
+        static_cast<unsigned long long>(daemon.shed_over_cap()),
+        static_cast<unsigned long long>(daemon.shed_background()),
+        static_cast<unsigned long long>(daemon.shed_queue_deadline()),
+        static_cast<unsigned long long>(daemon.shed_pipeline()));
+  }
   return 0;
 }

@@ -7,7 +7,11 @@
 // window. Without replication the crashed server's working set must be
 // re-fetched (a storm proportional to 1/n of the hot set); with r=2 the
 // surviving replicas absorb the crash almost entirely.
+//
+// `--json` swaps the human-readable table for one machine-readable JSON
+// object (scripts/bench_json.sh merges it into the benchmark artifact).
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -79,7 +83,17 @@ std::vector<double> backend_rate_per_window(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "usage: ext_failure_recovery [--json]\n");
+      return 2;
+    }
+  }
+
   workload::TraceConfig tc;
   tc.duration = 8 * kMinute;
   tc.num_pages = 20'000;
@@ -93,17 +107,6 @@ int main() {
   const auto r1 = backend_rate_per_window(trace, window, crash_at, 1);
   const auto r2 = backend_rate_per_window(trace, window, crash_at, 2);
 
-  std::printf("# Extension — backend fetch rate around a cache-server crash\n");
-  std::printf("# (crash of server 4 at t=240 s, 10 servers, ~600 req/s)\n");
-  std::printf("%-10s %-16s %-16s\n", "window_s", "r=1 [fetch/s]",
-              "r=2 [fetch/s]");
-  for (std::size_t w = 0; w < r1.size() && w < r2.size(); ++w) {
-    std::printf("%-10.0f %-16.1f %-16.1f%s\n", to_seconds(window) * w, r1[w],
-                r2[w],
-                static_cast<SimTime>(w) * window == crash_at ? "  <- crash"
-                                                             : "");
-  }
-
   // Summarize the storm as EXCESS over the still-decaying cold-fill
   // baseline: peak post-crash rate minus the rate in the window just
   // before the crash.
@@ -115,6 +118,38 @@ int main() {
     }
     return std::max(0.0, peak - rates[crash_window - 1]);
   };
+
+  if (json) {
+    const auto print_rates = [](const char* name,
+                                const std::vector<double>& rates) {
+      std::printf("  \"%s\": [", name);
+      for (std::size_t w = 0; w < rates.size(); ++w) {
+        std::printf("%s%.3f", w ? ", " : "", rates[w]);
+      }
+      std::printf("],\n");
+    };
+    std::printf("{\n");
+    std::printf("  \"window_s\": %.0f,\n", to_seconds(window));
+    std::printf("  \"crash_at_s\": %.0f,\n", to_seconds(crash_at));
+    print_rates("r1_fetch_per_s", r1);
+    print_rates("r2_fetch_per_s", r2);
+    std::printf("  \"excess_fetch_per_s\": {\"r1\": %.3f, \"r2\": %.3f}\n",
+                excess(r1), excess(r2));
+    std::printf("}\n");
+    return 0;
+  }
+
+  std::printf("# Extension — backend fetch rate around a cache-server crash\n");
+  std::printf("# (crash of server 4 at t=240 s, 10 servers, ~600 req/s)\n");
+  std::printf("%-10s %-16s %-16s\n", "window_s", "r=1 [fetch/s]",
+              "r=2 [fetch/s]");
+  for (std::size_t w = 0; w < r1.size() && w < r2.size(); ++w) {
+    std::printf("%-10.0f %-16.1f %-16.1f%s\n", to_seconds(window) * w, r1[w],
+                r2[w],
+                static_cast<SimTime>(w) * window == crash_at ? "  <- crash"
+                                                             : "");
+  }
+
   std::printf("# crash-induced excess fetch rate: r=1 +%.1f/s vs r=2 +%.1f/s\n",
               excess(r1), excess(r2));
   std::printf("# expected: r=1 re-fetches the crashed server's working set;\n");

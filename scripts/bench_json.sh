@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Observability benchmark export: runs the obs micro-benchmarks
-# (micro_metrics + micro_spans) with Google Benchmark's JSON reporter and
-# merges them into one machine-readable artifact, BENCH_obs.json:
+# (micro_metrics + micro_spans) with Google Benchmark's JSON reporter,
+# plus the crash-recovery extension experiment (ext_failure_recovery
+# --json), and merges them into one machine-readable artifact,
+# BENCH_obs.json:
 #
-#   { "micro_metrics": {...}, "micro_spans": {...} }
+#   { "micro_metrics": {...}, "micro_spans": {...},
+#     "ext_failure_recovery": {...} }
 #
 # Also checks the span layer's acceptance budget — should_sample() with
 # sampling disabled must cost <= 5 ns/op (BM_SpanShouldSampleDisabled).
@@ -29,7 +32,7 @@ done
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-for bin in micro_metrics micro_spans; do
+for bin in micro_metrics micro_spans ext_failure_recovery; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "bench_json.sh: $BUILD_DIR/bench/$bin not built" >&2
     echo "  (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
@@ -46,6 +49,9 @@ echo "== micro_metrics =="
 echo "== micro_spans =="
 "$BUILD_DIR/bench/micro_spans" \
   --benchmark_out="$TMP/micro_spans.json" --benchmark_out_format=json
+echo "== ext_failure_recovery =="
+"$BUILD_DIR/bench/ext_failure_recovery" --json \
+  > "$TMP/ext_failure_recovery.json"
 
 # Merge: each binary's report becomes one top-level key. Both inputs are
 # complete JSON objects, so wrapping them keeps the artifact valid JSON
@@ -55,6 +61,8 @@ echo "== micro_spans =="
   cat "$TMP/micro_metrics.json"
   printf ',\n"micro_spans":\n'
   cat "$TMP/micro_spans.json"
+  printf ',\n"ext_failure_recovery":\n'
+  cat "$TMP/ext_failure_recovery.json"
   printf '}\n'
 } > "$OUT"
 echo "wrote $OUT"

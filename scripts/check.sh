@@ -2,9 +2,11 @@
 # Sanitizer gate: build the whole tree and run the test suite under
 # AddressSanitizer + UndefinedBehaviorSanitizer. Pass `thread` as the first
 # argument to run the ThreadSanitizer configuration instead (useful for the
-# daemon's multi-threaded poll loops), or `all` for both.
+# daemon's multi-threaded poll loops), `undefined` for a standalone
+# UBSan-only build (catches UB that ASan's instrumentation happens to
+# mask), or `all` for every configuration.
 #
-#   scripts/check.sh [address|thread|all] [build-dir-prefix]
+#   scripts/check.sh [address|thread|undefined|all] [build-dir-prefix]
 set -euo pipefail
 
 MODE="${1:-address}"
@@ -23,11 +25,14 @@ run_config() {
 }
 
 case "$MODE" in
-  address) run_config asan address,undefined ;;
-  thread)  run_config tsan thread ;;
-  all)     run_config asan address,undefined
-           run_config tsan thread ;;
-  *) echo "usage: scripts/check.sh [address|thread|all] [build-dir-prefix]" >&2
+  address)   run_config asan address,undefined ;;
+  thread)    run_config tsan thread ;;
+  undefined) run_config ubsan undefined ;;
+  all)       run_config asan address,undefined
+             run_config tsan thread
+             run_config ubsan undefined ;;
+  *) echo "usage: scripts/check.sh [address|thread|undefined|all]" \
+          "[build-dir-prefix]" >&2
      exit 2 ;;
 esac
 

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test (docs/OPERATIONS.md §11), the CI analogue of
+# tests/crash_recovery_test.cc but with REAL processes and a REAL kill -9:
+#
+#   1. boot a 3-daemon proteus-cached fleet (daemon 0 exports /metrics);
+#   2. run tools/crash-drill, which fills the fleet and starts a shrink,
+#      then announces `MID-RESIZE port=<victim>`;
+#   3. kill -9 the victim mid-transition and cold-restart it on its port;
+#   4. require the drill to print RECOVERY COMPLETE (correct values, the
+#      incarnation change seen, the stale-epoch fence holding), and the
+#      /metrics artifact to show stale_epoch_rejects > 0 on the daemon
+#      that refused the stale write.
+#
+#   scripts/crash_smoke.sh [--build-dir=build] [--artifacts=artifacts]
+set -euo pipefail
+
+BUILD_DIR="build"
+ARTIFACTS="artifacts"
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#*=}" ;;
+    --artifacts=*) ARTIFACTS="${arg#*=}" ;;
+    *) echo "usage: scripts/crash_smoke.sh [--build-dir=D] [--artifacts=D]" >&2
+       exit 2 ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+CACHED="$BUILD_DIR/tools/proteus-cached"
+DRILL="$BUILD_DIR/tools/crash-drill"
+for bin in "$CACHED" "$DRILL"; do
+  [[ -x "$bin" ]] || { echo "crash_smoke.sh: $bin not built" >&2; exit 1; }
+done
+mkdir -p "$ARTIFACTS"
+
+PORT0=11441 PORT1=11442 PORT2=11443 MPORT=11449
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+start_daemon() { # port extra-flags... -> appends pid to PIDS
+  local port="$1"; shift
+  "$CACHED" --port="$port" --mem-mb=16 "$@" \
+    >> "$ARTIFACTS/crash-smoke-daemons.log" 2>&1 &
+  PIDS+=("$!")
+}
+
+: > "$ARTIFACTS/crash-smoke-daemons.log"
+start_daemon "$PORT0" --metrics-port="$MPORT" --server-id=0
+start_daemon "$PORT1" --server-id=1
+start_daemon "$PORT2" --server-id=2
+VICTIM_PID="${PIDS[2]}"
+sleep 0.5
+
+# The drill runs in the background; its stdout choreographs the kill.
+DRILL_LOG="$ARTIFACTS/crash-smoke-drill.log"
+"$DRILL" --servers="$PORT0,$PORT1,$PORT2" --victim=2 > "$DRILL_LOG" 2>&1 &
+DRILL_PID="$!"
+
+# Wait for MID-RESIZE, then deliver the crash: kill -9, restart cold.
+for _ in $(seq 1 100); do
+  grep -q '^MID-RESIZE' "$DRILL_LOG" 2>/dev/null && break
+  kill -0 "$DRILL_PID" 2>/dev/null || break
+  sleep 0.1
+done
+grep -q '^MID-RESIZE' "$DRILL_LOG" \
+  || { echo "drill never reached MID-RESIZE"; cat "$DRILL_LOG"; exit 1; }
+kill -9 "$VICTIM_PID"
+wait "$VICTIM_PID" 2>/dev/null || true
+# Cold restart on the same port: fresh incarnation, memory and digest gone.
+start_daemon "$PORT2" --server-id=2
+
+DRILL_STATUS=0
+wait "$DRILL_PID" || DRILL_STATUS=$?
+cat "$DRILL_LOG"
+[[ "$DRILL_STATUS" == "0" ]] \
+  || { echo "crash-drill failed (exit $DRILL_STATUS)"; exit 1; }
+grep -q '^RECOVERY COMPLETE' "$DRILL_LOG" \
+  || { echo "drill did not report completed recovery"; exit 1; }
+
+# The daemon that refused the stale write must have counted the fence.
+METRICS="$ARTIFACTS/crash-smoke-metrics.prom"
+curl -sf "http://127.0.0.1:$MPORT/metrics" > "$METRICS" \
+  || { echo "could not scrape daemon 0 metrics"; exit 1; }
+awk '$1 == "proteus_daemon_stale_epoch_rejects_total" && $2 > 0 {found=1}
+     END {if (!found) {print "no stale-epoch rejects in /metrics"; exit 1}}' \
+  "$METRICS"
+
+echo "crash-recovery smoke passed (stale-epoch fence held, fleet recovered)"

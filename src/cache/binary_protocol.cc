@@ -178,6 +178,15 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
     return respond(request, Status::kInvalidArguments);
   }
 
+  // The request vbucket field carries the cluster epoch saturated to 16
+  // bits. A saturated stamp (0xffff) is indeterminate — it can never be
+  // proven stale, so it passes without teaching the server.
+  const auto admit_wire_epoch = [&]() -> bool {
+    const std::uint64_t stamp = request.status_or_vbucket;
+    if (stamp >= 0xffff) return true;
+    return server_.admit_epoch(stamp);
+  };
+
   switch (request.opcode) {
     case Opcode::kGet:
     case Opcode::kGetK:
@@ -189,6 +198,9 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
                             request.opcode == Opcode::kGetKQ;
       if (request.key.empty()) {
         return respond(request, Status::kInvalidArguments);
+      }
+      if (request.status_or_vbucket < 0xffff) {
+        server_.observe_epoch(request.status_or_vbucket);
       }
       auto value = server_.get(request.key, now);
       if (!value.has_value()) {
@@ -209,6 +221,23 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
       // Extras: flags(4) expiry(4).
       if (request.extras.size() != 8 || request.key.empty()) {
         return respond(request, Status::kInvalidArguments);
+      }
+      if (request.key == kEpochKey) {
+        // Epoch adoption: value is the decimal epoch (text-protocol parity).
+        std::uint64_t proposed = 0;
+        const char* end = request.value.data() + request.value.size();
+        const auto [ptr, ec] =
+            std::from_chars(request.value.data(), end, proposed);
+        if (request.opcode != Opcode::kSet || ec != std::errc() ||
+            ptr != end) {
+          return respond(request, Status::kInvalidArguments);
+        }
+        return respond(request, server_.adopt_epoch(proposed)
+                                    ? Status::kOk
+                                    : Status::kStaleEpoch);
+      }
+      if (!admit_wire_epoch()) {
+        return respond(request, Status::kStaleEpoch);
       }
       if (request.key == kSetBloomFilterKey ||
           request.key == kGetBloomFilterKey) {
@@ -243,6 +272,9 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
     case Opcode::kDelete: {
       if (request.key.empty()) {
         return respond(request, Status::kInvalidArguments);
+      }
+      if (!admit_wire_epoch()) {
+        return respond(request, Status::kStaleEpoch);
       }
       return respond(request, server_.erase(request.key)
                                   ? Status::kOk
@@ -316,6 +348,9 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
       stat("evictions", s.evictions);
       stat("curr_items", server_.item_count());
       stat("bytes", server_.bytes_used());
+      stat("cluster_epoch", server_.cluster_epoch());
+      stat("incarnation", server_.incarnation());
+      stat("stale_epoch_rejects", server_.stale_epoch_rejects());
       out += respond(request, Status::kOk);  // terminator
       return out;
     }

@@ -25,6 +25,15 @@
 // server-side parse/op spans for frames with a nonzero opaque; stock
 // clients that use opaque for their own correlation are unaffected (the
 // echo contract is unchanged), they merely produce spans they never read.
+//
+// Epoch fencing extension (docs/PROTOCOL.md): the 2-byte vbucket field —
+// unused by this server on requests, like real memcached outside of
+// couchbase — carries the cluster epoch saturated to 0xffff. A mutation
+// stamped below the server's epoch gets Status::kStaleEpoch; stamp 0 means
+// "unstamped" (stock client) and always passes, and the 0xffff saturation
+// point is treated as indeterminate-but-current. The reserved key
+// PROTEUS_EPOCH serves the full 64-bit epoch + incarnation via GET and
+// adopts a decimal epoch via SET, exactly as in the text protocol.
 #pragma once
 
 #include <cstdint>
@@ -75,7 +84,9 @@ enum class Status : std::uint16_t {
   kNotStored = 0x0005,
   kDeltaBadValue = 0x0006,
   kUnknownCommand = 0x0081,
-  kBusy = 0x0085,  // EBUSY: request shed by admission control, retry later
+  kBusy = 0x0085,        // EBUSY: request shed by admission control, retry later
+  kStaleEpoch = 0x0086,  // mutation fenced: request epoch < server epoch;
+                         // refresh the routing view, do not retry
 };
 
 struct Frame {

@@ -74,6 +74,7 @@ CacheServer::CacheServer(CacheConfig config)
                 config_.digest_policy);
           }()) {
   PROTEUS_CHECK(config_.memory_budget_bytes > 0);
+  if (config_.incarnation != 0) incarnation_ = config_.incarnation;
 }
 
 bool CacheServer::expired(const Item& item, SimTime now) const noexcept {
@@ -93,6 +94,9 @@ std::optional<std::string> CacheServer::get(std::string_view key, SimTime now) {
   if (key == kGetBloomFilterKey) {
     if (pending_snapshot_.empty()) pending_snapshot_ = serialize_snapshot();
     return pending_snapshot_;
+  }
+  if (key == kEpochKey) {
+    return std::to_string(cluster_epoch_) + " " + std::to_string(incarnation_);
   }
 
   ++stats_.gets;
@@ -119,7 +123,8 @@ void CacheServer::set(std::string_view key, std::string value, SimTime now,
                       std::size_t charge, std::uint32_t flags) {
   PROTEUS_CHECK_MSG(power_state_ != PowerState::kOff,
                     "set() on a powered-off cache server");
-  PROTEUS_CHECK_MSG(key != kSetBloomFilterKey && key != kGetBloomFilterKey,
+  PROTEUS_CHECK_MSG(key != kSetBloomFilterKey && key != kGetBloomFilterKey &&
+                        key != kEpochKey,
                     "reserved protocol key");
   ++stats_.sets;
 
@@ -201,6 +206,9 @@ void CacheServer::power_off() {
 void CacheServer::power_on() {
   PROTEUS_CHECK(power_state_ == PowerState::kOff);
   power_state_ = PowerState::kActive;
+  // A power cycle is a cold start: items and digest state were dropped by
+  // power_off(), so the next life must not be mistaken for the previous one.
+  ++incarnation_;
 }
 
 std::size_t CacheServer::hot_item_count(SimTime now, SimTime ttl) const {

@@ -38,6 +38,11 @@ namespace proteus::cache {
 // Reserved protocol keys (§V-3).
 inline constexpr std::string_view kSetBloomFilterKey = "SET_BLOOM_FILTER";
 inline constexpr std::string_view kGetBloomFilterKey = "BLOOM_FILTER";
+// Epoch/incarnation admin key: `get PROTEUS_EPOCH` answers
+// "<cluster_epoch> <incarnation>"; `set PROTEUS_EPOCH` with a decimal epoch
+// payload adopts it (or is rejected as stale). Wire compatible with stock
+// memcached clients, like the digest keys above.
+inline constexpr std::string_view kEpochKey = "PROTEUS_EPOCH";
 
 enum class PowerState {
   kActive,    // serving requests
@@ -92,6 +97,10 @@ struct CacheConfig {
   // sweep — tagged with `trace_server_id`. Null disables tracing.
   obs::TraceSink* trace = nullptr;
   int trace_server_id = -1;
+  // Incarnation id carried in the PROTEUS_EPOCH hello. 0 = start at 1; a
+  // daemon overrides it with a per-process unique value so a cold restart is
+  // distinguishable from the previous life of the same address.
+  std::uint64_t incarnation = 0;
 };
 
 class CacheServer {
@@ -135,6 +144,49 @@ class CacheServer {
   const bloom::CountingBloomFilter& digest() const noexcept { return digest_; }
   // The §IV-A broadcast operation: CBF -> plain bloom snapshot.
   bloom::BloomFilter snapshot_digest() const { return digest_.snapshot(); }
+
+  // --- epoch fencing --------------------------------------------------------
+  // The cluster epoch acts as a fencing token: mutations stamped with an
+  // epoch older than the highest this server has seen are rejected
+  // (`SERVER_ERROR stale-epoch` on the wire), so a web server routing on a
+  // pre-resize view can never write into a draining or re-owned key range.
+  std::uint64_t cluster_epoch() const noexcept { return cluster_epoch_; }
+  // Admits a request stamped with `epoch`: 0 (unstamped, stock client)
+  // always passes; a stamp below the current epoch is counted and refused;
+  // a newer stamp is adopted (the request also teaches the server).
+  bool admit_epoch(std::uint64_t epoch) noexcept {
+    if (epoch == 0) return true;
+    if (epoch < cluster_epoch_) {
+      ++stale_epoch_rejects_;
+      return false;
+    }
+    cluster_epoch_ = epoch;
+    return true;
+  }
+  // `set PROTEUS_EPOCH` path: adopt an equal-or-newer epoch, refuse a stale
+  // one. Unlike admit_epoch, 0 is a real (initial) epoch here.
+  bool adopt_epoch(std::uint64_t epoch) noexcept {
+    if (epoch < cluster_epoch_) {
+      ++stale_epoch_rejects_;
+      return false;
+    }
+    cluster_epoch_ = epoch;
+    return true;
+  }
+  // Read path: a get stamped with a newer epoch still teaches the server,
+  // but a stale stamp is neither rejected nor counted — draining servers
+  // must keep answering old-view reads for the TTL window (Algorithm 2).
+  void observe_epoch(std::uint64_t epoch) noexcept {
+    if (epoch > cluster_epoch_) cluster_epoch_ = epoch;
+  }
+  std::uint64_t stale_epoch_rejects() const noexcept {
+    return stale_epoch_rejects_;
+  }
+  // Incarnation id: bumped on every cold start (power_on after power_off;
+  // daemons seed a per-process unique value via CacheConfig::incarnation).
+  // A digest fetched from incarnation i is worthless under incarnation j>i —
+  // the counting-Bloom state died with the old life.
+  std::uint64_t incarnation() const noexcept { return incarnation_; }
 
   // --- power ---------------------------------------------------------------
   PowerState power_state() const noexcept { return power_state_; }
@@ -196,6 +248,9 @@ class CacheServer {
   CacheStats stats_;
   PowerState power_state_ = PowerState::kActive;
   std::string pending_snapshot_;  // staged by SET_BLOOM_FILTER
+  std::uint64_t cluster_epoch_ = 0;
+  std::uint64_t incarnation_ = 1;
+  std::uint64_t stale_epoch_rejects_ = 0;
 };
 
 // Wire codec for broadcast digests: header + raw words, little-endian.

@@ -73,6 +73,15 @@ void consume_background_token(std::vector<std::string_view>& tokens,
   }
 }
 
+// Strips a trailing E<hex64> cluster-epoch stamp. Wire order is
+// `... E<epoch> O<trace> bg`, so this runs after the bg and trace tokens
+// have been consumed. Keys that merely start with 'E' never parse.
+void consume_epoch_token(std::vector<std::string_view>& tokens,
+                         TextCommand& cmd) {
+  if (tokens.size() < 2) return;
+  if (obs::decode_epoch_token(tokens.back(), cmd.epoch)) tokens.pop_back();
+}
+
 }  // namespace
 
 TextCommand parse_command_line(std::string_view line) {
@@ -84,6 +93,7 @@ TextCommand parse_command_line(std::string_view line) {
   if (verb == "get" || verb == "gets") {
     consume_background_token(tokens, cmd);
     consume_trace_token(tokens, cmd);
+    consume_epoch_token(tokens, cmd);
     if (tokens.size() < 2) return cmd;
     for (std::size_t i = 1; i < tokens.size(); ++i) {
       if (!valid_key(tokens[i])) return cmd;
@@ -96,6 +106,7 @@ TextCommand parse_command_line(std::string_view line) {
   if (verb == "set" || verb == "add" || verb == "replace") {
     consume_background_token(tokens, cmd);
     consume_trace_token(tokens, cmd);
+    consume_epoch_token(tokens, cmd);
     cmd.noreply = consume_noreply(tokens, 5);
     if (tokens.size() != 5 || !valid_key(tokens[1])) return cmd;
     if (!parse_number(tokens[2], cmd.flags) ||
@@ -113,6 +124,7 @@ TextCommand parse_command_line(std::string_view line) {
   if (verb == "delete") {
     consume_background_token(tokens, cmd);
     consume_trace_token(tokens, cmd);
+    consume_epoch_token(tokens, cmd);
     cmd.noreply = consume_noreply(tokens, 2);
     if (tokens.size() != 2 || !valid_key(tokens[1])) return cmd;
     cmd.keys.emplace_back(tokens[1]);
@@ -268,6 +280,15 @@ std::string TextProtocolSession::handle_line(std::string_view line,
       deferred = true;  // reply (and op span) wait for the data block
       break;
     case TextCommand::Op::kDelete: {
+      if (!server_.admit_epoch(cmd.epoch)) {
+        if (!cmd.noreply) reply = "SERVER_ERROR stale-epoch\r\n";
+        if (tid != 0) {
+          record_server_span(tid, static_cast<int>(obs::SpanKind::kServerOp),
+                             op_start,
+                             static_cast<int>(obs::SpanCause::kStaleEpoch));
+        }
+        return reply;
+      }
       const bool deleted = server_.erase(cmd.keys[0]);
       if (!cmd.noreply) reply = deleted ? "DELETED\r\n" : "NOT_FOUND\r\n";
       break;
@@ -310,7 +331,26 @@ std::string TextProtocolSession::handle_storage(const TextCommand& cmd,
   const SimTime op_start = tid != 0 ? obs::span_clock_now() : 0;
   std::string reply;
   const std::string& key = cmd.keys[0];
-  if (key == kSetBloomFilterKey || key == kGetBloomFilterKey) {
+  if (key == kEpochKey) {
+    // Epoch adoption: payload is the decimal epoch. Stale proposals are
+    // refused so a lagging coordinator cannot roll the fence backwards.
+    std::uint64_t proposed = 0;
+    if (cmd.op != TextCommand::Op::kSet || !parse_number(payload, proposed)) {
+      reply = "CLIENT_ERROR bad epoch payload\r\n";
+    } else if (server_.adopt_epoch(proposed)) {
+      reply = "STORED\r\n";
+    } else {
+      reply = "SERVER_ERROR stale-epoch\r\n";
+    }
+  } else if (!server_.admit_epoch(cmd.epoch)) {
+    reply = "SERVER_ERROR stale-epoch\r\n";
+    if (tid != 0) {
+      record_server_span(tid, static_cast<int>(obs::SpanKind::kServerOp),
+                         op_start,
+                         static_cast<int>(obs::SpanCause::kStaleEpoch));
+    }
+    return reply;
+  } else if (key == kSetBloomFilterKey || key == kGetBloomFilterKey) {
     reply = "CLIENT_ERROR reserved key\r\n";  // digest keys are read-only
   } else if (cmd.op == TextCommand::Op::kAdd && server_.contains(key, now)) {
     reply = "NOT_STORED\r\n";
@@ -329,13 +369,15 @@ std::string TextProtocolSession::handle_storage(const TextCommand& cmd,
 }
 
 void TextProtocolSession::record_server_span(std::uint64_t trace_id,
-                                             int kind_tag, SimTime start) {
+                                             int kind_tag, SimTime start,
+                                             int cause_tag) {
   if (spans_ == nullptr || trace_id == 0) return;
   obs::SpanRecord s;
   s.trace_id = trace_id;
   s.span_id = spans_->next_id();
   s.parent_id = 0;  // wire parent unknown; analyzer correlates by trace id
   s.kind = static_cast<obs::SpanKind>(kind_tag);
+  s.cause = static_cast<obs::SpanCause>(cause_tag);
   s.start_us = start;
   s.duration_us = obs::span_clock_now() - start;
   s.server = server_id_;
@@ -344,6 +386,7 @@ void TextProtocolSession::record_server_span(std::uint64_t trace_id,
 
 std::string TextProtocolSession::handle_get(const TextCommand& cmd,
                                             SimTime now) {
+  server_.observe_epoch(cmd.epoch);  // reads teach, never fence
   std::string out;
   for (const std::string& key : cmd.keys) {
     auto value = server_.get(key, now);
@@ -414,6 +457,9 @@ std::string TextProtocolSession::handle_stats(const TextCommand& cmd) {
   stat("limit_maxbytes", server_.memory_budget());
   stat("digest_counters", server_.digest().num_counters());
   stat("digest_bytes", server_.digest().memory_bytes());
+  stat("cluster_epoch", server_.cluster_epoch());
+  stat("incarnation", server_.incarnation());
+  stat("stale_epoch_rejects", server_.stale_epoch_rejects());
   out += "END\r\n";
   return out;
 }

@@ -31,6 +31,14 @@
 // first under overload. Like the trace token it is invisible to stock
 // memcached semantics.
 //
+// Epoch fencing extension (docs/PROTOCOL.md): get/storage/delete lines may
+// carry an `E<hex64>` cluster-epoch stamp (positioned before any trace/bg
+// token). A mutation stamped below the server's current epoch is refused
+// with `SERVER_ERROR stale-epoch` — the fencing-token check that keeps a
+// client routing on a pre-resize view from writing into a draining or
+// re-owned key range. The reserved key PROTEUS_EPOCH reads back
+// "<epoch> <incarnation>" and accepts a decimal epoch via set.
+//
 // `stats reset` zeroes the per-server counters (memcached parity) and
 // `stats proteus` dumps the attached obs::MetricsRegistry — counters,
 // gauges, and latency quantiles — as STAT lines (docs/OPERATIONS.md
@@ -92,6 +100,11 @@ struct TextCommand {
   // can shed it first under overload. A stock memcached sees one more
   // (always-missing) get key, exactly like the trace token.
   bool background = false;
+  // Epoch fencing extension (docs/PROTOCOL.md): nonzero when the line
+  // carried an E<hex64> stamp (before any trace/bg token). Mutations whose
+  // stamp is below the server's cluster epoch are refused with
+  // `SERVER_ERROR stale-epoch`; stamped reads only teach the server.
+  std::uint64_t epoch = 0;
 };
 
 // Parses one command line (no trailing CRLF). Returns Op::kInvalid with no
@@ -140,7 +153,9 @@ class TextProtocolSession {
   std::string handle_stats(const TextCommand& cmd);
   // Records a server-side span when `trace_id` is nonzero and a collector
   // is attached; [start, span_clock_now()] on the shared steady clock.
-  void record_server_span(std::uint64_t trace_id, int kind_tag, SimTime start);
+  // `cause_tag` (a SpanCause) annotates fenced/rejected work; 0 = none.
+  void record_server_span(std::uint64_t trace_id, int kind_tag, SimTime start,
+                          int cause_tag = 0);
 
   CacheServer& server_;
   const obs::MetricsRegistry* metrics_ = nullptr;

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <chrono>
 #include <cstring>
 
@@ -46,6 +47,7 @@ obs::SpanCause cause_of(net::NetError error) noexcept {
     case net::NetError::kReset: return obs::SpanCause::kReset;
     case net::NetError::kProtocol: return obs::SpanCause::kProtocolError;
     case net::NetError::kOverloaded: return obs::SpanCause::kShed;
+    case net::NetError::kStaleEpoch: return obs::SpanCause::kStaleEpoch;
     default: return obs::SpanCause::kDown;
   }
 }
@@ -54,6 +56,25 @@ obs::SpanCause cause_of(net::NetError error) noexcept {
 // arrives either as the whole reply to a shed batch or as a per-command
 // line under the pipeline cap; both spell exactly this.
 constexpr std::string_view kOverloadedReply = "SERVER_ERROR overloaded";
+// The daemon's fencing refusal: this mutation carried an epoch older than
+// the daemon's view. Like a shed, a healthy well-formed reply — the stream
+// stays in sync and the socket is kept.
+constexpr std::string_view kStaleEpochReply = "SERVER_ERROR stale-epoch";
+
+// Appends the fencing/trace/priority meta-tokens in the wire order the
+// daemon parses them back off the end of the line: E<epoch>, O<trace>, bg.
+void append_meta_tokens(std::string& cmd, std::uint64_t epoch,
+                        std::uint64_t trace_id, bool background) {
+  if (epoch != 0) {
+    cmd += ' ';
+    cmd += obs::encode_epoch_token(epoch);
+  }
+  if (trace_id != 0) {
+    cmd += ' ';
+    cmd += obs::encode_trace_token(trace_id);
+  }
+  if (background) cmd += " bg";  // priority token goes last on the line
+}
 
 }  // namespace
 
@@ -240,17 +261,14 @@ bool MemcacheConnection::read_exact(std::size_t n, std::string& out,
 
 std::optional<std::string> MemcacheConnection::get(std::string_view key,
                                                    std::uint64_t trace_id,
-                                                   bool background) {
+                                                   bool background,
+                                                   std::uint64_t epoch) {
   if (!ok()) return std::nullopt;
   last_error_ = net::NetError::kNone;
   const SimTime deadline = op_deadline();
   std::string cmd = "get ";
   cmd.append(key);
-  if (trace_id != 0) {
-    cmd += ' ';
-    cmd += obs::encode_trace_token(trace_id);
-  }
-  if (background) cmd += " bg";  // priority token goes last on the line
+  append_meta_tokens(cmd, epoch, trace_id, background);
   cmd += "\r\n";
   if (!send_all(cmd, deadline)) return std::nullopt;
 
@@ -261,6 +279,10 @@ std::optional<std::string> MemcacheConnection::get(std::string_view key,
     // Admission-control shed: a healthy, well-formed refusal. The stream
     // stays in sync (the daemon consumed the batch), so keep the socket.
     last_error_ = net::NetError::kOverloaded;
+    return std::nullopt;
+  }
+  if (header->rfind(kStaleEpochReply, 0) == 0) {
+    last_error_ = net::NetError::kStaleEpoch;
     return std::nullopt;
   }
   // "VALUE <key> <flags> <bytes>" — anything else means the stream is
@@ -302,7 +324,7 @@ std::optional<std::string> MemcacheConnection::get(std::string_view key,
 
 bool MemcacheConnection::set(std::string_view key, std::string_view value,
                              std::uint32_t flags, std::uint64_t trace_id,
-                             bool background) {
+                             bool background, std::uint64_t epoch) {
   if (!ok()) return false;
   last_error_ = net::NetError::kNone;
   const SimTime deadline = op_deadline();
@@ -312,11 +334,7 @@ bool MemcacheConnection::set(std::string_view key, std::string_view value,
   cmd += std::to_string(flags);
   cmd += " 0 ";
   cmd += std::to_string(value.size());
-  if (trace_id != 0) {
-    cmd += ' ';
-    cmd += obs::encode_trace_token(trace_id);
-  }
-  if (background) cmd += " bg";  // priority token goes last on the line
+  append_meta_tokens(cmd, epoch, trace_id, background);
   cmd += "\r\n";
   cmd.append(value);
   cmd += "\r\n";
@@ -329,6 +347,10 @@ bool MemcacheConnection::set(std::string_view key, std::string_view value,
     last_error_ = net::NetError::kOverloaded;
     return false;
   }
+  if (reply->rfind(kStaleEpochReply, 0) == 0) {
+    last_error_ = net::NetError::kStaleEpoch;
+    return false;
+  }
   if (*reply == "NOT_STORED" || *reply == "EXISTS" || *reply == "NOT_FOUND" ||
       *reply == "ERROR" || reply->rfind("SERVER_ERROR", 0) == 0 ||
       reply->rfind("CLIENT_ERROR", 0) == 0) {
@@ -338,12 +360,13 @@ bool MemcacheConnection::set(std::string_view key, std::string_view value,
   return false;
 }
 
-bool MemcacheConnection::erase(std::string_view key) {
+bool MemcacheConnection::erase(std::string_view key, std::uint64_t epoch) {
   if (!ok()) return false;
   last_error_ = net::NetError::kNone;
   const SimTime deadline = op_deadline();
   std::string cmd = "delete ";
   cmd.append(key);
+  append_meta_tokens(cmd, epoch, 0, false);
   cmd += "\r\n";
   if (!send_all(cmd, deadline)) return false;
   const auto reply = read_line(deadline);
@@ -353,9 +376,39 @@ bool MemcacheConnection::erase(std::string_view key) {
     last_error_ = net::NetError::kOverloaded;
     return false;
   }
+  if (reply->rfind(kStaleEpochReply, 0) == 0) {
+    last_error_ = net::NetError::kStaleEpoch;
+    return false;
+  }
   if (*reply == "NOT_FOUND" || *reply == "ERROR") return false;
   fail(net::NetError::kProtocol);
   return false;
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>>
+MemcacheConnection::hello() {
+  const auto reply = get(cache::kEpochKey);
+  if (!reply.has_value()) return std::nullopt;
+  // "<epoch> <incarnation>", both decimal.
+  std::uint64_t epoch = 0;
+  std::uint64_t incarnation = 0;
+  const char* begin = reply->data();
+  const char* end = begin + reply->size();
+  auto r = std::from_chars(begin, end, epoch);
+  if (r.ec != std::errc() || r.ptr >= end || *r.ptr != ' ') {
+    fail(net::NetError::kProtocol);
+    return std::nullopt;
+  }
+  r = std::from_chars(r.ptr + 1, end, incarnation);
+  if (r.ec != std::errc() || r.ptr != end) {
+    fail(net::NetError::kProtocol);
+    return std::nullopt;
+  }
+  return std::make_pair(epoch, incarnation);
+}
+
+bool MemcacheConnection::push_epoch(std::uint64_t epoch) {
+  return set(cache::kEpochKey, std::to_string(epoch));
 }
 
 std::optional<std::vector<std::pair<std::string, std::string>>>
@@ -468,6 +521,31 @@ MemcacheConnection* ProteusClient::acquire(int server, SimTime now) {
       record_failure(server, ep.conn->last_error(), now);
       return nullptr;
     }
+    // Restart detection: a fresh connection may face a daemon reborn since
+    // we last spoke. Its memory died with the old incarnation, so any
+    // transition digest describing it now advertises ghosts — drop it and
+    // let the affected keys take the migration/backfill path instead of
+    // probing the cold server for phantom hits. The hello also reconciles
+    // epochs in both directions (adopt a newer one, teach ours if ahead).
+    if (const auto h = ep.conn->hello()) {
+      if (ep.incarnation != 0 && h->second != ep.incarnation) {
+        ++stats_.incarnation_changes;
+        router_.drop_old_digest(server);
+        obs::emit(options_.trace, now,
+                  obs::TraceEventKind::kIncarnationChange, server, -1,
+                  h->second);
+      }
+      ep.incarnation = h->second;
+      if (h->first > epoch_) {
+        epoch_ = h->first;
+      } else if (epoch_ > h->first && ep.conn->push_epoch(epoch_)) {
+        ++stats_.epoch_pushes;
+      }
+    }
+    if (!ep.conn->ok()) {
+      record_failure(server, ep.conn->last_error(), now);
+      return nullptr;
+    }
   }
   return ep.conn.get();
 }
@@ -478,6 +556,13 @@ void ProteusClient::record_failure(int server, net::NetError error,
     // A shed is a healthy server protecting itself — no breaker penalty
     // (opening the breaker would shift load onto its equally loaded peers).
     ++stats_.server_sheds;
+    return;
+  }
+  if (error == net::NetError::kStaleEpoch) {
+    // A fencing refusal is correctness, not ill health: the daemon is alive
+    // and protecting the cluster from our outdated view. No breaker
+    // penalty, no retry — the caller refreshes the view instead.
+    ++stats_.stale_epoch_rejects;
     return;
   }
   switch (error) {
@@ -514,7 +599,9 @@ ProteusClient::FetchResult ProteusClient::cache_get(int server,
     // Migration fetches are maintenance traffic: tag them `bg` so the
     // daemon's two-priority admission sheds them before foreground gets.
     const bool background = kind == obs::SpanKind::kMigrationFetch;
-    auto value = c->get(key, ctx.trace_id, background);
+    // Stamping the read teaches the daemon our epoch (reads observe, they
+    // are never fenced — a draining server must answer old-view reads).
+    auto value = c->get(key, ctx.trace_id, background, epoch_);
     if (value.has_value()) {
       record_success(server);
       if (ctx.active()) {
@@ -541,6 +628,12 @@ ProteusClient::FetchResult ProteusClient::cache_get(int server,
       // shed. The caller degrades instead.
       return {FetchStatus::kShed, {}};
     }
+    if (c->last_error() == net::NetError::kStaleEpoch) {
+      // Reads are not fenced by our daemons, but a fencing reply is still
+      // well-formed: refresh the view and degrade to a miss — never retry.
+      refresh_view(server, now);
+      return {FetchStatus::kMiss, {}};
+    }
   }
   return {FetchStatus::kDown, {}};
 }
@@ -550,11 +643,14 @@ bool ProteusClient::cache_set(int server, std::string_view key,
                               std::uint64_t trace_id, bool background) {
   MemcacheConnection* c = acquire(server, now);
   if (c == nullptr) return false;
-  const bool stored = c->set(key, value, 0, trace_id, background);
+  const bool stored = c->set(key, value, 0, trace_id, background, epoch_);
   if (c->last_error() == net::NetError::kNone) {
     record_success(server);
   } else {
     record_failure(server, c->last_error(), now);
+    if (c->last_error() == net::NetError::kStaleEpoch) {
+      refresh_view(server, now);
+    }
   }
   return stored;
 }
@@ -563,11 +659,29 @@ void ProteusClient::cache_erase(int server, std::string_view key,
                                 SimTime now) {
   MemcacheConnection* c = acquire(server, now);
   if (c == nullptr) return;
-  c->erase(key);
+  c->erase(key, epoch_);
   if (c->last_error() == net::NetError::kNone) {
     record_success(server);
   } else {
     record_failure(server, c->last_error(), now);
+    if (c->last_error() == net::NetError::kStaleEpoch) {
+      refresh_view(server, now);
+    }
+  }
+}
+
+void ProteusClient::refresh_view(int server, SimTime now) {
+  Endpoint& ep = endpoints_[static_cast<std::size_t>(server)];
+  if (ep.conn == nullptr || !ep.conn->ok()) return;
+  if (const auto h = ep.conn->hello()) {
+    if (h->first > epoch_) epoch_ = h->first;
+    if (ep.incarnation != 0 && h->second != ep.incarnation) {
+      ++stats_.incarnation_changes;
+      router_.drop_old_digest(server);
+      obs::emit(options_.trace, now, obs::TraceEventKind::kIncarnationChange,
+                server, -1, h->second);
+    }
+    ep.incarnation = h->second;
   }
 }
 
@@ -826,12 +940,33 @@ bool ProteusClient::resize(int n_active, SimTime now) {
   if (n_active == n_old) return true;
   if (router_.in_transition()) router_.finalize_transition();
 
+  // Fencing: advance the cluster epoch and teach it to every daemon the
+  // transition touches BEFORE any routing changes. From this point a
+  // mutation stamped with the previous epoch — e.g. from a web tier that
+  // crashed mid-transition and restarted with an old view — is refused
+  // with `stale-epoch` rather than applied to the wrong topology.
+  ++epoch_;
+  for (int i = 0; i < std::max(n_old, n_active); ++i) {
+    MemcacheConnection* c = acquire(i, now);
+    if (c == nullptr) continue;
+    if (c->push_epoch(epoch_)) {
+      ++stats_.epoch_pushes;
+    } else if (c->last_error() == net::NetError::kStaleEpoch) {
+      // Another coordinator moved the cluster past us: adopt its view (the
+      // transition still runs; its mutations simply stamp the newer epoch).
+      ++stats_.stale_epoch_rejects;
+      refresh_view(i, now);
+    }
+  }
+
   // Transactional against partial failure: a server whose digest cannot be
   // fetched is recorded digest-absent — the router then never reports it as
   // "hot", so its keys refill from the backend — and the transition itself
   // ALWAYS completes. A single dead daemon must not wedge provisioning.
   obs::emit(options_.trace, now, obs::TraceEventKind::kResizeBegin, n_old,
             n_active);
+  obs::emit(options_.trace, now, obs::TraceEventKind::kEpochBump, -1, -1,
+            epoch_);
   std::vector<std::optional<bloom::BloomFilter>> digests(
       options_.endpoints.size());
   bool all_ok = true;
@@ -902,12 +1037,24 @@ void ProteusClient::register_metrics(obs::MetricsRegistry& registry) const {
   stat("proteus_client_migrations_deferred_total",
        "Algorithm 2 write-backs paced off under overload",
        [](const Stats& s) { return s.migrations_deferred; });
+  stat("proteus_client_stale_epoch_rejects_total",
+       "mutations a daemon fenced off with stale-epoch",
+       [](const Stats& s) { return s.stale_epoch_rejects; });
+  stat("proteus_client_incarnation_changes_total",
+       "cold daemon restarts detected on reconnect (digest dropped)",
+       [](const Stats& s) { return s.incarnation_changes; });
+  stat("proteus_client_epoch_pushes_total",
+       "cluster epochs taught to daemons",
+       [](const Stats& s) { return s.epoch_pushes; });
   registry.gauge_fn("proteus_client_active_servers",
                     "endpoints in the current mapping",
                     [this] { return static_cast<double>(active_servers()); });
   registry.gauge_fn("proteus_client_in_transition",
                     "1 while a smooth transition is in flight",
                     [this] { return in_transition() ? 1.0 : 0.0; });
+  registry.gauge_fn("proteus_client_epoch",
+                    "the client's fencing epoch (docs/PROTOCOL.md)",
+                    [this] { return static_cast<double>(epoch_); });
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     registry.gauge_fn(
         "proteus_client_endpoint_" + std::to_string(i) + "_breaker_state",

@@ -79,14 +79,31 @@ class MemcacheConnection {
   // cache/text_protocol.h) marking the request as sheddable maintenance
   // traffic. A daemon shed reply (`SERVER_ERROR overloaded`) surfaces as
   // last_error() == kOverloaded with the connection still usable.
+  //
+  // A nonzero `epoch` stamps the command with the E<hex64> fencing token
+  // (docs/PROTOCOL.md): mutations carrying an epoch older than the daemon's
+  // view are refused with `SERVER_ERROR stale-epoch`, surfaced as
+  // last_error() == kStaleEpoch with the connection still usable — the
+  // caller must refresh its view (hello()), never retry.
   std::optional<std::string> get(std::string_view key,
                                  std::uint64_t trace_id = 0,
-                                 bool background = false);
+                                 bool background = false,
+                                 std::uint64_t epoch = 0);
   bool set(std::string_view key, std::string_view value,
            std::uint32_t flags = 0, std::uint64_t trace_id = 0,
-           bool background = false);
-  bool erase(std::string_view key);
+           bool background = false, std::uint64_t epoch = 0);
+  bool erase(std::string_view key, std::uint64_t epoch = 0);
   std::string version();
+
+  // The epoch/incarnation handshake: `get PROTEUS_EPOCH` answered as
+  // "<epoch> <incarnation>". The incarnation identifies this daemon
+  // process's lifetime — it changes exactly when the daemon cold-restarted
+  // (losing its memory and digest with it).
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> hello();
+  // Teaches the daemon a (presumably newer) cluster epoch via
+  // `set PROTEUS_EPOCH`. False with last_error() == kStaleEpoch means the
+  // daemon already fences a newer epoch than `epoch`.
+  bool push_epoch(std::uint64_t epoch);
 
   // `stats [arg]`: the STAT lines as (name, value) pairs in server order.
   // arg "proteus" fetches the daemon's unified metrics registry (counters,
@@ -192,6 +209,9 @@ class ProteusClient {
 
   int active_servers() const noexcept { return router_.active(); }
   bool in_transition() const noexcept { return router_.in_transition(); }
+  // Fencing epoch: bumped on every resize, taught to daemons, stamped on
+  // every wire mutation, and refreshed whenever a daemon fences us off.
+  std::uint64_t cluster_epoch() const noexcept { return epoch_; }
 
   struct Stats {
     std::uint64_t gets = 0;
@@ -214,6 +234,10 @@ class ProteusClient {
     std::uint64_t load_sheds = 0;          // AdaptiveLimiter refused a fetch
     std::uint64_t coalesced_fetches = 0;   // singleflight follower piggybacks
     std::uint64_t migrations_deferred = 0; // write-backs paced off
+    // Crash-recovery observability.
+    std::uint64_t stale_epoch_rejects = 0;   // mutations fenced by a daemon
+    std::uint64_t incarnation_changes = 0;   // cold restarts seen on reconnect
+    std::uint64_t epoch_pushes = 0;          // epochs taught to daemons
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -238,6 +262,10 @@ class ProteusClient {
     std::uint16_t port = 0;
     std::unique_ptr<MemcacheConnection> conn;  // lazily (re)established
     core::CircuitBreaker breaker;
+    // Last incarnation seen from this daemon (0 = never spoken to). A
+    // different value on reconnect means the process cold-restarted: its
+    // memory — and any transition digest describing it — died with it.
+    std::uint64_t incarnation = 0;
   };
 
   // kShed: the daemon refused the request (admission control) — the server
@@ -275,6 +303,9 @@ class ProteusClient {
                                            bool& coalesced);
   void cache_erase(int server, std::string_view key, SimTime now);
   std::optional<bloom::BloomFilter> fetch_digest(int server, SimTime now);
+  // After a stale-epoch fence: re-read the daemon's (epoch, incarnation)
+  // and adopt the higher epoch so the next mutation passes.
+  void refresh_view(int server, SimTime now);
 
   // Distinct §III-E replica locations of `key` under the current mapping,
   // primary (ring 0) first.
@@ -288,6 +319,7 @@ class ProteusClient {
   Rng rng_;  // deterministic jitter for backoff schedules
   Stats stats_;
   obs::Histogram get_latency_us_;
+  std::uint64_t epoch_ = 0;  // fencing epoch (docs/PROTOCOL.md)
 };
 
 }  // namespace proteus::client

@@ -60,6 +60,11 @@ void CacheCluster::mark_failed(int server) {
   if (tier_.server(server).power_state() != cache::PowerState::kOff) {
     tier_.server(server).power_off();  // the crash loses the cache (§III-A)
   }
+  // Restart-aware digests, sim side: any broadcast digest describing that
+  // memory died with it. Drop it so mid-transition old-location probes stop
+  // chasing phantom "hot" answers (the live client reaches the same verdict
+  // through the incarnation hello — docs/OPERATIONS.md §11).
+  for (auto& router : routers_) router->drop_old_digest(server);
 }
 
 void CacheCluster::mark_recovered(int server) {

@@ -84,6 +84,18 @@ class Router {
     old_digests_.clear();
   }
 
+  // Restart-aware digests: a cold-restarted server's counting-Bloom state
+  // died with its previous life, so the digest fetched from that life must
+  // stop steering misses there (it would answer phantom "hot" claims for
+  // keys that no longer exist). decide() then treats the server as cold —
+  // misses fall through to the backend, repopulating the new location.
+  void drop_old_digest(int server) {
+    if (server >= 0 &&
+        static_cast<std::size_t>(server) < old_digests_.size()) {
+      old_digests_[static_cast<std::size_t>(server)].reset();
+    }
+  }
+
   int active() const noexcept { return active_; }
   int old_active() const noexcept { return old_active_; }
   bool in_transition() const noexcept { return in_transition_; }

@@ -21,6 +21,59 @@ Proteus::Proteus(ProteusOptions options, Backend backend)
     servers_.push_back(std::make_unique<cache::CacheServer>(per_server));
     if (i >= router_.active()) servers_.back()->power_off();
   }
+
+  if (!options_.journal_path.empty()) {
+    std::vector<core::JournalRecord> replayed;
+    if (journal_.open(options_.journal_path, replayed)) {
+      std::uint64_t epoch = 0;
+      auto pending = core::interpret_journal(replayed, epoch);
+      epoch_ = epoch;
+      stats_.journal_records_replayed = replayed.size();
+      const bool resumable =
+          pending.has_value() && pending->n_old >= 1 &&
+          pending->n_old <= options_.max_servers && pending->n_new >= 1 &&
+          pending->n_new <= options_.max_servers;
+      obs::emit(options_.trace, 0, obs::TraceEventKind::kJournalReplay,
+                resumable ? 1 : 0, -1, replayed.size());
+      if (resumable) {
+        ++stats_.journal_transitions_resumed;
+        resume_transition(*pending);
+      }
+    }
+  }
+}
+
+void Proteus::resume_transition(const core::PendingTransition& t) {
+  if (t.epoch > epoch_) epoch_ = t.epoch;
+  // Rebuild the power topology the coordinator died with: every server that
+  // was active under either mapping is on; the recorded leavers drain.
+  // Cache CONTENTS are gone if this process restarted — only the plan is
+  // durable — so resumed digests may over-claim; Algorithm 2 absorbs that
+  // as ordinary false positives.
+  for (int i = 0; i < options_.max_servers; ++i) {
+    const bool want_on = i < std::max(t.n_old, t.n_new);
+    cache::CacheServer& server = mutable_server(i);
+    if (want_on && server.power_state() == cache::PowerState::kOff) {
+      server.power_on();
+    } else if (!want_on && server.power_state() != cache::PowerState::kOff) {
+      server.power_off();
+    }
+  }
+  draining_.clear();
+  for (int i : t.draining) {
+    if (i < 0 || i >= options_.max_servers) continue;
+    mutable_server(i).begin_draining();
+    draining_.push_back(i);
+  }
+  std::vector<std::optional<bloom::BloomFilter>> digests(
+      static_cast<std::size_t>(options_.max_servers));
+  for (const auto& [server, encoded] : t.digests) {
+    if (server < 0 || server >= options_.max_servers) continue;
+    if (encoded.size() < 24 || encoded.size() % 8 != 0) continue;
+    digests[static_cast<std::size_t>(server)] = cache::decode_digest(encoded);
+  }
+  router_.set_active(t.n_old);
+  router_.begin_transition(t.n_new, t.drain_end, std::move(digests));
 }
 
 void Proteus::tick(SimTime now) {
@@ -38,6 +91,15 @@ void Proteus::finalize_transition() {
   }
   draining_.clear();
   router_.finalize_transition();
+  if (journal_.is_open()) {
+    core::JournalRecord fin;
+    fin.kind = core::JournalRecordKind::kFinalize;
+    fin.a = epoch_;
+    journal_.append(fin);
+    // Nothing is pending anymore: compact to just the finalize marker so
+    // the log stays bounded while the epoch survives the next restart.
+    journal_.compact({fin});
+  }
   obs::emit(options_.trace, router_.transition_end(),
             obs::TraceEventKind::kResizeEnd, router_.active());
 }
@@ -202,8 +264,25 @@ void Proteus::resize(int n_active, SimTime now) {
   // the provisioning period is much longer than TTL).
   if (router_.in_transition()) finalize_transition();
 
+  // Bump the fencing epoch and write the plan ahead of acting on it: after
+  // a crash anywhere past this append, replay reconstructs the transition.
+  ++epoch_;
+  const SimTime drain_end = now + options_.ttl;
+  if (journal_.is_open()) {
+    core::JournalRecord begin;
+    begin.kind = core::JournalRecordKind::kResizeBegin;
+    begin.a = epoch_;
+    begin.b = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(n_old))
+               << 32) |
+              static_cast<std::uint32_t>(n_active);
+    begin.c = static_cast<std::uint64_t>(drain_end);
+    journal_.append(begin);
+  }
+
   obs::emit(options_.trace, now, obs::TraceEventKind::kResizeBegin, n_old,
             n_active);
+  obs::emit(options_.trace, now, obs::TraceEventKind::kEpochBump, -1, -1,
+            epoch_);
 
   // Broadcast digests of every old-mapping server (§IV-A).
   std::vector<std::optional<bloom::BloomFilter>> digests(
@@ -212,6 +291,13 @@ void Proteus::resize(int n_active, SimTime now) {
     auto snapshot = servers_[static_cast<std::size_t>(i)]->snapshot_digest();
     obs::emit(options_.trace, now, obs::TraceEventKind::kDigestSnapshot, i,
               -1, snapshot.words().size() * sizeof(std::uint64_t));
+    if (journal_.is_open()) {
+      core::JournalRecord rec;
+      rec.kind = core::JournalRecordKind::kDigestSnapshot;
+      rec.server = i;
+      rec.payload = cache::encode_digest(snapshot);
+      journal_.append(rec);
+    }
     digests[static_cast<std::size_t>(i)] = std::move(snapshot);
   }
 
@@ -222,10 +308,16 @@ void Proteus::resize(int n_active, SimTime now) {
   for (int i = n_active; i < n_old; ++i) {
     mutable_server(i).begin_draining();
     draining_.push_back(i);
+    if (journal_.is_open()) {
+      core::JournalRecord rec;
+      rec.kind = core::JournalRecordKind::kDrainBegin;
+      rec.server = i;
+      journal_.append(rec);
+    }
     obs::emit(options_.trace, now, obs::TraceEventKind::kDrainBegin, i);
   }
 
-  router_.begin_transition(n_active, now + options_.ttl, std::move(digests));
+  router_.begin_transition(n_active, drain_end, std::move(digests));
 }
 
 int Proteus::powered_servers() const noexcept {
@@ -271,6 +363,15 @@ void Proteus::register_metrics(obs::MetricsRegistry& registry) const {
   stat("proteus_migrations_deferred_total",
        "line-12 write-backs deferred by the migration throttle",
        [](const ProteusStats& s) { return s.migrations_deferred; });
+  stat("proteus_journal_records_replayed_total",
+       "transition-journal records replayed at startup",
+       [](const ProteusStats& s) { return s.journal_records_replayed; });
+  stat("proteus_journal_transitions_resumed_total",
+       "interrupted transitions resumed or rolled forward from the journal",
+       [](const ProteusStats& s) { return s.journal_transitions_resumed; });
+  registry.gauge_fn("proteus_cluster_epoch",
+                    "fencing epoch, bumped on every resize",
+                    [this] { return static_cast<double>(epoch_); });
   registry.gauge_fn("proteus_hit_ratio", "cache-tier hit ratio",
                     [this] { return stats_.hit_ratio(); });
   registry.gauge_fn("proteus_active_servers", "servers in the current mapping",

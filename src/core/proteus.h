@@ -34,6 +34,7 @@
 #include "cluster/router.h"
 #include "common/time.h"
 #include "core/overload.h"
+#include "core/transition_journal.h"
 #include "hashring/migration_plan.h"
 #include "hashring/proteus_placement.h"
 #include "obs/metrics.h"
@@ -67,6 +68,11 @@ struct ProteusOptions {
   // foreground traffic for write capacity). Null migrates unconditionally.
   // Not owned; must outlive this object.
   core::MigrationThrottle* migration_throttle = nullptr;
+  // Crash recovery (core/transition_journal.h): when non-empty, every
+  // resize is write-ahead journaled at this path and an interrupted
+  // transition is resumed (or rolled forward) on construction instead of
+  // being lost. Empty = volatile transitions, exactly as before.
+  std::string journal_path;
 };
 
 struct ProteusStats {
@@ -84,6 +90,11 @@ struct ProteusStats {
   // Old-location hits whose write-back to the new primary was deferred by
   // the migration throttle (served correctly, just not migrated yet).
   std::uint64_t migrations_deferred = 0;
+  // Crash recovery: journal records replayed at construction, and whether
+  // that replay resumed (still draining) or rolled forward (drain window
+  // already over) an interrupted transition.
+  std::uint64_t journal_records_replayed = 0;
+  std::uint64_t journal_transitions_resumed = 0;
 
   double hit_ratio() const noexcept {
     return gets ? static_cast<double>(new_server_hits + old_server_hits) /
@@ -125,6 +136,11 @@ class Proteus {
   int max_servers() const noexcept { return options_.max_servers; }
   bool in_transition() const noexcept { return router_.in_transition(); }
 
+  // Fencing epoch: bumped on every resize (and restored from the journal on
+  // restart). Web tiers stamp it on wire mutations; see docs/PROTOCOL.md.
+  std::uint64_t cluster_epoch() const noexcept { return epoch_; }
+  const core::TransitionJournal& journal() const noexcept { return journal_; }
+
   const ProteusStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = ProteusStats{}; }
 
@@ -151,6 +167,9 @@ class Proteus {
   std::string get_inner(std::string_view key, SimTime now,
                         obs::TraceContext& ctx);
   void finalize_transition();
+  // Journal replay: re-enters the interrupted transition recorded in `t`
+  // (ordinary tick() rolls it forward if the drain window already ended).
+  void resume_transition(const core::PendingTransition& t);
   std::size_t charge_for(const std::string& value) const noexcept {
     return options_.object_charge ? options_.object_charge : value.size();
   }
@@ -162,6 +181,8 @@ class Proteus {
   std::vector<std::unique_ptr<cache::CacheServer>> servers_;
   std::vector<int> draining_;
   ProteusStats stats_;
+  core::TransitionJournal journal_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace proteus

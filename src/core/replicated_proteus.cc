@@ -29,6 +29,51 @@ ReplicatedProteus::ReplicatedProteus(ReplicatedOptions options,
         std::make_unique<cache::CacheServer>(options_.per_server));
     if (i >= initial) servers_.back()->power_off();
   }
+
+  if (!options_.journal_path.empty()) {
+    std::vector<core::JournalRecord> replayed;
+    if (journal_.open(options_.journal_path, replayed)) {
+      std::uint64_t epoch = 0;
+      auto pending = core::interpret_journal(replayed, epoch);
+      epoch_ = epoch;
+      if (pending.has_value() && pending->n_old >= 1 &&
+          pending->n_old <= options_.max_servers && pending->n_new >= 1 &&
+          pending->n_new <= options_.max_servers) {
+        const core::PendingTransition& t = *pending;
+        if (t.epoch > epoch_) epoch_ = t.epoch;
+        for (int i = 0; i < options_.max_servers; ++i) {
+          const bool want_on =
+              i < std::max(t.n_old, t.n_new) && !failed_[static_cast<std::size_t>(i)];
+          cache::CacheServer& server = mutable_server(i);
+          if (want_on && server.power_state() == cache::PowerState::kOff) {
+            server.power_on();
+          } else if (!want_on &&
+                     server.power_state() != cache::PowerState::kOff) {
+            server.power_off();
+          }
+        }
+        draining_.clear();
+        for (int i : t.draining) {
+          if (i < 0 || i >= options_.max_servers) continue;
+          if (failed_[static_cast<std::size_t>(i)]) continue;
+          mutable_server(i).begin_draining();
+          draining_.push_back(i);
+        }
+        std::vector<std::optional<bloom::BloomFilter>> digests(
+            static_cast<std::size_t>(options_.max_servers));
+        for (const auto& [server, encoded] : t.digests) {
+          if (server < 0 || server >= options_.max_servers) continue;
+          if (encoded.size() < 24 || encoded.size() % 8 != 0) continue;
+          digests[static_cast<std::size_t>(server)] =
+              cache::decode_digest(encoded);
+        }
+        for (auto& router : routers_) {
+          router->set_active(t.n_old);
+          router->begin_transition(t.n_new, t.drain_end, digests);
+        }
+      }
+    }
+  }
 }
 
 void ReplicatedProteus::tick(SimTime now) {
@@ -44,6 +89,13 @@ void ReplicatedProteus::finalize_transition() {
   }
   draining_.clear();
   for (auto& router : routers_) router->finalize_transition();
+  if (journal_.is_open()) {
+    core::JournalRecord fin;
+    fin.kind = core::JournalRecordKind::kFinalize;
+    fin.a = epoch_;
+    journal_.append(fin);
+    journal_.compact({fin});
+  }
 }
 
 std::vector<int> ReplicatedProteus::replica_servers(
@@ -165,6 +217,20 @@ void ReplicatedProteus::resize(int n_active, SimTime now) {
 
   if (routers_.front()->in_transition()) finalize_transition();
 
+  // Bump the fencing epoch and journal the plan before acting on it.
+  ++epoch_;
+  const SimTime drain_end = now + options_.ttl;
+  if (journal_.is_open()) {
+    core::JournalRecord begin;
+    begin.kind = core::JournalRecordKind::kResizeBegin;
+    begin.a = epoch_;
+    begin.b = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(n_old))
+               << 32) |
+              static_cast<std::uint32_t>(n_active);
+    begin.c = static_cast<std::uint64_t>(drain_end);
+    journal_.append(begin);
+  }
+
   for (int i = n_old; i < n_active; ++i) {
     if (!failed_[static_cast<std::size_t>(i)]) mutable_server(i).power_on();
   }
@@ -172,6 +238,12 @@ void ReplicatedProteus::resize(int n_active, SimTime now) {
     if (!failed_[static_cast<std::size_t>(i)]) {
       mutable_server(i).begin_draining();
       draining_.push_back(i);
+      if (journal_.is_open()) {
+        core::JournalRecord rec;
+        rec.kind = core::JournalRecordKind::kDrainBegin;
+        rec.server = i;
+        journal_.append(rec);
+      }
     }
   }
 
@@ -182,12 +254,19 @@ void ReplicatedProteus::resize(int n_active, SimTime now) {
       static_cast<std::size_t>(options_.max_servers));
   for (int i = 0; i < n_old; ++i) {
     if (usable(i)) {
-      digests[static_cast<std::size_t>(i)] =
-          servers_[static_cast<std::size_t>(i)]->snapshot_digest();
+      auto snapshot = servers_[static_cast<std::size_t>(i)]->snapshot_digest();
+      if (journal_.is_open()) {
+        core::JournalRecord rec;
+        rec.kind = core::JournalRecordKind::kDigestSnapshot;
+        rec.server = i;
+        rec.payload = cache::encode_digest(snapshot);
+        journal_.append(rec);
+      }
+      digests[static_cast<std::size_t>(i)] = std::move(snapshot);
     }
   }
   for (auto& router : routers_) {
-    router->begin_transition(n_active, now + options_.ttl, digests);
+    router->begin_transition(n_active, drain_end, digests);
   }
 }
 

@@ -28,6 +28,7 @@
 #include "cache/cache_server.h"
 #include "cluster/router.h"
 #include "common/time.h"
+#include "core/transition_journal.h"
 #include "hashring/proteus_placement.h"
 #include "hashring/replicated_ring.h"
 
@@ -40,6 +41,10 @@ struct ReplicatedOptions {
   cache::CacheConfig per_server;
   SimTime ttl = 60 * kSecond;
   std::size_t object_charge = 0;
+  // Crash recovery (core/transition_journal.h): when non-empty, resizes are
+  // write-ahead journaled and an interrupted transition is resumed (or
+  // rolled forward) on construction, exactly as in Proteus.
+  std::string journal_path;
 };
 
 struct ReplicatedStats {
@@ -86,6 +91,9 @@ class ReplicatedProteus {
   int active_servers() const noexcept { return routers_.front()->active(); }
   int replicas() const noexcept { return options_.replicas; }
   bool in_transition() const noexcept { return routers_.front()->in_transition(); }
+  // Fencing epoch, bumped on every resize and restored from the journal.
+  std::uint64_t cluster_epoch() const noexcept { return epoch_; }
+  const core::TransitionJournal& journal() const noexcept { return journal_; }
   const ReplicatedStats& stats() const noexcept { return stats_; }
   const cache::CacheServer& server(int i) const { return *servers_.at(static_cast<std::size_t>(i)); }
   const ring::ProteusPlacement& placement() const noexcept { return *placement_; }
@@ -114,6 +122,8 @@ class ReplicatedProteus {
   std::vector<bool> failed_;
   std::vector<int> draining_;
   ReplicatedStats stats_;
+  core::TransitionJournal journal_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace proteus

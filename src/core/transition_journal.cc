@@ -1,0 +1,224 @@
+#include "core/transition_journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace proteus::core {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1U) ? 0xedb88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+std::uint32_t read_u32(std::string_view bytes, std::size_t offset) {
+  std::uint32_t v;
+  std::memcpy(&v, bytes.data() + offset, 4);
+  return v;
+}
+
+std::uint64_t read_u64(std::string_view bytes, std::size_t offset) {
+  std::uint64_t v;
+  std::memcpy(&v, bytes.data() + offset, 8);
+  return v;
+}
+
+// Fixed-size prefix: kind, server, a, b, c, payload_len.
+constexpr std::size_t kRecordHeader = 4 + 4 + 8 + 8 + 8 + 4;
+
+bool write_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t journal_crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xffffffffU;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xffU] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffU;
+}
+
+std::string encode_journal_record(const JournalRecord& record) {
+  std::string out;
+  out.reserve(kRecordHeader + record.payload.size() + 4);
+  append_u32(out, static_cast<std::uint32_t>(record.kind));
+  append_u32(out, static_cast<std::uint32_t>(record.server));
+  append_u64(out, record.a);
+  append_u64(out, record.b);
+  append_u64(out, record.c);
+  append_u32(out, static_cast<std::uint32_t>(record.payload.size()));
+  out += record.payload;
+  append_u32(out, journal_crc32(out));
+  return out;
+}
+
+TransitionJournal::~TransitionJournal() { close(); }
+
+void TransitionJournal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TransitionJournal::open(const std::string& path,
+                             std::vector<JournalRecord>& replayed) {
+  close();
+  torn_records_ = 0;
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return false;
+  path_ = path;
+
+  // Slurp and parse the existing log. Journals are small (a handful of
+  // records plus digests per transition), so a full read is fine.
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close();
+      return false;
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+
+  std::size_t off = 0;
+  std::size_t durable_end = 0;
+  while (bytes.size() - off >= kRecordHeader + 4) {
+    const std::uint32_t payload_len = read_u32(bytes, off + kRecordHeader - 4);
+    const std::size_t total = kRecordHeader + payload_len + 4;
+    if (bytes.size() - off < total) break;  // torn mid-payload
+    const std::string_view body(bytes.data() + off, total - 4);
+    const std::uint32_t stored_crc = read_u32(bytes, off + total - 4);
+    if (journal_crc32(body) != stored_crc) break;  // torn or corrupt
+    JournalRecord rec;
+    rec.kind = static_cast<JournalRecordKind>(read_u32(bytes, off));
+    rec.server = static_cast<std::int32_t>(read_u32(bytes, off + 4));
+    rec.a = read_u64(bytes, off + 8);
+    rec.b = read_u64(bytes, off + 16);
+    rec.c = read_u64(bytes, off + 24);
+    rec.payload = bytes.substr(off + kRecordHeader, payload_len);
+    replayed.push_back(std::move(rec));
+    off += total;
+    durable_end = off;
+  }
+  if (durable_end < bytes.size()) {
+    // Torn tail: whatever a crash half-wrote is unusable; truncate so the
+    // next append extends the durable prefix.
+    ++torn_records_;
+    if (::ftruncate(fd_, static_cast<off_t>(durable_end)) != 0) {
+      close();
+      return false;
+    }
+  }
+  ::lseek(fd_, 0, SEEK_END);
+  return true;
+}
+
+void TransitionJournal::append(const JournalRecord& record) {
+  if (fd_ < 0) return;
+  if (!write_all(fd_, encode_journal_record(record))) return;
+  ::fsync(fd_);
+  ++appended_;
+}
+
+void TransitionJournal::compact(const std::vector<JournalRecord>& records) {
+  if (fd_ < 0) return;
+  const std::string tmp_path = path_ + ".tmp";
+  const int tmp =
+      ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp < 0) return;
+  std::string bytes;
+  for (const JournalRecord& rec : records) {
+    bytes += encode_journal_record(rec);
+  }
+  if (!write_all(tmp, bytes)) {
+    ::close(tmp);
+    ::unlink(tmp_path.c_str());
+    return;
+  }
+  ::fsync(tmp);
+  ::close(tmp);
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return;
+  }
+  // Reopen the renamed file so the append fd points at the new inode.
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd_ >= 0) ::lseek(fd_, 0, SEEK_END);
+}
+
+std::optional<PendingTransition> interpret_journal(
+    const std::vector<JournalRecord>& records, std::uint64_t& epoch_out) {
+  epoch_out = 0;
+  std::optional<PendingTransition> pending;
+  for (const JournalRecord& rec : records) {
+    switch (rec.kind) {
+      case JournalRecordKind::kResizeBegin: {
+        PendingTransition t;
+        t.epoch = rec.a;
+        t.n_old = static_cast<int>(rec.b >> 32);
+        t.n_new = static_cast<int>(rec.b & 0xffffffffU);
+        t.drain_end = static_cast<SimTime>(rec.c);
+        pending = std::move(t);
+        if (rec.a > epoch_out) epoch_out = rec.a;
+        break;
+      }
+      case JournalRecordKind::kDigestSnapshot:
+        if (pending.has_value()) {
+          pending->digests.emplace_back(rec.server, rec.payload);
+        }
+        break;
+      case JournalRecordKind::kDrainBegin:
+        if (pending.has_value()) pending->draining.push_back(rec.server);
+        break;
+      case JournalRecordKind::kFinalize:
+        pending.reset();
+        if (rec.a > epoch_out) epoch_out = rec.a;
+        break;
+    }
+  }
+  return pending;
+}
+
+}  // namespace proteus::core

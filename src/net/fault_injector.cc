@@ -51,6 +51,12 @@ class FaultInjectingHandler final : public ConnectionHandler {
         // down, exactly as a daemon sliding into saturation would.
         std::this_thread::sleep_for(std::chrono::microseconds(ramp_delay));
         return inner_->on_data(bytes, close);
+      case FaultKind::kCrash:
+        // The process dies mid-request: no reply, connection cut, and the
+        // crash hook performs the actual kill/restart choreography.
+        close = true;
+        injector_->fire_crash();
+        return {};
     }
     return {};
   }

@@ -16,9 +16,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "net/tcp_server.h"
 
@@ -51,6 +53,11 @@ enum class FaultKind {
   // (what deadlines and AIMD limiters key off). Schedule via
   // inject_latency_ramp().
   kLatencyRamp,
+  // Process crash: the connection is cut with no reply AND the registered
+  // crash hook (set_crash_hook) runs on the serving thread. Crash-recovery
+  // tests use the hook to stop the daemon and cold-restart it on the same
+  // port — new incarnation, memory and digest gone — modeling kill -9.
+  kCrash,
 };
 
 class FaultInjector {
@@ -75,6 +82,14 @@ class FaultInjector {
     ramp_taken_ = 0;
   }
   void reset() { inject(FaultKind::kNone, 0); }
+
+  // Runs when a kCrash fault fires, on the serving thread, after the
+  // connection is marked for closing. Typical test hook: stop the daemon so
+  // the run() thread exits, then construct a fresh one on the same port.
+  void set_crash_hook(std::function<void()> hook) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    crash_hook_ = std::move(hook);
+  }
 
   std::uint64_t requests_seen() const {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -107,6 +122,17 @@ class FaultInjector {
     return kind_;
   }
 
+  // Invokes the crash hook (if any) outside the injector mutex — the hook
+  // is free to touch the daemon, the injector, or both.
+  void fire_crash() {
+    std::function<void()> hook;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      hook = crash_hook_;
+    }
+    if (hook) hook();
+  }
+
   mutable std::mutex mutex_;
   FaultKind kind_ = FaultKind::kNone;
   int remaining_ = 0;
@@ -114,6 +140,7 @@ class FaultInjector {
   int ramp_taken_ = 0;
   std::uint64_t seen_ = 0;
   std::uint64_t injected_ = 0;
+  std::function<void()> crash_hook_;
 };
 
 }  // namespace proteus::net

@@ -1,5 +1,7 @@
 #include "net/memcache_daemon.h"
 
+#include <unistd.h>
+
 #include <chrono>
 
 #include "common/check.h"
@@ -293,6 +295,19 @@ void MemcacheDaemon::register_metrics() {
   metrics_.gauge_fn(
       "proteus_daemon_inflight", "protocol batches currently being served",
       [this] { return static_cast<double>(inflight()); });
+  // Crash recovery / fencing (docs/PROTOCOL.md): the epoch this daemon
+  // fences mutations against, its process incarnation, and how many stale
+  // mutations it has refused (the CI crash-recovery smoke greps for this).
+  metrics_.gauge_fn(
+      "proteus_daemon_epoch", "highest cluster epoch this daemon has seen",
+      [this] { return static_cast<double>(cache_.cluster_epoch()); });
+  metrics_.gauge_fn(
+      "proteus_daemon_incarnation", "per-process daemon incarnation id",
+      [this] { return static_cast<double>(cache_.incarnation()); });
+  metrics_.counter_fn(
+      "proteus_daemon_stale_epoch_rejects_total",
+      "mutations refused for carrying a stale epoch",
+      [this] { return static_cast<double>(cache_.stale_epoch_rejects()); });
   op_latency_ = metrics_.histogram(
       "proteus_daemon_op_latency_us",
       "server-side protocol batch service time (lock wait + cache work)");
@@ -305,6 +320,16 @@ MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
     : trace_(4096),
       cache_([&] {
         if (config.trace == nullptr) config.trace = &trace_;
+        // Restart-aware digests need each daemon PROCESS to be
+        // distinguishable from its predecessor on the same port: seed the
+        // incarnation with a per-process unique value (monotonic boot time
+        // mixed with the pid) unless the caller pinned one.
+        if (config.incarnation == 0) {
+          config.incarnation =
+              (static_cast<std::uint64_t>(monotonic_now()) << 8) ^
+              static_cast<std::uint64_t>(::getpid());
+          if (config.incarnation == 0) config.incarnation = 1;
+        }
         return std::move(config);
       }()),
       admission_opts_(admission),
@@ -344,6 +369,20 @@ void MemcacheDaemon::run() {
 
 void MemcacheDaemon::stop() {
   for (auto& s : servers_) s->stop();
+}
+
+void MemcacheDaemon::begin_drain(SimTime timeout_us) {
+  // Async-signal-safe fan-out (clock_gettime + atomics + pipe writes): a
+  // SIGTERM handler may call this directly.
+  const SimTime deadline = timeout_us > 0 ? monotonic_now() + timeout_us : 0;
+  for (auto& s : servers_) s->begin_drain(deadline);
+}
+
+bool MemcacheDaemon::draining() const noexcept {
+  for (const auto& s : servers_) {
+    if (s->draining()) return true;
+  }
+  return false;
 }
 
 cache::CacheStats MemcacheDaemon::stats_snapshot() const {

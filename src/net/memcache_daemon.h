@@ -106,6 +106,12 @@ class MemcacheDaemon {
   void run();
   void stop();
 
+  // Graceful shutdown: stop accepting, serve established connections until
+  // they close or `timeout_us` elapses (0 = wait forever), then run()
+  // returns. Async-signal-safe — callable from a SIGTERM handler.
+  void begin_drain(SimTime timeout_us);
+  bool draining() const noexcept;
+
   // Direct cache access — only safe while no worker thread is serving
   // (before run() / after stop()+join). Concurrent readers use the
   // snapshot accessors below instead.

@@ -21,6 +21,9 @@ enum class NetError {
   kReset,        // connection reset / EOF mid-operation / EPIPE
   kProtocol,     // peer answered with bytes that are not valid protocol
   kOverloaded,   // peer shed the request (SERVER_ERROR overloaded / EBUSY)
+  kStaleEpoch,   // peer fenced the request: its cluster epoch is newer than
+                 // the stamp we sent (SERVER_ERROR stale-epoch / 0x86).
+                 // Never retried — the view must be refreshed first.
 };
 
 inline const char* net_error_name(NetError e) noexcept {
@@ -31,6 +34,7 @@ inline const char* net_error_name(NetError e) noexcept {
     case NetError::kReset:      return "reset";
     case NetError::kProtocol:   return "protocol";
     case NetError::kOverloaded: return "overloaded";
+    case NetError::kStaleEpoch: return "stale_epoch";
   }
   return "unknown";
 }

@@ -74,6 +74,16 @@ void TcpServer::stop() {
   }
 }
 
+void TcpServer::begin_drain(SimTime deadline) {
+  // Async-signal-safe: two lock-free atomic stores and one pipe write.
+  drain_deadline_.store(deadline, std::memory_order_release);
+  draining_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'd';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
 void TcpServer::accept_new() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -162,8 +172,21 @@ void TcpServer::run() {
   if (!ok()) return;
   std::vector<pollfd> fds;
   for (;;) {
+    if (draining_.load(std::memory_order_acquire)) {
+      // Graceful drain: no new connections (close the listen socket so the
+      // kernel refuses them), serve the established ones to completion or
+      // until the deadline.
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      if (connections_.empty()) return;
+      const SimTime deadline = drain_deadline_.load(std::memory_order_acquire);
+      if (deadline > 0 && mono_usec() >= deadline) return;
+    }
+
     fds.clear();
-    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});  // fd -1 while draining: ignored
     fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
     for (const auto& [fd, conn] : connections_) {
       short events = POLLIN;
@@ -178,11 +201,25 @@ void TcpServer::run() {
       poll_timeout_ms = static_cast<int>(std::clamp<SimTime>(
           limits_.idle_timeout / kMillisecond / 4, 1, 1000));
     }
+    if (draining_.load(std::memory_order_acquire)) {
+      // Wake often enough to notice the drain deadline.
+      poll_timeout_ms = poll_timeout_ms < 0
+                            ? 50
+                            : std::min(poll_timeout_ms, 50);
+    }
     if (::poll(fds.data(), fds.size(), poll_timeout_ms) < 0) {
       if (errno == EINTR) continue;
       return;
     }
-    if (fds[1].revents & POLLIN) return;  // stop() requested
+    if (fds[1].revents & POLLIN) {
+      // Drain the pipe and act on what arrived: 'q' = stop now, 'd' = the
+      // drain flag is already set and the next loop iteration handles it.
+      char bytes[64];
+      const ssize_t n = ::read(wake_pipe_[0], bytes, sizeof(bytes));
+      for (ssize_t i = 0; i < n; ++i) {
+        if (bytes[i] == 'q') return;  // stop() requested
+      }
+    }
     if (fds[0].revents & POLLIN) accept_new();
 
     for (std::size_t i = 2; i < fds.size(); ++i) {

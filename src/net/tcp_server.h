@@ -72,6 +72,16 @@ class TcpServer {
   // Thread-safe shutdown request; wakes the poll loop via a pipe.
   void stop();
 
+  // Graceful drain: stop accepting (the listen socket is closed inside the
+  // poll loop), keep serving established connections, and return from
+  // run() once they all close — or at `deadline` (monotonic usec; 0 = wait
+  // forever). Async-signal-safe (atomics + a pipe write), so a SIGTERM
+  // handler may call it directly.
+  void begin_drain(SimTime deadline);
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
   // Counters are atomics written by the poll-loop thread with relaxed
   // ordering, so concurrent readers (metrics scrapes, proteus-top) see
   // coherent values without taking any lock.
@@ -112,6 +122,8 @@ class TcpServer {
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> idle_reaped_{0};
   std::atomic<std::uint64_t> slow_drops_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<SimTime> drain_deadline_{0};
 };
 
 }  // namespace proteus::net

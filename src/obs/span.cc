@@ -86,6 +86,7 @@ std::string_view span_cause_name(SpanCause cause) noexcept {
     case SpanCause::kShed: return "shed";
     case SpanCause::kCoalesced: return "coalesced";
     case SpanCause::kThrottled: return "throttled";
+    case SpanCause::kStaleEpoch: return "stale_epoch";
   }
   return "unknown";
 }
@@ -129,8 +130,12 @@ std::string encode_trace_token(std::uint64_t trace_id) {
   return out;
 }
 
-bool decode_trace_token(std::string_view token, std::uint64_t& out) {
-  if (token.size() != 17 || token.front() != 'O') return false;
+namespace {
+
+// Shared strict hex16 body for the O/E wire tokens.
+bool decode_hex16_token(std::string_view token, char prefix,
+                        std::uint64_t& out) {
+  if (token.size() != 17 || token.front() != prefix) return false;
   std::uint64_t v = 0;
   for (std::size_t i = 1; i < token.size(); ++i) {
     const char c = token[i];
@@ -146,6 +151,22 @@ bool decode_trace_token(std::string_view token, std::uint64_t& out) {
   }
   out = v;
   return true;
+}
+
+}  // namespace
+
+bool decode_trace_token(std::string_view token, std::uint64_t& out) {
+  return decode_hex16_token(token, 'O', out);
+}
+
+std::string encode_epoch_token(std::uint64_t epoch) {
+  std::string out = "E";
+  append_hex16(out, epoch);
+  return out;
+}
+
+bool decode_epoch_token(std::string_view token, std::uint64_t& out) {
+  return decode_hex16_token(token, 'E', out);
 }
 
 SpanCollector::SpanCollector(std::size_t capacity, std::uint32_t sample_every)

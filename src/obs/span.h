@@ -85,6 +85,7 @@ enum class SpanCause {
   kShed,           // request shed by overload protection (server or limiter)
   kCoalesced,      // backend fetch piggybacked on a singleflight leader
   kThrottled,      // migration write-back deferred by the overload throttle
+  kStaleEpoch,     // mutation fenced off: request epoch < server epoch
 };
 
 std::string_view span_kind_name(SpanKind kind) noexcept;
@@ -116,6 +117,12 @@ std::string encode_trace_token(std::uint64_t trace_id);
 // the encode_trace_token shape. Keys that merely start with 'O' never
 // parse as tokens.
 bool decode_trace_token(std::string_view token, std::uint64_t& out);
+
+// "E" + 16 lowercase hex digits — the cluster-epoch fencing stamp carried on
+// mutations (docs/PROTOCOL.md). Same stock-memcached-invisible shape as the
+// trace token; decode is equally strict.
+std::string encode_epoch_token(std::uint64_t epoch);
+bool decode_epoch_token(std::string_view token, std::uint64_t& out);
 
 // --- the collector -----------------------------------------------------------
 

@@ -46,6 +46,9 @@ std::string_view trace_event_name(TraceEventKind kind) noexcept {
     case TraceEventKind::kDigestFalseNegative: return "digest_false_negative";
     case TraceEventKind::kTtlExpiry: return "ttl_expiry";
     case TraceEventKind::kMigrationDeferred: return "migration_deferred";
+    case TraceEventKind::kEpochBump: return "epoch_bump";
+    case TraceEventKind::kIncarnationChange: return "incarnation_change";
+    case TraceEventKind::kJournalReplay: return "journal_replay";
   }
   return "unknown";
 }

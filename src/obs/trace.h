@@ -46,6 +46,11 @@ enum class TraceEventKind {
   kTtlExpiry,            // item(s) idle past TTL; server, n=items, key if single
   kMigrationDeferred,    // line 12 write-back paced off under overload;
                          // server=old location, peer=new
+  kEpochBump,            // cluster epoch advanced (resize fencing); n=epoch
+  kIncarnationChange,    // reconnect found a cold-restarted server; server,
+                         // n=new incarnation (its old digest was dropped)
+  kJournalReplay,        // transition journal replayed at startup; server=
+                         // resumed(1)/rolled-forward(2)/none(0), n=records
 };
 
 std::string_view trace_event_name(TraceEventKind kind) noexcept;

@@ -200,6 +200,45 @@ TEST(WebTier, CoalescingDistinctKeysDoNotInterfere) {
   EXPECT_EQ(web.stats().db_fetches, 10u);  // all distinct: nothing coalesces
 }
 
+TEST(WebTier, CrashMidTransitionDropsDigestInsteadOfPhantomFallback) {
+  Rig rig(/*smooth=*/true);
+  for (int i = 0; i < 200; ++i) rig.request("page:" + std::to_string(i));
+  rig.cluster.resize(5);
+
+  // Pick a remapped key whose digest still steers misses to its old server.
+  std::string victim_key;
+  int victim_server = -1;
+  for (int i = 0; i < 200 && victim_server < 0; ++i) {
+    const std::string key = "page:" + std::to_string(i);
+    const auto d = rig.router->decide(key);
+    if (d.fallback >= 0) {
+      victim_key = key;
+      victim_server = d.fallback;
+    }
+  }
+  ASSERT_GE(victim_server, 0) << "no key remapped with a hot digest claim";
+
+  // The crash loses the old server's memory; its broadcast digest now makes
+  // phantom "hot" claims. mark_failed must retract it from every router.
+  rig.cluster.mark_failed(victim_server);
+  EXPECT_EQ(rig.router->decide(victim_key).fallback, -1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(rig.router->decide("page:" + std::to_string(i)).fallback,
+              victim_server);
+  }
+
+  // The key is still servable: the miss falls through to the database and
+  // repopulates the new location instead of probing the dead server.
+  const auto old_hits_before = rig.web.stats().old_server_hits;
+  rig.request(victim_key);
+  EXPECT_EQ(rig.web.stats().old_server_hits, old_hits_before);
+  rig.request(victim_key);
+  EXPECT_EQ(rig.tier.server(rig.router->decide(victim_key).primary)
+                .get(victim_key, rig.sim.now())
+                .value_or(""),
+            rig.db.value_for(victim_key));
+}
+
 TEST(WebTier, StatsAccounting) {
   Rig rig;
   for (int i = 0; i < 50; ++i) rig.request("page:" + std::to_string(i));

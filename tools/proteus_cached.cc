@@ -32,9 +32,23 @@
 namespace {
 
 proteus::net::MemcacheDaemon* g_daemon = nullptr;
+// SIGTERM drain budget, set from --drain-timeout-ms before signals are
+// installed (microseconds; 0 = drain until the last connection closes).
+proteus::SimTime g_drain_timeout_us = 5'000'000;
 
-void handle_signal(int) {
-  if (g_daemon != nullptr) g_daemon->stop();
+void handle_signal(int sig) {
+  if (g_daemon == nullptr) return;
+  if (sig == SIGTERM) {
+    // Graceful: stop accepting, serve established connections until they
+    // close or the drain budget runs out, then exit 0 through main().
+    // begin_drain is async-signal-safe. A second SIGTERM escalates to an
+    // immediate stop (kill -TERM twice = "really, now").
+    if (!g_daemon->draining()) {
+      g_daemon->begin_drain(g_drain_timeout_us);
+      return;
+    }
+  }
+  g_daemon->stop();
 }
 
 bool parse_value(const char* arg, const char* name, std::string& out) {
@@ -61,6 +75,13 @@ void print_help(std::FILE* out) {
       "                       'SERVER_ERROR overloaded' and closed\n"
       "  --idle-timeout-s=S   reap connections idle this long\n"
       "  --max-outbox-mb=M    slow-reader reply backlog bound\n"
+      "  --drain-timeout-ms=D graceful-shutdown budget: on SIGTERM stop\n"
+      "                       accepting and serve established connections\n"
+      "                       up to D ms before exiting (default 5000;\n"
+      "                       0 = wait for the last connection; a second\n"
+      "                       SIGTERM or SIGINT exits immediately)\n"
+      "  --incarnation=N      pin the process incarnation id (default: a\n"
+      "                       per-process unique value; see docs/PROTOCOL.md)\n"
       "\n"
       "overload protection (all off by default — see docs/OPERATIONS.md "
       "section 10):\n"
@@ -93,6 +114,7 @@ int main(int argc, char** argv) {
   double ttl_s = 0;
   int threads = 1;
   int server_id = -1;
+  std::uint64_t incarnation = 0;  // 0 = per-process unique (daemon seeds it)
   net::TcpServer::Limits limits;
   net::AdmissionOptions admission;
 
@@ -123,6 +145,11 @@ int main(int argc, char** argv) {
     } else if (parse_value(argv[i], "--max-outbox-mb", value)) {
       limits.max_outbox_bytes =
           static_cast<std::size_t>(std::atoll(value.c_str())) << 20;
+    } else if (parse_value(argv[i], "--drain-timeout-ms", value)) {
+      g_drain_timeout_us =
+          static_cast<proteus::SimTime>(std::atof(value.c_str()) * 1000.0);
+    } else if (parse_value(argv[i], "--incarnation", value)) {
+      incarnation = static_cast<std::uint64_t>(std::atoll(value.c_str()));
     } else if (parse_value(argv[i], "--max-inflight", value)) {
       admission.max_inflight =
           static_cast<std::size_t>(std::atoll(value.c_str()));
@@ -150,6 +177,7 @@ int main(int argc, char** argv) {
   cache::CacheConfig cfg;
   cfg.memory_budget_bytes = mem_mb << 20;
   cfg.item_ttl = from_seconds(ttl_s);
+  cfg.incarnation = incarnation;
 
   net::MemcacheDaemon daemon(cfg, port, net::monotonic_now, threads, limits,
                              admission);
@@ -194,12 +222,33 @@ int main(int argc, char** argv) {
     metrics_thread.join();
   }
   std::fprintf(stderr,
-               "shutting down; served %llu connections (rejected %llu, "
+               "%s; served %llu connections (rejected %llu, "
                "idle-reaped %llu, slow-reader drops %llu)\n",
+               daemon.draining() ? "drained" : "shutting down",
                static_cast<unsigned long long>(daemon.connections_accepted()),
                static_cast<unsigned long long>(daemon.connections_rejected()),
                static_cast<unsigned long long>(daemon.idle_reaped()),
                static_cast<unsigned long long>(daemon.slow_reader_drops()));
+  // Final state flush: after run() returns no worker thread serves, so the
+  // cache and trace ring are safe to read directly. This is the last word a
+  // crashed-and-restarted operator sees in the unit log.
+  {
+    const cache::CacheStats final_stats = daemon.cache().stats();
+    std::fprintf(
+        stderr,
+        "final: %zu items, %zu bytes, %llu gets (%llu hits), %llu sets, "
+        "epoch %llu, incarnation %llu, stale-epoch rejects %llu, "
+        "%llu trace events (%llu dropped)\n",
+        daemon.cache().item_count(), daemon.cache().bytes_used(),
+        static_cast<unsigned long long>(final_stats.gets),
+        static_cast<unsigned long long>(final_stats.hits),
+        static_cast<unsigned long long>(final_stats.sets),
+        static_cast<unsigned long long>(daemon.cache().cluster_epoch()),
+        static_cast<unsigned long long>(daemon.cache().incarnation()),
+        static_cast<unsigned long long>(daemon.cache().stale_epoch_rejects()),
+        static_cast<unsigned long long>(daemon.trace().total_emitted()),
+        static_cast<unsigned long long>(daemon.trace().dropped()));
+  }
   if (daemon.sheds_total() > 0) {
     std::fprintf(
         stderr,

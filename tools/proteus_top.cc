@@ -116,6 +116,22 @@ double hit_ratio_of(const Watched& w) {
   return gets > 0 ? field(w, "get_hits") / gets : 0.0;
 }
 
+// Fencing epoch / process incarnation (docs/PROTOCOL.md), from the proteus
+// registry names or the plain-`stats` extension names.
+double epoch_of(const Watched& w) {
+  if (w.now.count("proteus_daemon_epoch") != 0U) {
+    return field(w, "proteus_daemon_epoch");
+  }
+  return field(w, "cluster_epoch");
+}
+
+double incarnation_of(const Watched& w) {
+  if (w.now.count("proteus_daemon_incarnation") != 0U) {
+    return field(w, "proteus_daemon_incarnation");
+  }
+  return field(w, "incarnation");
+}
+
 const char* state_of(const Watched& w) {
   if (!w.up) return "down";
   if (w.now.count("proteus_cache_power_state") == 0U) return "active";
@@ -187,13 +203,15 @@ int main(int argc, char** argv) {
     }
 
     if (!once) std::printf("\033[2J\033[H");
-    std::printf("%-6s %-7s %10s %7s %6s %9s %9s %9s %8s %7s\n", "SERVER",
-                "STATE", "GETS/S", "SHARE", "HIT%", "P50(us)", "P99(us)",
-                "ITEMS", "MB", "WATTS");
+    std::printf("%-6s %-7s %10s %7s %6s %9s %9s %9s %8s %7s %6s %12s\n",
+                "SERVER", "STATE", "GETS/S", "SHARE", "HIT%", "P50(us)",
+                "P99(us)", "ITEMS", "MB", "WATTS", "EPOCH", "INCARNATION");
     const proteus::cluster::ServerPowerProfile power;
     int active = 0;
     double max_share = 0;
     double fleet_watts = 0;
+    double min_epoch = -1;
+    double max_epoch = -1;
     for (std::size_t i = 0; i < fleet.size(); ++i) {
       const Watched& w = fleet[i];
       const char* state = state_of(w);
@@ -209,15 +227,32 @@ int main(int argc, char** argv) {
           w.up && std::strcmp(state, "off") != 0;
       const double watts = power.watts(powered_on, rate / peak_ops);
       fleet_watts += watts;
+      const double epoch = epoch_of(w);
+      if (w.up) {
+        if (min_epoch < 0 || epoch < min_epoch) min_epoch = epoch;
+        if (epoch > max_epoch) max_epoch = epoch;
+      }
       std::printf(
-          ":%-5u %-7s %10.1f %6.1f%% %5.1f%% %9.0f %9.0f %9.0f %8.2f %7.1f\n",
+          ":%-5u %-7s %10.1f %6.1f%% %5.1f%% %9.0f %9.0f %9.0f %8.2f %7.1f "
+          "%6.0f %12llx\n",
           w.port, state, rate, share * 100, hit_ratio_of(w) * 100,
           field(w, "proteus_daemon_op_latency_us_p50"),
           field(w, "proteus_daemon_op_latency_us_p99"),
           field(w, "proteus_cache_items", field(w, "curr_items")),
           field(w, "proteus_cache_bytes", field(w, "bytes")) /
               (1024.0 * 1024.0),
-          watts);
+          watts, epoch,
+          static_cast<unsigned long long>(incarnation_of(w)));
+    }
+    // Fencing sanity: every reachable daemon should fence the same cluster
+    // epoch; a spread means some daemon missed a resize (crashed through
+    // it, or rejoined cold) and will refuse that epoch's mutations.
+    if (min_epoch >= 0 && max_epoch > min_epoch) {
+      std::printf(
+          "EPOCH DISAGREEMENT: fleet spans epochs %.0f..%.0f — stale "
+          "daemons reject mutations until a client teaches them "
+          "(see docs/OPERATIONS.md section 11)\n",
+          min_epoch, max_epoch);
     }
     // §III check: with perfect K/n balance every active server's share is
     // 1/n, so imbalance (max observed / ideal) should hover near 1.0.

@@ -90,15 +90,25 @@ struct Fleet {
       // missing, the hot set stays resident.
       config.memory_budget_bytes = 1u << 20;
       net::AdmissionOptions admission;
+      net::AuditOptions audit;
       if (protected_config) {
         admission.max_inflight = 4;
         admission.queue_deadline_us = 5 * kMillisecond;
         admission.pipeline_cap = 64;
         admission.background_fill = 0.5;
+        // The live auditor rides along on the protected fleet so the CI
+        // artifact carries PPI/SLO/drift gauges and /health samples from a
+        // genuinely overloaded run. Aggressive windows: the whole bench
+        // lasts seconds.
+        audit.enabled = true;
+        audit.slo.hit_ratio_target = 0.9;
+        audit.slo.windows.fast_window = 2 * kSecond;
+        audit.slo.windows.slow_window = 20 * kSecond;
+        audit.audit.window = 2 * kSecond;
       }
       daemons.push_back(std::make_unique<net::MemcacheDaemon>(
           std::move(config), /*port=*/0, net::monotonic_now, /*threads=*/1,
-          net::TcpServer::Limits{}, admission));
+          net::TcpServer::Limits{}, admission, audit));
     }
     for (auto& d : daemons) {
       threads.emplace_back([daemon = d.get()] { daemon->run(); });
@@ -189,6 +199,37 @@ RunResult run_config(bool protected_config, int workers, bool shrink,
   const SimTime t_shrink = shrink ? t_start + duration / 2 : 0;
   const SimTime t_end = t_start + duration;
 
+  // Health sampler (artifact runs only). Polling health() is what drives
+  // the daemon's audit roll-up — the scrape loop IS the feed — so this
+  // doubles as the auditor's clock during the run. Samples go to a JSONL
+  // sidecar next to the metrics artifact so CI can inspect the SLO state
+  // sequence from a genuinely overloaded run.
+  struct HealthSample {
+    double t_s;
+    std::size_t daemon;
+    int code;
+    std::string body;
+  };
+  std::vector<HealthSample> health_samples;  // sampler-thread-only until join
+  std::atomic<bool> sampling{!metrics_out.empty()};
+  std::thread sampler;
+  if (sampling.load()) {
+    sampler = std::thread([&fleet, &health_samples, &sampling, t_start] {
+      while (sampling.load(std::memory_order_relaxed)) {
+        for (std::size_t i = 0; i < fleet.daemons.size(); ++i) {
+          auto [code, body] = fleet.daemons[i]->health();
+          while (!body.empty() && (body.back() == '\n' || body.back() == '\r'))
+            body.pop_back();
+          health_samples.push_back(
+              {static_cast<double>(wall_now() - t_start) /
+                   static_cast<double>(kSecond),
+               i, code, std::move(body)});
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+    });
+  }
+
   std::vector<RunResult> results(static_cast<std::size_t>(workers));
   std::vector<std::thread> threads;
   for (int w = 0; w < workers; ++w) {
@@ -224,6 +265,10 @@ RunResult run_config(bool protected_config, int workers, bool shrink,
     });
   }
   for (auto& t : threads) t.join();
+  if (sampler.joinable()) {
+    sampling.store(false);
+    sampler.join();
+  }
 
   RunResult total;
   total.seconds =
@@ -250,6 +295,22 @@ RunResult run_config(bool protected_config, int workers, bool shrink,
     clients[0]->register_metrics(client_registry);
     out << "# ---- client 0 ----\n"
         << obs::render_prometheus(client_registry.snapshot());
+
+    // Sidecar: one /health sample per line, plus a summary on stderr. The
+    // state sequence is workload-dependent (hit ratio under overload hovers
+    // near the target), so CI asserts presence and shape, not a specific
+    // transition — the deterministic 503 drill lives in crash_smoke.sh.
+    std::ofstream hout(metrics_out + ".health.jsonl");
+    std::size_t not_ok = 0;
+    for (const auto& s : health_samples) {
+      if (s.code != 200) ++not_ok;
+      hout << "{\"t_s\":" << s.t_s << ",\"daemon\":" << s.daemon
+           << ",\"code\":" << s.code << ",\"health\":" << s.body << "}\n";
+    }
+    std::fprintf(stderr,
+                 "health sampler: %zu samples, %zu non-200 (-> %s)\n",
+                 health_samples.size(), not_ok,
+                 (metrics_out + ".health.jsonl").c_str());
   }
   return total;
 }

@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
 # Observability benchmark export: runs the obs micro-benchmarks
-# (micro_metrics + micro_spans) with Google Benchmark's JSON reporter,
-# plus the crash-recovery extension experiment (ext_failure_recovery
-# --json), and merges them into one machine-readable artifact,
-# BENCH_obs.json:
+# (micro_metrics + micro_spans + micro_audit) with Google Benchmark's JSON
+# reporter, plus the crash-recovery extension experiment
+# (ext_failure_recovery --json), and merges them into one machine-readable
+# artifact, BENCH_obs.json:
 #
-#   { "micro_metrics": {...}, "micro_spans": {...},
+#   { "micro_metrics": {...}, "micro_spans": {...}, "micro_audit": {...},
 #     "ext_failure_recovery": {...} }
 #
-# Also checks the span layer's acceptance budget — should_sample() with
-# sampling disabled must cost <= 5 ns/op (BM_SpanShouldSampleDisabled).
-# The check warns by default; pass --enforce to fail the script on a miss
+# Also checks the acceptance budgets of the off-path costs:
+#   * should_sample() with sampling disabled must cost <= 5 ns/op
+#     (BM_SpanShouldSampleDisabled);
+#   * the audit gate with auditing disabled must cost <= 2 ns/op
+#     (BM_AuditDisabledGate) — the only thing the get path ever pays.
+# The checks warn by default; pass --enforce to fail the script on a miss
 # (CI uses warn-only: shared runners make single-digit-ns numbers noisy).
 #
 #   scripts/bench_json.sh [--build-dir=build] [--out=BENCH_obs.json] [--enforce]
@@ -32,7 +35,7 @@ done
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-for bin in micro_metrics micro_spans ext_failure_recovery; do
+for bin in micro_metrics micro_spans micro_audit ext_failure_recovery; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "bench_json.sh: $BUILD_DIR/bench/$bin not built" >&2
     echo "  (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
@@ -49,11 +52,14 @@ echo "== micro_metrics =="
 echo "== micro_spans =="
 "$BUILD_DIR/bench/micro_spans" \
   --benchmark_out="$TMP/micro_spans.json" --benchmark_out_format=json
+echo "== micro_audit =="
+"$BUILD_DIR/bench/micro_audit" \
+  --benchmark_out="$TMP/micro_audit.json" --benchmark_out_format=json
 echo "== ext_failure_recovery =="
 "$BUILD_DIR/bench/ext_failure_recovery" --json \
   > "$TMP/ext_failure_recovery.json"
 
-# Merge: each binary's report becomes one top-level key. Both inputs are
+# Merge: each binary's report becomes one top-level key. All inputs are
 # complete JSON objects, so wrapping them keeps the artifact valid JSON
 # without needing jq in the image.
 {
@@ -61,29 +67,45 @@ echo "== ext_failure_recovery =="
   cat "$TMP/micro_metrics.json"
   printf ',\n"micro_spans":\n'
   cat "$TMP/micro_spans.json"
+  printf ',\n"micro_audit":\n'
+  cat "$TMP/micro_audit.json"
   printf ',\n"ext_failure_recovery":\n'
   cat "$TMP/ext_failure_recovery.json"
   printf '}\n'
 } > "$OUT"
 echo "wrote $OUT"
 
-# Budget gate: BM_SpanShouldSampleDisabled real_time must be <= 5 ns. The
-# reporter emits one object per benchmark; pull the first real_time after
-# the matching name (time_unit for these benchmarks is ns).
-BUDGET_NS=5
-MEASURED="$(awk '
-  /"name": "BM_SpanShouldSampleDisabled"/ { inbench = 1 }
-  inbench && /"real_time":/ {
-    gsub(/[^0-9.eE+-]/, "", $2); print $2; exit
-  }' "$TMP/micro_spans.json")"
-if [[ -z "$MEASURED" ]]; then
-  echo "bench_json.sh: could not extract BM_SpanShouldSampleDisabled" >&2
+# Budget gates. The reporter emits one object per benchmark; pull the first
+# real_time after the matching name (time_unit for these benchmarks is ns).
+# check_budget <json> <benchmark name> <budget ns> <label>
+MISSED=0
+check_budget() {
+  local json="$1" name="$2" budget="$3" label="$4"
+  local measured
+  measured="$(awk -v n="\"$name\"" '
+    index($0, "\"name\": " n) { inbench = 1 }
+    inbench && /"real_time":/ {
+      gsub(/[^0-9.eE+-]/, "", $2); print $2; exit
+    }' "$json")"
+  if [[ -z "$measured" ]]; then
+    echo "bench_json.sh: could not extract $name" >&2
+    exit 1
+  fi
+  echo "$label: ${measured} ns/op (budget ${budget} ns)"
+  local over
+  over="$(awk -v m="$measured" -v b="$budget" 'BEGIN { print (m > b) ? 1 : 0 }')"
+  if [[ "$over" == "1" ]]; then
+    echo "WARNING: $label exceeds the ${budget} ns budget" >&2
+    MISSED=1
+  fi
+}
+
+check_budget "$TMP/micro_spans.json" BM_SpanShouldSampleDisabled 5 \
+  "span off-path cost (sampling disabled)"
+check_budget "$TMP/micro_audit.json" BM_AuditDisabledGate 2 \
+  "audit off-path cost (auditing disabled)"
+
+if [[ "$MISSED" == "1" && "$ENFORCE" == "1" ]]; then
   exit 1
-fi
-echo "span off-path cost (sampling disabled): ${MEASURED} ns/op (budget ${BUDGET_NS} ns)"
-OVER="$(awk -v m="$MEASURED" -v b="$BUDGET_NS" 'BEGIN { print (m > b) ? 1 : 0 }')"
-if [[ "$OVER" == "1" ]]; then
-  echo "WARNING: span off-path cost exceeds the ${BUDGET_NS} ns budget" >&2
-  [[ "$ENFORCE" == "1" ]] && exit 1
 fi
 exit 0

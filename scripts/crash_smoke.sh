@@ -90,4 +90,66 @@ awk '$1 == "proteus_daemon_stale_epoch_rejects_total" && $2 > 0 {found=1}
      END {if (!found) {print "no stale-epoch rejects in /metrics"; exit 1}}' \
   "$METRICS"
 
+# Daemon 0 ran without audit flags: its /health must still answer 200 (the
+# route always exists; un-audited daemons report plain ok + epoch).
+HCODE="$(curl -s -o "$ARTIFACTS/crash-smoke-health.json" -w '%{http_code}' \
+  "http://127.0.0.1:$MPORT/health")"
+[[ "$HCODE" == "200" ]] \
+  || { echo "daemon 0 /health returned $HCODE after drill"; exit 1; }
+
 echo "crash-recovery smoke passed (stale-epoch fence held, fleet recovered)"
+
+# ---------------------------------------------------------------------------
+# SLO /health drill (docs/OPERATIONS.md §12): a fresh audited daemon must
+# flip 200 -> 503 under an induced hit-ratio breach and recover to 200 once
+# good traffic refills the fast burn window. Deterministic by construction:
+# the breach is the FIRST observed interval (all-miss -> burn = 1/(1-0.9) =
+# 10x = the page threshold), and recovery waits out the 2 s fast window.
+SPORT=11444 SMPORT=11450
+start_daemon "$SPORT" --server-id=9 --metrics-port="$SMPORT" \
+  --slo-hit-ratio=0.9 --slo-fast-window-s=2 --audit-window-s=1
+sleep 0.5
+
+health() { # artifact-file -> prints http code
+  curl -s -o "$1" -w '%{http_code}' "http://127.0.0.1:$SMPORT/health"
+}
+send_cmds() { # reads memcache commands on stdin, drains responses to EOF
+  exec 3<>"/dev/tcp/127.0.0.1/$SPORT"
+  cat >&3
+  cat <&3 > /dev/null  # ends when the daemon closes after `quit`
+  exec 3<&- 3>&-
+}
+
+# Prime: first scrape establishes the counter baseline (no interval yet).
+HCODE="$(health "$ARTIFACTS/slo-health-prime.json")"
+[[ "$HCODE" == "200" ]] \
+  || { echo "audited daemon not healthy at start ($HCODE)"; exit 1; }
+
+# Breach: an all-miss storm, then a scrape >=1 s later rolls it up as a
+# 0% hit-ratio interval and the burn engine pages.
+{ for i in $(seq 1 200); do printf 'get absent:%d\r\n' "$i"; done
+  printf 'quit\r\n'; } | send_cmds
+sleep 1.2
+HCODE="$(health "$ARTIFACTS/slo-health-breach.json")"
+[[ "$HCODE" == "503" ]] \
+  || { echo "expected 503 during SLO breach, got $HCODE"
+       cat "$ARTIFACTS/slo-health-breach.json"; exit 1; }
+grep -q '"status":"unhealthy"' "$ARTIFACTS/slo-health-breach.json" \
+  || { echo "breach body lacks unhealthy status"; exit 1; }
+grep -q '"hit_ratio"' "$ARTIFACTS/slo-health-breach.json" \
+  || { echo "breach body lacks the breached objective"; exit 1; }
+
+# Recover: hit traffic, then wait past the 2 s fast window so the breach
+# interval ages out and the next roll-up sees only good traffic.
+{ printf 'set k 0 0 1\r\nv\r\n'
+  for _ in $(seq 1 1000); do printf 'get k\r\n'; done
+  printf 'quit\r\n'; } | send_cmds
+sleep 3.5
+HCODE="$(health "$ARTIFACTS/slo-health-recover.json")"
+[[ "$HCODE" == "200" ]] \
+  || { echo "daemon did not recover to 200, got $HCODE"
+       cat "$ARTIFACTS/slo-health-recover.json"; exit 1; }
+grep -q '"ppi"' "$ARTIFACTS/slo-health-recover.json" \
+  || { echo "audited health body lacks ppi"; exit 1; }
+
+echo "SLO health smoke passed (200 -> 503 on breach -> 200 on recovery)"

@@ -427,6 +427,7 @@ std::string TextProtocolSession::handle_counter(const TextCommand& cmd,
 std::string TextProtocolSession::handle_stats(const TextCommand& cmd) {
   if (cmd.stats_arg == "reset") {
     server_.reset_stats();
+    if (stats_reset_hook_) stats_reset_hook_();
     return "RESET\r\n";
   }
   if (cmd.stats_arg == "proteus") {

@@ -49,6 +49,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -144,6 +145,15 @@ class TextProtocolSession {
   // the daemon reads this after feed() to correlate its lock-wait span.
   std::uint64_t last_trace_id() const noexcept { return last_trace_id_; }
 
+  // Invoked on `stats reset` after the cache counters clear, so an owning
+  // daemon can reset its own counters (sheds, trace/span drops) in the same
+  // breath — `stats reset` then means ONE thing across every surface. Runs
+  // on the protocol thread under the daemon's cache mutex; keep it to leaf
+  // locks / atomics.
+  void set_stats_reset_hook(std::function<void()> hook) {
+    stats_reset_hook_ = std::move(hook);
+  }
+
  private:
   std::string handle_line(std::string_view line, SimTime now);
   std::string handle_storage(const TextCommand& cmd, std::string payload,
@@ -162,6 +172,7 @@ class TextProtocolSession {
   obs::SpanCollector* spans_ = nullptr;
   int server_id_ = -1;
   PipelinePolicy pipeline_;
+  std::function<void()> stats_reset_hook_;
   int batch_served_ = 0;  // cache-touching commands served this feed()
   std::uint64_t last_trace_id_ = 0;
   std::string buffer_;

@@ -584,6 +584,9 @@ ProteusClient::FetchResult ProteusClient::cache_get(int server,
                                                     SimTime now,
                                                     obs::TraceContext& ctx,
                                                     obs::SpanKind kind) {
+  // Per-endpoint load accounting for the audit feed (one get per call,
+  // however many attempts it takes).
+  ++endpoints_[static_cast<std::size_t>(server)].gets;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) ++stats_.retries;
     const obs::SpanKind child_kind =
@@ -604,6 +607,7 @@ ProteusClient::FetchResult ProteusClient::cache_get(int server,
     auto value = c->get(key, ctx.trace_id, background, epoch_);
     if (value.has_value()) {
       record_success(server);
+      ++endpoints_[static_cast<std::size_t>(server)].hits;
       if (ctx.active()) {
         ctx.child(obs::span_clock_now(), child_kind, server,
                   obs::SpanCause::kHit, key);
@@ -734,6 +738,26 @@ void ProteusClient::tick(SimTime now) {
     obs::emit(options_.trace, now, obs::TraceEventKind::kResizeEnd,
               router_.active());
   }
+  // Audit feed: the client's own per-endpoint counters, with power states
+  // derived from routing (this client decided which daemons are active /
+  // draining, so its view IS the provisioning intent). Gated to ~1/s of
+  // `now`; disabled-path cost is one pointer test.
+  if (options_.auditor != nullptr && now - last_audit_feed_ >= kSecond) {
+    last_audit_feed_ = now;
+    const int active = router_.active();
+    const int old_active = router_.old_active();
+    const bool transition = router_.in_transition();
+    std::vector<obs::ServerAuditSample> fleet(endpoints_.size());
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      const int idx = static_cast<int>(i);
+      fleet[i].power_state =
+          idx < active ? 0 : (transition && idx < old_active ? 1 : 2);
+      fleet[i].gets_total = static_cast<double>(endpoints_[i].gets);
+      fleet[i].hits_total = static_cast<double>(endpoints_[i].hits);
+    }
+    options_.auditor->observe(now, fleet, 0,
+                              static_cast<double>(stats_.backend_fetches));
+  }
 }
 
 std::string ProteusClient::get(std::string_view key, SimTime now) {
@@ -744,7 +768,10 @@ std::string ProteusClient::get(std::string_view key, SimTime now) {
   std::string value = get_inner(key, now, ctx);
   const SimTime end_us = mono_usec();
   ctx.finish(end_us, start_us, key);
-  get_latency_us_.record(static_cast<double>(end_us - start_us));
+  // A sampled request leaves its trace id as the latency bucket's exemplar
+  // (rendered on /metrics as an OpenMetrics exemplar).
+  get_latency_us_.record(static_cast<double>(end_us - start_us),
+                         ctx.trace_id);
   return value;
 }
 

@@ -37,6 +37,7 @@
 #include "core/overload.h"
 #include "hashring/proteus_placement.h"
 #include "net/net_error.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
@@ -189,6 +190,12 @@ class ProteusClient {
     // Served when a fetch is shed (by the daemon or the limiter) — the
     // explicit degraded answer. Empty mimics a database default.
     std::string degraded_response;
+    // Live power/model auditing (obs/audit.h): when set, tick() feeds the
+    // client's per-endpoint get/hit counters and routing-derived power
+    // states into this auditor about once per second of `now`. Not owned;
+    // share one auditor across the clients of a fleet only if they are
+    // driven from one thread.
+    obs::PowerAuditor* auditor = nullptr;
   };
 
   ProteusClient(Options options, Backend backend);
@@ -266,6 +273,10 @@ class ProteusClient {
     // different value on reconnect means the process cold-restarted: its
     // memory — and any transition digest describing it — died with it.
     std::uint64_t incarnation = 0;
+    // Client-observed per-endpoint load, the audit feed's fleet view:
+    // cache_get calls routed here and how many answered with a hit.
+    std::uint64_t gets = 0;
+    std::uint64_t hits = 0;
   };
 
   // kShed: the daemon refused the request (admission control) — the server
@@ -320,6 +331,7 @@ class ProteusClient {
   Stats stats_;
   obs::Histogram get_latency_us_;
   std::uint64_t epoch_ = 0;  // fencing epoch (docs/PROTOCOL.md)
+  SimTime last_audit_feed_ = 0;
 };
 
 }  // namespace proteus::client

@@ -245,6 +245,23 @@ void WebTier::try_ring(std::size_t ring,
   });
 }
 
+void WebTier::audit_observe(SimTime now) {
+  if (config_.auditor == nullptr) return;
+  const int n = cache_.num_servers();
+  std::vector<obs::ServerAuditSample> fleet(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const cache::CacheServer& s = cache_.server(i);
+    auto& sample = fleet[static_cast<std::size_t>(i)];
+    sample.power_state = static_cast<int>(s.power_state());
+    // gets_served counts routed requests (including those a draining server
+    // absorbed); the server's own stats supply the hit side.
+    sample.gets_total = static_cast<double>(cache_.gets_served(i));
+    sample.hits_total = static_cast<double>(s.stats().hits);
+  }
+  config_.auditor->observe(now, fleet, 0,
+                           static_cast<double>(stats_.db_fetches));
+}
+
 void WebTier::register_metrics(obs::MetricsRegistry& registry) const {
   const auto stat = [this, &registry](std::string name, std::string help,
                                       auto getter) {

@@ -26,6 +26,7 @@
 #include "common/time.h"
 #include "core/overload.h"
 #include "db/database.h"
+#include "obs/audit.h"
 #include "obs/span.h"
 #include "sim/queueing_server.h"
 #include "sim/simulation.h"
@@ -60,6 +61,10 @@ struct WebTierConfig {
   // slower. 0 disables (the paper's unconditional behaviour).
   int overload_db_queue_depth = 0;
   core::MigrationThrottle::Options migration_throttle;
+  // Live power/model auditing (obs/audit.h): when set, audit_observe()
+  // feeds the cache tier's per-server counters into this auditor (call it
+  // from the scenario driver's metric slots). Not owned.
+  obs::PowerAuditor* auditor = nullptr;
 };
 
 struct WebTierStats {
@@ -106,6 +111,13 @@ class WebTier {
   // object; the simulation is single-threaded, so snapshot between sim
   // steps, and keep `this` alive past the registry's last snapshot.
   void register_metrics(obs::MetricsRegistry& registry) const;
+
+  // Feeds the cache tier's per-server gets/hits/power-state into
+  // WebTierConfig::auditor at sim time `now` (no-op when unset). Call from
+  // the scenario's metric slots — the audit layer stays off the per-request
+  // path by design.
+  void audit_observe(SimTime now);
+
   const sim::QueueingServer& server_queue(int i) const {
     return *queues_.at(static_cast<std::size_t>(i));
   }

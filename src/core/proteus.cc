@@ -80,6 +80,29 @@ void Proteus::tick(SimTime now) {
   if (router_.in_transition() && now >= router_.transition_end()) {
     finalize_transition();
   }
+  // Audit feed rides the tick, at most once per second of `now`, so the
+  // per-get cost with auditing off is this one pointer test.
+  if (options_.auditor != nullptr && now - last_audit_feed_ >= kSecond) {
+    feed_auditor(now);
+  }
+}
+
+void Proteus::feed_auditor(SimTime now) {
+  last_audit_feed_ = now;
+  std::vector<obs::ServerAuditSample> fleet(
+      static_cast<std::size_t>(options_.max_servers));
+  for (int i = 0; i < options_.max_servers; ++i) {
+    const cache::CacheServer& s = server(i);
+    auto& sample = fleet[static_cast<std::size_t>(i)];
+    sample.power_state = static_cast<int>(s.power_state());
+    sample.gets_total = static_cast<double>(s.stats().gets);
+    sample.hits_total = static_cast<double>(s.stats().hits);
+  }
+  // Observed Eq. 5 inputs: false negatives are detected on the
+  // backend-fetch path, so fetches are the opportunity count.
+  options_.auditor->observe(
+      now, fleet, static_cast<double>(stats_.digest_false_negatives),
+      static_cast<double>(stats_.backend_fetches));
 }
 
 void Proteus::finalize_transition() {

@@ -37,6 +37,7 @@
 #include "core/transition_journal.h"
 #include "hashring/migration_plan.h"
 #include "hashring/proteus_placement.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
@@ -73,6 +74,14 @@ struct ProteusOptions {
   // transition is resumed (or rolled forward) on construction instead of
   // being lost. Empty = volatile transitions, exactly as before.
   std::string journal_path;
+  // Live power/model auditing (obs/audit.h): when set, tick() feeds the
+  // fleet's per-server get/hit counters and power states into this auditor
+  // about once per second of `now` — energy integration, PPI, and the
+  // drift windows all happen inside the auditor, off the per-request path.
+  // Digest false negatives and backend fetches ride along so the Eq. 5
+  // bound is checked against observation. Not owned; must outlive this
+  // object.
+  obs::PowerAuditor* auditor = nullptr;
 };
 
 struct ProteusStats {
@@ -167,6 +176,8 @@ class Proteus {
   std::string get_inner(std::string_view key, SimTime now,
                         obs::TraceContext& ctx);
   void finalize_transition();
+  // Feeds per-server counters into ProteusOptions::auditor (tick-gated).
+  void feed_auditor(SimTime now);
   // Journal replay: re-enters the interrupted transition recorded in `t`
   // (ordinary tick() rolls it forward if the drain window already ended).
   void resume_transition(const core::PendingTransition& t);
@@ -183,6 +194,7 @@ class Proteus {
   ProteusStats stats_;
   core::TransitionJournal journal_;
   std::uint64_t epoch_ = 0;
+  SimTime last_audit_feed_ = 0;
 };
 
 }  // namespace proteus

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 
 #include "common/check.h"
 
@@ -65,20 +66,25 @@ class AutoProtocolHandler final : public ConnectionHandler {
  public:
   AutoProtocolHandler(cache::CacheServer& cache, std::timed_mutex& mutex,
                       const ClockFn& clock, const obs::MetricsRegistry* metrics,
-                      obs::Histogram* op_latency, obs::SpanCollector* spans,
-                      int server_id, const AdmissionOptions& admission_opts,
+                      obs::Histogram* op_latency,
+                      obs::Histogram* op_latency_window,
+                      obs::SpanCollector* spans, int server_id,
+                      const AdmissionOptions& admission_opts,
                       core::AdmissionController* admission,
-                      DaemonShedCounters* sheds)
+                      DaemonShedCounters* sheds,
+                      std::function<void()> stats_reset_hook)
       : cache_(cache),
         mutex_(mutex),
         clock_(clock),
         metrics_(metrics),
         op_latency_(op_latency),
+        op_latency_window_(op_latency_window),
         spans_(spans),
         server_id_(server_id),
         admission_opts_(admission_opts),
         admission_(admission),
-        sheds_(sheds) {}
+        sheds_(sheds),
+        stats_reset_hook_(std::move(stats_reset_hook)) {}
 
   std::string on_data(std::string_view bytes, bool& close) override {
     if (!text_ && !binary_) {
@@ -93,6 +99,9 @@ class AutoProtocolHandler final : public ConnectionHandler {
       } else {
         text_ = std::make_unique<cache::TextProtocolSession>(
             cache_, metrics_, spans_, server_id_, pipeline);
+        if (stats_reset_hook_) {
+          text_->set_stats_reset_hook(stats_reset_hook_);
+        }
       }
     }
     const SimTime now = clock_();
@@ -145,8 +154,8 @@ class AutoProtocolHandler final : public ConnectionHandler {
       out = binary_ ? binary_->feed(bytes, now) : text_->feed(bytes, now);
     }
     if (admitted) admission_->release();
+    const std::uint64_t tid = last_trace_id();
     if (spans_ != nullptr) {
-      const std::uint64_t tid = last_trace_id();
       if (tid != 0 && tid != tid_before) {
         obs::SpanRecord s;
         s.trace_id = tid;
@@ -160,9 +169,13 @@ class AutoProtocolHandler final : public ConnectionHandler {
     }
     // Recorded after the lock: the histogram has its own mutex, and the
     // measured interval covers lock wait + protocol work — the server-side
-    // component of what a client sees.
+    // component of what a client sees. A traced batch leaves its id as the
+    // bucket's exemplar so /metrics can link p99.9 to a span.
     if (op_latency_ != nullptr) {
-      op_latency_->record(static_cast<double>(monotonic_now() - now));
+      const double latency = static_cast<double>(monotonic_now() - now);
+      op_latency_->record(latency, tid);
+      // Per-audit-window copy, cleared on each roll (null unless auditing).
+      if (op_latency_window_ != nullptr) op_latency_window_->record(latency);
     }
     close = binary_ ? binary_->closed() : text_->closed();
     return out;
@@ -184,11 +197,13 @@ class AutoProtocolHandler final : public ConnectionHandler {
   const ClockFn& clock_;
   const obs::MetricsRegistry* metrics_;
   obs::Histogram* op_latency_;
+  obs::Histogram* op_latency_window_;
   obs::SpanCollector* spans_;
   int server_id_;
   const AdmissionOptions& admission_opts_;
   core::AdmissionController* admission_;
   DaemonShedCounters* sheds_;
+  std::function<void()> stats_reset_hook_;
   std::unique_ptr<cache::TextProtocolSession> text_;
   std::unique_ptr<cache::BinaryProtocolSession> binary_;
 };
@@ -197,12 +212,24 @@ class AutoProtocolHandler final : public ConnectionHandler {
 
 std::unique_ptr<ConnectionHandler> MemcacheDaemon::make_handler() {
   std::unique_ptr<ConnectionHandler> handler =
-      std::make_unique<AutoProtocolHandler>(cache_, cache_mutex_, clock_,
-                                            &metrics_, op_latency_, &spans_,
-                                            server_id_, admission_opts_,
-                                            &admission_, &sheds_);
+      std::make_unique<AutoProtocolHandler>(
+          cache_, cache_mutex_, clock_, &metrics_, op_latency_,
+          op_latency_window_.get(), &spans_, server_id_, admission_opts_,
+          &admission_, &sheds_, [this] { reset_obs_counters(); });
   const std::lock_guard<std::mutex> lock(wrapper_mutex_);
   return wrapper_ ? wrapper_(std::move(handler)) : std::move(handler);
+}
+
+void MemcacheDaemon::reset_obs_counters() {
+  // `stats reset` clears EVERY drop/shed counter the daemon owns, so the
+  // obs surfaces agree on what "since reset" means (the cache counters are
+  // cleared by the session before this hook runs).
+  sheds_.over_cap.store(0, std::memory_order_relaxed);
+  sheds_.background.store(0, std::memory_order_relaxed);
+  sheds_.queue_deadline.store(0, std::memory_order_relaxed);
+  sheds_.pipeline.store(0, std::memory_order_relaxed);
+  trace_.reset_dropped();
+  spans_.reset_dropped();
 }
 
 void MemcacheDaemon::register_metrics() {
@@ -311,12 +338,16 @@ void MemcacheDaemon::register_metrics() {
   op_latency_ = metrics_.histogram(
       "proteus_daemon_op_latency_us",
       "server-side protocol batch service time (lock wait + cache work)");
+  if (auditor_ != nullptr) auditor_->register_metrics(metrics_);
+  if (slo_ != nullptr && slo_->enabled()) {
+    slo_->register_metrics(metrics_, clock_);
+  }
 }
 
 MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
                                ClockFn clock, int threads,
                                TcpServer::Limits limits,
-                               AdmissionOptions admission)
+                               AdmissionOptions admission, AuditOptions audit)
     : trace_(4096),
       cache_([&] {
         if (config.trace == nullptr) config.trace = &trace_;
@@ -335,8 +366,15 @@ MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
       admission_opts_(admission),
       admission_(core::AdmissionController::Options{
           admission.max_inflight, admission.background_fill}),
-      clock_(std::move(clock)) {
+      clock_(std::move(clock)),
+      audit_opts_(std::move(audit)) {
   PROTEUS_CHECK(threads >= 1);
+  if (audit_opts_.enabled) {
+    if (audit_opts_.audit.trace == nullptr) audit_opts_.audit.trace = &trace_;
+    auditor_ = std::make_unique<obs::PowerAuditor>(audit_opts_.audit);
+    slo_ = std::make_unique<obs::SloEngine>(audit_opts_.slo);
+    op_latency_window_ = std::make_unique<obs::Histogram>();
+  }
   register_metrics();
   const bool reuse_port = threads > 1;
   servers_.push_back(std::make_unique<TcpServer>(
@@ -401,12 +439,82 @@ std::size_t MemcacheDaemon::bytes_used() const {
 }
 
 std::string MemcacheDaemon::metrics_text() const {
+  audit_roll();
   std::vector<obs::MetricSample> samples;
   {
     const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
     samples = metrics_.snapshot();
   }
   return obs::render_prometheus(samples);
+}
+
+void MemcacheDaemon::audit_roll() const {
+  if (auditor_ == nullptr) return;
+  const SimTime now = clock_();
+  const std::lock_guard<std::mutex> lock(audit_mutex_);
+  // At most one observation per second, however often scrapers hit us.
+  if (audit_have_prev_ && now - last_audit_obs_ < kSecond) return;
+  double gets = 0;
+  double hits = 0;
+  int power_state = 0;
+  {
+    const std::lock_guard<std::timed_mutex> cl(cache_mutex_);
+    const cache::CacheStats& s = cache_.stats();
+    gets = static_cast<double>(s.gets);
+    hits = static_cast<double>(s.hits);
+    power_state = static_cast<int>(cache_.power_state());
+  }
+  // The daemon audits itself as a one-server fleet.
+  std::vector<obs::ServerAuditSample> fleet(1);
+  fleet[0].power_state = power_state;
+  fleet[0].gets_total = gets;
+  fleet[0].hits_total = hits;
+  auditor_->observe(now, fleet);
+  if (slo_ != nullptr && slo_->enabled() && audit_have_prev_) {
+    double p999 = 0;
+    if (op_latency_window_ != nullptr) {
+      const auto h = op_latency_window_->snapshot();
+      if (h.count() > 0) p999 = h.quantile(0.999);
+      // Cleared per roll: the SLO judges each WINDOW's p99.9 so a breach
+      // can recover once the overload drains.
+      op_latency_window_->clear();
+    }
+    slo_->observe(now, gets - audit_prev_gets_, hits - audit_prev_hits_,
+                  p999, auditor_->snapshot().fleet_watts);
+  }
+  audit_prev_gets_ = gets;
+  audit_prev_hits_ = hits;
+  audit_have_prev_ = true;
+  last_audit_obs_ = now;
+}
+
+std::pair<int, std::string> MemcacheDaemon::health() const {
+  audit_roll();
+  std::uint64_t epoch = 0;
+  std::uint64_t incarnation = 0;
+  {
+    const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
+    epoch = cache_.cluster_epoch();
+    incarnation = cache_.incarnation();
+  }
+  std::string extra = "\"epoch\":" + std::to_string(epoch) +
+                      ",\"incarnation\":" + std::to_string(incarnation);
+  if (auditor_ != nullptr) {
+    const obs::AuditSnapshot a = auditor_->snapshot();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ppi\":%.6g,\"window_ppi\":%.6g,\"fleet_watts\":%.6g"
+                  ",\"share_drift\":%.6g,\"hit_ratio_drift\":%.6g"
+                  ",\"fn_drift\":%.6g,\"drift_events\":%llu",
+                  a.ppi, a.window_ppi, a.fleet_watts, a.share_drift,
+                  a.hit_ratio_drift, a.fn_drift,
+                  static_cast<unsigned long long>(a.drift_events));
+    extra += buf;
+  }
+  if (slo_ == nullptr || !slo_->enabled()) {
+    return {200, "{\"status\":\"ok\",\"slos\":[]," + extra + "}\n"};
+  }
+  return obs::render_health(slo_->status(clock_()), extra);
 }
 
 std::uint64_t MemcacheDaemon::connections_accepted() const noexcept {

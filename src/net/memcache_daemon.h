@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cache/binary_protocol.h"
@@ -38,7 +39,9 @@
 #include "cache/text_protocol.h"
 #include "core/overload.h"
 #include "net/tcp_server.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 
@@ -69,6 +72,19 @@ struct AdmissionOptions {
   double background_fill = 0.5;
 };
 
+// Power/SLO auditing knobs (off by default — a bare daemon carries no
+// auditor). When enabled the daemon audits ITSELF as a one-server fleet:
+// energy integration + PPI from its own op rate, drift windows from its
+// own cache counters, and the SLO engine driving GET /health. All roll-up
+// work happens on the exposition (HTTP poll-loop) thread via
+// metrics_text()/health(), never on a request thread; the request-path
+// cost when disabled is a null-pointer test (bench/micro_audit).
+struct AuditOptions {
+  bool enabled = false;
+  obs::AuditConfig audit;  // power model, window, drift tolerances
+  obs::SloConfig slo;      // zero targets disable each objective
+};
+
 // Daemon-wide shed accounting, one counter per reason (all on /metrics).
 struct DaemonShedCounters {
   std::atomic<std::uint64_t> over_cap{0};        // in-flight budget exhausted
@@ -86,7 +102,7 @@ class MemcacheDaemon {
   MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
                  ClockFn clock = monotonic_now, int threads = 1,
                  TcpServer::Limits limits = {},
-                 AdmissionOptions admission = {});
+                 AdmissionOptions admission = {}, AuditOptions audit = {});
 
   bool ok() const noexcept;
   std::uint16_t port() const noexcept { return servers_.front()->port(); }
@@ -124,8 +140,20 @@ class MemcacheDaemon {
   std::size_t bytes_used() const;
   // Registry snapshot rendered as Prometheus text (for /metrics). The
   // registry's cache-reading callbacks require the cache mutex, which this
-  // takes; never call while already holding it.
+  // takes; never call while already holding it. Rolls the audit/SLO window
+  // first when auditing is enabled (this is the off-request-thread roll-up
+  // point — the HTTP poll loop calls it per scrape).
   std::string metrics_text() const;
+
+  // GET /health backing: {status code, JSON body}. 200 while no SLO pages,
+  // 503 once one does; the body lists each objective's state/burn plus
+  // epoch, incarnation, PPI, and the drift gauges. Also rolls the audit
+  // window. Callable with auditing disabled (always 200, minimal body).
+  std::pair<int, std::string> health() const;
+
+  // Null when AuditOptions::enabled was false.
+  const obs::PowerAuditor* auditor() const noexcept { return auditor_.get(); }
+  const obs::SloEngine* slo() const noexcept { return slo_.get(); }
 
   const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
   // The built-in transition/TTL event ring (or the caller's sink if
@@ -174,6 +202,12 @@ class MemcacheDaemon {
  private:
   std::unique_ptr<ConnectionHandler> make_handler();
   void register_metrics();
+  // Clears shed/trace-drop/span-drop counters — the `stats reset` hook.
+  void reset_obs_counters();
+  // Window-gated audit/SLO roll-up (energy integration, drift windows, SLO
+  // observation). Called from metrics_text()/health() on the exposition
+  // thread; no-op when auditing is disabled or the window hasn't elapsed.
+  void audit_roll() const;
 
   obs::TraceRing trace_;  // must precede cache_: CacheConfig may point here
   obs::SpanCollector spans_{/*capacity=*/16384};
@@ -189,6 +223,20 @@ class MemcacheDaemon {
   ClockFn clock_;
   obs::MetricsRegistry metrics_;
   obs::Histogram* op_latency_ = nullptr;  // owned by metrics_
+  // Audit layer (all null/idle unless AuditOptions::enabled).
+  AuditOptions audit_opts_;
+  std::unique_ptr<obs::PowerAuditor> auditor_;
+  std::unique_ptr<obs::SloEngine> slo_;
+  // Per-window latency histogram: cleared each audit roll so the SLO sees
+  // the WINDOW's p99.9, not the lifetime's (a breach must be able to
+  // recover). Null when auditing is off — the request path pays nothing.
+  std::unique_ptr<obs::Histogram> op_latency_window_;
+  // Roll bookkeeping, touched only on the exposition thread(s).
+  mutable std::mutex audit_mutex_;
+  mutable SimTime last_audit_obs_ = 0;
+  mutable double audit_prev_gets_ = 0;
+  mutable double audit_prev_hits_ = 0;
+  mutable bool audit_have_prev_ = false;
   std::vector<std::unique_ptr<TcpServer>> servers_;
 };
 

@@ -47,13 +47,30 @@ class HttpHandler final : public ConnectionHandler {
  public:
   HttpHandler(const MetricsHttpServer::RenderFn& metrics,
               const MetricsHttpServer::SinceFn& trace,
-              const MetricsHttpServer::RenderFn& spans)
-      : metrics_(metrics), trace_(trace), spans_(spans) {}
+              const MetricsHttpServer::RenderFn& spans,
+              const MetricsHttpServer::HealthFn& health)
+      : metrics_(metrics), trace_(trace), spans_(spans), health_(health) {}
 
   std::string on_data(std::string_view bytes, bool& close) override {
     buffer_.append(bytes);
-    if (buffer_.find("\r\n\r\n") == std::string::npos) {
-      // Header not complete yet; bound the buffer against garbage peers.
+    const std::size_t eol = buffer_.find("\r\n");
+    if (eol == std::string::npos) {
+      // Request line not complete yet; bound the buffer against garbage
+      // peers.
+      if (buffer_.size() > 8192) {
+        close = true;
+        return http_response(400, "Bad Request", "text/plain",
+                             "request too large\n");
+      }
+      return {};
+    }
+    const std::string_view line = std::string_view(buffer_).substr(0, eol);
+    // An HTTP/1.x request carries headers terminated by a blank line; wait
+    // for it. An HTTP/0.9-style simple request (`GET /path\r\n`, no version
+    // token) never sends one — answer off the request line alone, instead
+    // of leaving the connection half-handled until the idle reaper fires.
+    const bool versioned = line.find(" HTTP/") != std::string_view::npos;
+    if (versioned && buffer_.find("\r\n\r\n") == std::string::npos) {
       if (buffer_.size() > 8192) {
         close = true;
         return http_response(400, "Bad Request", "text/plain",
@@ -62,8 +79,6 @@ class HttpHandler final : public ConnectionHandler {
       return {};
     }
     close = true;
-    const std::size_t eol = buffer_.find("\r\n");
-    const std::string_view line = std::string_view(buffer_).substr(0, eol);
     if (line.substr(0, 4) != "GET ") {
       return http_response(405, "Method Not Allowed", "text/plain",
                            "only GET is supported\n");
@@ -98,12 +113,22 @@ class HttpHandler final : public ConnectionHandler {
       }
       return http_response(200, "OK", "application/x-ndjson", spans_());
     }
+    if (path == "/health") {
+      if (!health_) {
+        return http_response(404, "Not Found", "text/plain",
+                             "health not enabled\n");
+      }
+      auto [code, body] = health_();
+      return http_response(code, code == 200 ? "OK" : "Service Unavailable",
+                           "application/json", std::move(body));
+    }
     if (path == "/" || path.empty()) {
       return http_response(200, "OK", "text/plain",
                            "proteus exposition endpoint\n"
                            "  /metrics        Prometheus text format\n"
                            "  /trace?since=N  transition event timeline (JSONL)\n"
-                           "  /spans          per-request span records (JSONL)\n");
+                           "  /spans          per-request span records (JSONL)\n"
+                           "  /health         SLO state, 200/503 (JSON)\n");
     }
     return http_response(404, "Not Found", "text/plain", "unknown path\n");
   }
@@ -112,20 +137,24 @@ class HttpHandler final : public ConnectionHandler {
   const MetricsHttpServer::RenderFn& metrics_;
   const MetricsHttpServer::SinceFn& trace_;
   const MetricsHttpServer::RenderFn& spans_;
+  const MetricsHttpServer::HealthFn& health_;
   std::string buffer_;
 };
 
 }  // namespace
 
 MetricsHttpServer::MetricsHttpServer(std::uint16_t port, RenderFn metrics,
-                                     SinceFn trace, RenderFn spans)
+                                     SinceFn trace, RenderFn spans,
+                                     HealthFn health)
     : metrics_(std::move(metrics)),
       trace_(std::move(trace)),
       spans_(std::move(spans)),
+      health_(std::move(health)),
       server_(
           port,
           [this] {
-            return std::make_unique<HttpHandler>(metrics_, trace_, spans_);
+            return std::make_unique<HttpHandler>(metrics_, trace_, spans_,
+                                                 health_);
           },
           /*reuse_port=*/false) {}
 

@@ -6,12 +6,17 @@
 //   GET /metrics          ->  text/plain; version=0.0.4   (render callback)
 //   GET /trace[?since=N]  ->  application/x-ndjson        (optional)
 //   GET /spans            ->  application/x-ndjson        (optional)
-//   GET /                 ->  tiny index linking the three
+//   GET /health           ->  200/503 + application/json  (optional)
+//   GET /                 ->  tiny index linking the four
 //
 // /trace supports incremental fetch: `?since=N` returns only events with
 // seq >= N, so a poller resumes from its last seen seq + 1 instead of
 // re-downloading the ring (and detects silent loss by watching the
 // proteus_trace_dropped_total counter on /metrics).
+//
+// /health is the load-balancer/alerting contract (docs/OPERATIONS.md §12):
+// the callback returns the status code (200 healthy, 503 once an SLO
+// pages) plus a JSON body listing each objective's state and burn rates.
 //
 // The render callbacks are invoked per request on the endpoint's poll-loop
 // thread; they must be safe to call concurrently with the daemon's workers
@@ -24,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "net/tcp_server.h"
 
@@ -35,12 +41,15 @@ class MetricsHttpServer {
   // Incremental renderer: argument is the `since` sequence number (0 when
   // the query string omits it).
   using SinceFn = std::function<std::string(std::uint64_t)>;
+  // Health renderer: {status code, JSON body}.
+  using HealthFn = std::function<std::pair<int, std::string>()>;
 
   // Binds 127.0.0.1:`port` (0 = ephemeral); check ok(). `metrics` backs
   // GET /metrics; `trace` (optional) backs GET /trace[?since=N]; `spans`
-  // (optional) backs GET /spans.
+  // (optional) backs GET /spans; `health` (optional) backs GET /health.
   MetricsHttpServer(std::uint16_t port, RenderFn metrics,
-                    SinceFn trace = nullptr, RenderFn spans = nullptr);
+                    SinceFn trace = nullptr, RenderFn spans = nullptr,
+                    HealthFn health = nullptr);
 
   bool ok() const noexcept { return server_.ok(); }
   std::uint16_t port() const noexcept { return server_.port(); }
@@ -53,6 +62,7 @@ class MetricsHttpServer {
   RenderFn metrics_;
   SinceFn trace_;
   RenderFn spans_;
+  HealthFn health_;
   TcpServer server_;
 };
 

@@ -1,0 +1,235 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace proteus::obs {
+
+PowerAuditor::PowerAuditor(AuditConfig config) : config_(config) {
+  if (config_.peak_ops_per_server <= 0) config_.peak_ops_per_server = 1;
+  if (config_.window <= 0) config_.window = 15 * kSecond;
+}
+
+void PowerAuditor::observe(SimTime now,
+                           const std::vector<ServerAuditSample>& fleet,
+                           double fn_total, double fn_opportunities) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (fleet.empty()) return;
+  if (server_joules_.size() != fleet.size()) {
+    server_joules_.assign(fleet.size(), 0.0);
+  }
+
+  if (have_prev_ && now > prev_t_ && prev_.size() == fleet.size()) {
+    const double dt = to_seconds(now - prev_t_);
+    const double n = static_cast<double>(fleet.size());
+    double watts_sum = 0;
+    double rate_sum = 0;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      const double delta =
+          std::max(0.0, fleet[i].gets_total - prev_[i].gets_total);
+      const double rate = delta / dt;
+      rate_sum += rate;
+      // Draining servers still serve reads, so they burn like active ones;
+      // off/unreachable servers sit at PSU standby (power_model.h).
+      const bool powered_on = fleet[i].power_state != 2;
+      const double watts =
+          config_.power.watts(powered_on, rate / config_.peak_ops_per_server);
+      watts_sum += watts;
+      server_joules_[i] += watts * dt;
+      fleet_joules_ += watts * dt;
+    }
+    fleet_watts_ = watts_sum;
+    load_fraction_ = std::clamp(
+        rate_sum / (n * config_.peak_ops_per_server), 0.0, 1.0);
+    // The ideal load-proportional fleet: P = load_fraction x fleet peak.
+    ideal_joules_ += load_fraction_ * n * config_.power.peak_watts * dt;
+  }
+
+  if (!have_window_) {
+    window_.t = now;
+    window_.joules = fleet_joules_;
+    window_.ideal_joules = ideal_joules_;
+    window_.fn_total = fn_total;
+    window_.fn_opportunities = fn_opportunities;
+    window_.gets.resize(fleet.size());
+    window_.hits.resize(fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      window_.gets[i] = fleet[i].gets_total;
+      window_.hits[i] = fleet[i].hits_total;
+    }
+    have_window_ = true;
+  } else if (now - window_.t >= config_.window) {
+    roll_window(now, fleet, fn_total, fn_opportunities);
+    window_.t = now;
+    window_.joules = fleet_joules_;
+    window_.ideal_joules = ideal_joules_;
+    window_.fn_total = fn_total;
+    window_.fn_opportunities = fn_opportunities;
+    window_.gets.resize(fleet.size());
+    window_.hits.resize(fleet.size());
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      window_.gets[i] = fleet[i].gets_total;
+      window_.hits[i] = fleet[i].hits_total;
+    }
+  }
+
+  prev_ = fleet;
+  prev_t_ = now;
+  have_prev_ = true;
+}
+
+void PowerAuditor::roll_window(SimTime now,
+                               const std::vector<ServerAuditSample>& fleet,
+                               double fn_total, double fn_opportunities) {
+  ++windows_;
+
+  const double wj = fleet_joules_ - window_.joules;
+  const double wij = ideal_joules_ - window_.ideal_joules;
+  window_ppi_ = wij > 0 ? wj / wij : 0.0;
+
+  // Theorem 1 drift: every active server's share of the window's gets
+  // should be 1/n_active. Report the worst signed departure (positive =
+  // that server is overloaded relative to the guarantee).
+  int n_active = 0;
+  double total_delta = 0;
+  std::vector<double> deltas(fleet.size(), 0.0);
+  const bool sized = window_.gets.size() == fleet.size();
+  for (std::size_t i = 0; i < fleet.size() && sized; ++i) {
+    if (fleet[i].power_state != 0) continue;
+    ++n_active;
+    deltas[i] = std::max(0.0, fleet[i].gets_total - window_.gets[i]);
+    total_delta += deltas[i];
+  }
+  share_drift_ = 0;
+  if (n_active > 0 && total_delta > 0) {
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      if (fleet[i].power_state != 0) continue;
+      const double drift =
+          deltas[i] / total_delta * static_cast<double>(n_active) - 1.0;
+      if (std::abs(drift) > std::abs(share_drift_)) share_drift_ = drift;
+    }
+    if (std::abs(share_drift_) > config_.share_tolerance) {
+      drift_event(now, "share", share_drift_);
+    }
+  }
+
+  // Hit-ratio drift against the analytic expectation (or, unset, the
+  // fleet's own long-run mean — the drift then flags regime changes).
+  double gets_delta = 0;
+  double hits_delta = 0;
+  for (std::size_t i = 0; i < fleet.size() && sized; ++i) {
+    gets_delta += std::max(0.0, fleet[i].gets_total - window_.gets[i]);
+    hits_delta += std::max(0.0, fleet[i].hits_total - window_.hits[i]);
+  }
+  if (gets_delta > 0) {
+    observed_hit_ratio_ = hits_delta / gets_delta;
+    const double expected =
+        config_.expected_hit_ratio > 0
+            ? config_.expected_hit_ratio
+            : (lifetime_gets_ > 0 ? lifetime_hits_ / lifetime_gets_
+                                  : observed_hit_ratio_);
+    hit_ratio_drift_ = observed_hit_ratio_ - expected;
+    if (std::abs(hit_ratio_drift_) > config_.hit_ratio_tolerance) {
+      drift_event(now, "hit_ratio", hit_ratio_drift_);
+    }
+    lifetime_gets_ += gets_delta;
+    lifetime_hits_ += hits_delta;
+  }
+
+  // Eq. 5 drift: the observed digest false-negative rate must stay under
+  // the analytic union bound. Positive drift = the bound is violated.
+  if (config_.fn_bound > 0) {
+    const double d_fn = std::max(0.0, fn_total - window_.fn_total);
+    const double d_opp =
+        std::max(0.0, fn_opportunities - window_.fn_opportunities);
+    if (d_opp > 0) {
+      fn_drift_ = d_fn / d_opp - config_.fn_bound;
+      if (fn_drift_ > 0) drift_event(now, "fn_bound", fn_drift_);
+    }
+  }
+}
+
+void PowerAuditor::drift_event(SimTime now, std::string_view which,
+                               double drift) {
+  ++drift_events_;
+  // n carries |drift| in parts-per-million so the JSONL stays integer.
+  emit(config_.trace, now, TraceEventKind::kModelDrift, /*server=*/-1,
+       /*peer=*/drift < 0 ? -1 : 1,
+       static_cast<std::uint64_t>(std::min(std::abs(drift), 1e3) * 1e6),
+       which);
+}
+
+AuditSnapshot PowerAuditor::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  AuditSnapshot s;
+  s.fleet_joules = fleet_joules_;
+  s.ideal_joules = ideal_joules_;
+  s.ppi = ideal_joules_ > 0 ? fleet_joules_ / ideal_joules_ : 0.0;
+  s.window_ppi = window_ppi_;
+  s.fleet_watts = fleet_watts_;
+  s.load_fraction = load_fraction_;
+  s.share_drift = share_drift_;
+  s.hit_ratio_drift = hit_ratio_drift_;
+  s.fn_drift = fn_drift_;
+  s.observed_hit_ratio = observed_hit_ratio_;
+  s.windows = windows_;
+  s.drift_events = drift_events_;
+  s.server_joules = server_joules_;
+  return s;
+}
+
+void PowerAuditor::register_metrics(MetricsRegistry& registry) {
+  registry.gauge_fn("proteus_audit_ppi",
+                    "power-proportionality index: actual / ideal "
+                    "load-proportional energy (1.0 = ideal)",
+                    [this] { return snapshot().ppi; });
+  registry.gauge_fn("proteus_audit_window_ppi",
+                    "last completed window's power-proportionality index",
+                    [this] { return snapshot().window_ppi; });
+  registry.counter_fn("proteus_audit_energy_joules_total",
+                      "integrated fleet energy (SS V-A analytic model)",
+                      [this] { return snapshot().fleet_joules; });
+  registry.counter_fn("proteus_audit_ideal_energy_joules_total",
+                      "integrated ideal load-proportional energy",
+                      [this] { return snapshot().ideal_joules; });
+  registry.gauge_fn("proteus_audit_fleet_watts",
+                    "last interval's modeled fleet draw",
+                    [this] { return snapshot().fleet_watts; });
+  registry.gauge_fn("proteus_audit_load_fraction",
+                    "last interval's load as a fraction of fleet peak",
+                    [this] { return snapshot().load_fraction; });
+  registry.gauge_fn("proteus_audit_share_drift",
+                    "worst signed Theorem-1 K/n share drift, last window",
+                    [this] { return snapshot().share_drift; });
+  registry.gauge_fn("proteus_audit_hit_ratio_drift",
+                    "observed - expected hit ratio, last window",
+                    [this] { return snapshot().hit_ratio_drift; });
+  registry.gauge_fn("proteus_audit_fn_drift",
+                    "observed digest FN rate - Eq.5 bound (positive = "
+                    "violated), last window",
+                    [this] { return snapshot().fn_drift; });
+  registry.counter_fn("proteus_audit_windows_total",
+                      "completed audit roll-up windows",
+                      [this] { return static_cast<double>(snapshot().windows); });
+  registry.counter_fn(
+      "proteus_audit_model_drift_events_total",
+      "model_drift trace events emitted (drift beyond tolerance)",
+      [this] { return static_cast<double>(snapshot().drift_events); });
+}
+
+void PowerAuditor::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  have_prev_ = false;
+  have_window_ = false;
+  prev_.clear();
+  server_joules_.clear();
+  fleet_joules_ = ideal_joules_ = fleet_watts_ = load_fraction_ = 0;
+  window_ppi_ = share_drift_ = hit_ratio_drift_ = fn_drift_ = 0;
+  observed_hit_ratio_ = 0;
+  windows_ = drift_events_ = 0;
+  lifetime_gets_ = lifetime_hits_ = 0;
+}
+
+}  // namespace proteus::obs

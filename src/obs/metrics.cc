@@ -20,7 +20,64 @@ std::string format_value(double v) {
   return buf;
 }
 
+// Global recency stamp shared by every ExemplarSet, so merging sets from
+// different histograms still picks the most recently recorded exemplar.
+std::atomic<std::uint64_t> g_exemplar_seq{0};
+
+std::string format_trace_id(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
 }  // namespace
+
+std::size_t ExemplarSet::bucket_of(double value_us) noexcept {
+  if (!(value_us > 1.0)) return 0;
+  const auto b = static_cast<std::size_t>(std::log2(value_us));
+  return b >= kBuckets ? kBuckets - 1 : b;
+}
+
+void ExemplarSet::offer(double value_us, std::uint64_t trace_id) noexcept {
+  Exemplar& slot = slots_[bucket_of(value_us)];
+  slot.trace_id = trace_id;
+  slot.value_us = value_us;
+  slot.seq = g_exemplar_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void ExemplarSet::merge(const ExemplarSet& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (other.slots_[i].trace_id != 0 &&
+        other.slots_[i].seq > slots_[i].seq) {
+      slots_[i] = other.slots_[i];
+    }
+  }
+}
+
+const Exemplar* ExemplarSet::nearest(double value_us) const noexcept {
+  const std::size_t want = bucket_of(value_us);
+  const Exemplar* best = nullptr;
+  std::size_t best_dist = kBuckets + 1;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (slots_[i].trace_id == 0) continue;
+    const std::size_t dist = i > want ? i - want : want - i;
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = &slots_[i];
+    }
+  }
+  return best;
+}
+
+bool ExemplarSet::empty() const noexcept {
+  for (const Exemplar& e : slots_) {
+    if (e.trace_id != 0) return false;
+  }
+  return true;
+}
+
+void ExemplarSet::clear() noexcept { slots_ = {}; }
 
 MetricsRegistry::Entry* MetricsRegistry::find_or_insert(std::string name,
                                                         std::string help,
@@ -109,6 +166,7 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
       case MetricType::kHistogram:
         if (e->histogram != nullptr) {
           s.hist = e->histogram->snapshot();
+          s.exemplars = e->histogram->exemplars();
         } else if (e->histogram_fn) {
           s.hist = e->histogram_fn();
         }
@@ -144,8 +202,16 @@ std::string render_prometheus(const std::vector<MetricSample>& samples) {
               {"0.9", 0.9},
               {"0.99", 0.99},
               {"0.999", 0.999}}) {
-          out += s.name + "{quantile=\"" + label + "\"} " +
-                 format_value(s.hist.quantile(q)) + '\n';
+          const double qv = s.hist.quantile(q);
+          out += s.name + "{quantile=\"" + label + "\"} " + format_value(qv);
+          // OpenMetrics exemplar: link this quantile's bucket to the last
+          // sampled trace through it, so an operator can jump from a p99.9
+          // line straight to `proteus-spans` output.
+          if (const Exemplar* ex = s.exemplars.nearest(qv)) {
+            out += " # {trace_id=\"" + format_trace_id(ex->trace_id) +
+                   "\"} " + format_value(ex->value_us);
+          }
+          out += '\n';
         }
         out += s.name + "_sum " +
                format_value(s.hist.mean() *

@@ -23,6 +23,7 @@
 // snapshot() callers must hold that mutex (MemcacheDaemon::metrics_text()).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -35,6 +36,40 @@
 #include "common/histogram.h"
 
 namespace proteus::obs {
+
+// One retained sample that links a histogram bucket back to a trace id —
+// the OpenMetrics exemplar payload. seq is a global recording order so a
+// merge of two sets keeps the NEWER exemplar per bucket.
+struct Exemplar {
+  std::uint64_t trace_id = 0;  // 0 = slot empty
+  double value_us = 0;
+  std::uint64_t seq = 0;
+};
+
+// Last-sampled-trace-per-bucket over a coarse log2 value scale (1 us ..
+// ~32 ms; out-of-range clamps to the edge buckets). Kept deliberately tiny:
+// offer() is a bucket index + struct store, and the whole set copies out
+// with the histogram snapshot. NOT thread-safe on its own — the owning
+// Histogram guards it with its mutex.
+class ExemplarSet {
+ public:
+  static constexpr std::size_t kBuckets = 16;
+
+  static std::size_t bucket_of(double value_us) noexcept;
+
+  // Replaces the bucket's exemplar (the newest sample wins; stamps seq).
+  void offer(double value_us, std::uint64_t trace_id) noexcept;
+  // Per bucket, keeps whichever side's exemplar is newer (higher seq).
+  void merge(const ExemplarSet& other) noexcept;
+  // Exemplar whose bucket contains value_us, falling back to the nearest
+  // populated bucket; null when the set is empty.
+  const Exemplar* nearest(double value_us) const noexcept;
+  bool empty() const noexcept;
+  void clear() noexcept;
+
+ private:
+  std::array<Exemplar, kBuckets> slots_{};
+};
 
 // Monotonically increasing event count.
 class Counter {
@@ -73,18 +108,31 @@ class Histogram {
     const std::lock_guard<std::mutex> lock(mu_);
     h_.record(value_us);
   }
+  // Records and, when trace_id != 0, retains (value, trace_id) as the
+  // bucket's exemplar so renderers can link quantiles to traces.
+  void record(double value_us, std::uint64_t trace_id) noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    h_.record(value_us);
+    if (trace_id != 0) exemplars_.offer(value_us, trace_id);
+  }
   LatencyHistogram snapshot() const {
     const std::lock_guard<std::mutex> lock(mu_);
     return h_;
   }
+  ExemplarSet exemplars() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return exemplars_;
+  }
   void clear() noexcept {
     const std::lock_guard<std::mutex> lock(mu_);
     h_.clear();
+    exemplars_.clear();
   }
 
  private:
   mutable std::mutex mu_;
   LatencyHistogram h_;
+  ExemplarSet exemplars_;
 };
 
 enum class MetricType { kCounter, kGauge, kHistogram };
@@ -96,6 +144,7 @@ struct MetricSample {
   MetricType type = MetricType::kGauge;
   double value = 0.0;       // counter / gauge
   LatencyHistogram hist;    // histogram
+  ExemplarSet exemplars;    // histogram trace links (may be empty)
 };
 
 class MetricsRegistry {

@@ -1,0 +1,224 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace proteus::obs {
+
+std::string_view slo_state_name(SloState state) noexcept {
+  switch (state) {
+    case SloState::kOk:
+      return "ok";
+    case SloState::kWarn:
+      return "warn";
+    case SloState::kPage:
+      return "page";
+  }
+  return "?";
+}
+
+BurnRateTracker::BurnRateTracker(double target, SloWindows windows)
+    : target_(target), windows_(windows) {
+  PROTEUS_CHECK(windows_.fast_window > 0);
+  PROTEUS_CHECK(windows_.slow_window >= windows_.fast_window);
+}
+
+void BurnRateTracker::record(SimTime now, double good, double bad) {
+  if (good <= 0 && bad <= 0) {
+    prune(now);
+    return;
+  }
+  buckets_.push_back(Bucket{now, good < 0 ? 0 : good, bad < 0 ? 0 : bad});
+  prune(now);
+}
+
+void BurnRateTracker::prune(SimTime now) {
+  while (!buckets_.empty() && buckets_.front().t < now - windows_.slow_window) {
+    buckets_.pop_front();
+  }
+}
+
+double BurnRateTracker::burn(SimTime now, SimTime window) const {
+  double good = 0;
+  double bad = 0;
+  for (const Bucket& b : buckets_) {
+    if (b.t >= now - window && b.t <= now) {
+      good += b.good;
+      bad += b.bad;
+    }
+  }
+  const double total = good + bad;
+  if (total <= 0) return 0.0;
+  const double budget = 1.0 - target_;
+  if (budget <= 0) return bad > 0 ? 1e9 : 0.0;
+  return (bad / total) / budget;
+}
+
+SloState BurnRateTracker::state(SimTime now) const {
+  const double fast = burn(now, windows_.fast_window);
+  const double slow = burn(now, windows_.slow_window);
+  if (fast >= windows_.page_burn && slow >= windows_.page_burn) {
+    return SloState::kPage;
+  }
+  if (fast >= windows_.warn_burn) return SloState::kWarn;
+  return SloState::kOk;
+}
+
+void BurnRateTracker::clear() { buckets_.clear(); }
+
+SloEngine::SloEngine(SloConfig config)
+    : config_(config),
+      hit_ratio_(config.hit_ratio_target, config.windows),
+      p999_(1.0 - config.window_budget, config.windows),
+      power_(1.0 - config.window_budget, config.windows) {}
+
+void SloEngine::observe(SimTime now, double gets_delta, double hits_delta,
+                        double p999_us, double watts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (config_.hit_ratio_target > 0 && gets_delta > 0) {
+    const double hits = std::clamp(hits_delta, 0.0, gets_delta);
+    hit_ratio_.record(now, hits, gets_delta - hits);
+    last_hit_ratio_ = hits / gets_delta;
+  }
+  if (config_.p999_target_us > 0 && p999_us > 0) {
+    const bool breached = p999_us > config_.p999_target_us;
+    p999_.record(now, breached ? 0 : 1, breached ? 1 : 0);
+    last_p999_us_ = p999_us;
+  }
+  if (config_.power_budget_watts > 0 && watts > 0) {
+    const bool breached = watts > config_.power_budget_watts;
+    power_.record(now, breached ? 0 : 1, breached ? 1 : 0);
+    last_watts_ = watts;
+  }
+}
+
+std::vector<SloEngine::Status> SloEngine::status(SimTime now) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Status> out;
+  const auto push = [&](const char* name, const BurnRateTracker& t,
+                        double target, double observed) {
+    Status s;
+    s.name = name;
+    s.state = t.state(now);
+    s.target = target;
+    s.observed = observed;
+    s.burn_fast = t.burn(now, config_.windows.fast_window);
+    s.burn_slow = t.burn(now, config_.windows.slow_window);
+    out.push_back(std::move(s));
+  };
+  if (config_.hit_ratio_target > 0) {
+    push("hit_ratio", hit_ratio_, config_.hit_ratio_target, last_hit_ratio_);
+  }
+  if (config_.p999_target_us > 0) {
+    push("p999_latency", p999_, config_.p999_target_us, last_p999_us_);
+  }
+  if (config_.power_budget_watts > 0) {
+    push("power_budget", power_, config_.power_budget_watts, last_watts_);
+  }
+  return out;
+}
+
+SloState SloEngine::overall(SimTime now) const {
+  SloState worst = SloState::kOk;
+  for (const Status& s : status(now)) {
+    if (static_cast<int>(s.state) > static_cast<int>(worst)) worst = s.state;
+  }
+  return worst;
+}
+
+void SloEngine::register_metrics(MetricsRegistry& registry,
+                                 std::function<SimTime()> clock) {
+  // One shared clock closure; each gauge re-evaluates state at snapshot
+  // time so /metrics always reflects the current windows.
+  const auto state_of = [this](SimTime now, const char* name) -> double {
+    for (const Status& s : status(now)) {
+      if (s.name == name) return static_cast<double>(s.state);
+    }
+    return 0.0;
+  };
+  const auto burn_of = [this](SimTime now, const char* name,
+                              bool fast) -> double {
+    for (const Status& s : status(now)) {
+      if (s.name == name) return fast ? s.burn_fast : s.burn_slow;
+    }
+    return 0.0;
+  };
+  const char* names[] = {"hit_ratio", "p999_latency", "power_budget"};
+  const bool on[] = {config_.hit_ratio_target > 0, config_.p999_target_us > 0,
+                     config_.power_budget_watts > 0};
+  for (int i = 0; i < 3; ++i) {
+    if (!on[i]) continue;
+    const char* name = names[i];
+    registry.gauge_fn(std::string("proteus_slo_") + name + "_state",
+                      "0=ok 1=warn 2=page",
+                      [state_of, clock, name] { return state_of(clock(), name); });
+    registry.gauge_fn(std::string("proteus_slo_") + name + "_burn_fast",
+                      "fast-window error-budget burn rate",
+                      [burn_of, clock, name] { return burn_of(clock(), name, true); });
+    registry.gauge_fn(std::string("proteus_slo_") + name + "_burn_slow",
+                      "slow-window error-budget burn rate",
+                      [burn_of, clock, name] { return burn_of(clock(), name, false); });
+  }
+  registry.gauge_fn("proteus_slo_state",
+                    "worst SLO state: 0=ok 1=warn 2=page (503 on /health)",
+                    [this, clock] {
+                      return static_cast<double>(overall(clock()));
+                    });
+}
+
+void SloEngine::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  hit_ratio_.clear();
+  p999_.clear();
+  power_.clear();
+  last_hit_ratio_ = last_p999_us_ = last_watts_ = 0;
+}
+
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::pair<int, std::string> render_health(
+    const std::vector<SloEngine::Status>& slos, std::string_view extra_json) {
+  SloState worst = SloState::kOk;
+  for (const auto& s : slos) {
+    if (static_cast<int>(s.state) > static_cast<int>(worst)) worst = s.state;
+  }
+  const bool healthy = worst != SloState::kPage;
+  std::string body = "{\"status\":\"";
+  body += healthy ? (worst == SloState::kOk ? "ok" : "warn") : "unhealthy";
+  body += "\",\"slos\":[";
+  bool first = true;
+  for (const auto& s : slos) {
+    if (!first) body += ',';
+    first = false;
+    body += "{\"name\":\"" + s.name + "\",\"state\":\"";
+    body += slo_state_name(s.state);
+    body += "\",\"target\":" + json_number(s.target);
+    body += ",\"observed\":" + json_number(s.observed);
+    body += ",\"burn_fast\":" + json_number(s.burn_fast);
+    body += ",\"burn_slow\":" + json_number(s.burn_slow);
+    body += '}';
+  }
+  body += ']';
+  if (!extra_json.empty()) {
+    body += ',';
+    body += extra_json;
+  }
+  body += "}\n";
+  return {healthy ? 200 : 503, std::move(body)};
+}
+
+}  // namespace proteus::obs

@@ -1,0 +1,155 @@
+// Multi-window SLO burn-rate engine — the operator-facing alarm layer over
+// the metrics spine (obs/metrics.h).
+//
+// The paper's service-impact claims (§VI: bounded response time, smooth
+// hit-ratio through transitions) and its power claims (Fig. 10/11) become
+// operable only as SLOs: "the cache tier serves >= X of gets from cache",
+// "p99.9 server latency stays under Y", "the fleet draws no more than Z
+// watts". Each objective is tracked as an error-budget burn rate over TWO
+// windows (the SRE multi-window multi-burn-rate alert pattern): a fast
+// window that reacts within seconds and a slow window that suppresses
+// flapping. The state machine per objective is
+//
+//     ok  ->  warn   (fast-window burn >= warn_burn)
+//     ok/warn -> page (fast AND slow window burn >= page_burn)
+//
+// and the worst state across objectives drives the daemon's GET /health
+// answer: 200 while nothing pages, 503 once any objective pages, back to
+// 200 when the burn drains out of the fast window.
+//
+// Thread safety: all public methods lock an internal mutex — observe() is
+// called from a roll-up (scrape/poll) thread while state()/health renderers
+// run on the HTTP thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+
+namespace proteus::obs {
+
+class MetricsRegistry;
+
+enum class SloState { kOk = 0, kWarn = 1, kPage = 2 };
+std::string_view slo_state_name(SloState state) noexcept;
+
+struct SloWindows {
+  SimTime fast_window = 60 * kSecond;    // reacts to an active incident
+  SimTime slow_window = 10 * kMinute;    // suppresses one-scrape blips
+  // Burn rate = error_rate / error_budget: 1.0 burns the budget exactly at
+  // the sustainable rate. Warn above warn_burn on the fast window; page
+  // when BOTH windows burn above page_burn.
+  double warn_burn = 2.0;
+  double page_burn = 10.0;
+};
+
+// One objective tracked as timestamped (good, bad) event counts. Burn rate
+// over a window is (bad / (good + bad)) / (1 - target).
+class BurnRateTracker {
+ public:
+  // `target` in (0, 1): the success-ratio objective (e.g. 0.95 hit ratio,
+  // 0.999 of windows under the latency bound).
+  BurnRateTracker(double target, SloWindows windows);
+
+  void record(SimTime now, double good, double bad);
+  double burn(SimTime now, SimTime window) const;
+  SloState state(SimTime now) const;
+  double target() const noexcept { return target_; }
+  void clear();
+
+ private:
+  void prune(SimTime now);
+
+  struct Bucket {
+    SimTime t = 0;
+    double good = 0;
+    double bad = 0;
+  };
+
+  double target_;
+  SloWindows windows_;
+  std::deque<Bucket> buckets_;
+};
+
+// Which SLOs to enforce; a zero target disables that objective.
+struct SloConfig {
+  // Cache-tier hit ratio objective in (0, 1): gets answered from cache.
+  double hit_ratio_target = 0;
+  // p99.9 latency bound in microseconds, evaluated per roll-up window: a
+  // window whose observed p99.9 exceeds the bound is one "bad" window.
+  double p999_target_us = 0;
+  // Power budget in watts, evaluated per roll-up window like the latency
+  // bound. This is the live Fig. 10 guardrail: a power-proportional fleet
+  // under partial load should sit well below it.
+  double power_budget_watts = 0;
+  SloWindows windows;
+  // Fraction of windows allowed over the latency / power bound (their
+  // implicit availability target). 0.1 = one in ten windows may breach.
+  double window_budget = 0.1;
+};
+
+// The engine: one tracker per enabled objective, a roll-up entry point,
+// and render surfaces for /metrics and /health.
+class SloEngine {
+ public:
+  explicit SloEngine(SloConfig config);
+
+  bool enabled() const noexcept {
+    return config_.hit_ratio_target > 0 || config_.p999_target_us > 0 ||
+           config_.power_budget_watts > 0;
+  }
+  const SloConfig& config() const noexcept { return config_; }
+
+  // One roll-up window: get/hit deltas since the previous call, the window's
+  // observed p99.9 (microseconds; <= 0 skips the latency objective this
+  // window), and the window's mean fleet draw in watts (<= 0 skips).
+  void observe(SimTime now, double gets_delta, double hits_delta,
+               double p999_us, double watts);
+
+  struct Status {
+    std::string name;       // "hit_ratio" | "p999_latency" | "power_budget"
+    SloState state = SloState::kOk;
+    double target = 0;      // objective (ratio, us, or watts)
+    double observed = 0;    // last window's observation
+    double burn_fast = 0;
+    double burn_slow = 0;
+  };
+  // Enabled objectives only, stable order.
+  std::vector<Status> status(SimTime now) const;
+  // Worst state across enabled objectives.
+  SloState overall(SimTime now) const;
+
+  // Burn-rate/state gauges for every enabled objective plus the overall
+  // state, polled against `clock` at snapshot time.
+  void register_metrics(MetricsRegistry& registry,
+                        std::function<SimTime()> clock);
+
+  void clear();
+
+ private:
+  SloConfig config_;
+  mutable std::mutex mu_;
+  BurnRateTracker hit_ratio_;
+  BurnRateTracker p999_;
+  BurnRateTracker power_;
+  double last_hit_ratio_ = 0;
+  double last_p999_us_ = 0;
+  double last_watts_ = 0;
+};
+
+// Renders the GET /health contract (docs/OPERATIONS.md §12): HTTP 200 with
+// {"status":"ok"} while nothing pages, 503 with the breached objectives
+// listed once any objective pages. `extra_json` (may be empty) is spliced
+// into the top-level object verbatim — the daemon adds epoch, incarnation,
+// PPI and drift gauges there.
+std::pair<int, std::string> render_health(const std::vector<SloEngine::Status>& slos,
+                                          std::string_view extra_json);
+
+}  // namespace proteus::obs

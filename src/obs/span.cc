@@ -211,13 +211,19 @@ std::uint64_t SpanCollector::total_recorded() const {
 
 std::uint64_t SpanCollector::dropped() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return recorded_ - size_;
+  const std::uint64_t gross = recorded_ - size_;
+  return gross > dropped_base_ ? gross - dropped_base_ : 0;
 }
 
 void SpanCollector::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   head_ = 0;
   size_ = 0;
+}
+
+void SpanCollector::reset_dropped() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  dropped_base_ = recorded_ - size_;
 }
 
 TraceContext TraceContext::begin(SpanCollector* collector, SimTime now) {

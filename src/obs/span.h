@@ -164,9 +164,13 @@ class SpanCollector {
   std::string jsonl() const;
 
   std::uint64_t total_recorded() const;
-  // Spans overwritten because the ring was full.
+  // Spans overwritten because the ring was full (since the last
+  // reset_dropped()).
   std::uint64_t dropped() const;
   void clear();
+  // Re-zeroes dropped() without touching retained spans — the `stats
+  // reset` hook.
+  void reset_dropped();
 
  private:
   std::atomic<std::uint32_t> sample_every_;
@@ -179,6 +183,7 @@ class SpanCollector {
   std::size_t head_ = 0;  // next write position
   std::size_t size_ = 0;
   std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_base_ = 0;
 };
 
 // --- tiled child emission ----------------------------------------------------

@@ -49,6 +49,7 @@ std::string_view trace_event_name(TraceEventKind kind) noexcept {
     case TraceEventKind::kEpochBump: return "epoch_bump";
     case TraceEventKind::kIncarnationChange: return "incarnation_change";
     case TraceEventKind::kJournalReplay: return "journal_replay";
+    case TraceEventKind::kModelDrift: return "model_drift";
   }
   return "unknown";
 }
@@ -140,13 +141,19 @@ std::uint64_t TraceRing::total_emitted() const {
 
 std::uint64_t TraceRing::dropped() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return next_seq_ - size_;
+  const std::uint64_t gross = next_seq_ - size_;
+  return gross > dropped_base_ ? gross - dropped_base_ : 0;
 }
 
 void TraceRing::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   head_ = 0;
   size_ = 0;
+}
+
+void TraceRing::reset_dropped() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  dropped_base_ = next_seq_ - size_;
 }
 
 }  // namespace proteus::obs

@@ -51,6 +51,9 @@ enum class TraceEventKind {
                          // n=new incarnation (its old digest was dropped)
   kJournalReplay,        // transition journal replayed at startup; server=
                          // resumed(1)/rolled-forward(2)/none(0), n=records
+  kModelDrift,           // audit window exceeded a model tolerance; key=
+                         // "share"/"hit_ratio"/"fn_bound", n=|drift| in ppm,
+                         // peer=sign (1 over / -1 under)
 };
 
 std::string_view trace_event_name(TraceEventKind kind) noexcept;
@@ -96,9 +99,13 @@ class TraceRing final : public TraceSink {
   std::string jsonl_since(std::uint64_t since_seq) const;
 
   std::uint64_t total_emitted() const;
-  // Events overwritten because the ring was full.
+  // Events overwritten because the ring was full (since the last
+  // reset_dropped(); clear() also counts discarded events here).
   std::uint64_t dropped() const;
   void clear();
+  // Re-zeroes dropped() without touching retained events or sequence
+  // numbers — the `stats reset` hook.
+  void reset_dropped();
 
  private:
   mutable std::mutex mu_;
@@ -107,6 +114,7 @@ class TraceRing final : public TraceSink {
   std::size_t head_ = 0;  // next write position
   std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_base_ = 0;
 };
 
 }  // namespace proteus::obs

@@ -4,17 +4,22 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
-#include <string>
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "cache/binary_protocol.h"
 #include "net/memcache_daemon.h"
+#include "net/metrics_http.h"
 
 namespace proteus::net {
 namespace {
@@ -35,6 +40,14 @@ class Client {
   }
 
   bool connected() const { return connected_; }
+
+  // Bounds every subsequent read: a server that never answers turns into a
+  // failed read instead of a hung test.
+  void set_recv_timeout(int seconds) {
+    timeval tv{};
+    tv.tv_sec = seconds;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
 
   void send(std::string_view bytes) {
     std::size_t off = 0;
@@ -240,6 +253,96 @@ TEST_F(DaemonFixture, QuitClosesConnection) {
   client.send("quit\r\n");
   // Server closes: read returns EOF (empty).
   EXPECT_EQ(client.recv_exact(1), "");
+}
+
+// --- the metrics/health HTTP endpoint's protocol edges -----------------------
+
+// A running exposition server with trivial render callbacks and a settable
+// health answer.
+class HttpFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    health_code_ = 200;
+    http_ = std::make_unique<MetricsHttpServer>(
+        0, [] { return std::string("metric 1\n"); }, nullptr, nullptr,
+        [this] {
+          return std::make_pair(health_code_.load(),
+                                std::string("{\"status\":\"x\"}\n"));
+        });
+    ASSERT_TRUE(http_->ok());
+    thread_ = std::thread([this] { http_->run(); });
+  }
+
+  void TearDown() override {
+    http_->stop();
+    thread_.join();
+  }
+
+  // Sends `raw` verbatim and reads to EOF with a receive deadline, so a
+  // half-handled connection fails the test instead of hanging it.
+  std::string roundtrip(const std::string& raw) {
+    Client client(http_->port());
+    EXPECT_TRUE(client.connected());
+    client.set_recv_timeout(5);
+    client.send(raw);
+    return client.recv_exact(1 << 20);  // reads until EOF
+  }
+
+  std::atomic<int> health_code_{200};
+  std::unique_ptr<MetricsHttpServer> http_;
+  std::thread thread_;
+};
+
+TEST_F(HttpFixture, UnknownPathGets404WithContentLength) {
+  const std::string reply = roundtrip("GET /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.0 404 Not Found"), std::string::npos);
+  // The 404 must carry a Content-Length matching its body so HTTP/1.0
+  // clients that trust the header (instead of reading to EOF) see the
+  // whole error page.
+  const std::size_t cl = reply.find("Content-Length: ");
+  ASSERT_NE(cl, std::string::npos);
+  const std::size_t declared = static_cast<std::size_t>(
+      std::atoll(reply.c_str() + cl + std::strlen("Content-Length: ")));
+  const std::size_t body_at = reply.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_EQ(reply.size() - (body_at + 4), declared);
+  EXPECT_GT(declared, 0u);
+}
+
+TEST_F(HttpFixture, SimpleHttp09RequestIsAnsweredNotHalfHandled) {
+  // An HTTP/0.9 simple request is just the request line — no headers, no
+  // blank line ever arrives. Waiting for \r\n\r\n would wedge the
+  // connection forever; the server must answer from the line alone.
+  const std::string reply = roundtrip("GET /metrics\r\n");
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("metric 1"), std::string::npos);
+}
+
+TEST_F(HttpFixture, HealthRouteReflectsCallbackCode) {
+  std::string reply = roundtrip("GET /health HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("application/json"), std::string::npos);
+  EXPECT_NE(reply.find("{\"status\":\"x\"}"), std::string::npos);
+
+  health_code_.store(503);
+  reply = roundtrip("GET /health HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("HTTP/1.0 503 Service Unavailable"),
+            std::string::npos);
+  EXPECT_NE(reply.find("{\"status\":\"x\"}"), std::string::npos);
+}
+
+TEST(MetricsHttpNoHealth, HealthWithoutCallbackIs404) {
+  MetricsHttpServer http(0, [] { return std::string("m 1\n"); });
+  ASSERT_TRUE(http.ok());
+  std::thread t([&http] { http.run(); });
+  Client client(http.port());
+  ASSERT_TRUE(client.connected());
+  client.set_recv_timeout(5);
+  client.send("GET /health HTTP/1.0\r\n\r\n");
+  const std::string reply = client.recv_exact(1 << 20);
+  EXPECT_NE(reply.find("404"), std::string::npos);
+  http.stop();
+  t.join();
 }
 
 }  // namespace

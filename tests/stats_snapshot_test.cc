@@ -131,6 +131,62 @@ TEST(StatsSnapshot, WireStatsResetZeroesDaemonCounters) {
   EXPECT_EQ(rig.daemon.stats_snapshot().sets, 0u);
 }
 
+// `stats reset` must clear the observability drop/shed counters with the
+// same sweep that clears the cache counters — a dashboard that zeroes
+// cmd_get but keeps stale shed counts misattributes past overload to the
+// fresh measurement interval.
+TEST(StatsSnapshot, WireStatsResetClearsShedAndDropCounters) {
+  AdmissionOptions admission;
+  admission.pipeline_cap = 1;  // a 3-get batch sheds two commands
+  MemcacheDaemon daemon(small_config(), 0, monotonic_now, 1,
+                        TcpServer::Limits{}, admission);
+  ASSERT_TRUE(daemon.ok());
+  std::thread runner([&daemon] { daemon.run(); });
+
+  {
+    client::MemcacheConnection conn(daemon.port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn.set("k", "v"));
+
+    // One pipelined write of three gets = one protocol batch; the cap
+    // admits the first and sheds the rest.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(daemon.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const std::string batch = "get k\r\nget k\r\nget k\r\n";
+    ASSERT_EQ(::send(fd, batch.data(), batch.size(), 0),
+              static_cast<ssize_t>(batch.size()));
+    std::string reply;
+    char buf[4096];
+    while (reply.find("SERVER_ERROR overloaded") == std::string::npos) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      reply.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    EXPECT_GT(daemon.shed_pipeline(), 0u);
+    EXPECT_GT(daemon.sheds_total(), 0u);
+
+    auto reset = conn.stats("reset");
+    ASSERT_TRUE(reset.has_value());
+    EXPECT_EQ(daemon.shed_pipeline(), 0u);
+    EXPECT_EQ(daemon.shed_over_cap(), 0u);
+    EXPECT_EQ(daemon.shed_background(), 0u);
+    EXPECT_EQ(daemon.shed_queue_deadline(), 0u);
+    EXPECT_EQ(daemon.sheds_total(), 0u);
+    EXPECT_EQ(daemon.trace().dropped(), 0u);
+    EXPECT_EQ(daemon.spans().dropped(), 0u);
+  }
+
+  daemon.stop();
+  runner.join();
+}
+
 // --- the HTTP exposition endpoint, end to end --------------------------------
 
 std::string http_get(std::uint16_t port, const std::string& path) {

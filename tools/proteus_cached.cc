@@ -3,8 +3,8 @@
 //
 //   proteus-cached --port=11211 --mem-mb=64 --ttl-s=0 --threads=4
 //   proteus-cached --max-conns=4096 --idle-timeout-s=30 --max-outbox-mb=64
-//   proteus-cached --max-inflight=256 --queue-deadline-ms=20 \
-//                  --pipeline-cap=64 --migration-priority=0.5
+//   proteus-cached --max-inflight=256 --queue-deadline-ms=20
+//   proteus-cached --pipeline-cap=64 --migration-priority=0.5
 //
 // Speaks the memcached text AND binary protocols (auto-detected per
 // connection); the digest snapshot is reachable through the reserved keys
@@ -15,9 +15,10 @@
 // With --metrics-port=P a Prometheus text endpoint is served on
 // 127.0.0.1:P (GET /metrics; GET /trace?since=N streams the transition/TTL
 // event ring as JSONL incrementally; GET /spans streams the server-side
-// per-request span records — see obs/span.h and tools/proteus-spans). The
-// same registry is reachable in-band via the `stats proteus` protocol
-// extension. --server-id=N stamps that fleet index on every span.
+// per-request span records — see obs/span.h and tools/proteus-spans; GET
+// /health answers 200/503 from the SLO burn-rate engine when auditing is
+// enabled). The same registry is reachable in-band via the `stats proteus`
+// protocol extension. --server-id=N stamps that fleet index on every span.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -99,7 +100,26 @@ void print_help(std::FILE* out) {
       "                       pulls, marked by a trailing 'bg' token or the\n"
       "                       digest keys). Below 1.0 foreground requests\n"
       "                       keep headroom during a transition. Default "
-      "0.5.\n");
+      "0.5.\n"
+      "\n"
+      "power & SLO audit (all off by default — see docs/OPERATIONS.md "
+      "section 12):\n"
+      "  --power-budget-watts=W  enable the live power auditor (energy\n"
+      "                       accounting, PPI, model-drift gauges) and add a\n"
+      "                       power-budget SLO at W watts. 0 = audit without\n"
+      "                       a power objective.\n"
+      "  --slo-hit-ratio=R    hit-ratio SLO target in [0,1]; burn-rate\n"
+      "                       breaches flip GET /health to 503.\n"
+      "  --slo-p999-ms=L      p99.9 latency SLO target in milliseconds\n"
+      "                       (per audit window).\n"
+      "  --audit-window-s=S   model-drift / energy audit window (default "
+      "15)\n"
+      "  --slo-fast-window-s=S  burn-rate fast window (default 60; the slow\n"
+      "                       window stays at least 10x the fast one).\n"
+      "                       Short windows make smoke tests react in\n"
+      "                       seconds; production wants the default.\n"
+      "  --peak-ops=N         ops/s treated as 100%% utilisation for the\n"
+      "                       power model (default 50000)\n");
 }
 
 }  // namespace
@@ -117,6 +137,8 @@ int main(int argc, char** argv) {
   std::uint64_t incarnation = 0;  // 0 = per-process unique (daemon seeds it)
   net::TcpServer::Limits limits;
   net::AdmissionOptions admission;
+  net::AuditOptions audit;
+  bool audit_requested = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -160,6 +182,28 @@ int main(int argc, char** argv) {
       admission.pipeline_cap = std::atoi(value.c_str());
     } else if (parse_value(argv[i], "--migration-priority", value)) {
       admission.background_fill = std::atof(value.c_str());
+    } else if (parse_value(argv[i], "--power-budget-watts", value)) {
+      audit.slo.power_budget_watts = std::atof(value.c_str());
+      audit_requested = true;
+    } else if (parse_value(argv[i], "--slo-hit-ratio", value)) {
+      audit.slo.hit_ratio_target = std::atof(value.c_str());
+      audit_requested = true;
+    } else if (parse_value(argv[i], "--slo-p999-ms", value)) {
+      audit.slo.p999_target_us = std::atof(value.c_str()) * 1000.0;
+      audit_requested = true;
+    } else if (parse_value(argv[i], "--audit-window-s", value)) {
+      audit.audit.window = from_seconds(std::atof(value.c_str()));
+      audit_requested = true;
+    } else if (parse_value(argv[i], "--slo-fast-window-s", value)) {
+      audit.slo.windows.fast_window = from_seconds(std::atof(value.c_str()));
+      if (audit.slo.windows.slow_window <
+          10 * audit.slo.windows.fast_window) {
+        audit.slo.windows.slow_window = 10 * audit.slo.windows.fast_window;
+      }
+      audit_requested = true;
+    } else if (parse_value(argv[i], "--peak-ops", value)) {
+      audit.audit.peak_ops_per_server = std::atof(value.c_str());
+      audit_requested = true;
     } else {
       print_help(stderr);
       return 2;
@@ -173,6 +217,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--migration-priority must be in [0, 1]\n");
     return 2;
   }
+  if (audit.slo.hit_ratio_target < 0.0 || audit.slo.hit_ratio_target > 1.0) {
+    std::fprintf(stderr, "--slo-hit-ratio must be in [0, 1]\n");
+    return 2;
+  }
+  audit.enabled = audit_requested;
 
   cache::CacheConfig cfg;
   cfg.memory_budget_bytes = mem_mb << 20;
@@ -180,7 +229,7 @@ int main(int argc, char** argv) {
   cfg.incarnation = incarnation;
 
   net::MemcacheDaemon daemon(cfg, port, net::monotonic_now, threads, limits,
-                             admission);
+                             admission, audit);
   if (!daemon.ok()) {
     std::fprintf(stderr, "failed to bind 127.0.0.1:%u\n", port);
     return 1;
@@ -200,7 +249,8 @@ int main(int argc, char** argv) {
         [&daemon](std::uint64_t since) {
           return daemon.trace().jsonl_since(since);
         },
-        [&daemon] { return daemon.spans().jsonl(); });
+        [&daemon] { return daemon.spans().jsonl(); },
+        [&daemon] { return daemon.health(); });
     if (!metrics_http->ok()) {
       std::fprintf(stderr, "failed to bind metrics port 127.0.0.1:%u\n",
                    metrics_port);

@@ -2,7 +2,7 @@
 // extension (falling back to plain `stats` for unmodified memcached).
 //
 //   proteus-top --servers=11211,11212,11213 [--host=127.0.0.1]
-//               [--interval-s=2] [--once] [--peak-ops=50000]
+//               [--interval-s=2] [--once] [--json] [--peak-ops=50000]
 //
 // Each refresh polls every daemon and renders one row per server: power
 // state (active / draining / off), request rate and its share of fleet
@@ -10,11 +10,19 @@
 // ratio, p50/p99 service latency from the daemon's op-latency histogram,
 // occupancy, and estimated draw from the §V-A analytic power model
 // (ServerPowerProfile; --peak-ops calibrates the gets/s that saturates one
-// server). The footer aggregates the fleet, reports the observed max/ideal
-// load-share imbalance across active servers, and summarizes power
-// proportionality: fleet power fraction over fleet load fraction, which an
-// ideally proportional cluster holds at 1.0 (the paper's Fig. 1 motivation).
+// server). Daemons running the live auditor (--power-budget-watts et al.)
+// additionally report PPI, SLO burn state, and model drift per row, and any
+// warning/paging objective is listed in an ALERT footer. The footer
+// aggregates the fleet, reports the observed max/ideal load-share imbalance
+// across active servers, and summarizes power proportionality: fleet power
+// fraction over fleet load fraction, which an ideally proportional cluster
+// holds at 1.0 (the paper's Fig. 1 motivation). --json takes two samples
+// one interval apart and emits a single machine-readable JSON object
+// (per-server rows plus fleet aggregates, including the energy-integrated
+// fleet PPI) instead of the ANSI table.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -145,6 +153,46 @@ const char* state_of(const Watched& w) {
   }
 }
 
+// Live-audit columns: daemons started with the SLO/audit flags export
+// proteus_audit_* / proteus_slo_* gauges through `stats proteus`.
+bool audited(const Watched& w) {
+  return w.now.count("proteus_audit_ppi") != 0U;
+}
+
+// Worst-magnitude model drift across the three gauges (signed, so an
+// over-/under-shoot is distinguishable at a glance).
+double worst_drift(const Watched& w) {
+  const double drifts[] = {field(w, "proteus_audit_share_drift"),
+                           field(w, "proteus_audit_hit_ratio_drift"),
+                           field(w, "proteus_audit_fn_drift")};
+  double worst = 0;
+  for (const double d : drifts) {
+    if (std::fabs(d) > std::fabs(worst)) worst = d;
+  }
+  return worst;
+}
+
+// Hottest fast-window burn rate across the enabled objectives.
+double worst_burn(const Watched& w) {
+  const char* gauges[] = {"proteus_slo_hit_ratio_burn_fast",
+                          "proteus_slo_p999_latency_burn_fast",
+                          "proteus_slo_power_budget_burn_fast"};
+  double worst = 0;
+  for (const char* g : gauges) worst = std::max(worst, field(w, g));
+  return worst;
+}
+
+const char* slo_state_name(int state) {
+  switch (state) {
+    case 0:
+      return "ok";
+    case 1:
+      return "warn";
+    default:
+      return "page";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +201,7 @@ int main(int argc, char** argv) {
   double interval_s = 2.0;
   double peak_ops = 50000.0;  // gets/s that saturates one server
   bool once = false;
+  bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -166,10 +215,13 @@ int main(int argc, char** argv) {
       peak_ops = std::atof(value.c_str());
     } else if (std::strcmp(argv[i], "--once") == 0) {
       once = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      once = true;  // one sample pair, one JSON object, exit
     } else {
       std::fprintf(stderr,
                    "usage: proteus-top --servers=p1,p2,... [--host=H] "
-                   "[--interval-s=S] [--peak-ops=N] [--once]\n");
+                   "[--interval-s=S] [--peak-ops=N] [--once] [--json]\n");
       return 2;
     }
   }
@@ -183,6 +235,19 @@ int main(int argc, char** argv) {
 
   std::vector<Watched> fleet(ports.size());
   for (std::size_t i = 0; i < ports.size(); ++i) fleet[i].port = ports[i];
+
+  // --json needs a rate, so it takes a priming sample, waits one interval,
+  // and renders from the second sample's deltas.
+  if (json) {
+    for (Watched& w : fleet) {
+      poll(w, host);
+      if (w.up) {
+        w.prev_gets = gets_of(w);
+        w.have_prev = true;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
 
   for (;;) {
     for (Watched& w : fleet) poll(w, host);
@@ -202,10 +267,105 @@ int main(int argc, char** argv) {
       total_delta += deltas[i];
     }
 
+    if (json) {
+      // One machine-readable object: per-server rows plus fleet aggregates.
+      // The fleet PPI is energy-integrated (sum of actual joules over sum of
+      // ideal joules across audited daemons) — directly comparable to the
+      // simulator's Fig. 10 Proteus/ideal energy ratio.
+      const proteus::cluster::ServerPowerProfile power;
+      char buf[512];
+      std::string out = "{";
+      std::snprintf(buf, sizeof(buf), "\"interval_s\":%.6g,\"servers\":[",
+                    interval_s);
+      out += buf;
+      int active = 0;
+      double max_share = 0;
+      double fleet_watts = 0;
+      double fleet_joules = 0;
+      double ideal_joules = 0;
+      bool any_audited = false;
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        const Watched& w = fleet[i];
+        const char* state = state_of(w);
+        const double share = total_delta > 0 ? deltas[i] / total_delta : 0;
+        if (std::strcmp(state, "active") == 0) {
+          ++active;
+          max_share = std::max(max_share, share);
+        }
+        const double rate = deltas[i] / interval_s;
+        const bool powered_on = w.up && std::strcmp(state, "off") != 0;
+        const double watts = power.watts(powered_on, rate / peak_ops);
+        fleet_watts += watts;
+        if (i != 0) out += ',';
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"port\":%u,\"state\":\"%s\",\"up\":%s,\"gets_per_s\":%.6g,"
+            "\"share\":%.6g,\"hit_ratio\":%.6g,\"p50_us\":%.6g,"
+            "\"p99_us\":%.6g,\"items\":%.0f,\"bytes\":%.0f,\"watts\":%.6g,"
+            "\"epoch\":%.0f,\"incarnation\":%llu",
+            w.port, state, w.up ? "true" : "false", rate, share,
+            hit_ratio_of(w), field(w, "proteus_daemon_op_latency_us_p50"),
+            field(w, "proteus_daemon_op_latency_us_p99"),
+            field(w, "proteus_cache_items", field(w, "curr_items")),
+            field(w, "proteus_cache_bytes", field(w, "bytes")), watts,
+            epoch_of(w), static_cast<unsigned long long>(incarnation_of(w)));
+        out += buf;
+        if (audited(w)) {
+          any_audited = true;
+          fleet_joules += field(w, "proteus_audit_energy_joules_total");
+          ideal_joules += field(w, "proteus_audit_ideal_energy_joules_total");
+          std::snprintf(
+              buf, sizeof(buf),
+              ",\"ppi\":%.6g,\"window_ppi\":%.6g,\"energy_joules\":%.6g,"
+              "\"ideal_joules\":%.6g,\"slo_state\":\"%s\",\"burn_fast\":%.6g,"
+              "\"share_drift\":%.6g,\"hit_ratio_drift\":%.6g,"
+              "\"fn_drift\":%.6g,\"drift_events\":%.0f",
+              field(w, "proteus_audit_ppi"),
+              field(w, "proteus_audit_window_ppi"),
+              field(w, "proteus_audit_energy_joules_total"),
+              field(w, "proteus_audit_ideal_energy_joules_total"),
+              slo_state_name(static_cast<int>(field(w, "proteus_slo_state"))),
+              worst_burn(w), field(w, "proteus_audit_share_drift"),
+              field(w, "proteus_audit_hit_ratio_drift"),
+              field(w, "proteus_audit_fn_drift"),
+              field(w, "proteus_audit_model_drift_events_total"));
+          out += buf;
+        }
+        out += '}';
+      }
+      const double n = static_cast<double>(fleet.size());
+      const double power_frac = fleet_watts / (n * power.peak_watts);
+      const double load_frac = total_delta / interval_s / (n * peak_ops);
+      std::snprintf(
+          buf, sizeof(buf),
+          "],\"fleet\":{\"active\":%d,\"gets_per_s\":%.6g,"
+          "\"imbalance\":%.6g,\"watts\":%.6g,\"power_fraction\":%.6g,"
+          "\"load_fraction\":%.6g,\"proportionality\":%.6g",
+          active, total_delta / interval_s,
+          total_delta > 0 ? max_share * static_cast<double>(active) : 0.0,
+          fleet_watts, power_frac, load_frac,
+          load_frac > 0 ? power_frac / load_frac : 0.0);
+      out += buf;
+      if (any_audited) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\"ppi\":%.6g,\"energy_joules\":%.6g,"
+                      "\"ideal_joules\":%.6g",
+                      ideal_joules > 0 ? fleet_joules / ideal_joules : 0.0,
+                      fleet_joules, ideal_joules);
+        out += buf;
+      }
+      out += "}}\n";
+      std::fputs(out.c_str(), stdout);
+      std::fflush(stdout);
+      break;
+    }
+
     if (!once) std::printf("\033[2J\033[H");
-    std::printf("%-6s %-7s %10s %7s %6s %9s %9s %9s %8s %7s %6s %12s\n",
+    std::printf("%-6s %-7s %10s %7s %6s %9s %9s %9s %8s %7s %5s %5s %7s "
+                "%6s %12s\n",
                 "SERVER", "STATE", "GETS/S", "SHARE", "HIT%", "P50(us)",
-                "P99(us)", "ITEMS", "MB", "WATTS", "EPOCH", "INCARNATION");
+                "P99(us)", "ITEMS", "MB", "WATTS", "PPI", "SLO", "DRIFT",
+                "EPOCH", "INCARNATION");
     const proteus::cluster::ServerPowerProfile power;
     int active = 0;
     double max_share = 0;
@@ -232,16 +392,29 @@ int main(int argc, char** argv) {
         if (min_epoch < 0 || epoch < min_epoch) min_epoch = epoch;
         if (epoch > max_epoch) max_epoch = epoch;
       }
+      // PPI / SLO / DRIFT only exist on daemons running the live auditor;
+      // plain daemons (and stock memcached) get placeholder dashes.
+      char ppi_col[8] = "    -";
+      char slo_col[8] = "    -";
+      char drift_col[8] = "      -";
+      if (audited(w)) {
+        std::snprintf(ppi_col, sizeof(ppi_col), "%5.2f",
+                      field(w, "proteus_audit_ppi"));
+        std::snprintf(slo_col, sizeof(slo_col), "%5s",
+                      slo_state_name(
+                          static_cast<int>(field(w, "proteus_slo_state"))));
+        std::snprintf(drift_col, sizeof(drift_col), "%+7.3f", worst_drift(w));
+      }
       std::printf(
           ":%-5u %-7s %10.1f %6.1f%% %5.1f%% %9.0f %9.0f %9.0f %8.2f %7.1f "
-          "%6.0f %12llx\n",
+          "%s %s %s %6.0f %12llx\n",
           w.port, state, rate, share * 100, hit_ratio_of(w) * 100,
           field(w, "proteus_daemon_op_latency_us_p50"),
           field(w, "proteus_daemon_op_latency_us_p99"),
           field(w, "proteus_cache_items", field(w, "curr_items")),
           field(w, "proteus_cache_bytes", field(w, "bytes")) /
               (1024.0 * 1024.0),
-          watts, epoch,
+          watts, ppi_col, slo_col, drift_col, epoch,
           static_cast<unsigned long long>(incarnation_of(w)));
     }
     // Fencing sanity: every reachable daemon should fence the same cluster
@@ -278,6 +451,18 @@ int main(int argc, char** argv) {
     } else {
       std::printf("power: %.0f W (%.0f%% of peak), idle\n", fleet_watts,
                   power_frac * 100);
+    }
+    // Burn-rate alert footer: any objective past warn on any daemon gets a
+    // line naming the server, its state, the hottest fast-window burn, and
+    // the worst drift gauge (docs/OPERATIONS.md section 12's entry point).
+    for (const Watched& w : fleet) {
+      if (!audited(w)) continue;
+      const int slo = static_cast<int>(field(w, "proteus_slo_state"));
+      if (slo <= 0) continue;
+      std::printf("ALERT :%u slo=%s burn_fast=%.1fx drift=%+.3f "
+                  "drift_events=%.0f\n",
+                  w.port, slo_state_name(slo), worst_burn(w), worst_drift(w),
+                  field(w, "proteus_audit_model_drift_events_total"));
     }
     std::fflush(stdout);
 

@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # Observability benchmark export: runs the obs micro-benchmarks
-# (micro_metrics + micro_spans + micro_audit) with Google Benchmark's JSON
-# reporter, plus the crash-recovery extension experiment
+# (micro_metrics + micro_spans + micro_audit + micro_tsdb) with Google
+# Benchmark's JSON reporter, plus the crash-recovery extension experiment
 # (ext_failure_recovery --json), and merges them into one machine-readable
 # artifact, BENCH_obs.json:
 #
 #   { "micro_metrics": {...}, "micro_spans": {...}, "micro_audit": {...},
-#     "ext_failure_recovery": {...} }
+#     "micro_tsdb": {...}, "ext_failure_recovery": {...} }
 #
 # Also checks the acceptance budgets of the off-path costs:
 #   * should_sample() with sampling disabled must cost <= 5 ns/op
 #     (BM_SpanShouldSampleDisabled);
 #   * the audit gate with auditing disabled must cost <= 2 ns/op
-#     (BM_AuditDisabledGate) — the only thing the get path ever pays.
+#     (BM_AuditDisabledGate) — the only thing the get path ever pays;
+#   * the tsdb sampler gate with sampling disabled must cost <= 5 ns/op
+#     (BM_TsdbDisabledGate);
+#   * one sampler tick over a 200-metric registry must cost <= 50 us
+#     (BM_TsdbSamplerTick200) — it holds the cache mutex for the registry
+#     sweep, so the budget bounds the stall it can inject per second.
 # The checks warn by default; pass --enforce to fail the script on a miss
 # (CI uses warn-only: shared runners make single-digit-ns numbers noisy).
 #
@@ -35,7 +40,8 @@ done
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
-for bin in micro_metrics micro_spans micro_audit ext_failure_recovery; do
+for bin in micro_metrics micro_spans micro_audit micro_tsdb \
+           ext_failure_recovery; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "bench_json.sh: $BUILD_DIR/bench/$bin not built" >&2
     echo "  (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
@@ -55,6 +61,9 @@ echo "== micro_spans =="
 echo "== micro_audit =="
 "$BUILD_DIR/bench/micro_audit" \
   --benchmark_out="$TMP/micro_audit.json" --benchmark_out_format=json
+echo "== micro_tsdb =="
+"$BUILD_DIR/bench/micro_tsdb" \
+  --benchmark_out="$TMP/micro_tsdb.json" --benchmark_out_format=json
 echo "== ext_failure_recovery =="
 "$BUILD_DIR/bench/ext_failure_recovery" --json \
   > "$TMP/ext_failure_recovery.json"
@@ -69,6 +78,8 @@ echo "== ext_failure_recovery =="
   cat "$TMP/micro_spans.json"
   printf ',\n"micro_audit":\n'
   cat "$TMP/micro_audit.json"
+  printf ',\n"micro_tsdb":\n'
+  cat "$TMP/micro_tsdb.json"
   printf ',\n"ext_failure_recovery":\n'
   cat "$TMP/ext_failure_recovery.json"
   printf '}\n'
@@ -104,6 +115,10 @@ check_budget "$TMP/micro_spans.json" BM_SpanShouldSampleDisabled 5 \
   "span off-path cost (sampling disabled)"
 check_budget "$TMP/micro_audit.json" BM_AuditDisabledGate 2 \
   "audit off-path cost (auditing disabled)"
+check_budget "$TMP/micro_tsdb.json" BM_TsdbDisabledGate 5 \
+  "tsdb sampler off-path cost (sampling disabled)"
+check_budget "$TMP/micro_tsdb.json" BM_TsdbSamplerTick200 50000 \
+  "tsdb sampler tick over 200 metrics"
 
 if [[ "$MISSED" == "1" && "$ENFORCE" == "1" ]]; then
   exit 1

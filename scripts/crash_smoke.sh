@@ -153,3 +153,61 @@ grep -q '"ppi"' "$ARTIFACTS/slo-health-recover.json" \
   || { echo "audited health body lacks ppi"; exit 1; }
 
 echo "SLO health smoke passed (200 -> 503 on breach -> 200 on recovery)"
+
+# ---------------------------------------------------------------------------
+# Flight-recorder drill (docs/OPERATIONS.md §13): a daemon checkpointing
+# retained history to --dump-dir must leave a well-formed postmortem even
+# when killed with SIGKILL — the one signal no handler can catch. The
+# checkpoint cadence (not the crash handler) is what makes that true.
+FPORT=11445
+DUMP_DIR="$ARTIFACTS/flight-dump"
+rm -rf "$DUMP_DIR" && mkdir -p "$DUMP_DIR"
+start_daemon "$FPORT" --server-id=7 --sample-interval-ms=200 \
+  --dump-dir="$DUMP_DIR" --checkpoint-interval-s=1
+FLIGHT_PID="${PIDS[-1]}"
+sleep 0.5
+
+# Traffic so the retained series carry real counts.
+{ printf 'set fk 0 0 5\r\nhello\r\n'
+  for _ in $(seq 1 300); do printf 'get fk\r\n'; done
+  printf 'quit\r\n'; } | {
+  exec 3<>"/dev/tcp/127.0.0.1/$FPORT"
+  cat >&3
+  cat <&3 > /dev/null
+  exec 3<&- 3>&-
+}
+
+# Wait for a checkpoint that carries derived rate series (atomic rename =>
+# the file is complete the moment it exists). The very first checkpoint can
+# land after a single sampler tick — baselines only, no rates yet — so wait
+# for a later one rather than racing it.
+DUMP="$DUMP_DIR/flight.jsonl"
+for _ in $(seq 1 100); do
+  [[ -s "$DUMP" ]] && grep -q '_rate"' "$DUMP" && break
+  sleep 0.1
+done
+[[ -s "$DUMP" ]] || { echo "no flight checkpoint within 10 s"; exit 1; }
+grep -q '_rate"' "$DUMP" \
+  || { echo "flight checkpoints never derived a rate series"; exit 1; }
+
+# SIGKILL: no handler runs, no final dump — the last checkpoint IS the
+# postmortem, and it must be internally consistent.
+kill -9 "$FLIGHT_PID"
+wait "$FLIGHT_PID" 2>/dev/null || true
+
+head -1 "$DUMP" | grep -q '"type":"header"' \
+  || { echo "flight dump first line is not a header"; head -1 "$DUMP"; exit 1; }
+tail -1 "$DUMP" | grep -q '"type":"footer"' \
+  || { echo "flight dump last line is not a footer (truncated write?)"
+       tail -1 "$DUMP"; exit 1; }
+# The footer declares header+body line count; the file adds the footer
+# itself. A mismatch means a torn or partial dump despite the rename.
+DECLARED="$(tail -1 "$DUMP" | sed 's/.*"lines":\([0-9]*\).*/\1/')"
+ACTUAL="$(wc -l < "$DUMP")"
+[[ "$ACTUAL" == "$((DECLARED + 1))" ]] \
+  || { echo "flight dump line count $ACTUAL != declared $DECLARED + footer"
+       exit 1; }
+grep -q '"type":"point"' "$DUMP" \
+  || { echo "flight dump retained no time-series points"; exit 1; }
+
+echo "flight-recorder smoke passed (kill -9 left a well-formed postmortem)"

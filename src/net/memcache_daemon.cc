@@ -347,7 +347,8 @@ void MemcacheDaemon::register_metrics() {
 MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
                                ClockFn clock, int threads,
                                TcpServer::Limits limits,
-                               AdmissionOptions admission, AuditOptions audit)
+                               AdmissionOptions admission, AuditOptions audit,
+                               TsdbOptions tsdb)
     : trace_(4096),
       cache_([&] {
         if (config.trace == nullptr) config.trace = &trace_;
@@ -369,6 +370,7 @@ MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
       clock_(std::move(clock)),
       audit_opts_(std::move(audit)) {
   PROTEUS_CHECK(threads >= 1);
+  tsdb_opts_ = std::move(tsdb);
   if (audit_opts_.enabled) {
     if (audit_opts_.audit.trace == nullptr) audit_opts_.audit.trace = &trace_;
     auditor_ = std::make_unique<obs::PowerAuditor>(audit_opts_.audit);
@@ -376,6 +378,45 @@ MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
     op_latency_window_ = std::make_unique<obs::Histogram>();
   }
   register_metrics();
+  if (tsdb_opts_.enabled) {
+    tsdb_ = std::make_unique<obs::TimeSeriesStore>(tsdb_opts_.store);
+    obs::AnomalyConfig ac = tsdb_opts_.anomaly;
+    if (ac.watch.empty()) {
+      // The daemon's default watch list: the four series an operator pages
+      // on — load, efficacy, tail latency, power.
+      ac.watch = {"proteus_cache_cmd_get_rate", "proteus_cache_hit_ratio",
+                  "proteus_daemon_op_latency_us_p999",
+                  "proteus_audit_fleet_watts"};
+    }
+    if (ac.trace == nullptr) ac.trace = &trace_;
+    anomaly_ = std::make_unique<obs::AnomalyDetector>(std::move(ac),
+                                                      tsdb_.get());
+    if (!tsdb_opts_.dump_dir.empty()) {
+      obs::FlightRecorderConfig fc;
+      fc.dir = tsdb_opts_.dump_dir;
+      fc.checkpoint_interval = tsdb_opts_.checkpoint_interval;
+      flight_ = std::make_unique<obs::FlightRecorder>(
+          std::move(fc), tsdb_.get(), &trace_,
+          [this] { return spans_.jsonl(); });
+      if (tsdb_opts_.install_crash_handlers) {
+        flight_->install_crash_handlers();
+      }
+      flight_->register_metrics(metrics_);
+    }
+    obs::SamplerConfig sc;
+    sc.interval = tsdb_opts_.sample_interval;
+    // The registry's cache-reading callbacks require the cache mutex
+    // (same contract metrics_text() honors).
+    sc.guard = [this](const std::function<void()>& fn) {
+      const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
+      fn();
+    };
+    sampler_ = std::make_unique<obs::MetricsSampler>(sc, &metrics_,
+                                                     tsdb_.get(),
+                                                     anomaly_.get());
+    sampler_->register_metrics(metrics_);
+    anomaly_->register_metrics(metrics_);
+  }
   const bool reuse_port = threads > 1;
   servers_.push_back(std::make_unique<TcpServer>(
       port, [this] { return make_handler(); }, reuse_port, limits));
@@ -386,6 +427,20 @@ MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
         servers_.front()->port(), [this] { return make_handler(); },
         /*reuse_port=*/true, limits));
   }
+  // Started last: the sampler thread visits registry callbacks that read
+  // servers_ (connections_accepted et al.), so the daemon must be fully
+  // constructed before the first tick can run.
+  if (sampler_ != nullptr) {
+    sampler_->start([this] { return clock_(); },
+                    [this](SimTime now) {
+                      if (flight_ != nullptr) flight_->maybe_checkpoint(now);
+                    });
+  }
+}
+
+MemcacheDaemon::~MemcacheDaemon() {
+  // Join the sampler thread before anything it samples is torn down.
+  if (sampler_ != nullptr) sampler_->stop();
 }
 
 bool MemcacheDaemon::ok() const noexcept {
@@ -439,13 +494,26 @@ std::size_t MemcacheDaemon::bytes_used() const {
 }
 
 std::string MemcacheDaemon::metrics_text() const {
+  return metrics_text_prefix({});
+}
+
+std::string MemcacheDaemon::metrics_text_prefix(
+    std::string_view prefix) const {
   audit_roll();
   std::vector<obs::MetricSample> samples;
   {
     const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
-    samples = metrics_.snapshot();
+    samples = metrics_.snapshot_prefix(prefix);
   }
   return obs::render_prometheus(samples);
+}
+
+std::string MemcacheDaemon::timeseries_json(std::string_view metric,
+                                            SimTime since,
+                                            SimTime step) const {
+  if (tsdb_ == nullptr) return {};
+  if (metric.empty()) return tsdb_->index_json();
+  return tsdb_->query_json(metric, since, step);
 }
 
 void MemcacheDaemon::audit_roll() const {
@@ -510,6 +578,10 @@ std::pair<int, std::string> MemcacheDaemon::health() const {
                   a.hit_ratio_drift, a.fn_drift,
                   static_cast<unsigned long long>(a.drift_events));
     extra += buf;
+  }
+  if (anomaly_ != nullptr) {
+    extra += ",\"anomaly_events\":" + std::to_string(anomaly_->events()) +
+             ",\"anomaly_active\":" + std::to_string(anomaly_->active());
   }
   if (slo_ == nullptr || !slo_->enabled()) {
     return {200, "{\"status\":\"ok\",\"slos\":[]," + extra + "}\n"};

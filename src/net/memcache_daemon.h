@@ -44,6 +44,10 @@
 #include "obs/slo.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "obs/tsdb/anomaly.h"
+#include "obs/tsdb/flight_recorder.h"
+#include "obs/tsdb/sampler.h"
+#include "obs/tsdb/tsdb.h"
 
 namespace proteus::net {
 
@@ -85,6 +89,24 @@ struct AuditOptions {
   obs::SloConfig slo;      // zero targets disable each objective
 };
 
+// Flight-recorder / retained-history knobs (off by default — a bare daemon
+// carries no sampler thread and no time-series store). When enabled the
+// daemon samples its own MetricsRegistry into a fixed-memory
+// obs::TimeSeriesStore on `sample_interval` cadence, scores the watched
+// series against their diurnal baseline (kAnomaly trace events +
+// proteus_anomaly_* counters), and — when `dump_dir` is set — writes
+// periodic atomic flight.jsonl checkpoints plus best-effort
+// flight-crash.jsonl dumps from SIGSEGV/SIGABRT.
+struct TsdbOptions {
+  bool enabled = false;
+  SimTime sample_interval = kSecond;
+  obs::TsdbConfig store;      // tier geometry (defaults retain ~8 h)
+  obs::AnomalyConfig anomaly;  // empty watch list = daemon's default four
+  std::string dump_dir;        // empty = no flight recorder
+  SimTime checkpoint_interval = 60 * kSecond;
+  bool install_crash_handlers = true;  // ignored without dump_dir
+};
+
 // Daemon-wide shed accounting, one counter per reason (all on /metrics).
 struct DaemonShedCounters {
   std::atomic<std::uint64_t> over_cap{0};        // in-flight budget exhausted
@@ -102,7 +124,9 @@ class MemcacheDaemon {
   MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
                  ClockFn clock = monotonic_now, int threads = 1,
                  TcpServer::Limits limits = {},
-                 AdmissionOptions admission = {}, AuditOptions audit = {});
+                 AdmissionOptions admission = {}, AuditOptions audit = {},
+                 TsdbOptions tsdb = {});
+  ~MemcacheDaemon();
 
   bool ok() const noexcept;
   std::uint16_t port() const noexcept { return servers_.front()->port(); }
@@ -144,6 +168,15 @@ class MemcacheDaemon {
   // first when auditing is enabled (this is the off-request-thread roll-up
   // point — the HTTP poll loop calls it per scrape).
   std::string metrics_text() const;
+  // Prefix-filtered variant backing GET /metrics?name=P. An unmatched
+  // prefix renders an empty body (a filtered scrape, not an error).
+  std::string metrics_text_prefix(std::string_view prefix) const;
+
+  // GET /timeseries backing: empty metric renders the series index, an
+  // unknown metric renders an empty string (the endpoint answers 404).
+  // Empty whenever TsdbOptions::enabled was false.
+  std::string timeseries_json(std::string_view metric, SimTime since,
+                              SimTime step) const;
 
   // GET /health backing: {status code, JSON body}. 200 while no SLO pages,
   // 503 once one does; the body lists each objective's state/burn plus
@@ -154,6 +187,15 @@ class MemcacheDaemon {
   // Null when AuditOptions::enabled was false.
   const obs::PowerAuditor* auditor() const noexcept { return auditor_.get(); }
   const obs::SloEngine* slo() const noexcept { return slo_.get(); }
+
+  // Null when TsdbOptions::enabled was false (recorder additionally
+  // requires dump_dir).
+  const obs::TimeSeriesStore* tsdb() const noexcept { return tsdb_.get(); }
+  const obs::AnomalyDetector* anomaly_detector() const noexcept {
+    return anomaly_.get();
+  }
+  obs::MetricsSampler* sampler() noexcept { return sampler_.get(); }
+  obs::FlightRecorder* flight_recorder() noexcept { return flight_.get(); }
 
   const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
   // The built-in transition/TTL event ring (or the caller's sink if
@@ -238,6 +280,14 @@ class MemcacheDaemon {
   mutable double audit_prev_hits_ = 0;
   mutable bool audit_have_prev_ = false;
   std::vector<std::unique_ptr<TcpServer>> servers_;
+  // Flight-recorder layer (all null unless TsdbOptions::enabled). The
+  // sampler is declared LAST: its destructor joins the sampling thread
+  // before the store / detector / recorder it feeds are torn down.
+  TsdbOptions tsdb_opts_;
+  std::unique_ptr<obs::TimeSeriesStore> tsdb_;
+  std::unique_ptr<obs::AnomalyDetector> anomaly_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
 };
 
 }  // namespace proteus::net

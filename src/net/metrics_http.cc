@@ -1,5 +1,6 @@
 #include "net/metrics_http.h"
 
+#include <chrono>
 #include <memory>
 #include <string_view>
 #include <utility>
@@ -20,27 +21,37 @@ std::string http_response(int code, std::string_view status,
   return out;
 }
 
-// Parses the decimal value of `?since=N` (or `&since=N`) from a query
-// string; absent or malformed -> 0 (full ring).
-std::uint64_t parse_since(std::string_view query) {
-  constexpr std::string_view kKey = "since=";
+// Value of `key=` in a query string, or empty when absent. No percent
+// decoding — metric names are [a-zA-Z0-9_:] and numbers are digits.
+std::string_view query_param(std::string_view query, std::string_view key) {
   std::size_t pos = 0;
   while (pos < query.size()) {
     const std::size_t amp = query.find('&', pos);
     const std::string_view param = query.substr(
         pos, amp == std::string_view::npos ? query.size() - pos : amp - pos);
-    if (param.substr(0, kKey.size()) == kKey) {
-      std::uint64_t v = 0;
-      for (char c : param.substr(kKey.size())) {
-        if (c < '0' || c > '9') return 0;
-        v = v * 10 + static_cast<std::uint64_t>(c - '0');
-      }
-      return v;
+    if (param.size() > key.size() && param.substr(0, key.size()) == key &&
+        param[key.size()] == '=') {
+      return param.substr(key.size() + 1);
     }
     if (amp == std::string_view::npos) break;
     pos = amp + 1;
   }
-  return 0;
+  return {};
+}
+
+std::uint64_t parse_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return 0;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+// Parses the decimal value of `?since=N` (or `&since=N`) from a query
+// string; absent or malformed -> 0 (full ring).
+std::uint64_t parse_since(std::string_view query) {
+  return parse_u64(query_param(query, "since"));
 }
 
 class HttpHandler final : public ConnectionHandler {
@@ -48,37 +59,53 @@ class HttpHandler final : public ConnectionHandler {
   HttpHandler(const MetricsHttpServer::RenderFn& metrics,
               const MetricsHttpServer::SinceFn& trace,
               const MetricsHttpServer::RenderFn& spans,
-              const MetricsHttpServer::HealthFn& health)
-      : metrics_(metrics), trace_(trace), spans_(spans), health_(health) {}
+              const MetricsHttpServer::HealthFn& health,
+              const MetricsHttpServer::PrefixFn& metrics_prefix,
+              const MetricsHttpServer::TimeseriesFn& timeseries,
+              SimTime read_deadline)
+      : metrics_(metrics), trace_(trace), spans_(spans), health_(health),
+        metrics_prefix_(metrics_prefix), timeseries_(timeseries),
+        read_deadline_(read_deadline) {}
 
   std::string on_data(std::string_view bytes, bool& close) override {
+    const auto now = std::chrono::steady_clock::now();
+    if (first_byte_ == std::chrono::steady_clock::time_point{}) {
+      first_byte_ = now;
+    }
     buffer_.append(bytes);
     const std::size_t eol = buffer_.find("\r\n");
-    if (eol == std::string::npos) {
-      // Request line not complete yet; bound the buffer against garbage
-      // peers.
-      if (buffer_.size() > 8192) {
-        close = true;
-        return http_response(400, "Bad Request", "text/plain",
-                             "request too large\n");
-      }
-      return {};
-    }
-    const std::string_view line = std::string_view(buffer_).substr(0, eol);
+    const bool have_line = eol != std::string::npos;
     // An HTTP/1.x request carries headers terminated by a blank line; wait
     // for it. An HTTP/0.9-style simple request (`GET /path\r\n`, no version
     // token) never sends one — answer off the request line alone, instead
     // of leaving the connection half-handled until the idle reaper fires.
-    const bool versioned = line.find(" HTTP/") != std::string_view::npos;
-    if (versioned && buffer_.find("\r\n\r\n") == std::string::npos) {
+    bool complete = false;
+    if (have_line) {
+      const std::string_view line = std::string_view(buffer_).substr(0, eol);
+      complete = line.find(" HTTP/") == std::string_view::npos ||
+                 buffer_.find("\r\n\r\n") != std::string::npos;
+    }
+    if (!complete) {
       if (buffer_.size() > 8192) {
         close = true;
         return http_response(400, "Bad Request", "text/plain",
                              "request too large\n");
       }
+      // Slow-loris guard: a peer dripping bytes keeps the idle reaper at
+      // bay forever, so an incomplete request is bounded wall-clock from
+      // its first byte.
+      if (read_deadline_ > 0 &&
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - first_byte_)
+                  .count() > read_deadline_) {
+        close = true;
+        return http_response(408, "Request Timeout", "text/plain",
+                             "request incomplete past read deadline\n");
+      }
       return {};
     }
     close = true;
+    const std::string_view line = std::string_view(buffer_).substr(0, eol);
     if (line.substr(0, 4) != "GET ") {
       return http_response(405, "Method Not Allowed", "text/plain",
                            "only GET is supported\n");
@@ -94,9 +121,32 @@ class HttpHandler final : public ConnectionHandler {
       path = path.substr(0, qmark);
     }
     if (path == "/metrics") {
+      const std::string_view prefix = query_param(query, "name");
+      if (!prefix.empty() && metrics_prefix_) {
+        return http_response(200, "OK",
+                             "text/plain; version=0.0.4; charset=utf-8",
+                             metrics_prefix_(prefix));
+      }
       return http_response(200, "OK",
                            "text/plain; version=0.0.4; charset=utf-8",
                            metrics_ ? metrics_() : std::string{});
+    }
+    if (path == "/timeseries") {
+      if (!timeseries_) {
+        return http_response(404, "Not Found", "text/plain",
+                             "timeseries not enabled\n");
+      }
+      const std::string_view metric = query_param(query, "metric");
+      const auto since =
+          static_cast<SimTime>(parse_u64(query_param(query, "since")));
+      const auto step =
+          static_cast<SimTime>(parse_u64(query_param(query, "step")));
+      std::string body = timeseries_(metric, since, step);
+      if (body.empty()) {
+        return http_response(404, "Not Found", "text/plain",
+                             "unknown metric\n");
+      }
+      return http_response(200, "OK", "application/json", std::move(body));
     }
     if (path == "/trace") {
       if (!trace_) {
@@ -123,12 +173,14 @@ class HttpHandler final : public ConnectionHandler {
                            "application/json", std::move(body));
     }
     if (path == "/" || path.empty()) {
-      return http_response(200, "OK", "text/plain",
-                           "proteus exposition endpoint\n"
-                           "  /metrics        Prometheus text format\n"
-                           "  /trace?since=N  transition event timeline (JSONL)\n"
-                           "  /spans          per-request span records (JSONL)\n"
-                           "  /health         SLO state, 200/503 (JSON)\n");
+      return http_response(
+          200, "OK", "text/plain",
+          "proteus exposition endpoint\n"
+          "  /metrics[?name=P]  Prometheus text format (P = name prefix)\n"
+          "  /trace?since=N     transition event timeline (JSONL)\n"
+          "  /spans             per-request span records (JSONL)\n"
+          "  /health            SLO state, 200/503 (JSON)\n"
+          "  /timeseries?metric=M&since=U&step=U  retained history (JSON)\n");
     }
     return http_response(404, "Not Found", "text/plain", "unknown path\n");
   }
@@ -138,6 +190,10 @@ class HttpHandler final : public ConnectionHandler {
   const MetricsHttpServer::SinceFn& trace_;
   const MetricsHttpServer::RenderFn& spans_;
   const MetricsHttpServer::HealthFn& health_;
+  const MetricsHttpServer::PrefixFn& metrics_prefix_;
+  const MetricsHttpServer::TimeseriesFn& timeseries_;
+  SimTime read_deadline_;
+  std::chrono::steady_clock::time_point first_byte_{};
   std::string buffer_;
 };
 
@@ -146,16 +202,29 @@ class HttpHandler final : public ConnectionHandler {
 MetricsHttpServer::MetricsHttpServer(std::uint16_t port, RenderFn metrics,
                                      SinceFn trace, RenderFn spans,
                                      HealthFn health)
+    : MetricsHttpServer(port, std::move(metrics), std::move(trace),
+                        std::move(spans), std::move(health), Options{}) {}
+
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port, RenderFn metrics,
+                                     SinceFn trace, RenderFn spans,
+                                     HealthFn health, Options options)
     : metrics_(std::move(metrics)),
       trace_(std::move(trace)),
       spans_(std::move(spans)),
       health_(std::move(health)),
+      options_(options),
       server_(
           port,
           [this] {
-            return std::make_unique<HttpHandler>(metrics_, trace_, spans_,
-                                                 health_);
+            return std::make_unique<HttpHandler>(
+                metrics_, trace_, spans_, health_, metrics_prefix_,
+                timeseries_, options_.read_deadline);
           },
-          /*reuse_port=*/false) {}
+          /*reuse_port=*/false,
+          [&options] {
+            TcpServer::Limits limits;
+            limits.idle_timeout = options.idle_timeout;
+            return limits;
+          }()) {}
 
 }  // namespace proteus::net

@@ -3,11 +3,20 @@
 // Serves exactly what a Prometheus scraper (or curl) needs and nothing
 // more:
 //
-//   GET /metrics          ->  text/plain; version=0.0.4   (render callback)
-//   GET /trace[?since=N]  ->  application/x-ndjson        (optional)
-//   GET /spans            ->  application/x-ndjson        (optional)
-//   GET /health           ->  200/503 + application/json  (optional)
-//   GET /                 ->  tiny index linking the four
+//   GET /metrics[?name=P]   ->  text/plain; version=0.0.4 (render callback;
+//                               `name=P` restricts to families whose name
+//                               starts with P — zero matches is 200 with an
+//                               empty body, matching a filtered scrape)
+//   GET /trace[?since=N]    ->  application/x-ndjson      (optional)
+//   GET /spans              ->  application/x-ndjson      (optional)
+//   GET /health             ->  200/503 + application/json (optional)
+//   GET /timeseries?metric=M[&since=U][&step=U]
+//                           ->  application/json           (optional;
+//                               retained history from the tsdb store;
+//                               since/step are microseconds; no `metric`
+//                               returns the series index; an unknown
+//                               metric is 404)
+//   GET /                   ->  tiny index linking the above
 //
 // /trace supports incremental fetch: `?since=N` returns only events with
 // seq >= N, so a poller resumes from its last seen seq + 1 instead of
@@ -17,6 +26,13 @@
 // /health is the load-balancer/alerting contract (docs/OPERATIONS.md §12):
 // the callback returns the status code (200 healthy, 503 once an SLO
 // pages) plus a JSON body listing each objective's state and burn rates.
+//
+// Slow-loris hardening (Options): a peer that opens a connection and
+// drips the request one byte at a time would otherwise pin a handler slot
+// forever — `read_deadline` bounds the time from first byte to a complete
+// request (exceeded -> 408 and close), and `idle_timeout` reaps peers
+// that go fully silent (TcpServer's idle reaper; a dripping peer defeats
+// idle reaping, which is why the deadline exists too).
 //
 // The render callbacks are invoked per request on the endpoint's poll-loop
 // thread; they must be safe to call concurrently with the daemon's workers
@@ -29,8 +45,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <utility>
 
+#include "common/time.h"
 #include "net/tcp_server.h"
 
 namespace proteus::net {
@@ -43,6 +61,20 @@ class MetricsHttpServer {
   using SinceFn = std::function<std::string(std::uint64_t)>;
   // Health renderer: {status code, JSON body}.
   using HealthFn = std::function<std::pair<int, std::string>()>;
+  // Prefix-filtered /metrics renderer (`?name=P`); P may be empty.
+  using PrefixFn = std::function<std::string(std::string_view)>;
+  // /timeseries renderer: (metric, since_us, step_us) -> JSON body. An
+  // empty metric means "render the series index"; an empty return means
+  // "unknown metric" and answers 404.
+  using TimeseriesFn =
+      std::function<std::string(std::string_view, SimTime, SimTime)>;
+
+  struct Options {
+    // First byte to complete request; exceeded -> 408. 0 = no deadline.
+    SimTime read_deadline = 5 * kSecond;
+    // Fully-silent connections are reaped after this. 0 = never.
+    SimTime idle_timeout = 10 * kSecond;
+  };
 
   // Binds 127.0.0.1:`port` (0 = ephemeral); check ok(). `metrics` backs
   // GET /metrics; `trace` (optional) backs GET /trace[?since=N]; `spans`
@@ -50,6 +82,13 @@ class MetricsHttpServer {
   MetricsHttpServer(std::uint16_t port, RenderFn metrics,
                     SinceFn trace = nullptr, RenderFn spans = nullptr,
                     HealthFn health = nullptr);
+  MetricsHttpServer(std::uint16_t port, RenderFn metrics, SinceFn trace,
+                    RenderFn spans, HealthFn health, Options options);
+
+  // Optional routes; call before run(). Without set_metrics_prefix a
+  // `?name=` query falls back to the unfiltered render.
+  void set_metrics_prefix(PrefixFn fn) { metrics_prefix_ = std::move(fn); }
+  void set_timeseries(TimeseriesFn fn) { timeseries_ = std::move(fn); }
 
   bool ok() const noexcept { return server_.ok(); }
   std::uint16_t port() const noexcept { return server_.port(); }
@@ -63,6 +102,9 @@ class MetricsHttpServer {
   SinceFn trace_;
   RenderFn spans_;
   HealthFn health_;
+  PrefixFn metrics_prefix_;
+  TimeseriesFn timeseries_;
+  Options options_;
   TcpServer server_;
 };
 

@@ -79,6 +79,19 @@ bool ExemplarSet::empty() const noexcept {
 
 void ExemplarSet::clear() noexcept { slots_ = {}; }
 
+HistogramStats Histogram::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  HistogramStats s;
+  s.count = h_.count();
+  s.sum_us = h_.mean_us() * static_cast<double>(h_.count());
+  if (s.count > 0) {
+    s.p50_us = h_.quantile(0.5);
+    s.p99_us = h_.quantile(0.99);
+    s.p999_us = h_.quantile(0.999);
+  }
+  return s;
+}
+
 MetricsRegistry::Entry* MetricsRegistry::find_or_insert(std::string name,
                                                         std::string help,
                                                         MetricType type) {
@@ -144,10 +157,19 @@ void MetricsRegistry::histogram_fn(std::string name, std::string help,
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  return snapshot_prefix({});
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot_prefix(
+    std::string_view prefix) const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(entries_.size());
   for (const auto& e : entries_) {
+    if (!prefix.empty() &&
+        std::string_view(e->name).substr(0, prefix.size()) != prefix) {
+      continue;
+    }
     MetricSample s;
     s.name = e->name;
     s.help = e->help;
@@ -175,6 +197,43 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     out.push_back(std::move(s));
   }
   return out;
+}
+
+void MetricsRegistry::visit(
+    const std::function<void(const VisitedMetric&)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    VisitedMetric v;
+    v.name = e->name;
+    v.type = e->type;
+    switch (e->type) {
+      case MetricType::kCounter:
+        v.value = e->counter ? static_cast<double>(e->counter->value())
+                  : e->value_fn ? e->value_fn()
+                                : 0.0;
+        break;
+      case MetricType::kGauge:
+        v.value = e->gauge ? e->gauge->value()
+                  : e->value_fn ? e->value_fn()
+                                : 0.0;
+        break;
+      case MetricType::kHistogram:
+        if (e->histogram != nullptr) {
+          v.hist = e->histogram->stats();
+        } else if (e->histogram_fn) {
+          const LatencyHistogram h = e->histogram_fn();
+          v.hist.count = h.count();
+          v.hist.sum_us = h.mean_us() * static_cast<double>(h.count());
+          if (v.hist.count > 0) {
+            v.hist.p50_us = h.quantile(0.5);
+            v.hist.p99_us = h.quantile(0.99);
+            v.hist.p999_us = h.quantile(0.999);
+          }
+        }
+        break;
+    }
+    fn(v);
+  }
 }
 
 std::size_t MetricsRegistry::size() const {

@@ -71,6 +71,15 @@ class ExemplarSet {
   std::array<Exemplar, kBuckets> slots_{};
 };
 
+// Cheap histogram roll-up: what the tsdb sampler retains per tick.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+};
+
 // Monotonically increasing event count.
 class Counter {
  public:
@@ -119,6 +128,10 @@ class Histogram {
     const std::lock_guard<std::mutex> lock(mu_);
     return h_;
   }
+  // Count/sum/quantiles computed under the lock WITHOUT copying the bucket
+  // array — the tsdb sampler's 1 Hz path (a full snapshot() is ~20 KB of
+  // copy per histogram, too heavy for a per-tick sweep of the registry).
+  HistogramStats stats() const;
   ExemplarSet exemplars() const {
     const std::lock_guard<std::mutex> lock(mu_);
     return exemplars_;
@@ -167,6 +180,24 @@ class MetricsRegistry {
 
   // Materializes every metric, sorted by registration order.
   std::vector<MetricSample> snapshot() const;
+
+  // Samples filtered to names starting with `prefix` — the
+  // `/metrics?name=<prefix>` narrow-scrape path (empty prefix = all).
+  std::vector<MetricSample> snapshot_prefix(std::string_view prefix) const;
+
+  // Light visitation for the tsdb sampler: no MetricSample materialization,
+  // no histogram bucket copies. `fn` sees every metric's name/type and
+  // either its scalar value or its HistogramStats. The registry mutex is
+  // held for the whole sweep, and callback metrics are polled — the same
+  // thread-safety contract as snapshot() (daemon callers hold the cache
+  // mutex).
+  struct VisitedMetric {
+    std::string_view name;
+    MetricType type = MetricType::kGauge;
+    double value = 0;     // counter / gauge
+    HistogramStats hist;  // histogram
+  };
+  void visit(const std::function<void(const VisitedMetric&)>& fn) const;
 
   std::size_t size() const;
 

@@ -50,6 +50,7 @@ std::string_view trace_event_name(TraceEventKind kind) noexcept {
     case TraceEventKind::kIncarnationChange: return "incarnation_change";
     case TraceEventKind::kJournalReplay: return "journal_replay";
     case TraceEventKind::kModelDrift: return "model_drift";
+    case TraceEventKind::kAnomaly: return "anomaly";
   }
   return "unknown";
 }

@@ -54,6 +54,9 @@ enum class TraceEventKind {
   kModelDrift,           // audit window exceeded a model tolerance; key=
                          // "share"/"hit_ratio"/"fn_bound", n=|drift| in ppm,
                          // peer=sign (1 over / -1 under)
+  kAnomaly,              // tsdb anomaly detector: a watched series departed
+                         // its diurnal baseline; key=series name, n=score
+                         // in milli-units, peer=sign (1 above / -1 below)
 };
 
 std::string_view trace_event_name(TraceEventKind kind) noexcept;

@@ -1,0 +1,116 @@
+#include "obs/tsdb/anomaly.h"
+
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/tsdb/tsdb.h"
+
+namespace proteus::obs {
+
+AnomalyDetector::AnomalyDetector(AnomalyConfig config,
+                                 const TimeSeriesStore* history)
+    : config_(std::move(config)), history_(history) {
+  if (config_.alpha <= 0 || config_.alpha > 1) config_.alpha = 0.2;
+  if (config_.dev_alpha <= 0 || config_.dev_alpha > 1) config_.dev_alpha = 0.1;
+  if (config_.threshold <= 0) config_.threshold = 4.0;
+  if (config_.consecutive < 1) config_.consecutive = 1;
+  if (config_.warmup < 1) config_.warmup = 1;
+  for (const std::string& name : config_.watch) watched_.emplace(name, State{});
+}
+
+void AnomalyDetector::observe(SimTime now, std::string_view series,
+                              double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = watched_.find(series);
+  if (it == watched_.end()) return;
+  State& st = it->second;
+  if (!st.primed) {
+    st.primed = true;
+    st.level = value;
+    st.dev = 0;
+    st.samples = 1;
+    return;
+  }
+  double baseline = st.level;
+  if (config_.season > 0 && history_ != nullptr) {
+    // Seasonal-naive component: the same series one season ago, read from
+    // whatever tier still remembers it. Blending halves the weight of each
+    // component so a diurnal shape and the recent level both anchor the
+    // expectation.
+    const SimTime then = now - config_.season;
+    if (then > 0) {
+      const auto r = history_->query(series, then - kMinute, kMinute);
+      if (r.has_value()) {
+        for (const TsPoint& p : r->points) {
+          if (p.t <= then && then < p.t + r->step && p.count > 0) {
+            baseline = 0.5 * (baseline + p.mean());
+            break;
+          }
+        }
+      }
+    }
+  }
+  const double resid = value - baseline;
+  // Deviation floor: 2% of the baseline magnitude keeps a flat-lined series
+  // from alerting on jitter; the absolute epsilon keeps a zero series sane.
+  const double dev =
+      std::max({st.dev, 0.02 * std::fabs(baseline), 1e-9});
+  const double score = std::fabs(resid) / dev;
+  ++st.samples;
+  const bool scoring = st.samples > static_cast<std::uint64_t>(config_.warmup);
+  const bool anomalous = scoring && score > config_.threshold;
+  st.last_score = scoring ? score : 0;
+  // Robustness: an anomalous sample updates the baseline at 1/8 gain, so a
+  // sustained incident is flagged for its duration instead of being
+  // absorbed into the expectation within a few samples.
+  const double gain = anomalous ? 0.125 : 1.0;
+  st.level += config_.alpha * gain * (value - st.level);
+  st.dev += config_.dev_alpha * gain * (std::fabs(resid) - st.dev);
+  if (!anomalous) {
+    st.run = 0;
+    return;
+  }
+  ++st.run;
+  if (st.run < config_.consecutive) return;
+  if (st.last_event >= 0 && now - st.last_event < config_.min_event_gap) {
+    return;
+  }
+  st.last_event = now;
+  ++events_;
+  emit(config_.trace, now, TraceEventKind::kAnomaly, /*server=*/-1,
+       /*peer=*/resid >= 0 ? 1 : -1,
+       /*n=*/static_cast<std::uint64_t>(score * 1000.0), series);
+}
+
+std::uint64_t AnomalyDetector::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+int AnomalyDetector::active() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& [name, st] : watched_) {
+    if (st.run >= config_.consecutive) ++n;
+  }
+  return n;
+}
+
+double AnomalyDetector::score(std::string_view series) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = watched_.find(series);
+  return it == watched_.end() ? 0.0 : it->second.last_score;
+}
+
+void AnomalyDetector::register_metrics(MetricsRegistry& registry) {
+  registry.counter_fn(
+      "proteus_anomaly_events_total",
+      "kAnomaly events emitted by the tsdb diurnal anomaly detector",
+      [this] { return static_cast<double>(events()); });
+  registry.gauge_fn(
+      "proteus_anomaly_active",
+      "watched series currently departed from their baseline",
+      [this] { return static_cast<double>(active()); });
+}
+
+}  // namespace proteus::obs

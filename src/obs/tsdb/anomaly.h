@@ -1,0 +1,99 @@
+// Diurnal baseline + anomaly detector over retained time series.
+//
+// The fleet is provisioned against a diurnal curve (PAPER §III, Figs. 2/4),
+// so "is the current curve deviating from yesterday's shape?" is the
+// operator's earliest warning — hours before a burn-rate SLO (obs/slo.h)
+// accumulates enough bad windows to page. The detector scores each watched
+// series per sample with a robust-EWMA residual:
+//
+//   baseline  = EWMA level, optionally blended with the seasonal-naive
+//               value (the same series one `season` ago, read back from the
+//               TimeSeriesStore's coarse tier);
+//   deviation = EWMA of |residual| with a relative floor, so a flat-lined
+//               series does not alert on noise;
+//   score     = |value - baseline| / deviation.
+//
+// A score above `threshold` for `consecutive` samples raises one kAnomaly
+// TraceRing event (key = series name, n = score in milli-units, peer =
+// sign) and increments the anomaly counter; events per series are
+// rate-limited by `min_event_gap`. During an anomalous run the baseline
+// adapts at alpha/8 — a miss storm must not teach the detector that
+// missing is normal.
+//
+// Thread safety: observe() and the read accessors lock one internal mutex;
+// the sampler thread feeds while /health renders.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/trace.h"
+
+namespace proteus::obs {
+
+class MetricsRegistry;
+class TimeSeriesStore;
+
+struct AnomalyConfig {
+  // Series names to score (everything else is ignored at a map lookup's
+  // cost). The daemon watches ops rate, hit ratio, p99.9, and watts.
+  std::vector<std::string> watch;
+  double alpha = 0.2;       // EWMA level gain
+  double dev_alpha = 0.1;   // EWMA absolute-residual gain
+  double threshold = 4.0;   // score above this is anomalous
+  int warmup = 10;          // samples before scoring starts
+  int consecutive = 3;      // anomalous samples before an event fires
+  // Seasonal-naive lag: blend the baseline with the value one season ago
+  // (e.g. 24 h for a diurnal curve). 0 = EWMA only. Requires `history`.
+  SimTime season = 0;
+  SimTime min_event_gap = 30 * kSecond;  // per-series event rate limit
+  TraceSink* trace = nullptr;            // kAnomaly sink (null = count only)
+};
+
+class AnomalyDetector {
+ public:
+  // `history` backs the seasonal-naive lookback; may be null (EWMA only).
+  explicit AnomalyDetector(AnomalyConfig config,
+                           const TimeSeriesStore* history = nullptr);
+
+  // Scores one sample of `series` (no-op unless watched). Called by the
+  // sampler for every value it appends.
+  void observe(SimTime now, std::string_view series, double value);
+
+  std::uint64_t events() const;  // kAnomaly events emitted
+  // Watched series currently in an anomalous run (>= consecutive).
+  int active() const;
+  // Last computed score for a watched series (0 when unknown/warming up).
+  double score(std::string_view series) const;
+
+  // proteus_anomaly_events_total / proteus_anomaly_active.
+  void register_metrics(MetricsRegistry& registry);
+
+  const AnomalyConfig& config() const noexcept { return config_; }
+
+ private:
+  struct State {
+    bool primed = false;
+    double level = 0;
+    double dev = 0;
+    double last_score = 0;
+    std::uint64_t samples = 0;
+    int run = 0;  // consecutive anomalous samples
+    SimTime last_event = -1;
+  };
+
+  AnomalyConfig config_;
+  const TimeSeriesStore* history_;
+  mutable std::mutex mu_;
+  // Transparent comparator: the sampler probes with a string_view for
+  // every series on every tick, and a miss must not allocate.
+  std::map<std::string, State, std::less<>> watched_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace proteus::obs

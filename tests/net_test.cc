@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -20,6 +21,7 @@
 #include "cache/binary_protocol.h"
 #include "net/memcache_daemon.h"
 #include "net/metrics_http.h"
+#include "obs/tsdb/tsdb.h"
 
 namespace proteus::net {
 namespace {
@@ -329,6 +331,152 @@ TEST_F(HttpFixture, HealthRouteReflectsCallbackCode) {
   EXPECT_NE(reply.find("HTTP/1.0 503 Service Unavailable"),
             std::string::npos);
   EXPECT_NE(reply.find("{\"status\":\"x\"}"), std::string::npos);
+}
+
+TEST_F(HttpFixture, MetricsNameFilterWithoutPrefixFnFallsBack) {
+  // The fixture registers no PrefixFn, so `?name=` degrades to the full
+  // render instead of 404ing a filtered scrape.
+  const std::string reply = roundtrip("GET /metrics?name=met HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("metric 1"), std::string::npos);
+}
+
+TEST_F(HttpFixture, TimeseriesWithoutCallbackIs404) {
+  const std::string reply =
+      roundtrip("GET /timeseries?metric=x HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("404 Not Found"), std::string::npos);
+  EXPECT_NE(reply.find("timeseries not enabled"), std::string::npos);
+}
+
+// Filtered /metrics and /timeseries wired the way proteus-cached wires
+// them: prefix filter backed by the registry snapshot, timeseries backed
+// by a store.
+class HttpRoutesFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = std::make_unique<obs::TimeSeriesStore>();
+    store_->append(kSecond, "reqs_rate", 10.0);
+    store_->append(2 * kSecond, "reqs_rate", 12.0);
+    http_ = std::make_unique<MetricsHttpServer>(
+        0, [] { return std::string("alpha_total 1\nbeta_total 2\n"); });
+    http_->set_metrics_prefix([](std::string_view prefix) {
+      const std::string all = "alpha_total 1\nbeta_total 2\n";
+      std::string out;
+      std::size_t pos = 0;
+      while (pos < all.size()) {
+        const std::size_t eol = all.find('\n', pos);
+        const std::string_view line =
+            std::string_view(all).substr(pos, eol - pos + 1);
+        if (line.substr(0, prefix.size()) == prefix) out += line;
+        pos = eol + 1;
+      }
+      return out;
+    });
+    http_->set_timeseries(
+        [this](std::string_view metric, SimTime since, SimTime step) {
+          if (metric.empty()) return store_->index_json();
+          return store_->query_json(metric, since, step);
+        });
+    ASSERT_TRUE(http_->ok());
+    thread_ = std::thread([this] { http_->run(); });
+  }
+
+  void TearDown() override {
+    http_->stop();
+    thread_.join();
+  }
+
+  std::string roundtrip(const std::string& raw) {
+    Client client(http_->port());
+    EXPECT_TRUE(client.connected());
+    client.set_recv_timeout(5);
+    client.send(raw);
+    return client.recv_exact(1 << 20);
+  }
+
+  std::unique_ptr<obs::TimeSeriesStore> store_;
+  std::unique_ptr<MetricsHttpServer> http_;
+  std::thread thread_;
+};
+
+TEST_F(HttpRoutesFixture, MetricsNameFilterRestrictsFamilies) {
+  const std::string reply =
+      roundtrip("GET /metrics?name=alpha HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("alpha_total 1"), std::string::npos);
+  EXPECT_EQ(reply.find("beta_total"), std::string::npos);
+}
+
+TEST_F(HttpRoutesFixture, MetricsNameFilterZeroMatchesIsEmpty200) {
+  // Zero matches mirrors a filtered Prometheus scrape: success, no
+  // families — NOT a 404 (the route exists, the set is just empty).
+  const std::string reply =
+      roundtrip("GET /metrics?name=nosuch HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  const std::size_t body_at = reply.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_EQ(reply.substr(body_at + 4), "");
+  EXPECT_NE(reply.find("Content-Length: 0"), std::string::npos);
+}
+
+TEST_F(HttpRoutesFixture, TimeseriesKnownUnknownAndIndex) {
+  std::string reply =
+      roundtrip("GET /timeseries?metric=reqs_rate HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("application/json"), std::string::npos);
+  EXPECT_NE(reply.find("\"metric\":\"reqs_rate\""), std::string::npos);
+
+  reply = roundtrip("GET /timeseries?metric=nosuch HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("404 Not Found"), std::string::npos);
+  EXPECT_NE(reply.find("unknown metric"), std::string::npos);
+
+  reply = roundtrip("GET /timeseries HTTP/1.0\r\n\r\n");
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("\"metrics\":[\"reqs_rate\"]"), std::string::npos);
+}
+
+TEST(MetricsHttpSlowLoris, DrippedRequestGets408PastReadDeadline) {
+  // A peer that drips one byte at a time defeats the idle reaper (every
+  // drip refreshes activity); the read deadline bounds it wall-clock.
+  MetricsHttpServer::Options options;
+  options.read_deadline = 100 * kMillisecond;
+  MetricsHttpServer http(
+      0, [] { return std::string("m 1\n"); }, nullptr, nullptr, nullptr,
+      options);
+  ASSERT_TRUE(http.ok());
+  std::thread t([&http] { http.run(); });
+  Client client(http.port());
+  ASSERT_TRUE(client.connected());
+  client.set_recv_timeout(5);
+  client.send("GET /metr");  // incomplete forever
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  client.send("i");  // the drip that trips the deadline check
+  const std::string reply = client.recv_exact(1 << 20);
+  EXPECT_NE(reply.find("408 Request Timeout"), std::string::npos);
+  EXPECT_NE(reply.find("read deadline"), std::string::npos);
+  http.stop();
+  t.join();
+}
+
+TEST(MetricsHttpSlowLoris, CompleteRequestWithinDeadlineStillServed) {
+  MetricsHttpServer::Options options;
+  options.read_deadline = 5 * kSecond;
+  MetricsHttpServer http(
+      0, [] { return std::string("m 1\n"); }, nullptr, nullptr, nullptr,
+      options);
+  ASSERT_TRUE(http.ok());
+  std::thread t([&http] { http.run(); });
+  Client client(http.port());
+  ASSERT_TRUE(client.connected());
+  client.set_recv_timeout(5);
+  client.send("GET /metrics HT");  // split across two writes, both prompt
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  client.send("TP/1.0\r\n\r\n");
+  const std::string reply = client.recv_exact(1 << 20);
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("m 1"), std::string::npos);
+  http.stop();
+  t.join();
 }
 
 TEST(MetricsHttpNoHealth, HealthWithoutCallbackIs404) {

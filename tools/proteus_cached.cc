@@ -119,7 +119,19 @@ void print_help(std::FILE* out) {
       "                       Short windows make smoke tests react in\n"
       "                       seconds; production wants the default.\n"
       "  --peak-ops=N         ops/s treated as 100%% utilisation for the\n"
-      "                       power model (default 50000)\n");
+      "                       power model (default 50000)\n"
+      "\n"
+      "flight recorder (docs/OPERATIONS.md section 13):\n"
+      "  --sample-interval-ms=D  cadence of the background metrics sampler\n"
+      "                       feeding the in-process time-series store and\n"
+      "                       the diurnal anomaly detector (default 1000;\n"
+      "                       0 disables the sampler, the store, and\n"
+      "                       GET /timeseries entirely)\n"
+      "  --dump-dir=DIR       write flight-recorder artifacts here:\n"
+      "                       flight.jsonl (periodic atomic checkpoint,\n"
+      "                       survives kill -9) and flight-crash.jsonl\n"
+      "                       (best-effort SIGSEGV/SIGABRT dump)\n"
+      "  --checkpoint-interval-s=S  checkpoint cadence (default 60)\n");
 }
 
 }  // namespace
@@ -139,6 +151,8 @@ int main(int argc, char** argv) {
   net::AdmissionOptions admission;
   net::AuditOptions audit;
   bool audit_requested = false;
+  net::TsdbOptions tsdb;
+  tsdb.enabled = true;  // --sample-interval-ms=0 turns it off
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -204,6 +218,17 @@ int main(int argc, char** argv) {
     } else if (parse_value(argv[i], "--peak-ops", value)) {
       audit.audit.peak_ops_per_server = std::atof(value.c_str());
       audit_requested = true;
+    } else if (parse_value(argv[i], "--sample-interval-ms", value)) {
+      const double ms = std::atof(value.c_str());
+      if (ms <= 0) {
+        tsdb.enabled = false;
+      } else {
+        tsdb.sample_interval = static_cast<proteus::SimTime>(ms * 1000.0);
+      }
+    } else if (parse_value(argv[i], "--dump-dir", value)) {
+      tsdb.dump_dir = value;
+    } else if (parse_value(argv[i], "--checkpoint-interval-s", value)) {
+      tsdb.checkpoint_interval = from_seconds(std::atof(value.c_str()));
     } else {
       print_help(stderr);
       return 2;
@@ -229,7 +254,7 @@ int main(int argc, char** argv) {
   cfg.incarnation = incarnation;
 
   net::MemcacheDaemon daemon(cfg, port, net::monotonic_now, threads, limits,
-                             admission, audit);
+                             admission, audit, tsdb);
   if (!daemon.ok()) {
     std::fprintf(stderr, "failed to bind 127.0.0.1:%u\n", port);
     return 1;
@@ -251,6 +276,16 @@ int main(int argc, char** argv) {
         },
         [&daemon] { return daemon.spans().jsonl(); },
         [&daemon] { return daemon.health(); });
+    metrics_http->set_metrics_prefix([&daemon](std::string_view prefix) {
+      return daemon.metrics_text_prefix(prefix);
+    });
+    if (daemon.tsdb() != nullptr) {
+      metrics_http->set_timeseries(
+          [&daemon](std::string_view metric, proteus::SimTime since,
+                    proteus::SimTime step) {
+            return daemon.timeseries_json(metric, since, step);
+          });
+    }
     if (!metrics_http->ok()) {
       std::fprintf(stderr, "failed to bind metrics port 127.0.0.1:%u\n",
                    metrics_port);
@@ -267,6 +302,12 @@ int main(int argc, char** argv) {
                daemon.port(), mem_mb, daemon.cache().digest().num_counters(),
                daemon.cache().digest().counter_bits());
   daemon.run();
+  // Final flight-recorder checkpoint on the clean-shutdown path (SIGTERM
+  // drain or stop): the artifact then reflects the very last samples.
+  if (daemon.flight_recorder() != nullptr) {
+    daemon.flight_recorder()->dump(net::monotonic_now(), "shutdown",
+                                   "flight.jsonl");
+  }
   if (metrics_thread.joinable()) {
     metrics_http->stop();
     metrics_thread.join();

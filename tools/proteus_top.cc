@@ -3,6 +3,7 @@
 //
 //   proteus-top --servers=11211,11212,11213 [--host=127.0.0.1]
 //               [--interval-s=2] [--once] [--json] [--peak-ops=50000]
+//               [--history[=N]]
 //
 // Each refresh polls every daemon and renders one row per server: power
 // state (active / draining / off), request rate and its share of fleet
@@ -19,7 +20,12 @@
 // holds at 1.0 (the paper's Fig. 1 motivation). --json takes two samples
 // one interval apart and emits a single machine-readable JSON object
 // (per-server rows plus fleet aggregates, including the energy-integrated
-// fleet PPI) instead of the ANSI table.
+// fleet PPI) instead of the ANSI table. --history[=N] appends a gets/s
+// sparkline (last N refreshes, default 30) per row and an ANOMALY footer
+// fed by the daemons' diurnal detectors (docs/OPERATIONS.md §13); a
+// daemon restart (incarnation change) resets that server's rate baseline
+// so the first post-restart column shows a gap, never a bogus negative
+// or full-counter rate.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -72,6 +78,12 @@ struct Watched {
   std::unique_ptr<MemcacheConnection> conn;
   bool have_prev = false;
   double prev_gets = 0;
+  // Incarnation the rate baseline belongs to: a restarted daemon resets
+  // its counters, so a changed incarnation invalidates prev_gets (the old
+  // behavior rendered one refresh of stale zero-rate columns).
+  double prev_incarnation = -1;
+  // --history: recent per-refresh get rates, newest last.
+  std::vector<double> rate_hist;
 
   // This refresh's parsed sample (empty when the server was unreachable).
   std::map<std::string, double> now;
@@ -193,6 +205,24 @@ const char* slo_state_name(int state) {
   }
 }
 
+// Unicode block sparkline, each server's window scaled to its own max.
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  double mx = 0;
+  for (const double v : values) mx = std::max(mx, v);
+  std::string out;
+  for (const double v : values) {
+    if (mx <= 0 || v <= 0) {
+      out += ' ';
+      continue;
+    }
+    const int lvl = std::min(7, static_cast<int>(v / mx * 8.0));
+    out += kBlocks[lvl];
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -202,6 +232,7 @@ int main(int argc, char** argv) {
   double peak_ops = 50000.0;  // gets/s that saturates one server
   bool once = false;
   bool json = false;
+  int history = 0;  // sparkline columns; 0 = off
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -218,13 +249,19 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
       once = true;  // one sample pair, one JSON object, exit
+    } else if (std::strcmp(argv[i], "--history") == 0) {
+      history = 30;
+    } else if (parse_value(argv[i], "--history", value)) {
+      history = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr,
                    "usage: proteus-top --servers=p1,p2,... [--host=H] "
-                   "[--interval-s=S] [--peak-ops=N] [--once] [--json]\n");
+                   "[--interval-s=S] [--peak-ops=N] [--once] [--json] "
+                   "[--history[=N]]\n");
       return 2;
     }
   }
+  if (history < 0) history = 0;
   if (peak_ops <= 0) peak_ops = 50000.0;
   const std::vector<std::uint16_t> ports = parse_ports(servers_csv);
   if (ports.empty()) {
@@ -243,6 +280,7 @@ int main(int argc, char** argv) {
       poll(w, host);
       if (w.up) {
         w.prev_gets = gets_of(w);
+        w.prev_incarnation = incarnation_of(w);
         w.have_prev = true;
       }
     }
@@ -259,12 +297,26 @@ int main(int argc, char** argv) {
       Watched& w = fleet[i];
       if (!w.up) continue;
       const double gets = gets_of(w);
+      const double incarnation = incarnation_of(w);
+      // A restarted daemon (new incarnation) starts its counters from
+      // zero: the old baseline is meaningless, so re-prime instead of
+      // rendering a stale zero-rate row against the dead process's total.
+      if (w.have_prev && incarnation != w.prev_incarnation) {
+        w.have_prev = false;
+      }
       if (w.have_prev && gets >= w.prev_gets) {
         deltas[i] = gets - w.prev_gets;
       }
       w.prev_gets = gets;
+      w.prev_incarnation = incarnation;
       w.have_prev = true;
       total_delta += deltas[i];
+      if (history > 0) {
+        w.rate_hist.push_back(deltas[i] / interval_s);
+        if (w.rate_hist.size() > static_cast<std::size_t>(history)) {
+          w.rate_hist.erase(w.rate_hist.begin());
+        }
+      }
     }
 
     if (json) {
@@ -362,10 +414,12 @@ int main(int argc, char** argv) {
 
     if (!once) std::printf("\033[2J\033[H");
     std::printf("%-6s %-7s %10s %7s %6s %9s %9s %9s %8s %7s %5s %5s %7s "
-                "%6s %12s\n",
+                "%6s %12s",
                 "SERVER", "STATE", "GETS/S", "SHARE", "HIT%", "P50(us)",
                 "P99(us)", "ITEMS", "MB", "WATTS", "PPI", "SLO", "DRIFT",
                 "EPOCH", "INCARNATION");
+    if (history > 0) std::printf(" %s", "HISTORY(gets/s)");
+    std::printf("\n");
     const proteus::cluster::ServerPowerProfile power;
     int active = 0;
     double max_share = 0;
@@ -407,7 +461,7 @@ int main(int argc, char** argv) {
       }
       std::printf(
           ":%-5u %-7s %10.1f %6.1f%% %5.1f%% %9.0f %9.0f %9.0f %8.2f %7.1f "
-          "%s %s %s %6.0f %12llx\n",
+          "%s %s %s %6.0f %12llx",
           w.port, state, rate, share * 100, hit_ratio_of(w) * 100,
           field(w, "proteus_daemon_op_latency_us_p50"),
           field(w, "proteus_daemon_op_latency_us_p99"),
@@ -416,6 +470,8 @@ int main(int argc, char** argv) {
               (1024.0 * 1024.0),
           watts, ppi_col, slo_col, drift_col, epoch,
           static_cast<unsigned long long>(incarnation_of(w)));
+      if (history > 0) std::printf(" %s", sparkline(w.rate_hist).c_str());
+      std::printf("\n");
     }
     // Fencing sanity: every reachable daemon should fence the same cluster
     // epoch; a spread means some daemon missed a resize (crashed through
@@ -463,6 +519,19 @@ int main(int argc, char** argv) {
                   "drift_events=%.0f\n",
                   w.port, slo_state_name(slo), worst_burn(w), worst_drift(w),
                   field(w, "proteus_audit_model_drift_events_total"));
+    }
+    // Anomaly footer: daemons running the flight-recorder sampler export
+    // the diurnal anomaly detector's counters; a watched series currently
+    // off its baseline (or any event this process lifetime) is the
+    // pre-SLO early warning (docs/OPERATIONS.md section 13).
+    for (const Watched& w : fleet) {
+      const double events = field(w, "proteus_anomaly_events_total", -1);
+      if (events < 0) continue;  // daemon runs without the tsdb sampler
+      const double active_now = field(w, "proteus_anomaly_active");
+      if (active_now <= 0 && events <= 0) continue;
+      std::printf("ANOMALY :%u active=%.0f events=%.0f — series off "
+                  "diurnal baseline; replay via GET /timeseries\n",
+                  w.port, active_now, events);
     }
     std::fflush(stdout);
 

@@ -1,0 +1,65 @@
+// Microbenchmarks — end-to-end payload integrity cost. Every SET stamps a
+// CRC32C and every GET re-verifies it (client AND daemon side), so the
+// checksum sits on the hot wire path twice per operation. Budget from the
+// PR-9 acceptance bar: verifying a 1 KiB value must cost <= 30 ns on the
+// hardware-accelerated tiers.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace {
+
+using namespace proteus;
+
+std::string make_payload(std::size_t size) {
+  Rng rng(0x1234);
+  std::string payload(size, '\0');
+  for (char& c : payload) c = static_cast<char>(rng.next_below(256));
+  return payload;
+}
+
+// The serve-path verify: one pass over the value, compare to the stamp.
+void BM_Crc32cVerify(benchmark::State& state) {
+  const std::string payload = make_payload(static_cast<std::size_t>(state.range(0)));
+  const std::uint32_t stamp = crc32c(payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(payload) == stamp);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32cVerify)->Arg(64)->Arg(256)->Arg(1024)->Arg(16384)->Arg(1 << 20);
+
+// Seed-chained verify, the streaming form the resumable GET parser uses
+// when a value arrives in several TCP segments.
+void BM_Crc32cChunkedVerify(benchmark::State& state) {
+  const std::string payload = make_payload(1024);
+  const std::uint32_t stamp = crc32c(payload);
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  const std::string_view view(payload);
+  for (auto _ : state) {
+    std::uint32_t crc = 0;
+    for (std::size_t off = 0; off < view.size(); off += chunk) {
+      crc = crc32c(view.substr(off, chunk), crc);
+    }
+    benchmark::DoNotOptimize(crc == stamp);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Crc32cChunkedVerify)->Arg(64)->Arg(256)->Arg(1024);
+
+// Baseline: the keyspace hash on the same payload sizes, for scale.
+void BM_HashBytesBaseline(benchmark::State& state) {
+  const std::string payload = make_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash_bytes(payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HashBytesBaseline)->Arg(1024);
+
+}  // namespace

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Observability benchmark export: runs the obs micro-benchmarks
-# (micro_metrics + micro_spans + micro_audit + micro_tsdb) with Google
+# (micro_metrics + micro_spans + micro_audit + micro_tsdb +
+# micro_integrity) with Google
 # Benchmark's JSON reporter, plus the crash-recovery extension experiment
 # (ext_failure_recovery --json), and merges them into one machine-readable
 # artifact, BENCH_obs.json:
 #
 #   { "micro_metrics": {...}, "micro_spans": {...}, "micro_audit": {...},
-#     "micro_tsdb": {...}, "ext_failure_recovery": {...} }
+#     "micro_tsdb": {...}, "micro_integrity": {...},
+#     "ext_failure_recovery": {...} }
 #
 # Also checks the acceptance budgets of the off-path costs:
 #   * should_sample() with sampling disabled must cost <= 5 ns/op
@@ -17,7 +19,10 @@
 #     (BM_TsdbDisabledGate);
 #   * one sampler tick over a 200-metric registry must cost <= 50 us
 #     (BM_TsdbSamplerTick200) — it holds the cache mutex for the registry
-#     sweep, so the budget bounds the stall it can inject per second.
+#     sweep, so the budget bounds the stall it can inject per second;
+#   * the serve-path CRC32C verify of a 1 KiB value must cost <= 30 ns
+#     (BM_Crc32cVerify/1024) — it runs twice per checksummed GET (daemon
+#     and client side).
 # The checks warn by default; pass --enforce to fail the script on a miss
 # (CI uses warn-only: shared runners make single-digit-ns numbers noisy).
 #
@@ -41,7 +46,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 for bin in micro_metrics micro_spans micro_audit micro_tsdb \
-           ext_failure_recovery; do
+           micro_integrity ext_failure_recovery; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "bench_json.sh: $BUILD_DIR/bench/$bin not built" >&2
     echo "  (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
@@ -64,6 +69,9 @@ echo "== micro_audit =="
 echo "== micro_tsdb =="
 "$BUILD_DIR/bench/micro_tsdb" \
   --benchmark_out="$TMP/micro_tsdb.json" --benchmark_out_format=json
+echo "== micro_integrity =="
+"$BUILD_DIR/bench/micro_integrity" \
+  --benchmark_out="$TMP/micro_integrity.json" --benchmark_out_format=json
 echo "== ext_failure_recovery =="
 "$BUILD_DIR/bench/ext_failure_recovery" --json \
   > "$TMP/ext_failure_recovery.json"
@@ -80,6 +88,8 @@ echo "== ext_failure_recovery =="
   cat "$TMP/micro_audit.json"
   printf ',\n"micro_tsdb":\n'
   cat "$TMP/micro_tsdb.json"
+  printf ',\n"micro_integrity":\n'
+  cat "$TMP/micro_integrity.json"
   printf ',\n"ext_failure_recovery":\n'
   cat "$TMP/ext_failure_recovery.json"
   printf '}\n'
@@ -119,6 +129,8 @@ check_budget "$TMP/micro_tsdb.json" BM_TsdbDisabledGate 5 \
   "tsdb sampler off-path cost (sampling disabled)"
 check_budget "$TMP/micro_tsdb.json" BM_TsdbSamplerTick200 50000 \
   "tsdb sampler tick over 200 metrics"
+check_budget "$TMP/micro_integrity.json" "BM_Crc32cVerify/1024" 30 \
+  "CRC32C verify of a 1 KiB value"
 
 if [[ "$MISSED" == "1" && "$ENFORCE" == "1" ]]; then
   exit 1

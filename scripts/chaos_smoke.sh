@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Gray-failure smoke test (docs/OPERATIONS.md §14), the CI analogue of
+# tests/gray_failure_test.cc packaged as a drill with a metrics artifact:
+#
+#   1. run tools/chaos-drill — an in-process two-daemon fleet where one
+#      server slides into a latency ramp and the other starts flipping
+#      payload bits, driven by a hedging replica-2 ProteusClient that
+#      verifies every returned value;
+#   2. require `CHAOS DRILL COMPLETE` (exit 0 = every invariant held);
+#   3. assert the defense actually engaged in the uploaded metrics
+#      artifact: hedge_wins > 0, quarantine_enters > 0, and the ground
+#      truth corrupt_values_served == 0 (present AND zero — a missing
+#      counter fails the gate too).
+#
+#   scripts/chaos_smoke.sh [--build-dir=build] [--artifacts=artifacts]
+set -euo pipefail
+
+BUILD_DIR="build"
+ARTIFACTS="artifacts"
+for arg in "$@"; do
+  case "$arg" in
+    --build-dir=*) BUILD_DIR="${arg#*=}" ;;
+    --artifacts=*) ARTIFACTS="${arg#*=}" ;;
+    *) echo "usage: scripts/chaos_smoke.sh [--build-dir=D] [--artifacts=D]" >&2
+       exit 2 ;;
+  esac
+done
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+DRILL="$BUILD_DIR/tools/chaos-drill"
+[[ -x "$DRILL" ]] || { echo "chaos_smoke.sh: $DRILL not built" >&2; exit 1; }
+mkdir -p "$ARTIFACTS"
+
+METRICS="$ARTIFACTS/chaos-metrics.prom"
+DRILL_LOG="$ARTIFACTS/chaos-drill.log"
+DRILL_STATUS=0
+"$DRILL" --out="$METRICS" > "$DRILL_LOG" 2>&1 || DRILL_STATUS=$?
+cat "$DRILL_LOG"
+[[ "$DRILL_STATUS" == "0" ]] \
+  || { echo "chaos-drill failed (exit $DRILL_STATUS)"; exit 1; }
+grep -q '^CHAOS DRILL COMPLETE' "$DRILL_LOG" \
+  || { echo "drill did not report completion"; exit 1; }
+[[ -s "$METRICS" ]] || { echo "drill wrote no metrics artifact"; exit 1; }
+
+# must_be_positive <metric>: the counter exists and is > 0.
+must_be_positive() {
+  awk -v m="$1" '$1 == m {found=1; if ($2 + 0 > 0) ok=1}
+       END {if (!found) {print m " missing from metrics artifact"; exit 1}
+            if (!ok) {print m " is zero — the defense never engaged"; exit 1}}' \
+    "$METRICS"
+}
+# must_be_zero <metric>: the counter exists and is exactly 0.
+must_be_zero() {
+  awk -v m="$1" '$1 == m {found=1; if ($2 + 0 != 0) bad=1}
+       END {if (!found) {print m " missing from metrics artifact"; exit 1}
+            if (bad) {print m " is nonzero"; exit 1}}' \
+    "$METRICS"
+}
+
+must_be_positive proteus_client_hedges_fired_total
+must_be_positive proteus_client_hedge_wins_total
+must_be_positive proteus_client_quarantine_enters_total
+must_be_positive proteus_client_corrupt_values_total
+must_be_positive proteus_client_read_repairs_total
+must_be_zero proteus_drill_corrupt_values_served
+must_be_zero proteus_drill_value_mismatches
+
+echo "gray-failure smoke passed (hedges won, quarantine engaged," \
+     "zero corrupt values served)"

@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "obs/span.h"
 
 namespace proteus::cache {
@@ -196,7 +197,10 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
                          request.opcode == Opcode::kGetKQ;
       const bool with_key = request.opcode == Opcode::kGetK ||
                             request.opcode == Opcode::kGetKQ;
-      if (request.key.empty()) {
+      // Stock GETs carry no extras; 4-byte extras (reserved word, send 0)
+      // opt into checksum echo.
+      const bool want_checksum = request.extras.size() == 4;
+      if (request.key.empty() || (!request.extras.empty() && !want_checksum)) {
         return respond(request, Status::kInvalidArguments);
       }
       if (request.status_or_vbucket < 0xffff) {
@@ -210,6 +214,12 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
       std::string extras;
       binary::put_u32(extras,
                       server_.flags_of(request.key, now).value_or(0));
+      if (want_checksum) {
+        if (const auto crc = server_.checksum_of(request.key, now);
+            crc.has_value()) {
+          binary::put_u32(extras, *crc);  // extras widen to flags + crc
+        }
+      }
       return respond(request, Status::kOk, std::move(extras),
                      with_key ? request.key : std::string{},
                      std::move(*value), server_.cas_of(request.key, now));
@@ -218,9 +228,21 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
     case Opcode::kSet:
     case Opcode::kAdd:
     case Opcode::kReplace: {
-      // Extras: flags(4) expiry(4).
-      if (request.extras.size() != 8 || request.key.empty()) {
+      // Extras: flags(4) expiry(4), or flags(4) expiry(4) crc32c(4) when
+      // the client stamps an end-to-end checksum.
+      const bool stamped = request.extras.size() == 12;
+      if ((request.extras.size() != 8 && !stamped) || request.key.empty()) {
         return respond(request, Status::kInvalidArguments);
+      }
+      std::optional<std::uint32_t> crc;
+      if (stamped) {
+        crc = binary::get_u32(request.extras, 8);
+        if (crc32c(request.value) != *crc) {
+          // The value rotted between the client's stamp and here: refuse
+          // rather than store bad bytes (the client re-sends).
+          server_.note_corrupt_set_reject(now, request.key);
+          return respond(request, Status::kBadChecksum);
+        }
       }
       if (request.key == kEpochKey) {
         // Epoch adoption: value is the decimal epoch (text-protocol parity).
@@ -254,7 +276,7 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
       if (request.cas != 0) {
         // CAS-conditional store.
         switch (server_.compare_and_swap(request.key, request.value, now,
-                                         request.cas, 0, flags)) {
+                                         request.cas, 0, flags, crc)) {
           case CacheServer::CasResult::kNotFound:
             return respond(request, Status::kKeyNotFound);
           case CacheServer::CasResult::kExists:
@@ -263,7 +285,7 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
             break;
         }
       } else {
-        server_.set(request.key, request.value, now, 0, flags);
+        server_.set(request.key, request.value, now, 0, flags, crc);
       }
       return respond(request, Status::kOk, {}, {}, {},
                      server_.cas_of(request.key, now));

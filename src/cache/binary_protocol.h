@@ -34,6 +34,14 @@
 // point is treated as indeterminate-but-current. The reserved key
 // PROTEUS_EPOCH serves the full 64-bit epoch + incarnation via GET and
 // adopts a decimal epoch via SET, exactly as in the text protocol.
+//
+// Payload integrity extension (docs/PROTOCOL.md): SET/ADD/REPLACE may send
+// 12-byte extras — flags(4) expiry(4) crc32c(4) — instead of the stock 8.
+// The trailing word is the value's CRC32C, verified at arrival
+// (Status::kBadChecksum on mismatch) and stored with the item. A GET sent
+// with 4-byte extras (stock GETs send none; the word is reserved, send 0)
+// opts into checksum echo: hits on stamped items answer 8-byte extras —
+// flags(4) crc32c(4) — while unstamped items answer the stock 4.
 #pragma once
 
 #include <cstdint>
@@ -87,6 +95,8 @@ enum class Status : std::uint16_t {
   kBusy = 0x0085,        // EBUSY: request shed by admission control, retry later
   kStaleEpoch = 0x0086,  // mutation fenced: request epoch < server epoch;
                          // refresh the routing view, do not retry
+  kBadChecksum = 0x0087,  // store refused: value failed its CRC32C extras
+                          // stamp (wire corruption); safe to re-send
 };
 
 struct Frame {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "obs/trace.h"
 
 namespace proteus::cache {
@@ -113,6 +114,19 @@ std::optional<std::string> CacheServer::get(std::string_view key, SimTime now) {
     unlink(it->second);
     return std::nullopt;
   }
+  // End-to-end integrity: items stamped with a CRC32C at SET time are
+  // re-verified on every serve. A mismatch means the bytes rotted at rest
+  // (or were corrupted on the inbound wire past the parser): drop the item
+  // and answer a miss so corrupt data never reaches a caller — the client
+  // read-repairs from the database.
+  if (it->second->has_crc && crc32c(it->second->value) != it->second->crc) {
+    ++stats_.corrupt_drops;
+    ++stats_.misses;
+    obs::emit(config_.trace, now, obs::TraceEventKind::kCorruption,
+              config_.trace_server_id, -1, /*n=at-rest*/ 1, key);
+    unlink(it->second);
+    return std::nullopt;
+  }
   ++stats_.hits;
   it->second->last_access = now;
   touch_lru(it->second);
@@ -120,7 +134,8 @@ std::optional<std::string> CacheServer::get(std::string_view key, SimTime now) {
 }
 
 void CacheServer::set(std::string_view key, std::string value, SimTime now,
-                      std::size_t charge, std::uint32_t flags) {
+                      std::size_t charge, std::uint32_t flags,
+                      std::optional<std::uint32_t> crc) {
   PROTEUS_CHECK_MSG(power_state_ != PowerState::kOff,
                     "set() on a powered-off cache server");
   PROTEUS_CHECK_MSG(key != kSetBloomFilterKey && key != kGetBloomFilterKey &&
@@ -142,6 +157,8 @@ void CacheServer::set(std::string_view key, std::string value, SimTime now,
   item.last_access = now;
   item.flags = flags;
   item.cas = next_cas_++;
+  item.has_crc = crc.has_value();
+  item.crc = crc.value_or(0);
 
   if (auto it = index_.find(item.key); it != index_.end()) unlink(it->second);
 
@@ -186,15 +203,42 @@ std::uint64_t CacheServer::cas_of(std::string_view key, SimTime now) const {
   return it->second->cas;
 }
 
+std::optional<std::uint32_t> CacheServer::checksum_of(std::string_view key,
+                                                      SimTime now) const {
+  auto it = index_.find(key);
+  if (it == index_.end() || expired(*it->second, now) || !it->second->has_crc) {
+    return std::nullopt;
+  }
+  return it->second->crc;
+}
+
+void CacheServer::note_corrupt_set_reject(SimTime now, std::string_view key) {
+  ++stats_.corrupt_set_rejects;
+  obs::emit(config_.trace, now, obs::TraceEventKind::kCorruption,
+            config_.trace_server_id, -1, /*n=at-rest*/ 1, key);
+}
+
+bool CacheServer::corrupt_value_for_test(std::string_view key,
+                                         std::size_t bit_index) {
+  auto it = index_.find(key);
+  if (it == index_.end() || it->second->value.empty()) return false;
+  std::string& v = it->second->value;
+  const std::size_t bit = bit_index % (v.size() * 8);
+  v[bit / 8] = static_cast<char>(static_cast<unsigned char>(v[bit / 8]) ^
+                                 (1u << (bit % 8)));
+  return true;
+}
+
 CacheServer::CasResult CacheServer::compare_and_swap(
     std::string_view key, std::string value, SimTime now,
-    std::uint64_t expected_cas, std::size_t charge, std::uint32_t flags) {
+    std::uint64_t expected_cas, std::size_t charge, std::uint32_t flags,
+    std::optional<std::uint32_t> crc) {
   auto it = index_.find(key);
   if (it == index_.end() || expired(*it->second, now)) {
     return CasResult::kNotFound;
   }
   if (it->second->cas != expected_cas) return CasResult::kExists;
-  set(key, std::move(value), now, charge, flags);
+  set(key, std::move(value), now, charge, flags, crc);
   return CasResult::kStored;
 }
 

@@ -58,6 +58,12 @@ struct CacheStats {
   std::uint64_t deletes = 0;
   std::uint64_t evictions = 0;
   std::uint64_t expirations = 0;
+  // Items whose stored CRC32C no longer matched their bytes when served;
+  // each was dropped and answered as a miss (never served corrupt).
+  std::uint64_t corrupt_drops = 0;
+  // Storage commands refused at arrival because the data block did not
+  // match its C<hex8> stamp (wire corruption caught before the store).
+  std::uint64_t corrupt_set_rejects = 0;
 
   double hit_ratio() const noexcept {
     return gets ? static_cast<double>(hits) / static_cast<double>(gets) : 0.0;
@@ -115,12 +121,21 @@ class CacheServer {
   // Stores (key, value); `charge` overrides the accounted value size so a
   // simulation can model 4 KB pages without materialising 4 KB payloads.
   // `flags` are opaque client metadata round-tripped by the memcached
-  // protocol (text_protocol.h).
+  // protocol (text_protocol.h). `crc` (optional) is the end-to-end CRC32C
+  // the client stamped at SET time; when present the server re-verifies it
+  // on every get and drops the item as corrupt on mismatch instead of
+  // serving bad bytes (docs/PROTOCOL.md "Payload integrity").
   void set(std::string_view key, std::string value, SimTime now,
-           std::size_t charge = 0, std::uint32_t flags = 0);
+           std::size_t charge = 0, std::uint32_t flags = 0,
+           std::optional<std::uint32_t> crc = std::nullopt);
 
   // Client flags stored with the item, or nullopt if absent/expired.
   std::optional<std::uint32_t> flags_of(std::string_view key, SimTime now) const;
+
+  // CRC32C stored with the item at SET time, or nullopt if the item is
+  // absent/expired or was stored without one (stock client).
+  std::optional<std::uint32_t> checksum_of(std::string_view key,
+                                           SimTime now) const;
 
   // CAS (check-and-set) version of the item: a server-unique, monotonically
   // increasing value assigned on every store, as in memcached. 0 = absent.
@@ -132,7 +147,8 @@ class CacheServer {
   // kExists on version mismatch.
   CasResult compare_and_swap(std::string_view key, std::string value,
                              SimTime now, std::uint64_t expected_cas,
-                             std::size_t charge = 0, std::uint32_t flags = 0);
+                             std::size_t charge = 0, std::uint32_t flags = 0,
+                             std::optional<std::uint32_t> crc = std::nullopt);
 
   bool erase(std::string_view key);
   void flush();
@@ -214,6 +230,15 @@ class CacheServer {
   // discarded before the TTL deadline to release memory early.
   std::size_t expire_idle(SimTime now, SimTime idle_limit);
 
+  // Test hook: flip one bit of a resident value in place, leaving its
+  // stored CRC untouched — simulates at-rest corruption so the serve-time
+  // verify path can be drilled. Returns false if the key is absent.
+  bool corrupt_value_for_test(std::string_view key, std::size_t bit_index);
+
+  // The protocol layer refused a storage command whose data block failed
+  // its checksum stamp: count it and emit the corruption trace event.
+  void note_corrupt_set_reject(SimTime now, std::string_view key);
+
  private:
   struct Item {
     std::string key;
@@ -223,6 +248,8 @@ class CacheServer {
     std::uint32_t flags;      // opaque client metadata (memcached semantics)
     std::uint64_t cas;        // store version (memcached CAS)
     bool protected_seg;       // segmented LRU: lives in the protected list
+    bool has_crc = false;     // item carries an end-to-end checksum
+    std::uint32_t crc = 0;    // CRC32C of `value`, stamped at SET time
   };
   using LruList = std::list<Item>;
 

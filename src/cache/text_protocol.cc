@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 
+#include "common/hash.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -50,36 +51,42 @@ bool consume_noreply(std::vector<std::string_view>& tokens,
   return false;
 }
 
-// Strips a trailing O<hex64> trace token (always the last token on the
-// line; instrumented clients append it after noreply). Leaves the token
-// list untouched when the tail is anything else — including keys that
-// merely start with 'O'.
-void consume_trace_token(std::vector<std::string_view>& tokens,
+// Strips the trailing meta tokens — `bg` (priority), O<hex64> (trace),
+// E<hex64> (epoch fence), C<hex8> (payload checksum) — in ANY order,
+// consuming recognized tokens from the tail until none match. Decodes are
+// strict (exact length, lowercase hex), so ordinary keys that merely start
+// with 'O'/'E'/'C' never parse as tokens. The `bg` marker only counts when
+// at least one real argument precedes it, so a key literally named "bg"
+// stays addressable via `get bg`.
+void consume_meta_tokens(std::vector<std::string_view>& tokens,
                          TextCommand& cmd) {
-  if (tokens.size() < 2) return;
-  if (obs::decode_trace_token(tokens.back(), cmd.trace_id)) tokens.pop_back();
-}
-
-// Strips a trailing literal `bg` priority token. On the wire it is the very
-// last token (after any trace token), so it is consumed first. The marker
-// only counts when at least one real argument precedes it, so a key that is
-// literally named "bg" stays addressable via `get bg`.
-void consume_background_token(std::vector<std::string_view>& tokens,
-                              TextCommand& cmd) {
-  if (tokens.size() < 3) return;  // verb + >=1 real arg + marker
-  if (tokens.back() == "bg") {
-    tokens.pop_back();
-    cmd.background = true;
+  for (;;) {
+    if (tokens.size() < 2) return;
+    const std::string_view tail = tokens.back();
+    if (tail == "bg" && tokens.size() >= 3) {  // verb + >=1 real arg + marker
+      tokens.pop_back();
+      cmd.background = true;
+      continue;
+    }
+    std::uint64_t u64 = 0;
+    if (obs::decode_trace_token(tail, u64)) {
+      tokens.pop_back();
+      cmd.trace_id = u64;
+      continue;
+    }
+    if (obs::decode_epoch_token(tail, u64)) {
+      tokens.pop_back();
+      cmd.epoch = u64;
+      continue;
+    }
+    std::uint32_t u32 = 0;
+    if (obs::decode_checksum_token(tail, u32)) {
+      tokens.pop_back();
+      cmd.checksum = u32;
+      continue;
+    }
+    return;
   }
-}
-
-// Strips a trailing E<hex64> cluster-epoch stamp. Wire order is
-// `... E<epoch> O<trace> bg`, so this runs after the bg and trace tokens
-// have been consumed. Keys that merely start with 'E' never parse.
-void consume_epoch_token(std::vector<std::string_view>& tokens,
-                         TextCommand& cmd) {
-  if (tokens.size() < 2) return;
-  if (obs::decode_epoch_token(tokens.back(), cmd.epoch)) tokens.pop_back();
 }
 
 }  // namespace
@@ -91,9 +98,7 @@ TextCommand parse_command_line(std::string_view line) {
   const std::string_view verb = tokens[0];
 
   if (verb == "get" || verb == "gets") {
-    consume_background_token(tokens, cmd);
-    consume_trace_token(tokens, cmd);
-    consume_epoch_token(tokens, cmd);
+    consume_meta_tokens(tokens, cmd);
     if (tokens.size() < 2) return cmd;
     for (std::size_t i = 1; i < tokens.size(); ++i) {
       if (!valid_key(tokens[i])) return cmd;
@@ -104,9 +109,7 @@ TextCommand parse_command_line(std::string_view line) {
   }
 
   if (verb == "set" || verb == "add" || verb == "replace") {
-    consume_background_token(tokens, cmd);
-    consume_trace_token(tokens, cmd);
-    consume_epoch_token(tokens, cmd);
+    consume_meta_tokens(tokens, cmd);
     cmd.noreply = consume_noreply(tokens, 5);
     if (tokens.size() != 5 || !valid_key(tokens[1])) return cmd;
     if (!parse_number(tokens[2], cmd.flags) ||
@@ -122,9 +125,7 @@ TextCommand parse_command_line(std::string_view line) {
   }
 
   if (verb == "delete") {
-    consume_background_token(tokens, cmd);
-    consume_trace_token(tokens, cmd);
-    consume_epoch_token(tokens, cmd);
+    consume_meta_tokens(tokens, cmd);
     cmd.noreply = consume_noreply(tokens, 2);
     if (tokens.size() != 2 || !valid_key(tokens[1])) return cmd;
     cmd.keys.emplace_back(tokens[1]);
@@ -352,13 +353,25 @@ std::string TextProtocolSession::handle_storage(const TextCommand& cmd,
     return reply;
   } else if (key == kSetBloomFilterKey || key == kGetBloomFilterKey) {
     reply = "CLIENT_ERROR reserved key\r\n";  // digest keys are read-only
+  } else if (cmd.checksum.has_value() && crc32c(payload) != *cmd.checksum) {
+    // The payload rotted between the client's stamp and here (wire
+    // corruption or a buggy middlebox). Refuse rather than store bad
+    // bytes; the client treats this as a failed set and re-sends.
+    server_.note_corrupt_set_reject(now, key);
+    reply = "SERVER_ERROR bad-checksum\r\n";
+    if (tid != 0) {
+      record_server_span(tid, static_cast<int>(obs::SpanKind::kServerOp),
+                         op_start, static_cast<int>(obs::SpanCause::kCorrupt));
+    }
+    return reply;
   } else if (cmd.op == TextCommand::Op::kAdd && server_.contains(key, now)) {
     reply = "NOT_STORED\r\n";
   } else if (cmd.op == TextCommand::Op::kReplace &&
              !server_.contains(key, now)) {
     reply = "NOT_STORED\r\n";
   } else {
-    server_.set(key, std::move(payload), now, /*charge=*/0, cmd.flags);
+    server_.set(key, std::move(payload), now, /*charge=*/0, cmd.flags,
+                cmd.checksum);
     reply = "STORED\r\n";
   }
   if (tid != 0) {
@@ -393,7 +406,16 @@ std::string TextProtocolSession::handle_get(const TextCommand& cmd,
     if (!value.has_value()) continue;  // missing keys are silently skipped
     const auto flags = server_.flags_of(key, now);
     out += "VALUE " + key + ' ' + std::to_string(flags.value_or(0)) + ' ' +
-           std::to_string(value->size()) + "\r\n";
+           std::to_string(value->size());
+    if (cmd.checksum.has_value()) {
+      // The get opted in to checksum echo; only items stored with one have
+      // one (a stored-without-checksum item echoes nothing).
+      if (const auto crc = server_.checksum_of(key, now); crc.has_value()) {
+        out += ' ';
+        out += obs::encode_checksum_token(*crc);
+      }
+    }
+    out += "\r\n";
     out += *value;
     out += "\r\n";
   }
@@ -461,6 +483,8 @@ std::string TextProtocolSession::handle_stats(const TextCommand& cmd) {
   stat("cluster_epoch", server_.cluster_epoch());
   stat("incarnation", server_.incarnation());
   stat("stale_epoch_rejects", server_.stale_epoch_rejects());
+  stat("corrupt_drops", s.corrupt_drops);
+  stat("corrupt_set_rejects", s.corrupt_set_rejects);
   out += "END\r\n";
   return out;
 }

@@ -32,12 +32,24 @@
 // memcached semantics.
 //
 // Epoch fencing extension (docs/PROTOCOL.md): get/storage/delete lines may
-// carry an `E<hex64>` cluster-epoch stamp (positioned before any trace/bg
-// token). A mutation stamped below the server's current epoch is refused
-// with `SERVER_ERROR stale-epoch` — the fencing-token check that keeps a
-// client routing on a pre-resize view from writing into a draining or
-// re-owned key range. The reserved key PROTEUS_EPOCH reads back
-// "<epoch> <incarnation>" and accepts a decimal epoch via set.
+// carry an `E<hex64>` cluster-epoch stamp. A mutation stamped below the
+// server's current epoch is refused with `SERVER_ERROR stale-epoch` — the
+// fencing-token check that keeps a client routing on a pre-resize view from
+// writing into a draining or re-owned key range. The reserved key
+// PROTEUS_EPOCH reads back "<epoch> <incarnation>" and accepts a decimal
+// epoch via set.
+//
+// Payload integrity extension (docs/PROTOCOL.md): storage lines may carry a
+// `C<hex8>` CRC32C stamp of the data block, verified at arrival
+// (`SERVER_ERROR bad-checksum`) and re-verified every time the item is
+// served (corrupt items are dropped and answered as misses, never served).
+// A `C00000000` token on a get line asks the server to echo stored
+// checksums as a trailing `C<hex8>` on each VALUE line; clients that did
+// not opt in (including stock clients) see unchanged VALUE lines.
+//
+// The meta tokens (`bg`, `O…`, `E…`, `C…`) trail the command line in ANY
+// order — the parser strips recognized tokens from the tail until none
+// match, so instrumented clients may append them independently.
 //
 // `stats reset` zeroes the per-server counters (memcached parity) and
 // `stats proteus` dumps the attached obs::MetricsRegistry — counters,
@@ -106,6 +118,13 @@ struct TextCommand {
   // stamp is below the server's cluster epoch are refused with
   // `SERVER_ERROR stale-epoch`; stamped reads only teach the server.
   std::uint64_t epoch = 0;
+  // Payload integrity extension (docs/PROTOCOL.md): set when the line
+  // carried a C<hex8> CRC32C token. On storage lines it is the client's
+  // checksum of the data block — verified at arrival (`SERVER_ERROR
+  // bad-checksum` on mismatch) and stored with the item. On get lines the
+  // value is ignored; its presence asks the server to echo stored checksums
+  // on VALUE lines.
+  std::optional<std::uint32_t> checksum;
 };
 
 // Parses one command line (no trailing CRLF). Returns Op::kInvalid with no

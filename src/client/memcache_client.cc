@@ -17,6 +17,7 @@
 
 #include "cache/cache_server.h"
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace proteus::client {
 
@@ -61,10 +62,17 @@ constexpr std::string_view kOverloadedReply = "SERVER_ERROR overloaded";
 // stays in sync and the socket is kept.
 constexpr std::string_view kStaleEpochReply = "SERVER_ERROR stale-epoch";
 
-// Appends the fencing/trace/priority meta-tokens in the wire order the
-// daemon parses them back off the end of the line: E<epoch>, O<trace>, bg.
+// Appends the checksum/fencing/trace/priority meta-tokens; the daemon
+// parses them back off the end of the line in any order. `checksum` is the
+// value's CRC32C on storage lines and the echo-request flag (value ignored)
+// on get lines.
 void append_meta_tokens(std::string& cmd, std::uint64_t epoch,
-                        std::uint64_t trace_id, bool background) {
+                        std::uint64_t trace_id, bool background,
+                        std::optional<std::uint32_t> checksum = std::nullopt) {
+  if (checksum.has_value()) {
+    cmd += ' ';
+    cmd += obs::encode_checksum_token(*checksum);
+  }
   if (epoch != 0) {
     cmd += ' ';
     cmd += obs::encode_epoch_token(epoch);
@@ -125,8 +133,13 @@ MemcacheConnection::MemcacheConnection(MemcacheConnection&& other) noexcept
     : fd_(other.fd_),
       options_(std::move(other.options_)),
       last_error_(other.last_error_),
-      buffer_(std::move(other.buffer_)) {
+      buffer_(std::move(other.buffer_)),
+      get_stage_(other.get_stage_),
+      pending_bytes_(other.pending_bytes_),
+      pending_value_(std::move(other.pending_value_)),
+      value_checksum_(other.value_checksum_) {
   other.fd_ = -1;
+  other.get_stage_ = GetStage::kIdle;
 }
 
 MemcacheConnection::~MemcacheConnection() { close_now(); }
@@ -259,72 +272,195 @@ bool MemcacheConnection::read_exact(std::size_t n, std::string& out,
   return true;
 }
 
+bool MemcacheConnection::begin_get(std::string_view key,
+                                   std::uint64_t trace_id, bool background,
+                                   std::uint64_t epoch, bool want_checksum) {
+  if (!ok()) return false;
+  last_error_ = net::NetError::kNone;
+  get_stage_ = GetStage::kIdle;
+  pending_bytes_ = 0;
+  pending_value_.clear();
+  value_checksum_.reset();
+  std::string cmd = "get ";
+  cmd.append(key);
+  append_meta_tokens(cmd, epoch, trace_id, background,
+                     want_checksum ? std::optional<std::uint32_t>(0)
+                                   : std::nullopt);
+  cmd += "\r\n";
+  if (!send_all(cmd, op_deadline())) return false;
+  get_stage_ = GetStage::kHeader;
+  return true;
+}
+
+int MemcacheConnection::fill_nonblocking() {
+  char chunk[4096];
+  const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  if (n > 0) {
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return static_cast<int>(n);
+  }
+  if (n == 0) {
+    fail(net::NetError::kReset);
+    return -1;
+  }
+  if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+  fail(net::NetError::kReset);
+  return -1;
+}
+
+MemcacheConnection::GetProgress MemcacheConnection::step_get(
+    std::optional<std::string>& value) {
+  for (;;) {
+    switch (get_stage_) {
+      case GetStage::kIdle:
+        return GetProgress::kDone;
+      case GetStage::kHeader: {
+        const std::size_t eol = buffer_.find("\r\n");
+        if (eol == std::string::npos) {
+          if (buffer_.size() > kMaxLineBytes) {
+            fail(net::NetError::kProtocol);
+            get_stage_ = GetStage::kIdle;
+            return GetProgress::kDone;
+          }
+          return GetProgress::kPending;
+        }
+        const std::string header = buffer_.substr(0, eol);
+        buffer_.erase(0, eol + 2);
+        if (header == "END") {  // miss (last_error_ == kNone)
+          get_stage_ = GetStage::kIdle;
+          return GetProgress::kDone;
+        }
+        if (header.rfind(kOverloadedReply, 0) == 0) {
+          // Admission-control shed: a healthy, well-formed refusal. The
+          // stream stays in sync (the daemon consumed the batch), so keep
+          // the socket.
+          last_error_ = net::NetError::kOverloaded;
+          get_stage_ = GetStage::kIdle;
+          return GetProgress::kDone;
+        }
+        if (header.rfind(kStaleEpochReply, 0) == 0) {
+          last_error_ = net::NetError::kStaleEpoch;
+          get_stage_ = GetStage::kIdle;
+          return GetProgress::kDone;
+        }
+        // "VALUE <key> <flags> <bytes>[ C<hex8>]" — anything else means the
+        // stream is desynced and this connection can never be trusted again.
+        std::size_t bytes_begin = std::string::npos;
+        std::size_t bytes_end = header.size();
+        if (header.rfind("VALUE ", 0) == 0) {
+          // The byte count is the 4th token; a trailing C token (the echoed
+          // stored checksum we asked for) may follow it.
+          const std::size_t sp2 = header.find(' ', 6);
+          const std::size_t sp3 =
+              sp2 == std::string::npos ? sp2 : header.find(' ', sp2 + 1);
+          if (sp3 != std::string::npos) {
+            bytes_begin = sp3 + 1;
+            const std::size_t sp4 = header.find(' ', bytes_begin);
+            if (sp4 != std::string::npos) {
+              bytes_end = sp4;
+              std::uint32_t crc = 0;
+              if (!obs::decode_checksum_token(
+                      std::string_view(header).substr(sp4 + 1), crc)) {
+                bytes_begin = std::string::npos;  // unknown extra token
+              } else {
+                value_checksum_ = crc;
+              }
+            }
+          }
+        }
+        if (bytes_begin == std::string::npos || bytes_begin >= bytes_end) {
+          fail(net::NetError::kProtocol);
+          get_stage_ = GetStage::kIdle;
+          return GetProgress::kDone;
+        }
+        std::size_t bytes = 0;
+        for (std::size_t i = bytes_begin; i < bytes_end; ++i) {
+          const char c = header[i];
+          if (!std::isdigit(static_cast<unsigned char>(c)) ||
+              (bytes = bytes * 10 + static_cast<std::size_t>(c - '0')) >
+                  kMaxValueBytes) {
+            fail(net::NetError::kProtocol);
+            get_stage_ = GetStage::kIdle;
+            return GetProgress::kDone;
+          }
+        }
+        pending_bytes_ = bytes;
+        get_stage_ = GetStage::kBody;
+        break;
+      }
+      case GetStage::kBody: {
+        if (buffer_.size() < pending_bytes_ + 2) return GetProgress::kPending;
+        if (buffer_.compare(pending_bytes_, 2, "\r\n") != 0) {
+          fail(net::NetError::kProtocol);
+          get_stage_ = GetStage::kIdle;
+          return GetProgress::kDone;
+        }
+        pending_value_.assign(buffer_, 0, pending_bytes_);
+        buffer_.erase(0, pending_bytes_ + 2);
+        get_stage_ = GetStage::kEnd;
+        break;
+      }
+      case GetStage::kEnd: {
+        const std::size_t eol = buffer_.find("\r\n");
+        if (eol == std::string::npos) {
+          if (buffer_.size() > kMaxLineBytes) {
+            fail(net::NetError::kProtocol);
+            get_stage_ = GetStage::kIdle;
+            return GetProgress::kDone;
+          }
+          return GetProgress::kPending;
+        }
+        const bool is_end = eol == 3 && buffer_.compare(0, 3, "END") == 0;
+        buffer_.erase(0, eol + 2);
+        get_stage_ = GetStage::kIdle;
+        if (!is_end) fail(net::NetError::kProtocol);
+        if (is_end) value = std::move(pending_value_);
+        pending_value_.clear();
+        return GetProgress::kDone;
+      }
+    }
+  }
+}
+
+MemcacheConnection::GetProgress MemcacheConnection::poll_get(
+    std::optional<std::string>& value) {
+  value.reset();
+  if (get_stage_ == GetStage::kIdle) return GetProgress::kDone;
+  for (;;) {
+    if (step_get(value) == GetProgress::kDone) return GetProgress::kDone;
+    const int r = fill_nonblocking();
+    if (r < 0) {
+      get_stage_ = GetStage::kIdle;
+      return GetProgress::kDone;
+    }
+    if (r == 0) return GetProgress::kPending;
+  }
+}
+
 std::optional<std::string> MemcacheConnection::get(std::string_view key,
                                                    std::uint64_t trace_id,
                                                    bool background,
-                                                   std::uint64_t epoch) {
-  if (!ok()) return std::nullopt;
-  last_error_ = net::NetError::kNone;
+                                                   std::uint64_t epoch,
+                                                   bool want_checksum) {
+  if (!begin_get(key, trace_id, background, epoch, want_checksum)) {
+    return std::nullopt;
+  }
   const SimTime deadline = op_deadline();
-  std::string cmd = "get ";
-  cmd.append(key);
-  append_meta_tokens(cmd, epoch, trace_id, background);
-  cmd += "\r\n";
-  if (!send_all(cmd, deadline)) return std::nullopt;
-
-  auto header = read_line(deadline);
-  if (!header.has_value()) return std::nullopt;
-  if (*header == "END") return std::nullopt;  // miss (last_error_ == kNone)
-  if (header->rfind(kOverloadedReply, 0) == 0) {
-    // Admission-control shed: a healthy, well-formed refusal. The stream
-    // stays in sync (the daemon consumed the batch), so keep the socket.
-    last_error_ = net::NetError::kOverloaded;
-    return std::nullopt;
-  }
-  if (header->rfind(kStaleEpochReply, 0) == 0) {
-    last_error_ = net::NetError::kStaleEpoch;
-    return std::nullopt;
-  }
-  // "VALUE <key> <flags> <bytes>" — anything else means the stream is
-  // desynced and this connection can never be trusted again.
-  const std::size_t last_space = header->rfind(' ');
-  if (header->rfind("VALUE ", 0) != 0 || last_space == std::string::npos ||
-      last_space + 1 >= header->size()) {
-    fail(net::NetError::kProtocol);
-    return std::nullopt;
-  }
-  std::size_t bytes = 0;
-  for (std::size_t i = last_space + 1; i < header->size(); ++i) {
-    const char c = (*header)[i];
-    if (!std::isdigit(static_cast<unsigned char>(c))) {
-      fail(net::NetError::kProtocol);
-      return std::nullopt;
-    }
-    bytes = bytes * 10 + static_cast<std::size_t>(c - '0');
-    if (bytes > kMaxValueBytes) {
-      fail(net::NetError::kProtocol);
+  std::optional<std::string> value;
+  for (;;) {
+    if (poll_get(value) == GetProgress::kDone) return value;
+    if (!await_io(POLLIN, deadline)) {
+      get_stage_ = GetStage::kIdle;
+      fail(net::NetError::kTimeout);
       return std::nullopt;
     }
   }
-  std::string value;
-  if (!read_exact(bytes + 2, value, deadline)) return std::nullopt;
-  if (value.compare(bytes, 2, "\r\n") != 0) {
-    fail(net::NetError::kProtocol);
-    return std::nullopt;
-  }
-  value.resize(bytes);
-  const auto end = read_line(deadline);
-  if (!end.has_value()) return std::nullopt;
-  if (*end != "END") {
-    fail(net::NetError::kProtocol);
-    return std::nullopt;
-  }
-  return value;
 }
 
 bool MemcacheConnection::set(std::string_view key, std::string_view value,
                              std::uint32_t flags, std::uint64_t trace_id,
-                             bool background, std::uint64_t epoch) {
+                             bool background, std::uint64_t epoch,
+                             bool with_checksum) {
   if (!ok()) return false;
   last_error_ = net::NetError::kNone;
   const SimTime deadline = op_deadline();
@@ -334,7 +470,9 @@ bool MemcacheConnection::set(std::string_view key, std::string_view value,
   cmd += std::to_string(flags);
   cmd += " 0 ";
   cmd += std::to_string(value.size());
-  append_meta_tokens(cmd, epoch, trace_id, background);
+  append_meta_tokens(cmd, epoch, trace_id, background,
+                     with_checksum ? std::optional<std::uint32_t>(crc32c(value))
+                                   : std::nullopt);
   cmd += "\r\n";
   cmd.append(value);
   cmd += "\r\n";
@@ -487,11 +625,21 @@ ProteusClient::ProteusClient(Options options, Backend backend)
       router_(placement_, options_.initial_active > 0
                               ? options_.initial_active
                               : static_cast<int>(options_.endpoints.size())),
-      rng_(options_.jitter_seed) {
+      rng_(options_.jitter_seed),
+      retry_jitter_(/*base=*/kMillisecond, /*cap=*/20 * kMillisecond),
+      hedge_budget_(options_.hedge_rate, options_.hedge_burst) {
   PROTEUS_CHECK(backend_ != nullptr);
   PROTEUS_CHECK(!options_.endpoints.empty());
   PROTEUS_CHECK(options_.max_attempts >= 1);
   PROTEUS_CHECK(options_.replicas >= 1);
+  // The historical breaker knobs stay authoritative for the fail-stop path
+  // of the phi-accrual detector: consecutive-error threshold and the
+  // quarantine dwell schedule map one-to-one.
+  core::EndpointHealth::Policy hp = options_.health;
+  hp.error_threshold = options_.breaker.failure_threshold;
+  hp.quarantine_base = options_.breaker.backoff.base_delay;
+  hp.quarantine_cap =
+      std::max(options_.breaker.backoff.max_delay, hp.quarantine_base);
   endpoints_.reserve(options_.endpoints.size());
   for (std::size_t i = 0; i < options_.endpoints.size(); ++i) {
     Endpoint ep;
@@ -499,17 +647,18 @@ ProteusClient::ProteusClient(Options options, Backend backend)
                   ? options_.hosts[i]
                   : "127.0.0.1";
     ep.port = options_.endpoints[i];
-    ep.breaker = core::CircuitBreaker(options_.breaker);
+    ep.health = core::EndpointHealth(hp);
     endpoints_.push_back(std::move(ep));
   }
 }
 
 MemcacheConnection* ProteusClient::acquire(int server, SimTime now) {
   Endpoint& ep = endpoints_[static_cast<std::size_t>(server)];
-  if (!ep.breaker.allow(now)) {
+  if (!ep.health.allow(now)) {
     ++stats_.breaker_open_skips;
     return nullptr;
   }
+  note_health_events(server, now);  // allow() may open probation (exit)
   if (ep.conn == nullptr || !ep.conn->ok()) {
     ++stats_.reconnects;
     MemcacheConnection::Options copt;
@@ -569,14 +718,45 @@ void ProteusClient::record_failure(int server, net::NetError error,
     case net::NetError::kTimeout:  ++stats_.timeouts; break;
     case net::NetError::kReset:    ++stats_.resets; break;
     case net::NetError::kProtocol: ++stats_.protocol_errors; break;
-    default: break;  // kRefused shows up through reconnects + breaker
+    default: break;  // kRefused shows up through reconnects + quarantines
   }
-  endpoints_[static_cast<std::size_t>(server)].breaker.record_failure(now,
-                                                                      rng_);
+  endpoints_[static_cast<std::size_t>(server)].health.record_failure(now, rng_);
+  note_health_events(server, now);
 }
 
-void ProteusClient::record_success(int server) {
-  endpoints_[static_cast<std::size_t>(server)].breaker.record_success();
+void ProteusClient::record_success(int server, SimTime now,
+                                   SimTime latency_us) {
+  endpoints_[static_cast<std::size_t>(server)].health.record_success(
+      now, latency_us, rng_);
+  note_health_events(server, now);
+}
+
+void ProteusClient::note_health_events(int server, SimTime now) {
+  Endpoint& ep = endpoints_[static_cast<std::size_t>(server)];
+  while (ep.seen_quarantine_enters < ep.health.quarantine_enters()) {
+    ++ep.seen_quarantine_enters;
+    ++stats_.quarantine_enters;
+    obs::emit(options_.trace, now, obs::TraceEventKind::kQuarantineEnter,
+              server, -1,
+              static_cast<std::uint64_t>(ep.health.suspicion() * 1000.0));
+  }
+  while (ep.seen_quarantine_exits < ep.health.quarantine_exits()) {
+    ++ep.seen_quarantine_exits;
+    ++stats_.quarantine_exits;
+    obs::emit(options_.trace, now, obs::TraceEventKind::kQuarantineExit,
+              server);
+  }
+}
+
+bool ProteusClient::value_corrupt(int server, MemcacheConnection& c,
+                                  std::string_view key, std::string_view value,
+                                  SimTime now) {
+  const auto crc = c.last_value_checksum();
+  if (!crc.has_value() || crc32c(value) == *crc) return false;
+  ++stats_.corrupt_values;
+  obs::emit(options_.trace, now, obs::TraceEventKind::kCorruption, server, -1,
+            /*n=client verify*/ 0, key);
+  return true;
 }
 
 ProteusClient::FetchResult ProteusClient::cache_get(int server,
@@ -588,14 +768,27 @@ ProteusClient::FetchResult ProteusClient::cache_get(int server,
   // however many attempts it takes).
   ++endpoints_[static_cast<std::size_t>(server)].gets;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
-    if (attempt > 0) ++stats_.retries;
+    if (attempt > 0) {
+      ++stats_.retries;
+      // Decorrelated-jitter spacing between attempts: a fleet of clients
+      // that lost the same server in the same instant wanders its retry
+      // times across [base, 3*prev] instead of resending in lockstep.
+      const SimTime pause = retry_jitter_.next(rng_);
+      ::poll(nullptr, 0,
+             static_cast<int>((pause + kMillisecond - 1) / kMillisecond));
+    }
     const obs::SpanKind child_kind =
         attempt == 0 ? kind : obs::SpanKind::kRetry;
     MemcacheConnection* c = acquire(server, now);
-    if (c == nullptr) {  // breaker open or reconnect failed
+    if (c == nullptr) {  // quarantined or reconnect failed
       if (ctx.active()) {
+        const bool quarantined =
+            endpoints_[static_cast<std::size_t>(server)].health.state() ==
+            core::EndpointHealth::State::kQuarantined;
         ctx.child(obs::span_clock_now(), child_kind, server,
-                  obs::SpanCause::kDown, key);
+                  quarantined ? obs::SpanCause::kQuarantined
+                              : obs::SpanCause::kDown,
+                  key);
       }
       break;
     }
@@ -604,9 +797,23 @@ ProteusClient::FetchResult ProteusClient::cache_get(int server,
     const bool background = kind == obs::SpanKind::kMigrationFetch;
     // Stamping the read teaches the daemon our epoch (reads observe, they
     // are never fenced — a draining server must answer old-view reads).
-    auto value = c->get(key, ctx.trace_id, background, epoch_);
+    // The C token asks for the stored checksum back for end-to-end verify.
+    const SimTime t0 = mono_usec();
+    auto value = c->get(key, ctx.trace_id, background, epoch_,
+                        /*want_checksum=*/true);
+    const SimTime latency = mono_usec() - t0;
     if (value.has_value()) {
-      record_success(server);
+      if (value_corrupt(server, *c, key, *value, now)) {
+        // The transport did its job — the payload did not. Feed the health
+        // baseline, serve a miss, let the backend read-repair.
+        record_success(server, now, latency);
+        if (ctx.active()) {
+          ctx.child(obs::span_clock_now(), child_kind, server,
+                    obs::SpanCause::kCorrupt, key);
+        }
+        return {FetchStatus::kCorrupt, {}};
+      }
+      record_success(server, now, latency);
       ++endpoints_[static_cast<std::size_t>(server)].hits;
       if (ctx.active()) {
         ctx.child(obs::span_clock_now(), child_kind, server,
@@ -615,7 +822,7 @@ ProteusClient::FetchResult ProteusClient::cache_get(int server,
       return {FetchStatus::kHit, std::move(*value)};
     }
     if (c->last_error() == net::NetError::kNone) {
-      record_success(server);
+      record_success(server, now, latency);
       if (ctx.active()) {
         ctx.child(obs::span_clock_now(), child_kind, server,
                   obs::SpanCause::kMiss, key);
@@ -642,14 +849,263 @@ ProteusClient::FetchResult ProteusClient::cache_get(int server,
   return {FetchStatus::kDown, {}};
 }
 
+int ProteusClient::pick_backup(std::string_view key, int primary) const {
+  if (options_.replicas <= 1) return -1;
+  for (int server : replica_locations(key)) {
+    if (server == primary) continue;
+    if (endpoints_[static_cast<std::size_t>(server)].health.state() ==
+        core::EndpointHealth::State::kQuarantined) {
+      continue;
+    }
+    return server;
+  }
+  return -1;
+}
+
+ProteusClient::FetchResult ProteusClient::hedged_get(int primary, int backup,
+                                                     std::string_view key,
+                                                     SimTime now,
+                                                     obs::TraceContext& ctx) {
+  Endpoint& pep = endpoints_[static_cast<std::size_t>(primary)];
+  ++pep.gets;
+  hedge_budget_.on_request();
+
+  const auto skip_cause = [this](int server) {
+    return endpoints_[static_cast<std::size_t>(server)].health.state() ==
+                   core::EndpointHealth::State::kQuarantined
+               ? obs::SpanCause::kQuarantined
+               : obs::SpanCause::kDown;
+  };
+
+  MemcacheConnection* pc = acquire(primary, now);
+  if (pc == nullptr ||
+      !pc->begin_get(key, ctx.trace_id, false, epoch_,
+                     /*want_checksum=*/true)) {
+    if (pc != nullptr) record_failure(primary, pc->last_error(), now);
+    if (ctx.active()) {
+      ctx.child(obs::span_clock_now(), obs::SpanKind::kCacheGet, primary,
+                pc == nullptr ? skip_cause(primary)
+                              : cause_of(pc->last_error()),
+                key);
+    }
+    return {FetchStatus::kDown, {}};
+  }
+
+  SimTime t0 = mono_usec();
+  const SimTime deadline = t0 + options_.op_timeout;
+  const SimTime hedge_at = t0 + pep.health.hedge_delay();
+  bool hedge_decided = false;  // the delay elapsed and we chose fire/skip
+  MemcacheConnection* bc = nullptr;
+  SimTime hedge_t0 = 0;
+  bool primary_alive = true;
+  int attempt = 0;
+  std::optional<std::string> pvalue;
+  std::optional<std::string> bvalue;
+
+  // One pass per poll wakeup: drive both parsers, fire the hedge when the
+  // adaptive delay elapses, first well-formed answer wins, the loser's
+  // stream (now carrying an answer nobody will read) is abandoned.
+  for (;;) {
+    if (primary_alive && pc->poll_get(pvalue) ==
+                             MemcacheConnection::GetProgress::kDone) {
+      const SimTime latency = mono_usec() - t0;
+      const net::NetError err = pc->last_error();
+      if (err == net::NetError::kNone) {
+        const obs::SpanKind kind =
+            attempt == 0 ? obs::SpanKind::kCacheGet : obs::SpanKind::kRetry;
+        if (pvalue.has_value() &&
+            value_corrupt(primary, *pc, key, *pvalue, now)) {
+          record_success(primary, now, latency);  // transport was clean
+          if (bc != nullptr) bc->abandon();
+          if (ctx.active()) {
+            ctx.child(obs::span_clock_now(), kind, primary,
+                      obs::SpanCause::kCorrupt, key);
+          }
+          return {FetchStatus::kCorrupt, {}};
+        }
+        record_success(primary, now, latency);
+        if (bc != nullptr) {
+          ++stats_.hedge_losses;
+          bc->abandon();
+          obs::emit(options_.trace, now, obs::TraceEventKind::kHedge, primary,
+                    backup, /*primary won*/ 0, key);
+        }
+        if (pvalue.has_value()) {
+          ++pep.hits;
+          if (ctx.active()) {
+            ctx.child(obs::span_clock_now(), kind, primary,
+                      obs::SpanCause::kHit, key);
+          }
+          return {FetchStatus::kHit, std::move(*pvalue)};
+        }
+        if (ctx.active()) {
+          ctx.child(obs::span_clock_now(), kind, primary,
+                    obs::SpanCause::kMiss, key);
+        }
+        return {FetchStatus::kMiss, {}};
+      }
+      record_failure(primary, err, now);
+      if (ctx.active()) {
+        ctx.child(obs::span_clock_now(),
+                  attempt == 0 ? obs::SpanKind::kCacheGet
+                               : obs::SpanKind::kRetry,
+                  primary, cause_of(err), key);
+      }
+      if (err == net::NetError::kOverloaded) {
+        if (bc != nullptr) bc->abandon();
+        return {FetchStatus::kShed, {}};
+      }
+      if (err == net::NetError::kStaleEpoch) {
+        refresh_view(primary, now);
+        if (bc != nullptr) bc->abandon();
+        return {FetchStatus::kMiss, {}};
+      }
+      // Transport death. With no hedge in flight, fall back to the classic
+      // bounded retry (reconnect + resend, decorrelated-jitter spacing);
+      // with one racing, just ride the backup.
+      primary_alive = false;
+      if (bc == nullptr) {
+        if (++attempt >= options_.max_attempts) return {FetchStatus::kDown, {}};
+        ++stats_.retries;
+        const SimTime pause = retry_jitter_.next(rng_);
+        ::poll(nullptr, 0,
+               static_cast<int>((pause + kMillisecond - 1) / kMillisecond));
+        pc = acquire(primary, now);
+        if (pc == nullptr ||
+            !pc->begin_get(key, ctx.trace_id, false, epoch_, true)) {
+          if (pc != nullptr) record_failure(primary, pc->last_error(), now);
+          return {FetchStatus::kDown, {}};
+        }
+        t0 = mono_usec();
+        primary_alive = true;
+      }
+    }
+
+    if (bc != nullptr &&
+        bc->poll_get(bvalue) == MemcacheConnection::GetProgress::kDone) {
+      const SimTime blat = mono_usec() - hedge_t0;
+      const net::NetError err = bc->last_error();
+      if (err == net::NetError::kNone &&
+          !(bvalue.has_value() &&
+            value_corrupt(backup, *bc, key, *bvalue, now))) {
+        record_success(backup, now, blat);
+        ++stats_.hedge_wins;
+        if (primary_alive) pc->abandon();
+        obs::emit(options_.trace, now, obs::TraceEventKind::kHedge, primary,
+                  backup, /*hedge won*/ 1, key);
+        if (bvalue.has_value()) {
+          ++endpoints_[static_cast<std::size_t>(backup)].hits;
+          if (ctx.active()) {
+            ctx.child(obs::span_clock_now(), obs::SpanKind::kCacheGet, backup,
+                      obs::SpanCause::kHedged, key);
+          }
+          return {FetchStatus::kHit, std::move(*bvalue)};
+        }
+        if (ctx.active()) {
+          ctx.child(obs::span_clock_now(), obs::SpanKind::kCacheGet, backup,
+                    obs::SpanCause::kMiss, key);
+        }
+        return {FetchStatus::kMiss, {}};
+      }
+      // The backup refused, died, or answered corrupt bytes: drop out of
+      // the race and keep riding the primary (if it too is gone, the caller
+      // takes the failover/database path).
+      if (err == net::NetError::kNone) {
+        record_success(backup, now, blat);  // corrupt payload, clean wire
+      } else {
+        record_failure(backup, err, now);
+      }
+      bc = nullptr;
+      if (!primary_alive) return {FetchStatus::kDown, {}};
+    }
+
+    const SimTime mono = mono_usec();
+    if (mono >= deadline) {
+      if (primary_alive) {
+        pc->abandon();
+        record_failure(primary, net::NetError::kTimeout, now);
+        if (ctx.active()) {
+          ctx.child(obs::span_clock_now(), obs::SpanKind::kCacheGet, primary,
+                    obs::SpanCause::kTimeout, key);
+        }
+      }
+      if (bc != nullptr) {
+        bc->abandon();
+        record_failure(backup, net::NetError::kTimeout, now);
+      }
+      return {FetchStatus::kDown, {}};
+    }
+
+    if (!hedge_decided && primary_alive && mono >= hedge_at) {
+      hedge_decided = true;
+      if (backup < 0 && pep.health.state() ==
+                            core::EndpointHealth::State::kHealthy) {
+        // With no distinct replica the only hedge target is the database.
+        // A lone outlier from an on-baseline endpoint is noise (scheduler
+        // jitter, a compaction pause on this side) — diverting it to the
+        // backend trades a warm hit for DB load. Divert only once the
+        // endpoint has accrued suspicion; otherwise ride the primary out.
+      } else if (!hedge_budget_.try_acquire()) {
+        ++stats_.hedges_suppressed;  // over the extra-load budget
+      } else if (backup < 0) {
+        // No distinct replica holds this key: the only useful hedge is to
+        // stop waiting on the outlier and read-repair from the database.
+        ++stats_.hedges_fired;
+        ++stats_.hedges_to_backend;
+        pc->abandon();
+        obs::emit(options_.trace, now, obs::TraceEventKind::kHedge, primary,
+                  -1, 1, key);
+        if (ctx.active()) {
+          ctx.child(obs::span_clock_now(), obs::SpanKind::kCacheGet, primary,
+                    obs::SpanCause::kHedged, key);
+        }
+        return {FetchStatus::kMiss, {}};
+      } else {
+        MemcacheConnection* cand = acquire(backup, now);
+        if (cand != nullptr &&
+            cand->begin_get(key, ctx.trace_id, false, epoch_, true)) {
+          bc = cand;
+          hedge_t0 = mono_usec();
+          ++stats_.hedges_fired;
+          ++endpoints_[static_cast<std::size_t>(backup)].gets;
+        } else if (cand != nullptr) {
+          record_failure(backup, cand->last_error(), now);
+        }
+      }
+    }
+
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    if (primary_alive) fds[nfds++] = {pc->fd(), POLLIN, 0};
+    if (bc != nullptr) fds[nfds++] = {bc->fd(), POLLIN, 0};
+    if (nfds == 0) return {FetchStatus::kDown, {}};
+    SimTime wait_until = deadline;
+    if (!hedge_decided && primary_alive) {
+      wait_until = std::min(wait_until, hedge_at);
+    }
+    const SimTime remaining = wait_until - mono_usec();
+    const int timeout_ms =
+        remaining <= 0 ? 0
+                       : static_cast<int>(std::min<SimTime>(
+                             (remaining + kMillisecond - 1) / kMillisecond,
+                             60 * 1000));
+    ::poll(fds, nfds, timeout_ms);  // EINTR/timeout: the loop re-examines
+  }
+}
+
 bool ProteusClient::cache_set(int server, std::string_view key,
                               std::string_view value, SimTime now,
                               std::uint64_t trace_id, bool background) {
   MemcacheConnection* c = acquire(server, now);
   if (c == nullptr) return false;
-  const bool stored = c->set(key, value, 0, trace_id, background, epoch_);
+  const SimTime t0 = mono_usec();
+  // Every store stamps its payload's CRC32C: the daemon refuses values
+  // corrupted on the way in (bad-checksum) and keeps the stamp for at-rest
+  // and read-side verification.
+  const bool stored = c->set(key, value, 0, trace_id, background, epoch_,
+                             /*with_checksum=*/true);
   if (c->last_error() == net::NetError::kNone) {
-    record_success(server);
+    record_success(server, now, mono_usec() - t0);
   } else {
     record_failure(server, c->last_error(), now);
     if (c->last_error() == net::NetError::kStaleEpoch) {
@@ -663,9 +1119,10 @@ void ProteusClient::cache_erase(int server, std::string_view key,
                                 SimTime now) {
   MemcacheConnection* c = acquire(server, now);
   if (c == nullptr) return;
+  const SimTime t0 = mono_usec();
   c->erase(key, epoch_);
   if (c->last_error() == net::NetError::kNone) {
-    record_success(server);
+    record_success(server, now, mono_usec() - t0);
   } else {
     record_failure(server, c->last_error(), now);
     if (c->last_error() == net::NetError::kStaleEpoch) {
@@ -695,14 +1152,15 @@ std::optional<bloom::BloomFilter> ProteusClient::fetch_digest(int server,
     if (attempt > 0) ++stats_.retries;
     MemcacheConnection* c = acquire(server, now);
     if (c == nullptr) break;
+    const SimTime t0 = mono_usec();
     auto digest = c->fetch_digest();
     if (digest.has_value()) {
-      record_success(server);
+      record_success(server, now, mono_usec() - t0);
       return digest;
     }
     if (c->last_error() == net::NetError::kNone) {
       // The daemon answered but served no digest — nothing to retry.
-      record_success(server);
+      record_success(server, now, mono_usec() - t0);
       return std::nullopt;
     }
     record_failure(server, c->last_error(), now);
@@ -731,6 +1189,33 @@ std::vector<int> ProteusClient::replica_locations(std::string_view key) const {
 }
 
 void ProteusClient::tick(SimTime now) {
+  // Background probe traffic: quarantined endpoints whose dwell elapsed are
+  // pinged with a cheap `version` even if routing sends them nothing, so
+  // re-admission never depends on a key happening to hash their way.
+  // Rate-gated; the probe itself opens probation via acquire()/allow().
+  if (now - last_probe_sweep_ >= 250 * kMillisecond) {
+    last_probe_sweep_ = now;
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      Endpoint& ep = endpoints_[i];
+      if (ep.health.state() != core::EndpointHealth::State::kQuarantined ||
+          now < ep.health.probe_at()) {
+        continue;
+      }
+      const int server = static_cast<int>(i);
+      MemcacheConnection* c = acquire(server, now);
+      if (c == nullptr) continue;  // reconnect failed: already recorded
+      const SimTime t0 = mono_usec();
+      if (!c->version().empty()) {
+        record_success(server, now, mono_usec() - t0);
+      } else {
+        record_failure(server,
+                       c->last_error() == net::NetError::kNone
+                           ? net::NetError::kReset
+                           : c->last_error(),
+                       now);
+      }
+    }
+  }
   if (router_.in_transition() && now >= router_.transition_end()) {
     // Real deployments would power the drained daemons off here; that is
     // an operator action outside this client's authority.
@@ -792,13 +1277,22 @@ std::string ProteusClient::get_inner(std::string_view key, SimTime now,
                               : obs::SpanCause::kDigestCold);
   }
 
-  const FetchResult primary =
-      cache_get(d.primary, key, now, ctx, obs::SpanKind::kCacheGet);
+  // The foreground fetch is hedged: past the primary's adaptive delay a
+  // budgeted backup GET races it on the key's replica location (or, with no
+  // replica, the slow primary is abandoned in favor of the database).
+  const int backup = options_.hedging ? pick_backup(key, d.primary) : -1;
+  FetchResult primary =
+      options_.hedging
+          ? hedged_get(d.primary, backup, key, now, ctx)
+          : cache_get(d.primary, key, now, ctx, obs::SpanKind::kCacheGet);
   if (primary.status == FetchStatus::kHit) {
     ++stats_.new_server_hits;
     ctx.root_cause = obs::SpanCause::kHit;
     return primary.value;
   }
+  // A corrupt hit is served as a miss from here on: the refill below is the
+  // read repair that replaces the damaged copy.
+  bool corrupt_seen = primary.status == FetchStatus::kCorrupt;
   if (primary.status == FetchStatus::kShed) {
     // The primary refused the work to protect itself. Going to the backend
     // instead would convert a cache overload into a database overload, so
@@ -819,6 +1313,7 @@ std::string ProteusClient::get_inner(std::string_view key, SimTime now,
           ctx.root_cause = obs::SpanCause::kFailoverHit;
           return r.value;
         }
+        if (r.status == FetchStatus::kCorrupt) corrupt_seen = true;
       }
     }
     // No replica answered: the down server degrades to a plain miss (the
@@ -845,6 +1340,7 @@ std::string ProteusClient::get_inner(std::string_view key, SimTime now,
         migrate = options_.migration_throttle->allow(now);
       }
       if (migrate) {
+        if (corrupt_seen) ++stats_.read_repairs;
         for (int server : replica_locations(key)) {
           cache_set(server, key, old.value, now, ctx.trace_id,
                     /*background=*/true);
@@ -866,9 +1362,10 @@ std::string ProteusClient::get_inner(std::string_view key, SimTime now,
       ctx.root_cause = obs::SpanCause::kOldHit;
       return old.value;
     }
+    if (old.status == FetchStatus::kCorrupt) corrupt_seen = true;
     if (old.status == FetchStatus::kMiss) {
-      // A clean miss under a digest hit is a §IV-B false positive; a down
-      // or shedding server proves nothing about the digest.
+      // A clean miss under a digest hit is a §IV-B false positive; a down,
+      // shedding, or corrupt-serving server proves nothing about the digest.
       ++stats_.digest_false_positives;
       obs::emit(options_.trace, now,
                 obs::TraceEventKind::kDigestFalsePositive, d.fallback,
@@ -899,7 +1396,9 @@ std::string ProteusClient::get_inner(std::string_view key, SimTime now,
   }
   if (!coalesced) {
     // The singleflight leader fills the cache for everyone; followers
-    // skipping the writes is the point of collapsing the fetch.
+    // skipping the writes is the point of collapsing the fetch. When a
+    // corrupt copy triggered this path, the fill IS the read repair.
+    if (corrupt_seen) ++stats_.read_repairs;
     for (int server : replica_locations(key)) {
       cache_set(server, key, value, now, ctx.trace_id);
     }
@@ -1073,6 +1572,32 @@ void ProteusClient::register_metrics(obs::MetricsRegistry& registry) const {
   stat("proteus_client_epoch_pushes_total",
        "cluster epochs taught to daemons",
        [](const Stats& s) { return s.epoch_pushes; });
+  stat("proteus_client_hedges_fired_total", "backup GETs actually sent",
+       [](const Stats& s) { return s.hedges_fired; });
+  stat("proteus_client_hedge_wins_total",
+       "hedged backups that answered before the primary",
+       [](const Stats& s) { return s.hedge_wins; });
+  stat("proteus_client_hedge_losses_total",
+       "hedges outrun by the primary after all",
+       [](const Stats& s) { return s.hedge_losses; });
+  stat("proteus_client_hedges_suppressed_total",
+       "hedge delay hit but the extra-load budget refused",
+       [](const Stats& s) { return s.hedges_suppressed; });
+  stat("proteus_client_hedges_to_backend_total",
+       "slow primaries abandoned for the database (no replica)",
+       [](const Stats& s) { return s.hedges_to_backend; });
+  stat("proteus_client_quarantine_enters_total",
+       "endpoints taken out of rotation by the health detector",
+       [](const Stats& s) { return s.quarantine_enters; });
+  stat("proteus_client_quarantine_exits_total",
+       "quarantined endpoints re-admitted to probation",
+       [](const Stats& s) { return s.quarantine_exits; });
+  stat("proteus_client_corrupt_values_total",
+       "payload CRC32C mismatches caught at the client",
+       [](const Stats& s) { return s.corrupt_values; });
+  stat("proteus_client_read_repairs_total",
+       "corrupt hits refilled from the database",
+       [](const Stats& s) { return s.read_repairs; });
   registry.gauge_fn("proteus_client_active_servers",
                     "endpoints in the current mapping",
                     [this] { return static_cast<double>(active_servers()); });
@@ -1082,12 +1607,31 @@ void ProteusClient::register_metrics(obs::MetricsRegistry& registry) const {
   registry.gauge_fn("proteus_client_epoch",
                     "the client's fencing epoch (docs/PROTOCOL.md)",
                     [this] { return static_cast<double>(epoch_); });
+  registry.gauge_fn("proteus_client_hedge_tokens",
+                    "hedge budget tokens currently available",
+                    [this] { return hedge_budget_.tokens(); });
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     registry.gauge_fn(
         "proteus_client_endpoint_" + std::to_string(i) + "_breaker_state",
-        "0=closed 1=open 2=half-open",
+        "0=closed 1=open 2=half-open (health-machine compat view)",
         [this, i] {
-          return static_cast<double>(endpoints_[i].breaker.state());
+          return static_cast<double>(breaker_state(static_cast<int>(i)));
+        });
+    registry.gauge_fn(
+        "proteus_client_endpoint_" + std::to_string(i) + "_health_state",
+        "0=healthy 1=suspect 2=quarantined 3=probation",
+        [this, i] {
+          return static_cast<double>(endpoints_[i].health.state());
+        });
+    registry.gauge_fn(
+        "proteus_client_endpoint_" + std::to_string(i) + "_suspicion",
+        "phi-accrual suspicion (EWMA of per-sample phi)",
+        [this, i] { return endpoints_[i].health.suspicion(); });
+    registry.gauge_fn(
+        "proteus_client_endpoint_" + std::to_string(i) + "_hedge_delay_us",
+        "adaptive hedge trigger: baseline mean + k deviations",
+        [this, i] {
+          return static_cast<double>(endpoints_[i].health.hedge_delay());
         });
   }
   if (options_.limiter != nullptr) {

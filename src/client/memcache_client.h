@@ -12,12 +12,28 @@
 // Fault model (this is the live analogue of what src/cluster simulates):
 // every wire operation is bounded by a deadline, writes are SIGPIPE-safe,
 // and a server that times out / resets / desyncs is health-gated behind a
-// circuit breaker with capped, jittered reconnect backoff. A down server
-// degrades to a backend fetch (the paper's web tier consults the database)
-// or, when §III-E replication is configured, fails over to the key's
-// replica ring locations. resize() is transactional against failures: a
-// digest that cannot be fetched is recorded as absent — the transition
-// still completes, that server is simply never consulted as "hot".
+// phi-accrual EndpointHealth detector (core/endpoint_health.h) whose
+// quarantine/probation machine replaces the old binary breaker: gray
+// failures (slow-but-alive, rising error mix) accrue suspicion instead of
+// needing hard consecutive failures, and a quarantined endpoint is always
+// re-probed on a decorrelated-jitter schedule — never blacklisted. A down
+// server degrades to a backend fetch (the paper's web tier consults the
+// database) or, when §III-E replication is configured, fails over to the
+// key's replica ring locations. resize() is transactional against
+// failures: a digest that cannot be fetched is recorded as absent — the
+// transition still completes, that server is never consulted as "hot".
+//
+// Tail defense: foreground gets are HEDGED — once the primary has been
+// outstanding past its endpoint's adaptive delay (baseline mean + k
+// deviations), a budgeted (≤ hedge_rate of load) backup GET races it on
+// the key's replica location and the first well-formed answer wins.
+//
+// End-to-end payload integrity: every fill/put stamps the value's CRC32C
+// on the wire (C<hex8> meta-token, docs/PROTOCOL.md); every get asks the
+// daemon to echo the stored checksum and re-verifies it at arrival. A
+// mismatch — wire corruption either direction, or daemon memory gone bad —
+// is counted, traced, and served as a MISS so the value is read-repaired
+// from the database instead of propagating.
 #pragma once
 
 #include <cstdint>
@@ -86,15 +102,50 @@ class MemcacheConnection {
   // view are refused with `SERVER_ERROR stale-epoch`, surfaced as
   // last_error() == kStaleEpoch with the connection still usable — the
   // caller must refresh its view (hello()), never retry.
+  // `want_checksum` appends the C meta-token asking this repo's daemons to
+  // echo the stored CRC32C on the VALUE line (see last_value_checksum());
+  // stock servers treat it as one more always-missing key.
   std::optional<std::string> get(std::string_view key,
                                  std::uint64_t trace_id = 0,
                                  bool background = false,
-                                 std::uint64_t epoch = 0);
+                                 std::uint64_t epoch = 0,
+                                 bool want_checksum = false);
+  // `with_checksum` stamps the value's CRC32C as a C meta-token; this
+  // repo's daemons verify it at arrival (refusing corrupted frames with
+  // `SERVER_ERROR bad-checksum`) and store it for at-rest verification.
   bool set(std::string_view key, std::string_view value,
            std::uint32_t flags = 0, std::uint64_t trace_id = 0,
-           bool background = false, std::uint64_t epoch = 0);
+           bool background = false, std::uint64_t epoch = 0,
+           bool with_checksum = false);
   bool erase(std::string_view key, std::uint64_t epoch = 0);
   std::string version();
+
+  // --- streaming GET (the hedged-read primitive) -----------------------------
+  // begin_get() sends the request and arms the reply parser; poll_get()
+  // consumes whatever bytes are available WITHOUT blocking and reports
+  // whether the reply is complete. Between polls the owner multiplexes this
+  // connection's fd() against others (that is how a hedge races two
+  // servers). On kDone the result carries the same semantics as get():
+  // value or nullopt with last_error() distinguishing miss / shed / fence /
+  // transport death. The blocking get() is this same machine driven by an
+  // internal poll loop.
+  enum class GetProgress { kPending, kDone };
+  bool begin_get(std::string_view key, std::uint64_t trace_id = 0,
+                 bool background = false, std::uint64_t epoch = 0,
+                 bool want_checksum = false);
+  GetProgress poll_get(std::optional<std::string>& value);
+  // The pollable socket, -1 when dead.
+  int fd() const noexcept { return fd_; }
+  // Quietly closes the connection without recording an error — used to
+  // abandon an in-flight request whose peer lost a hedge race (its reply,
+  // still in flight, would desync the stream if we kept reading). The
+  // owner reconnects on next use.
+  void abandon() noexcept { close_now(); }
+  // The CRC32C echoed on the last completed get (nullopt when the server
+  // sent none — stock daemon, unstamped item, or echo not requested).
+  std::optional<std::uint32_t> last_value_checksum() const noexcept {
+    return value_checksum_;
+  }
 
   // The epoch/incarnation handshake: `get PROTEUS_EPOCH` answered as
   // "<epoch> <incarnation>". The incarnation identifies this daemon
@@ -128,10 +179,24 @@ class MemcacheConnection {
   void fail(net::NetError error);
   void close_now();
 
+  // Non-blocking buffer fill: >0 bytes appended, 0 = would block,
+  // -1 = connection failed (error recorded).
+  int fill_nonblocking();
+  // Reply-parser stages for the streaming GET.
+  enum class GetStage { kIdle, kHeader, kBody, kEnd };
+  // Advances the parser as far as buffer_ allows; kDone when the reply is
+  // complete (value/miss/refusal) or the stream died.
+  GetProgress step_get(std::optional<std::string>& value);
+
   int fd_ = -1;
   Options options_;
   net::NetError last_error_ = net::NetError::kNone;
   std::string buffer_;
+  // Streaming-GET parser state.
+  GetStage get_stage_ = GetStage::kIdle;
+  std::size_t pending_bytes_ = 0;
+  std::string pending_value_;
+  std::optional<std::uint32_t> value_checksum_;
 };
 
 // The web-server role: Algorithm 2 routing across a fleet of real daemons,
@@ -156,12 +221,26 @@ class ProteusClient {
     // --- fault tolerance ---------------------------------------------------
     SimTime connect_timeout = kSecond;  // wall-clock bound per connect
     SimTime op_timeout = kSecond;       // wall-clock bound per wire op
-    // Total attempts per wire op (1 = no retry). Retries reconnect first.
+    // Total attempts per wire op (1 = no retry). Retries reconnect first,
+    // spaced by decorrelated jitter drawn from `jitter_seed`.
     int max_attempts = 2;
-    // Breaker: consecutive failures before an endpoint is taken out of
-    // rotation, and the (capped, jittered) schedule for re-probing it.
+    // Fail-stop knobs, kept under the historical name: consecutive hard
+    // failures before an endpoint is quarantined, and the base/cap of its
+    // decorrelated-jitter re-probe dwell. These override the matching
+    // fields of `health` (they are the same dials, pre-gray-failure).
     core::CircuitBreaker::Policy breaker;
+    // Gray-failure detection policy (phi thresholds, latency EWMA gains,
+    // hedge-delay shaping) — see core::EndpointHealth::Policy. The
+    // error-threshold and quarantine-dwell fields are taken from `breaker`.
+    core::EndpointHealth::Policy health;
     std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+    // Hedged reads: after the primary's adaptive delay, race a backup GET
+    // against the key's replica location (needs replicas > 1 for a distinct
+    // backup). `hedge_rate` bounds the extra load (0.05 = at most 5% more
+    // GETs); `hedging` turns the mechanism off entirely for A/B drills.
+    bool hedging = true;
+    double hedge_rate = 0.05;
+    double hedge_burst = 8.0;
     // §III-E replication degree. With r > 1 every fill/put writes all r
     // ring locations and reads fail over to them when the primary is down.
     int replicas = 1;
@@ -245,6 +324,16 @@ class ProteusClient {
     std::uint64_t stale_epoch_rejects = 0;   // mutations fenced by a daemon
     std::uint64_t incarnation_changes = 0;   // cold restarts seen on reconnect
     std::uint64_t epoch_pushes = 0;          // epochs taught to daemons
+    // Gray-failure observability.
+    std::uint64_t hedges_fired = 0;       // backup GETs actually sent
+    std::uint64_t hedge_wins = 0;         // backup answered first
+    std::uint64_t hedge_losses = 0;       // primary answered first anyway
+    std::uint64_t hedges_suppressed = 0;  // delay hit but budget refused
+    std::uint64_t hedges_to_backend = 0;  // no replica: slow primary abandoned
+    std::uint64_t quarantine_enters = 0;  // endpoints taken out of rotation
+    std::uint64_t quarantine_exits = 0;   // probation probes re-admitted one
+    std::uint64_t corrupt_values = 0;     // CRC32C mismatches caught on get
+    std::uint64_t read_repairs = 0;       // corrupt hits refilled from the DB
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -254,13 +343,27 @@ class ProteusClient {
     return get_latency_us_.snapshot();
   }
 
-  // Registers every Stats counter, the breaker state per endpoint, and the
+  // Registers every Stats counter, the per-endpoint health state, and the
   // get-latency histogram into `registry`. Callbacks read this object;
   // snapshot from the thread driving the client (it is not thread-safe
   // anyway), and keep `this` alive past the registry's last snapshot.
   void register_metrics(obs::MetricsRegistry& registry) const;
+  // Direct view of the phi-accrual detector gating `server`.
+  const core::EndpointHealth& endpoint_health(int server) const {
+    return endpoints_.at(static_cast<std::size_t>(server)).health;
+  }
+  // Compatibility view of the health machine in the old breaker vocabulary:
+  // healthy/suspect -> closed (traffic flows), quarantined -> open
+  // (skipped), probation -> half-open (proving itself).
   core::CircuitBreaker::State breaker_state(int server) const {
-    return endpoints_.at(static_cast<std::size_t>(server)).breaker.state();
+    switch (endpoint_health(server).state()) {
+      case core::EndpointHealth::State::kQuarantined:
+        return core::CircuitBreaker::State::kOpen;
+      case core::EndpointHealth::State::kProbation:
+        return core::CircuitBreaker::State::kHalfOpen;
+      default:
+        return core::CircuitBreaker::State::kClosed;
+    }
   }
 
  private:
@@ -268,7 +371,7 @@ class ProteusClient {
     std::string host;
     std::uint16_t port = 0;
     std::unique_ptr<MemcacheConnection> conn;  // lazily (re)established
-    core::CircuitBreaker breaker;
+    core::EndpointHealth health;
     // Last incarnation seen from this daemon (0 = never spoken to). A
     // different value on reconnect means the process cold-restarted: its
     // memory — and any transition digest describing it — died with it.
@@ -277,13 +380,18 @@ class ProteusClient {
     // cache_get calls routed here and how many answered with a hit.
     std::uint64_t gets = 0;
     std::uint64_t hits = 0;
+    // health's transition counters already surfaced as Stats/trace events.
+    std::uint64_t seen_quarantine_enters = 0;
+    std::uint64_t seen_quarantine_exits = 0;
   };
 
   // kShed: the daemon refused the request (admission control) — the server
   // is healthy but saturated. Distinct from kMiss so shed fallback fetches
-  // never count as digest false positives, and from kDown so the breaker
-  // takes no penalty and no retry feeds the overload.
-  enum class FetchStatus { kHit, kMiss, kDown, kShed };
+  // never count as digest false positives, and from kDown so the health
+  // detector takes no penalty and no retry feeds the overload. kCorrupt: a
+  // hit whose payload failed its CRC32C — served as a miss so the caller
+  // read-repairs it from the database.
+  enum class FetchStatus { kHit, kMiss, kDown, kShed, kCorrupt };
   struct FetchResult {
     FetchStatus status;
     std::string value;
@@ -293,17 +401,35 @@ class ProteusClient {
   std::string get_inner(std::string_view key, SimTime now,
                         obs::TraceContext& ctx);
 
-  // Health-gated access: returns a live connection or nullptr (breaker
-  // open, or reconnect failed — failure already recorded).
+  // Health-gated access: returns a live connection or nullptr (endpoint
+  // quarantined, or reconnect failed — failure already recorded).
   MemcacheConnection* acquire(int server, SimTime now);
   void record_failure(int server, net::NetError error, SimTime now);
-  void record_success(int server);
+  void record_success(int server, SimTime now, SimTime latency_us);
+  // Diffs the endpoint's quarantine transition counters against Stats and
+  // emits the enter/exit trace events for any change the last health call
+  // produced.
+  void note_health_events(int server, SimTime now);
+  // Client-side integrity check: the daemon echoed a stored CRC32C and it
+  // does not match the bytes that arrived. Counts + traces the corruption.
+  bool value_corrupt(int server, MemcacheConnection& c, std::string_view key,
+                     std::string_view value, SimTime now);
 
   // Wire ops with retry + health bookkeeping. `ctx`/`kind`: each attempt
   // becomes a tiled child span (first attempt = `kind`, retries = kRetry)
   // and the trace id rides the wire to the daemon.
   FetchResult cache_get(int server, std::string_view key, SimTime now,
                         obs::TraceContext& ctx, obs::SpanKind kind);
+  // The hedged foreground fetch: race the primary against `backup` (fired
+  // after the primary's adaptive hedge delay, spending the hedge budget);
+  // first well-formed answer wins, the loser's connection is abandoned.
+  // backup < 0 means "no distinct replica": the only hedge then is to
+  // abandon a too-slow primary and let the caller fall through to the
+  // database. Single attempt by design — the hedge IS the retry.
+  FetchResult hedged_get(int primary, int backup, std::string_view key,
+                         SimTime now, obs::TraceContext& ctx);
+  // The healthiest non-primary replica location of `key`, or -1.
+  int pick_backup(std::string_view key, int primary) const;
   bool cache_set(int server, std::string_view key, std::string_view value,
                  SimTime now, std::uint64_t trace_id = 0,
                  bool background = false);
@@ -327,11 +453,14 @@ class ProteusClient {
   std::shared_ptr<const ring::ProteusPlacement> placement_;
   cluster::Router router_;
   std::vector<Endpoint> endpoints_;
-  Rng rng_;  // deterministic jitter for backoff schedules
+  Rng rng_;  // deterministic jitter for backoff/probe schedules
+  core::DecorrelatedJitter retry_jitter_;  // spacing between wire retries
+  core::HedgeBudget hedge_budget_;
   Stats stats_;
   obs::Histogram get_latency_us_;
   std::uint64_t epoch_ = 0;  // fencing epoch (docs/PROTOCOL.md)
   SimTime last_audit_feed_ = 0;
+  SimTime last_probe_sweep_ = 0;  // tick()'s background-probe rate gate
 };
 
 }  // namespace proteus::client

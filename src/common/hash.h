@@ -43,6 +43,18 @@ inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
   return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected, init/final-xor
+// 0xFFFFFFFF) over raw bytes. `seed` is the running CRC for incremental
+// use: crc32c(b) == crc32c(b2, crc32c(b1)) for any split b = b1 + b2.
+//
+// Used as the end-to-end payload integrity checksum on the wire (text
+// `C<hex8>` meta-token, binary extras field) and at-rest in the cache, so
+// it must be cheap on the hot GET path. Dispatches at runtime to an
+// SSE4.2 crc32q path and, where available, a VPCLMULQDQ folding kernel
+// (~0.07 cycles/byte); the portable fallback is slicing-by-8. All paths
+// produce identical results (hash_test cross-checks them).
+std::uint32_t crc32c(std::string_view bytes, std::uint32_t seed = 0) noexcept;
+
 // Kirsch–Mitzenmacher double hashing: h_i(x) = h1 + i*h2. Provides any
 // number of "independent" hash values from two base hashes; the standard
 // technique for Bloom filters.

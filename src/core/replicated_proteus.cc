@@ -24,6 +24,8 @@ ReplicatedProteus::ReplicatedProteus(ReplicatedOptions options,
   }
   servers_.reserve(static_cast<std::size_t>(options_.max_servers));
   failed_.assign(static_cast<std::size_t>(options_.max_servers), false);
+  health_.assign(static_cast<std::size_t>(options_.max_servers),
+                 core::EndpointHealth{});
   for (int i = 0; i < options_.max_servers; ++i) {
     servers_.push_back(
         std::make_unique<cache::CacheServer>(options_.per_server));
@@ -110,6 +112,7 @@ std::vector<int> ReplicatedProteus::replica_servers(
 
 std::string ReplicatedProteus::get(std::string_view key, SimTime now) {
   tick(now);
+  last_now_ = now;
   ++stats_.gets;
   const std::string k(key);
 
@@ -122,13 +125,15 @@ std::string ReplicatedProteus::get(std::string_view key, SimTime now) {
 
   for (std::size_t ring = 0; ring < routers_.size() && !found; ++ring) {
     const cluster::Router::Decision d = routers_[ring]->decide(k);
-    if (!usable(d.primary)) {
+    if (!admit(d.primary, now)) {
+      // Crashed, powered off, or health-quarantined — skipped either way.
       ++stats_.failed_server_skips;
       continue;
     }
     if (auto v = mutable_server(d.primary).get(k, now)) {
       value = std::move(*v);
       found = true;
+      note_success(d.primary, now);
       if (ring == 0) {
         ++stats_.primary_ring_hits;
       } else {
@@ -136,6 +141,7 @@ std::string ReplicatedProteus::get(std::string_view key, SimTime now) {
       }
       break;
     }
+    note_success(d.primary, now);  // a clean miss is a healthy answer
     // Algorithm 2 lines 6-8 on this ring: the digest may place the data on
     // the ring's OLD location during a transition.
     if (d.fallback >= 0 && usable(d.fallback)) {
@@ -274,6 +280,9 @@ void ReplicatedProteus::fail_server(int server) {
   PROTEUS_CHECK(server >= 0 && server < options_.max_servers);
   if (failed_[static_cast<std::size_t>(server)]) return;
   failed_[static_cast<std::size_t>(server)] = true;
+  // The membership layer declared the server dead: quarantine the routing
+  // detector immediately rather than waiting for errors to accrue.
+  health_[static_cast<std::size_t>(server)].force_quarantine(last_now_, rng_);
   // A crash loses the in-memory cache (§III-A).
   if (mutable_server(server).power_state() != cache::PowerState::kOff) {
     mutable_server(server).power_off();
@@ -284,6 +293,8 @@ void ReplicatedProteus::recover_server(int server) {
   PROTEUS_CHECK(server >= 0 && server < options_.max_servers);
   if (!failed_[static_cast<std::size_t>(server)]) return;
   failed_[static_cast<std::size_t>(server)] = false;
+  // Operator re-admission: skip the probe dwell, prove health in probation.
+  health_[static_cast<std::size_t>(server)].begin_probation();
   // Rejoin cold if the server is inside the active set.
   if (server < routers_.front()->active()) {
     mutable_server(server).power_on();

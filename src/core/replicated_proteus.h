@@ -16,6 +16,13 @@
 // digest) is lost and routing skips it until recover_server(). This matches
 // §III-A's observation that a crash loses the cache regardless, and the
 // redundancy exists exactly so requests still hit a warm copy.
+//
+// Routing health: each server carries the same phi-accrual EndpointHealth
+// detector the live client uses (core/endpoint_health.h). fail_server()
+// force-quarantines the detector, recover_server() drops it into probation,
+// and the read path skips quarantined servers — so the facade exercises the
+// identical healthy/suspect/quarantined/probation machine the wire client
+// routes by, deterministically.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +34,9 @@
 
 #include "cache/cache_server.h"
 #include "cluster/router.h"
+#include "common/rng.h"
 #include "common/time.h"
+#include "core/endpoint_health.h"
 #include "core/transition_journal.h"
 #include "hashring/proteus_placement.h"
 #include "hashring/replicated_ring.h"
@@ -83,10 +92,15 @@ class ReplicatedProteus {
   void resize(int n_active, SimTime now);
   void tick(SimTime now);
 
-  // Crash / recovery injection.
+  // Crash / recovery injection. fail_server force-quarantines the server's
+  // health detector; recover_server re-admits it through probation.
   void fail_server(int server);
   void recover_server(int server);
   bool is_failed(int server) const { return failed_.at(static_cast<std::size_t>(server)); }
+  // The phi-accrual detector routing consults for `server`.
+  const core::EndpointHealth& health(int server) const {
+    return health_.at(static_cast<std::size_t>(server));
+  }
 
   int active_servers() const noexcept { return routers_.front()->active(); }
   int replicas() const noexcept { return options_.replicas; }
@@ -109,6 +123,16 @@ class ReplicatedProteus {
            servers_[static_cast<std::size_t>(server)]->power_state() !=
                cache::PowerState::kOff;
   }
+  // The read path's routing gate: power/crash state AND the health machine
+  // (quarantined servers are skipped until their probe dwell elapses; the
+  // admitting call itself opens probation).
+  bool admit(int server, SimTime now) {
+    return usable(server) &&
+           health_[static_cast<std::size_t>(server)].allow(now);
+  }
+  void note_success(int server, SimTime now) {
+    health_[static_cast<std::size_t>(server)].record_success(now, 0, rng_);
+  }
   void finalize_transition();
   std::size_t charge_for(const std::string& value) const noexcept {
     return options_.object_charge ? options_.object_charge : value.size();
@@ -120,6 +144,9 @@ class ReplicatedProteus {
   std::vector<std::unique_ptr<cluster::Router>> routers_;  // one per ring
   std::vector<std::unique_ptr<cache::CacheServer>> servers_;
   std::vector<bool> failed_;
+  std::vector<core::EndpointHealth> health_;  // routing signal per server
+  Rng rng_{0x9e3779b97f4a7c15ULL};  // probe-dwell jitter, deterministic
+  SimTime last_now_ = 0;  // latest caller clock, for clock-less injections
   std::vector<int> draining_;
   ReplicatedStats stats_;
   core::TransitionJournal journal_;

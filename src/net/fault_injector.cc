@@ -13,6 +13,38 @@ namespace {
 // text line the client expects, not a binary response magic.
 constexpr char kGarbage[] = "\x07garbage\xff\xfe not a protocol reply\r\n";
 
+// Flip one bit in the middle of the first VALUE data block of a text reply
+// (in place). Framing — header line, byte count, trailing CRLF, END — is
+// untouched, so the client's parser accepts the reply and only a payload
+// checksum can notice. No-op when the reply carries no data block.
+void flip_payload_bit(std::string& reply) {
+  const std::size_t header = reply.find("VALUE ");
+  if (header == std::string::npos) return;
+  const std::size_t eol = reply.find("\r\n", header);
+  if (eol == std::string::npos) return;
+  // Header: VALUE <key> <flags> <bytes>[ tokens...] — bytes is token 3.
+  std::size_t pos = header;
+  int spaces = 0;
+  std::size_t len_at = std::string::npos;
+  for (; pos < eol; ++pos) {
+    if (reply[pos] == ' ' && ++spaces == 3) {
+      len_at = pos + 1;
+      break;
+    }
+  }
+  if (len_at == std::string::npos) return;
+  std::size_t bytes_len = 0;
+  for (pos = len_at; pos < eol && reply[pos] >= '0' && reply[pos] <= '9';
+       ++pos) {
+    bytes_len = bytes_len * 10 + static_cast<std::size_t>(reply[pos] - '0');
+  }
+  if (bytes_len == 0) return;
+  const std::size_t data = eol + 2;
+  if (data + bytes_len > reply.size()) return;
+  reply[data + bytes_len / 2] =
+      static_cast<char>(reply[data + bytes_len / 2] ^ 0x10);
+}
+
 }  // namespace
 
 class FaultInjectingHandler final : public ConnectionHandler {
@@ -51,6 +83,11 @@ class FaultInjectingHandler final : public ConnectionHandler {
         // down, exactly as a daemon sliding into saturation would.
         std::this_thread::sleep_for(std::chrono::microseconds(ramp_delay));
         return inner_->on_data(bytes, close);
+      case FaultKind::kBitFlip: {
+        std::string reply = inner_->on_data(bytes, close);
+        flip_payload_bit(reply);
+        return reply;
+      }
       case FaultKind::kCrash:
         // The process dies mid-request: no reply, connection cut, and the
         // crash hook performs the actual kill/restart choreography.

@@ -53,6 +53,13 @@ enum class FaultKind {
   // (what deadlines and AIMD limiters key off). Schedule via
   // inject_latency_ramp().
   kLatencyRamp,
+  // Payload corruption: the reply is produced normally, then one bit in the
+  // middle of the first VALUE data block is flipped before it leaves the
+  // daemon — a NIC/switch/DMA corrupting bytes after the protocol layer
+  // framed them. Framing stays intact, so only end-to-end checksums
+  // (PROTOCOL.md `C<hex8>`) can catch it. Replies without a flippable
+  // payload pass through unchanged.
+  kBitFlip,
   // Process crash: the connection is cut with no reply AND the registered
   // crash hook (set_crash_hook) runs on the serving thread. Crash-recovery
   // tests use the hook to stop the daemon and cold-restart it on the same

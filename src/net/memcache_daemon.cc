@@ -288,6 +288,19 @@ void MemcacheDaemon::register_metrics() {
       "slow readers dropped over the outbox bound",
       [this] { return static_cast<double>(slow_reader_drops()); });
   metrics_.counter_fn(
+      "proteus_net_fd_exhausted_rejects_total",
+      "accepts refused via the reserved descriptor under EMFILE/ENFILE",
+      [this] { return static_cast<double>(fd_exhausted_rejects()); });
+  // End-to-end integrity: at-rest corruption caught at serve time and wire
+  // corruption caught before the store (the chaos smoke greps for these).
+  cache_stat("proteus_cache_corrupt_drops_total",
+             "stored values failing their checksum at serve time "
+             "(dropped, answered as a miss)",
+             [](const cache::CacheStats& s) { return s.corrupt_drops; });
+  cache_stat("proteus_cache_corrupt_set_rejects_total",
+             "stores refused because the payload failed its C token",
+             [](const cache::CacheStats& s) { return s.corrupt_set_rejects; });
+  metrics_.counter_fn(
       "proteus_trace_events_total", "transition trace events emitted",
       [this] { return static_cast<double>(trace_.total_emitted()); });
   metrics_.counter_fn(
@@ -610,6 +623,12 @@ std::uint64_t MemcacheDaemon::idle_reaped() const noexcept {
 std::uint64_t MemcacheDaemon::slow_reader_drops() const noexcept {
   std::uint64_t total = 0;
   for (const auto& s : servers_) total += s->slow_reader_drops();
+  return total;
+}
+
+std::uint64_t MemcacheDaemon::fd_exhausted_rejects() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s->fd_exhausted_rejects();
   return total;
 }
 

@@ -218,6 +218,7 @@ class MemcacheDaemon {
   std::uint64_t connections_rejected() const noexcept;
   std::uint64_t idle_reaped() const noexcept;
   std::uint64_t slow_reader_drops() const noexcept;
+  std::uint64_t fd_exhausted_rejects() const noexcept;
 
   // --- overload protection introspection -----------------------------------
   const AdmissionOptions& admission_options() const noexcept {

@@ -54,6 +54,7 @@ TcpServer::TcpServer(std::uint16_t port, HandlerFactory factory,
     return;
   }
   set_nonblocking(wake_pipe_[0]);
+  emergency_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
@@ -63,6 +64,7 @@ TcpServer::TcpServer(std::uint16_t port, HandlerFactory factory,
 TcpServer::~TcpServer() {
   for (auto& [fd, conn] : connections_) ::close(fd);
   if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (emergency_fd_ >= 0) ::close(emergency_fd_);
   if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
   if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
 }
@@ -84,19 +86,50 @@ void TcpServer::begin_drain(SimTime deadline) {
   }
 }
 
+namespace {
+constexpr char kOverloadLine[] = "SERVER_ERROR overloaded\r\n";
+}  // namespace
+
 void TcpServer::accept_new() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN or error: nothing more to accept
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE) {
+        // The process (or host) is out of descriptors. Left alone, the
+        // pending connection sits in the backlog and accept() fails on
+        // every poll wakeup — a busy loop that serves nobody. Burn the
+        // reserved descriptor to accept it, say "overloaded" so the client
+        // degrades instead of retrying into the same wall, close it, and
+        // take the reservation back. Then back off the accept loop: under
+        // sustained exhaustion the established connections (which free fds
+        // as they finish) get the cycles, not the accept storm.
+        if (emergency_fd_ >= 0) {
+          ::close(emergency_fd_);
+          emergency_fd_ = -1;
+          const int victim = ::accept(listen_fd_, nullptr, nullptr);
+          if (victim >= 0) {
+            // Count before closing: a monitor that saw our close (EOF)
+            // must also see the reject it is about to ask about.
+            ++fd_exhausted_rejects_;
+            [[maybe_unused]] const ssize_t sent =
+                ::send(victim, kOverloadLine, sizeof(kOverloadLine) - 1,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+            ::close(victim);
+          }
+          emergency_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        }
+        accept_backoff_until_ = mono_usec() + 20 * kMillisecond;
+      }
+      return;  // EAGAIN or error: nothing more to accept
+    }
     if (connections_.size() >= limits_.max_connections) {
       // Over the cap: shed the connection rather than let one client
       // exhaust our descriptors — but say so first. A silent close looks
       // like a network fault and triggers client retries/breakers; a
       // best-effort overload line tells the client to degrade instead.
       // MSG_DONTWAIT: never block the accept loop for a full send buffer.
-      static constexpr char kOverloadedLine[] = "SERVER_ERROR overloaded\r\n";
       [[maybe_unused]] const ssize_t sent =
-          ::send(fd, kOverloadedLine, sizeof(kOverloadedLine) - 1,
+          ::send(fd, kOverloadLine, sizeof(kOverloadLine) - 1,
                  MSG_NOSIGNAL | MSG_DONTWAIT);
       ::close(fd);
       ++rejected_;
@@ -185,8 +218,13 @@ void TcpServer::run() {
       if (deadline > 0 && mono_usec() >= deadline) return;
     }
 
+    // During an fd-exhaustion backoff the listen socket is left out of the
+    // poll set (its POLLIN would stay hot and spin the loop).
+    const bool accept_paused =
+        accept_backoff_until_ > 0 && mono_usec() < accept_backoff_until_;
     fds.clear();
-    fds.push_back(pollfd{listen_fd_, POLLIN, 0});  // fd -1 while draining: ignored
+    fds.push_back(pollfd{accept_paused ? -1 : listen_fd_, POLLIN,
+                         0});  // fd -1 while draining: ignored
     fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
     for (const auto& [fd, conn] : connections_) {
       short events = POLLIN;
@@ -206,6 +244,12 @@ void TcpServer::run() {
       poll_timeout_ms = poll_timeout_ms < 0
                             ? 50
                             : std::min(poll_timeout_ms, 50);
+    }
+    if (accept_paused) {
+      // Wake in time to resume accepting when the backoff elapses.
+      poll_timeout_ms = poll_timeout_ms < 0
+                            ? 20
+                            : std::min(poll_timeout_ms, 20);
     }
     if (::poll(fds.data(), fds.size(), poll_timeout_ms) < 0) {
       if (errno == EINTR) continue;

@@ -97,6 +97,9 @@ class TcpServer {
   std::uint64_t slow_reader_drops() const noexcept {
     return slow_drops_.load(std::memory_order_relaxed);
   }
+  std::uint64_t fd_exhausted_rejects() const noexcept {
+    return fd_exhausted_rejects_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Connection {
@@ -115,6 +118,12 @@ class TcpServer {
   HandlerFactory factory_;
   Limits limits_;
   int listen_fd_ = -1;
+  // Reserved descriptor released under EMFILE/ENFILE so the pending
+  // connection can still be accepted, told "overloaded", and closed —
+  // without it the connection would sit in the backlog being retried
+  // forever while the process has no fd to even refuse it with.
+  int emergency_fd_ = -1;
+  SimTime accept_backoff_until_ = 0;  // stop polling accept until then
   int wake_pipe_[2] = {-1, -1};
   std::uint16_t port_ = 0;
   std::unordered_map<int, Connection> connections_;
@@ -122,6 +131,7 @@ class TcpServer {
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> idle_reaped_{0};
   std::atomic<std::uint64_t> slow_drops_{0};
+  std::atomic<std::uint64_t> fd_exhausted_rejects_{0};
   std::atomic<bool> draining_{false};
   std::atomic<SimTime> drain_deadline_{0};
 };

@@ -87,6 +87,9 @@ std::string_view span_cause_name(SpanCause cause) noexcept {
     case SpanCause::kCoalesced: return "coalesced";
     case SpanCause::kThrottled: return "throttled";
     case SpanCause::kStaleEpoch: return "stale_epoch";
+    case SpanCause::kCorrupt: return "corrupt";
+    case SpanCause::kHedged: return "hedged";
+    case SpanCause::kQuarantined: return "quarantined";
   }
   return "unknown";
 }
@@ -167,6 +170,31 @@ std::string encode_epoch_token(std::uint64_t epoch) {
 
 bool decode_epoch_token(std::string_view token, std::uint64_t& out) {
   return decode_hex16_token(token, 'E', out);
+}
+
+std::string encode_checksum_token(std::uint32_t crc) {
+  char buf[10];
+  std::snprintf(buf, sizeof(buf), "C%08x", crc);
+  return std::string(buf, 9);
+}
+
+bool decode_checksum_token(std::string_view token, std::uint32_t& out) {
+  if (token.size() != 9 || token.front() != 'C') return false;
+  std::uint32_t v = 0;
+  for (std::size_t i = 1; i < token.size(); ++i) {
+    const char c = token[i];
+    std::uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      return false;  // uppercase and everything else: a key, not a token
+    }
+    v = (v << 4) | digit;
+  }
+  out = v;
+  return true;
 }
 
 SpanCollector::SpanCollector(std::size_t capacity, std::uint32_t sample_every)

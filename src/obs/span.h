@@ -86,6 +86,9 @@ enum class SpanCause {
   kCoalesced,      // backend fetch piggybacked on a singleflight leader
   kThrottled,      // migration write-back deferred by the overload throttle
   kStaleEpoch,     // mutation fenced off: request epoch < server epoch
+  kCorrupt,        // payload failed its end-to-end CRC32C; treated as a miss
+  kHedged,         // served by a hedged backup request, not the primary
+  kQuarantined,    // endpoint skipped: quarantined by the health detector
 };
 
 std::string_view span_kind_name(SpanKind kind) noexcept;
@@ -123,6 +126,15 @@ bool decode_trace_token(std::string_view token, std::uint64_t& out);
 // trace token; decode is equally strict.
 std::string encode_epoch_token(std::uint64_t epoch);
 bool decode_epoch_token(std::string_view token, std::uint64_t& out);
+
+// "C" + 8 lowercase hex digits — the end-to-end CRC32C payload checksum
+// (docs/PROTOCOL.md "Payload integrity"). On storage lines it stamps the
+// data block's CRC32C; on get lines its value is ignored and its presence
+// asks the server to echo stored checksums on VALUE lines. Same
+// stock-memcached-invisible shape as the trace token; decode is equally
+// strict (exactly 9 bytes, keys that merely start with 'C' never parse).
+std::string encode_checksum_token(std::uint32_t crc);
+bool decode_checksum_token(std::string_view token, std::uint32_t& out);
 
 // --- the collector -----------------------------------------------------------
 

@@ -51,6 +51,10 @@ std::string_view trace_event_name(TraceEventKind kind) noexcept {
     case TraceEventKind::kJournalReplay: return "journal_replay";
     case TraceEventKind::kModelDrift: return "model_drift";
     case TraceEventKind::kAnomaly: return "anomaly";
+    case TraceEventKind::kQuarantineEnter: return "quarantine_enter";
+    case TraceEventKind::kQuarantineExit: return "quarantine_exit";
+    case TraceEventKind::kHedge: return "hedge";
+    case TraceEventKind::kCorruption: return "corruption";
   }
   return "unknown";
 }

@@ -57,6 +57,13 @@ enum class TraceEventKind {
   kAnomaly,              // tsdb anomaly detector: a watched series departed
                          // its diurnal baseline; key=series name, n=score
                          // in milli-units, peer=sign (1 above / -1 below)
+  kQuarantineEnter,      // endpoint health quarantined a server; server,
+                         // n=suspicion (phi) in milli-units
+  kQuarantineExit,       // probation probes re-admitted a server; server
+  kHedge,                // hedged read fired; server=primary, peer=backup,
+                         // n=outcome (1 hedge won / 0 primary won)
+  kCorruption,           // payload failed its CRC32C; key, server,
+                         // n=where (0 client verify / 1 server at-rest)
 };
 
 std::string_view trace_event_name(TraceEventKind kind) noexcept;

@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "common/hash.h"
+
 namespace proteus::cache {
 namespace {
 
@@ -323,6 +325,63 @@ TEST(BinaryProtocol, StatStreamEndsWithEmptyKey) {
   }
   EXPECT_GE(frames, 5u);
   EXPECT_TRUE(last.key.empty());
+}
+
+// --- end-to-end checksum extras ---------------------------------------------
+
+TEST(BinaryProtocol, ChecksummedSetStampsAndGetEchoes) {
+  Rig rig;
+  const std::string value = "binary-integrity-payload";
+  // SET with 12-byte extras: flags(4) expiry(4) crc32c(4).
+  Frame set = rig.make_set("ck", value, /*flags=*/9);
+  binary::put_u32(set.extras, crc32c(value));
+  const Frame stored = rig.roundtrip(set);
+  EXPECT_EQ(stored.status_or_vbucket, static_cast<std::uint16_t>(Status::kOk));
+
+  // Stock GET (no extras): stock 4-byte reply extras, no checksum leak.
+  const Frame plain = rig.roundtrip(rig.make_get("ck"));
+  EXPECT_EQ(plain.status_or_vbucket, static_cast<std::uint16_t>(Status::kOk));
+  ASSERT_EQ(plain.extras.size(), 4u);
+  EXPECT_EQ(binary::get_u32(plain.extras, 0), 9u);
+  EXPECT_EQ(plain.value, value);
+
+  // GET with the 4-byte opt-in extras: reply widens to flags(4) crc32c(4).
+  Frame get = rig.make_get("ck");
+  binary::put_u32(get.extras, 0);  // reserved word, must send 0
+  const Frame echoed = rig.roundtrip(get);
+  EXPECT_EQ(echoed.status_or_vbucket, static_cast<std::uint16_t>(Status::kOk));
+  ASSERT_EQ(echoed.extras.size(), 8u);
+  EXPECT_EQ(binary::get_u32(echoed.extras, 0), 9u);
+  EXPECT_EQ(binary::get_u32(echoed.extras, 4), crc32c(value));
+  EXPECT_EQ(echoed.value, value);
+}
+
+TEST(BinaryProtocol, ChecksumMismatchRefusesTheSet) {
+  Rig rig;
+  const std::string value = "rotted-in-flight";
+  Frame set = rig.make_set("bad", value);
+  binary::put_u32(set.extras, crc32c(value) ^ 0x80u);
+  const Frame refused = rig.roundtrip(set);
+  EXPECT_EQ(refused.status_or_vbucket,
+            static_cast<std::uint16_t>(Status::kBadChecksum));
+
+  // The refused value must not have been stored.
+  const Frame got = rig.roundtrip(rig.make_get("bad"));
+  EXPECT_EQ(got.status_or_vbucket,
+            static_cast<std::uint16_t>(Status::kKeyNotFound));
+}
+
+TEST(BinaryProtocol, UnstampedItemEchoesStockExtrasOnOptIn) {
+  Rig rig;
+  // Stored without a checksum: the opt-in GET must answer stock 4-byte
+  // extras — there is no stamp to echo and none may be invented.
+  rig.roundtrip(rig.make_set("plain", "no-stamp", /*flags=*/3));
+  Frame get = rig.make_get("plain");
+  binary::put_u32(get.extras, 0);
+  const Frame got = rig.roundtrip(get);
+  EXPECT_EQ(got.status_or_vbucket, static_cast<std::uint16_t>(Status::kOk));
+  ASSERT_EQ(got.extras.size(), 4u);
+  EXPECT_EQ(binary::get_u32(got.extras, 0), 3u);
 }
 
 }  // namespace

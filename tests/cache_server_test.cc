@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "common/hash.h"
+
 namespace proteus::cache {
 namespace {
 
@@ -383,6 +385,39 @@ TEST(CacheServer, AutoSizedDigestSatisfiesPaperBounds) {
   EXPECT_LE(bloom::false_positive_rate(params.expected_keys, params.num_hashes,
                                        params.num_counters),
             1e-4);
+}
+
+TEST(CacheServer, ServeTimeVerifyDropsCorruptStampedItems) {
+  CacheServer cache(small_config());
+  const std::string value = "payload-guarded-by-crc32c";
+  cache.set("ck", value, 0, /*charge=*/0, /*flags=*/0, crc32c(value));
+  EXPECT_EQ(cache.checksum_of("ck", 1), crc32c(value));
+  EXPECT_EQ(*cache.get("ck", 1), value);
+  EXPECT_EQ(cache.stats().corrupt_drops, 0u);
+
+  // At-rest rot: flip one bit under the stored stamp. The next serve must
+  // answer a miss (never the corrupt bytes), count the drop, and unlink the
+  // item so later gets are ordinary misses counted only once.
+  ASSERT_TRUE(cache.corrupt_value_for_test("ck", 13));
+  EXPECT_FALSE(cache.get("ck", 2).has_value());
+  EXPECT_EQ(cache.stats().corrupt_drops, 1u);
+  EXPECT_FALSE(cache.get("ck", 3).has_value());
+  EXPECT_EQ(cache.stats().corrupt_drops, 1u);
+
+  // A fresh write under the same key serves again.
+  cache.set("ck", value, 4, /*charge=*/0, /*flags=*/0, crc32c(value));
+  EXPECT_EQ(*cache.get("ck", 5), value);
+}
+
+TEST(CacheServer, UnstampedItemsAreNotVerified) {
+  CacheServer cache(small_config());
+  cache.set("legacy", "no-stamp-here", 0);
+  ASSERT_TRUE(cache.corrupt_value_for_test("legacy", 5));
+  // No stamp means no way to tell rot from a legitimate value: the item
+  // keeps serving (stock memcached behavior) and nothing is counted.
+  EXPECT_TRUE(cache.get("legacy", 1).has_value());
+  EXPECT_EQ(cache.stats().corrupt_drops, 0u);
+  EXPECT_FALSE(cache.checksum_of("legacy", 1).has_value());
 }
 
 }  // namespace

@@ -39,6 +39,11 @@ class Fleet : public ::testing::Test {
     ProteusClient::Options opt;
     opt.endpoints = ports_;
     opt.ttl = ttl;
+    // These suites assert exact backend-fetch counts; latency-phi accrual
+    // reacts to wall-clock scheduling jitter (CI runs many tests per core),
+    // so widen the deviation floor until only hard errors move the health
+    // machine. gray_failure_test covers the latency-sensitive paths.
+    opt.health.min_deviation_usec = 1e9;
     return opt;
   }
 

@@ -7,7 +7,9 @@
 #include "net/fault_injector.h"
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,6 +22,7 @@
 
 #include "cache/binary_protocol.h"
 #include "client/memcache_client.h"
+#include "common/hash.h"
 #include "net/memcache_daemon.h"
 
 namespace proteus::net {
@@ -295,6 +298,45 @@ TEST_F(FaultyDaemon, LatencyRampGrowsReplyDelayThenRecovers) {
   EXPECT_EQ(injector_.faults_injected(), 3u);
 }
 
+TEST_F(FaultyDaemon, BitFlipCorruptsOnePayloadBitKeepingFramingIntact) {
+  auto conn = connect();
+  const std::string value = "payload-under-test-0123456789";
+  ASSERT_TRUE(conn.set("k", value));
+
+  // One bit rots on the wire AFTER the protocol layer framed the reply:
+  // the header, byte count, and terminator all stay valid, so nothing but
+  // an end-to-end checksum can tell this reply from a clean one.
+  injector_.inject(FaultKind::kBitFlip, 1);
+  RawClient raw(daemon_->port());
+  ASSERT_TRUE(raw.connected());
+  raw.send("get k\r\n");
+  const std::string reply = raw.recv_until("END\r\n");
+  const std::string header = "VALUE k 0 " + std::to_string(value.size()) +
+                             "\r\n";
+  ASSERT_EQ(reply.rfind(header, 0), 0u) << reply;
+  ASSERT_EQ(reply.substr(header.size() + value.size()), "\r\nEND\r\n");
+  const std::string body = reply.substr(header.size(), value.size());
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    differing_bits += __builtin_popcount(
+        static_cast<unsigned char>(body[i] ^ value[i]));
+  }
+  EXPECT_EQ(differing_bits, 1) << "exactly one payload bit must flip";
+  EXPECT_NE(crc32c(body), crc32c(value))
+      << "the end-to-end stamp must catch the flip";
+  EXPECT_EQ(injector_.faults_injected(), 1u);
+
+  // The stored copy was never touched: the next read is clean.
+  EXPECT_EQ(conn.get("k").value_or(""), value);
+
+  // Replies without a flippable payload pass through unchanged.
+  injector_.inject(FaultKind::kBitFlip, 1);
+  RawClient raw2(daemon_->port());
+  ASSERT_TRUE(raw2.connected());
+  raw2.send("get missing\r\n");
+  EXPECT_EQ(raw2.recv_until("END\r\n"), "END\r\n");
+}
+
 // --- TcpServer limits --------------------------------------------------------
 
 // Replies with a fixed blob per received chunk; lets tests inflate the
@@ -378,6 +420,77 @@ TEST(TcpServerLimits, SlowReaderOutboxIsBounded) {
   server.stop();
   t.join();
   EXPECT_EQ(server.slow_reader_drops(), 1u);
+}
+
+// Counts this process's open file descriptors via /proc/self/fd.
+std::size_t open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t n = 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n >= 3 ? n - 3 : 0;  // ".", "..", and the opendir fd itself
+}
+
+TEST(TcpServerLimits, FdExhaustionShedsWithOverloadLineAndRecovers) {
+  TcpServer server(
+      0, [] { return std::make_unique<BlobHandler>(4); }, false,
+      TcpServer::Limits{});
+  ASSERT_TRUE(server.ok());
+  std::thread t([&] { server.run(); });
+
+  // Pre-open the client sockets so the CLIENT side needs no fds later,
+  // then clamp RLIMIT_NOFILE to exactly what is open right now: the next
+  // accept() inside the server hits EMFILE. The reserved emergency fd is
+  // the only headroom left, which is precisely the scenario it exists for.
+  int pre = ::socket(AF_INET, SOCK_STREAM, 0);
+  int post = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(pre, 0);
+  ASSERT_GE(post, 0);
+  rlimit old{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old), 0);
+  rlimit clamped = old;
+  clamped.rlim_cur = static_cast<rlim_t>(open_fd_count());
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &clamped), 0);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(
+      ::connect(pre, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // Accept-and-close via the released emergency fd: the client learns WHY
+  // it was shed (overload line, then EOF) instead of hanging in the
+  // backlog until its connect timeout.
+  std::string got;
+  char buf[64];
+  for (;;) {
+    const ssize_t n = ::read(pre, buf, sizeof(buf));
+    if (n <= 0) break;
+    got.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(got, "SERVER_ERROR overloaded\r\n");
+  EXPECT_GE(server.fd_exhausted_rejects(), 1u);
+  ::close(pre);
+
+  // Budget restored: the very same listener serves new connections (the
+  // emergency fd was re-armed, the accept backoff expires).
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old), 0);
+  ASSERT_EQ(
+      ::connect(post, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::send(post, "x", 1, MSG_NOSIGNAL), 1);
+  got.clear();
+  const auto start = std::chrono::steady_clock::now();
+  while (got != "bbbb" && elapsed_ms(start) < 3000) {
+    const ssize_t n = ::read(post, buf, sizeof(buf));
+    if (n <= 0) break;
+    got.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_EQ(got, "bbbb") << "the listener must recover after exhaustion";
+  ::close(post);
+
+  server.stop();
+  t.join();
 }
 
 }  // namespace

@@ -72,6 +72,10 @@ class LiveFleet : public ::testing::Test {
     opt.breaker.failure_threshold = 3;
     opt.breaker.backoff.base_delay = 500 * kMillisecond;
     opt.breaker.backoff.max_delay = 5 * kSecond;
+    // Exact backend-count assertions below must not wobble with wall-clock
+    // scheduling jitter: keep the health machine error-driven only (the
+    // latency-accrual paths are covered by gray_failure_test).
+    opt.health.min_deviation_usec = 1e9;
     return opt;
   }
 

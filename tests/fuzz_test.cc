@@ -2,13 +2,17 @@
 // of random operations, invariants checked after every step.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <map>
 #include <iterator>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "cache/text_protocol.h"
+#include "common/hash.h"
 #include "common/rng.h"
 #include "core/proteus.h"
 #include "obs/span.h"
@@ -328,6 +332,213 @@ TEST_P(TraceTokenProtocolFuzz, TokenedScriptMatchesUntokenedReplies) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TraceTokenProtocolFuzz,
                          ::testing::Values(5ull, 404ull, 31337ull));
+
+// --- meta tokens: O (trace), E (epoch), C (checksum) combine in ANY order ----
+
+cache::CacheConfig small_cache() {
+  cache::CacheConfig cfg;
+  cfg.memory_budget_bytes = 4 << 20;
+  return cfg;
+}
+
+TEST(MetaTokenPermutations, GetAcceptsEveryTokenOrder) {
+  cache::CacheServer server(small_cache());
+  cache::TextProtocolSession session(server);
+
+  const std::string value = "integrity-checked-payload";
+  const std::string crc_tok = obs::encode_checksum_token(crc32c(value));
+  ASSERT_EQ(session.feed("set pk 5 0 " + std::to_string(value.size()) + " " +
+                             crc_tok + "\r\n" + value + "\r\n",
+                         0),
+            "STORED\r\n");
+
+  const std::string o = obs::encode_trace_token(0x1234abcd5678ef01ULL);
+  const std::string e = obs::encode_epoch_token(7);
+  const std::string c = "C00000000";  // any C token on a get opts into echo
+  // A stamped item echoes its stored checksum on the VALUE line once the
+  // get opts in — regardless of where the C token sits in the tail.
+  const std::string expected = "VALUE pk 5 " + std::to_string(value.size()) +
+                               " " + crc_tok + "\r\n" + value + "\r\nEND\r\n";
+
+  std::array<std::string, 3> toks{o, e, c};
+  std::sort(toks.begin(), toks.end());
+  int orders = 0;
+  do {
+    const std::string tail = " " + toks[0] + " " + toks[1] + " " + toks[2];
+    EXPECT_EQ(session.feed("get pk" + tail + "\r\n", 0), expected)
+        << "token order: " << tail;
+    // `bg` mixes into the tail at any position too.
+    for (std::size_t at = 0; at < 3; ++at) {
+      std::vector<std::string> with_bg(toks.begin(), toks.end());
+      with_bg.insert(with_bg.begin() + static_cast<std::ptrdiff_t>(at), "bg");
+      std::string line = "get pk";
+      for (const std::string& t : with_bg) line += " " + t;
+      EXPECT_EQ(session.feed(line + "\r\n", 0), expected) << line;
+    }
+    ++orders;
+  } while (std::next_permutation(toks.begin(), toks.end()));
+  EXPECT_EQ(orders, 6);
+
+  // Without the C opt-in the VALUE line stays stock even for stamped items,
+  // and an unstamped item echoes nothing even when the get opts in.
+  EXPECT_EQ(session.feed("get pk " + o + " " + e + "\r\n", 0),
+            "VALUE pk 5 " + std::to_string(value.size()) + "\r\n" + value +
+                "\r\nEND\r\n");
+  ASSERT_EQ(session.feed("set plain 0 0 2\r\nhi\r\n", 0), "STORED\r\n");
+  EXPECT_EQ(session.feed("get plain " + c + " " + o + "\r\n", 0),
+            "VALUE plain 0 2\r\nhi\r\nEND\r\n");
+}
+
+TEST(MetaTokenPermutations, SetAcceptsEveryTokenOrderAndStamps) {
+  cache::CacheServer server(small_cache());
+  cache::TextProtocolSession session(server);
+
+  const std::string value = "stamped-at-set-time";
+  const std::string good = obs::encode_checksum_token(crc32c(value));
+  const std::string bad = obs::encode_checksum_token(crc32c(value) ^ 1u);
+  const std::string o = obs::encode_trace_token(0xfeedf00ddeadbeefULL);
+  const std::string e = obs::encode_epoch_token(7);
+
+  std::array<std::string, 3> toks{o, e, good};
+  std::sort(toks.begin(), toks.end());
+  int idx = 0;
+  do {
+    const std::string key = "sk" + std::to_string(idx++);
+    const std::string tail = " " + toks[0] + " " + toks[1] + " " + toks[2];
+    ASSERT_EQ(session.feed("set " + key + " 0 0 " +
+                               std::to_string(value.size()) + tail + "\r\n" +
+                               value + "\r\n",
+                           0),
+              "STORED\r\n")
+        << "token order: " << tail;
+    // The checksum stamped at set time echoes back on an opted-in get.
+    EXPECT_EQ(session.feed("get " + key + " C00000000\r\n", 0),
+              "VALUE " + key + " 0 " + std::to_string(value.size()) + " " +
+                  good + "\r\n" + value + "\r\nEND\r\n");
+  } while (std::next_permutation(toks.begin(), toks.end()));
+
+  // A mismatched checksum is refused no matter where it sits in the tail.
+  for (const std::string tail :
+       {" " + bad + " " + o + " " + e, " " + o + " " + bad + " " + e,
+        " " + o + " " + e + " " + bad}) {
+    EXPECT_EQ(session.feed("set rot 0 0 " + std::to_string(value.size()) +
+                               tail + "\r\n" + value + "\r\n",
+                           0),
+              "SERVER_ERROR bad-checksum\r\n")
+        << "token order: " << tail;
+    EXPECT_EQ(session.feed("get rot\r\n", 0), "END\r\n")
+        << "refused set must not store";
+  }
+}
+
+// --- fuzz: shuffled token tails leave the reply stream invariant -------------
+
+class MetaTokenOrderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetaTokenOrderFuzz, ShuffledTokenTailsMatchAndEchoCorrectChecksums) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  // Two scripts with identical commands and identical token SETS but
+  // independently shuffled token ORDER. Any-order parsing means their reply
+  // streams must be byte-identical; every echoed C token must match the CRC
+  // of the value it rides with.
+  std::map<std::string, std::string> model;  // each key set at most once
+  std::vector<std::string> stored;
+  std::string script_a, script_b;
+  Rng shuffle_a(seed * 2 + 1), shuffle_b(seed * 7 + 5);
+  const auto tail = [](std::vector<std::string> toks, Rng& r) {
+    for (std::size_t i = toks.size(); i > 1; --i) {
+      std::swap(toks[i - 1], toks[r.next_below(i)]);
+    }
+    std::string out;
+    for (const std::string& t : toks) out += " " + t;
+    return out;
+  };
+
+  for (int i = 0; i < 300; ++i) {
+    std::vector<std::string> toks;
+    if (rng.next_below(2) == 0) {
+      toks.push_back(obs::encode_trace_token(rng.next_u64() | 1));
+    }
+    if (rng.next_below(2) == 0) toks.push_back(obs::encode_epoch_token(7));
+    if (rng.next_below(4) == 0) toks.push_back("bg");
+    if (stored.empty() || rng.next_below(3) == 0) {
+      const std::string key = "k" + std::to_string(i);
+      std::string payload;
+      const auto len = 1 + rng.next_below(48);
+      for (std::uint64_t b = 0; b < len; ++b) {
+        payload += static_cast<char>('a' + rng.next_below(26));
+      }
+      toks.push_back(obs::encode_checksum_token(crc32c(payload)));
+      const std::string head =
+          "set " + key + " 0 0 " + std::to_string(payload.size());
+      script_a += head + tail(toks, shuffle_a) + "\r\n" + payload + "\r\n";
+      script_b += head + tail(toks, shuffle_b) + "\r\n" + payload + "\r\n";
+      model[key] = payload;
+      stored.push_back(key);
+    } else {
+      const std::string key = rng.next_below(8) == 0
+                                  ? "never-set"
+                                  : stored[rng.next_below(stored.size())];
+      if (rng.next_below(2) == 0) toks.push_back("C00000000");
+      script_a += "get " + key + tail(toks, shuffle_a) + "\r\n";
+      script_b += "get " + key + tail(toks, shuffle_b) + "\r\n";
+    }
+  }
+
+  const auto run = [&](const std::string& wire, std::size_t max_chunk) {
+    cache::CacheServer server(small_cache());
+    cache::TextProtocolSession session(server);
+    std::string out;
+    Rng chunk_rng(seed ^ max_chunk);
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t n = std::min<std::size_t>(
+          wire.size() - pos, 1 + chunk_rng.next_below(max_chunk));
+      out += session.feed(std::string_view(wire).substr(pos, n), 0);
+      pos += n;
+    }
+    return out;
+  };
+
+  const std::string out_a = run(script_a, script_a.size());
+  EXPECT_EQ(out_a, run(script_b, script_b.size()));
+  EXPECT_EQ(out_a, run(script_a, 1));  // and ordering survives segmentation
+  EXPECT_EQ(out_a, run(script_a, 7));
+
+  // Scan the reply stream: every echoed checksum must be the CRC of the
+  // value the model holds for that key. Payloads are lowercase-only, so
+  // "VALUE " can never appear inside one.
+  int echoes = 0;
+  std::size_t pos = 0;
+  while ((pos = out_a.find("VALUE ", pos)) != std::string::npos) {
+    const std::size_t eol = out_a.find("\r\n", pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = out_a.substr(pos, eol - pos);
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start < line.size()) {
+      const std::size_t space = line.find(' ', start);
+      const std::size_t end = space == std::string::npos ? line.size() : space;
+      parts.push_back(line.substr(start, end - start));
+      start = end + 1;
+    }
+    ASSERT_GE(parts.size(), 4u) << line;
+    if (parts.size() == 5) {
+      ++echoes;
+      const auto it = model.find(parts[1]);
+      ASSERT_NE(it, model.end()) << line;
+      EXPECT_EQ(parts[4], obs::encode_checksum_token(crc32c(it->second)))
+          << line;
+    }
+    pos = eol + 2;
+  }
+  EXPECT_GT(echoes, 0) << "fuzz script must exercise the checksum echo";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetaTokenOrderFuzz,
+                         ::testing::Values(11ull, 2024ull, 777777ull));
 
 }  // namespace
 }  // namespace proteus

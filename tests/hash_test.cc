@@ -82,5 +82,47 @@ TEST(HashCombine, OrderSensitive) {
   EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
 }
 
+TEST(Crc32c, MatchesPublishedVectors) {
+  // RFC 3720 appendix B.4 (iSCSI) Castagnoli test vectors — any tier
+  // (software slicing, SSE4.2, AVX-512 folding) must agree with these.
+  EXPECT_EQ(crc32c(""), 0x00000000u);
+  EXPECT_EQ(crc32c(std::string(32, '\0')), 0x8a9136aau);
+  EXPECT_EQ(crc32c(std::string(32, '\xff')), 0x62a8ab43u);
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(crc32c(ascending), 0x46dd794eu);
+  EXPECT_EQ(crc32c("123456789"), 0xe3069283u);
+}
+
+TEST(Crc32c, SeedChainsAcrossArbitrarySplits) {
+  std::string payload;
+  for (int i = 0; i < 4096; ++i) payload += static_cast<char>(i * 131 + 7);
+  const std::uint32_t whole = crc32c(payload);
+  for (const std::size_t split : {std::size_t{1}, std::size_t{9},
+                                  std::size_t{63}, std::size_t{64},
+                                  std::size_t{1000}, std::size_t{4095}}) {
+    const std::string_view view(payload);
+    EXPECT_EQ(crc32c(view.substr(split), crc32c(view.substr(0, split))),
+              whole)
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  // The end-to-end integrity property the wire path leans on: any single
+  // bit flip anywhere in a cache value must change the checksum.
+  std::string value = "proteus:page:0042 payload with some entropy 31337";
+  const std::uint32_t good = crc32c(value);
+  for (std::size_t byte = 0; byte < value.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      value[byte] = static_cast<char>(value[byte] ^ (1 << bit));
+      EXPECT_NE(crc32c(value), good)
+          << "undetected flip at byte " << byte << " bit " << bit;
+      value[byte] = static_cast<char>(value[byte] ^ (1 << bit));
+    }
+  }
+  EXPECT_EQ(crc32c(value), good);
+}
+
 }  // namespace
 }  // namespace proteus

@@ -224,6 +224,10 @@ TEST_F(SpanLiveFleet, ResizeUnderFaultsYieldsCompleteAttributedTrees) {
   opt.op_timeout = 200 * kMillisecond;
   opt.max_attempts = 2;
   opt.spans = &spans;
+  // The forest accounting below expects deterministic trees; keep the
+  // health machine error-driven so wall-clock jitter cannot quarantine a
+  // healthy daemon mid-resize (latency accrual is gray_failure_test's job).
+  opt.health.min_deviation_usec = 1e9;
   std::uint64_t backend = 0;
   ProteusClient web(opt, [&](std::string_view key) {
     ++backend;

@@ -4,7 +4,9 @@
 
 #include <string>
 
+#include "common/hash.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace proteus::cache {
 namespace {
@@ -343,6 +345,41 @@ TEST(TextProtocol, FlagsSurviveEvictionBoundary) {
   EXPECT_EQ(session.feed("get a\r\n", 0), "END\r\n");  // evicted
   const std::string reply = session.feed("get b\r\n", 0);
   EXPECT_EQ(reply.rfind("VALUE b 22 300\r\n", 0), 0u);
+}
+
+// --- payload integrity over the text wire ------------------------------------
+
+TEST(TextProtocol, AtRestCorruptionServesMissAndCountsTheDrop) {
+  Rig rig;
+  const std::string value = "wire-visible-integrity";
+  const std::string crc_tok = obs::encode_checksum_token(crc32c(value));
+  ASSERT_EQ(rig.run("set ck 0 0 " + std::to_string(value.size()) + " " +
+                    crc_tok + "\r\n" + value + "\r\n"),
+            "STORED\r\n");
+  EXPECT_EQ(rig.run("get ck " + crc_tok + "\r\n"),
+            "VALUE ck 0 " + std::to_string(value.size()) + " " + crc_tok +
+                "\r\n" + value + "\r\nEND\r\n");
+
+  // Rot the stored bytes under the stamp: the wire answer is a plain miss
+  // (END, no VALUE) — corrupt bytes never make it onto the socket — and the
+  // stats line records exactly one drop.
+  ASSERT_TRUE(rig.server.corrupt_value_for_test("ck", 42));
+  EXPECT_EQ(rig.run("get ck\r\n"), "END\r\n");
+  const std::string stats = rig.run("stats\r\n");
+  EXPECT_NE(stats.find("STAT corrupt_drops 1\r\n"), std::string::npos);
+  EXPECT_NE(stats.find("STAT corrupt_set_rejects 0\r\n"), std::string::npos);
+}
+
+TEST(TextProtocol, BadChecksumSetCountsTheReject) {
+  Rig rig;
+  const std::string value = "damaged-in-flight";
+  const std::string wrong = obs::encode_checksum_token(crc32c(value) ^ 1u);
+  EXPECT_EQ(rig.run("set ck 0 0 " + std::to_string(value.size()) + " " +
+                    wrong + "\r\n" + value + "\r\n"),
+            "SERVER_ERROR bad-checksum\r\n");
+  EXPECT_EQ(rig.run("get ck\r\n"), "END\r\n");
+  const std::string stats = rig.run("stats\r\n");
+  EXPECT_NE(stats.find("STAT corrupt_set_rejects 1\r\n"), std::string::npos);
 }
 
 }  // namespace

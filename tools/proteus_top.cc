@@ -6,7 +6,13 @@
 //               [--history[=N]]
 //
 // Each refresh polls every daemon and renders one row per server: power
-// state (active / draining / off), request rate and its share of fleet
+// state (active / draining / off), gray-failure HEALTH (the poller's own
+// phi-accrual detector — core/endpoint_health.h — fed by each refresh's
+// stats round-trip, shown as state/suspicion) and HEDGE% (share of polls
+// whose round-trip exceeded the adaptive hedge delay, i.e. what a hedging
+// client at this vantage would have duplicated), with a QUARANTINED /
+// PROBATION footer when the detector has a server out of rotation;
+// request rate and its share of fleet
 // load — the live check of the paper's §III K/n balance guarantee — hit
 // ratio, p50/p99 service latency from the daemon's op-latency histogram,
 // occupancy, and estimated draw from the §V-A analytic power model
@@ -41,11 +47,19 @@
 
 #include "client/memcache_client.h"
 #include "cluster/power_model.h"
+#include "common/rng.h"
 #include "common/time.h"
+#include "core/endpoint_health.h"
 
 namespace {
 
 using proteus::client::MemcacheConnection;
+
+proteus::SimTime mono_usec() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 bool parse_value(const char* arg, const char* name, std::string& out) {
   const std::size_t len = std::strlen(name);
@@ -85,6 +99,13 @@ struct Watched {
   // --history: recent per-refresh get rates, newest last.
   std::vector<double> rate_hist;
 
+  // This dashboard's own phi-accrual detector for the daemon, fed by each
+  // refresh's stats round-trip — the same health machine the wire client
+  // routes by (core/endpoint_health.h), from the poller's vantage point.
+  proteus::core::EndpointHealth health;
+  std::uint64_t polls = 0;
+  std::uint64_t hedge_worthy = 0;  // round-trips past the adaptive delay
+
   // This refresh's parsed sample (empty when the server was unreachable).
   std::map<std::string, double> now;
   bool up = false;
@@ -92,9 +113,14 @@ struct Watched {
 
 // Polls one server: `stats proteus` first, plain `stats` as the fallback
 // so the dashboard still shows hit ratio / items against stock memcached.
-void poll(Watched& w, const std::string& host) {
+void poll(Watched& w, const std::string& host, proteus::Rng& rng) {
   w.now.clear();
   w.up = false;
+  ++w.polls;
+  const proteus::SimTime t0 = mono_usec();
+  // The detector gates nothing here (a dashboard must keep looking at sick
+  // servers), but allow() drives its quarantine -> probation transitions.
+  w.health.allow(t0);
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (w.conn == nullptr || !w.conn->ok()) {
       MemcacheConnection::Options opt;
@@ -110,8 +136,44 @@ void poll(Watched& w, const std::string& host) {
       w.now[name] = std::atof(value.c_str());
     }
     w.up = true;
+    // Feed the round-trip into the phi detector; count it toward HEDGE% if
+    // a hedging client at this vantage would have fired its backup by now.
+    const proteus::SimTime latency = mono_usec() - t0;
+    if (w.health.warmed_up() && latency >= w.health.hedge_delay()) {
+      ++w.hedge_worthy;
+    }
+    w.health.record_success(mono_usec(), latency, rng);
     return;
   }
+  w.health.record_failure(mono_usec(), rng);
+}
+
+// HEALTH column: state tag + live suspicion score, e.g. "ok/0.3".
+std::string health_col(const Watched& w) {
+  const char* tag = "ok";
+  switch (w.health.state()) {
+    case proteus::core::EndpointHealth::State::kHealthy:
+      tag = "ok";
+      break;
+    case proteus::core::EndpointHealth::State::kSuspect:
+      tag = "susp";
+      break;
+    case proteus::core::EndpointHealth::State::kQuarantined:
+      tag = "quar";
+      break;
+    case proteus::core::EndpointHealth::State::kProbation:
+      tag = "prob";
+      break;
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%s/%.1f", tag, w.health.suspicion());
+  return buf;
+}
+
+double hedge_pct(const Watched& w) {
+  return w.polls > 0 ? 100.0 * static_cast<double>(w.hedge_worthy) /
+                           static_cast<double>(w.polls)
+                     : 0.0;
 }
 
 double field(const Watched& w, const char* name, double fallback = 0) {
@@ -272,12 +334,14 @@ int main(int argc, char** argv) {
 
   std::vector<Watched> fleet(ports.size());
   for (std::size_t i = 0; i < ports.size(); ++i) fleet[i].port = ports[i];
+  // Jitter source for the per-endpoint health detectors' probe schedules.
+  proteus::Rng health_rng(0x70726f746f700ULL);
 
   // --json needs a rate, so it takes a priming sample, waits one interval,
   // and renders from the second sample's deltas.
   if (json) {
     for (Watched& w : fleet) {
-      poll(w, host);
+      poll(w, host, health_rng);
       if (w.up) {
         w.prev_gets = gets_of(w);
         w.prev_incarnation = incarnation_of(w);
@@ -288,7 +352,7 @@ int main(int argc, char** argv) {
   }
 
   for (;;) {
-    for (Watched& w : fleet) poll(w, host);
+    for (Watched& w : fleet) poll(w, host, health_rng);
 
     // Per-interval get deltas drive the rate and load-share columns.
     double total_delta = 0;
@@ -354,13 +418,15 @@ int main(int argc, char** argv) {
             "{\"port\":%u,\"state\":\"%s\",\"up\":%s,\"gets_per_s\":%.6g,"
             "\"share\":%.6g,\"hit_ratio\":%.6g,\"p50_us\":%.6g,"
             "\"p99_us\":%.6g,\"items\":%.0f,\"bytes\":%.0f,\"watts\":%.6g,"
-            "\"epoch\":%.0f,\"incarnation\":%llu",
+            "\"epoch\":%.0f,\"incarnation\":%llu,"
+            "\"health\":\"%s\",\"hedge_pct\":%.6g",
             w.port, state, w.up ? "true" : "false", rate, share,
             hit_ratio_of(w), field(w, "proteus_daemon_op_latency_us_p50"),
             field(w, "proteus_daemon_op_latency_us_p99"),
             field(w, "proteus_cache_items", field(w, "curr_items")),
             field(w, "proteus_cache_bytes", field(w, "bytes")), watts,
-            epoch_of(w), static_cast<unsigned long long>(incarnation_of(w)));
+            epoch_of(w), static_cast<unsigned long long>(incarnation_of(w)),
+            health_col(w).c_str(), hedge_pct(w));
         out += buf;
         if (audited(w)) {
           any_audited = true;
@@ -413,11 +479,11 @@ int main(int argc, char** argv) {
     }
 
     if (!once) std::printf("\033[2J\033[H");
-    std::printf("%-6s %-7s %10s %7s %6s %9s %9s %9s %8s %7s %5s %5s %7s "
-                "%6s %12s",
-                "SERVER", "STATE", "GETS/S", "SHARE", "HIT%", "P50(us)",
-                "P99(us)", "ITEMS", "MB", "WATTS", "PPI", "SLO", "DRIFT",
-                "EPOCH", "INCARNATION");
+    std::printf("%-6s %-7s %-9s %6s %10s %7s %6s %9s %9s %9s %8s %7s %5s "
+                "%5s %7s %6s %12s",
+                "SERVER", "STATE", "HEALTH", "HEDGE%", "GETS/S", "SHARE",
+                "HIT%", "P50(us)", "P99(us)", "ITEMS", "MB", "WATTS", "PPI",
+                "SLO", "DRIFT", "EPOCH", "INCARNATION");
     if (history > 0) std::printf(" %s", "HISTORY(gets/s)");
     std::printf("\n");
     const proteus::cluster::ServerPowerProfile power;
@@ -460,9 +526,10 @@ int main(int argc, char** argv) {
         std::snprintf(drift_col, sizeof(drift_col), "%+7.3f", worst_drift(w));
       }
       std::printf(
-          ":%-5u %-7s %10.1f %6.1f%% %5.1f%% %9.0f %9.0f %9.0f %8.2f %7.1f "
-          "%s %s %s %6.0f %12llx",
-          w.port, state, rate, share * 100, hit_ratio_of(w) * 100,
+          ":%-5u %-7s %-9s %5.1f%% %10.1f %6.1f%% %5.1f%% %9.0f %9.0f %9.0f "
+          "%8.2f %7.1f %s %s %s %6.0f %12llx",
+          w.port, state, health_col(w).c_str(), hedge_pct(w), rate,
+          share * 100, hit_ratio_of(w) * 100,
           field(w, "proteus_daemon_op_latency_us_p50"),
           field(w, "proteus_daemon_op_latency_us_p99"),
           field(w, "proteus_cache_items", field(w, "curr_items")),
@@ -519,6 +586,27 @@ int main(int argc, char** argv) {
                   "drift_events=%.0f\n",
                   w.port, slo_state_name(slo), worst_burn(w), worst_drift(w),
                   field(w, "proteus_audit_model_drift_events_total"));
+    }
+    // Quarantine footer: the poller's own phi detector has taken a server
+    // out of rotation — clients running the same detector are routing
+    // around it right now (docs/OPERATIONS.md section 14).
+    for (const Watched& w : fleet) {
+      using HS = proteus::core::EndpointHealth::State;
+      if (w.health.state() == HS::kQuarantined) {
+        const double probe_in_s =
+            std::max<double>(0, static_cast<double>(w.health.probe_at() -
+                                                    mono_usec())) /
+            1e6;
+        std::printf("QUARANTINED :%u phi=%.1f enters=%llu next probe in "
+                    "%.1fs — clients are routing around this endpoint\n",
+                    w.port, w.health.suspicion(),
+                    static_cast<unsigned long long>(
+                        w.health.quarantine_enters()),
+                    probe_in_s);
+      } else if (w.health.state() == HS::kProbation) {
+        std::printf("PROBATION :%u phi=%.1f — re-admitted, proving itself\n",
+                    w.port, w.health.suspicion());
+      }
     }
     // Anomaly footer: daemons running the flight-recorder sampler export
     // the diurnal anomaly detector's counters; a watched series currently

@@ -8,7 +8,7 @@
 #
 #   { "micro_metrics": {...}, "micro_spans": {...}, "micro_audit": {...},
 #     "micro_tsdb": {...}, "micro_integrity": {...},
-#     "ext_failure_recovery": {...} }
+#     "ext_failure_recovery": {...}, "ext_shard_scaling": {...} }
 #
 # Also checks the acceptance budgets of the off-path costs:
 #   * should_sample() with sampling disabled must cost <= 5 ns/op
@@ -22,7 +22,14 @@
 #     sweep, so the budget bounds the stall it can inject per second;
 #   * the serve-path CRC32C verify of a 1 KiB value must cost <= 30 ns
 #     (BM_Crc32cVerify/1024) — it runs twice per checksummed GET (daemon
-#     and client side).
+#     and client side);
+#   * lock striping must pay for itself: 8-thread/8-shard GET-heavy
+#     throughput >= 2x the 1-shard (global lock) baseline
+#     (ext_shard_scaling). This gate is CORE-AWARE — with fewer than 2
+#     cores the threads time-slice and the ratio measures nothing, so it
+#     is reported but not enforced. The benchmark's hit-ratio and kWrap
+#     false-negative invariants are hard failures regardless (the binary
+#     exits nonzero itself).
 # The checks warn by default; pass --enforce to fail the script on a miss
 # (CI uses warn-only: shared runners make single-digit-ns numbers noisy).
 #
@@ -46,7 +53,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
 for bin in micro_metrics micro_spans micro_audit micro_tsdb \
-           micro_integrity ext_failure_recovery; do
+           micro_integrity ext_failure_recovery ext_shard_scaling; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "bench_json.sh: $BUILD_DIR/bench/$bin not built" >&2
     echo "  (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
@@ -75,6 +82,11 @@ echo "== micro_integrity =="
 echo "== ext_failure_recovery =="
 "$BUILD_DIR/bench/ext_failure_recovery" --json \
   > "$TMP/ext_failure_recovery.json"
+echo "== ext_shard_scaling =="
+# --json output doubles as the artifact; the binary exits nonzero on a
+# hit-ratio or false-negative regression (hard failure, core count moot).
+"$BUILD_DIR/bench/ext_shard_scaling" --json \
+  > "$TMP/ext_shard_scaling.json"
 
 # Merge: each binary's report becomes one top-level key. All inputs are
 # complete JSON objects, so wrapping them keeps the artifact valid JSON
@@ -92,6 +104,8 @@ echo "== ext_failure_recovery =="
   cat "$TMP/micro_integrity.json"
   printf ',\n"ext_failure_recovery":\n'
   cat "$TMP/ext_failure_recovery.json"
+  printf ',\n"ext_shard_scaling":\n'
+  cat "$TMP/ext_shard_scaling.json"
   printf '}\n'
 } > "$OUT"
 echo "wrote $OUT"
@@ -131,6 +145,28 @@ check_budget "$TMP/micro_tsdb.json" BM_TsdbSamplerTick200 50000 \
   "tsdb sampler tick over 200 metrics"
 check_budget "$TMP/micro_integrity.json" "BM_Crc32cVerify/1024" 30 \
   "CRC32C verify of a 1 KiB value"
+
+# Lock-striping throughput gate: 8-thread/8-shard GET-heavy throughput must
+# be >= 2x the 1-shard baseline — but only where the measurement means
+# anything (>= 2 cores; a single-core host time-slices both runs).
+extract_field() {  # extract_field <json-file> <field>
+  awk -v f="\"$2\":" '{
+    i = index($0, f); if (!i) next
+    s = substr($0, i + length(f)); gsub(/[,}].*/, "", s); print s; exit
+  }' "$1"
+}
+SPEEDUP="$(extract_field "$TMP/ext_shard_scaling.json" speedup)"
+CORES="$(extract_field "$TMP/ext_shard_scaling.json" cores)"
+echo "shard scaling: ${SPEEDUP}x at 8 threads/8 shards (${CORES} cores)"
+if [[ "${CORES:-0}" -ge 2 ]]; then
+  UNDER="$(awk -v s="$SPEEDUP" 'BEGIN { print (s < 2.0) ? 1 : 0 }')"
+  if [[ "$UNDER" == "1" ]]; then
+    echo "WARNING: shard scaling speedup ${SPEEDUP}x below the 2x gate" >&2
+    MISSED=1
+  fi
+else
+  echo "shard scaling gate skipped: ${CORES} core(s) — ratio not meaningful"
+fi
 
 if [[ "$MISSED" == "1" && "$ENFORCE" == "1" ]]; then
   exit 1

@@ -10,7 +10,10 @@
 #   3. assert the defense actually engaged in the uploaded metrics
 #      artifact: hedge_wins > 0, quarantine_enters > 0, and the ground
 #      truth corrupt_values_served == 0 (present AND zero — a missing
-#      counter fails the gate too).
+#      counter fails the gate too);
+#   4. run the whole drill AGAIN with the daemons' caches split into 4
+#      lock-striped shards (PROTEUS_TEST_SHARDS=4) — the wire contract and
+#      every invariant above must hold at any shard count.
 #
 #   scripts/chaos_smoke.sh [--build-dir=build] [--artifacts=artifacts]
 set -euo pipefail
@@ -32,16 +35,26 @@ DRILL="$BUILD_DIR/tools/chaos-drill"
 [[ -x "$DRILL" ]] || { echo "chaos_smoke.sh: $DRILL not built" >&2; exit 1; }
 mkdir -p "$ARTIFACTS"
 
-METRICS="$ARTIFACTS/chaos-metrics.prom"
-DRILL_LOG="$ARTIFACTS/chaos-drill.log"
-DRILL_STATUS=0
-"$DRILL" --out="$METRICS" > "$DRILL_LOG" 2>&1 || DRILL_STATUS=$?
-cat "$DRILL_LOG"
-[[ "$DRILL_STATUS" == "0" ]] \
-  || { echo "chaos-drill failed (exit $DRILL_STATUS)"; exit 1; }
-grep -q '^CHAOS DRILL COMPLETE' "$DRILL_LOG" \
-  || { echo "drill did not report completion"; exit 1; }
-[[ -s "$METRICS" ]] || { echo "drill wrote no metrics artifact"; exit 1; }
+# run_drill <suffix> [shards]: one full drill pass; a nonempty second arg
+# runs the daemons with that many lock-striped cache shards. Sets METRICS
+# for the assertions below.
+run_drill() {
+  local suffix="$1"
+  local shards="${2:-}"
+  METRICS="$ARTIFACTS/chaos-metrics${suffix}.prom"
+  local DRILL_LOG="$ARTIFACTS/chaos-drill${suffix}.log"
+  local DRILL_STATUS=0
+  env ${shards:+PROTEUS_TEST_SHARDS="$shards"} \
+    "$DRILL" --out="$METRICS" > "$DRILL_LOG" 2>&1 || DRILL_STATUS=$?
+  cat "$DRILL_LOG"
+  [[ "$DRILL_STATUS" == "0" ]] \
+    || { echo "chaos-drill failed (exit $DRILL_STATUS)"; exit 1; }
+  grep -q '^CHAOS DRILL COMPLETE' "$DRILL_LOG" \
+    || { echo "drill did not report completion"; exit 1; }
+  [[ -s "$METRICS" ]] || { echo "drill wrote no metrics artifact"; exit 1; }
+}
+
+run_drill ""
 
 # must_be_positive <metric>: the counter exists and is > 0.
 must_be_positive() {
@@ -58,13 +71,24 @@ must_be_zero() {
     "$METRICS"
 }
 
-must_be_positive proteus_client_hedges_fired_total
-must_be_positive proteus_client_hedge_wins_total
-must_be_positive proteus_client_quarantine_enters_total
-must_be_positive proteus_client_corrupt_values_total
-must_be_positive proteus_client_read_repairs_total
-must_be_zero proteus_drill_corrupt_values_served
-must_be_zero proteus_drill_value_mismatches
+assert_defenses_engaged() {
+  must_be_positive proteus_client_hedges_fired_total
+  must_be_positive proteus_client_hedge_wins_total
+  must_be_positive proteus_client_quarantine_enters_total
+  must_be_positive proteus_client_corrupt_values_total
+  must_be_positive proteus_client_read_repairs_total
+  must_be_zero proteus_drill_corrupt_values_served
+  must_be_zero proteus_drill_value_mismatches
+}
 
+assert_defenses_engaged
 echo "gray-failure smoke passed (hedges won, quarantine engaged," \
      "zero corrupt values served)"
+
+# Variant: the same drill with every daemon's cache lock-striped into 4
+# shards. Sharding is an implementation detail — if any invariant moves,
+# the striping leaked onto the wire.
+echo "== 4-shard variant =="
+run_drill "-4shard" 4
+assert_defenses_engaged
+echo "gray-failure smoke passed at 4 shards (wire contract intact)"

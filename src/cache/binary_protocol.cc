@@ -1,5 +1,6 @@
 #include "cache/binary_protocol.h"
 
+#include <algorithm>
 #include <charconv>
 
 #include "common/check.h"
@@ -120,7 +121,8 @@ std::string BinaryProtocolSession::feed(std::string_view bytes, SimTime now) {
   if (closed_) return {};
   buffer_.append(bytes);
   std::string out;
-  batch_served_ = 0;  // the pipeline cap is per feed() batch
+  // The pipeline cap is per shard per feed() batch (one slot in bare mode).
+  std::fill(served_.begin(), served_.end(), 0);
   for (;;) {
     const SimTime parse_start = spans_ != nullptr ? obs::span_clock_now() : 0;
     std::size_t consumed = 0;
@@ -142,22 +144,30 @@ std::string BinaryProtocolSession::feed(std::string_view bytes, SimTime now) {
     }
     // Pipeline cap: cache-touching frames beyond the per-batch budget get
     // EBUSY (the frame is already consumed, so the stream stays in sync).
-    // Quit/noop/version are exempt — free, and quit must always work.
+    // Quit/noop/version are exempt — free, and quit must always work. A
+    // frame refused here never attempts its shard lock, so it can never
+    // also count as a deadline shed.
     const bool cache_touching = frame->magic == binary::kRequestMagic &&
                                 frame->opcode != Opcode::kQuit &&
                                 frame->opcode != Opcode::kNoop &&
                                 frame->opcode != Opcode::kVersion;
+    // The budget is per shard: a frame accounts against its key's shard;
+    // keyless frames (stat, flush) against shard 0.
+    std::size_t batch_shard = 0;
+    if (engine_ != nullptr && !frame->key.empty()) {
+      batch_shard = engine_->shard_index(frame->key);
+    }
     if (cache_touching && pipeline_.max_per_batch > 0 &&
-        batch_served_ >= pipeline_.max_per_batch) {
+        served_[batch_shard] >= pipeline_.max_per_batch) {
       if (pipeline_.sheds != nullptr) {
         pipeline_.sheds->fetch_add(1, std::memory_order_relaxed);
       }
       out += respond(*frame, Status::kBusy);
       continue;
     }
-    if (cache_touching) ++batch_served_;
+    if (cache_touching) ++served_[batch_shard];
     const SimTime op_start = tid != 0 ? obs::span_clock_now() : 0;
-    out += handle(*frame, now);
+    out += handle(*frame, now, tid);
     if (tid != 0) {
       obs::SpanRecord s;
       s.trace_id = tid;
@@ -174,7 +184,57 @@ std::string BinaryProtocolSession::feed(std::string_view bytes, SimTime now) {
   return out;
 }
 
-std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
+CacheServer* BinaryProtocolSession::acquire(std::string_view key,
+                                            ShardedCacheServer::Guard& guard,
+                                            std::uint64_t tid) {
+  if (engine_ == nullptr) return single_;
+  const std::size_t idx = engine_->shard_index(key);
+  const SimTime wait_start = tid != 0 ? obs::span_clock_now() : 0;
+  guard = engine_->lock_shard_for(idx, pipeline_.lock_deadline_us);
+  const bool timed_out = !guard.owns_lock();
+  if (tid != 0) {
+    // Lock-wait spans carry the key so proteus-spans can attribute
+    // contention to the shard that owns it.
+    obs::SpanRecord s;
+    s.trace_id = tid;
+    s.span_id = spans_->next_id();
+    s.kind = obs::SpanKind::kServerLockWait;
+    s.cause = timed_out ? obs::SpanCause::kShed : obs::SpanCause::kNone;
+    s.start_us = wait_start;
+    s.duration_us = obs::span_clock_now() - wait_start;
+    s.server = server_id_;
+    s.key = std::string(key.substr(0, 64));
+    spans_->record(std::move(s));
+  }
+  if (timed_out) {
+    if (pipeline_.deadline_sheds != nullptr) {
+      pipeline_.deadline_sheds->fetch_add(1, std::memory_order_relaxed);
+    }
+    return nullptr;
+  }
+  return &engine_->shard(idx);
+}
+
+bool BinaryProtocolSession::admit_epoch(std::uint64_t epoch) {
+  return engine_ != nullptr ? engine_->admit_epoch(epoch)
+                            : single_->admit_epoch(epoch);
+}
+
+bool BinaryProtocolSession::adopt_epoch(std::uint64_t epoch) {
+  return engine_ != nullptr ? engine_->adopt_epoch(epoch)
+                            : single_->adopt_epoch(epoch);
+}
+
+void BinaryProtocolSession::observe_epoch(std::uint64_t epoch) {
+  if (engine_ != nullptr) {
+    engine_->observe_epoch(epoch);
+  } else {
+    single_->observe_epoch(epoch);
+  }
+}
+
+std::string BinaryProtocolSession::handle(const Frame& request, SimTime now,
+                                          std::uint64_t tid) {
   if (request.magic != binary::kRequestMagic) {
     return respond(request, Status::kInvalidArguments);
   }
@@ -185,7 +245,7 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
   const auto admit_wire_epoch = [&]() -> bool {
     const std::uint64_t stamp = request.status_or_vbucket;
     if (stamp >= 0xffff) return true;
-    return server_.admit_epoch(stamp);
+    return admit_epoch(stamp);
   };
 
   switch (request.opcode) {
@@ -204,25 +264,43 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
         return respond(request, Status::kInvalidArguments);
       }
       if (request.status_or_vbucket < 0xffff) {
-        server_.observe_epoch(request.status_or_vbucket);
+        observe_epoch(request.status_or_vbucket);
       }
-      auto value = server_.get(request.key, now);
+      if (engine_ != nullptr &&
+          ShardedCacheServer::is_reserved_key(request.key)) {
+        // Admin reads (digest blob, epoch hello) are served by the engine's
+        // merged/broadcast paths without a shard lock — wire bytes
+        // identical to the single-cache build (§V-3).
+        auto value = engine_->get(request.key, now);
+        if (!value.has_value()) {
+          return quiet ? std::string{}
+                       : respond(request, Status::kKeyNotFound);
+        }
+        std::string extras;
+        binary::put_u32(extras, 0);  // reserved keys carry no flags
+        return respond(request, Status::kOk, std::move(extras),
+                       with_key ? request.key : std::string{},
+                       std::move(*value));
+      }
+      ShardedCacheServer::Guard guard;
+      CacheServer* cache = acquire(request.key, guard, tid);
+      if (cache == nullptr) return respond(request, Status::kBusy);
+      auto value = cache->get(request.key, now);
       if (!value.has_value()) {
         return quiet ? std::string{}  // quiet gets suppress misses
                      : respond(request, Status::kKeyNotFound);
       }
       std::string extras;
-      binary::put_u32(extras,
-                      server_.flags_of(request.key, now).value_or(0));
+      binary::put_u32(extras, cache->flags_of(request.key, now).value_or(0));
       if (want_checksum) {
-        if (const auto crc = server_.checksum_of(request.key, now);
+        if (const auto crc = cache->checksum_of(request.key, now);
             crc.has_value()) {
           binary::put_u32(extras, *crc);  // extras widen to flags + crc
         }
       }
       return respond(request, Status::kOk, std::move(extras),
                      with_key ? request.key : std::string{},
-                     std::move(*value), server_.cas_of(request.key, now));
+                     std::move(*value), cache->cas_of(request.key, now));
     }
 
     case Opcode::kSet:
@@ -239,8 +317,12 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
         crc = binary::get_u32(request.extras, 8);
         if (crc32c(request.value) != *crc) {
           // The value rotted between the client's stamp and here: refuse
-          // rather than store bad bytes (the client re-sends).
-          server_.note_corrupt_set_reject(now, request.key);
+          // rather than store bad bytes (the client re-sends). The reject
+          // note mutates shard stats, so it needs the shard lock.
+          ShardedCacheServer::Guard guard;
+          CacheServer* cache = acquire(request.key, guard, tid);
+          if (cache == nullptr) return respond(request, Status::kBusy);
+          cache->note_corrupt_set_reject(now, request.key);
           return respond(request, Status::kBadChecksum);
         }
       }
@@ -254,9 +336,8 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
             ptr != end) {
           return respond(request, Status::kInvalidArguments);
         }
-        return respond(request, server_.adopt_epoch(proposed)
-                                    ? Status::kOk
-                                    : Status::kStaleEpoch);
+        return respond(request, adopt_epoch(proposed) ? Status::kOk
+                                                      : Status::kStaleEpoch);
       }
       if (!admit_wire_epoch()) {
         return respond(request, Status::kStaleEpoch);
@@ -266,7 +347,10 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
         return respond(request, Status::kNotStored);  // digest is read-only
       }
       const std::uint32_t flags = binary::get_u32(request.extras, 0);
-      const bool exists = server_.contains(request.key, now);
+      ShardedCacheServer::Guard guard;
+      CacheServer* cache = acquire(request.key, guard, tid);
+      if (cache == nullptr) return respond(request, Status::kBusy);
+      const bool exists = cache->contains(request.key, now);
       if (request.opcode == Opcode::kAdd && exists) {
         return respond(request, Status::kKeyExists);
       }
@@ -275,8 +359,8 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
       }
       if (request.cas != 0) {
         // CAS-conditional store.
-        switch (server_.compare_and_swap(request.key, request.value, now,
-                                         request.cas, 0, flags, crc)) {
+        switch (cache->compare_and_swap(request.key, request.value, now,
+                                        request.cas, 0, flags, crc)) {
           case CacheServer::CasResult::kNotFound:
             return respond(request, Status::kKeyNotFound);
           case CacheServer::CasResult::kExists:
@@ -285,10 +369,10 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
             break;
         }
       } else {
-        server_.set(request.key, request.value, now, 0, flags, crc);
+        cache->set(request.key, request.value, now, 0, flags, crc);
       }
       return respond(request, Status::kOk, {}, {}, {},
-                     server_.cas_of(request.key, now));
+                     cache->cas_of(request.key, now));
     }
 
     case Opcode::kDelete: {
@@ -298,7 +382,10 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
       if (!admit_wire_epoch()) {
         return respond(request, Status::kStaleEpoch);
       }
-      return respond(request, server_.erase(request.key)
+      ShardedCacheServer::Guard guard;
+      CacheServer* cache = acquire(request.key, guard, tid);
+      if (cache == nullptr) return respond(request, Status::kBusy);
+      return respond(request, cache->erase(request.key)
                                   ? Status::kOk
                                   : Status::kKeyNotFound);
     }
@@ -312,7 +399,11 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
       const std::uint64_t delta = binary::get_u64(request.extras, 0);
       const std::uint64_t initial = binary::get_u64(request.extras, 8);
       const std::uint32_t expiry = binary::get_u32(request.extras, 16);
-      auto value = server_.get(request.key, now);
+      // The guard spans the get+set pair: incr/decr stays atomic per shard.
+      ShardedCacheServer::Guard guard;
+      CacheServer* cache = acquire(request.key, guard, tid);
+      if (cache == nullptr) return respond(request, Status::kBusy);
+      auto value = cache->get(request.key, now);
       std::uint64_t next;
       if (!value.has_value()) {
         // 0xffffffff expiry means "do not create" per the protocol.
@@ -333,15 +424,21 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
           next = current > delta ? current - delta : 0;
         }
       }
-      server_.set(request.key, std::to_string(next), now);
+      cache->set(request.key, std::to_string(next), now);
       std::string payload;
       binary::put_u64(payload, next);
       return respond(request, Status::kOk, {}, {}, std::move(payload),
-                     server_.cas_of(request.key, now));
+                     cache->cas_of(request.key, now));
     }
 
     case Opcode::kFlush:
-      server_.flush();
+      // Engine flush is a fan-out under every shard lock (atomic across
+      // shards); the session itself holds none of them here.
+      if (engine_ != nullptr) {
+        engine_->flush();
+      } else {
+        single_->flush();
+      }
       return respond(request, Status::kOk);
 
     case Opcode::kNoop:
@@ -356,8 +453,10 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
 
     case Opcode::kStat: {
       // Minimal STAT: one (name, value) response per statistic, terminated
-      // by an empty-key frame, per the protocol.
-      const CacheStats& s = server_.stats();
+      // by an empty-key frame, per the protocol. Engine mode reports the
+      // merged view across shards (internally locked, one at a time).
+      const bool sharded = engine_ != nullptr;
+      const CacheStats s = sharded ? engine_->stats() : single_->stats();
       std::string out;
       const auto stat = [&](std::string_view name, std::uint64_t v) {
         out += respond(request, Status::kOk, {}, std::string(name),
@@ -368,11 +467,15 @@ std::string BinaryProtocolSession::handle(const Frame& request, SimTime now) {
       stat("get_misses", s.misses);
       stat("cmd_set", s.sets);
       stat("evictions", s.evictions);
-      stat("curr_items", server_.item_count());
-      stat("bytes", server_.bytes_used());
-      stat("cluster_epoch", server_.cluster_epoch());
-      stat("incarnation", server_.incarnation());
-      stat("stale_epoch_rejects", server_.stale_epoch_rejects());
+      stat("curr_items",
+           sharded ? engine_->item_count() : single_->item_count());
+      stat("bytes", sharded ? engine_->bytes_used() : single_->bytes_used());
+      stat("cluster_epoch",
+           sharded ? engine_->cluster_epoch() : single_->cluster_epoch());
+      stat("incarnation",
+           sharded ? engine_->incarnation() : single_->incarnation());
+      stat("stale_epoch_rejects", sharded ? engine_->stale_epoch_rejects()
+                                          : single_->stale_epoch_rejects());
       out += respond(request, Status::kOk);  // terminator
       return out;
     }

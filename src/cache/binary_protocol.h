@@ -48,9 +48,11 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "cache/cache_server.h"
 #include "cache/pipeline_policy.h"
+#include "cache/sharded_cache.h"
 #include "common/time.h"
 
 namespace proteus::obs {
@@ -139,10 +141,28 @@ class BinaryProtocolSession {
                                  obs::SpanCollector* spans = nullptr,
                                  int server_id = -1,
                                  PipelinePolicy pipeline = {})
-      : server_(server),
+      : single_(&server),
         spans_(spans),
         server_id_(server_id),
-        pipeline_(pipeline) {}
+        pipeline_(pipeline),
+        served_(1, 0) {}
+
+  // Engine-mode session: each frame routes to its key's shard and takes
+  // ONLY that shard's mutex, bounded by `pipeline.lock_deadline_us` (0 =
+  // wait forever); a timed-out frame is answered EBUSY and counted in
+  // `pipeline.deadline_sheds`. The pipeline cap becomes per shard per
+  // batch. Reserved digest/epoch keys are served by the engine's
+  // merged/broadcast paths, so the wire bytes are identical to the
+  // single-cache build (§V-3).
+  explicit BinaryProtocolSession(ShardedCacheServer& engine,
+                                 obs::SpanCollector* spans = nullptr,
+                                 int server_id = -1,
+                                 PipelinePolicy pipeline = {})
+      : engine_(&engine),
+        spans_(spans),
+        server_id_(server_id),
+        pipeline_(pipeline),
+        served_(static_cast<std::size_t>(engine.num_shards()), 0) {}
 
   // Feeds raw bytes; returns any complete response frames.
   std::string feed(std::string_view bytes, SimTime now);
@@ -155,16 +175,31 @@ class BinaryProtocolSession {
   std::uint64_t last_trace_id() const noexcept { return last_trace_id_; }
 
  private:
-  std::string handle(const binary::Frame& request, SimTime now);
+  std::string handle(const binary::Frame& request, SimTime now,
+                     std::uint64_t tid);
   std::string respond(const binary::Frame& request, binary::Status status,
                       std::string extras = {}, std::string key = {},
                       std::string value = {}, std::uint64_t cas = 0) const;
+  // Engine mode: locks `key`'s shard under pipeline_.lock_deadline_us (0 =
+  // wait forever), records the kServerLockWait span, and returns the shard
+  // cache — or nullptr after counting one deadline shed on timeout. Bare
+  // mode: returns the single cache with no locking.
+  CacheServer* acquire(std::string_view key, ShardedCacheServer::Guard& guard,
+                       std::uint64_t tid);
+  // Epoch fencing dispatch: engine atomics in engine mode (the fence is
+  // fleet-wide, never per shard), the single cache otherwise.
+  bool admit_epoch(std::uint64_t epoch);
+  bool adopt_epoch(std::uint64_t epoch);
+  void observe_epoch(std::uint64_t epoch);
 
-  CacheServer& server_;
+  CacheServer* single_ = nullptr;         // bare mode (exactly one is set)
+  ShardedCacheServer* engine_ = nullptr;  // engine mode
   obs::SpanCollector* spans_ = nullptr;
   int server_id_ = -1;
   PipelinePolicy pipeline_;
-  int batch_served_ = 0;  // cache-touching frames served this feed()
+  // Cache-touching frames served this feed(), per shard (one slot in bare
+  // mode) — the pipeline cap's per-shard budget.
+  std::vector<int> served_;
   std::uint64_t last_trace_id_ = 0;
   std::string buffer_;
   bool closed_ = false;

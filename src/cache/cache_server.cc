@@ -89,14 +89,17 @@ std::optional<std::string> CacheServer::get(std::string_view key, SimTime now) {
   // Reserved digest protocol keys travel through the normal get path so any
   // memcached client library can drive them (§V-3).
   if (key == kSetBloomFilterKey) {
+    ++stats_.admin_gets;
     pending_snapshot_ = serialize_snapshot();
     return std::string("OK");
   }
   if (key == kGetBloomFilterKey) {
+    ++stats_.admin_gets;
     if (pending_snapshot_.empty()) pending_snapshot_ = serialize_snapshot();
     return pending_snapshot_;
   }
   if (key == kEpochKey) {
+    ++stats_.admin_gets;
     return std::to_string(cluster_epoch_) + " " + std::to_string(incarnation_);
   }
 

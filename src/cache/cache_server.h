@@ -64,7 +64,14 @@ struct CacheStats {
   // Storage commands refused at arrival because the data block did not
   // match its C<hex8> stamp (wire corruption caught before the store).
   std::uint64_t corrupt_set_rejects = 0;
+  // Reserved-key (admin) gets: BLOOM_FILTER / SET_BLOOM_FILTER /
+  // PROTEUS_EPOCH traffic. Deliberately EXCLUDED from gets/hits/misses so
+  // hit_ratio() — and every SLO burn rate derived from it — reflects only
+  // data-plane traffic; digest pulls during a transition must not read as
+  // a hit-ratio change. Counted separately so the admin load stays visible.
+  std::uint64_t admin_gets = 0;
 
+  // Data-plane hit ratio; admin_gets never enters numerator or denominator.
   double hit_ratio() const noexcept {
     return gets ? static_cast<double>(hits) / static_cast<double>(gets) : 0.0;
   }

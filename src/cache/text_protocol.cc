@@ -178,7 +178,8 @@ std::string TextProtocolSession::feed(std::string_view bytes, SimTime now) {
   if (closed_) return {};
   buffer_.append(bytes);
   std::string out;
-  batch_served_ = 0;  // the pipeline cap is per feed() batch
+  // The pipeline cap is per shard per feed() batch (one slot in bare mode).
+  std::fill(served_.begin(), served_.end(), 0);
 
   for (;;) {
     if (resync_) {
@@ -246,11 +247,19 @@ std::string TextProtocolSession::handle_line(std::string_view line,
   // Pipeline cap: cache-touching commands beyond the per-batch budget are
   // refused with a well-formed shed reply. Exempt: quit/version (free, and
   // quit must always work) and invalid lines (answered ERROR regardless).
+  // A command refused here never attempts its shard lock, so it can never
+  // also count as a deadline shed.
   const bool cache_touching = cmd.op != TextCommand::Op::kQuit &&
                               cmd.op != TextCommand::Op::kVersion &&
                               cmd.op != TextCommand::Op::kInvalid;
+  // The budget is per shard: a command accounts against its first key's
+  // shard; keyless commands (stats, flush_all) against shard 0.
+  std::size_t batch_shard = 0;
+  if (engine_ != nullptr && !cmd.keys.empty()) {
+    batch_shard = engine_->shard_index(cmd.keys[0]);
+  }
   if (cache_touching && pipeline_.max_per_batch > 0 &&
-      batch_served_ >= pipeline_.max_per_batch) {
+      served_[batch_shard] >= pipeline_.max_per_batch) {
     if (pipeline_.sheds != nullptr) {
       pipeline_.sheds->fetch_add(1, std::memory_order_relaxed);
     }
@@ -263,7 +272,7 @@ std::string TextProtocolSession::handle_line(std::string_view line,
     }
     return cmd.noreply ? std::string{} : "SERVER_ERROR overloaded\r\n";
   }
-  if (cache_touching) ++batch_served_;
+  if (cache_touching) ++served_[batch_shard];
   const SimTime op_start = tid != 0 ? obs::span_clock_now() : 0;
   std::string reply;
   bool deferred = false;
@@ -281,7 +290,7 @@ std::string TextProtocolSession::handle_line(std::string_view line,
       deferred = true;  // reply (and op span) wait for the data block
       break;
     case TextCommand::Op::kDelete: {
-      if (!server_.admit_epoch(cmd.epoch)) {
+      if (!admit_epoch(cmd.epoch)) {
         if (!cmd.noreply) reply = "SERVER_ERROR stale-epoch\r\n";
         if (tid != 0) {
           record_server_span(tid, static_cast<int>(obs::SpanKind::kServerOp),
@@ -290,7 +299,13 @@ std::string TextProtocolSession::handle_line(std::string_view line,
         }
         return reply;
       }
-      const bool deleted = server_.erase(cmd.keys[0]);
+      ShardedCacheServer::Guard guard;
+      CacheServer* cache = acquire(cmd.keys[0], guard, tid);
+      if (cache == nullptr) {
+        if (!cmd.noreply) reply = "SERVER_ERROR overloaded\r\n";
+        break;
+      }
+      const bool deleted = cache->erase(cmd.keys[0]);
       if (!cmd.noreply) reply = deleted ? "DELETED\r\n" : "NOT_FOUND\r\n";
       break;
     }
@@ -300,12 +315,24 @@ std::string TextProtocolSession::handle_line(std::string_view line,
       break;
     case TextCommand::Op::kTouch: {
       // CacheServer's TTL is access-based; a touch is a read.
-      const bool found = server_.get(cmd.keys[0], now).has_value();
+      ShardedCacheServer::Guard guard;
+      CacheServer* cache = acquire(cmd.keys[0], guard, tid);
+      if (cache == nullptr) {
+        if (!cmd.noreply) reply = "SERVER_ERROR overloaded\r\n";
+        break;
+      }
+      const bool found = cache->get(cmd.keys[0], now).has_value();
       if (!cmd.noreply) reply = found ? "TOUCHED\r\n" : "NOT_FOUND\r\n";
       break;
     }
     case TextCommand::Op::kFlushAll:
-      server_.flush();
+      // Engine flush is a fan-out under every shard lock (atomic across
+      // shards); the session itself holds none of them here.
+      if (engine_ != nullptr) {
+        engine_->flush();
+      } else {
+        single_->flush();
+      }
       if (!cmd.noreply) reply = "OK\r\n";
       break;
     case TextCommand::Op::kStats:
@@ -338,12 +365,12 @@ std::string TextProtocolSession::handle_storage(const TextCommand& cmd,
     std::uint64_t proposed = 0;
     if (cmd.op != TextCommand::Op::kSet || !parse_number(payload, proposed)) {
       reply = "CLIENT_ERROR bad epoch payload\r\n";
-    } else if (server_.adopt_epoch(proposed)) {
+    } else if (adopt_epoch(proposed)) {
       reply = "STORED\r\n";
     } else {
       reply = "SERVER_ERROR stale-epoch\r\n";
     }
-  } else if (!server_.admit_epoch(cmd.epoch)) {
+  } else if (!admit_epoch(cmd.epoch)) {
     reply = "SERVER_ERROR stale-epoch\r\n";
     if (tid != 0) {
       record_server_span(tid, static_cast<int>(obs::SpanKind::kServerOp),
@@ -353,26 +380,33 @@ std::string TextProtocolSession::handle_storage(const TextCommand& cmd,
     return reply;
   } else if (key == kSetBloomFilterKey || key == kGetBloomFilterKey) {
     reply = "CLIENT_ERROR reserved key\r\n";  // digest keys are read-only
-  } else if (cmd.checksum.has_value() && crc32c(payload) != *cmd.checksum) {
-    // The payload rotted between the client's stamp and here (wire
-    // corruption or a buggy middlebox). Refuse rather than store bad
-    // bytes; the client treats this as a failed set and re-sends.
-    server_.note_corrupt_set_reject(now, key);
-    reply = "SERVER_ERROR bad-checksum\r\n";
-    if (tid != 0) {
-      record_server_span(tid, static_cast<int>(obs::SpanKind::kServerOp),
-                         op_start, static_cast<int>(obs::SpanCause::kCorrupt));
-    }
-    return reply;
-  } else if (cmd.op == TextCommand::Op::kAdd && server_.contains(key, now)) {
-    reply = "NOT_STORED\r\n";
-  } else if (cmd.op == TextCommand::Op::kReplace &&
-             !server_.contains(key, now)) {
-    reply = "NOT_STORED\r\n";
   } else {
-    server_.set(key, std::move(payload), now, /*charge=*/0, cmd.flags,
-                cmd.checksum);
-    reply = "STORED\r\n";
+    ShardedCacheServer::Guard guard;
+    CacheServer* cache = acquire(key, guard, tid);
+    if (cache == nullptr) {
+      reply = "SERVER_ERROR overloaded\r\n";
+    } else if (cmd.checksum.has_value() && crc32c(payload) != *cmd.checksum) {
+      // The payload rotted between the client's stamp and here (wire
+      // corruption or a buggy middlebox). Refuse rather than store bad
+      // bytes; the client treats this as a failed set and re-sends.
+      cache->note_corrupt_set_reject(now, key);
+      reply = "SERVER_ERROR bad-checksum\r\n";
+      if (tid != 0) {
+        record_server_span(tid, static_cast<int>(obs::SpanKind::kServerOp),
+                           op_start,
+                           static_cast<int>(obs::SpanCause::kCorrupt));
+      }
+      return reply;
+    } else if (cmd.op == TextCommand::Op::kAdd && cache->contains(key, now)) {
+      reply = "NOT_STORED\r\n";
+    } else if (cmd.op == TextCommand::Op::kReplace &&
+               !cache->contains(key, now)) {
+      reply = "NOT_STORED\r\n";
+    } else {
+      cache->set(key, std::move(payload), now, /*charge=*/0, cmd.flags,
+                 cmd.checksum);
+      reply = "STORED\r\n";
+    }
   }
   if (tid != 0) {
     record_server_span(tid, static_cast<int>(obs::SpanKind::kServerOp),
@@ -383,7 +417,8 @@ std::string TextProtocolSession::handle_storage(const TextCommand& cmd,
 
 void TextProtocolSession::record_server_span(std::uint64_t trace_id,
                                              int kind_tag, SimTime start,
-                                             int cause_tag) {
+                                             int cause_tag,
+                                             std::string_view key) {
   if (spans_ == nullptr || trace_id == 0) return;
   obs::SpanRecord s;
   s.trace_id = trace_id;
@@ -394,23 +429,87 @@ void TextProtocolSession::record_server_span(std::uint64_t trace_id,
   s.start_us = start;
   s.duration_us = obs::span_clock_now() - start;
   s.server = server_id_;
+  s.key = std::string(key.substr(0, 64));
   spans_->record(std::move(s));
+}
+
+CacheServer* TextProtocolSession::acquire(std::string_view key,
+                                          ShardedCacheServer::Guard& guard,
+                                          std::uint64_t tid) {
+  if (engine_ == nullptr) return single_;
+  const std::size_t idx = engine_->shard_index(key);
+  const SimTime wait_start = tid != 0 ? obs::span_clock_now() : 0;
+  guard = engine_->lock_shard_for(idx, pipeline_.lock_deadline_us);
+  const bool timed_out = !guard.owns_lock();
+  if (tid != 0) {
+    // Lock-wait spans carry the key so proteus-spans can attribute
+    // contention to the shard that owns it.
+    record_server_span(
+        tid, static_cast<int>(obs::SpanKind::kServerLockWait), wait_start,
+        timed_out ? static_cast<int>(obs::SpanCause::kShed) : 0, key);
+  }
+  if (timed_out) {
+    if (pipeline_.deadline_sheds != nullptr) {
+      pipeline_.deadline_sheds->fetch_add(1, std::memory_order_relaxed);
+    }
+    return nullptr;
+  }
+  return &engine_->shard(idx);
+}
+
+bool TextProtocolSession::admit_epoch(std::uint64_t epoch) {
+  return engine_ != nullptr ? engine_->admit_epoch(epoch)
+                            : single_->admit_epoch(epoch);
+}
+
+bool TextProtocolSession::adopt_epoch(std::uint64_t epoch) {
+  return engine_ != nullptr ? engine_->adopt_epoch(epoch)
+                            : single_->adopt_epoch(epoch);
+}
+
+void TextProtocolSession::observe_epoch(std::uint64_t epoch) {
+  if (engine_ != nullptr) {
+    engine_->observe_epoch(epoch);
+  } else {
+    single_->observe_epoch(epoch);
+  }
 }
 
 std::string TextProtocolSession::handle_get(const TextCommand& cmd,
                                             SimTime now) {
-  server_.observe_epoch(cmd.epoch);  // reads teach, never fence
+  observe_epoch(cmd.epoch);  // reads teach, never fence
+  const std::uint64_t tid = spans_ != nullptr ? cmd.trace_id : 0;
   std::string out;
   for (const std::string& key : cmd.keys) {
-    auto value = server_.get(key, now);
+    if (engine_ != nullptr && ShardedCacheServer::is_reserved_key(key)) {
+      // Admin reads (digest blob, epoch hello) are served by the engine's
+      // merged/broadcast paths without a shard lock: the blob is the OR of
+      // every shard's digest segment, byte-identical on the wire to the
+      // single-cache build (§V-3). Counted as admin traffic, never as
+      // data-plane gets.
+      auto value = engine_->get(key, now);
+      if (!value.has_value()) continue;
+      out += "VALUE " + key + " 0 " + std::to_string(value->size()) + "\r\n";
+      out += *value;
+      out += "\r\n";
+      continue;
+    }
+    ShardedCacheServer::Guard guard;
+    CacheServer* cache = acquire(key, guard, tid);
+    if (cache == nullptr) {
+      // Shard-lock deadline hit mid-multi-get: shed the whole command with
+      // an honest refusal rather than emit a truncated VALUE stream.
+      return "SERVER_ERROR overloaded\r\n";
+    }
+    auto value = cache->get(key, now);
     if (!value.has_value()) continue;  // missing keys are silently skipped
-    const auto flags = server_.flags_of(key, now);
+    const auto flags = cache->flags_of(key, now);
     out += "VALUE " + key + ' ' + std::to_string(flags.value_or(0)) + ' ' +
            std::to_string(value->size());
     if (cmd.checksum.has_value()) {
       // The get opted in to checksum echo; only items stored with one have
       // one (a stored-without-checksum item echoes nothing).
-      if (const auto crc = server_.checksum_of(key, now); crc.has_value()) {
+      if (const auto crc = cache->checksum_of(key, now); crc.has_value()) {
         out += ' ';
         out += obs::encode_checksum_token(*crc);
       }
@@ -426,7 +525,14 @@ std::string TextProtocolSession::handle_get(const TextCommand& cmd,
 std::string TextProtocolSession::handle_counter(const TextCommand& cmd,
                                                 SimTime now) {
   const std::string& key = cmd.keys[0];
-  auto value = server_.get(key, now);
+  const std::uint64_t tid = spans_ != nullptr ? cmd.trace_id : 0;
+  // The guard spans the get+set pair: incr/decr stays atomic per shard.
+  ShardedCacheServer::Guard guard;
+  CacheServer* cache = acquire(key, guard, tid);
+  if (cache == nullptr) {
+    return cmd.noreply ? std::string{} : "SERVER_ERROR overloaded\r\n";
+  }
+  auto value = cache->get(key, now);
   if (!value.has_value()) {
     return cmd.noreply ? std::string{} : "NOT_FOUND\r\n";
   }
@@ -442,24 +548,35 @@ std::string TextProtocolSession::handle_counter(const TextCommand& cmd,
   } else {
     next = current > cmd.delta ? current - cmd.delta : 0;  // clamps at 0
   }
-  server_.set(key, std::to_string(next), now);
+  cache->set(key, std::to_string(next), now);
   return cmd.noreply ? std::string{} : std::to_string(next) + "\r\n";
 }
 
 std::string TextProtocolSession::handle_stats(const TextCommand& cmd) {
   if (cmd.stats_arg == "reset") {
-    server_.reset_stats();
+    // Engine reset is a fan-out under every shard lock (atomic across
+    // shards); the session holds no shard lock of its own here.
+    if (engine_ != nullptr) {
+      engine_->reset_stats();
+    } else {
+      single_->reset_stats();
+    }
     if (stats_reset_hook_) stats_reset_hook_();
     return "RESET\r\n";
   }
   if (cmd.stats_arg == "proteus") {
     // The unified registry (daemon-wide metrics + latency quantiles); a
-    // bare CacheServer session has no registry and reports nothing.
+    // bare CacheServer session has no registry and reports nothing. The
+    // session holds NO shard lock here — registry callbacks lock shards
+    // internally, one at a time.
     return metrics_ != nullptr ? obs::render_stats_text(metrics_->snapshot())
                                : "END\r\n";
   }
   if (!cmd.stats_arg.empty()) return "ERROR\r\n";
-  const CacheStats& s = server_.stats();
+  // Engine mode reports the merged view across shards (each accessor
+  // visits shards one at a time, internally locked).
+  const bool sharded = engine_ != nullptr;
+  const CacheStats s = sharded ? engine_->stats() : single_->stats();
   std::string out;
   const auto stat = [&out](std::string_view name, std::uint64_t v) {
     out += "STAT ";
@@ -475,16 +592,25 @@ std::string TextProtocolSession::handle_stats(const TextCommand& cmd) {
   stat("delete_hits", s.deletes);
   stat("evictions", s.evictions);
   stat("expired_unfetched", s.expirations);
-  stat("curr_items", server_.item_count());
-  stat("bytes", server_.bytes_used());
-  stat("limit_maxbytes", server_.memory_budget());
-  stat("digest_counters", server_.digest().num_counters());
-  stat("digest_bytes", server_.digest().memory_bytes());
-  stat("cluster_epoch", server_.cluster_epoch());
-  stat("incarnation", server_.incarnation());
-  stat("stale_epoch_rejects", server_.stale_epoch_rejects());
+  stat("curr_items", sharded ? engine_->item_count() : single_->item_count());
+  stat("bytes", sharded ? engine_->bytes_used() : single_->bytes_used());
+  stat("limit_maxbytes",
+       sharded ? engine_->memory_budget() : single_->memory_budget());
+  stat("digest_counters", sharded ? engine_->digest_num_counters()
+                                  : single_->digest().num_counters());
+  stat("digest_bytes", sharded ? engine_->digest_memory_bytes()
+                               : single_->digest().memory_bytes());
+  stat("cluster_epoch",
+       sharded ? engine_->cluster_epoch() : single_->cluster_epoch());
+  stat("incarnation",
+       sharded ? engine_->incarnation() : single_->incarnation());
+  stat("stale_epoch_rejects", sharded ? engine_->stale_epoch_rejects()
+                                      : single_->stale_epoch_rejects());
   stat("corrupt_drops", s.corrupt_drops);
   stat("corrupt_set_rejects", s.corrupt_set_rejects);
+  // Reserved-key admin traffic (digest pulls, epoch hellos) — excluded
+  // from cmd_get/get_hits/get_misses so hit ratios stay data-plane only.
+  stat("admin_gets", s.admin_gets);
   out += "END\r\n";
   return out;
 }

@@ -69,6 +69,7 @@
 
 #include "cache/cache_server.h"
 #include "cache/pipeline_policy.h"
+#include "cache/sharded_cache.h"
 #include "common/time.h"
 
 namespace proteus::obs {
@@ -131,7 +132,10 @@ struct TextCommand {
 // side effects on malformed input.
 TextCommand parse_command_line(std::string_view line);
 
-// One client connection worth of protocol state bound to a CacheServer.
+// One client connection worth of protocol state, bound either to a bare
+// CacheServer (caller owns locking — the original single-cache mode, used
+// by tests and embedders) or to a ShardedCacheServer engine (the session
+// locks each command's shard itself; see the engine ctor).
 class TextProtocolSession {
  public:
   // `metrics` (optional) backs the `stats proteus` extension; the registry
@@ -148,11 +152,31 @@ class TextProtocolSession {
                                obs::SpanCollector* spans = nullptr,
                                int server_id = -1,
                                PipelinePolicy pipeline = {})
-      : server_(server),
+      : single_(&server),
         metrics_(metrics),
         spans_(spans),
         server_id_(server_id),
-        pipeline_(pipeline) {}
+        pipeline_(pipeline),
+        served_(1, 0) {}
+
+  // Engine-mode session: each command routes to its key's shard and takes
+  // ONLY that shard's mutex, bounded by `pipeline.lock_deadline_us` (0 =
+  // wait forever); a timed-out command is shed with `SERVER_ERROR
+  // overloaded` and counted in `pipeline.deadline_sheds`. The pipeline cap
+  // becomes per shard per batch. Reserved digest/epoch keys are served by
+  // the engine's merged/broadcast paths, so the wire bytes are identical
+  // to the single-cache build (§V-3).
+  explicit TextProtocolSession(ShardedCacheServer& engine,
+                               const obs::MetricsRegistry* metrics = nullptr,
+                               obs::SpanCollector* spans = nullptr,
+                               int server_id = -1,
+                               PipelinePolicy pipeline = {})
+      : engine_(&engine),
+        metrics_(metrics),
+        spans_(spans),
+        server_id_(server_id),
+        pipeline_(pipeline),
+        served_(static_cast<std::size_t>(engine.num_shards()), 0) {}
 
   // Feeds raw bytes; appends any complete responses to the return value.
   // A "quit" command sets closed() and further input is ignored.
@@ -167,8 +191,8 @@ class TextProtocolSession {
   // Invoked on `stats reset` after the cache counters clear, so an owning
   // daemon can reset its own counters (sheds, trace/span drops) in the same
   // breath — `stats reset` then means ONE thing across every surface. Runs
-  // on the protocol thread under the daemon's cache mutex; keep it to leaf
-  // locks / atomics.
+  // on the protocol thread with NO shard lock held (the engine's fan-out
+  // reset locks internally); keep it to leaf locks / atomics.
   void set_stats_reset_hook(std::function<void()> hook) {
     stats_reset_hook_ = std::move(hook);
   }
@@ -183,16 +207,33 @@ class TextProtocolSession {
   // Records a server-side span when `trace_id` is nonzero and a collector
   // is attached; [start, span_clock_now()] on the shared steady clock.
   // `cause_tag` (a SpanCause) annotates fenced/rejected work; 0 = none.
+  // `key` attributes the span to the involved key (lock-wait spans use it
+  // for per-shard contention attribution).
   void record_server_span(std::uint64_t trace_id, int kind_tag, SimTime start,
-                          int cause_tag = 0);
+                          int cause_tag = 0, std::string_view key = {});
+  // Engine mode: locks `key`'s shard under pipeline_.lock_deadline_us (0 =
+  // wait forever), records the kServerLockWait span, and returns the shard
+  // cache — or nullptr after counting one deadline shed on timeout. Bare
+  // mode: returns the single cache with no locking (the caller owns the
+  // lock, exactly as before sharding).
+  CacheServer* acquire(std::string_view key, ShardedCacheServer::Guard& guard,
+                       std::uint64_t tid);
+  // Epoch fencing dispatch: engine atomics in engine mode (the fence is
+  // fleet-wide, never per shard), the single cache otherwise.
+  bool admit_epoch(std::uint64_t epoch);
+  bool adopt_epoch(std::uint64_t epoch);
+  void observe_epoch(std::uint64_t epoch);
 
-  CacheServer& server_;
+  CacheServer* single_ = nullptr;         // bare mode (exactly one is set)
+  ShardedCacheServer* engine_ = nullptr;  // engine mode
   const obs::MetricsRegistry* metrics_ = nullptr;
   obs::SpanCollector* spans_ = nullptr;
   int server_id_ = -1;
   PipelinePolicy pipeline_;
   std::function<void()> stats_reset_hook_;
-  int batch_served_ = 0;  // cache-touching commands served this feed()
+  // Cache-touching commands served this feed(), per shard (one slot in
+  // bare mode) — the pipeline cap's per-shard budget.
+  std::vector<int> served_;
   std::uint64_t last_trace_id_ = 0;
   std::string buffer_;
   bool closed_ = false;

@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/check.h"
 
@@ -16,6 +17,27 @@ SimTime monotonic_now() {
 }
 
 namespace {
+
+// The routing mask needs a power of two; operators ask in human numbers
+// (--shards=6), so round UP — more stripes, never fewer than requested.
+int round_up_pow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Shard-count resolution: an explicit ctor argument wins; otherwise the
+// PROTEUS_TEST_SHARDS environment variable (the ctest matrix and
+// chaos_smoke.sh re-run the whole daemon suite at 4 shards without
+// touching every construction site); otherwise min(threads, 8).
+int resolve_shards(int shards, int threads) {
+  if (shards > 0) return round_up_pow2(shards);
+  if (const char* env = std::getenv("PROTEUS_TEST_SHARDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return round_up_pow2(n);
+  }
+  return cache::ShardedCacheServer::default_shards_for_threads(threads);
+}
 
 // Cheap, allocation-free batch classification for two-priority admission.
 // A batch is background when its first command is tagged with the trailing
@@ -59,13 +81,15 @@ std::string binary_shed_reply(std::string_view bytes) {
   return cache::binary::encode_frame(f, cache::binary::kResponseMagic);
 }
 
-// Sniffs the first byte to pick the protocol, then delegates. The mutex
-// serializes cache access across the daemon's worker threads; the protocol
-// sessions themselves are connection-local.
+// Sniffs the first byte to pick the protocol, then delegates. Cache access
+// is serialized per SHARD by the protocol sessions themselves (each command
+// takes only its key's shard lock — see cache/sharded_cache.h), so two
+// handlers on different worker threads contend only when their commands
+// land on the same shard.
 class AutoProtocolHandler final : public ConnectionHandler {
  public:
-  AutoProtocolHandler(cache::CacheServer& cache, std::timed_mutex& mutex,
-                      const ClockFn& clock, const obs::MetricsRegistry* metrics,
+  AutoProtocolHandler(cache::ShardedCacheServer& cache, const ClockFn& clock,
+                      const obs::MetricsRegistry* metrics,
                       obs::Histogram* op_latency,
                       obs::Histogram* op_latency_window,
                       obs::SpanCollector* spans, int server_id,
@@ -74,7 +98,6 @@ class AutoProtocolHandler final : public ConnectionHandler {
                       DaemonShedCounters* sheds,
                       std::function<void()> stats_reset_hook)
       : cache_(cache),
-        mutex_(mutex),
         clock_(clock),
         metrics_(metrics),
         op_latency_(op_latency),
@@ -89,9 +112,15 @@ class AutoProtocolHandler final : public ConnectionHandler {
   std::string on_data(std::string_view bytes, bool& close) override {
     if (!text_ && !binary_) {
       if (bytes.empty()) return {};
+      // The shard-lock deadline rides the pipeline policy: each command
+      // bounds its own lock wait (0 = wait forever on both handlers), and
+      // a pipeline-shed command never attempts the lock, so the pipeline
+      // and queue-deadline counters can never both count one command.
       const cache::PipelinePolicy pipeline{
           admission_opts_.pipeline_cap,
-          sheds_ != nullptr ? &sheds_->pipeline : nullptr};
+          sheds_ != nullptr ? &sheds_->pipeline : nullptr,
+          admission_opts_.queue_deadline_us,
+          sheds_ != nullptr ? &sheds_->queue_deadline : nullptr};
       if (static_cast<std::uint8_t>(bytes.front()) ==
           cache::binary::kRequestMagic) {
         binary_ = std::make_unique<cache::BinaryProtocolSession>(
@@ -126,51 +155,19 @@ class AutoProtocolHandler final : public ConnectionHandler {
           return shed_reply(bytes);
       }
     }
-    // The trace id a batch carries is only known once feed() parses it, so
-    // the mutex wait is timed up front and attributed afterwards to the id
-    // the batch turned out to carry (last_trace_id advances only on traced
-    // commands — an untraced batch never re-bills the previous trace).
-    const std::uint64_t tid_before = last_trace_id();
-    const SimTime lock_start = spans_ != nullptr ? obs::span_clock_now() : 0;
-    std::string out;
-    SimTime lock_acquired = 0;
-    {
-      std::unique_lock<std::timed_mutex> lock(mutex_, std::defer_lock);
-      if (admission_opts_.queue_deadline_us > 0) {
-        // Queue-deadline shedding: a batch that waited this long is stale —
-        // its client has likely timed out, so finishing it is wasted work.
-        if (!lock.try_lock_for(std::chrono::microseconds(
-                admission_opts_.queue_deadline_us))) {
-          if (sheds_ != nullptr) {
-            sheds_->queue_deadline.fetch_add(1, std::memory_order_relaxed);
-          }
-          if (admitted) admission_->release();
-          return shed_reply(bytes);
-        }
-      } else {
-        lock.lock();
-      }
-      if (spans_ != nullptr) lock_acquired = obs::span_clock_now();
-      out = binary_ ? binary_->feed(bytes, now) : text_->feed(bytes, now);
-    }
+    // No daemon-level lock: the sessions take each command's shard lock
+    // themselves and record per-command kServerLockWait spans attributed
+    // to the command's key (so contention is billed to the shard that
+    // caused it, not to the whole batch). Commands that wait past
+    // queue_deadline_us are shed inside the session, which counts them in
+    // sheds_->queue_deadline.
+    std::string out = binary_ ? binary_->feed(bytes, now)
+                              : text_->feed(bytes, now);
     if (admitted) admission_->release();
     const std::uint64_t tid = last_trace_id();
-    if (spans_ != nullptr) {
-      if (tid != 0 && tid != tid_before) {
-        obs::SpanRecord s;
-        s.trace_id = tid;
-        s.span_id = spans_->next_id();
-        s.kind = obs::SpanKind::kServerLockWait;
-        s.start_us = lock_start;
-        s.duration_us = lock_acquired - lock_start;
-        s.server = server_id_;
-        spans_->record(std::move(s));
-      }
-    }
-    // Recorded after the lock: the histogram has its own mutex, and the
-    // measured interval covers lock wait + protocol work — the server-side
-    // component of what a client sees. A traced batch leaves its id as the
-    // bucket's exemplar so /metrics can link p99.9 to a span.
+    // The measured interval covers shard-lock waits + protocol work — the
+    // server-side component of what a client sees. A traced batch leaves
+    // its id as the bucket's exemplar so /metrics can link p99.9 to a span.
     if (op_latency_ != nullptr) {
       const double latency = static_cast<double>(monotonic_now() - now);
       op_latency_->record(latency, tid);
@@ -192,8 +189,7 @@ class AutoProtocolHandler final : public ConnectionHandler {
     return binary_ ? binary_shed_reply(bytes) : std::string(kTextShedReply);
   }
 
-  cache::CacheServer& cache_;
-  std::timed_mutex& mutex_;
+  cache::ShardedCacheServer& cache_;
   const ClockFn& clock_;
   const obs::MetricsRegistry* metrics_;
   obs::Histogram* op_latency_;
@@ -213,9 +209,9 @@ class AutoProtocolHandler final : public ConnectionHandler {
 std::unique_ptr<ConnectionHandler> MemcacheDaemon::make_handler() {
   std::unique_ptr<ConnectionHandler> handler =
       std::make_unique<AutoProtocolHandler>(
-          cache_, cache_mutex_, clock_, &metrics_, op_latency_,
-          op_latency_window_.get(), &spans_, server_id_, admission_opts_,
-          &admission_, &sheds_, [this] { reset_obs_counters(); });
+          cache_, clock_, &metrics_, op_latency_, op_latency_window_.get(),
+          &spans_, server_id_, admission_opts_, &admission_, &sheds_,
+          [this] { reset_obs_counters(); });
   const std::lock_guard<std::mutex> lock(wrapper_mutex_);
   return wrapper_ ? wrapper_(std::move(handler)) : std::move(handler);
 }
@@ -233,10 +229,12 @@ void MemcacheDaemon::reset_obs_counters() {
 }
 
 void MemcacheDaemon::register_metrics() {
-  // Cache-reading callbacks deliberately take NO lock: `stats proteus`
-  // snapshots under the protocol mutex already held by the serving thread,
-  // and metrics_text()/stats_snapshot() take it themselves. See the
-  // contract in obs/metrics.h.
+  // Cache-reading callbacks go through the engine's merged accessors,
+  // which lock one shard at a time internally — safe from any thread
+  // (`stats proteus` on a protocol thread, the sampler thread, the HTTP
+  // exposition thread) with no daemon-level lock and no nested shard
+  // locks: the calling session never holds a shard lock while the
+  // registry is visited.
   const auto cache_stat = [this](std::string name, std::string help,
                                  auto getter) {
     metrics_.counter_fn(std::move(name), std::move(help),
@@ -259,8 +257,14 @@ void MemcacheDaemon::register_metrics() {
   cache_stat("proteus_cache_expired_total",
              "items expired past the idle TTL (SS IV drain visibility)",
              [](const cache::CacheStats& s) { return s.expirations; });
+  // Reserved-key admin traffic (digest pulls, epoch hellos) — excluded
+  // from gets/hits/misses so hit_ratio and the audit/SLO burn rates stay
+  // data-plane only (a transition's digest chatter must not skew them).
+  cache_stat("proteus_cache_admin_gets_total",
+             "reserved-key (digest/epoch) gets, excluded from hit ratios",
+             [](const cache::CacheStats& s) { return s.admin_gets; });
   metrics_.gauge_fn("proteus_cache_hit_ratio",
-                    "hits / gets since start or stats reset",
+                    "data-plane hits / gets since start or stats reset",
                     [this] { return cache_.stats().hit_ratio(); });
   metrics_.gauge_fn("proteus_cache_items", "resident items",
                     [this] { return static_cast<double>(cache_.item_count()); });
@@ -348,6 +352,25 @@ void MemcacheDaemon::register_metrics() {
       "proteus_daemon_stale_epoch_rejects_total",
       "mutations refused for carrying a stale epoch",
       [this] { return static_cast<double>(cache_.stale_epoch_rejects()); });
+  // Lock striping (docs/OPERATIONS.md §15): stripe count, hot-shard skew
+  // (max per-shard gets over the mean; 1.0 = even, N = one shard takes
+  // everything), and per-shard get counters for drill-down.
+  metrics_.gauge_fn(
+      "proteus_daemon_shards", "lock-striped cache shard count",
+      [this] { return static_cast<double>(cache_.num_shards()); });
+  metrics_.gauge_fn(
+      "proteus_cache_shard_imbalance",
+      "max per-shard gets / mean per-shard gets (hot-shard skew)",
+      [this] { return cache_.shard_imbalance(); });
+  for (int i = 0; i < cache_.num_shards(); ++i) {
+    metrics_.counter_fn(
+        "proteus_cache_shard" + std::to_string(i) + "_gets_total",
+        "get operations routed to shard " + std::to_string(i),
+        [this, i] {
+          return static_cast<double>(
+              cache_.shard_stats(static_cast<std::size_t>(i)).gets);
+        });
+  }
   op_latency_ = metrics_.histogram(
       "proteus_daemon_op_latency_us",
       "server-side protocol batch service time (lock wait + cache work)");
@@ -361,22 +384,24 @@ MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
                                ClockFn clock, int threads,
                                TcpServer::Limits limits,
                                AdmissionOptions admission, AuditOptions audit,
-                               TsdbOptions tsdb)
+                               TsdbOptions tsdb, int shards)
     : trace_(4096),
-      cache_([&] {
-        if (config.trace == nullptr) config.trace = &trace_;
-        // Restart-aware digests need each daemon PROCESS to be
-        // distinguishable from its predecessor on the same port: seed the
-        // incarnation with a per-process unique value (monotonic boot time
-        // mixed with the pid) unless the caller pinned one.
-        if (config.incarnation == 0) {
-          config.incarnation =
-              (static_cast<std::uint64_t>(monotonic_now()) << 8) ^
-              static_cast<std::uint64_t>(::getpid());
-          if (config.incarnation == 0) config.incarnation = 1;
-        }
-        return std::move(config);
-      }()),
+      cache_(
+          [&] {
+            if (config.trace == nullptr) config.trace = &trace_;
+            // Restart-aware digests need each daemon PROCESS to be
+            // distinguishable from its predecessor on the same port: seed
+            // the incarnation with a per-process unique value (monotonic
+            // boot time mixed with the pid) unless the caller pinned one.
+            if (config.incarnation == 0) {
+              config.incarnation =
+                  (static_cast<std::uint64_t>(monotonic_now()) << 8) ^
+                  static_cast<std::uint64_t>(::getpid());
+              if (config.incarnation == 0) config.incarnation = 1;
+            }
+            return std::move(config);
+          }(),
+          resolve_shards(shards, threads)),
       admission_opts_(admission),
       admission_(core::AdmissionController::Options{
           admission.max_inflight, admission.background_fill}),
@@ -418,12 +443,11 @@ MemcacheDaemon::MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
     }
     obs::SamplerConfig sc;
     sc.interval = tsdb_opts_.sample_interval;
-    // The registry's cache-reading callbacks require the cache mutex
-    // (same contract metrics_text() honors).
-    sc.guard = [this](const std::function<void()>& fn) {
-      const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
-      fn();
-    };
+    // No guard: the registry's cache-reading callbacks go through the
+    // engine's internally locked merged views (one shard at a time), so
+    // the sampler thread never serializes the whole cache behind one big
+    // lock — a sampler tick can no longer stall every protocol thread at
+    // once, and it can never hold two shard locks.
     sampler_ = std::make_unique<obs::MetricsSampler>(sc, &metrics_,
                                                      tsdb_.get(),
                                                      anomaly_.get());
@@ -492,19 +516,12 @@ bool MemcacheDaemon::draining() const noexcept {
 }
 
 cache::CacheStats MemcacheDaemon::stats_snapshot() const {
-  const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
-  return cache_.stats();
+  return cache_.stats();  // engine-merged, internally locked
 }
 
-std::size_t MemcacheDaemon::item_count() const {
-  const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
-  return cache_.item_count();
-}
+std::size_t MemcacheDaemon::item_count() const { return cache_.item_count(); }
 
-std::size_t MemcacheDaemon::bytes_used() const {
-  const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
-  return cache_.bytes_used();
-}
+std::size_t MemcacheDaemon::bytes_used() const { return cache_.bytes_used(); }
 
 std::string MemcacheDaemon::metrics_text() const {
   return metrics_text_prefix({});
@@ -513,12 +530,8 @@ std::string MemcacheDaemon::metrics_text() const {
 std::string MemcacheDaemon::metrics_text_prefix(
     std::string_view prefix) const {
   audit_roll();
-  std::vector<obs::MetricSample> samples;
-  {
-    const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
-    samples = metrics_.snapshot_prefix(prefix);
-  }
-  return obs::render_prometheus(samples);
+  // Cache-reading callbacks lock shards internally; no daemon-level lock.
+  return obs::render_prometheus(metrics_.snapshot_prefix(prefix));
 }
 
 std::string MemcacheDaemon::timeseries_json(std::string_view metric,
@@ -535,16 +548,10 @@ void MemcacheDaemon::audit_roll() const {
   const std::lock_guard<std::mutex> lock(audit_mutex_);
   // At most one observation per second, however often scrapers hit us.
   if (audit_have_prev_ && now - last_audit_obs_ < kSecond) return;
-  double gets = 0;
-  double hits = 0;
-  int power_state = 0;
-  {
-    const std::lock_guard<std::timed_mutex> cl(cache_mutex_);
-    const cache::CacheStats& s = cache_.stats();
-    gets = static_cast<double>(s.gets);
-    hits = static_cast<double>(s.hits);
-    power_state = static_cast<int>(cache_.power_state());
-  }
+  const cache::CacheStats s = cache_.stats();  // engine-merged
+  const double gets = static_cast<double>(s.gets);
+  const double hits = static_cast<double>(s.hits);
+  const int power_state = static_cast<int>(cache_.power_state());
   // The daemon audits itself as a one-server fleet.
   std::vector<obs::ServerAuditSample> fleet(1);
   fleet[0].power_state = power_state;
@@ -571,13 +578,8 @@ void MemcacheDaemon::audit_roll() const {
 
 std::pair<int, std::string> MemcacheDaemon::health() const {
   audit_roll();
-  std::uint64_t epoch = 0;
-  std::uint64_t incarnation = 0;
-  {
-    const std::lock_guard<std::timed_mutex> lock(cache_mutex_);
-    epoch = cache_.cluster_epoch();
-    incarnation = cache_.incarnation();
-  }
+  const std::uint64_t epoch = cache_.cluster_epoch();  // engine atomics
+  const std::uint64_t incarnation = cache_.incarnation();
   std::string extra = "\"epoch\":" + std::to_string(epoch) +
                       ",\"incarnation\":" + std::to_string(incarnation);
   if (auditor_ != nullptr) {

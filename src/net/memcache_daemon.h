@@ -1,25 +1,35 @@
-// A deployable memcached-compatible daemon around CacheServer.
+// A deployable memcached-compatible daemon around ShardedCacheServer.
 //
 // Auto-detects the wire protocol per connection the way memcached does: a
 // first byte of 0x80 selects the binary protocol, anything else the text
-// protocol. All connections share one CacheServer (and therefore one
-// digest), mirroring the paper's one-Memcached-process-per-node setup.
+// protocol. All connections share one lock-striped cache engine (and
+// therefore one merged digest), mirroring the paper's
+// one-Memcached-process-per-node setup.
 //
 // Worker threads (memcached's -t): with `threads > 1` the daemon runs one
 // poll loop per thread, all bound to the same port via SO_REUSEPORT so the
-// kernel spreads connections across them; the shared cache is guarded by a
-// single mutex per protocol operation — the same coarse-grained locking
-// discipline classic memcached used for its hash table.
+// kernel spreads connections across them. Cache execution parallelism
+// comes from lock striping: the key space is hash-partitioned across a
+// power-of-two number of CacheServer shards (default min(threads, 8)
+// rounded down to a power of two, override via the `shards` ctor arg),
+// each with its own mutex, LRU, budget slice, stats, and digest segment —
+// two threads touching different shards never contend. The protocol
+// sessions take each command's shard lock themselves (see
+// cache/sharded_cache.h for the locking discipline); the reserved digest
+// and epoch keys are served by engine-level merged/broadcast paths so the
+// wire contract is byte-identical to the single-cache build (§V-3).
 //
 // Observability: the daemon owns an obs::MetricsRegistry holding the cache
 // counters, hardening counters, and a per-operation service-latency
 // histogram. It is exposed three ways — `stats proteus` on the wire,
 // metrics_text() (Prometheus format, served by net/metrics_http.h), and
 // stats_snapshot()/item_count()/bytes_used() for in-process readers. The
-// last three take the cache mutex, so they are race-free against concurrent
-// protocol operations (unlike reading cache() directly, which is only safe
-// after run() returns). A built-in obs::TraceRing collects ttl_expiry
-// events unless the caller supplies its own sink via CacheConfig::trace.
+// snapshot accessors and every registry callback read through the engine's
+// internally-locked merged views (one shard at a time, never two), so they
+// are race-free against concurrent protocol operations and safe from the
+// sampler thread without any daemon-level lock. A built-in obs::TraceRing
+// collects ttl_expiry events unless the caller supplies its own sink via
+// CacheConfig::trace.
 //
 // Time is wall-clock here (the daemon is the real-deployment path; the
 // evaluation uses the simulator instead).
@@ -36,6 +46,7 @@
 
 #include "cache/binary_protocol.h"
 #include "cache/cache_server.h"
+#include "cache/sharded_cache.h"
 #include "cache/text_protocol.h"
 #include "core/overload.h"
 #include "net/tcp_server.h"
@@ -63,9 +74,13 @@ struct AdmissionOptions {
   // excess batches are answered `SERVER_ERROR overloaded` / binary EBUSY.
   // 0 = unlimited.
   std::size_t max_inflight = 0;
-  // Longest a batch may wait for the cache mutex before being shed (stale
-  // work is not worth doing — the client has likely timed out). 0 = wait
-  // forever. Microseconds, same unit as the daemon clock.
+  // Longest one command may wait for its shard's mutex before being shed
+  // (stale work is not worth doing — the client has likely timed out).
+  // 0 = wait forever ("unlimited"), honored identically on the text and
+  // binary handlers — the same zero semantics as pipeline_cap. A command
+  // shed by the pipeline cap never attempts the lock, so the two shed
+  // counters never double-count one command. Microseconds, same unit as
+  // the daemon clock.
   SimTime queue_deadline_us = 0;
   // Cache-touching commands served per protocol batch; the rest of the
   // batch is answered with per-command shed replies. 0 = unlimited.
@@ -111,7 +126,7 @@ struct TsdbOptions {
 struct DaemonShedCounters {
   std::atomic<std::uint64_t> over_cap{0};        // in-flight budget exhausted
   std::atomic<std::uint64_t> background{0};      // bg shed under priority rule
-  std::atomic<std::uint64_t> queue_deadline{0};  // cache-mutex wait too long
+  std::atomic<std::uint64_t> queue_deadline{0};  // shard-lock wait too long
   std::atomic<std::uint64_t> pipeline{0};        // per-batch pipeline cap
 };
 
@@ -121,11 +136,14 @@ class MemcacheDaemon {
   // `limits` hardens the byte server against misbehaving peers (connection
   // cap, slow-reader outbox bound, idle reaping) — see TcpServer::Limits.
   // `admission` turns on overload protection (off by default).
+  // `shards` fixes the lock-stripe count (power of two); 0 = auto, i.e.
+  // min(threads, 8) rounded down to a power of two. The config's byte
+  // budget and digest geometry describe the WHOLE cache regardless.
   MemcacheDaemon(cache::CacheConfig config, std::uint16_t port,
                  ClockFn clock = monotonic_now, int threads = 1,
                  TcpServer::Limits limits = {},
                  AdmissionOptions admission = {}, AuditOptions audit = {},
-                 TsdbOptions tsdb = {});
+                 TsdbOptions tsdb = {}, int shards = 0);
   ~MemcacheDaemon();
 
   bool ok() const noexcept;
@@ -152,19 +170,21 @@ class MemcacheDaemon {
   void begin_drain(SimTime timeout_us);
   bool draining() const noexcept;
 
-  // Direct cache access — only safe while no worker thread is serving
-  // (before run() / after stop()+join). Concurrent readers use the
-  // snapshot accessors below instead.
-  cache::CacheServer& cache() noexcept { return cache_; }
-  const cache::CacheServer& cache() const noexcept { return cache_; }
+  // The sharded cache engine. Merged/broadcast accessors (stats, digest,
+  // epoch, convenience get/set) lock internally and are safe at any time;
+  // shard() references are only safe while no worker thread is serving
+  // (before run() / after stop()+join) unless you hold that shard's lock.
+  cache::ShardedCacheServer& cache() noexcept { return cache_; }
+  const cache::ShardedCacheServer& cache() const noexcept { return cache_; }
+  int shards() const noexcept { return cache_.num_shards(); }
 
-  // --- race-free introspection (take the cache mutex) ----------------------
+  // --- race-free introspection (engine merged views) -----------------------
   cache::CacheStats stats_snapshot() const;
   std::size_t item_count() const;
   std::size_t bytes_used() const;
   // Registry snapshot rendered as Prometheus text (for /metrics). The
-  // registry's cache-reading callbacks require the cache mutex, which this
-  // takes; never call while already holding it. Rolls the audit/SLO window
+  // registry's cache-reading callbacks go through the engine's internally
+  // locked merged views (one shard at a time). Rolls the audit/SLO window
   // first when auditing is enabled (this is the off-request-thread roll-up
   // point — the HTTP poll loop calls it per scrape).
   std::string metrics_text() const;
@@ -255,9 +275,7 @@ class MemcacheDaemon {
   obs::TraceRing trace_;  // must precede cache_: CacheConfig may point here
   obs::SpanCollector spans_{/*capacity=*/16384};
   int server_id_ = -1;
-  cache::CacheServer cache_;
-  // timed_mutex: queue-deadline shedding bounds how long a batch may wait.
-  mutable std::timed_mutex cache_mutex_;
+  cache::ShardedCacheServer cache_;
   AdmissionOptions admission_opts_;
   core::AdmissionController admission_;
   mutable DaemonShedCounters sheds_;

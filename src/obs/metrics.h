@@ -19,8 +19,9 @@
 // WebTierStats, TcpServer counters) without duplicating their bookkeeping:
 // the owning component registers a closure that reads its struct. THREAD
 // SAFETY of such closures is the registrant's contract — e.g. the daemon's
-// closures read its cache only under the daemon's cache mutex, so its
-// snapshot() callers must hold that mutex (MemcacheDaemon::metrics_text()).
+// cache-reading closures go through ShardedCacheServer's merged views,
+// which lock one shard at a time internally, so snapshot() can be called
+// from any thread (the metrics sampler included) with no external lock.
 #pragma once
 
 #include <array>

@@ -39,9 +39,11 @@ class TimeSeriesStore;
 
 struct SamplerConfig {
   SimTime interval = kSecond;  // wall cadence of the background thread
-  // Wraps the registry visit. The daemon's cache-reading callbacks require
-  // the cache mutex by contract (obs/metrics.h), so it passes a guard that
-  // holds it for the visit — appends and anomaly scoring run outside.
+  // Optional wrapper around the registry visit for embedders whose
+  // callbacks need an external lock. Null = visit directly; the daemon
+  // leaves it null since its cache-reading callbacks lock their shard
+  // internally (obs/metrics.h) — the sampler thread never serializes the
+  // whole cache.
   std::function<void(const std::function<void()>&)> guard;
 };
 

@@ -76,6 +76,81 @@ TEST_P(ProtocolSegmentation, ResponseInvariantUnderChunking) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolSegmentation,
                          ::testing::Values(1ull, 17ull, 3333ull, 98765ull));
 
+// --- sharding: a 4-shard engine is reply-invariant vs the bare cache --------
+//
+// Same random script, same chunkings, two backends: a single CacheServer
+// and a 4-shard ShardedCacheServer. Lock striping is an implementation
+// detail — every reply byte, `stats` output included, must be identical.
+
+class ShardReplyInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardReplyInvariance, FourShardEngineMatchesBareCacheReplies) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  std::string wire;
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "k" + std::to_string(rng.next_below(40));
+    switch (rng.next_below(6)) {
+      case 0: {
+        const auto len = static_cast<std::size_t>(rng.next_below(64));
+        std::string payload;
+        for (std::size_t b = 0; b < len; ++b) {
+          payload += static_cast<char>('a' + rng.next_below(26));
+        }
+        wire += "set " + key + " " + std::to_string(rng.next_below(100)) +
+                " 0 " + std::to_string(len) + "\r\n" + payload + "\r\n";
+        break;
+      }
+      case 1: wire += "get " + key + "\r\n"; break;
+      case 2: wire += "delete " + key + "\r\n"; break;
+      case 3: wire += "get " + key + " other\r\n"; break;
+      case 4: wire += "stats\r\n"; break;
+      case 5: wire += "incr " + key + " 1\r\n"; break;
+    }
+  }
+
+  cache::CacheConfig cfg;
+  cfg.memory_budget_bytes = 4 << 20;
+  const auto run_bare = [&](std::size_t max_chunk) {
+    cache::CacheServer server(cfg);
+    cache::TextProtocolSession session(server);
+    std::string out;
+    Rng chunk_rng(seed ^ max_chunk);
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t n = std::min<std::size_t>(
+          wire.size() - pos, 1 + chunk_rng.next_below(max_chunk));
+      out += session.feed(std::string_view(wire).substr(pos, n), 0);
+      pos += n;
+    }
+    return out;
+  };
+  const auto run_sharded = [&](std::size_t max_chunk) {
+    cache::ShardedCacheServer engine(cfg, 4);
+    cache::TextProtocolSession session(engine);
+    std::string out;
+    Rng chunk_rng(seed ^ max_chunk);
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t n = std::min<std::size_t>(
+          wire.size() - pos, 1 + chunk_rng.next_below(max_chunk));
+      out += session.feed(std::string_view(wire).substr(pos, n), 0);
+      pos += n;
+    }
+    return out;
+  };
+
+  const std::string bare = run_bare(wire.size());
+  EXPECT_EQ(run_sharded(wire.size()), bare);
+  EXPECT_EQ(run_sharded(1), bare);
+  EXPECT_EQ(run_sharded(7), bare);
+  EXPECT_EQ(run_sharded(1024), bare);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardReplyInvariance,
+                         ::testing::Values(1ull, 17ull, 3333ull, 98765ull));
+
 // --- facade: random op/resize interleavings never serve stale data ----------
 
 class FacadeFuzz : public ::testing::TestWithParam<std::uint64_t> {};

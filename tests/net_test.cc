@@ -244,9 +244,9 @@ TEST(MultiThreadedDaemon, ConcurrentClientsShareOneConsistentCache) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(daemon.cache().item_count(),
             static_cast<std::size_t>(kClients) * kKeysPerClient);
-  // The shared digest saw every insertion exactly once.
-  EXPECT_TRUE(daemon.cache().digest().maybe_contains("c0:0"));
-  EXPECT_TRUE(daemon.cache().digest().maybe_contains("c7:199"));
+  // The merged digest saw every insertion exactly once.
+  EXPECT_TRUE(daemon.cache().digest_maybe_contains("c0:0"));
+  EXPECT_TRUE(daemon.cache().digest_maybe_contains("c7:199"));
 }
 
 TEST_F(DaemonFixture, QuitClosesConnection) {

@@ -71,6 +71,9 @@ void print_help(std::FILE* out) {
       "  --mem-mb=M           cache memory budget in MB (default 64)\n"
       "  --ttl-s=S            item TTL in seconds (0 = no expiry)\n"
       "  --threads=N          SO_REUSEPORT worker poll loops (default 1)\n"
+      "  --shards=N           lock-striped cache shards; N is rounded up to\n"
+      "                       a power of two. 0 = auto: min(threads, 8).\n"
+      "                       See docs/OPERATIONS.md section 15.\n"
       "  --server-id=N        fleet index stamped on server-side spans\n"
       "  --max-conns=C        connection cap; excess accepts are told\n"
       "                       'SERVER_ERROR overloaded' and closed\n"
@@ -145,6 +148,7 @@ int main(int argc, char** argv) {
   std::size_t mem_mb = 64;
   double ttl_s = 0;
   int threads = 1;
+  int shards = 0;  // 0 = auto: min(threads, 8)
   int server_id = -1;
   std::uint64_t incarnation = 0;  // 0 = per-process unique (daemon seeds it)
   net::TcpServer::Limits limits;
@@ -171,6 +175,8 @@ int main(int argc, char** argv) {
       ttl_s = std::atof(value.c_str());
     } else if (parse_value(argv[i], "--threads", value)) {
       threads = std::atoi(value.c_str());
+    } else if (parse_value(argv[i], "--shards", value)) {
+      shards = std::atoi(value.c_str());
     } else if (parse_value(argv[i], "--server-id", value)) {
       server_id = std::atoi(value.c_str());
     } else if (parse_value(argv[i], "--max-conns", value)) {
@@ -238,6 +244,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--threads must be >= 1\n");
     return 2;
   }
+  if (shards < 0) {
+    std::fprintf(stderr, "--shards must be >= 0\n");
+    return 2;
+  }
   if (admission.background_fill < 0.0 || admission.background_fill > 1.0) {
     std::fprintf(stderr, "--migration-priority must be in [0, 1]\n");
     return 2;
@@ -254,7 +264,7 @@ int main(int argc, char** argv) {
   cfg.incarnation = incarnation;
 
   net::MemcacheDaemon daemon(cfg, port, net::monotonic_now, threads, limits,
-                             admission, audit, tsdb);
+                             admission, audit, tsdb, shards);
   if (!daemon.ok()) {
     std::fprintf(stderr, "failed to bind 127.0.0.1:%u\n", port);
     return 1;
@@ -298,9 +308,10 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "proteus-cached listening on 127.0.0.1:%u (%zu MB budget, "
-               "digest: %zu counters x %u bits)\n",
-               daemon.port(), mem_mb, daemon.cache().digest().num_counters(),
-               daemon.cache().digest().counter_bits());
+               "%d shards, digest: %zu counters x %u bits)\n",
+               daemon.port(), mem_mb, daemon.shards(),
+               daemon.cache().digest_num_counters(),
+               daemon.cache().digest_counter_bits());
   daemon.run();
   // Final flight-recorder checkpoint on the clean-shutdown path (SIGTERM
   // drain or stop): the artifact then reflects the very last samples.

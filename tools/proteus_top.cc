@@ -417,15 +417,18 @@ int main(int argc, char** argv) {
             buf, sizeof(buf),
             "{\"port\":%u,\"state\":\"%s\",\"up\":%s,\"gets_per_s\":%.6g,"
             "\"share\":%.6g,\"hit_ratio\":%.6g,\"p50_us\":%.6g,"
-            "\"p99_us\":%.6g,\"items\":%.0f,\"bytes\":%.0f,\"watts\":%.6g,"
+            "\"p99_us\":%.6g,\"items\":%.0f,\"bytes\":%.0f,\"shards\":%.0f,"
+            "\"shard_imbalance\":%.6g,\"watts\":%.6g,"
             "\"epoch\":%.0f,\"incarnation\":%llu,"
             "\"health\":\"%s\",\"hedge_pct\":%.6g",
             w.port, state, w.up ? "true" : "false", rate, share,
             hit_ratio_of(w), field(w, "proteus_daemon_op_latency_us_p50"),
             field(w, "proteus_daemon_op_latency_us_p99"),
             field(w, "proteus_cache_items", field(w, "curr_items")),
-            field(w, "proteus_cache_bytes", field(w, "bytes")), watts,
-            epoch_of(w), static_cast<unsigned long long>(incarnation_of(w)),
+            field(w, "proteus_cache_bytes", field(w, "bytes")),
+            field(w, "proteus_daemon_shards", 1),
+            field(w, "proteus_cache_shard_imbalance"), watts, epoch_of(w),
+            static_cast<unsigned long long>(incarnation_of(w)),
             health_col(w).c_str(), hedge_pct(w));
         out += buf;
         if (audited(w)) {
@@ -479,11 +482,11 @@ int main(int argc, char** argv) {
     }
 
     if (!once) std::printf("\033[2J\033[H");
-    std::printf("%-6s %-7s %-9s %6s %10s %7s %6s %9s %9s %9s %8s %7s %5s "
-                "%5s %7s %6s %12s",
+    std::printf("%-6s %-7s %-9s %6s %10s %7s %6s %9s %9s %9s %8s %6s %7s "
+                "%5s %5s %7s %6s %12s",
                 "SERVER", "STATE", "HEALTH", "HEDGE%", "GETS/S", "SHARE",
-                "HIT%", "P50(us)", "P99(us)", "ITEMS", "MB", "WATTS", "PPI",
-                "SLO", "DRIFT", "EPOCH", "INCARNATION");
+                "HIT%", "P50(us)", "P99(us)", "ITEMS", "MB", "SHARDS",
+                "WATTS", "PPI", "SLO", "DRIFT", "EPOCH", "INCARNATION");
     if (history > 0) std::printf(" %s", "HISTORY(gets/s)");
     std::printf("\n");
     const proteus::cluster::ServerPowerProfile power;
@@ -527,7 +530,7 @@ int main(int argc, char** argv) {
       }
       std::printf(
           ":%-5u %-7s %-9s %5.1f%% %10.1f %6.1f%% %5.1f%% %9.0f %9.0f %9.0f "
-          "%8.2f %7.1f %s %s %s %6.0f %12llx",
+          "%8.2f %6.0f %7.1f %s %s %s %6.0f %12llx",
           w.port, state, health_col(w).c_str(), hedge_pct(w), rate,
           share * 100, hit_ratio_of(w) * 100,
           field(w, "proteus_daemon_op_latency_us_p50"),
@@ -535,7 +538,9 @@ int main(int argc, char** argv) {
           field(w, "proteus_cache_items", field(w, "curr_items")),
           field(w, "proteus_cache_bytes", field(w, "bytes")) /
               (1024.0 * 1024.0),
-          watts, ppi_col, slo_col, drift_col, epoch,
+          // Stock memcached (no proteus registry) reports 1: one lock.
+          field(w, "proteus_daemon_shards", 1), watts, ppi_col, slo_col,
+          drift_col, epoch,
           static_cast<unsigned long long>(incarnation_of(w)));
       if (history > 0) std::printf(" %s", sparkline(w.rate_hist).c_str());
       std::printf("\n");
